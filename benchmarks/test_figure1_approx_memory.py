@@ -1,0 +1,48 @@
+"""Experiments E1/E2 — Figure 1: approximation ratio and memory vs δ.
+
+Regenerates, for every dataset and δ, the approximation ratio (top plot) and
+the memory in stored points (bottom plot) of Ours, OursOblivious, Jones and
+ChenEtAl.  The pytest-benchmark part times a single full δ-sweep on the
+PHONES surrogate so that regressions in end-to-end experiment cost are
+caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import PAPER_DATASETS
+from repro.experiments.delta_sweep import figure1_rows, run_delta_sweep
+
+from conftest import register_table
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_approximation_and_memory(benchmark, scale):
+    """Regenerate the Figure 1 series and record the sweep's wall-clock cost."""
+    result = benchmark.pedantic(
+        lambda: run_delta_sweep(["phones"], scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    assert result, "the delta sweep produced no rows"
+
+    # Complete the figure with the remaining datasets (not timed).
+    rows = list(result)
+    for dataset in PAPER_DATASETS:
+        if dataset == "phones":
+            continue
+        rows.extend(run_delta_sweep([dataset], scale=scale))
+
+    figure_rows = figure1_rows(rows)
+    register_table(
+        "figure1_approx_memory",
+        figure_rows,
+        ["dataset", "delta", "algorithm", "approx_ratio", "memory_points"],
+    )
+
+    # Sanity of the expected shape: the streaming algorithms stay within a
+    # small constant factor of the best baseline on every dataset/δ.
+    for row in figure_rows:
+        if row["algorithm"].startswith("Ours") and row["approx_ratio"] is not None:
+            assert row["approx_ratio"] < 3.0, row

@@ -1,0 +1,82 @@
+"""Experiments E3/E4 — Figure 2: update and query time vs δ.
+
+The figure-level series (per-dataset, per-δ average update and query times of
+every algorithm) are produced by the same sweep as Figure 1; this module
+additionally micro-benchmarks the two core operations of the streaming
+algorithm — ``insert`` and ``query`` — with pytest-benchmark so their cost is
+tracked with statistical rigour.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import make_contenders
+from repro.experiments.delta_sweep import figure2_rows, run_delta_sweep
+
+
+def _prepared_algorithm(scale, delta: float):
+    """An ``Ours`` instance warmed up with one full window of PHONES data."""
+    points = load_dataset("phones", scale.window_size + 64, seed=1)
+    bundle = make_contenders(
+        points,
+        window_size=scale.window_size,
+        delta=delta,
+        include_oblivious=False,
+        include_jones=False,
+        include_chen=False,
+    )
+    algorithm = bundle.contenders[0].algorithm
+    for point in points[: scale.window_size]:
+        algorithm.insert(point)
+    return algorithm, points[scale.window_size:]
+
+
+@pytest.mark.benchmark(group="figure2-update")
+@pytest.mark.parametrize("delta", [0.5, 2.0])
+def test_update_time_microbenchmark(benchmark, scale, delta):
+    """Per-arrival cost of Update() on a full window (paper: Figure 2 top)."""
+    algorithm, tail = _prepared_algorithm(scale, delta)
+    fresh = itertools.cycle(tail)
+
+    def insert_restamped():
+        # Raw points are re-stamped with the next arrival time on insertion,
+        # so cycling over a small pool keeps times strictly increasing.
+        algorithm.insert(next(fresh))
+
+    benchmark(insert_restamped)
+    assert algorithm.memory_points() > 0
+
+
+@pytest.mark.benchmark(group="figure2-query")
+@pytest.mark.parametrize("delta", [0.5, 2.0])
+def test_query_time_microbenchmark(benchmark, scale, delta):
+    """Cost of Query() on a full window (paper: Figure 2 bottom)."""
+    algorithm, _ = _prepared_algorithm(scale, delta)
+    solution = benchmark(algorithm.query)
+    assert solution.centers, "query returned no centers"
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_series(benchmark, scale):
+    """Regenerate the full Figure 2 series (one dataset timed, all reported)."""
+    from conftest import register_table
+
+    rows = benchmark.pedantic(
+        lambda: run_delta_sweep(["higgs"], scale=scale), rounds=1, iterations=1
+    )
+    figure_rows = figure2_rows(rows)
+    register_table(
+        "figure2_update_query_time",
+        figure_rows,
+        ["dataset", "delta", "algorithm", "update_ms", "query_ms"],
+    )
+    streaming = [r for r in figure_rows if r["algorithm"].startswith("Ours")]
+    baselines = [r for r in figure_rows if not r["algorithm"].startswith("Ours")]
+    # Expected shape: the baselines' update step is essentially free, while
+    # their query is the expensive part.
+    assert min(b["update_ms"] for b in baselines) <= min(s["update_ms"] for s in streaming)
+    assert all(b["query_ms"] > 0 for b in baselines)

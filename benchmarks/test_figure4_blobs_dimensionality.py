@@ -1,0 +1,47 @@
+"""Experiment E7 — Figure 4: cost vs dimensionality on the blobs datasets.
+
+Expected shape (checked by assertions): the Jones baseline's memory is the
+window size regardless of the dimension, while the memory of the streaming
+algorithm grows with the dimension and is larger for δ = 0.5 than for δ = 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure4
+
+from conftest import register_table
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_blobs_dimensionality(benchmark, scale):
+    """Regenerate the Figure 4 series over the scale's blob dimensions."""
+    rows = benchmark.pedantic(
+        lambda: figure4.run(scale=scale), rounds=1, iterations=1
+    )
+    register_table(
+        "figure4_blobs_dimensionality",
+        rows,
+        ["dimension", "algorithm", "query_ms", "memory_points", "approx_ratio"],
+    )
+
+    dimensions = sorted({r["dimension"] for r in rows})
+    low, high = dimensions[0], dimensions[-1]
+
+    def value(dim: int, name: str, field: str) -> float:
+        matches = [r[field] for r in rows if r["dimension"] == dim and r["algorithm"] == name]
+        assert matches, f"missing series {name} at dimension {dim}"
+        return matches[0]
+
+    # Baseline memory is the window, independent of the dimension.
+    assert value(low, "Jones", "memory_points") == value(high, "Jones", "memory_points")
+    # Streaming memory grows with the dimension (doubling dimension effect)...
+    assert value(high, "Ours(delta=0.5)", "memory_points") >= value(
+        low, "Ours(delta=0.5)", "memory_points"
+    )
+    # ... and the finer coreset (δ=0.5) is never smaller than the coarse one.
+    for dim in dimensions:
+        assert value(dim, "Ours(delta=0.5)", "memory_points") >= value(
+            dim, "Ours(delta=2.0)", "memory_points"
+        )

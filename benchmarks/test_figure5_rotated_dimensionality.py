@@ -1,0 +1,46 @@
+"""Experiment E8 — Figure 5: cost vs *ambient* dimensionality (rotated data).
+
+The rotated datasets keep an intrinsic dimension of 3 while the number of
+coordinates grows; the streaming algorithm's memory must therefore stay
+essentially flat across the sweep (unlike Figure 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure5
+
+from conftest import register_table
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_rotated_dimensionality(benchmark, scale):
+    """Regenerate the Figure 5 series over the scale's ambient dimensions."""
+    rows = benchmark.pedantic(
+        lambda: figure5.run(scale=scale), rounds=1, iterations=1
+    )
+    register_table(
+        "figure5_rotated_dimensionality",
+        rows,
+        ["ambient_dimension", "algorithm", "query_ms", "memory_points",
+         "approx_ratio"],
+    )
+
+    dimensions = sorted({r["ambient_dimension"] for r in rows})
+    low, high = dimensions[0], dimensions[-1]
+
+    def memory(dim: int, name: str) -> float:
+        matches = [
+            r["memory_points"]
+            for r in rows
+            if r["ambient_dimension"] == dim and r["algorithm"] == name
+        ]
+        assert matches, f"missing series {name} at ambient dimension {dim}"
+        return matches[0]
+
+    # Intrinsic dimension is constant, so the memory of the streaming
+    # algorithm must not blow up with the ambient dimension (allow 2x head
+    # room for run-to-run noise on the surrogate streams).
+    for name in ("Ours(delta=0.5)", "Ours(delta=2.0)"):
+        assert memory(high, name) <= 2.0 * memory(low, name) + 50

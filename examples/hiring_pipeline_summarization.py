@@ -1,0 +1,99 @@
+"""Fair summarisation of a hiring pipeline (data-summarisation use case).
+
+Scenario: an applicant-tracking system receives a continuous stream of
+candidate profiles (numeric feature vectors) labelled with a protected
+attribute (here a synthetic "group" column).  Recruiters look at a dashboard
+of k representative profiles for the *most recent* n applications.  Selecting
+representatives with plain k-center can easily return a panel dominated by
+the majority group even when the minority groups are well represented in the
+data; the fair-center constraint caps the number of representatives per
+group.
+
+The example contrasts, on the same windows:
+
+* unconstrained Gonzalez k-center (can be arbitrarily unbalanced);
+* the sliding-window fair-center algorithm (balanced by construction), and
+  the price it pays in radius.
+
+Run with::
+
+    python examples/hiring_pipeline_summarization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    FairnessConstraint,
+    FairSlidingWindow,
+    SlidingWindowConfig,
+    evaluate_radius,
+)
+from repro.core.geometry import Point, color_histogram
+from repro.sequential import GonzalezKCenter
+from repro.streaming import ExactSlidingWindow
+
+
+def candidate_stream(length: int, seed: int = 11) -> list[Point]:
+    """Synthetic candidate profiles with three demographic groups.
+
+    Group sizes are imbalanced (70% / 20% / 10%) and the feature distributions
+    overlap, so group membership "leaks" only weakly from the features —
+    the situation where color-blind selection silently under-represents
+    minorities.
+    """
+    rng = np.random.default_rng(seed)
+    groups = ["group-a", "group-b", "group-c"]
+    probabilities = [0.7, 0.2, 0.1]
+    offsets = {"group-a": 0.0, "group-b": 0.6, "group-c": 1.2}
+    points = []
+    for _ in range(length):
+        group = str(rng.choice(groups, p=probabilities))
+        base = rng.normal(offsets[group], 1.0, size=4)
+        skill_drift = rng.normal(0.0, 0.5, size=4)
+        points.append(Point(tuple((base + skill_drift).tolist()), group))
+    return points
+
+
+def main() -> None:
+    window_size = 600
+    points = candidate_stream(1800)
+    # Fair panel: at most 2 representatives per group (6 seats in total).
+    constraint = FairnessConstraint({"group-a": 2, "group-b": 2, "group-c": 2})
+    config = SlidingWindowConfig(
+        window_size=window_size, constraint=constraint,
+        delta=0.5, beta=2.0, dmin=0.001, dmax=50.0,
+    )
+
+    fair_algo = FairSlidingWindow(config)
+    unfair = GonzalezKCenter()
+    window = ExactSlidingWindow(window_size)
+
+    print(f"{'time':>6} {'fair radius':>12} {'unfair radius':>14} "
+          f"{'fair panel':>28} {'unfair panel':>28}")
+    for point in points:
+        item = window.insert(point)
+        fair_algo.insert(item)
+        t = item.t
+        if t >= window_size and t % 400 == 0:
+            window_points = window.items()
+            fair_solution = fair_algo.query()
+            unfair_solution = unfair.solve(window_points, constraint)
+            fair_radius = evaluate_radius(fair_solution.centers, window_points)
+            print(
+                f"{t:>6} {fair_radius:>12.3f} {unfair_solution.radius:>14.3f} "
+                f"{str(color_histogram(fair_solution.centers)):>28} "
+                f"{str(color_histogram(unfair_solution.centers)):>28}"
+            )
+            assert fair_solution.is_fair(constraint)
+
+    print(
+        "\nThe unconstrained panel routinely allocates most seats to the "
+        "majority group;\nthe fair panel never exceeds 2 seats per group, at a "
+        "modest increase in radius."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Sensor-stream summarisation with fairness across activity types.
+
+Scenario (the PHONES workload that motivates the paper's introduction): a
+phone produces a continuous stream of accelerometer readings labelled with
+the user's activity (stand, sit, walk, ...).  A monitoring dashboard keeps a
+small set of *representative readings* for the last n samples; to avoid
+over-representing the dominant activity, at most k_i representatives may come
+from each activity.
+
+The example compares three summaries over a drifting stream:
+
+* ``Ours`` — the sliding-window coreset algorithm (aware of drift, fair);
+* ``OursOblivious`` — same, but without knowing the distance range a priori;
+* an *insertion-only* streaming summary, which ignores expiration and keeps
+  representing readings from long-past activities — exactly the failure mode
+  sliding windows exist to avoid.
+
+Run with::
+
+    python examples/sensor_stream_fairness.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FairnessConstraint,
+    FairSlidingWindow,
+    JonesFairCenter,
+    ObliviousFairSlidingWindow,
+    SlidingWindowConfig,
+    evaluate_radius,
+)
+from repro.datasets import phones_surrogate
+from repro.experiments.common import estimate_distance_bounds
+from repro.streaming import ExactSlidingWindow, InsertionOnlyFairCenter
+
+
+def main() -> None:
+    stream_length = 3000
+    window_size = 800
+    points = phones_surrogate(stream_length, seed=3)
+
+    # Capacities proportional to activity frequencies, 14 centers in total
+    # (the paper's setup).
+    from repro.experiments.common import build_constraint
+
+    constraint = build_constraint(points)
+    dmin, dmax = estimate_distance_bounds(points)
+    config = SlidingWindowConfig(
+        window_size=window_size, constraint=constraint,
+        delta=1.0, beta=2.0, dmin=dmin, dmax=dmax,
+    )
+
+    ours = FairSlidingWindow(config)
+    oblivious = ObliviousFairSlidingWindow(config)
+    insertion_only = InsertionOnlyFairCenter(constraint, dmin, dmax)
+    exact_window = ExactSlidingWindow(window_size)
+    reference_solver = JonesFairCenter()
+
+    print(f"activities and capacities: {dict(constraint.capacities)}")
+    print(f"{'time':>6} {'ours':>8} {'oblivious':>10} {'insertion-only':>15} "
+          f"{'reference':>10}")
+
+    for index, point in enumerate(points):
+        t = index + 1
+        item = exact_window.insert(point)
+        ours.insert(item)
+        oblivious.insert(item)
+        insertion_only.insert(item)
+
+        if t >= window_size and t % 500 == 0:
+            window_points = exact_window.items()
+            reference = reference_solver.solve(window_points, constraint)
+
+            def window_radius(solution) -> float:
+                return evaluate_radius(solution.centers, window_points)
+
+            print(
+                f"{t:>6} "
+                f"{window_radius(ours.query()):>8.2f} "
+                f"{window_radius(oblivious.query()):>10.2f} "
+                f"{window_radius(insertion_only.query()):>15.2f} "
+                f"{reference.radius:>10.2f}"
+            )
+
+    print(
+        "\nThe insertion-only summary degrades as the stream drifts away from "
+        "its early readings,\nwhile the sliding-window algorithms stay close "
+        "to the per-window reference."
+    )
+    print(
+        f"memory: ours={ours.memory_points()} points, "
+        f"oblivious={oblivious.memory_points()} points, "
+        f"window itself={window_size} points"
+    )
+
+
+if __name__ == "__main__":
+    main()

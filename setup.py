@@ -1,0 +1,10 @@
+"""Legacy setup shim so that editable installs work in offline environments.
+
+All package metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` can use the classic setuptools develop path when the
+``wheel`` package (required by PEP 660 editable builds) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""Fair center clustering in sliding windows — reproduction library.
+
+This package reproduces, in pure Python, the system of the EDBT 2026 paper
+*"Fair Center Clustering in Sliding Windows"*: a space- and time-efficient
+streaming algorithm that maintains a fair k-center solution over the most
+recent ``n`` points of a stream, together with the sequential baselines it is
+evaluated against and a benchmark harness regenerating every figure of the
+paper's experimental section.
+
+Quick start
+-----------
+::
+
+    from repro import (FairSlidingWindow, FairnessConstraint,
+                       SlidingWindowConfig, make_point)
+
+    constraint = FairnessConstraint({"female": 2, "male": 2})
+    config = SlidingWindowConfig(window_size=500, constraint=constraint,
+                                 delta=1.0, dmin=0.01, dmax=100.0)
+    algo = FairSlidingWindow(config)
+    for coords, color in my_stream:
+        algo.insert(make_point(coords, color))
+    solution = algo.query()
+    print(solution.centers, solution.radius)
+
+Package map
+-----------
+``repro.core``
+    Geometry, metrics, configuration, and the three streaming algorithms
+    (``Ours``, ``OursOblivious``, the dimension-free Corollary 2 variant).
+``repro.matroid``
+    Matroid abstraction (partition / transversal / uniform) and generic
+    matroid intersection.
+``repro.sequential``
+    Sequential solvers: Gonzalez, Jones et al., Chen et al., a
+    capacity-aware greedy, and exact brute-force oracles.
+``repro.streaming``
+    Streams, the exact sliding-window buffer, the aspect-ratio estimator and
+    the insertion-only streaming summary.
+``repro.datasets``
+    Synthetic generators (blobs, rotated), surrogates for the paper's UCI
+    datasets, and CSV loaders for the real files.
+``repro.evaluation`` / ``repro.experiments``
+    The measurement harness and one driver per figure of the paper.
+"""
+
+from .core import (
+    ClusteringSolution,
+    DimensionFreeFairSlidingWindow,
+    FairSlidingWindow,
+    FairnessConstraint,
+    ObliviousFairSlidingWindow,
+    Point,
+    SlidingWindowConfig,
+    StreamItem,
+    evaluate_radius,
+    make_point,
+    make_points,
+)
+from .sequential import (
+    CapacityAwareGreedy,
+    ChenMatroidCenter,
+    JonesFairCenter,
+    exact_fair_center,
+    gonzalez,
+)
+from .streaming import ExactSlidingWindow, SlidingWindowBaseline, Stream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityAwareGreedy",
+    "ChenMatroidCenter",
+    "ClusteringSolution",
+    "DimensionFreeFairSlidingWindow",
+    "ExactSlidingWindow",
+    "FairSlidingWindow",
+    "FairnessConstraint",
+    "JonesFairCenter",
+    "ObliviousFairSlidingWindow",
+    "Point",
+    "SlidingWindowBaseline",
+    "SlidingWindowConfig",
+    "Stream",
+    "StreamItem",
+    "evaluate_radius",
+    "exact_fair_center",
+    "gonzalez",
+    "make_point",
+    "make_points",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""Command-line front-end for the reproduction experiments.
+
+Installed as ``fair-center-bench`` (see ``pyproject.toml``).  Examples::
+
+    fair-center-bench list-datasets
+    fair-center-bench figure1 --scale tiny
+    fair-center-bench figure3 --dataset phones --csv results/figure3.csv
+    fair-center-bench ablation-solver --dataset higgs
+
+Each sub-command regenerates the series of one figure of the paper (or one
+ablation) and prints them as a plain-text table; ``--csv`` additionally
+writes the raw rows to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .datasets.registry import PAPER_DATASETS, available_datasets, get_spec
+from .evaluation.reporting import format_table, rows_to_csv
+from .experiments import (
+    ablation_beta,
+    ablation_solver,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    get_scale,
+)
+
+_FIGURE_COLUMNS = {
+    "figure1": ["dataset", "delta", "algorithm", "approx_ratio", "memory_points"],
+    "figure2": ["dataset", "delta", "algorithm", "update_ms", "query_ms"],
+    "figure3": ["dataset", "window_size", "algorithm", "memory_points", "query_ms"],
+    "figure4": ["dimension", "algorithm", "query_ms", "memory_points"],
+    "figure5": ["ambient_dimension", "algorithm", "query_ms", "memory_points"],
+    "ablation-beta": ["dataset", "beta", "algorithm", "approx_ratio", "memory_points"],
+    "ablation-solver": ["dataset", "algorithm", "approx_ratio", "query_ms"],
+}
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=["tiny", "small", "full"],
+        default=None,
+        help="experiment scale (default: REPRO_SCALE env var or 'small')",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--csv", default=None, help="also write the rows to this CSV file")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser of the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="fair-center-bench",
+        description="Reproduce the experiments of 'Fair Center Clustering in Sliding Windows'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-datasets", help="list the registered datasets")
+
+    for name, help_text in [
+        ("figure1", "approximation ratio and memory vs delta"),
+        ("figure2", "update and query time vs delta"),
+        ("figure3", "memory and query time vs window size"),
+        ("figure4", "cost vs dimensionality on the blobs datasets"),
+        ("figure5", "cost vs ambient dimensionality on the rotated datasets"),
+        ("ablation-beta", "sensitivity to the guess progression beta"),
+        ("ablation-solver", "choice of the sequential solver A on the coreset"),
+    ]:
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common_options(sub)
+        if name in ("figure1", "figure2"):
+            sub.add_argument(
+                "--dataset",
+                action="append",
+                default=None,
+                help="dataset name (repeatable; default: phones, higgs, covtype)",
+            )
+        elif name in ("figure3", "ablation-beta", "ablation-solver"):
+            sub.add_argument("--dataset", default="phones", help="dataset name")
+    return parser
+
+
+def _run_command(args: argparse.Namespace) -> list[dict]:
+    scale = get_scale(args.scale) if args.scale else None
+    if args.command in ("figure1", "figure2"):
+        datasets: Sequence[str] = args.dataset or PAPER_DATASETS
+        runner: Callable[..., list[dict]] = (
+            figure1.run if args.command == "figure1" else figure2.run
+        )
+        return runner(datasets, scale=scale, seed=args.seed)
+    if args.command == "figure3":
+        return figure3.run(args.dataset, scale=scale, seed=args.seed)
+    if args.command == "figure4":
+        return figure4.run(scale=scale, seed=args.seed)
+    if args.command == "figure5":
+        return figure5.run(scale=scale, seed=args.seed)
+    if args.command == "ablation-beta":
+        return ablation_beta.run(args.dataset, scale=scale, seed=args.seed)
+    if args.command == "ablation-solver":
+        return ablation_solver.run(args.dataset, scale=scale, seed=args.seed)
+    raise ValueError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list-datasets":
+        rows = [
+            {
+                "name": name,
+                "dimension": get_spec(name).dimension,
+                "colors": get_spec(name).num_colors,
+                "description": get_spec(name).description,
+            }
+            for name in available_datasets()
+        ]
+        print(format_table(rows, ["name", "dimension", "colors", "description"]))
+        return 0
+
+    rows = _run_command(args)
+    columns = _FIGURE_COLUMNS.get(args.command)
+    print(format_table(rows, columns, title=f"{args.command} results"))
+    if getattr(args, "csv", None):
+        rows_to_csv(rows, args.csv)
+        print(f"\nwrote {len(rows)} rows to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Core layer: geometry, metrics, configuration and the streaming algorithms."""
+
+from .config import (
+    DEFAULT_ALPHA,
+    FairnessConstraint,
+    SlidingWindowConfig,
+    delta_from_epsilon,
+    epsilon_from_delta,
+)
+from .dimension_free import DimensionFreeFairSlidingWindow
+from .fair_sliding_window import FairSlidingWindow
+from .geometry import Color, Point, PointFactory, StreamItem, make_point, make_points
+from .guesses import AdaptiveGuessGrid, guess_grid
+from .metrics import (
+    CountingMetric,
+    Minkowski,
+    PrecomputedMetric,
+    angular,
+    chebyshev,
+    euclidean,
+    get_metric,
+    manhattan,
+    pairwise_distances,
+)
+from .oblivious import ObliviousFairSlidingWindow
+from .solution import ClusteringSolution, check_solution, evaluate_radius
+
+__all__ = [
+    "AdaptiveGuessGrid",
+    "ClusteringSolution",
+    "Color",
+    "CountingMetric",
+    "DEFAULT_ALPHA",
+    "DimensionFreeFairSlidingWindow",
+    "FairSlidingWindow",
+    "FairnessConstraint",
+    "Minkowski",
+    "ObliviousFairSlidingWindow",
+    "Point",
+    "PointFactory",
+    "PrecomputedMetric",
+    "SlidingWindowConfig",
+    "StreamItem",
+    "angular",
+    "chebyshev",
+    "check_solution",
+    "delta_from_epsilon",
+    "epsilon_from_delta",
+    "euclidean",
+    "evaluate_radius",
+    "get_metric",
+    "guess_grid",
+    "make_point",
+    "make_points",
+    "manhattan",
+    "pairwise_distances",
+]

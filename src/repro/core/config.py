@@ -1,0 +1,234 @@
+"""Configuration objects for the fair-center problem and its streaming solvers.
+
+Two dataclasses are defined here:
+
+* :class:`FairnessConstraint` -- the per-color cardinality bounds
+  ``k_1, ..., k_l`` (the partition-matroid constraint of the paper);
+* :class:`SlidingWindowConfig` -- every knob of the sliding-window algorithm
+  (window size, accuracy parameters ``delta`` and ``beta``, the aspect-ratio
+  bracket ``[dmin, dmax]`` and the sequential solver used at query time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from .geometry import Color, Point, StreamItem
+from .metrics import euclidean, get_metric
+
+
+@dataclass(frozen=True)
+class FairnessConstraint:
+    """Per-color cardinality bounds of the fair center problem.
+
+    ``capacities[c] = k_c`` is the maximum number of centers of color ``c``
+    allowed in any feasible solution.  The total budget is
+    ``k = sum(capacities.values())``.
+    """
+
+    capacities: Mapping[Color, int]
+
+    def __post_init__(self) -> None:
+        caps = dict(self.capacities)
+        if not caps:
+            raise ValueError("at least one color capacity is required")
+        for color, cap in caps.items():
+            if cap < 0:
+                raise ValueError(f"capacity of color {color!r} must be >= 0, got {cap}")
+        if all(cap == 0 for cap in caps.values()):
+            raise ValueError("at least one color must have positive capacity")
+        object.__setattr__(self, "capacities", caps)
+
+    @property
+    def k(self) -> int:
+        """Total number of centers ``k = sum_i k_i``."""
+        return sum(self.capacities.values())
+
+    @property
+    def colors(self) -> tuple[Color, ...]:
+        """Colors with a declared capacity (in insertion order)."""
+        return tuple(self.capacities.keys())
+
+    @property
+    def num_colors(self) -> int:
+        """Number of declared colors (the paper's ``l``)."""
+        return len(self.capacities)
+
+    def capacity(self, color: Color) -> int:
+        """Capacity of ``color`` (zero for colors without a declared bound)."""
+        return self.capacities.get(color, 0)
+
+    def is_feasible(self, points: list[Point] | list[StreamItem]) -> bool:
+        """Check whether a candidate center set respects every color bound."""
+        counts: dict[Color, int] = {}
+        for p in points:
+            counts[p.color] = counts.get(p.color, 0) + 1
+        return all(count <= self.capacity(color) for color, count in counts.items())
+
+    def violations(self, points: list[Point] | list[StreamItem]) -> dict[Color, int]:
+        """Per-color excess of a candidate solution (empty when feasible)."""
+        counts: dict[Color, int] = {}
+        for p in points:
+            counts[p.color] = counts.get(p.color, 0) + 1
+        return {
+            color: count - self.capacity(color)
+            for color, count in counts.items()
+            if count > self.capacity(color)
+        }
+
+    @staticmethod
+    def uniform(colors: list[Color], per_color: int) -> "FairnessConstraint":
+        """Constraint giving the same capacity to every color of ``colors``."""
+        return FairnessConstraint({color: per_color for color in colors})
+
+    @staticmethod
+    def proportional(
+        histogram: Mapping[Color, int], total: int
+    ) -> "FairnessConstraint":
+        """Capacities proportional to the color frequencies of ``histogram``.
+
+        This mirrors the experimental setup of the paper, where ``k_i`` is set
+        proportionally to the number of points of color ``i`` in the dataset
+        (with every present color receiving at least one slot, and the largest
+        colors absorbing the rounding slack).
+        """
+        if total <= 0:
+            raise ValueError("total number of centers must be positive")
+        colors = [c for c, count in histogram.items() if count > 0]
+        if not colors:
+            raise ValueError("histogram has no points")
+        if total < len(colors):
+            raise ValueError(
+                f"total={total} is smaller than the number of colors {len(colors)}"
+            )
+        population = sum(histogram[c] for c in colors)
+        raw = {c: max(1, int(total * histogram[c] / population)) for c in colors}
+        # Adjust rounding so that capacities add up exactly to ``total``:
+        # remove from / add to the most populous colors first.
+        ordered = sorted(colors, key=lambda c: -histogram[c])
+        excess = sum(raw.values()) - total
+        idx = 0
+        while excess > 0:
+            color = ordered[idx % len(ordered)]
+            if raw[color] > 1:
+                raw[color] -= 1
+                excess -= 1
+            idx += 1
+        idx = 0
+        while excess < 0:
+            color = ordered[idx % len(ordered)]
+            raw[color] += 1
+            excess += 1
+            idx += 1
+        return FairnessConstraint(raw)
+
+
+# Default approximation factor of the sequential solver A (Jones et al. is a
+# 3-approximation); used to derive delta from epsilon as in Theorem 1.
+DEFAULT_ALPHA = 3.0
+
+
+def delta_from_epsilon(epsilon: float, alpha: float = DEFAULT_ALPHA, beta: float = 2.0) -> float:
+    """Theorem 1 setting ``delta = epsilon / ((1 + beta) (1 + 2 alpha))``."""
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    return epsilon / ((1.0 + beta) * (1.0 + 2.0 * alpha))
+
+
+def epsilon_from_delta(delta: float, alpha: float = DEFAULT_ALPHA, beta: float = 2.0) -> float:
+    """Inverse of :func:`delta_from_epsilon` (accuracy implied by ``delta``)."""
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    return delta * (1.0 + beta) * (1.0 + 2.0 * alpha)
+
+
+@dataclass
+class SlidingWindowConfig:
+    """Parameters of the sliding-window fair-center algorithms.
+
+    Parameters
+    ----------
+    window_size:
+        Target window size ``n``: queries refer to the last ``n`` stream
+        points.
+    constraint:
+        The :class:`FairnessConstraint` (per-color capacities).
+    delta:
+        Coreset precision parameter δ of the paper (smaller = larger, more
+        accurate coresets).  ``delta = 4`` collapses the coreset to the
+        granularity of the validation points (Corollary 2 regime).
+    beta:
+        Geometric progression parameter of the guess grid Γ
+        (guesses are powers of ``1 + beta``).  The paper uses ``beta = 2``.
+    dmin, dmax:
+        Known bounds on the minimum / maximum pairwise distance of the
+        stream.  Required by the exact variant (``Ours``); the oblivious
+        variant estimates them on the fly and ignores these fields.
+    metric:
+        Distance oracle (name or callable); defaults to the Euclidean metric.
+    """
+
+    window_size: int
+    constraint: FairnessConstraint
+    delta: float = 0.5
+    beta: float = 2.0
+    dmin: float | None = None
+    dmax: float | None = None
+    metric: Callable[[Point | StreamItem, Point | StreamItem], float] = euclidean
+    metric_name: str = field(default="euclidean", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {self.window_size}")
+        if self.delta <= 0:
+            raise ValueError(f"delta must be positive, got {self.delta}")
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+        if isinstance(self.metric, str):
+            self.metric_name = self.metric
+            self.metric = get_metric(self.metric)
+        if self.dmin is not None and self.dmin <= 0:
+            raise ValueError(f"dmin must be positive when given, got {self.dmin}")
+        if self.dmax is not None and self.dmax <= 0:
+            raise ValueError(f"dmax must be positive when given, got {self.dmax}")
+        if (
+            self.dmin is not None
+            and self.dmax is not None
+            and self.dmin > self.dmax
+        ):
+            raise ValueError(
+                f"dmin={self.dmin} must not exceed dmax={self.dmax}"
+            )
+
+    @property
+    def k(self) -> int:
+        """Total number of centers."""
+        return self.constraint.k
+
+    @property
+    def epsilon(self) -> float:
+        """Accuracy parameter ε implied by ``delta`` via Theorem 1."""
+        return epsilon_from_delta(self.delta, beta=self.beta)
+
+    @property
+    def has_distance_bounds(self) -> bool:
+        """Whether both ``dmin`` and ``dmax`` are available."""
+        return self.dmin is not None and self.dmax is not None
+
+    def aspect_ratio(self) -> float:
+        """Aspect ratio Δ = dmax / dmin (requires both bounds)."""
+        if not self.has_distance_bounds:
+            raise ValueError("aspect ratio requires both dmin and dmax")
+        assert self.dmin is not None and self.dmax is not None
+        return self.dmax / self.dmin
+
+    def num_guesses(self) -> int:
+        """Number of guesses of the geometric grid Γ (requires bounds)."""
+        if not self.has_distance_bounds:
+            raise ValueError("the guess count requires both dmin and dmax")
+        assert self.dmin is not None and self.dmax is not None
+        lo = math.floor(math.log(self.dmin, 1.0 + self.beta))
+        hi = math.ceil(math.log(self.dmax, 1.0 + self.beta))
+        return hi - lo + 1

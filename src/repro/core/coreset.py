@@ -1,0 +1,258 @@
+"""Per-guess state of the sliding-window fair-center algorithm.
+
+For every radius guess γ of the grid Γ the algorithm maintains four families
+of active points (Section 3.1 of the paper):
+
+* ``AVγ`` — *v-attractors*: at most ``k + 1`` points (transiently ``k + 2``)
+  at pairwise distance greater than ``2 γ``; they certify whether γ is a
+  *valid* guess.
+* ``RVγ`` — *v-representatives*: for every v-attractor its most recent
+  attracted point, plus the "orphaned" representatives of already expired or
+  expunged v-attractors.
+* ``Aγ``  — *c-attractors*: points at pairwise distance greater than
+  ``δ γ / 2``; they define the granularity of the coreset.
+* ``Rγ``  — *c-representatives*: for every c-attractor, a maximal independent
+  set (at most ``k_i`` points per color ``i``, the most recent ones) of the
+  points it attracted, plus orphans of expired/expunged c-attractors.
+
+:class:`GuessState` encapsulates those sets together with the ``Update`` and
+``Cleanup`` logic of Algorithms 1 and 2.  All bookkeeping is keyed by arrival
+time, which uniquely identifies a stream item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .config import FairnessConstraint
+from .geometry import Color, StreamItem
+
+MetricFn = Callable[[StreamItem, StreamItem], float]
+
+
+@dataclass
+class GuessState:
+    """All data structures maintained for one radius guess γ.
+
+    Attributes of interest for the analysis-level invariants (checked in the
+    property-based tests):
+
+    * v-attractors are pairwise more than ``2 γ`` apart;
+    * ``|AVγ| <= k + 1`` after every update;
+    * c-attractors are pairwise more than ``δ γ / 2`` apart;
+    * each active c-attractor stores at most ``k_i`` representatives of each
+      color ``i``.
+    """
+
+    guess: float
+    delta: float
+    constraint: FairnessConstraint
+    metric: MetricFn
+
+    #: AVγ — v-attractors keyed by arrival time.
+    v_attractors: dict[int, StreamItem] = field(default_factory=dict)
+    #: RVγ — v-representatives keyed by arrival time.
+    v_representatives: dict[int, StreamItem] = field(default_factory=dict)
+    #: current representative (arrival time) of each active v-attractor.
+    v_rep_of: dict[int, int] = field(default_factory=dict)
+    #: Aγ — c-attractors keyed by arrival time.
+    c_attractors: dict[int, StreamItem] = field(default_factory=dict)
+    #: Rγ — c-representatives keyed by arrival time.
+    c_representatives: dict[int, StreamItem] = field(default_factory=dict)
+    #: per active c-attractor: color -> arrival times of its representatives.
+    c_reps_of: dict[int, dict[Color, list[int]]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ sizes
+
+    @property
+    def k(self) -> int:
+        """Total center budget ``k``."""
+        return self.constraint.k
+
+    @property
+    def is_valid(self) -> bool:
+        """A guess is *valid* when it has at most ``k`` v-attractors."""
+        return len(self.v_attractors) <= self.k
+
+    def memory_points(self) -> int:
+        """Number of stored entries across the four families."""
+        return (
+            len(self.v_attractors)
+            + len(self.v_representatives)
+            + len(self.c_attractors)
+            + len(self.c_representatives)
+        )
+
+    def stored_times(self) -> set[int]:
+        """Arrival times of the distinct points stored in this state."""
+        times: set[int] = set()
+        times.update(self.v_attractors)
+        times.update(self.v_representatives)
+        times.update(self.c_attractors)
+        times.update(self.c_representatives)
+        return times
+
+    # ------------------------------------------------------------- expiration
+
+    def remove_expired(self, now: int, window_size: int) -> None:
+        """Remove every stored point that has expired at time ``now``.
+
+        With consecutive arrival times exactly one point expires per step (the
+        ``x`` of Algorithm 1), but the method is robust to gaps in the time
+        stamps: everything with ``t <= now - window_size`` is dropped.
+        """
+        horizon = now - window_size
+        if horizon < 1:
+            return
+        for t in [t for t in self.stored_times() if t <= horizon]:
+            self.remove_time(t)
+
+    def remove_time(self, t: int) -> None:
+        """Remove the point that arrived at time ``t`` from every structure.
+
+        Called when that point expires (it is the ``x`` of Algorithm 1) or —
+        for the oblivious variant — when its guess is being rebuilt.
+        """
+        if t in self.v_attractors:
+            del self.v_attractors[t]
+            self.v_rep_of.pop(t, None)
+        self.v_representatives.pop(t, None)
+        if t in self.c_attractors:
+            del self.c_attractors[t]
+            self.c_reps_of.pop(t, None)
+        if t in self.c_representatives:
+            del self.c_representatives[t]
+            self._forget_representative(t)
+
+    def _forget_representative(self, t: int) -> None:
+        """Drop a representative's back-references from its (active) owner."""
+        for buckets in self.c_reps_of.values():
+            for color, times in buckets.items():
+                if t in times:
+                    times.remove(t)
+                    return
+
+    # ----------------------------------------------------------------- update
+
+    def update(self, item: StreamItem) -> None:
+        """Algorithm 1 (one guess): process the arrival of ``item``."""
+        self._update_validation(item)
+        self._update_coreset(item)
+
+    def _update_validation(self, item: StreamItem) -> None:
+        threshold = 2.0 * self.guess
+        attracting = [
+            v for v in self.v_attractors.values()
+            if self.metric(item, v) <= threshold
+        ]
+        if not attracting:
+            # ``item`` becomes a new v-attractor, representing itself.
+            self.v_attractors[item.t] = item
+            self.v_rep_of[item.t] = item.t
+            self.v_representatives[item.t] = item
+            self._cleanup()
+        else:
+            # ``item`` becomes the new representative of an arbitrary
+            # attractor within distance 2γ (the first found).
+            chosen = attracting[0]
+            previous = self.v_rep_of.get(chosen.t)
+            if previous is not None:
+                self.v_representatives.pop(previous, None)
+            self.v_rep_of[chosen.t] = item.t
+            self.v_representatives[item.t] = item
+
+    def _cleanup(self) -> None:
+        """Algorithm 2: bound ``AVγ`` and drop certifiably useless points."""
+        if len(self.v_attractors) == self.k + 2:
+            oldest = min(self.v_attractors)
+            del self.v_attractors[oldest]
+            self.v_rep_of.pop(oldest, None)
+        if len(self.v_attractors) == self.k + 1:
+            tmin = min(self.v_attractors)
+            self._drop_older_than(tmin)
+
+    def _drop_older_than(self, tmin: int) -> None:
+        """Remove every stored point strictly older than ``tmin`` (except AV)."""
+        for t in [t for t in self.c_attractors if t < tmin]:
+            del self.c_attractors[t]
+            self.c_reps_of.pop(t, None)
+        for t in [t for t in self.v_representatives if t < tmin]:
+            del self.v_representatives[t]
+        stale_reps = [t for t in self.c_representatives if t < tmin]
+        for t in stale_reps:
+            del self.c_representatives[t]
+        if stale_reps:
+            stale = set(stale_reps)
+            for buckets in self.c_reps_of.values():
+                for color in buckets:
+                    buckets[color] = [t for t in buckets[color] if t not in stale]
+        # Representatives of surviving v-attractors are never older than tmin
+        # (a representative arrives no earlier than its attractor), so
+        # ``v_rep_of`` needs no repair here.
+
+    def _update_coreset(self, item: StreamItem) -> None:
+        threshold = self.delta * self.guess / 2.0
+        color = item.color
+        capacity = self.constraint.capacity(color)
+
+        nearby = [
+            a for a in self.c_attractors.values()
+            if self.metric(item, a) <= threshold
+        ]
+        if not nearby:
+            # ``item`` becomes a new c-attractor attracting itself.
+            self.c_attractors[item.t] = item
+            self.c_reps_of[item.t] = {}
+            owner_time = item.t
+        else:
+            # Attach to the c-attractor with the fewest representatives of
+            # ``item``'s color (ties broken by arrival order).
+            owner_time = min(
+                (a.t for a in nearby),
+                key=lambda t: (len(self.c_reps_of[t].get(color, [])), t),
+            )
+
+        buckets = self.c_reps_of[owner_time]
+        times = buckets.setdefault(color, [])
+        times.append(item.t)
+        self.c_representatives[item.t] = item
+        if len(times) > capacity:
+            # Evict the oldest representative of this color for this owner
+            # (when the capacity is zero the new point itself is evicted,
+            # keeping the representative set an independent set).
+            oldest = min(times)
+            times.remove(oldest)
+            self.c_representatives.pop(oldest, None)
+
+    # ----------------------------------------------------------------- access
+
+    def validation_points(self) -> list[StreamItem]:
+        """The current RVγ (v-representatives, orphans included)."""
+        return list(self.v_representatives.values())
+
+    def coreset_points(self) -> list[StreamItem]:
+        """The current Rγ (c-representatives, orphans included)."""
+        return list(self.c_representatives.values())
+
+    def active_counts(self) -> dict[str, int]:
+        """Sizes of the four families (diagnostics and tests)."""
+        return {
+            "v_attractors": len(self.v_attractors),
+            "v_representatives": len(self.v_representatives),
+            "c_attractors": len(self.c_attractors),
+            "c_representatives": len(self.c_representatives),
+        }
+
+
+def total_memory(states: Iterable[GuessState]) -> int:
+    """Total number of stored entries across several guess states."""
+    return sum(state.memory_points() for state in states)
+
+
+def distinct_memory(states: Iterable[GuessState]) -> int:
+    """Number of distinct points stored across several guess states."""
+    times: set[int] = set()
+    for state in states:
+        times.update(state.stored_times())
+    return len(times)

@@ -1,0 +1,262 @@
+"""Dimension-independent variant of the sliding-window algorithm (Corollary 2).
+
+The space of the main algorithm grows as ``(c / eps) ** D`` with the doubling
+dimension ``D`` of the window.  Corollary 2 of the paper removes that
+dependency at the price of a weaker — but still constant — approximation
+factor: the coreset points are dropped entirely, and each v-attractor keeps,
+instead of a single representative, the most recent *maximal independent set*
+of the points it attracted (at most ``k_i`` per color).  A query runs the
+sequential solver on the union of those independent sets for the chosen
+guess, whose size is at most a factor ``k`` larger than the validation set.
+
+The resulting space is ``O(k^2 log Δ / eps)``, with update and query times to
+match, independent of the doubling dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..sequential.base import FairCenterSolver
+from ..sequential.jones import JonesFairCenter
+from .config import FairnessConstraint, SlidingWindowConfig
+from .geometry import Color, Point, StreamItem
+from .guesses import guess_grid
+from .metrics import distance_to_set
+from .solution import ClusteringSolution
+
+
+@dataclass
+class _IndependentSetState:
+    """Per-guess state of the dimension-free variant.
+
+    Mirrors the validation structures of the full algorithm
+    (:class:`~repro.core.coreset.GuessState`), but each v-attractor carries a
+    per-color set of recent representatives instead of a single one.
+    """
+
+    guess: float
+    constraint: FairnessConstraint
+    metric: object
+
+    attractors: dict[int, StreamItem] = field(default_factory=dict)
+    #: per attractor: color -> arrival times of its stored representatives.
+    reps_of: dict[int, dict[Color, list[int]]] = field(default_factory=dict)
+    #: every stored representative (orphans of removed attractors included).
+    representatives: dict[int, StreamItem] = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        return self.constraint.k
+
+    @property
+    def is_valid(self) -> bool:
+        return len(self.attractors) <= self.k
+
+    # -------------------------------------------------------------- expiry
+
+    def stored_times(self) -> set[int]:
+        times = set(self.attractors)
+        times.update(self.representatives)
+        return times
+
+    def remove_expired(self, now: int, window_size: int) -> None:
+        horizon = now - window_size
+        if horizon < 1:
+            return
+        for t in [t for t in self.stored_times() if t <= horizon]:
+            self.remove_time(t)
+
+    def remove_time(self, t: int) -> None:
+        if t in self.attractors:
+            del self.attractors[t]
+            self.reps_of.pop(t, None)
+        if t in self.representatives:
+            del self.representatives[t]
+            for buckets in self.reps_of.values():
+                for color, times in buckets.items():
+                    if t in times:
+                        times.remove(t)
+                        break
+
+    # -------------------------------------------------------------- update
+
+    def update(self, item: StreamItem) -> None:
+        threshold = 2.0 * self.guess
+        attracting = [
+            v for v in self.attractors.values()
+            if self.metric(item, v) <= threshold
+        ]
+        if not attracting:
+            self.attractors[item.t] = item
+            self.reps_of[item.t] = {}
+            owner = item.t
+            self._cleanup()
+            if owner not in self.attractors:
+                # The brand-new attractor was itself evicted by the cleanup
+                # (it can happen only transiently when |AV| reached k + 2 and
+                # the new point was the oldest, which is impossible since it
+                # is the newest); keep the code defensive anyway.
+                return
+        else:
+            owner_time = min(
+                (v.t for v in attracting),
+                key=lambda t: (len(self.reps_of[t].get(item.color, [])), t),
+            )
+            owner = owner_time
+        buckets = self.reps_of[owner]
+        times = buckets.setdefault(item.color, [])
+        times.append(item.t)
+        self.representatives[item.t] = item
+        capacity = self.constraint.capacity(item.color)
+        if len(times) > capacity:
+            oldest = min(times)
+            times.remove(oldest)
+            self.representatives.pop(oldest, None)
+
+    def _cleanup(self) -> None:
+        if len(self.attractors) == self.k + 2:
+            oldest = min(self.attractors)
+            del self.attractors[oldest]
+            self.reps_of.pop(oldest, None)
+        if len(self.attractors) == self.k + 1:
+            tmin = min(self.attractors)
+            for t in [t for t in self.representatives if t < tmin]:
+                del self.representatives[t]
+            for buckets in self.reps_of.values():
+                for color in buckets:
+                    buckets[color] = [t for t in buckets[color] if t >= tmin]
+
+    # -------------------------------------------------------------- access
+
+    def candidate_points(self) -> list[StreamItem]:
+        """Every stored representative (the query-time candidate set)."""
+        return list(self.representatives.values())
+
+    def memory_points(self) -> int:
+        return len(self.attractors) + len(self.representatives)
+
+
+class DimensionFreeFairSlidingWindow:
+    """Corollary 2: constant-factor fair center with dimension-free space."""
+
+    def __init__(
+        self,
+        config: SlidingWindowConfig,
+        solver: FairCenterSolver | None = None,
+    ) -> None:
+        if not config.has_distance_bounds:
+            raise ValueError(
+                "DimensionFreeFairSlidingWindow requires dmin and dmax in the "
+                "configuration"
+            )
+        self.config = config
+        self.solver = solver if solver is not None else JonesFairCenter()
+        self._now = 0
+        assert config.dmin is not None and config.dmax is not None
+        self._states = [
+            _IndependentSetState(
+                guess=guess, constraint=config.constraint, metric=config.metric
+            )
+            for guess in guess_grid(config.dmin, config.dmax, config.beta)
+        ]
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def now(self) -> int:
+        """Arrival time of the most recent processed point."""
+        return self._now
+
+    @property
+    def window_size(self) -> int:
+        """Target window size ``n``."""
+        return self.config.window_size
+
+    @property
+    def guesses(self) -> list[float]:
+        """The guess grid in increasing order."""
+        return [state.guess for state in self._states]
+
+    @property
+    def states(self) -> Sequence[_IndependentSetState]:
+        """Per-guess states (read-only view)."""
+        return tuple(self._states)
+
+    # ----------------------------------------------------------------- update
+
+    def insert(self, item: StreamItem | Point) -> StreamItem:
+        """Process the arrival of a new point."""
+        if isinstance(item, Point):
+            item = StreamItem(item, self._now + 1)
+        if item.t <= self._now:
+            raise ValueError(
+                f"arrival times must be strictly increasing: got {item.t} "
+                f"after {self._now}"
+            )
+        self._now = item.t
+        for state in self._states:
+            state.remove_expired(item.t, self.window_size)
+            state.update(item)
+        return item
+
+    def extend(self, items: Iterable[StreamItem | Point]) -> None:
+        """Insert every element of ``items`` in order."""
+        for item in items:
+            self.insert(item)
+
+    # ----------------------------------------------------------------- query
+
+    def query(self) -> ClusteringSolution:
+        """Extract a fair-center solution for the current window."""
+        if self._now == 0:
+            return ClusteringSolution(
+                centers=[], radius=0.0,
+                metadata={"algorithm": "ours_dimension_free", "empty": True},
+            )
+        k = self.config.k
+        for state in self._states:
+            if not state.is_valid:
+                continue
+            if not self._cover_fits(state, k):
+                continue
+            candidates = state.candidate_points()
+            solution = self.solver.solve(
+                candidates, self.config.constraint, self.config.metric
+            )
+            solution.guess = state.guess
+            solution.coreset_size = len(candidates)
+            solution.metadata.setdefault("algorithm", "ours_dimension_free")
+            return solution
+        return ClusteringSolution(
+            centers=[], radius=float("inf"),
+            metadata={"algorithm": "ours_dimension_free", "fallback": True},
+        )
+
+    def _cover_fits(self, state: _IndependentSetState, k: int) -> bool:
+        threshold = 2.0 * state.guess
+        cover: list[StreamItem] = []
+        for item in state.candidate_points():
+            if not cover or distance_to_set(item, cover, self.config.metric) > threshold:
+                cover.append(item)
+                if len(cover) > k:
+                    return False
+        return True
+
+    # ------------------------------------------------------------ diagnostics
+
+    def memory_points(self) -> int:
+        """Number of distinct points maintained in memory across every guess."""
+        times: set[int] = set()
+        for state in self._states:
+            times.update(state.stored_times())
+        return len(times)
+
+    def total_entries(self) -> int:
+        """Total stored entries (references) across every guess."""
+        return sum(state.memory_points() for state in self._states)
+
+    def valid_guesses(self) -> list[float]:
+        """Guesses currently certified as valid."""
+        return [state.guess for state in self._states if state.is_valid]

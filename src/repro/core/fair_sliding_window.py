@@ -1,0 +1,233 @@
+"""The sliding-window fair-center algorithm (the paper's ``Ours``).
+
+This module implements the main contribution of the paper: a streaming
+algorithm that, at any time ``t``, can return an ``(alpha + epsilon)``-
+approximate solution to fair center for the window of the last ``n`` stream
+points, while storing a number of points independent of ``n``.
+
+The algorithm maintains, for every radius guess γ of a geometric grid Γ
+spanning ``[dmin, dmax]``, a :class:`~repro.core.coreset.GuessState` holding
+validation points (to certify which guesses are valid) and coreset points
+(from which an accurate fair solution can be extracted).  A query selects the
+smallest guess whose validation points admit a small cover and runs a
+sequential fair-center solver ``A`` (by default the Jones et al. matching
+algorithm) on the corresponding coreset.
+
+Usage::
+
+    from repro import FairSlidingWindow, FairnessConstraint, SlidingWindowConfig
+    from repro.core.geometry import make_point
+
+    constraint = FairnessConstraint({"red": 2, "blue": 2})
+    config = SlidingWindowConfig(window_size=1000, constraint=constraint,
+                                 delta=1.0, beta=2.0, dmin=0.01, dmax=100.0)
+    algo = FairSlidingWindow(config)
+    for point in stream:
+        algo.insert(point)
+    solution = algo.query()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..sequential.base import FairCenterSolver
+from ..sequential.jones import JonesFairCenter
+from .config import SlidingWindowConfig
+from .coreset import GuessState, distinct_memory, total_memory
+from .geometry import Point, StreamItem
+from .metrics import distance_to_set
+from .solution import ClusteringSolution
+
+
+class FairSlidingWindow:
+    """Coreset-based sliding-window algorithm for fair center (``Ours``).
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.SlidingWindowConfig`; ``dmin`` and
+        ``dmax`` must be provided (this variant assumes knowledge of the
+        stream's distance range; see
+        :class:`~repro.core.oblivious.ObliviousFairSlidingWindow` for the
+        variant that estimates them).
+    solver:
+        The sequential fair-center algorithm ``A`` run on the coreset at query
+        time.  Defaults to :class:`~repro.sequential.jones.JonesFairCenter`.
+    """
+
+    def __init__(
+        self,
+        config: SlidingWindowConfig,
+        solver: FairCenterSolver | None = None,
+    ) -> None:
+        if not config.has_distance_bounds:
+            raise ValueError(
+                "FairSlidingWindow requires dmin and dmax in the configuration; "
+                "use ObliviousFairSlidingWindow when they are unknown"
+            )
+        self.config = config
+        self.solver = solver if solver is not None else JonesFairCenter()
+        self._now = 0
+        from .guesses import guess_grid
+
+        assert config.dmin is not None and config.dmax is not None
+        self._states: list[GuessState] = [
+            GuessState(
+                guess=guess,
+                delta=config.delta,
+                constraint=config.constraint,
+                metric=config.metric,
+            )
+            for guess in guess_grid(config.dmin, config.dmax, config.beta)
+        ]
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def now(self) -> int:
+        """Arrival time of the most recent processed point (0 initially)."""
+        return self._now
+
+    @property
+    def window_size(self) -> int:
+        """Target window size ``n``."""
+        return self.config.window_size
+
+    @property
+    def guesses(self) -> list[float]:
+        """The guess grid Γ in increasing order."""
+        return [state.guess for state in self._states]
+
+    @property
+    def states(self) -> Sequence[GuessState]:
+        """Per-guess states (read-only view used by tests and diagnostics)."""
+        return tuple(self._states)
+
+    # ----------------------------------------------------------------- update
+
+    def insert(self, item: StreamItem | Point) -> StreamItem:
+        """Process the arrival of a new point (Algorithm 1 for every guess).
+
+        Plain :class:`Point` objects are stamped with the next arrival time;
+        :class:`StreamItem` objects must carry strictly increasing times.
+        Returns the stored stream item.
+        """
+        item = self._stamp(item)
+        for state in self._states:
+            state.remove_expired(item.t, self.window_size)
+            state.update(item)
+        return item
+
+    def extend(self, items: Iterable[StreamItem | Point]) -> None:
+        """Insert every element of ``items`` in order."""
+        for item in items:
+            self.insert(item)
+
+    def _stamp(self, item: StreamItem | Point) -> StreamItem:
+        if isinstance(item, Point):
+            item = StreamItem(item, self._now + 1)
+        if item.t <= self._now:
+            raise ValueError(
+                f"arrival times must be strictly increasing: got {item.t} "
+                f"after {self._now}"
+            )
+        self._now = item.t
+        return item
+
+    # ----------------------------------------------------------------- query
+
+    def query(self) -> ClusteringSolution:
+        """Algorithm 3: extract a fair-center solution for the current window."""
+        if self._now == 0:
+            return ClusteringSolution(centers=[], radius=0.0,
+                                      metadata={"algorithm": "ours", "empty": True})
+        k = self.config.k
+        for state in self._states:
+            if not state.is_valid:
+                continue
+            if not self._validation_cover_fits(state, k):
+                continue
+            return self._solve_on_coreset(state)
+        return self._fallback_solution()
+
+    def _validation_cover_fits(self, state: GuessState, k: int) -> bool:
+        """Greedy check that RVγ admits a k-point cover of radius 2γ."""
+        threshold = 2.0 * state.guess
+        cover: list[StreamItem] = []
+        for item in state.validation_points():
+            if not cover or distance_to_set(item, cover, self.config.metric) > threshold:
+                cover.append(item)
+                if len(cover) > k:
+                    return False
+        return True
+
+    def _solve_on_coreset(self, state: GuessState) -> ClusteringSolution:
+        coreset = state.coreset_points()
+        solution = self.solver.solve(coreset, self.config.constraint, self.config.metric)
+        solution.guess = state.guess
+        solution.coreset_size = len(coreset)
+        solution.metadata.setdefault("algorithm", "ours")
+        solution.metadata["valid_guess"] = state.guess
+        return solution
+
+    def _fallback_solution(self) -> ClusteringSolution:
+        """Last-resort answer when no guess passes the validation check.
+
+        With a guess grid genuinely covering ``[dmin, dmax]`` this cannot
+        happen (the largest guess always validates); it can only be reached
+        when the configured bounds do not actually bracket the stream's
+        distances.  The largest guess's coreset is used and the situation is
+        flagged in the metadata so callers / tests can detect it.
+        """
+        for state in reversed(self._states):
+            coreset = state.coreset_points()
+            if coreset:
+                solution = self.solver.solve(
+                    coreset, self.config.constraint, self.config.metric
+                )
+                solution.guess = state.guess
+                solution.coreset_size = len(coreset)
+                solution.metadata["algorithm"] = "ours"
+                solution.metadata["fallback"] = True
+                return solution
+        return ClusteringSolution(centers=[], radius=float("inf"),
+                                  metadata={"algorithm": "ours", "fallback": True})
+
+    # ------------------------------------------------------------ diagnostics
+
+    def memory_points(self) -> int:
+        """Number of distinct points maintained in memory (paper's metric).
+
+        A stream point may be referenced by several guesses and several
+        families (attractor, representative); it is nevertheless stored once.
+        Use :meth:`total_entries` for the aggregate number of references.
+        """
+        return distinct_memory(self._states)
+
+    def total_entries(self) -> int:
+        """Total number of stored references across every guess and family."""
+        return total_memory(self._states)
+
+    def valid_guesses(self) -> list[float]:
+        """Guesses currently certified as valid (``|AVγ| <= k``)."""
+        return [state.guess for state in self._states if state.is_valid]
+
+    def state_for_guess(self, guess: float) -> GuessState:
+        """The :class:`GuessState` of a specific guess value (for tests)."""
+        for state in self._states:
+            if abs(state.guess - guess) <= 1e-12 * max(1.0, abs(guess)):
+                return state
+        raise KeyError(f"no state for guess {guess}")
+
+    def summary(self) -> dict:
+        """Compact diagnostic snapshot (sizes per guess)."""
+        return {
+            "now": self._now,
+            "window_size": self.window_size,
+            "num_guesses": len(self._states),
+            "memory_points": self.memory_points(),
+            "per_guess": {
+                state.guess: state.active_counts() for state in self._states
+            },
+        }

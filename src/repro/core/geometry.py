@@ -1,0 +1,204 @@
+"""Points, colored points and stream items.
+
+The whole library manipulates three closely related objects:
+
+* :class:`Point` -- an immutable vector in ``R^d`` together with a *color*
+  (the protected attribute used by the fairness constraint).  Points are
+  hashable value objects, so they can be freely used as dictionary keys and
+  set members.
+* :class:`StreamItem` -- a point together with its arrival time in a stream.
+  Arrival times are what the sliding-window algorithms use to decide
+  expiration (Time-To-Live).
+* plain numpy matrices -- the sequential baselines work on the stacked
+  coordinates of a whole window for vectorised distance computations;
+  :func:`stack_coordinates` performs the conversion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+Color = int | str
+"""Type alias for the protected attribute attached to each point."""
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable colored point of a metric space.
+
+    Parameters
+    ----------
+    coords:
+        Coordinates of the point.  Stored as a tuple of floats so that the
+        object is hashable; use :func:`stack_coordinates` to obtain a numpy
+        matrix for vectorised computations.
+    color:
+        The protected attribute (category) of the point.  Any hashable value
+        is accepted; integers and short strings are typical.
+    """
+
+    coords: tuple[float, ...]
+    color: Color = 0
+
+    def __post_init__(self) -> None:
+        # Normalise the coordinates to a tuple of Python floats so that
+        # equality and hashing behave predictably regardless of the numeric
+        # types supplied by the caller (ints, numpy scalars, ...).
+        object.__setattr__(self, "coords", tuple(float(c) for c in self.coords))
+
+    @property
+    def dimension(self) -> int:
+        """Number of coordinates of the point."""
+        return len(self.coords)
+
+    def as_array(self) -> np.ndarray:
+        """Return the coordinates as a 1-d numpy array (a fresh copy)."""
+        return np.asarray(self.coords, dtype=float)
+
+    def with_color(self, color: Color) -> "Point":
+        """Return a copy of the point carrying a different color."""
+        return Point(self.coords, color)
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.coords)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        coords = ", ".join(f"{c:.4g}" for c in self.coords)
+        return f"Point(({coords}), color={self.color!r})"
+
+
+@dataclass(frozen=True)
+class StreamItem:
+    """A point annotated with its arrival time.
+
+    The arrival time ``t`` is a strictly increasing integer assigned by the
+    stream (the first point of a stream has ``t == 1`` by convention,
+    mirroring the paper).  Two stream items are identified by their arrival
+    time: a stream never delivers two points at the same time step.
+    """
+
+    point: Point
+    t: int
+
+    @property
+    def color(self) -> Color:
+        """Color of the underlying point."""
+        return self.point.color
+
+    @property
+    def coords(self) -> tuple[float, ...]:
+        """Coordinates of the underlying point."""
+        return self.point.coords
+
+    def ttl(self, now: int, window_size: int) -> int:
+        """Time-To-Live of the item at time ``now`` for a window of ``window_size``.
+
+        Following the paper, ``TTL(p) = max(0, n - (now - t(p)))``: the number
+        of remaining steps during which the point belongs to the window.
+        """
+        return max(0, window_size - (now - self.t))
+
+    def is_active(self, now: int, window_size: int) -> bool:
+        """Whether the item still belongs to the window at time ``now``."""
+        return self.ttl(now, window_size) > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamItem(t={self.t}, {self.point!r})"
+
+
+def make_point(coords: Sequence[float] | np.ndarray, color: Color = 0) -> Point:
+    """Convenience constructor accepting any sequence of numbers."""
+    if isinstance(coords, np.ndarray):
+        coords = coords.tolist()
+    return Point(tuple(coords), color)
+
+
+def make_points(
+    rows: Iterable[Sequence[float]], colors: Iterable[Color] | None = None
+) -> list[Point]:
+    """Build a list of points from coordinate rows and (optionally) colors.
+
+    If ``colors`` is omitted every point receives color ``0``.
+    """
+    rows = list(rows)
+    if colors is None:
+        return [make_point(row) for row in rows]
+    colors = list(colors)
+    if len(colors) != len(rows):
+        raise ValueError(
+            f"got {len(rows)} coordinate rows but {len(colors)} colors"
+        )
+    return [make_point(row, color) for row, color in zip(rows, colors)]
+
+
+def stack_coordinates(points: Sequence[Point | StreamItem]) -> np.ndarray:
+    """Stack the coordinates of ``points`` into an ``(n, d)`` float matrix.
+
+    Accepts both :class:`Point` and :class:`StreamItem` instances.  An empty
+    sequence yields an empty ``(0, 0)`` matrix.
+    """
+    if not points:
+        return np.empty((0, 0), dtype=float)
+    rows = [p.coords for p in points]
+    return np.asarray(rows, dtype=float)
+
+
+def colors_of(points: Sequence[Point | StreamItem]) -> list[Color]:
+    """Return the list of colors of ``points`` (in order)."""
+    return [p.color for p in points]
+
+
+def color_histogram(points: Iterable[Point | StreamItem]) -> dict[Color, int]:
+    """Count how many points of each color appear in ``points``."""
+    histogram: dict[Color, int] = {}
+    for p in points:
+        histogram[p.color] = histogram.get(p.color, 0) + 1
+    return histogram
+
+
+def bounding_box(points: Sequence[Point | StreamItem]) -> tuple[np.ndarray, np.ndarray]:
+    """Return the (min, max) corners of the axis-aligned bounding box."""
+    if not points:
+        raise ValueError("bounding_box requires at least one point")
+    matrix = stack_coordinates(points)
+    return matrix.min(axis=0), matrix.max(axis=0)
+
+
+def euclidean_coords(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two raw coordinate sequences."""
+    return math.dist(a, b)
+
+
+@dataclass
+class PointFactory:
+    """Factory assigning consecutive arrival times to points.
+
+    Useful in tests and examples to turn plain points into stream items
+    without going through a full :class:`~repro.streaming.stream.Stream`.
+    """
+
+    next_time: int = 1
+    _items: list[StreamItem] = field(default_factory=list)
+
+    def emit(self, point: Point) -> StreamItem:
+        """Wrap ``point`` into a :class:`StreamItem` with the next time stamp."""
+        item = StreamItem(point, self.next_time)
+        self.next_time += 1
+        self._items.append(item)
+        return item
+
+    def emit_all(self, points: Iterable[Point]) -> list[StreamItem]:
+        """Emit every point of ``points`` in order."""
+        return [self.emit(p) for p in points]
+
+    @property
+    def items(self) -> list[StreamItem]:
+        """All items emitted so far (in arrival order)."""
+        return list(self._items)

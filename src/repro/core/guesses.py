@@ -1,0 +1,117 @@
+"""The geometric grid of radius guesses Γ.
+
+The sliding-window algorithm maintains one set of data structures per *guess*
+of the optimal radius.  Guesses form a geometric progression
+``(1 + beta)^i`` spanning ``[dmin, dmax]`` (the paper's Γ).  This module
+provides:
+
+* :func:`guess_grid` -- the static grid used by the distance-aware variant
+  (``Ours``), built once from known ``dmin``/``dmax``;
+* :class:`AdaptiveGuessGrid` -- the dynamic grid used by the oblivious variant
+  (``OursOblivious``): exponents are activated and retired as the estimates of
+  the current window's ``[dmin, dmax]`` evolve.
+
+Guesses are identified by their integer exponent ``i`` (value
+``(1 + beta) ** i``) so that floating-point drift never causes two slightly
+different grids to disagree about which guess is which.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+def guess_exponent_range(dmin: float, dmax: float, beta: float) -> tuple[int, int]:
+    """Inclusive exponent range ``[lo, hi]`` covering ``[dmin, dmax]``.
+
+    Following the paper, ``lo = floor(log_{1+beta} dmin)`` and
+    ``hi = ceil(log_{1+beta} dmax)``.
+    """
+    if dmin <= 0 or dmax <= 0:
+        raise ValueError("distance bounds must be positive")
+    if dmin > dmax:
+        raise ValueError(f"dmin={dmin} must not exceed dmax={dmax}")
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    base = 1.0 + beta
+    lo = math.floor(math.log(dmin) / math.log(base))
+    hi = math.ceil(math.log(dmax) / math.log(base))
+    return lo, hi
+
+
+def guess_value(exponent: int, beta: float) -> float:
+    """Value ``(1 + beta) ** exponent`` of the guess with the given exponent."""
+    return (1.0 + beta) ** exponent
+
+
+def guess_grid(dmin: float, dmax: float, beta: float) -> list[float]:
+    """The full static grid Γ as a sorted list of guess values."""
+    lo, hi = guess_exponent_range(dmin, dmax, beta)
+    return [guess_value(i, beta) for i in range(lo, hi + 1)]
+
+
+def exponent_for(value: float, beta: float, *, round_up: bool) -> int:
+    """Exponent of the grid guess nearest to ``value`` from above or below."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    base = 1.0 + beta
+    raw = math.log(value) / math.log(base)
+    return math.ceil(raw) if round_up else math.floor(raw)
+
+
+@dataclass
+class AdaptiveGuessGrid:
+    """A guess grid whose active exponent range follows running estimates.
+
+    The oblivious algorithm keeps per-guess state only for exponents inside
+    ``[floor(log d̂min), ceil(log d̂max)]`` for the *current* window.  When the
+    estimates move, previously active exponents may be retired (their state is
+    dropped by the caller) and new exponents activated lazily.
+    """
+
+    beta: float
+    lo: int | None = None
+    hi: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no estimate has been installed yet."""
+        return self.lo is None or self.hi is None
+
+    def update_bounds(self, dmin_estimate: float, dmax_estimate: float) -> None:
+        """Re-derive the active exponent range from fresh estimates."""
+        if dmin_estimate <= 0 or dmax_estimate <= 0:
+            raise ValueError("estimates must be positive")
+        dmin_estimate = min(dmin_estimate, dmax_estimate)
+        lo, hi = guess_exponent_range(dmin_estimate, dmax_estimate, self.beta)
+        self.lo, self.hi = lo, hi
+
+    def exponents(self) -> Iterator[int]:
+        """Iterate over the currently active exponents in increasing order."""
+        if self.is_empty:
+            return iter(())
+        assert self.lo is not None and self.hi is not None
+        return iter(range(self.lo, self.hi + 1))
+
+    def values(self) -> list[float]:
+        """Active guess values in increasing order."""
+        return [guess_value(i, self.beta) for i in self.exponents()]
+
+    def contains(self, exponent: int) -> bool:
+        """Whether ``exponent`` is inside the active range."""
+        if self.is_empty:
+            return False
+        assert self.lo is not None and self.hi is not None
+        return self.lo <= exponent <= self.hi
+
+    def __len__(self) -> int:
+        if self.is_empty:
+            return 0
+        assert self.lo is not None and self.hi is not None
+        return self.hi - self.lo + 1

@@ -1,0 +1,278 @@
+"""Distance functions (metrics) used throughout the library.
+
+All algorithms in this package are written for *general metric spaces*: they
+only access the data through a distance oracle ``d(p, q)``.  This module
+provides:
+
+* a :class:`Metric` protocol (any callable taking two :class:`~repro.core.geometry.Point`
+  objects and returning a non-negative float);
+* the standard vector metrics (Euclidean, Manhattan, Chebyshev, Minkowski,
+  angular/cosine);
+* :class:`PrecomputedMetric` for arbitrary finite metric spaces given by a
+  distance matrix (used in tests to exercise genuinely non-Euclidean inputs);
+* :class:`CountingMetric`, a wrapper counting distance evaluations, used by
+  the evaluation harness to report oracle complexity;
+* pairwise-distance helpers (:func:`pairwise_distances`,
+  :func:`distances_to_set`, :func:`min_max_pairwise_distance`) with a
+  vectorised fast path for the Euclidean metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from .geometry import Point, StreamItem, stack_coordinates
+
+PointLike = Point | StreamItem
+
+
+@runtime_checkable
+class Metric(Protocol):
+    """A distance oracle over points.
+
+    Implementations must satisfy the metric axioms (non-negativity, identity
+    of indiscernibles, symmetry and the triangle inequality); the algorithms'
+    approximation guarantees rely on them.
+    """
+
+    def __call__(self, a: PointLike, b: PointLike) -> float:  # pragma: no cover
+        ...
+
+
+def _coords(p: PointLike) -> tuple[float, ...]:
+    return p.coords
+
+
+def euclidean(a: PointLike, b: PointLike) -> float:
+    """Euclidean (L2) distance."""
+    return math.dist(_coords(a), _coords(b))
+
+
+def manhattan(a: PointLike, b: PointLike) -> float:
+    """Manhattan (L1) distance."""
+    ca, cb = _coords(a), _coords(b)
+    return float(sum(abs(x - y) for x, y in zip(ca, cb)))
+
+
+def chebyshev(a: PointLike, b: PointLike) -> float:
+    """Chebyshev (L-infinity) distance."""
+    ca, cb = _coords(a), _coords(b)
+    return float(max((abs(x - y) for x, y in zip(ca, cb)), default=0.0))
+
+
+@dataclass(frozen=True)
+class Minkowski:
+    """Minkowski (Lp) distance for a fixed exponent ``p >= 1``."""
+
+    p: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError(f"Minkowski exponent must be >= 1, got {self.p}")
+
+    def __call__(self, a: PointLike, b: PointLike) -> float:
+        ca, cb = _coords(a), _coords(b)
+        total = sum(abs(x - y) ** self.p for x, y in zip(ca, cb))
+        return float(total ** (1.0 / self.p))
+
+
+def angular(a: PointLike, b: PointLike) -> float:
+    """Angular distance (the angle between the two vectors, in radians).
+
+    Unlike raw cosine *dissimilarity*, the angle is a proper metric on the
+    unit sphere.  Zero vectors are treated as identical to themselves and at
+    distance ``pi/2`` from everything else.
+    """
+    va = np.asarray(_coords(a), dtype=float)
+    vb = np.asarray(_coords(b), dtype=float)
+    na = float(np.linalg.norm(va))
+    nb = float(np.linalg.norm(vb))
+    if na == 0.0 and nb == 0.0:
+        return 0.0
+    if na == 0.0 or nb == 0.0:
+        return math.pi / 2.0
+    cosine = float(np.dot(va, vb) / (na * nb))
+    cosine = min(1.0, max(-1.0, cosine))
+    return math.acos(cosine)
+
+
+@dataclass
+class PrecomputedMetric:
+    """A finite metric space given explicitly by a distance matrix.
+
+    Points are expected to carry a single coordinate equal to their index in
+    the matrix.  This is the most general way to exercise the algorithms on
+    arbitrary metric spaces (e.g. shortest-path metrics of graphs).
+    """
+
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("distance matrix must be square")
+        if not np.allclose(matrix, matrix.T):
+            raise ValueError("distance matrix must be symmetric")
+        if np.any(matrix < 0):
+            raise ValueError("distances must be non-negative")
+        if np.any(np.diag(matrix) != 0):
+            raise ValueError("self-distances must be zero")
+        self.matrix = matrix
+
+    @property
+    def size(self) -> int:
+        """Number of points of the finite metric space."""
+        return self.matrix.shape[0]
+
+    def point(self, index: int, color: int | str = 0) -> Point:
+        """Build the :class:`Point` handle for the ``index``-th element."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range for {self.size} points")
+        return Point((float(index),), color)
+
+    def __call__(self, a: PointLike, b: PointLike) -> float:
+        ia, ib = int(_coords(a)[0]), int(_coords(b)[0])
+        return float(self.matrix[ia, ib])
+
+
+@dataclass
+class CountingMetric:
+    """Wrap a metric and count how many times it is evaluated."""
+
+    base: Callable[[PointLike, PointLike], float]
+    calls: int = field(default=0)
+
+    def __call__(self, a: PointLike, b: PointLike) -> float:
+        self.calls += 1
+        return self.base(a, b)
+
+    def reset(self) -> None:
+        """Reset the call counter to zero."""
+        self.calls = 0
+
+
+_NAMED_METRICS: dict[str, Callable[[PointLike, PointLike], float]] = {
+    "euclidean": euclidean,
+    "l2": euclidean,
+    "manhattan": manhattan,
+    "l1": manhattan,
+    "chebyshev": chebyshev,
+    "linf": chebyshev,
+    "angular": angular,
+    "cosine": angular,
+}
+
+
+def get_metric(name_or_metric: str | Callable[[PointLike, PointLike], float]) -> Callable:
+    """Resolve a metric by name, or pass a callable through unchanged."""
+    if callable(name_or_metric):
+        return name_or_metric
+    try:
+        return _NAMED_METRICS[name_or_metric.lower()]
+    except KeyError:
+        known = ", ".join(sorted(set(_NAMED_METRICS)))
+        raise ValueError(
+            f"unknown metric {name_or_metric!r}; known metrics: {known}"
+        ) from None
+
+
+def pairwise_distances(
+    points: Sequence[PointLike],
+    metric: Callable[[PointLike, PointLike], float] = euclidean,
+) -> np.ndarray:
+    """Full ``(n, n)`` distance matrix of ``points`` under ``metric``.
+
+    When the metric is the plain Euclidean distance a vectorised numpy path is
+    used; otherwise the oracle is called for every pair.
+    """
+    n = len(points)
+    if n == 0:
+        return np.empty((0, 0), dtype=float)
+    if metric is euclidean:
+        # Row-by-row differences rather than the Gram-matrix identity: the
+        # latter suffers catastrophic cancellation for nearly coincident
+        # points, and exact small distances matter to the radius-guessing
+        # solvers built on top of this matrix.
+        coords = stack_coordinates(points)
+        matrix = np.empty((n, n), dtype=float)
+        for i in range(n):
+            matrix[i] = np.linalg.norm(coords - coords[i], axis=1)
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+    matrix = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = metric(points[i], points[j])
+            matrix[i, j] = d
+            matrix[j, i] = d
+    return matrix
+
+
+def distances_to_set(
+    point: PointLike,
+    targets: Sequence[PointLike],
+    metric: Callable[[PointLike, PointLike], float] = euclidean,
+) -> np.ndarray:
+    """Distances from ``point`` to every point of ``targets``."""
+    if not targets:
+        return np.empty(0, dtype=float)
+    if metric is euclidean:
+        coords = stack_coordinates(targets)
+        p = np.asarray(point.coords, dtype=float)
+        return np.linalg.norm(coords - p[None, :], axis=1)
+    return np.asarray([metric(point, q) for q in targets], dtype=float)
+
+
+def distance_to_set(
+    point: PointLike,
+    targets: Sequence[PointLike],
+    metric: Callable[[PointLike, PointLike], float] = euclidean,
+) -> float:
+    """Minimum distance from ``point`` to the set ``targets``.
+
+    Returns ``inf`` when the target set is empty, mirroring the convention
+    ``d(x, {}) = +inf`` used in the paper's pseudocode.
+    """
+    if not targets:
+        return math.inf
+    return float(distances_to_set(point, targets, metric).min())
+
+
+def min_max_pairwise_distance(
+    points: Sequence[PointLike],
+    metric: Callable[[PointLike, PointLike], float] = euclidean,
+) -> tuple[float, float]:
+    """Minimum (non-zero pairs included as-is) and maximum pairwise distance.
+
+    Raises ``ValueError`` when fewer than two points are supplied, since the
+    quantities are undefined in that case.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points to compute pairwise distances")
+    matrix = pairwise_distances(points, metric)
+    upper = matrix[np.triu_indices(len(points), k=1)]
+    return float(upper.min()), float(upper.max())
+
+
+def aspect_ratio(
+    points: Sequence[PointLike],
+    metric: Callable[[PointLike, PointLike], float] = euclidean,
+) -> float:
+    """Aspect ratio Δ = d_max / d_min of a point set.
+
+    Pairs at distance zero (duplicate points) are ignored when computing the
+    minimum; if all pairs coincide the aspect ratio is defined as 1.
+    """
+    if len(points) < 2:
+        return 1.0
+    matrix = pairwise_distances(points, metric)
+    upper = matrix[np.triu_indices(len(points), k=1)]
+    dmax = float(upper.max())
+    positive = upper[upper > 0]
+    if dmax == 0.0 or positive.size == 0:
+        return 1.0
+    return dmax / float(positive.min())

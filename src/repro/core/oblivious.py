@@ -1,0 +1,217 @@
+"""Aspect-ratio-oblivious variant of the sliding-window algorithm.
+
+``Ours`` (:class:`~repro.core.fair_sliding_window.FairSlidingWindow`) assumes
+that the minimum and maximum pairwise distances of the stream are known in
+advance, so that the guess grid Γ can be built once.  In practice the aspect
+ratio is rarely known; the paper's ``OursOblivious`` removes the assumption by
+maintaining running estimates of ``d_min`` and ``d_max`` *for the current
+window* (using the sliding-window diameter-estimation techniques of [8]) and
+by keeping per-guess state only for the guesses inside the estimated range.
+
+Besides removing an unrealistic assumption, the adaptive range makes the
+algorithm cheaper: guesses far outside the window's distance scale are never
+materialised, which is why the paper observes ``OursOblivious`` to use
+slightly less memory and time than ``Ours``.
+
+Implementation notes
+--------------------
+* Guesses are identified by their integer exponent in the geometric grid
+  (``γ = (1 + β) ** exponent``), so that the active window of exponents can
+  slide without floating-point mismatches.
+* When the estimated range moves, exponents that fall outside it are retired
+  (their state is dropped) and new exponents are created lazily.  A freshly
+  created guess has not observed the older points of the current window; this
+  is the same transient behaviour as in [8] and is harmless because a guess
+  only becomes relevant once the window's distance scale has genuinely moved
+  into its range.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..sequential.base import FairCenterSolver
+from ..sequential.jones import JonesFairCenter
+from ..streaming.diameter import AspectRatioEstimator
+from .config import SlidingWindowConfig
+from .coreset import GuessState, distinct_memory, total_memory
+from .geometry import Point, StreamItem
+from .guesses import AdaptiveGuessGrid, guess_value
+from .metrics import distance_to_set
+from .solution import ClusteringSolution
+
+
+class ObliviousFairSlidingWindow:
+    """Sliding-window fair center without prior knowledge of ``dmin``/``dmax``."""
+
+    def __init__(
+        self,
+        config: SlidingWindowConfig,
+        solver: FairCenterSolver | None = None,
+        *,
+        estimator: AspectRatioEstimator | None = None,
+    ) -> None:
+        self.config = config
+        self.solver = solver if solver is not None else JonesFairCenter()
+        self.estimator = estimator if estimator is not None else AspectRatioEstimator(
+            config.window_size, config.metric
+        )
+        self._grid = AdaptiveGuessGrid(beta=config.beta)
+        self._states: dict[int, GuessState] = {}
+        self._now = 0
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def now(self) -> int:
+        """Arrival time of the most recent processed point (0 initially)."""
+        return self._now
+
+    @property
+    def window_size(self) -> int:
+        """Target window size ``n``."""
+        return self.config.window_size
+
+    @property
+    def guesses(self) -> list[float]:
+        """Currently active guess values, in increasing order."""
+        return [guess_value(e, self.config.beta) for e in sorted(self._states)]
+
+    @property
+    def states(self) -> Sequence[GuessState]:
+        """Per-guess states in increasing guess order (read-only view)."""
+        return tuple(self._states[e] for e in sorted(self._states))
+
+    # ----------------------------------------------------------------- update
+
+    def insert(self, item: StreamItem | Point) -> StreamItem:
+        """Process a new arrival: refresh the estimates, then run Update."""
+        item = self._stamp(item)
+        self.estimator.insert(item)
+        self._refresh_active_guesses()
+        for state in self._states.values():
+            state.remove_expired(item.t, self.window_size)
+            state.update(item)
+        return item
+
+    def extend(self, items: Iterable[StreamItem | Point]) -> None:
+        """Insert every element of ``items`` in order."""
+        for item in items:
+            self.insert(item)
+
+    def _stamp(self, item: StreamItem | Point) -> StreamItem:
+        if isinstance(item, Point):
+            item = StreamItem(item, self._now + 1)
+        if item.t <= self._now:
+            raise ValueError(
+                f"arrival times must be strictly increasing: got {item.t} "
+                f"after {self._now}"
+            )
+        self._now = item.t
+        return item
+
+    def _refresh_active_guesses(self) -> None:
+        dmin = self.estimator.dmin_estimate()
+        dmax = self.estimator.dmax_estimate()
+        if dmin is None or dmax is None:
+            return
+        self._grid.update_bounds(dmin, dmax)
+        active = set(self._grid.exponents())
+        # Retire the guesses that left the estimated range...
+        for exponent in [e for e in self._states if e not in active]:
+            del self._states[exponent]
+        # ... and create the ones that entered it.
+        for exponent in active:
+            if exponent not in self._states:
+                self._states[exponent] = GuessState(
+                    guess=guess_value(exponent, self.config.beta),
+                    delta=self.config.delta,
+                    constraint=self.config.constraint,
+                    metric=self.config.metric,
+                )
+
+    # ----------------------------------------------------------------- query
+
+    def query(self) -> ClusteringSolution:
+        """Extract a fair-center solution for the current window."""
+        if self._now == 0 or not self._states:
+            return ClusteringSolution(
+                centers=[], radius=0.0,
+                metadata={"algorithm": "ours_oblivious", "empty": True},
+            )
+        k = self.config.k
+        ordered = [self._states[e] for e in sorted(self._states)]
+        for state in ordered:
+            if not state.is_valid:
+                continue
+            if not self._validation_cover_fits(state, k):
+                continue
+            return self._solve_on_coreset(state)
+        return self._fallback_solution(ordered)
+
+    def _validation_cover_fits(self, state: GuessState, k: int) -> bool:
+        threshold = 2.0 * state.guess
+        cover: list[StreamItem] = []
+        for item in state.validation_points():
+            if not cover or distance_to_set(item, cover, self.config.metric) > threshold:
+                cover.append(item)
+                if len(cover) > k:
+                    return False
+        return True
+
+    def _solve_on_coreset(self, state: GuessState) -> ClusteringSolution:
+        coreset = state.coreset_points()
+        solution = self.solver.solve(coreset, self.config.constraint, self.config.metric)
+        solution.guess = state.guess
+        solution.coreset_size = len(coreset)
+        solution.metadata.setdefault("algorithm", "ours_oblivious")
+        solution.metadata["valid_guess"] = state.guess
+        solution.metadata["dmin_estimate"] = self.estimator.dmin_estimate()
+        solution.metadata["dmax_estimate"] = self.estimator.dmax_estimate()
+        return solution
+
+    def _fallback_solution(self, ordered: list[GuessState]) -> ClusteringSolution:
+        for state in reversed(ordered):
+            coreset = state.coreset_points()
+            if coreset:
+                solution = self.solver.solve(
+                    coreset, self.config.constraint, self.config.metric
+                )
+                solution.guess = state.guess
+                solution.coreset_size = len(coreset)
+                solution.metadata["algorithm"] = "ours_oblivious"
+                solution.metadata["fallback"] = True
+                return solution
+        return ClusteringSolution(
+            centers=[], radius=float("inf"),
+            metadata={"algorithm": "ours_oblivious", "fallback": True},
+        )
+
+    # ------------------------------------------------------------ diagnostics
+
+    def memory_points(self) -> int:
+        """Distinct points maintained in memory, estimator sketch included."""
+        return distinct_memory(self._states.values()) + self.estimator.memory_points()
+
+    def total_entries(self) -> int:
+        """Total number of stored references across every active guess."""
+        return total_memory(self._states.values()) + self.estimator.memory_points()
+
+    def valid_guesses(self) -> list[float]:
+        """Active guesses currently certified as valid."""
+        return [
+            guess_value(e, self.config.beta)
+            for e in sorted(self._states)
+            if self._states[e].is_valid
+        ]
+
+    def summary(self) -> dict:
+        """Compact diagnostic snapshot."""
+        return {
+            "now": self._now,
+            "window_size": self.window_size,
+            "num_guesses": len(self._states),
+            "memory_points": self.memory_points(),
+            "dmin_estimate": self.estimator.dmin_estimate(),
+            "dmax_estimate": self.estimator.dmax_estimate(),
+        }

@@ -1,0 +1,145 @@
+"""Clustering solutions: centers, radii, assignments and fairness checks.
+
+Every solver of the library (sequential baselines and streaming algorithms)
+returns a :class:`ClusteringSolution`, so that downstream code — the
+evaluation harness, the examples and the tests — can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .config import FairnessConstraint
+from .geometry import Color, Point, StreamItem, color_histogram
+from .metrics import distance_to_set, distances_to_set, euclidean
+
+PointLike = Point | StreamItem
+
+
+def _as_point(p: PointLike) -> Point:
+    return p.point if isinstance(p, StreamItem) else p
+
+
+@dataclass
+class ClusteringSolution:
+    """A set of centers together with bookkeeping metadata.
+
+    Attributes
+    ----------
+    centers:
+        The selected centers (points of the input, colors preserved).
+    radius:
+        Radius of the solution with respect to the point set the solver was
+        run on (the coreset for the streaming algorithms).  Use
+        :meth:`radius_on` to re-evaluate the radius on a different set, e.g.
+        the full window.
+    guess:
+        For coreset-based solutions, the radius guess γ̂ selected by the query
+        procedure (``None`` for sequential solvers).
+    coreset_size:
+        Number of points the sequential solver was actually run on.
+    metadata:
+        Free-form dictionary for solver-specific diagnostics.
+    """
+
+    centers: list[Point]
+    radius: float = float("nan")
+    guess: float | None = None
+    coreset_size: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.centers = [_as_point(c) for c in self.centers]
+
+    @property
+    def k(self) -> int:
+        """Number of centers in the solution."""
+        return len(self.centers)
+
+    def color_counts(self) -> dict[Color, int]:
+        """Number of centers of each color."""
+        return color_histogram(self.centers)
+
+    def is_fair(self, constraint: FairnessConstraint) -> bool:
+        """Whether the solution respects every per-color capacity."""
+        return constraint.is_feasible(self.centers)
+
+    def radius_on(
+        self,
+        points: Sequence[PointLike],
+        metric: Callable[[PointLike, PointLike], float] = euclidean,
+    ) -> float:
+        """Clustering radius of these centers over an arbitrary point set."""
+        return evaluate_radius(self.centers, points, metric)
+
+    def assign(
+        self,
+        points: Sequence[PointLike],
+        metric: Callable[[PointLike, PointLike], float] = euclidean,
+    ) -> list[int]:
+        """Index of the closest center for each point of ``points``."""
+        if not self.centers:
+            raise ValueError("cannot assign points to an empty center set")
+        assignment: list[int] = []
+        for p in points:
+            dists = distances_to_set(p, self.centers, metric)
+            assignment.append(int(dists.argmin()))
+        return assignment
+
+    def clusters(
+        self,
+        points: Sequence[PointLike],
+        metric: Callable[[PointLike, PointLike], float] = euclidean,
+    ) -> list[list[PointLike]]:
+        """Partition ``points`` into one cluster per center."""
+        groups: list[list[PointLike]] = [[] for _ in self.centers]
+        for p, idx in zip(points, self.assign(points, metric)):
+            groups[idx].append(p)
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusteringSolution(k={self.k}, radius={self.radius:.4g}, "
+            f"colors={self.color_counts()})"
+        )
+
+
+def evaluate_radius(
+    centers: Sequence[PointLike],
+    points: Sequence[PointLike],
+    metric: Callable[[PointLike, PointLike], float] = euclidean,
+) -> float:
+    """Maximum distance of any point of ``points`` from its closest center.
+
+    Returns 0 for an empty point set and ``inf`` when the center set is empty
+    but points are present.
+    """
+    if not points:
+        return 0.0
+    if not centers:
+        return float("inf")
+    return max(distance_to_set(p, list(centers), metric) for p in points)
+
+
+def check_solution(
+    solution: ClusteringSolution,
+    points: Sequence[PointLike],
+    constraint: FairnessConstraint,
+    metric: Callable[[PointLike, PointLike], float] = euclidean,
+) -> dict:
+    """Validate a solution against a point set and a fairness constraint.
+
+    Returns a report dictionary with the measured radius, the per-color
+    counts, and boolean flags; raises nothing so callers can decide how to
+    react to infeasibility.
+    """
+    radius = evaluate_radius(solution.centers, points, metric)
+    counts = solution.color_counts()
+    return {
+        "radius": radius,
+        "color_counts": counts,
+        "is_fair": solution.is_fair(constraint),
+        "within_budget": solution.k <= constraint.k,
+        "violations": constraint.violations(solution.centers),
+    }

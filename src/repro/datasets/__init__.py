@@ -1,0 +1,35 @@
+"""Datasets: synthetic generators, UCI surrogates, loaders and the registry."""
+
+from .loaders import (
+    load_covtype,
+    load_csv_points,
+    load_higgs,
+    load_phones,
+    load_points_csv,
+    save_points_csv,
+)
+from .registry import PAPER_DATASETS, DatasetSpec, available_datasets, get_spec, load_dataset
+from .surrogates import covtype_surrogate, higgs_surrogate, phones_surrogate
+from .synthetic import blobs, drifting_mixture, rotated, two_scale_clusters, uniform_hypercube
+
+__all__ = [
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "available_datasets",
+    "blobs",
+    "covtype_surrogate",
+    "drifting_mixture",
+    "get_spec",
+    "higgs_surrogate",
+    "load_covtype",
+    "load_csv_points",
+    "load_dataset",
+    "load_higgs",
+    "load_phones",
+    "load_points_csv",
+    "phones_surrogate",
+    "rotated",
+    "save_points_csv",
+    "two_scale_clusters",
+    "uniform_hypercube",
+]

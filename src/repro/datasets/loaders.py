@@ -1,0 +1,175 @@
+"""Loaders for the real UCI datasets used by the paper.
+
+The paper evaluates on PHONES, HIGGS and COVTYPE from the UCI repository.
+When the user has downloaded the raw files, these loaders turn them into the
+colored point streams consumed by the rest of the library.  The functions are
+deliberately tolerant about minor format variations (delimiter, header row)
+because the UCI distributions of these datasets differ in small ways.
+
+Expected layouts
+----------------
+* ``load_phones``: CSV with columns ``..., x, y, z, ..., label`` — the three
+  coordinate columns and the label column are configurable by index.
+* ``load_higgs``: CSV whose first column is the label (1.0 = signal) followed
+  by the feature columns; by default the first 7 low-level features are kept,
+  matching the paper's setup.
+* ``load_covtype``: the classic ``covtype.data`` layout — 54 feature columns
+  followed by the cover-type label (1..7).
+* ``load_csv_points``: generic loader for "coordinates + color column" files.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from ..core.geometry import Point
+
+
+def _open_rows(path: str | Path, delimiter: str | None) -> Iterator[list[str]]:
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"dataset file not found: {path}")
+    with path.open("r", newline="") as handle:
+        sample = handle.read(4096)
+        handle.seek(0)
+        if delimiter is None:
+            try:
+                dialect = csv.Sniffer().sniff(sample, delimiters=",;\t ")
+                delimiter = dialect.delimiter
+            except csv.Error:
+                delimiter = ","
+        reader = csv.reader(handle, delimiter=delimiter)
+        for row in reader:
+            if row:
+                yield [cell.strip() for cell in row if cell.strip() != ""]
+
+
+def _is_number(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def load_csv_points(
+    path: str | Path,
+    *,
+    coordinate_columns: Sequence[int],
+    color_column: int,
+    delimiter: str | None = None,
+    max_points: int | None = None,
+    skip_header: bool = False,
+) -> list[Point]:
+    """Generic loader: selected numeric columns as coordinates, one as color."""
+    points: list[Point] = []
+    rows = _open_rows(path, delimiter)
+    for index, row in enumerate(rows):
+        if index == 0 and (skip_header or not all(
+            _is_number(row[c]) for c in coordinate_columns if c < len(row)
+        )):
+            continue
+        needed = max(list(coordinate_columns) + [color_column])
+        if len(row) <= needed:
+            continue
+        try:
+            coords = tuple(float(row[c]) for c in coordinate_columns)
+        except ValueError:
+            continue
+        color = row[color_column]
+        points.append(Point(coords, color))
+        if max_points is not None and len(points) >= max_points:
+            break
+    return points
+
+
+def load_phones(
+    path: str | Path,
+    *,
+    coordinate_columns: Sequence[int] = (3, 4, 5),
+    color_column: int = 9,
+    max_points: int | None = None,
+) -> list[Point]:
+    """Load the UCI *Heterogeneity Activity Recognition* (PHONES) dataset.
+
+    The default column indices match the ``Phones_accelerometer.csv`` file
+    (x, y, z readings and the ground-truth activity label ``gt``).
+    """
+    return load_csv_points(
+        path,
+        coordinate_columns=coordinate_columns,
+        color_column=color_column,
+        max_points=max_points,
+        skip_header=True,
+    )
+
+
+def load_higgs(
+    path: str | Path,
+    *,
+    num_features: int = 7,
+    max_points: int | None = None,
+) -> list[Point]:
+    """Load the UCI HIGGS dataset (label column first, then features)."""
+    points: list[Point] = []
+    for row in _open_rows(path, ","):
+        if len(row) < num_features + 1 or not _is_number(row[0]):
+            continue
+        label = "signal" if float(row[0]) >= 0.5 else "background"
+        coords = tuple(float(cell) for cell in row[1 : num_features + 1])
+        points.append(Point(coords, label))
+        if max_points is not None and len(points) >= max_points:
+            break
+    return points
+
+
+def load_covtype(
+    path: str | Path,
+    *,
+    max_points: int | None = None,
+) -> list[Point]:
+    """Load the UCI Covertype dataset (54 features, trailing label 1..7)."""
+    points: list[Point] = []
+    for row in _open_rows(path, ","):
+        if len(row) < 55 or not _is_number(row[-1]):
+            continue
+        coords = tuple(float(cell) for cell in row[:54])
+        label = int(float(row[-1]))
+        points.append(Point(coords, label))
+        if max_points is not None and len(points) >= max_points:
+            break
+    return points
+
+
+def save_points_csv(points: Iterable[Point], path: str | Path) -> None:
+    """Write points to a CSV file (coordinates followed by the color column).
+
+    Useful for caching generated surrogate streams so that repeated benchmark
+    runs see identical data.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for point in points:
+            writer.writerow(list(point.coords) + [point.color])
+
+
+def load_points_csv(path: str | Path, *, max_points: int | None = None) -> list[Point]:
+    """Read back a file produced by :func:`save_points_csv`."""
+    points: list[Point] = []
+    for row in _open_rows(path, ","):
+        if len(row) < 2:
+            continue
+        *coords, color = row
+        if not all(_is_number(c) for c in coords):
+            continue
+        parsed_color: str | int = color
+        if _is_number(color) and float(color) == int(float(color)):
+            parsed_color = int(float(color))
+        points.append(Point(tuple(float(c) for c in coords), parsed_color))
+        if max_points is not None and len(points) >= max_points:
+            break
+    return points

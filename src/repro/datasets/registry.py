@@ -1,0 +1,148 @@
+"""Dataset registry: one place mapping dataset names to generators/loaders.
+
+The experiment drivers and the CLI refer to datasets by name
+(``"phones"``, ``"higgs"``, ``"covtype"``, ``"blobs-5d"``, ...).  The registry
+resolves a name to a concrete list of points, either from a surrogate
+generator (default) or from a real file when a path is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..core.geometry import Point
+from . import loaders, surrogates, synthetic
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of a named dataset."""
+
+    name: str
+    description: str
+    num_colors: int
+    dimension: int
+    generator: Callable[[int, int], list[Point]]
+    """Callable ``(num_points, seed) -> points`` producing the surrogate."""
+    loader: Callable[[str | Path, int | None], list[Point]] | None = None
+    """Optional loader for the real file (``(path, max_points) -> points``)."""
+
+
+def _blob_spec(dim: int) -> DatasetSpec:
+    return DatasetSpec(
+        name=f"blobs-{dim}d",
+        description=f"Mixture of 21 Gaussians in {dim} dimensions (7 colors)",
+        num_colors=7,
+        dimension=dim,
+        generator=lambda n, seed: synthetic.blobs(n, dim, seed=seed),
+    )
+
+
+def _rotated_spec(ambient_dim: int) -> DatasetSpec:
+    def generate(n: int, seed: int) -> list[Point]:
+        base = surrogates.phones_surrogate(n, seed=seed)
+        return synthetic.rotated(base, ambient_dim, seed=seed)
+
+    return DatasetSpec(
+        name=f"rotated-{ambient_dim}d",
+        description=(
+            f"PHONES-like 3-d stream embedded in {ambient_dim} ambient dimensions "
+            "via zero padding and a random rotation"
+        ),
+        num_colors=surrogates.PHONES_NUM_COLORS,
+        dimension=ambient_dim,
+        generator=generate,
+    )
+
+
+def _build_registry() -> dict[str, DatasetSpec]:
+    registry: dict[str, DatasetSpec] = {
+        "phones": DatasetSpec(
+            name="phones",
+            description="Smartphone accelerometer surrogate (3-d, 7 activities)",
+            num_colors=surrogates.PHONES_NUM_COLORS,
+            dimension=3,
+            generator=lambda n, seed: surrogates.phones_surrogate(n, seed=seed),
+            loader=lambda path, m: loaders.load_phones(path, max_points=m),
+        ),
+        "higgs": DatasetSpec(
+            name="higgs",
+            description="HIGGS surrogate (7-d, signal/background)",
+            num_colors=surrogates.HIGGS_NUM_COLORS,
+            dimension=7,
+            generator=lambda n, seed: surrogates.higgs_surrogate(n, seed=seed),
+            loader=lambda path, m: loaders.load_higgs(path, max_points=m),
+        ),
+        "covtype": DatasetSpec(
+            name="covtype",
+            description="Covertype surrogate (54-d, 7 cover types)",
+            num_colors=surrogates.COVTYPE_NUM_COLORS,
+            dimension=54,
+            generator=lambda n, seed: surrogates.covtype_surrogate(n, seed=seed),
+            loader=lambda path, m: loaders.load_covtype(path, max_points=m),
+        ),
+        "drift": DatasetSpec(
+            name="drift",
+            description="Slowly drifting Gaussian mixture (concept drift demo)",
+            num_colors=3,
+            dimension=2,
+            generator=lambda n, seed: synthetic.drifting_mixture(n, 2, seed=seed),
+        ),
+        "two-scale": DatasetSpec(
+            name="two-scale",
+            description="Two far-apart clusters with disjoint colors",
+            num_colors=2,
+            dimension=2,
+            generator=lambda n, seed: synthetic.two_scale_clusters(n, seed=seed),
+        ),
+    }
+    for dim in range(2, 11):
+        spec = _blob_spec(dim)
+        registry[spec.name] = spec
+    for ambient in (3, 6, 9, 12, 15):
+        spec = _rotated_spec(ambient)
+        registry[spec.name] = spec
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+#: The three datasets mirroring the paper's real-world workloads.
+PAPER_DATASETS = ("phones", "higgs", "covtype")
+
+
+def available_datasets() -> list[str]:
+    """Names of every registered dataset."""
+    return sorted(_REGISTRY)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Resolve a dataset name to its :class:`DatasetSpec`."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_datasets())
+        raise ValueError(f"unknown dataset {name!r}; known datasets: {known}") from None
+
+
+def load_dataset(
+    name: str,
+    num_points: int,
+    *,
+    seed: int = 0,
+    path: str | Path | None = None,
+) -> list[Point]:
+    """Materialise ``num_points`` points of the named dataset.
+
+    When ``path`` is given and the dataset has a real-file loader, the real
+    data is used (truncated to ``num_points``); otherwise the surrogate
+    generator produces the stream.
+    """
+    spec = get_spec(name)
+    if path is not None:
+        if spec.loader is None:
+            raise ValueError(f"dataset {name!r} has no file loader")
+        return spec.loader(path, num_points)
+    return spec.generator(num_points, seed)

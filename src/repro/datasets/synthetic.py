@@ -1,0 +1,181 @@
+"""Synthetic dataset generators used in the paper's Section 4.3.
+
+Two generator families reproduce the synthetic workloads of the paper:
+
+* :func:`blobs` — a mixture of ``num_clusters`` multivariate Gaussians in
+  ``dim`` dimensions (the paper uses 21 Gaussians with ``sigma = 2``, colors
+  drawn uniformly among 7).  Used to study how performance depends on the
+  dimensionality of the data.
+* :func:`rotated` — points with a low intrinsic dimension embedded in a higher
+  ambient dimension through zero-padding followed by a random rigid rotation.
+  Used to verify that the algorithm's cost depends on the *doubling* dimension
+  rather than on the raw number of coordinates.
+
+Additional generators (:func:`uniform_hypercube`, :func:`drifting_mixture`)
+are used by the tests and examples to exercise concept drift, the scenario
+motivating the sliding-window model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.geometry import Color, Point, make_points
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _assign_colors(
+    num_points: int, num_colors: int, rng: np.random.Generator
+) -> list[Color]:
+    # Even color distribution, as in the paper's blobs experiments.
+    return [int(c) for c in rng.integers(0, num_colors, size=num_points)]
+
+
+def blobs(
+    num_points: int,
+    dim: int,
+    *,
+    num_clusters: int = 21,
+    sigma: float = 2.0,
+    num_colors: int = 7,
+    spread: float = 100.0,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Point]:
+    """Mixture of isotropic Gaussians with uniformly random colors.
+
+    Parameters mirror the paper: 21 clusters, covariance ``sigma^2 * I`` with
+    ``sigma = 2`` and 7 colors by default.  Cluster centers are drawn
+    uniformly in ``[0, spread]^dim``.
+    """
+    if num_points <= 0:
+        raise ValueError("num_points must be positive")
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    rng = _rng(seed)
+    centers = rng.uniform(0.0, spread, size=(num_clusters, dim))
+    assignments = rng.integers(0, num_clusters, size=num_points)
+    noise = rng.normal(0.0, sigma, size=(num_points, dim))
+    coords = centers[assignments] + noise
+    colors = _assign_colors(num_points, num_colors, rng)
+    return make_points(coords.tolist(), colors)
+
+
+def random_rotation(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random rotation matrix (via QR decomposition)."""
+    gaussian = rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(gaussian)
+    # Fix the signs so the distribution is Haar-uniform and det(q) = +1.
+    q *= np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q
+
+
+def rotated(
+    base_points: Sequence[Point],
+    ambient_dim: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Point]:
+    """Embed low-dimensional points in ``ambient_dim`` dimensions and rotate.
+
+    The intrinsic (doubling) dimension of the output equals that of the input:
+    the embedding appends zero coordinates and applies a rigid rotation, both
+    of which preserve pairwise distances exactly.
+    """
+    if not base_points:
+        return []
+    base_dim = base_points[0].dimension
+    if ambient_dim < base_dim:
+        raise ValueError(
+            f"ambient_dim={ambient_dim} must be at least the base dimension {base_dim}"
+        )
+    rng = _rng(seed)
+    coords = np.asarray([p.coords for p in base_points], dtype=float)
+    padded = np.zeros((coords.shape[0], ambient_dim), dtype=float)
+    padded[:, :base_dim] = coords
+    rotation = random_rotation(ambient_dim, rng)
+    rotated_coords = padded @ rotation.T
+    colors = [p.color for p in base_points]
+    return make_points(rotated_coords.tolist(), colors)
+
+
+def uniform_hypercube(
+    num_points: int,
+    dim: int,
+    *,
+    num_colors: int = 2,
+    side: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Point]:
+    """Points drawn uniformly at random from ``[0, side]^dim``."""
+    rng = _rng(seed)
+    coords = rng.uniform(0.0, side, size=(num_points, dim))
+    colors = _assign_colors(num_points, num_colors, rng)
+    return make_points(coords.tolist(), colors)
+
+
+def drifting_mixture(
+    num_points: int,
+    dim: int,
+    *,
+    num_colors: int = 3,
+    drift_per_step: float = 0.01,
+    sigma: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Point]:
+    """A stream whose cluster centers slowly drift over time.
+
+    This is the concept-drift scenario motivating sliding windows: the
+    distribution at the end of the stream differs substantially from the one
+    at the beginning, so any summary of the whole prefix misrepresents the
+    current window.
+    """
+    rng = _rng(seed)
+    num_clusters = max(2, num_colors)
+    centers = rng.uniform(0.0, 10.0, size=(num_clusters, dim))
+    drift = rng.normal(0.0, 1.0, size=(num_clusters, dim))
+    drift /= np.linalg.norm(drift, axis=1, keepdims=True)
+    points: list[Point] = []
+    for step in range(num_points):
+        cluster = int(rng.integers(0, num_clusters))
+        position = (
+            centers[cluster]
+            + drift[cluster] * drift_per_step * step
+            + rng.normal(0.0, sigma, size=dim)
+        )
+        color = int(rng.integers(0, num_colors))
+        points.append(Point(tuple(float(x) for x in position), color))
+    return points
+
+
+def two_scale_clusters(
+    num_points: int,
+    *,
+    separation: float = 100.0,
+    jitter: float = 1.0,
+    num_colors: int = 2,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Point]:
+    """Two well-separated 2-d clusters — a worst case for unfair summaries.
+
+    All points of one cluster carry color 0 and all points of the other carry
+    color 1 (when ``num_colors >= 2``), so a fair solution must pick centers
+    from both clusters whenever both colors have capacity.
+    """
+    rng = _rng(seed)
+    points: list[Point] = []
+    for i in range(num_points):
+        cluster = i % 2
+        base = np.array([0.0, 0.0]) if cluster == 0 else np.array([separation, 0.0])
+        position = base + rng.normal(0.0, jitter, size=2)
+        color = cluster % num_colors
+        points.append(Point(tuple(float(x) for x in position), color))
+    return points

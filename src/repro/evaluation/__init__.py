@@ -1,0 +1,18 @@
+"""Evaluation harness: per-query metrics, the experiment runner and reporting."""
+
+from .metrics import AlgorithmSummary, QueryRecord, attach_reference_radii, summarize
+from .reporting import format_table, markdown_table, rows_to_csv
+from .runner import Contender, ExperimentResult, run_experiment
+
+__all__ = [
+    "AlgorithmSummary",
+    "Contender",
+    "ExperimentResult",
+    "QueryRecord",
+    "attach_reference_radii",
+    "format_table",
+    "markdown_table",
+    "rows_to_csv",
+    "run_experiment",
+    "summarize",
+]

@@ -1,0 +1,145 @@
+"""Performance indicators collected by the evaluation harness.
+
+The paper reports four indicators (Section 4, "Performance metrics"):
+
+* number of points maintained in memory;
+* running time of the ``Update`` procedure;
+* running time of the ``Query`` procedure;
+* approximation ratio — the obtained radius divided by the best radius ever
+  found by the sequential baselines (ChenEtAl or Jones) on all the points of
+  the window.
+
+:class:`QueryRecord` stores one measurement (one query of one algorithm on
+one window); :class:`AlgorithmSummary` aggregates the records of an algorithm
+over the queried windows, which is what the figures plot (the paper averages
+over 200 consecutive windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Iterable
+
+
+@dataclass
+class QueryRecord:
+    """Measurements for a single query of a single algorithm."""
+
+    algorithm: str
+    time_step: int
+    radius: float
+    """Radius of the returned solution measured on the *exact* window."""
+    memory_points: int
+    update_time_ms: float
+    """Average per-arrival update time since the previous query."""
+    query_time_ms: float
+    coreset_size: int | None = None
+    is_fair: bool = True
+    approximation_ratio: float | None = None
+    """Filled in after the fact, once the reference radius of the window is known."""
+
+    def with_reference(self, reference_radius: float) -> "QueryRecord":
+        """Return a copy with the approximation ratio computed."""
+        if reference_radius <= 0:
+            ratio = 1.0 if self.radius <= 0 else float("inf")
+        else:
+            ratio = self.radius / reference_radius
+        return QueryRecord(
+            algorithm=self.algorithm,
+            time_step=self.time_step,
+            radius=self.radius,
+            memory_points=self.memory_points,
+            update_time_ms=self.update_time_ms,
+            query_time_ms=self.query_time_ms,
+            coreset_size=self.coreset_size,
+            is_fair=self.is_fair,
+            approximation_ratio=ratio,
+        )
+
+
+@dataclass
+class AlgorithmSummary:
+    """Aggregate of every :class:`QueryRecord` of one algorithm."""
+
+    algorithm: str
+    num_queries: int
+    mean_radius: float
+    mean_approximation_ratio: float | None
+    mean_memory_points: float
+    mean_update_time_ms: float
+    mean_query_time_ms: float
+    mean_coreset_size: float | None
+    always_fair: bool
+    extras: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        """Flatten into a plain dictionary (one row of a results table)."""
+        row = {
+            "algorithm": self.algorithm,
+            "queries": self.num_queries,
+            "radius": self.mean_radius,
+            "approx_ratio": self.mean_approximation_ratio,
+            "memory_points": self.mean_memory_points,
+            "update_ms": self.mean_update_time_ms,
+            "query_ms": self.mean_query_time_ms,
+            "coreset_size": self.mean_coreset_size,
+            "always_fair": self.always_fair,
+        }
+        row.update(self.extras)
+        return row
+
+
+def summarize(records: Iterable[QueryRecord]) -> AlgorithmSummary:
+    """Aggregate the records of a single algorithm."""
+    records = list(records)
+    if not records:
+        raise ValueError("cannot summarise an empty record list")
+    algorithms = {r.algorithm for r in records}
+    if len(algorithms) != 1:
+        raise ValueError(f"records mix several algorithms: {sorted(algorithms)}")
+    ratios = [r.approximation_ratio for r in records if r.approximation_ratio is not None]
+    coresets = [r.coreset_size for r in records if r.coreset_size is not None]
+    return AlgorithmSummary(
+        algorithm=records[0].algorithm,
+        num_queries=len(records),
+        mean_radius=mean(r.radius for r in records),
+        mean_approximation_ratio=mean(ratios) if ratios else None,
+        mean_memory_points=mean(r.memory_points for r in records),
+        mean_update_time_ms=mean(r.update_time_ms for r in records),
+        mean_query_time_ms=mean(r.query_time_ms for r in records),
+        mean_coreset_size=mean(coresets) if coresets else None,
+        always_fair=all(r.is_fair for r in records),
+    )
+
+
+def attach_reference_radii(
+    records_by_algorithm: dict[str, list[QueryRecord]],
+    reference_algorithms: Iterable[str],
+) -> dict[str, list[QueryRecord]]:
+    """Compute approximation ratios against per-window reference radii.
+
+    The reference radius of a window (time step) is the smallest radius found
+    by any of ``reference_algorithms`` at that time step — exactly the
+    denominator used in the paper.  Algorithms queried at time steps where no
+    reference is available keep ``approximation_ratio = None``.
+    """
+    reference_algorithms = set(reference_algorithms)
+    reference_by_time: dict[int, float] = {}
+    for name, records in records_by_algorithm.items():
+        if name not in reference_algorithms:
+            continue
+        for record in records:
+            current = reference_by_time.get(record.time_step)
+            if current is None or record.radius < current:
+                reference_by_time[record.time_step] = record.radius
+    result: dict[str, list[QueryRecord]] = {}
+    for name, records in records_by_algorithm.items():
+        updated = []
+        for record in records:
+            reference = reference_by_time.get(record.time_step)
+            updated.append(
+                record.with_reference(reference) if reference is not None else record
+            )
+        result[name] = updated
+    return result

@@ -1,0 +1,96 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints, for every figure of the paper, a table whose
+rows correspond to the series plotted in that figure (one row per algorithm
+and parameter value).  Keeping the output textual makes the reproduction easy
+to diff against EXPERIMENTS.md and avoids a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def _format_value(value: object, precision: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:.1f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_value(row.get(c), precision) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), max((len(line[i]) for line in body), default=0))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Iterable[dict], path: str | Path | None = None) -> str:
+    """Serialise rows to CSV; optionally write them to ``path``."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return text
+
+
+def markdown_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |"]
+    lines.append("|" + "|".join(["---"] * len(columns)) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_value(row.get(c)) for c in columns) + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Experiment runner: drive algorithms over a stream and measure them.
+
+The runner feeds the same stream to a set of *contenders* (streaming
+algorithms and windowed sequential baselines exposed through the common
+``insert`` / ``query`` / ``memory_points`` interface), issues queries at a
+configurable schedule, evaluates every returned solution on the *exact*
+current window, and produces :class:`~repro.evaluation.metrics.QueryRecord`
+objects ready for aggregation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol, Sequence
+
+from ..core.config import FairnessConstraint
+from ..core.geometry import Point, StreamItem
+from ..core.metrics import euclidean
+from ..core.solution import ClusteringSolution, evaluate_radius
+from ..streaming.stream import QuerySchedule
+from ..streaming.window import ExactSlidingWindow
+from .metrics import QueryRecord, attach_reference_radii, summarize
+
+MetricFn = Callable[[Point | StreamItem, Point | StreamItem], float]
+
+
+class StreamingContender(Protocol):
+    """Interface every evaluated algorithm must expose."""
+
+    def insert(self, item: StreamItem | Point) -> object:  # pragma: no cover
+        ...
+
+    def query(self) -> ClusteringSolution:  # pragma: no cover
+        ...
+
+    def memory_points(self) -> int:  # pragma: no cover
+        ...
+
+
+@dataclass
+class Contender:
+    """A named algorithm instance participating in an experiment."""
+
+    name: str
+    algorithm: StreamingContender
+    #: whether this contender's radii define the reference for the
+    #: approximation ratio (the paper uses the sequential baselines).
+    is_reference: bool = False
+
+
+@dataclass
+class ExperimentResult:
+    """Raw per-query records plus convenience aggregation helpers."""
+
+    records: dict[str, list[QueryRecord]] = field(default_factory=dict)
+
+    def summaries(self) -> dict[str, dict]:
+        """One aggregated row per algorithm."""
+        return {
+            name: summarize(records).as_row()
+            for name, records in self.records.items()
+            if records
+        }
+
+    def rows(self) -> list[dict]:
+        """Aggregated rows as a list (stable order by algorithm name)."""
+        summaries = self.summaries()
+        return [summaries[name] for name in sorted(summaries)]
+
+
+def run_experiment(
+    points: Sequence[Point],
+    contenders: Sequence[Contender],
+    *,
+    window_size: int,
+    constraint: FairnessConstraint,
+    metric: MetricFn = euclidean,
+    query_schedule: QuerySchedule | Iterable[int] | None = None,
+    num_queries: int = 20,
+) -> ExperimentResult:
+    """Stream ``points`` through every contender and measure the queries.
+
+    Parameters
+    ----------
+    points:
+        The full stream (arrival order = list order; times are 1-based).
+    contenders:
+        The algorithms to compare.  Each is driven independently over the
+        same stream so that per-algorithm timings are not interleaved.
+    window_size:
+        Size of the sliding window (used to evaluate radii on the exact
+        window and to build the default query schedule).
+    constraint:
+        Fairness constraint, used to check feasibility of returned solutions.
+    query_schedule:
+        Time steps at which queries are issued; defaults to ``num_queries``
+        evenly spaced steps once the window is full.
+    """
+    points = list(points)
+    if query_schedule is None:
+        query_schedule = QuerySchedule.evenly_spaced(
+            len(points), window_size, num_queries
+        )
+    query_times = sorted(set(int(t) for t in query_schedule))
+
+    records: dict[str, list[QueryRecord]] = {c.name: [] for c in contenders}
+    for contender in contenders:
+        records[contender.name] = _run_single(
+            points,
+            contender,
+            window_size=window_size,
+            constraint=constraint,
+            metric=metric,
+            query_times=query_times,
+        )
+
+    reference_names = [c.name for c in contenders if c.is_reference]
+    if reference_names:
+        records = attach_reference_radii(records, reference_names)
+    return ExperimentResult(records=records)
+
+
+def _run_single(
+    points: Sequence[Point],
+    contender: Contender,
+    *,
+    window_size: int,
+    constraint: FairnessConstraint,
+    metric: MetricFn,
+    query_times: Sequence[int],
+) -> list[QueryRecord]:
+    window = ExactSlidingWindow(window_size)
+    algorithm = contender.algorithm
+    pending_queries = list(query_times)
+    results: list[QueryRecord] = []
+
+    update_elapsed = 0.0
+    updates_since_query = 0
+
+    for index, point in enumerate(points):
+        t = index + 1
+        item = StreamItem(point, t)
+        window.insert(item)
+
+        start = time.perf_counter()
+        algorithm.insert(item)
+        update_elapsed += time.perf_counter() - start
+        updates_since_query += 1
+
+        if pending_queries and t == pending_queries[0]:
+            pending_queries.pop(0)
+            start = time.perf_counter()
+            solution = algorithm.query()
+            query_elapsed = time.perf_counter() - start
+
+            window_points = window.items()
+            radius = evaluate_radius(solution.centers, window_points, metric)
+            record = QueryRecord(
+                algorithm=contender.name,
+                time_step=t,
+                radius=radius,
+                memory_points=algorithm.memory_points(),
+                update_time_ms=(update_elapsed / max(1, updates_since_query)) * 1000.0,
+                query_time_ms=query_elapsed * 1000.0,
+                coreset_size=solution.coreset_size,
+                is_fair=solution.is_fair(constraint),
+            )
+            results.append(record)
+            update_elapsed = 0.0
+            updates_since_query = 0
+    return results

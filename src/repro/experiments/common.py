@@ -1,0 +1,225 @@
+"""Shared plumbing of the experiment drivers.
+
+Every figure of the paper's evaluation section has a driver module in this
+package.  They all share the same building blocks, provided here:
+
+* :class:`ExperimentScale` — the knobs that differ between a quick laptop run
+  and a full reproduction (window size, stream length, number of queried
+  windows, the δ sweep).  The scale is selected through the ``REPRO_SCALE``
+  environment variable (``tiny`` / ``small`` / ``full``), defaulting to
+  ``small`` so that the whole benchmark suite completes in minutes.
+* :func:`build_constraint` — the paper's capacity rule: ``sum k_i = 14`` with
+  ``k_i`` proportional to the color frequencies of the dataset.
+* :func:`estimate_distance_bounds` — the (dmin, dmax) bracket handed to the
+  distance-aware variant ``Ours`` (the paper assumes these are known for that
+  variant; we estimate them from a sample of the stream and widen them by a
+  safety factor).
+* :func:`make_contenders` — construct the algorithm instances compared in the
+  figures: ``Ours``, ``OursOblivious``, ``Jones`` and ``ChenEtAl``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.config import FairnessConstraint, SlidingWindowConfig
+from ..core.fair_sliding_window import FairSlidingWindow
+from ..core.geometry import Point, color_histogram
+from ..core.metrics import min_max_pairwise_distance
+from ..core.oblivious import ObliviousFairSlidingWindow
+from ..evaluation.runner import Contender
+from ..sequential.chen import ChenMatroidCenter
+from ..sequential.jones import JonesFairCenter
+from ..streaming.baseline_window import SlidingWindowBaseline
+
+#: Total number of centers used throughout the paper's experiments.
+PAPER_TOTAL_CENTERS = 14
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size parameters of an experiment run."""
+
+    name: str
+    window_size: int
+    stream_length: int
+    num_queries: int
+    deltas: tuple[float, ...]
+    window_sizes: tuple[int, ...]
+    blob_dimensions: tuple[int, ...]
+    rotated_dimensions: tuple[int, ...]
+    include_chen: bool = True
+
+
+_SCALES: dict[str, ExperimentScale] = {
+    "tiny": ExperimentScale(
+        name="tiny",
+        window_size=150,
+        stream_length=400,
+        num_queries=4,
+        deltas=(1.0, 4.0),
+        window_sizes=(100, 200),
+        blob_dimensions=(2, 5),
+        rotated_dimensions=(3, 9),
+        include_chen=True,
+    ),
+    "small": ExperimentScale(
+        name="small",
+        window_size=600,
+        stream_length=1500,
+        num_queries=8,
+        deltas=(0.5, 1.0, 2.0, 4.0),
+        window_sizes=(200, 400, 800, 1600),
+        blob_dimensions=(2, 4, 6, 8, 10),
+        rotated_dimensions=(3, 6, 9, 12, 15),
+        include_chen=True,
+    ),
+    "full": ExperimentScale(
+        name="full",
+        window_size=2000,
+        stream_length=5000,
+        num_queries=25,
+        deltas=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+        window_sizes=(500, 1000, 2000, 4000, 8000),
+        blob_dimensions=(2, 3, 4, 5, 6, 7, 8, 9, 10),
+        rotated_dimensions=(3, 6, 9, 12, 15),
+        include_chen=True,
+    ),
+}
+
+
+def current_scale() -> ExperimentScale:
+    """The scale selected by the ``REPRO_SCALE`` environment variable."""
+    name = os.environ.get("REPRO_SCALE", "small").lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCALES))
+        raise ValueError(f"unknown REPRO_SCALE={name!r}; choose one of {known}") from None
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a scale by name (``None`` = environment-selected scale)."""
+    if name is None:
+        return current_scale()
+    return _SCALES[name]
+
+
+def build_constraint(
+    points: Sequence[Point], total_centers: int = PAPER_TOTAL_CENTERS
+) -> FairnessConstraint:
+    """Capacities proportional to the color frequencies, summing to ``total_centers``."""
+    histogram = color_histogram(points)
+    total = max(total_centers, len(histogram))
+    return FairnessConstraint.proportional(histogram, total)
+
+
+def estimate_distance_bounds(
+    points: Sequence[Point],
+    *,
+    sample_size: int = 400,
+    slack: float = 4.0,
+) -> tuple[float, float]:
+    """Estimate a (dmin, dmax) bracket of the stream's pairwise distances.
+
+    A uniform stride sample keeps the estimation quadratic only in the sample
+    size; the bracket is widened by ``slack`` on both ends so that the guess
+    grid of ``Ours`` always covers the scales reached within any window.
+    """
+    points = list(points)
+    if len(points) < 2:
+        return 1e-6, 1.0
+    stride = max(1, len(points) // sample_size)
+    sample = points[::stride][:sample_size]
+    if len(sample) < 2:
+        sample = points[:2]
+    dmin, dmax = min_max_pairwise_distance(sample)
+    if dmin <= 0:
+        dmin = dmax / 1e6 if dmax > 0 else 1e-6
+    if dmax <= 0:
+        dmax = 1.0
+    return dmin / slack, dmax * slack
+
+
+@dataclass
+class ContenderSet:
+    """The algorithms compared in an experiment plus their configuration."""
+
+    contenders: list[Contender]
+    constraint: FairnessConstraint
+    dmin: float
+    dmax: float
+    config: SlidingWindowConfig = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def make_contenders(
+    points: Sequence[Point],
+    *,
+    window_size: int,
+    delta: float,
+    beta: float = 2.0,
+    include_ours: bool = True,
+    include_oblivious: bool = True,
+    include_jones: bool = True,
+    include_chen: bool = True,
+    total_centers: int = PAPER_TOTAL_CENTERS,
+    solver=None,
+) -> ContenderSet:
+    """Build the standard set of contenders for a stream.
+
+    ``Ours`` and ``OursOblivious`` are the paper's algorithms (the former
+    knows the distance bounds, the latter estimates them); ``Jones`` and
+    ``ChenEtAl`` are the sequential baselines run on the full exact window.
+    """
+    constraint = build_constraint(points, total_centers)
+    dmin, dmax = estimate_distance_bounds(points)
+    config = SlidingWindowConfig(
+        window_size=window_size,
+        constraint=constraint,
+        delta=delta,
+        beta=beta,
+        dmin=dmin,
+        dmax=dmax,
+    )
+    solver = solver if solver is not None else JonesFairCenter()
+
+    contenders: list[Contender] = []
+    if include_ours:
+        contenders.append(
+            Contender("Ours", FairSlidingWindow(config, solver=solver))
+        )
+    if include_oblivious:
+        contenders.append(
+            Contender(
+                "OursOblivious", ObliviousFairSlidingWindow(config, solver=solver)
+            )
+        )
+    if include_jones:
+        contenders.append(
+            Contender(
+                "Jones",
+                SlidingWindowBaseline(
+                    window_size, constraint, JonesFairCenter(), name="Jones"
+                ),
+                is_reference=True,
+            )
+        )
+    if include_chen:
+        contenders.append(
+            Contender(
+                "ChenEtAl",
+                SlidingWindowBaseline(
+                    window_size, constraint, ChenMatroidCenter(), name="ChenEtAl"
+                ),
+                is_reference=True,
+            )
+        )
+    return ContenderSet(
+        contenders=contenders,
+        constraint=constraint,
+        dmin=dmin,
+        dmax=dmax,
+        config=config,
+    )

@@ -1,0 +1,44 @@
+"""Figure 2 — update time (top) and query time (bottom) for varying δ.
+
+Same runs as Figure 1, different indicators.  Expected shape: the baselines
+have next-to-zero update time (they only buffer the window) but query times
+orders of magnitude above the streaming algorithms; ChenEtAl is in turn
+orders of magnitude slower than Jones.  Larger δ (smaller coresets) makes
+both the update and the query of the streaming algorithms faster.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datasets.registry import PAPER_DATASETS
+from ..evaluation.reporting import format_table
+from .common import ExperimentScale, get_scale
+from .delta_sweep import figure2_rows, run_delta_sweep
+
+
+def run(
+    datasets: Sequence[str] = PAPER_DATASETS,
+    *,
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+) -> list[dict]:
+    """Regenerate the Figure 2 series; returns one row per (dataset, δ, algorithm)."""
+    scale = scale if scale is not None else get_scale()
+    sweep = run_delta_sweep(datasets, scale=scale, seed=seed)
+    return figure2_rows(sweep)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    rows = run()
+    print(
+        format_table(
+            rows,
+            ["dataset", "delta", "algorithm", "update_ms", "query_ms"],
+            title="Figure 2: update and query time (ms) vs delta",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

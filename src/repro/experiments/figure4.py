@@ -1,0 +1,93 @@
+"""Figure 4 — query time (left) and memory (right) vs. dimensionality (blobs).
+
+The paper generates mixtures of 21 Gaussians in d dimensions (2 <= d <= 10),
+7 colors with k_i = 3, window 10 000, and runs Ours with δ ∈ {0.5, 2}
+against the Jones baseline.  Expected shape: the baseline is insensitive to
+the dimensionality, while the query time and memory of the streaming
+algorithm grow with d — steeply for δ = 0.5, mildly for δ = 2 (which still
+uses less memory than the baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.config import FairnessConstraint
+from ..core.fair_sliding_window import FairSlidingWindow
+from ..core.config import SlidingWindowConfig
+from ..datasets.synthetic import blobs
+from ..evaluation.reporting import format_table
+from ..evaluation.runner import Contender, run_experiment
+from ..sequential.jones import JonesFairCenter
+from ..streaming.baseline_window import SlidingWindowBaseline
+from .common import ExperimentScale, estimate_distance_bounds, get_scale
+
+#: per-color capacity used by the paper for the blobs experiments.
+PER_COLOR_CAPACITY = 3
+NUM_COLORS = 7
+
+
+def run(
+    *,
+    scale: ExperimentScale | None = None,
+    dimensions: Sequence[int] | None = None,
+    deltas: Sequence[float] = (0.5, 2.0),
+    seed: int = 0,
+) -> list[dict]:
+    """Regenerate the Figure 4 series; one row per (dimension, algorithm, δ)."""
+    scale = scale if scale is not None else get_scale()
+    dimensions = tuple(dimensions) if dimensions is not None else scale.blob_dimensions
+    constraint = FairnessConstraint.uniform(list(range(NUM_COLORS)), PER_COLOR_CAPACITY)
+
+    rows: list[dict] = []
+    for dim in dimensions:
+        points = blobs(
+            scale.stream_length, dim, num_colors=NUM_COLORS, seed=seed
+        )
+        dmin, dmax = estimate_distance_bounds(points)
+        contenders: list[Contender] = [
+            Contender(
+                "Jones",
+                SlidingWindowBaseline(
+                    scale.window_size, constraint, JonesFairCenter(), name="Jones"
+                ),
+                is_reference=True,
+            )
+        ]
+        for delta in deltas:
+            config = SlidingWindowConfig(
+                window_size=scale.window_size,
+                constraint=constraint,
+                delta=delta,
+                beta=2.0,
+                dmin=dmin,
+                dmax=dmax,
+            )
+            contenders.append(
+                Contender(f"Ours(delta={delta})", FairSlidingWindow(config))
+            )
+        result = run_experiment(
+            points,
+            contenders,
+            window_size=scale.window_size,
+            constraint=constraint,
+            num_queries=scale.num_queries,
+        )
+        for name, row in result.summaries().items():
+            rows.append({"figure": "4", "dimension": dim, **row})
+    return rows
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    rows = run()
+    print(
+        format_table(
+            rows,
+            ["dimension", "algorithm", "query_ms", "memory_points", "approx_ratio"],
+            title="Figure 4: query time and memory vs dimensionality (blobs)",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,97 @@
+"""Figure 5 — query time and memory vs. *ambient* dimensionality (rotated).
+
+The rotated datasets embed the 3-dimensional PHONES-like stream into up to 15
+ambient dimensions (zero padding followed by a random rigid rotation), so the
+intrinsic/doubling dimension stays 3 regardless of the number of coordinates.
+Expected shape: unlike Figure 4, the query time and memory of the streaming
+algorithm stay flat as the ambient dimension grows, confirming that the cost
+depends on the doubling dimension of the data rather than on the raw number
+of coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.config import SlidingWindowConfig
+from ..core.fair_sliding_window import FairSlidingWindow
+from ..datasets.registry import load_dataset
+from ..evaluation.reporting import format_table
+from ..evaluation.runner import Contender, run_experiment
+from ..sequential.jones import JonesFairCenter
+from ..streaming.baseline_window import SlidingWindowBaseline
+from .common import (
+    ExperimentScale,
+    build_constraint,
+    estimate_distance_bounds,
+    get_scale,
+)
+
+
+def run(
+    *,
+    scale: ExperimentScale | None = None,
+    ambient_dimensions: Sequence[int] | None = None,
+    deltas: Sequence[float] = (0.5, 2.0),
+    seed: int = 0,
+) -> list[dict]:
+    """Regenerate the Figure 5 series; one row per (ambient dim, algorithm, δ)."""
+    scale = scale if scale is not None else get_scale()
+    ambient_dimensions = (
+        tuple(ambient_dimensions)
+        if ambient_dimensions is not None
+        else scale.rotated_dimensions
+    )
+
+    rows: list[dict] = []
+    for ambient in ambient_dimensions:
+        points = load_dataset(f"rotated-{ambient}d", scale.stream_length, seed=seed)
+        constraint = build_constraint(points)
+        dmin, dmax = estimate_distance_bounds(points)
+        contenders: list[Contender] = [
+            Contender(
+                "Jones",
+                SlidingWindowBaseline(
+                    scale.window_size, constraint, JonesFairCenter(), name="Jones"
+                ),
+                is_reference=True,
+            )
+        ]
+        for delta in deltas:
+            config = SlidingWindowConfig(
+                window_size=scale.window_size,
+                constraint=constraint,
+                delta=delta,
+                beta=2.0,
+                dmin=dmin,
+                dmax=dmax,
+            )
+            contenders.append(
+                Contender(f"Ours(delta={delta})", FairSlidingWindow(config))
+            )
+        result = run_experiment(
+            points,
+            contenders,
+            window_size=scale.window_size,
+            constraint=constraint,
+            num_queries=scale.num_queries,
+        )
+        for name, row in result.summaries().items():
+            rows.append({"figure": "5", "ambient_dimension": ambient, **row})
+    return rows
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    rows = run()
+    print(
+        format_table(
+            rows,
+            ["ambient_dimension", "algorithm", "query_ms", "memory_points",
+             "approx_ratio"],
+            title="Figure 5: query time and memory vs ambient dimensionality (rotated)",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

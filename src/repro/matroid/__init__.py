@@ -1,0 +1,17 @@
+"""Matroid layer: independence oracles, concrete matroids, intersection."""
+
+from .base import Matroid, verify_matroid_axioms
+from .intersection import common_independent_set_of_size, matroid_intersection
+from .partition import PartitionMatroid
+from .transversal import TransversalMatroid
+from .uniform import UniformMatroid
+
+__all__ = [
+    "Matroid",
+    "PartitionMatroid",
+    "TransversalMatroid",
+    "UniformMatroid",
+    "common_independent_set_of_size",
+    "matroid_intersection",
+    "verify_matroid_axioms",
+]

@@ -1,0 +1,130 @@
+"""Matroid abstraction used by the fairness machinery.
+
+The fair center problem is the matroid center problem specialised to the
+*partition matroid* (at most ``k_i`` centers of color ``i``).  The Chen et
+al. baseline is written against a generic independence oracle, so the package
+ships a small but complete matroid layer:
+
+* :class:`Matroid` -- abstract base class exposing ``is_independent`` and the
+  derived operations (rank, maximal independent subset, extension checks);
+* concrete matroids in :mod:`repro.matroid.uniform`,
+  :mod:`repro.matroid.partition` and :mod:`repro.matroid.transversal`;
+* generic matroid intersection in :mod:`repro.matroid.intersection`.
+
+Ground-set elements can be any hashable objects; in this library they are
+:class:`~repro.core.geometry.Point` or :class:`~repro.core.geometry.StreamItem`
+instances.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable, Sequence
+
+Element = Hashable
+
+
+class Matroid(ABC):
+    """Abstract matroid defined through an independence oracle.
+
+    Subclasses must implement :meth:`is_independent`.  The default
+    implementations of the derived operations only use the oracle, so any
+    correct oracle yields a correct matroid.
+    """
+
+    @abstractmethod
+    def is_independent(self, subset: Sequence[Element]) -> bool:
+        """Whether ``subset`` is an independent set of the matroid."""
+
+    def can_extend(self, independent: Sequence[Element], element: Element) -> bool:
+        """Whether ``independent + [element]`` remains independent.
+
+        The default implementation calls the oracle on the extended set;
+        subclasses may override it with a cheaper incremental test.
+        """
+        return self.is_independent(list(independent) + [element])
+
+    def maximal_independent_subset(
+        self, elements: Iterable[Element]
+    ) -> list[Element]:
+        """Greedily grow a maximal independent subset of ``elements``.
+
+        By the matroid exchange property every maximal independent subset of
+        a set has the same size, so the greedy order does not affect the
+        cardinality of the result (it may affect which elements are picked).
+        """
+        chosen: list[Element] = []
+        for element in elements:
+            if self.can_extend(chosen, element):
+                chosen.append(element)
+        return chosen
+
+    def rank(self, elements: Iterable[Element]) -> int:
+        """Rank of ``elements``: size of any maximal independent subset."""
+        return len(self.maximal_independent_subset(elements))
+
+    def is_maximal_within(
+        self, independent: Sequence[Element], elements: Iterable[Element]
+    ) -> bool:
+        """Whether ``independent`` is maximal among subsets of ``elements``.
+
+        ``independent`` must itself be independent and contained in
+        ``elements``; the method then checks that no element of ``elements``
+        can be added while preserving independence.
+        """
+        if not self.is_independent(independent):
+            return False
+        chosen = set(independent)
+        for element in elements:
+            if element in chosen:
+                continue
+            if self.can_extend(independent, element):
+                return False
+        return True
+
+
+def verify_matroid_axioms(
+    matroid: Matroid, ground_set: Sequence[Element], max_size: int | None = None
+) -> bool:
+    """Exhaustively verify the matroid axioms on a small ground set.
+
+    Intended for tests only: the check enumerates every subset of
+    ``ground_set`` (optionally truncated to subsets of size ``max_size``) and
+    verifies downward closure and the augmentation property.
+    """
+    from itertools import combinations
+
+    elements = list(ground_set)
+    n = len(elements)
+    limit = n if max_size is None else min(n, max_size)
+
+    subsets: list[tuple[Element, ...]] = []
+    for size in range(limit + 1):
+        subsets.extend(combinations(elements, size))
+
+    independent = [s for s in subsets if matroid.is_independent(s)]
+    independent_set = set(independent)
+
+    # The empty set must be independent.
+    if () not in independent_set:
+        return False
+
+    # Downward closure: every subset of an independent set is independent.
+    for subset in independent:
+        for drop in range(len(subset)):
+            smaller = subset[:drop] + subset[drop + 1 :]
+            if smaller not in independent_set:
+                return False
+
+    # Augmentation: if |P| > |Q| are both independent there is an element of
+    # P \ Q whose addition keeps Q independent.
+    for larger in independent:
+        for smaller in independent:
+            if len(larger) <= len(smaller):
+                continue
+            candidates = [e for e in larger if e not in smaller]
+            if not any(
+                matroid.is_independent(tuple(smaller) + (e,)) for e in candidates
+            ):
+                return False
+    return True

@@ -1,0 +1,144 @@
+"""Generic matroid intersection via augmenting paths in the exchange graph.
+
+The Chen et al. matroid-center baseline reduces the feasibility question
+"is there an independent set with one point in each of these disjoint balls?"
+to a maximum-cardinality *matroid intersection* between the constraint matroid
+(for fair center: the partition matroid over colors) and the partition matroid
+induced by the balls.  This module implements the textbook augmenting-path
+algorithm (Lawler / Edmonds) working purely through independence oracles, so
+it applies to any pair of matroids from :mod:`repro.matroid`.
+
+The algorithm repeatedly builds the exchange graph of the current common
+independent set ``I`` and augments along a shortest source-to-sink path; each
+augmentation grows ``|I|`` by one, and when no augmenting path exists ``I`` is
+a maximum common independent set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .base import Element, Matroid
+
+
+def _shortest_augmenting_path(
+    elements: list[Element],
+    in_solution: set[Element],
+    matroid_a: Matroid,
+    matroid_b: Matroid,
+) -> list[Element] | None:
+    """Shortest augmenting path in the exchange graph, or ``None``.
+
+    Sources are the elements outside ``I`` that can be added to ``I`` while
+    keeping independence in ``matroid_a``; sinks are those addable with
+    respect to ``matroid_b``.  Arcs encode single-element exchanges.
+    """
+    solution = [e for e in elements if e in in_solution]
+    outside = [e for e in elements if e not in in_solution]
+
+    sources = [x for x in outside if matroid_a.can_extend(solution, x)]
+    sinks = {x for x in outside if matroid_b.can_extend(solution, x)}
+    if not sources or not sinks:
+        return None
+
+    def removed(y: Element) -> list[Element]:
+        return [e for e in solution if e != y]
+
+    # Breadth-first search over the exchange graph.  Arcs:
+    #   y in I  -> x not in I   when  I - y + x independent in matroid_a
+    #   x not in I -> y in I    when  I - y + x independent in matroid_b
+    parents: dict[Element, Element | None] = {s: None for s in sources}
+    queue: deque[Element] = deque(sources)
+
+    # A source that is also a sink is an augmenting path of length one.
+    for s in sources:
+        if s in sinks:
+            return [s]
+
+    while queue:
+        node = queue.popleft()
+        if node in in_solution:
+            # node = y in I: neighbours are x outside with I - y + x indep in A.
+            base = removed(node)
+            for x in outside:
+                if x in parents:
+                    continue
+                if matroid_a.is_independent(base + [x]):
+                    parents[x] = node
+                    if x in sinks:
+                        return _reconstruct(parents, x)
+                    queue.append(x)
+        else:
+            # node = x outside I: neighbours are y in I with I - y + x indep in B.
+            for y in solution:
+                if y in parents:
+                    continue
+                if matroid_b.is_independent(removed(y) + [node]):
+                    parents[y] = node
+                    queue.append(y)
+    return None
+
+
+def _reconstruct(parents: dict[Element, Element | None], end: Element) -> list[Element]:
+    path: list[Element] = []
+    node: Element | None = end
+    while node is not None:
+        path.append(node)
+        node = parents[node]
+    path.reverse()
+    return path
+
+
+def matroid_intersection(
+    elements: Sequence[Element],
+    matroid_a: Matroid,
+    matroid_b: Matroid,
+    *,
+    target_size: int | None = None,
+) -> list[Element]:
+    """Maximum-cardinality common independent set of two matroids.
+
+    Parameters
+    ----------
+    elements:
+        The ground set (order influences tie-breaking only).
+    matroid_a, matroid_b:
+        The two matroids, given through their independence oracles.
+    target_size:
+        Optional early-exit threshold: the search stops as soon as a common
+        independent set of this size is found (useful for feasibility tests
+        such as "can every ball get a center?").
+    """
+    ground = list(dict.fromkeys(elements))
+    solution: list[Element] = []
+    in_solution: set[Element] = set()
+
+    while target_size is None or len(solution) < target_size:
+        path = _shortest_augmenting_path(ground, in_solution, matroid_a, matroid_b)
+        if path is None:
+            break
+        # Augment: elements of the path alternate outside / inside I, starting
+        # and ending outside; the symmetric difference grows |I| by one.
+        for element in path:
+            if element in in_solution:
+                in_solution.remove(element)
+            else:
+                in_solution.add(element)
+        solution = [e for e in ground if e in in_solution]
+    return solution
+
+
+def common_independent_set_of_size(
+    elements: Sequence[Element],
+    matroid_a: Matroid,
+    matroid_b: Matroid,
+    size: int,
+) -> list[Element] | None:
+    """A common independent set of exactly ``size`` elements, if one exists."""
+    result = matroid_intersection(
+        elements, matroid_a, matroid_b, target_size=size
+    )
+    if len(result) >= size:
+        return result[:size]
+    return None

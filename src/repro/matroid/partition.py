@@ -1,0 +1,79 @@
+"""The partition matroid encoding the fairness constraint.
+
+Ground-set elements are colored points; a set is independent when it contains
+at most ``k_i`` elements of color ``i`` for every color.  This is exactly the
+constraint of the fair center problem (Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.config import FairnessConstraint
+from ..core.geometry import Color, Point, StreamItem
+from .base import Element, Matroid
+
+
+def _default_color(element: Element) -> Color:
+    if isinstance(element, (Point, StreamItem)):
+        return element.color
+    raise TypeError(
+        "PartitionMatroid needs colored points or an explicit color_of function; "
+        f"got element of type {type(element).__name__}"
+    )
+
+
+class PartitionMatroid(Matroid):
+    """Partition matroid over colored elements.
+
+    Parameters
+    ----------
+    constraint:
+        The per-color capacities ``k_i``.
+    color_of:
+        Function extracting the color of a ground-set element.  Defaults to
+        reading the ``color`` attribute of :class:`Point` / :class:`StreamItem`.
+    """
+
+    def __init__(
+        self,
+        constraint: FairnessConstraint,
+        color_of: Callable[[Element], Color] = _default_color,
+    ) -> None:
+        self.constraint = constraint
+        self.color_of = color_of
+
+    @property
+    def rank_bound(self) -> int:
+        """The rank of the matroid, ``k = sum_i k_i``."""
+        return self.constraint.k
+
+    def is_independent(self, subset: Sequence[Element]) -> bool:
+        elements = list(subset)
+        if len(set(elements)) != len(elements):
+            return False
+        counts: dict[Color, int] = {}
+        for element in elements:
+            color = self.color_of(element)
+            counts[color] = counts.get(color, 0) + 1
+            if counts[color] > self.constraint.capacity(color):
+                return False
+        return True
+
+    def can_extend(self, independent: Sequence[Element], element: Element) -> bool:
+        if element in set(independent):
+            return False
+        color = self.color_of(element)
+        used = sum(1 for e in independent if self.color_of(e) == color)
+        return used + 1 <= self.constraint.capacity(color)
+
+    def color_usage(self, subset: Sequence[Element]) -> dict[Color, int]:
+        """Number of elements of each color in ``subset``."""
+        counts: dict[Color, int] = {}
+        for element in subset:
+            color = self.color_of(element)
+            counts[color] = counts.get(color, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PartitionMatroid(capacities={dict(self.constraint.capacities)})"

@@ -1,0 +1,72 @@
+"""Transversal matroids, defined by a bipartite "eligibility" graph.
+
+A transversal matroid is given by a family of subsets ``A_1, ..., A_m`` of the
+ground set; a set is independent when it admits a system of distinct
+representatives, i.e. a matching in the bipartite graph between the set's
+elements and the family saturating all elements.
+
+Within this library the transversal matroid serves two purposes:
+
+* it is the natural home of the "one center per ball" side constraint of the
+  Chen et al. matroid-center reduction (each disjoint ball defines one set of
+  the family);
+* it exercises the generic matroid machinery (oracle-based algorithms and
+  matroid intersection) on a matroid that is *not* a partition matroid.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from .base import Element, Matroid
+
+
+class TransversalMatroid(Matroid):
+    """Matroid of partial transversals of a set family.
+
+    Parameters
+    ----------
+    family:
+        Mapping from set labels to the collection of ground-set elements each
+        set contains.  Independence of ``S`` means that ``S`` can be matched
+        into distinct sets of the family.
+    """
+
+    def __init__(self, family: Mapping[Hashable, Sequence[Element]]) -> None:
+        self.family: dict[Hashable, frozenset[Element]] = {
+            label: frozenset(members) for label, members in family.items()
+        }
+
+    def sets_containing(self, element: Element) -> list[Hashable]:
+        """Labels of the family sets that contain ``element``."""
+        return [label for label, members in self.family.items() if element in members]
+
+    def is_independent(self, subset: Sequence[Element]) -> bool:
+        elements = list(subset)
+        if len(set(elements)) != len(elements):
+            return False
+        # Hopcroft-Karp would be overkill here: family sizes in this library
+        # are small (at most k balls), so the classic Hungarian augmenting
+        # path routine is simple and fast enough.
+        match_of_label: dict[Hashable, Element] = {}
+
+        def try_assign(element: Element, visited: set[Hashable]) -> bool:
+            for label in self.sets_containing(element):
+                if label in visited:
+                    continue
+                visited.add(label)
+                if label not in match_of_label or try_assign(
+                    match_of_label[label], visited
+                ):
+                    match_of_label[label] = element
+                    return True
+            return False
+
+        for element in elements:
+            if not try_assign(element, set()):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = {label: len(members) for label, members in self.family.items()}
+        return f"TransversalMatroid(sets={sizes})"

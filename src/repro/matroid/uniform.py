@@ -1,0 +1,36 @@
+"""The uniform matroid: independent sets are the sets of size at most ``k``.
+
+Using the uniform matroid as the constraint turns the matroid center problem
+back into the classical unconstrained k-center problem, which is handy both
+for testing the generic machinery and for running the matroid-center baseline
+without fairness constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Element, Matroid
+
+
+class UniformMatroid(Matroid):
+    """Matroid whose independent sets are all sets of cardinality <= ``k``."""
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.k = k
+
+    def is_independent(self, subset: Sequence[Element]) -> bool:
+        distinct = set(subset)
+        if len(distinct) != len(list(subset)):
+            return False
+        return len(distinct) <= self.k
+
+    def can_extend(self, independent: Sequence[Element], element: Element) -> bool:
+        if element in set(independent):
+            return False
+        return len(independent) + 1 <= self.k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformMatroid(k={self.k})"

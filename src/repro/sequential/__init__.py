@@ -1,0 +1,29 @@
+"""Sequential (offline) solvers: baselines and the query-time solver ``A``."""
+
+from .base import FairCenterSolver
+from .brute_force import ExactFairCenter, exact_fair_center, exact_k_center
+from .chen import ChenMatroidCenter, chen_matroid_center
+from .gonzalez import GonzalezKCenter, GonzalezResult, gonzalez, greedy_independent_heads
+from .jones import JonesFairCenter, jones_fair_center
+from .kleindessner import CapacityAwareGreedy, capacity_aware_greedy
+from .matching import BipartiteGraph, capacitated_matching, hopcroft_karp
+
+__all__ = [
+    "BipartiteGraph",
+    "CapacityAwareGreedy",
+    "ChenMatroidCenter",
+    "ExactFairCenter",
+    "FairCenterSolver",
+    "GonzalezKCenter",
+    "GonzalezResult",
+    "JonesFairCenter",
+    "capacitated_matching",
+    "capacity_aware_greedy",
+    "chen_matroid_center",
+    "exact_fair_center",
+    "exact_k_center",
+    "gonzalez",
+    "greedy_independent_heads",
+    "hopcroft_karp",
+    "jones_fair_center",
+]

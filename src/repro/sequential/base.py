@@ -1,0 +1,42 @@
+"""Common protocol for sequential fair-center solvers.
+
+A *sequential solver* receives a finite point set and a fairness constraint
+and returns a :class:`~repro.core.solution.ClusteringSolution`.  The
+sliding-window algorithm is parameterised by such a solver (the paper's
+algorithm ``A``), and the evaluation harness treats every solver uniformly
+through this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from ..core.config import FairnessConstraint
+from ..core.geometry import Point, StreamItem
+from ..core.metrics import euclidean
+from ..core.solution import ClusteringSolution
+
+PointLike = Point | StreamItem
+MetricFn = Callable[[PointLike, PointLike], float]
+
+
+@runtime_checkable
+class FairCenterSolver(Protocol):
+    """Anything that can solve fair center on a finite point set."""
+
+    #: Worst-case approximation factor guaranteed by the solver (the paper's
+    #: alpha); purely informational, used to derive delta from epsilon.
+    approximation_factor: float
+
+    def solve(
+        self,
+        points: Sequence[PointLike],
+        constraint: FairnessConstraint,
+        metric: MetricFn = euclidean,
+    ) -> ClusteringSolution:  # pragma: no cover - protocol signature
+        ...
+
+
+def strip_stream_items(points: Sequence[PointLike]) -> list[Point]:
+    """Convert stream items to bare points (keeping plain points as they are)."""
+    return [p.point if isinstance(p, StreamItem) else p for p in points]

@@ -1,0 +1,126 @@
+"""Exact (exponential-time) solvers used as test oracles.
+
+These brute-force routines enumerate candidate center sets explicitly and are
+therefore only usable on tiny instances (a dozen points or so).  They exist so
+that the test-suite can verify the approximation factors of the polynomial
+algorithms and of the sliding-window algorithm against the true optimum.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from ..core.config import FairnessConstraint
+from ..core.geometry import Point
+from ..core.metrics import euclidean
+from ..core.solution import ClusteringSolution, evaluate_radius
+from .base import MetricFn, PointLike, strip_stream_items
+
+# Enumerating all subsets of size <= k of n points costs C(n, k); refuse to do
+# so past this bound so an accidental misuse cannot hang the test-suite.
+_MAX_POINTS = 18
+
+
+def _check_size(points: Sequence[PointLike]) -> None:
+    if len(points) > _MAX_POINTS:
+        raise ValueError(
+            f"brute force solvers accept at most {_MAX_POINTS} points, "
+            f"got {len(points)}"
+        )
+
+
+def exact_fair_center(
+    points: Sequence[PointLike],
+    constraint: FairnessConstraint,
+    metric: MetricFn = euclidean,
+) -> ClusteringSolution:
+    """Optimal fair-center solution by exhaustive enumeration.
+
+    Every subset of at most ``k`` points respecting the per-color capacities
+    is considered; the one of minimum radius is returned.
+    """
+    _check_size(points)
+    plain = strip_stream_items(points)
+    if not plain:
+        return ClusteringSolution(centers=[], radius=0.0)
+
+    best_centers: list[Point] | None = None
+    best_radius = float("inf")
+    k = min(constraint.k, len(plain))
+    for size in range(1, k + 1):
+        for combo in combinations(range(len(plain)), size):
+            candidate = [plain[i] for i in combo]
+            if not constraint.is_feasible(candidate):
+                continue
+            radius = evaluate_radius(candidate, plain, metric)
+            if radius < best_radius:
+                best_radius = radius
+                best_centers = candidate
+                if best_radius == 0.0:
+                    break
+        if best_radius == 0.0:
+            break
+
+    if best_centers is None:
+        # No feasible non-empty center set (e.g. all capacities are for
+        # colors absent from the data); report an empty, infinite solution.
+        return ClusteringSolution(centers=[], radius=float("inf"),
+                                  metadata={"algorithm": "exact_fair"})
+    return ClusteringSolution(
+        centers=best_centers,
+        radius=best_radius,
+        coreset_size=len(plain),
+        metadata={"algorithm": "exact_fair"},
+    )
+
+
+def exact_k_center(
+    points: Sequence[PointLike],
+    k: int,
+    metric: MetricFn = euclidean,
+) -> ClusteringSolution:
+    """Optimal unconstrained k-center solution by exhaustive enumeration."""
+    _check_size(points)
+    plain = strip_stream_items(points)
+    if not plain:
+        return ClusteringSolution(centers=[], radius=0.0)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+
+    best_centers: list[Point] | None = None
+    best_radius = float("inf")
+    k = min(k, len(plain))
+    for size in range(1, k + 1):
+        for combo in combinations(range(len(plain)), size):
+            candidate = [plain[i] for i in combo]
+            radius = evaluate_radius(candidate, plain, metric)
+            if radius < best_radius:
+                best_radius = radius
+                best_centers = candidate
+                if best_radius == 0.0:
+                    break
+        if best_radius == 0.0:
+            break
+
+    assert best_centers is not None
+    return ClusteringSolution(
+        centers=best_centers,
+        radius=best_radius,
+        coreset_size=len(plain),
+        metadata={"algorithm": "exact_kcenter"},
+    )
+
+
+class ExactFairCenter:
+    """Solver-protocol wrapper around :func:`exact_fair_center`."""
+
+    approximation_factor = 1.0
+
+    def solve(
+        self,
+        points: Sequence[PointLike],
+        constraint: FairnessConstraint,
+        metric: MetricFn = euclidean,
+    ) -> ClusteringSolution:
+        return exact_fair_center(points, constraint, metric)

@@ -1,0 +1,174 @@
+"""Gonzalez's greedy farthest-point algorithm for unconstrained k-center.
+
+The classic 2-approximation (Gonzalez, 1985): repeatedly pick the point
+farthest from the centers chosen so far.  It is used in three roles here:
+
+* as the unconstrained baseline radius ``r*_k`` against which the fair radius
+  is compared;
+* to compute the *heads* that seed the Jones et al. fair solver;
+* inside tests, as a sanity reference.
+
+The implementation keeps a running array of distances to the closest chosen
+center, so the total cost is ``O(n k)`` distance evaluations (vectorised for
+the Euclidean metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.geometry import Point, StreamItem
+from ..core.metrics import distances_to_set, euclidean
+from ..core.solution import ClusteringSolution
+from .base import MetricFn, PointLike
+
+
+@dataclass
+class GonzalezResult:
+    """Outcome of the greedy selection.
+
+    Attributes
+    ----------
+    centers:
+        The selected heads, in selection order.
+    head_indices:
+        Indices of the heads in the input sequence.
+    assignment:
+        For every input point, the index (into ``centers``) of its closest
+        head.
+    radius:
+        Maximum distance of any point from its closest head (the greedy
+        radius; at most twice the optimal unconstrained radius).
+    """
+
+    centers: list[PointLike]
+    head_indices: list[int]
+    assignment: list[int]
+    radius: float
+
+
+def gonzalez(
+    points: Sequence[PointLike],
+    k: int,
+    metric: MetricFn = euclidean,
+    *,
+    first_index: int = 0,
+) -> GonzalezResult:
+    """Run Gonzalez's greedy farthest-point traversal.
+
+    Parameters
+    ----------
+    points:
+        Input point set (must be non-empty).
+    k:
+        Number of heads to select; if ``k >= len(points)`` every point becomes
+        a head and the radius is zero.
+    metric:
+        Distance oracle.
+    first_index:
+        Index of the first head (the algorithm's guarantee holds for any
+        choice; a fixed default keeps runs deterministic).
+    """
+    if not points:
+        raise ValueError("gonzalez requires a non-empty point set")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    n = len(points)
+    k = min(k, n)
+    if not 0 <= first_index < n:
+        raise ValueError(f"first_index {first_index} out of range for {n} points")
+
+    head_indices = [first_index]
+    closest = distances_to_set(points[first_index], list(points), metric)
+    # ``closest[i]`` is the distance of point i from its nearest chosen head;
+    # ``assignment[i]`` is the index (into head_indices) of that head.
+    closest = np.asarray(closest, dtype=float)
+    assignment = np.zeros(n, dtype=int)
+
+    while len(head_indices) < k:
+        next_index = int(closest.argmax())
+        if closest[next_index] == 0.0:
+            # All remaining points coincide with existing heads; adding more
+            # heads cannot reduce the radius further.
+            break
+        head_indices.append(next_index)
+        new_distances = np.asarray(
+            distances_to_set(points[next_index], list(points), metric), dtype=float
+        )
+        improved = new_distances < closest
+        assignment[improved] = len(head_indices) - 1
+        closest = np.minimum(closest, new_distances)
+
+    centers = [points[i] for i in head_indices]
+    radius = float(closest.max()) if n else 0.0
+    return GonzalezResult(
+        centers=centers,
+        head_indices=head_indices,
+        assignment=assignment.tolist(),
+        radius=radius,
+    )
+
+
+@dataclass
+class GonzalezKCenter:
+    """Solver-style wrapper around :func:`gonzalez` (ignores fairness).
+
+    Useful when an unconstrained reference solution is needed through the same
+    interface as the fair solvers.  The reported ``approximation_factor`` is
+    the classic 2 of Gonzalez's algorithm (w.r.t. unconstrained k-center).
+    """
+
+    approximation_factor: float = 2.0
+
+    def solve(
+        self,
+        points: Sequence[PointLike],
+        constraint,
+        metric: MetricFn = euclidean,
+    ) -> ClusteringSolution:
+        result = gonzalez(points, constraint.k, metric)
+        centers = [
+            p.point if isinstance(p, StreamItem) else p for p in result.centers
+        ]
+        return ClusteringSolution(
+            centers=centers,
+            radius=result.radius,
+            coreset_size=len(points),
+            metadata={"algorithm": "gonzalez", "fair": False},
+        )
+
+
+def greedy_independent_heads(
+    points: Sequence[PointLike],
+    threshold: float,
+    metric: MetricFn = euclidean,
+    *,
+    limit: int | None = None,
+) -> list[int]:
+    """Indices of a maximal prefix-greedy set of points pairwise > ``threshold`` apart.
+
+    Scanning the points in order, a point is kept when its distance from every
+    previously kept point exceeds ``threshold``.  This is the head-selection
+    routine of the Chen et al. radius-guessing reduction and of the query-time
+    validation step of the sliding-window algorithm.
+
+    When ``limit`` is given the scan stops early as soon as ``limit + 1``
+    heads are found (enough to certify infeasibility of the guess).
+    """
+    heads: list[int] = []
+    kept_points: list[PointLike] = []
+    for index, p in enumerate(points):
+        if not kept_points:
+            heads.append(index)
+            kept_points.append(p)
+            continue
+        dists = distances_to_set(p, kept_points, metric)
+        if float(dists.min()) > threshold:
+            heads.append(index)
+            kept_points.append(p)
+            if limit is not None and len(heads) > limit:
+                break
+    return heads

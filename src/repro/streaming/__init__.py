@@ -1,0 +1,18 @@
+"""Streaming substrate: streams, windows, estimators and baseline adapters."""
+
+from .baseline_window import SlidingWindowBaseline
+from .diameter import AspectRatioEstimator
+from .insertion_only import InsertionOnlyFairCenter
+from .stream import QuerySchedule, Stream, replay, timestamp
+from .window import ExactSlidingWindow
+
+__all__ = [
+    "AspectRatioEstimator",
+    "ExactSlidingWindow",
+    "InsertionOnlyFairCenter",
+    "QuerySchedule",
+    "SlidingWindowBaseline",
+    "Stream",
+    "replay",
+    "timestamp",
+]

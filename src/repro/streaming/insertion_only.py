@@ -1,0 +1,155 @@
+"""Insertion-only streaming fair center (related-work extension).
+
+Before the sliding-window algorithm of the paper, fair center had been solved
+in the *insertion-only* streaming model (Chiplunkar et al., Kale, Lin et al.).
+This module implements a compact one-pass algorithm in that spirit, used in
+this repository as an extension / ablation comparator: it demonstrates what
+breaks when points never expire (the summary keeps representing stale data),
+which is precisely the motivation for the sliding-window model.
+
+For every radius guess γ of a geometric grid the sketch maintains:
+
+* at most ``k + 1`` *pivots* at pairwise distance greater than ``2 γ``
+  (when a ``k+2``-nd pivot would be needed, the guess is marked invalid and
+  its state dropped — the optimal radius must exceed γ);
+* for each pivot, a maximal independent set of the fairness matroid among the
+  points attracted by the pivot (at most ``k_i`` per color), kept as candidate
+  centers.
+
+A query runs the sequential solver on the candidate set of the smallest valid
+guess, yielding a (3+ε)-style approximation for the whole prefix seen so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.config import FairnessConstraint
+from ..core.geometry import Color, Point, StreamItem
+from ..core.guesses import guess_grid
+from ..core.metrics import euclidean
+from ..core.solution import ClusteringSolution
+from ..sequential.base import FairCenterSolver
+from ..sequential.jones import JonesFairCenter
+
+MetricFn = Callable[[Point | StreamItem, Point | StreamItem], float]
+
+
+@dataclass
+class _PivotState:
+    """A pivot and its per-color representatives."""
+
+    pivot: Point
+    representatives: dict[Color, list[Point]] = field(default_factory=dict)
+
+    def add_representative(self, point: Point, capacity: int) -> None:
+        bucket = self.representatives.setdefault(point.color, [])
+        if len(bucket) < capacity:
+            bucket.append(point)
+
+    def all_points(self) -> list[Point]:
+        points = [self.pivot]
+        for bucket in self.representatives.values():
+            points.extend(bucket)
+        return points
+
+
+@dataclass
+class _GuessSketch:
+    guess: float
+    pivots: list[_PivotState] = field(default_factory=list)
+    invalid: bool = False
+
+    def memory_points(self) -> int:
+        if self.invalid:
+            return 0
+        return sum(len(p.all_points()) for p in self.pivots)
+
+
+class InsertionOnlyFairCenter:
+    """One-pass (insertion-only) streaming summary for fair center."""
+
+    def __init__(
+        self,
+        constraint: FairnessConstraint,
+        dmin: float,
+        dmax: float,
+        *,
+        beta: float = 2.0,
+        metric: MetricFn = euclidean,
+        solver: FairCenterSolver | None = None,
+    ) -> None:
+        self.constraint = constraint
+        self.metric = metric
+        self.solver = solver if solver is not None else JonesFairCenter()
+        self.k = constraint.k
+        self._sketches = [
+            _GuessSketch(guess) for guess in guess_grid(dmin, dmax, beta)
+        ]
+        self._count = 0
+
+    # ------------------------------------------------------------------ update
+
+    def insert(self, item: StreamItem | Point) -> None:
+        """Process the arrival of a new point."""
+        point = item.point if isinstance(item, StreamItem) else item
+        self._count += 1
+        for sketch in self._sketches:
+            if sketch.invalid:
+                continue
+            self._update_sketch(sketch, point)
+
+    def _update_sketch(self, sketch: _GuessSketch, point: Point) -> None:
+        threshold = 2.0 * sketch.guess
+        closest: _PivotState | None = None
+        closest_distance = float("inf")
+        for pivot_state in sketch.pivots:
+            d = self.metric(point, pivot_state.pivot)
+            if d < closest_distance:
+                closest_distance = d
+                closest = pivot_state
+        if closest is not None and closest_distance <= threshold:
+            closest.add_representative(
+                point, self.constraint.capacity(point.color)
+            )
+            return
+        if len(sketch.pivots) >= self.k + 1:
+            # A (k+2)-nd pivot would be needed: the guess is certified too
+            # small for the stream seen so far and is dropped for good.
+            sketch.invalid = True
+            sketch.pivots.clear()
+            return
+        state = _PivotState(point)
+        state.add_representative(point, self.constraint.capacity(point.color))
+        sketch.pivots.append(state)
+
+    # ----------------------------------------------------------------- queries
+
+    def query(self) -> ClusteringSolution:
+        """Fair-center solution for the whole prefix processed so far."""
+        for sketch in self._sketches:
+            if sketch.invalid or not sketch.pivots:
+                continue
+            if len(sketch.pivots) <= self.k:
+                candidates = [
+                    p for state in sketch.pivots for p in state.all_points()
+                ]
+                solution = self.solver.solve(candidates, self.constraint, self.metric)
+                solution.guess = sketch.guess
+                solution.coreset_size = len(candidates)
+                solution.metadata.setdefault("algorithm", "insertion_only")
+                return solution
+        return ClusteringSolution(
+            centers=[], radius=float("inf"),
+            metadata={"algorithm": "insertion_only", "note": "no valid guess"},
+        )
+
+    def memory_points(self) -> int:
+        """Total number of points stored across all guesses."""
+        return sum(sketch.memory_points() for sketch in self._sketches)
+
+    @property
+    def processed(self) -> int:
+        """Number of points processed so far."""
+        return self._count

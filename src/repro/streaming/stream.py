@@ -1,0 +1,106 @@
+"""Streams of colored points.
+
+A stream is simply an iterable of :class:`~repro.core.geometry.Point` objects;
+this module wraps it with arrival-time bookkeeping and provides utilities used
+by the evaluation harness (slicing into windows, replaying a finite dataset,
+interleaving query times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..core.geometry import Point, StreamItem
+
+
+@dataclass
+class Stream:
+    """An arrival-time-stamped wrapper around an iterable of points.
+
+    The first delivered point receives time ``1`` (matching the paper's
+    convention ``t = 1, 2, ...``).  The object is itself an iterator of
+    :class:`StreamItem` and can only be consumed once; use :func:`replay` for
+    repeatable streams backed by a list.
+    """
+
+    source: Iterable[Point]
+    next_time: int = 1
+    _iterator: Iterator[Point] | None = field(default=None, repr=False)
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        return self
+
+    def __next__(self) -> StreamItem:
+        if self._iterator is None:
+            self._iterator = iter(self.source)
+        point = next(self._iterator)
+        item = StreamItem(point, self.next_time)
+        self.next_time += 1
+        return item
+
+    def take(self, count: int) -> list[StreamItem]:
+        """Consume and return up to ``count`` items."""
+        items: list[StreamItem] = []
+        for _ in range(count):
+            try:
+                items.append(next(self))
+            except StopIteration:
+                break
+        return items
+
+
+def replay(points: Sequence[Point]) -> Stream:
+    """A fresh stream replaying a finite list of points from time 1."""
+    return Stream(list(points))
+
+
+def timestamp(points: Sequence[Point], start: int = 1) -> list[StreamItem]:
+    """Assign consecutive arrival times to a finite list of points."""
+    return [StreamItem(p, start + i) for i, p in enumerate(points)]
+
+
+@dataclass(frozen=True)
+class QuerySchedule:
+    """Which time steps the evaluation harness should issue queries at.
+
+    The paper evaluates 200 consecutive sliding windows once the window is
+    full; :meth:`evenly_spaced` reproduces that pattern at configurable scale.
+    """
+
+    times: tuple[int, ...]
+
+    @staticmethod
+    def evenly_spaced(
+        stream_length: int, window_size: int, num_queries: int
+    ) -> "QuerySchedule":
+        """``num_queries`` query times spread over the full-window region."""
+        if num_queries <= 0:
+            return QuerySchedule(())
+        first = min(window_size, stream_length)
+        if stream_length <= first:
+            return QuerySchedule((stream_length,))
+        span = stream_length - first
+        step = max(1, span // num_queries)
+        times = []
+        t = first
+        while t <= stream_length and len(times) < num_queries:
+            times.append(t)
+            t += step
+        return QuerySchedule(tuple(times))
+
+    @staticmethod
+    def consecutive(
+        start: int, count: int
+    ) -> "QuerySchedule":
+        """``count`` consecutive query times starting at ``start``."""
+        return QuerySchedule(tuple(range(start, start + count)))
+
+    def __contains__(self, t: int) -> bool:
+        return t in set(self.times)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.times)

@@ -1,0 +1,90 @@
+"""Exact sliding-window buffer.
+
+:class:`ExactSlidingWindow` stores the last ``n`` points of the stream
+verbatim.  It plays two roles:
+
+* it is the substrate of the *sequential baselines* in the sliding-window
+  setting (the paper runs ChenEtAl / Jones on all the points of the current
+  window), wrapped by :mod:`repro.streaming.baseline_window`;
+* it is the reference against which the coreset algorithms are compared in
+  tests (ground truth of what the current window contains).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator
+
+from ..core.geometry import Point, StreamItem
+
+
+class ExactSlidingWindow:
+    """A FIFO buffer keeping exactly the last ``window_size`` stream items."""
+
+    def __init__(self, window_size: int) -> None:
+        if window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {window_size}")
+        self.window_size = window_size
+        self._buffer: Deque[StreamItem] = deque()
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Arrival time of the most recent point (0 before any arrival)."""
+        return self._now
+
+    def insert(self, item: StreamItem | Point) -> StreamItem:
+        """Insert a new point; returns the stored :class:`StreamItem`.
+
+        Plain points are stamped with the next time step automatically so
+        that the buffer can be driven either by a :class:`Stream` or by raw
+        points.
+        """
+        if isinstance(item, Point):
+            item = StreamItem(item, self._now + 1)
+        if item.t <= self._now:
+            raise ValueError(
+                f"arrival times must be strictly increasing: got {item.t} "
+                f"after {self._now}"
+            )
+        self._now = item.t
+        self._buffer.append(item)
+        self._evict()
+        return item
+
+    def _evict(self) -> None:
+        while self._buffer and not self._buffer[0].is_active(
+            self._now, self.window_size
+        ):
+            self._buffer.popleft()
+
+    def items(self) -> list[StreamItem]:
+        """The stream items currently in the window (oldest first)."""
+        return list(self._buffer)
+
+    def points(self) -> list[Point]:
+        """The bare points currently in the window (oldest first)."""
+        return [item.point for item in self._buffer]
+
+    def expired_at(self, t: int) -> int | None:
+        """Arrival time of the point expiring exactly when time reaches ``t``."""
+        candidate = t - self.window_size
+        return candidate if candidate >= 1 else None
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer already holds ``window_size`` points."""
+        return len(self._buffer) == self.window_size
+
+    def memory_points(self) -> int:
+        """Number of points stored (the memory metric of the paper)."""
+        return len(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        return iter(self._buffer)
+
+    def __contains__(self, item: StreamItem) -> bool:
+        return item in self._buffer

@@ -1,0 +1,182 @@
+"""Unit tests for repro.core.config (constraints and algorithm configuration)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    FairnessConstraint,
+    SlidingWindowConfig,
+    delta_from_epsilon,
+    epsilon_from_delta,
+)
+from repro.core.geometry import Point
+from repro.core.metrics import euclidean, manhattan
+
+
+class TestFairnessConstraint:
+    def test_total_budget(self):
+        constraint = FairnessConstraint({"a": 2, "b": 3})
+        assert constraint.k == 5
+        assert constraint.num_colors == 2
+        assert set(constraint.colors) == {"a", "b"}
+
+    def test_capacity_of_unknown_color_is_zero(self):
+        constraint = FairnessConstraint({"a": 2})
+        assert constraint.capacity("zzz") == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint({})
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint({"a": -1})
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint({"a": 0, "b": 0})
+
+    def test_zero_capacity_for_some_color_is_allowed(self):
+        constraint = FairnessConstraint({"a": 0, "b": 1})
+        assert constraint.capacity("a") == 0
+
+    def test_is_feasible(self):
+        constraint = FairnessConstraint({"a": 1, "b": 2})
+        assert constraint.is_feasible([Point((0,), "a"), Point((1,), "b")])
+        assert not constraint.is_feasible([Point((0,), "a"), Point((1,), "a")])
+
+    def test_is_feasible_rejects_undeclared_color(self):
+        constraint = FairnessConstraint({"a": 1})
+        assert not constraint.is_feasible([Point((0,), "other")])
+
+    def test_violations(self):
+        constraint = FairnessConstraint({"a": 1, "b": 1})
+        points = [Point((0,), "a"), Point((1,), "a"), Point((2,), "b")]
+        assert constraint.violations(points) == {"a": 1}
+        assert constraint.violations(points[2:]) == {}
+
+    def test_uniform_builder(self):
+        constraint = FairnessConstraint.uniform(["x", "y", "z"], 3)
+        assert constraint.k == 9
+        assert all(constraint.capacity(c) == 3 for c in "xyz")
+
+    def test_proportional_totals_match(self):
+        histogram = {"a": 70, "b": 20, "c": 10}
+        constraint = FairnessConstraint.proportional(histogram, 14)
+        assert constraint.k == 14
+        assert constraint.capacity("a") >= constraint.capacity("c")
+        assert all(constraint.capacity(c) >= 1 for c in histogram)
+
+    def test_proportional_requires_enough_slots(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint.proportional({"a": 1, "b": 1, "c": 1}, 2)
+
+    def test_proportional_rejects_empty_histogram(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint.proportional({"a": 0}, 3)
+
+    def test_proportional_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            FairnessConstraint.proportional({"a": 5}, 0)
+
+    @given(
+        counts=st.dictionaries(
+            st.integers(0, 6), st.integers(1, 500), min_size=1, max_size=6
+        ),
+        extra=st.integers(0, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_proportional_always_sums_to_total(self, counts, extra):
+        total = len(counts) + extra
+        constraint = FairnessConstraint.proportional(counts, total)
+        assert constraint.k == total
+        assert all(cap >= 1 for cap in constraint.capacities.values())
+
+
+class TestDeltaEpsilon:
+    def test_round_trip(self):
+        delta = delta_from_epsilon(0.5, alpha=3.0, beta=2.0)
+        assert epsilon_from_delta(delta, alpha=3.0, beta=2.0) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # epsilon / ((1 + beta)(1 + 2 alpha)) with alpha=3, beta=2 -> eps / 21.
+        assert delta_from_epsilon(0.21) == pytest.approx(0.01)
+
+    def test_epsilon_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            delta_from_epsilon(0.0)
+        with pytest.raises(ValueError):
+            delta_from_epsilon(1.5)
+
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            epsilon_from_delta(0.0)
+
+
+class TestSlidingWindowConfig:
+    def _constraint(self) -> FairnessConstraint:
+        return FairnessConstraint({"a": 1, "b": 1})
+
+    def test_basic_properties(self):
+        config = SlidingWindowConfig(
+            window_size=100, constraint=self._constraint(), delta=1.0,
+            beta=2.0, dmin=0.1, dmax=10.0,
+        )
+        assert config.k == 2
+        assert config.has_distance_bounds
+        assert config.aspect_ratio() == pytest.approx(100.0)
+        assert config.num_guesses() >= 1
+        assert config.epsilon == pytest.approx(1.0 * 3.0 * 7.0)
+
+    def test_metric_resolved_from_name(self):
+        config = SlidingWindowConfig(
+            window_size=10, constraint=self._constraint(), metric="manhattan",
+        )
+        assert config.metric is manhattan
+        assert config.metric_name == "manhattan"
+
+    def test_default_metric_is_euclidean(self):
+        config = SlidingWindowConfig(window_size=10, constraint=self._constraint())
+        assert config.metric is euclidean
+
+    def test_invalid_window_size(self):
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(window_size=0, constraint=self._constraint())
+
+    def test_invalid_delta_and_beta(self):
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(window_size=5, constraint=self._constraint(), delta=0)
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(window_size=5, constraint=self._constraint(), beta=0)
+
+    def test_invalid_distance_bounds(self):
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(
+                window_size=5, constraint=self._constraint(), dmin=-1.0, dmax=1.0
+            )
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(
+                window_size=5, constraint=self._constraint(), dmin=5.0, dmax=1.0
+            )
+
+    def test_missing_bounds_reported(self):
+        config = SlidingWindowConfig(window_size=5, constraint=self._constraint())
+        assert not config.has_distance_bounds
+        with pytest.raises(ValueError):
+            config.aspect_ratio()
+        with pytest.raises(ValueError):
+            config.num_guesses()
+
+    def test_num_guesses_grows_with_aspect_ratio(self):
+        narrow = SlidingWindowConfig(
+            window_size=5, constraint=self._constraint(), dmin=1.0, dmax=10.0
+        )
+        wide = SlidingWindowConfig(
+            window_size=5, constraint=self._constraint(), dmin=1.0, dmax=1e6
+        )
+        assert wide.num_guesses() > narrow.num_guesses()

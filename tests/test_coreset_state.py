@@ -1,0 +1,182 @@
+"""Invariant tests for the per-guess state (Algorithms 1 and 2 bookkeeping)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FairnessConstraint
+from repro.core.coreset import GuessState, distinct_memory, total_memory
+from repro.core.geometry import Point, StreamItem
+from repro.core.metrics import euclidean
+
+
+def make_state(guess=5.0, delta=1.0, caps=None) -> GuessState:
+    constraint = FairnessConstraint(caps or {0: 2, 1: 2})
+    return GuessState(guess=guess, delta=delta, constraint=constraint, metric=euclidean)
+
+
+def drive(state: GuessState, points, window_size=50) -> None:
+    for index, p in enumerate(points):
+        item = StreamItem(p, index + 1)
+        state.remove_expired(item.t, window_size)
+        state.update(item)
+
+
+def random_stream(n, spread=100.0, colors=2, seed=0):
+    rng = random.Random(seed)
+    return [
+        Point((rng.uniform(0, spread), rng.uniform(0, spread)), rng.randrange(colors))
+        for _ in range(n)
+    ]
+
+
+class TestValidationInvariants:
+    def test_v_attractors_pairwise_separated(self):
+        state = make_state(guess=10.0)
+        drive(state, random_stream(120, seed=1))
+        attractors = list(state.v_attractors.values())
+        for i in range(len(attractors)):
+            for j in range(i + 1, len(attractors)):
+                assert euclidean(attractors[i], attractors[j]) > 2 * state.guess
+
+    def test_v_attractor_count_bounded(self):
+        state = make_state(guess=0.5)  # tiny guess: every point wants to be an attractor
+        drive(state, random_stream(200, seed=2))
+        assert len(state.v_attractors) <= state.k + 1
+
+    def test_every_active_attractor_has_representative(self):
+        state = make_state(guess=10.0)
+        drive(state, random_stream(100, seed=3))
+        for t, rep_t in state.v_rep_of.items():
+            assert t in state.v_attractors
+            assert rep_t in state.v_representatives
+            assert rep_t >= t  # the representative is never older than its attractor
+
+    def test_is_valid_flag(self):
+        state = make_state(guess=1000.0)  # huge guess: one attractor suffices
+        drive(state, random_stream(50, seed=4))
+        assert state.is_valid
+        tiny = make_state(guess=1e-6)
+        drive(tiny, random_stream(50, seed=4))
+        assert len(tiny.v_attractors) == tiny.k + 1  # certified invalid
+        assert not tiny.is_valid
+
+
+class TestCoresetInvariants:
+    def test_c_attractors_pairwise_separated(self):
+        state = make_state(guess=10.0, delta=1.0)
+        drive(state, random_stream(150, seed=5))
+        attractors = list(state.c_attractors.values())
+        threshold = state.delta * state.guess / 2.0
+        for i in range(len(attractors)):
+            for j in range(i + 1, len(attractors)):
+                assert euclidean(attractors[i], attractors[j]) > threshold
+
+    def test_per_color_capacity_respected_per_attractor(self):
+        state = make_state(guess=20.0, delta=2.0, caps={0: 1, 1: 2})
+        drive(state, random_stream(200, colors=2, seed=6))
+        for buckets in state.c_reps_of.values():
+            for color, times in buckets.items():
+                assert len(times) <= state.constraint.capacity(color)
+
+    def test_zero_capacity_color_not_stored_as_representative(self):
+        state = make_state(guess=20.0, delta=2.0, caps={0: 2, 1: 0})
+        drive(state, random_stream(100, colors=2, seed=7))
+        assert all(item.color != 1 for item in state.c_representatives.values())
+
+    def test_representatives_tracked_in_global_set(self):
+        state = make_state(guess=10.0)
+        drive(state, random_stream(100, seed=8))
+        for buckets in state.c_reps_of.values():
+            for times in buckets.values():
+                for t in times:
+                    assert t in state.c_representatives
+
+
+class TestExpiryAndCleanup:
+    def test_no_expired_points_survive(self):
+        window_size = 30
+        state = make_state(guess=5.0)
+        points = random_stream(120, seed=9)
+        drive(state, points, window_size=window_size)
+        now = len(points)
+        for t in state.stored_times():
+            assert t > now - window_size
+
+    def test_remove_time_clears_every_structure(self):
+        state = make_state(guess=5.0)
+        drive(state, random_stream(40, seed=10))
+        target = next(iter(state.stored_times()))
+        state.remove_time(target)
+        assert target not in state.stored_times()
+        for buckets in state.c_reps_of.values():
+            for times in buckets.values():
+                assert target not in times
+
+    def test_cleanup_keeps_only_recent_points_when_invalid(self):
+        # A tiny guess makes the state permanently invalid; Cleanup must then
+        # keep only points at least as recent as the oldest v-attractor.
+        state = make_state(guess=1e-9)
+        drive(state, random_stream(100, seed=11))
+        tmin = min(state.v_attractors)
+        for t in state.c_attractors:
+            assert t >= tmin
+        for t in state.c_representatives:
+            assert t >= tmin
+
+    def test_memory_helpers(self):
+        a, b = make_state(guess=5.0), make_state(guess=50.0)
+        stream = random_stream(60, seed=12)
+        drive(a, stream)
+        drive(b, stream)
+        assert total_memory([a, b]) == a.memory_points() + b.memory_points()
+        assert distinct_memory([a, b]) <= total_memory([a, b])
+        assert distinct_memory([a, b]) >= max(
+            len(a.stored_times()), len(b.stored_times())
+        )
+
+    def test_active_counts_keys(self):
+        state = make_state()
+        drive(state, random_stream(20, seed=13))
+        counts = state.active_counts()
+        assert set(counts) == {
+            "v_attractors", "v_representatives", "c_attractors", "c_representatives"
+        }
+        assert all(v >= 0 for v in counts.values())
+
+
+class TestCoverageProperty:
+    """Lemma 1: active window points are close to the stored representatives."""
+
+    @given(
+        seed=st.integers(0, 1000),
+        guess=st.sampled_from([2.0, 8.0, 32.0, 128.0]),
+        delta=st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lemma1_coverage_of_window_points(self, seed, guess, delta):
+        window_size = 40
+        state = make_state(guess=guess, delta=delta)
+        points = random_stream(90, seed=seed)
+        items = [StreamItem(p, i + 1) for i, p in enumerate(points)]
+        for item in items:
+            state.remove_expired(item.t, window_size)
+            state.update(item)
+        now = len(items)
+        window = [it for it in items if it.is_active(now, window_size)]
+        if not state.is_valid:
+            # Property 2 of Lemma 1 only covers points newer than the oldest
+            # v-attractor when the guess is invalid.
+            horizon = min(t for t in state.v_attractors)
+            window = [it for it in window if it.t >= horizon]
+        validation = state.validation_points()
+        coreset = state.coreset_points()
+        for item in window:
+            d_validation = min(euclidean(item, v) for v in validation)
+            d_coreset = min(euclidean(item, c) for c in coreset)
+            assert d_validation <= 4.0 * guess + 1e-9
+            assert d_coreset <= delta * guess + 1e-9

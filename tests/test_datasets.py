@@ -1,0 +1,196 @@
+"""Tests for the dataset generators, surrogates, loaders and registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import color_histogram
+from repro.core.metrics import euclidean, pairwise_distances
+from repro.datasets import (
+    available_datasets,
+    blobs,
+    covtype_surrogate,
+    drifting_mixture,
+    get_spec,
+    higgs_surrogate,
+    load_dataset,
+    load_points_csv,
+    phones_surrogate,
+    rotated,
+    save_points_csv,
+    two_scale_clusters,
+    uniform_hypercube,
+)
+from repro.datasets.loaders import load_covtype, load_csv_points, load_higgs
+from repro.datasets.registry import PAPER_DATASETS
+from repro.datasets.synthetic import random_rotation
+
+
+class TestSyntheticGenerators:
+    def test_blobs_shape_and_colors(self):
+        points = blobs(200, 4, num_colors=7, seed=1)
+        assert len(points) == 200
+        assert all(p.dimension == 4 for p in points)
+        assert set(color_histogram(points)) <= set(range(7))
+
+    def test_blobs_deterministic_with_seed(self):
+        assert blobs(20, 2, seed=5) == blobs(20, 2, seed=5)
+        assert blobs(20, 2, seed=5) != blobs(20, 2, seed=6)
+
+    def test_blobs_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            blobs(0, 3)
+        with pytest.raises(ValueError):
+            blobs(10, 0)
+
+    def test_rotation_matrix_is_orthonormal(self):
+        rotation = random_rotation(5, np.random.default_rng(0))
+        assert np.allclose(rotation @ rotation.T, np.eye(5), atol=1e-9)
+        assert np.linalg.det(rotation) == pytest.approx(1.0)
+
+    def test_rotated_preserves_pairwise_distances(self):
+        base = blobs(30, 3, seed=2)
+        embedded = rotated(base, 10, seed=3)
+        assert all(p.dimension == 10 for p in embedded)
+        original = pairwise_distances(base)
+        after = pairwise_distances(embedded)
+        assert np.allclose(original, after, atol=1e-8)
+
+    def test_rotated_preserves_colors(self):
+        base = blobs(15, 2, seed=4)
+        embedded = rotated(base, 6, seed=5)
+        assert [p.color for p in embedded] == [p.color for p in base]
+
+    def test_rotated_rejects_smaller_ambient_dimension(self):
+        with pytest.raises(ValueError):
+            rotated(blobs(5, 4, seed=0), 2)
+
+    def test_rotated_empty_input(self):
+        assert rotated([], 5) == []
+
+    def test_uniform_hypercube_bounds(self):
+        points = uniform_hypercube(50, 3, side=2.0, seed=1)
+        coords = np.array([p.coords for p in points])
+        assert coords.min() >= 0.0 and coords.max() <= 2.0
+
+    def test_drifting_mixture_actually_drifts(self):
+        points = drifting_mixture(400, 2, drift_per_step=0.5, seed=1)
+        early = np.mean([p.coords for p in points[:50]], axis=0)
+        late = np.mean([p.coords for p in points[-50:]], axis=0)
+        assert euclidean_distance(early, late) > 10.0
+
+    def test_two_scale_clusters_colors_split_by_cluster(self):
+        points = two_scale_clusters(40, separation=500.0, seed=0)
+        near = [p for p in points if p.coords[0] < 250]
+        far = [p for p in points if p.coords[0] >= 250]
+        assert {p.color for p in near} == {0}
+        assert {p.color for p in far} == {1}
+
+
+def euclidean_distance(a, b) -> float:
+    return float(np.linalg.norm(np.asarray(a) - np.asarray(b)))
+
+
+class TestSurrogates:
+    def test_phones_surrogate_characteristics(self):
+        points = phones_surrogate(500, seed=1)
+        assert len(points) == 500
+        assert all(p.dimension == 3 for p in points)
+        assert set(color_histogram(points)) <= set(range(7))
+
+    def test_higgs_surrogate_characteristics(self):
+        points = higgs_surrogate(500, seed=1)
+        assert all(p.dimension == 7 for p in points)
+        histogram = color_histogram(points)
+        assert set(histogram) <= {0, 1}
+        # Signal fraction close to the original dataset's ~53%.
+        assert 0.3 < histogram.get(1, 0) / len(points) < 0.75
+
+    def test_covtype_surrogate_characteristics(self):
+        points = covtype_surrogate(300, seed=1)
+        assert all(p.dimension == 54 for p in points)
+        histogram = color_histogram(points)
+        assert set(histogram) <= set(range(7))
+        # Strong class imbalance as in the real dataset.
+        assert max(histogram.values()) > 3 * min(histogram.values())
+
+    def test_surrogates_are_deterministic(self):
+        assert phones_surrogate(50, seed=3) == phones_surrogate(50, seed=3)
+
+
+class TestRegistry:
+    def test_paper_datasets_registered(self):
+        names = available_datasets()
+        for name in PAPER_DATASETS:
+            assert name in names
+
+    def test_spec_metadata_consistent_with_generated_points(self):
+        for name in ("phones", "higgs", "covtype", "blobs-5d"):
+            spec = get_spec(name)
+            points = load_dataset(name, 30, seed=0)
+            assert len(points) == 30
+            assert points[0].dimension == spec.dimension
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            get_spec("not-a-dataset")
+
+    def test_rotated_datasets_have_requested_ambient_dimension(self):
+        points = load_dataset("rotated-9d", 20, seed=0)
+        assert points[0].dimension == 9
+
+    def test_path_without_loader_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no file loader"):
+            load_dataset("blobs-3d", 10, path=tmp_path / "x.csv")
+
+
+class TestLoaders:
+    def test_csv_round_trip(self, tmp_path):
+        points = blobs(25, 3, num_colors=3, seed=7)
+        path = tmp_path / "points.csv"
+        save_points_csv(points, path)
+        loaded = load_points_csv(path)
+        assert len(loaded) == 25
+        assert loaded[0].dimension == 3
+        assert [p.color for p in loaded] == [p.color for p in points]
+        for original, restored in zip(points, loaded):
+            assert euclidean(original, restored) == pytest.approx(0.0, abs=1e-9)
+
+    def test_load_points_csv_max_points(self, tmp_path):
+        path = tmp_path / "points.csv"
+        save_points_csv(blobs(30, 2, seed=0), path)
+        assert len(load_points_csv(path, max_points=10)) == 10
+
+    def test_generic_csv_loader_with_header(self, tmp_path):
+        path = tmp_path / "generic.csv"
+        path.write_text("x,y,label\n1.0,2.0,cat\n3.0,4.0,dog\nbad,row,skip\n")
+        points = load_csv_points(
+            path, coordinate_columns=(0, 1), color_column=2
+        )
+        assert len(points) == 2
+        assert points[0].coords == (1.0, 2.0)
+        assert points[1].color == "dog"
+
+    def test_higgs_loader_format(self, tmp_path):
+        path = tmp_path / "higgs.csv"
+        rows = ["1.0," + ",".join(["0.5"] * 28), "0.0," + ",".join(["0.1"] * 28)]
+        path.write_text("\n".join(rows) + "\n")
+        points = load_higgs(path)
+        assert len(points) == 2
+        assert points[0].color == "signal"
+        assert points[1].color == "background"
+        assert points[0].dimension == 7
+
+    def test_covtype_loader_format(self, tmp_path):
+        path = tmp_path / "covtype.data"
+        row = ",".join(str(float(i)) for i in range(54)) + ",3"
+        path.write_text(row + "\n" + row + "\n")
+        points = load_covtype(path, max_points=1)
+        assert len(points) == 1
+        assert points[0].dimension == 54
+        assert points[0].color == 3
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_csv_points(tmp_path / "missing.csv", coordinate_columns=(0,), color_column=1)

@@ -1,0 +1,162 @@
+"""Tests for the evaluation harness (metrics, runner, reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FairnessConstraint, SlidingWindowConfig
+from repro.core.fair_sliding_window import FairSlidingWindow
+from repro.datasets.synthetic import blobs
+from repro.evaluation import (
+    Contender,
+    QueryRecord,
+    attach_reference_radii,
+    format_table,
+    markdown_table,
+    rows_to_csv,
+    run_experiment,
+    summarize,
+)
+from repro.sequential.jones import JonesFairCenter
+from repro.streaming.baseline_window import SlidingWindowBaseline
+from repro.streaming.stream import QuerySchedule
+
+
+def _record(algorithm="a", time_step=1, radius=2.0, **kwargs) -> QueryRecord:
+    defaults = dict(
+        memory_points=10, update_time_ms=0.1, query_time_ms=1.0, coreset_size=5,
+        is_fair=True,
+    )
+    defaults.update(kwargs)
+    return QueryRecord(algorithm=algorithm, time_step=time_step, radius=radius, **defaults)
+
+
+class TestQueryRecord:
+    def test_with_reference_computes_ratio(self):
+        record = _record(radius=3.0).with_reference(1.5)
+        assert record.approximation_ratio == pytest.approx(2.0)
+
+    def test_with_reference_zero_radius(self):
+        assert _record(radius=0.0).with_reference(0.0).approximation_ratio == 1.0
+        assert _record(radius=1.0).with_reference(0.0).approximation_ratio == float("inf")
+
+
+class TestSummarize:
+    def test_aggregates_means(self):
+        records = [
+            _record(time_step=1, radius=2.0, memory_points=10),
+            _record(time_step=2, radius=4.0, memory_points=20),
+        ]
+        records = [r.with_reference(2.0) for r in records]
+        summary = summarize(records)
+        assert summary.mean_radius == pytest.approx(3.0)
+        assert summary.mean_memory_points == pytest.approx(15.0)
+        assert summary.mean_approximation_ratio == pytest.approx(1.5)
+        assert summary.always_fair is True
+        row = summary.as_row()
+        assert row["algorithm"] == "a"
+        assert row["queries"] == 2
+
+    def test_rejects_empty_and_mixed(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([_record(algorithm="a"), _record(algorithm="b")])
+
+    def test_unfair_record_flags_summary(self):
+        records = [_record(), _record(is_fair=False)]
+        assert summarize(records).always_fair is False
+
+
+class TestAttachReference:
+    def test_reference_is_per_window_minimum(self):
+        records = {
+            "ours": [_record(algorithm="ours", time_step=1, radius=4.0)],
+            "jones": [_record(algorithm="jones", time_step=1, radius=2.0)],
+            "chen": [_record(algorithm="chen", time_step=1, radius=3.0)],
+        }
+        updated = attach_reference_radii(records, ["jones", "chen"])
+        assert updated["ours"][0].approximation_ratio == pytest.approx(2.0)
+        assert updated["jones"][0].approximation_ratio == pytest.approx(1.0)
+        assert updated["chen"][0].approximation_ratio == pytest.approx(1.5)
+
+    def test_missing_reference_time_leaves_ratio_none(self):
+        records = {
+            "ours": [_record(algorithm="ours", time_step=5)],
+            "jones": [_record(algorithm="jones", time_step=1)],
+        }
+        updated = attach_reference_radii(records, ["jones"])
+        assert updated["ours"][0].approximation_ratio is None
+
+
+class TestRunner:
+    def test_end_to_end_small_experiment(self):
+        points = blobs(120, 2, num_colors=2, seed=1)
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        config = SlidingWindowConfig(
+            window_size=60, constraint=constraint, delta=1.0,
+            dmin=0.05, dmax=500.0,
+        )
+        contenders = [
+            Contender("Ours", FairSlidingWindow(config)),
+            Contender(
+                "Jones",
+                SlidingWindowBaseline(60, constraint, JonesFairCenter(), name="Jones"),
+                is_reference=True,
+            ),
+        ]
+        result = run_experiment(
+            points, contenders, window_size=60, constraint=constraint, num_queries=3
+        )
+        assert set(result.records) == {"Ours", "Jones"}
+        assert all(len(records) >= 1 for records in result.records.values())
+        summaries = result.summaries()
+        assert summaries["Jones"]["approx_ratio"] == pytest.approx(1.0)
+        assert summaries["Ours"]["approx_ratio"] is not None
+        assert summaries["Ours"]["always_fair"] is True
+        assert len(result.rows()) == 2
+
+    def test_explicit_query_schedule(self):
+        points = blobs(50, 2, num_colors=2, seed=2)
+        constraint = FairnessConstraint({0: 1, 1: 1})
+        contender = Contender(
+            "Jones",
+            SlidingWindowBaseline(20, constraint, JonesFairCenter(), name="Jones"),
+            is_reference=True,
+        )
+        result = run_experiment(
+            points, [contender], window_size=20, constraint=constraint,
+            query_schedule=QuerySchedule.consecutive(30, 3),
+        )
+        assert [r.time_step for r in result.records["Jones"]] == [30, 31, 32]
+
+
+class TestReporting:
+    def test_format_table_alignment_and_values(self):
+        rows = [{"a": 1, "b": 2.34567, "c": None}, {"a": 10, "b": float("inf"), "c": True}]
+        text = format_table(rows, ["a", "b", "c"], title="demo")
+        assert "demo" in text
+        assert "2.346" in text
+        assert "inf" in text
+        assert "yes" in text
+        assert "-" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_rows_to_csv_roundtrip(self, tmp_path):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b", "z": 3}]
+        path = tmp_path / "out.csv"
+        text = rows_to_csv(rows, path)
+        assert path.exists()
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,y,z"
+        assert len(lines) == 3
+
+    def test_rows_to_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_markdown_table(self):
+        text = markdown_table([{"a": 1.5, "b": "x"}])
+        assert text.splitlines()[0] == "| a | b |"
+        assert "| 1.5 | x |" in text

@@ -1,0 +1,126 @@
+"""Integration tests for the experiment drivers and the CLI (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.synthetic import blobs
+from repro.experiments import ablation_beta, ablation_solver, figure3, figure4, figure5
+from repro.experiments.common import (
+    build_constraint,
+    current_scale,
+    estimate_distance_bounds,
+    get_scale,
+    make_contenders,
+)
+from repro.experiments.delta_sweep import figure1_rows, figure2_rows, run_delta_sweep
+
+TINY = get_scale("tiny")
+
+
+class TestCommonHelpers:
+    def test_get_scale_names(self):
+        assert get_scale("tiny").name == "tiny"
+        assert get_scale("full").window_size > get_scale("small").window_size
+        with pytest.raises(KeyError):
+            get_scale("enormous")
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert current_scale().name == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_build_constraint_totals(self):
+        points = blobs(200, 2, num_colors=5, seed=0)
+        constraint = build_constraint(points, total_centers=14)
+        assert constraint.k == 14
+        assert all(cap >= 1 for cap in constraint.capacities.values())
+
+    def test_estimate_distance_bounds_bracket_sample(self):
+        points = blobs(300, 3, seed=1)
+        dmin, dmax = estimate_distance_bounds(points)
+        assert 0 < dmin < dmax
+
+    def test_estimate_distance_bounds_degenerate(self):
+        dmin, dmax = estimate_distance_bounds(blobs(1, 2, seed=0))
+        assert 0 < dmin <= dmax
+
+    def test_make_contenders_composition(self):
+        points = blobs(80, 2, num_colors=3, seed=2)
+        bundle = make_contenders(points, window_size=40, delta=1.0, include_chen=False)
+        names = [c.name for c in bundle.contenders]
+        assert names == ["Ours", "OursOblivious", "Jones"]
+        assert any(c.is_reference for c in bundle.contenders)
+        assert bundle.config.window_size == 40
+
+
+class TestExperimentDrivers:
+    def test_delta_sweep_rows_complete(self):
+        rows = run_delta_sweep(["two-scale"], scale=TINY, deltas=[1.0, 4.0])
+        algorithms = {r["algorithm"] for r in rows}
+        assert {"Ours", "OursOblivious", "Jones", "ChenEtAl"} <= algorithms
+        deltas = {r["delta"] for r in rows}
+        assert deltas == {1.0, 4.0}
+        f1 = figure1_rows(rows)
+        f2 = figure2_rows(rows)
+        assert set(f1[0]) == {"dataset", "delta", "algorithm", "approx_ratio",
+                              "memory_points"}
+        assert set(f2[0]) == {"dataset", "delta", "algorithm", "update_ms", "query_ms"}
+
+    def test_figure3_rows(self):
+        rows = figure3.run("two-scale", scale=TINY, window_sizes=(80, 160))
+        window_sizes = {r["window_size"] for r in rows}
+        assert window_sizes == {80, 160}
+        jones = [r for r in rows if r["algorithm"] == "Jones"]
+        assert {r["memory_points"] for r in jones} == {80, 160}
+
+    def test_figure4_rows(self):
+        rows = figure4.run(scale=TINY, dimensions=(2,), deltas=(1.0,))
+        assert {r["dimension"] for r in rows} == {2}
+        assert {"Jones", "Ours(delta=1.0)"} <= {r["algorithm"] for r in rows}
+
+    def test_figure5_rows(self):
+        rows = figure5.run(scale=TINY, ambient_dimensions=(3,), deltas=(1.0,))
+        assert {r["ambient_dimension"] for r in rows} == {3}
+
+    def test_ablation_beta_rows(self):
+        rows = ablation_beta.run("two-scale", scale=TINY, betas=(1.0, 2.0))
+        assert {r["beta"] for r in rows} == {1.0, 2.0}
+
+    def test_ablation_solver_rows(self):
+        rows = ablation_solver.run("two-scale", scale=TINY)
+        names = {r["algorithm"] for r in rows}
+        assert {"Ours[A=Jones]", "Ours[A=ChenEtAl]", "Ours[A=Greedy]", "Jones"} <= names
+
+
+class TestCli:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure1", "--scale", "tiny"])
+        assert args.command == "figure1"
+        assert args.scale == "tiny"
+
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "phones" in out and "covtype" in out
+
+    def test_figure1_command_writes_csv(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        csv_path = tmp_path / "figure1.csv"
+        code = main(
+            ["figure1", "--scale", "tiny", "--dataset", "two-scale",
+             "--csv", str(csv_path)]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        out = capsys.readouterr().out
+        assert "figure1 results" in out
+        assert "Ours" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

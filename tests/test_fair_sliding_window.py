@@ -1,0 +1,276 @@
+"""End-to-end tests of the sliding-window algorithms (Ours and variants)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FairnessConstraint, SlidingWindowConfig
+from repro.core.dimension_free import DimensionFreeFairSlidingWindow
+from repro.core.fair_sliding_window import FairSlidingWindow
+from repro.core.geometry import Point, StreamItem
+from repro.core.metrics import min_max_pairwise_distance
+from repro.core.oblivious import ObliviousFairSlidingWindow
+from repro.core.solution import evaluate_radius
+from repro.sequential.brute_force import exact_fair_center
+from repro.sequential.jones import JonesFairCenter
+from conftest import sliding_config
+
+
+def random_stream(n, spread=100.0, colors=3, seed=0):
+    rng = random.Random(seed)
+    return [
+        Point((rng.uniform(0, spread), rng.uniform(0, spread)), rng.randrange(colors))
+        for _ in range(n)
+    ]
+
+
+ALGORITHMS = [FairSlidingWindow, ObliviousFairSlidingWindow, DimensionFreeFairSlidingWindow]
+ALGORITHM_IDS = ["ours", "oblivious", "dimension-free"]
+
+
+class TestConstructionAndBasics:
+    def test_requires_distance_bounds(self, three_color_constraint):
+        config = SlidingWindowConfig(window_size=10, constraint=three_color_constraint)
+        with pytest.raises(ValueError):
+            FairSlidingWindow(config)
+        with pytest.raises(ValueError):
+            DimensionFreeFairSlidingWindow(config)
+        # The oblivious variant works without bounds by design.
+        ObliviousFairSlidingWindow(config)
+
+    def test_guess_grid_brackets_bounds(self, three_color_constraint):
+        config = sliding_config(three_color_constraint, dmin=0.1, dmax=1000.0)
+        algo = FairSlidingWindow(config)
+        assert algo.guesses[0] <= 0.1
+        assert algo.guesses[-1] >= 1000.0
+
+    @pytest.mark.parametrize("cls", ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_query_before_any_point(self, cls, three_color_constraint):
+        algo = cls(sliding_config(three_color_constraint))
+        solution = algo.query()
+        assert solution.centers == []
+
+    @pytest.mark.parametrize("cls", ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_rejects_non_increasing_times(self, cls, three_color_constraint):
+        algo = cls(sliding_config(three_color_constraint))
+        algo.insert(StreamItem(Point((0.0, 0.0), 0), 5))
+        with pytest.raises(ValueError):
+            algo.insert(StreamItem(Point((1.0, 1.0), 0), 5))
+
+    @pytest.mark.parametrize("cls", ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_plain_points_are_stamped(self, cls, three_color_constraint):
+        algo = cls(sliding_config(three_color_constraint))
+        algo.extend(random_stream(10))
+        assert algo.now == 10
+
+    def test_state_for_guess_lookup(self, three_color_constraint):
+        algo = FairSlidingWindow(sliding_config(three_color_constraint))
+        guess = algo.guesses[2]
+        assert algo.state_for_guess(guess).guess == guess
+        with pytest.raises(KeyError):
+            algo.state_for_guess(123456.789)
+
+    def test_summary_shape(self, three_color_constraint):
+        algo = FairSlidingWindow(sliding_config(three_color_constraint))
+        algo.extend(random_stream(20))
+        summary = algo.summary()
+        assert summary["now"] == 20
+        assert summary["num_guesses"] == len(algo.guesses)
+
+
+class TestSolutionQuality:
+    @pytest.mark.parametrize("cls", ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_solutions_always_fair(self, cls, three_color_constraint):
+        algo = cls(sliding_config(three_color_constraint, window_size=60))
+        stream = random_stream(150, seed=3)
+        for index, point in enumerate(stream):
+            algo.insert(point)
+            if (index + 1) % 30 == 0:
+                solution = algo.query()
+                assert solution.is_fair(three_color_constraint)
+                assert solution.k <= three_color_constraint.k
+
+    @pytest.mark.parametrize("cls", ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_centers_belong_to_current_window(self, cls, three_color_constraint):
+        window_size = 50
+        algo = cls(sliding_config(three_color_constraint, window_size=window_size))
+        stream = random_stream(140, seed=4)
+        for point in stream:
+            algo.insert(point)
+        window_points = set(stream[-window_size:])
+        for center in algo.query().centers:
+            assert center in window_points
+
+    def test_comparable_to_offline_baseline(self, three_color_constraint):
+        window_size = 80
+        stream = random_stream(200, seed=5)
+        config = sliding_config(
+            three_color_constraint, window_size=window_size, delta=0.5
+        )
+        algo = FairSlidingWindow(config)
+        for point in stream:
+            algo.insert(point)
+        window = stream[-window_size:]
+        ours = evaluate_radius(algo.query().centers, window)
+        offline = JonesFairCenter().solve(window, three_color_constraint).radius
+        assert ours <= 2.5 * offline + 1e-9
+
+    def test_smaller_delta_gives_larger_coreset(self, three_color_constraint):
+        stream = random_stream(150, seed=6)
+        sizes = {}
+        for delta in (0.5, 4.0):
+            config = sliding_config(three_color_constraint, window_size=80, delta=delta)
+            algo = FairSlidingWindow(config)
+            for point in stream:
+                algo.insert(point)
+            sizes[delta] = algo.query().coreset_size
+        assert sizes[0.5] >= sizes[4.0]
+
+    def test_query_selects_valid_guess(self, three_color_constraint):
+        config = sliding_config(three_color_constraint, window_size=60)
+        algo = FairSlidingWindow(config)
+        for point in random_stream(120, seed=7):
+            algo.insert(point)
+        solution = algo.query()
+        assert solution.guess in algo.valid_guesses()
+        assert "fallback" not in solution.metadata
+
+    def test_drift_is_forgotten(self, two_color_constraint):
+        # First phase lives around the origin, second phase around (1000, 1000):
+        # after the window slides past the first phase, the solution radius
+        # must reflect only the second phase.
+        phase1 = [Point((random.Random(1).uniform(0, 10), 0.0), "red")] * 0
+        rng = random.Random(8)
+        phase1 = [
+            Point((rng.uniform(0, 10), rng.uniform(0, 10)), "red" if i % 2 else "blue")
+            for i in range(60)
+        ]
+        phase2 = [
+            Point((1000 + rng.uniform(0, 10), 1000 + rng.uniform(0, 10)),
+                  "red" if i % 2 else "blue")
+            for i in range(60)
+        ]
+        config = sliding_config(
+            two_color_constraint, window_size=50, delta=1.0, dmin=0.01, dmax=4000.0
+        )
+        algo = FairSlidingWindow(config)
+        for point in phase1 + phase2:
+            algo.insert(point)
+        window = phase2[-50:]
+        radius = evaluate_radius(algo.query().centers, window)
+        assert radius <= 30.0  # far below the ~1400 span of the whole stream
+
+    @given(seed=st.integers(0, 500), colors=st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_constant_factor_vs_exact_optimum_on_small_windows(self, seed, colors):
+        constraint = FairnessConstraint({c: 1 for c in range(colors)})
+        window_size = 10
+        stream = random_stream(25, spread=50.0, colors=colors, seed=seed)
+        config = SlidingWindowConfig(
+            window_size=window_size, constraint=constraint,
+            delta=0.5, beta=1.0, dmin=0.01, dmax=200.0,
+        )
+        algo = FairSlidingWindow(config)
+        for point in stream:
+            algo.insert(point)
+        window = stream[-window_size:]
+        optimum = exact_fair_center(window, constraint)
+        radius = evaluate_radius(algo.query().centers, window)
+        # Theorem 1 gives (3 + eps); with delta=0.5 and beta=1 the bound is
+        # generous, so assert a conservative constant factor.
+        assert radius <= 6.0 * optimum.radius + 1e-7
+
+
+class TestMemoryBehaviour:
+    def test_memory_independent_of_window_content_growth(self, three_color_constraint):
+        config = sliding_config(three_color_constraint, window_size=60, delta=2.0)
+        algo = FairSlidingWindow(config)
+        checkpoints = []
+        for index, point in enumerate(random_stream(400, seed=9)):
+            algo.insert(point)
+            if (index + 1) % 100 == 0:
+                checkpoints.append(algo.memory_points())
+        # Memory stabilises: the last checkpoints stay within a small factor.
+        assert max(checkpoints[1:]) <= 2 * min(checkpoints[1:]) + 10
+
+    def test_memory_never_exceeds_entries(self, three_color_constraint):
+        config = sliding_config(three_color_constraint, window_size=60)
+        algo = FairSlidingWindow(config)
+        algo.extend(random_stream(120, seed=10))
+        assert algo.memory_points() <= algo.total_entries()
+
+    def test_larger_delta_uses_less_memory(self, three_color_constraint):
+        stream = random_stream(200, seed=11)
+        memory = {}
+        for delta in (0.5, 4.0):
+            config = sliding_config(three_color_constraint, window_size=100, delta=delta)
+            algo = FairSlidingWindow(config)
+            algo.extend(stream)
+            memory[delta] = algo.memory_points()
+        assert memory[4.0] <= memory[0.5]
+
+
+class TestObliviousVariant:
+    def test_tracks_estimates(self, three_color_constraint):
+        config = sliding_config(three_color_constraint, window_size=60)
+        algo = ObliviousFairSlidingWindow(config)
+        algo.extend(random_stream(120, seed=12))
+        summary = algo.summary()
+        assert summary["dmax_estimate"] is not None
+        assert summary["dmin_estimate"] is not None
+        assert summary["num_guesses"] >= 1
+
+    def test_quality_comparable_to_distance_aware_variant(self, three_color_constraint):
+        stream = random_stream(200, seed=13)
+        window_size = 80
+        config = sliding_config(three_color_constraint, window_size=window_size, delta=1.0)
+        aware = FairSlidingWindow(config)
+        oblivious = ObliviousFairSlidingWindow(config)
+        for point in stream:
+            aware.insert(point)
+            oblivious.insert(point)
+        window = stream[-window_size:]
+        aware_radius = evaluate_radius(aware.query().centers, window)
+        oblivious_radius = evaluate_radius(oblivious.query().centers, window)
+        assert oblivious_radius <= 3.0 * aware_radius + 1e-9
+
+    def test_guess_range_follows_window_scale(self, three_color_constraint):
+        # Stream whose scale shrinks dramatically: the active guesses must
+        # eventually concentrate near the small scale.
+        big = [Point((i * 100.0, 0.0), i % 3) for i in range(40)]
+        small = [Point((float(i) * 0.01, 0.0), i % 3) for i in range(80)]
+        config = sliding_config(three_color_constraint, window_size=40)
+        algo = ObliviousFairSlidingWindow(config)
+        algo.extend(big + small)
+        assert max(algo.guesses) <= 1e4
+
+    def test_memory_counts_estimator(self, three_color_constraint):
+        config = sliding_config(three_color_constraint, window_size=40)
+        algo = ObliviousFairSlidingWindow(config)
+        algo.extend(random_stream(60, seed=14))
+        assert algo.memory_points() > 0
+        assert algo.total_entries() >= algo.memory_points() - algo.estimator.memory_points()
+
+
+class TestDimensionFreeVariant:
+    def test_memory_smaller_than_full_algorithm_with_fine_delta(
+        self, three_color_constraint
+    ):
+        stream = random_stream(200, seed=15)
+        config_full = sliding_config(three_color_constraint, window_size=100, delta=0.5)
+        full = FairSlidingWindow(config_full)
+        dimension_free = DimensionFreeFairSlidingWindow(config_full)
+        for point in stream:
+            full.insert(point)
+            dimension_free.insert(point)
+        assert dimension_free.memory_points() <= full.memory_points()
+
+    def test_valid_guesses_exposed(self, three_color_constraint):
+        algo = DimensionFreeFairSlidingWindow(sliding_config(three_color_constraint))
+        algo.extend(random_stream(80, seed=16))
+        assert algo.valid_guesses()
+        assert algo.query().guess in algo.valid_guesses()

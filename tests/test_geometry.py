@@ -1,0 +1,167 @@
+"""Unit tests for repro.core.geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    Point,
+    PointFactory,
+    StreamItem,
+    bounding_box,
+    color_histogram,
+    colors_of,
+    euclidean_coords,
+    make_point,
+    make_points,
+    stack_coordinates,
+)
+
+
+class TestPoint:
+    def test_coordinates_normalised_to_floats(self):
+        p = Point((1, 2, 3), "a")
+        assert p.coords == (1.0, 2.0, 3.0)
+        assert all(isinstance(c, float) for c in p.coords)
+
+    def test_dimension_and_len(self):
+        p = Point((0.0, 1.0, 2.0, 3.0))
+        assert p.dimension == 4
+        assert len(p) == 4
+
+    def test_default_color_is_zero(self):
+        assert Point((1.0,)).color == 0
+
+    def test_equality_and_hash_by_value(self):
+        a = Point((1, 2), "x")
+        b = Point((1.0, 2.0), "x")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_inequality_on_color(self):
+        assert Point((1, 2), "x") != Point((1, 2), "y")
+
+    def test_as_array_returns_copy(self):
+        p = Point((1.0, 2.0))
+        arr = p.as_array()
+        arr[0] = 99.0
+        assert p.coords == (1.0, 2.0)
+
+    def test_with_color(self):
+        p = Point((1.0, 2.0), "x")
+        q = p.with_color("y")
+        assert q.coords == p.coords
+        assert q.color == "y"
+        assert p.color == "x"
+
+    def test_iteration(self):
+        assert list(Point((3.0, 4.0))) == [3.0, 4.0]
+
+    def test_point_is_immutable(self):
+        p = Point((1.0,))
+        with pytest.raises(AttributeError):
+            p.color = 5  # type: ignore[misc]
+
+
+class TestStreamItem:
+    def test_proxies_color_and_coords(self):
+        item = StreamItem(Point((1.0, 2.0), "c"), 7)
+        assert item.color == "c"
+        assert item.coords == (1.0, 2.0)
+        assert item.t == 7
+
+    def test_ttl_decreases_with_time(self):
+        item = StreamItem(Point((0.0,)), 10)
+        assert item.ttl(now=10, window_size=5) == 5
+        assert item.ttl(now=12, window_size=5) == 3
+        assert item.ttl(now=15, window_size=5) == 0
+        assert item.ttl(now=100, window_size=5) == 0
+
+    def test_is_active_matches_ttl(self):
+        item = StreamItem(Point((0.0,)), 1)
+        assert item.is_active(now=1, window_size=3)
+        assert item.is_active(now=3, window_size=3)
+        assert not item.is_active(now=4, window_size=3)
+
+    @given(st.integers(1, 100), st.integers(1, 100), st.integers(1, 50))
+    def test_ttl_never_negative(self, t, now_offset, window):
+        item = StreamItem(Point((0.0,)), t)
+        assert item.ttl(t + now_offset, window) >= 0
+
+
+class TestHelpers:
+    def test_make_point_from_numpy(self):
+        p = make_point(np.array([1.5, 2.5]), "z")
+        assert p.coords == (1.5, 2.5)
+        assert p.color == "z"
+
+    def test_make_points_without_colors(self):
+        points = make_points([[0, 0], [1, 1]])
+        assert all(p.color == 0 for p in points)
+
+    def test_make_points_with_colors(self):
+        points = make_points([[0], [1]], ["a", "b"])
+        assert [p.color for p in points] == ["a", "b"]
+
+    def test_make_points_length_mismatch(self):
+        with pytest.raises(ValueError, match="colors"):
+            make_points([[0], [1]], ["a"])
+
+    def test_stack_coordinates_shape(self):
+        points = make_points([[0, 0], [1, 2], [3, 4]])
+        matrix = stack_coordinates(points)
+        assert matrix.shape == (3, 2)
+        assert matrix[2, 1] == 4.0
+
+    def test_stack_coordinates_empty(self):
+        assert stack_coordinates([]).shape == (0, 0)
+
+    def test_stack_coordinates_accepts_stream_items(self):
+        items = [StreamItem(Point((1.0, 1.0)), 1)]
+        assert stack_coordinates(items).shape == (1, 2)
+
+    def test_colors_of(self):
+        points = [Point((0.0,), "a"), Point((1.0,), "b")]
+        assert colors_of(points) == ["a", "b"]
+
+    def test_color_histogram(self):
+        points = make_points([[0]] * 5, ["a", "b", "a", "a", "b"])
+        assert color_histogram(points) == {"a": 3, "b": 2}
+
+    def test_bounding_box(self):
+        points = make_points([[0, 5], [2, 1], [1, 3]])
+        lo, hi = bounding_box(points)
+        assert lo.tolist() == [0.0, 1.0]
+        assert hi.tolist() == [2.0, 5.0]
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_euclidean_coords(self):
+        assert euclidean_coords((0, 0), (3, 4)) == pytest.approx(5.0)
+
+
+class TestPointFactory:
+    def test_emit_assigns_consecutive_times(self):
+        factory = PointFactory()
+        a = factory.emit(Point((0.0,)))
+        b = factory.emit(Point((1.0,)))
+        assert (a.t, b.t) == (1, 2)
+
+    def test_emit_all_preserves_order(self):
+        factory = PointFactory()
+        items = factory.emit_all([Point((0.0,)), Point((1.0,)), Point((2.0,))])
+        assert [i.t for i in items] == [1, 2, 3]
+        assert [i.point.coords[0] for i in items] == [0.0, 1.0, 2.0]
+
+    def test_items_is_a_copy(self):
+        factory = PointFactory()
+        factory.emit(Point((0.0,)))
+        snapshot = factory.items
+        snapshot.clear()
+        assert len(factory.items) == 1

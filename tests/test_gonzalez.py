@@ -1,0 +1,103 @@
+"""Tests for Gonzalez's greedy k-center and the greedy head selection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.config import FairnessConstraint
+from repro.core.geometry import Point
+from repro.core.metrics import euclidean
+from repro.sequential.brute_force import exact_k_center
+from repro.sequential.gonzalez import GonzalezKCenter, gonzalez, greedy_independent_heads
+from conftest import points_strategy
+
+
+class TestGonzalez:
+    def test_radius_zero_when_k_covers_everything(self, small_points):
+        result = gonzalez(small_points, len(small_points))
+        assert result.radius == pytest.approx(0.0)
+
+    def test_k_larger_than_input(self, small_points):
+        result = gonzalez(small_points, 100)
+        assert len(result.centers) <= len(small_points)
+        assert result.radius == pytest.approx(0.0)
+
+    def test_single_center_radius_is_eccentricity(self):
+        points = [Point((0.0,)), Point((10.0,)), Point((4.0,))]
+        result = gonzalez(points, 1)
+        assert result.radius == pytest.approx(10.0)
+
+    def test_assignment_is_consistent(self, random_points):
+        result = gonzalez(random_points, 4)
+        assert len(result.assignment) == len(random_points)
+        for point, head_index in zip(random_points, result.assignment):
+            head = result.centers[head_index]
+            # Assigned head is the closest selected head.
+            best = min(euclidean(point, c) for c in result.centers)
+            assert euclidean(point, head) == pytest.approx(best, abs=1e-9)
+
+    def test_heads_are_input_points(self, random_points):
+        result = gonzalez(random_points, 5)
+        for center in result.centers:
+            assert center in random_points
+
+    def test_invalid_arguments(self, random_points):
+        with pytest.raises(ValueError):
+            gonzalez([], 2)
+        with pytest.raises(ValueError):
+            gonzalez(random_points, 0)
+        with pytest.raises(ValueError):
+            gonzalez(random_points, 2, first_index=999)
+
+    def test_duplicate_points_stop_early(self):
+        points = [Point((1.0, 1.0))] * 5
+        result = gonzalez(points, 3)
+        assert len(result.centers) == 1
+        assert result.radius == 0.0
+
+    @given(points=points_strategy(max_points=10, min_points=2))
+    @settings(max_examples=30, deadline=None)
+    def test_two_approximation_of_optimum(self, points):
+        k = 2
+        greedy = gonzalez(points, k)
+        optimum = exact_k_center(points, k)
+        assert greedy.radius <= 2.0 * optimum.radius + 1e-7
+
+
+class TestGonzalezSolver:
+    def test_solver_wrapper_ignores_fairness(self, random_points, three_color_constraint):
+        solution = GonzalezKCenter().solve(random_points, three_color_constraint)
+        assert solution.k <= three_color_constraint.k
+        assert solution.metadata["fair"] is False
+        assert solution.radius >= 0
+
+
+class TestGreedyIndependentHeads:
+    def test_pairwise_separation(self, random_points):
+        threshold = 20.0
+        heads = greedy_independent_heads(random_points, threshold)
+        chosen = [random_points[i] for i in heads]
+        for i in range(len(chosen)):
+            for j in range(i + 1, len(chosen)):
+                assert euclidean(chosen[i], chosen[j]) > threshold
+
+    def test_every_point_covered_within_threshold(self, random_points):
+        threshold = 25.0
+        heads = greedy_independent_heads(random_points, threshold)
+        chosen = [random_points[i] for i in heads]
+        for point in random_points:
+            assert min(euclidean(point, h) for h in chosen) <= threshold
+
+    def test_limit_stops_early(self, random_points):
+        heads = greedy_independent_heads(random_points, 0.0, limit=2)
+        assert len(heads) == 3  # limit + 1 certifies "more than limit heads"
+
+    def test_zero_threshold_keeps_distinct_points(self):
+        points = [Point((0.0,)), Point((0.0,)), Point((1.0,))]
+        heads = greedy_independent_heads(points, 0.0)
+        assert len(heads) == 2
+
+    def test_first_point_is_always_a_head(self, random_points):
+        heads = greedy_independent_heads(random_points, 5.0)
+        assert heads[0] == 0

@@ -1,0 +1,121 @@
+"""Unit tests for the guess grid (repro.core.guesses)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.guesses import (
+    AdaptiveGuessGrid,
+    exponent_for,
+    guess_exponent_range,
+    guess_grid,
+    guess_value,
+)
+
+
+class TestStaticGrid:
+    def test_grid_brackets_both_bounds(self):
+        grid = guess_grid(0.5, 100.0, beta=2.0)
+        assert grid[0] <= 0.5
+        assert grid[-1] >= 100.0
+
+    def test_grid_is_geometric(self):
+        grid = guess_grid(1.0, 1000.0, beta=2.0)
+        ratios = [b / a for a, b in zip(grid, grid[1:])]
+        assert all(r == pytest.approx(3.0) for r in ratios)
+
+    def test_grid_single_guess_when_bounds_coincide(self):
+        grid = guess_grid(9.0, 9.0, beta=2.0)
+        assert len(grid) in (1, 2)
+        assert grid[0] <= 9.0 <= grid[-1]
+
+    def test_exponent_range_ordering(self):
+        lo, hi = guess_exponent_range(0.01, 1000.0, beta=1.0)
+        assert lo <= hi
+        assert guess_value(lo, 1.0) <= 0.01 * 2.0  # floor property
+        assert guess_value(hi, 1.0) >= 1000.0 / 2.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            guess_exponent_range(-1.0, 10.0, 2.0)
+        with pytest.raises(ValueError):
+            guess_exponent_range(10.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            guess_exponent_range(1.0, 10.0, 0.0)
+
+    def test_exponent_for_rounding_directions(self):
+        beta = 2.0  # base 3
+        assert exponent_for(8.9, beta, round_up=True) == 2
+        assert exponent_for(9.1, beta, round_up=False) == 2
+        with pytest.raises(ValueError):
+            exponent_for(0.0, beta, round_up=True)
+
+    @given(
+        dmin=st.floats(1e-3, 1e3, allow_nan=False),
+        ratio=st.floats(1.0, 1e4, allow_nan=False),
+        beta=st.floats(0.1, 4.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grid_always_covers_interval(self, dmin, ratio, beta):
+        dmax = dmin * ratio
+        grid = guess_grid(dmin, dmax, beta)
+        assert grid[0] <= dmin * (1.0 + 1e-9)
+        assert grid[-1] >= dmax * (1.0 - 1e-9)
+        assert all(b > a for a, b in zip(grid, grid[1:]))
+
+    def test_grid_size_matches_log_formula(self):
+        grid = guess_grid(1.0, 10_000.0, beta=2.0)
+        expected = math.ceil(math.log(10_000.0, 3.0)) - math.floor(math.log(1.0, 3.0)) + 1
+        assert len(grid) == expected
+
+
+class TestAdaptiveGrid:
+    def test_starts_empty(self):
+        grid = AdaptiveGuessGrid(beta=2.0)
+        assert grid.is_empty
+        assert len(grid) == 0
+        assert list(grid.exponents()) == []
+        assert grid.values() == []
+        assert not grid.contains(0)
+
+    def test_update_bounds_activates_exponents(self):
+        grid = AdaptiveGuessGrid(beta=2.0)
+        grid.update_bounds(1.0, 100.0)
+        values = grid.values()
+        assert values[0] <= 1.0
+        assert values[-1] >= 100.0
+        assert len(grid) == len(values)
+
+    def test_bounds_can_shrink(self):
+        grid = AdaptiveGuessGrid(beta=2.0)
+        grid.update_bounds(0.01, 10_000.0)
+        wide = len(grid)
+        grid.update_bounds(1.0, 10.0)
+        assert len(grid) < wide
+
+    def test_swapped_estimates_are_tolerated(self):
+        grid = AdaptiveGuessGrid(beta=2.0)
+        # dmin estimate larger than dmax estimate gets clamped rather than
+        # raising, because estimators can transiently disagree.
+        grid.update_bounds(50.0, 10.0)
+        assert not grid.is_empty
+
+    def test_invalid_estimates_raise(self):
+        grid = AdaptiveGuessGrid(beta=2.0)
+        with pytest.raises(ValueError):
+            grid.update_bounds(0.0, 1.0)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            AdaptiveGuessGrid(beta=0.0)
+
+    def test_contains(self):
+        grid = AdaptiveGuessGrid(beta=2.0)
+        grid.update_bounds(1.0, 100.0)
+        exponents = list(grid.exponents())
+        assert grid.contains(exponents[0])
+        assert not grid.contains(exponents[0] - 5)

@@ -1,0 +1,149 @@
+"""Tests for the bipartite matching engine (cross-checked against networkx)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequential.matching import (
+    BipartiteGraph,
+    capacitated_matching,
+    hopcroft_karp,
+    is_perfect_on_left,
+    matching_size,
+)
+
+
+def _validate_matching(graph: BipartiteGraph, matching: dict) -> None:
+    """The matching must use existing edges and match right vertices once."""
+    used_right = list(matching.values())
+    assert len(used_right) == len(set(used_right))
+    for u, v in matching.items():
+        assert v in graph.adjacency[u]
+
+
+class TestBipartiteGraph:
+    def test_add_edge_and_vertices(self):
+        graph = BipartiteGraph()
+        graph.add_edge("u1", "v1")
+        graph.add_edge("u1", "v2")
+        graph.add_edge("u2", "v1")
+        assert set(graph.left_vertices) == {"u1", "u2"}
+        assert set(graph.right_vertices) == {"v1", "v2"}
+        assert graph.degree("u1") == 2
+
+    def test_duplicate_edges_ignored(self):
+        graph = BipartiteGraph()
+        graph.add_edge("u", "v")
+        graph.add_edge("u", "v")
+        assert graph.degree("u") == 1
+
+    def test_isolated_left_vertex(self):
+        graph = BipartiteGraph()
+        graph.add_left("lonely")
+        assert graph.degree("lonely") == 0
+        assert hopcroft_karp(graph) == {}
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching_exists(self):
+        graph = BipartiteGraph()
+        graph.add_edge(1, "a")
+        graph.add_edge(2, "b")
+        graph.add_edge(3, "c")
+        matching = hopcroft_karp(graph)
+        assert matching_size(matching) == 3
+        assert is_perfect_on_left(matching, [1, 2, 3])
+
+    def test_augmenting_path_needed(self):
+        # 1-a, 2-{a,b}: greedy could match 2 to a and block 1.
+        graph = BipartiteGraph()
+        graph.add_edge(1, "a")
+        graph.add_edge(2, "a")
+        graph.add_edge(2, "b")
+        matching = hopcroft_karp(graph)
+        assert matching_size(matching) == 2
+
+    def test_no_edges(self):
+        graph = BipartiteGraph()
+        graph.add_left(1)
+        graph.add_left(2)
+        assert hopcroft_karp(graph) == {}
+
+    def test_contention_on_single_right_vertex(self):
+        graph = BipartiteGraph()
+        for u in range(5):
+            graph.add_edge(u, "only")
+        matching = hopcroft_karp(graph)
+        assert matching_size(matching) == 1
+
+    @given(
+        edges=st.sets(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=0, max_size=30
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_optimality_against_networkx(self, edges):
+        graph = BipartiteGraph()
+        nx_graph = nx.Graph()
+        left_nodes = set()
+        for u, v in edges:
+            graph.add_edge(("L", u), ("R", v))
+            nx_graph.add_edge(("L", u), ("R", v))
+            left_nodes.add(("L", u))
+        matching = hopcroft_karp(graph)
+        _validate_matching(graph, matching)
+        if left_nodes:
+            expected = len(nx.bipartite.maximum_matching(nx_graph, top_nodes=left_nodes)) // 2
+        else:
+            expected = 0
+        assert matching_size(matching) == expected
+
+
+class TestCapacitatedMatching:
+    def test_capacity_limits_assignments(self):
+        edges = {1: ["red"], 2: ["red"], 3: ["red"]}
+        matching = capacitated_matching(edges, {"red": 2})
+        assert matching_size(matching) == 2
+        assert set(matching.values()) == {"red"}
+
+    def test_zero_capacity_colors_unusable(self):
+        edges = {1: ["red", "blue"], 2: ["red"]}
+        matching = capacitated_matching(edges, {"red": 0, "blue": 1})
+        assert matching == {1: "blue"}
+
+    def test_missing_capacity_treated_as_zero(self):
+        matching = capacitated_matching({1: ["ghost"]}, {})
+        assert matching == {}
+
+    def test_spreads_across_colors(self):
+        edges = {1: ["a"], 2: ["a", "b"], 3: ["b"]}
+        matching = capacitated_matching(edges, {"a": 1, "b": 1})
+        assert matching_size(matching) == 2
+
+    def test_returns_original_labels(self):
+        matching = capacitated_matching({("head", 0): ["c1"]}, {"c1": 3})
+        assert matching[("head", 0)] == "c1"
+
+    @given(
+        capacities=st.dictionaries(
+            st.integers(0, 3), st.integers(0, 3), min_size=1, max_size=4
+        ),
+        edges=st.dictionaries(
+            st.integers(0, 5),
+            st.sets(st.integers(0, 3), min_size=0, max_size=4),
+            min_size=0,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_capacities(self, capacities, edges):
+        matching = capacitated_matching(edges, capacities)
+        usage: dict[int, int] = {}
+        for left, right in matching.items():
+            assert right in edges[left]
+            usage[right] = usage.get(right, 0) + 1
+        for right, count in usage.items():
+            assert count <= capacities.get(right, 0)

@@ -1,0 +1,221 @@
+"""Tests for the matroid layer (axioms, concrete matroids, intersection)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FairnessConstraint
+from repro.core.geometry import Point
+from repro.matroid import (
+    PartitionMatroid,
+    TransversalMatroid,
+    UniformMatroid,
+    common_independent_set_of_size,
+    matroid_intersection,
+    verify_matroid_axioms,
+)
+
+
+def colored(n: int, colors: str = "ab") -> list[Point]:
+    return [Point((float(i),), colors[i % len(colors)]) for i in range(n)]
+
+
+class TestUniformMatroid:
+    def test_independence_by_size(self):
+        matroid = UniformMatroid(2)
+        e = list(range(5))
+        assert matroid.is_independent([])
+        assert matroid.is_independent(e[:2])
+        assert not matroid.is_independent(e[:3])
+
+    def test_duplicates_are_dependent(self):
+        assert not UniformMatroid(3).is_independent([1, 1])
+
+    def test_can_extend(self):
+        matroid = UniformMatroid(2)
+        assert matroid.can_extend([1], 2)
+        assert not matroid.can_extend([1, 2], 3)
+        assert not matroid.can_extend([1], 1)
+
+    def test_rank_and_maximal_subset(self):
+        matroid = UniformMatroid(3)
+        assert matroid.rank(range(10)) == 3
+        subset = matroid.maximal_independent_subset(range(10))
+        assert len(subset) == 3
+        assert matroid.is_maximal_within(subset, range(10))
+
+    def test_axioms_exhaustively(self):
+        assert verify_matroid_axioms(UniformMatroid(2), list(range(5)))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            UniformMatroid(-1)
+
+
+class TestPartitionMatroid:
+    def _matroid(self) -> PartitionMatroid:
+        return PartitionMatroid(FairnessConstraint({"a": 1, "b": 2}))
+
+    def test_independence_respects_capacities(self):
+        matroid = self._matroid()
+        points = colored(6)
+        assert matroid.is_independent([points[0], points[1], points[3]])  # a, b, b
+        assert not matroid.is_independent([points[0], points[2]])  # two a's
+
+    def test_duplicates_are_dependent(self):
+        matroid = self._matroid()
+        p = Point((0.0,), "a")
+        assert not matroid.is_independent([p, p])
+
+    def test_can_extend_is_incremental(self):
+        matroid = self._matroid()
+        points = colored(6)
+        assert matroid.can_extend([points[1]], points[3])
+        assert not matroid.can_extend([points[1], points[3]], points[5])
+
+    def test_rank_bound(self):
+        assert self._matroid().rank_bound == 3
+
+    def test_color_usage(self):
+        matroid = self._matroid()
+        points = colored(4)
+        assert matroid.color_usage(points) == {"a": 2, "b": 2}
+
+    def test_unknown_color_capacity_zero(self):
+        matroid = self._matroid()
+        assert not matroid.is_independent([Point((0.0,), "zzz")])
+
+    def test_axioms_exhaustively(self):
+        matroid = self._matroid()
+        assert verify_matroid_axioms(matroid, colored(5), max_size=4)
+
+    def test_requires_colored_elements_without_custom_accessor(self):
+        with pytest.raises(TypeError):
+            self._matroid().is_independent(["not a point"])
+
+    def test_custom_color_accessor(self):
+        matroid = PartitionMatroid(
+            FairnessConstraint({0: 1, 1: 1}), color_of=lambda x: x % 2
+        )
+        assert matroid.is_independent([2, 3])
+        assert not matroid.is_independent([2, 4])
+
+    @given(
+        caps=st.dictionaries(st.sampled_from("abc"), st.integers(0, 2), min_size=2),
+        size=st.integers(0, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_maximal_sets_have_rank_size(self, caps, size):
+        if all(v == 0 for v in caps.values()):
+            caps["a"] = 1
+        constraint = FairnessConstraint(caps)
+        matroid = PartitionMatroid(constraint)
+        colors = sorted(caps)
+        points = [Point((float(i),), colors[i % len(colors)]) for i in range(size)]
+        greedy = matroid.maximal_independent_subset(points)
+        # The greedy maximal set size equals min(capacity, available) per color.
+        expected = sum(
+            min(caps[c], sum(1 for p in points if p.color == c)) for c in colors
+        )
+        assert len(greedy) == expected
+
+
+class TestTransversalMatroid:
+    def test_basic_transversal(self):
+        matroid = TransversalMatroid({"s1": [1, 2], "s2": [2, 3]})
+        assert matroid.is_independent([1, 3])
+        assert matroid.is_independent([2, 3])
+        assert not matroid.is_independent([1, 2, 3])
+
+    def test_element_outside_every_set(self):
+        matroid = TransversalMatroid({"s1": [1]})
+        assert not matroid.is_independent([99])
+
+    def test_duplicates_are_dependent(self):
+        matroid = TransversalMatroid({"s1": [1], "s2": [1]})
+        assert not matroid.is_independent([1, 1])
+
+    def test_sets_containing(self):
+        matroid = TransversalMatroid({"s1": [1, 2], "s2": [2]})
+        assert set(matroid.sets_containing(2)) == {"s1", "s2"}
+
+    def test_axioms_exhaustively(self):
+        matroid = TransversalMatroid({"s1": [0, 1], "s2": [1, 2], "s3": [2, 3]})
+        assert verify_matroid_axioms(matroid, [0, 1, 2, 3])
+
+
+class TestMatroidIntersection:
+    def _brute_force_max(self, elements, ma, mb) -> int:
+        best = 0
+        for size in range(len(elements), -1, -1):
+            for combo in combinations(elements, size):
+                if ma.is_independent(combo) and mb.is_independent(combo):
+                    return size
+        return best
+
+    def test_uniform_vs_uniform(self):
+        elements = list(range(6))
+        result = matroid_intersection(elements, UniformMatroid(3), UniformMatroid(4))
+        assert len(result) == 3
+
+    def test_partition_vs_partition_known_instance(self):
+        # Colors by parity vs. "balls" by value range.
+        ma = PartitionMatroid(FairnessConstraint({0: 1, 1: 1}), color_of=lambda x: x % 2)
+        mb = PartitionMatroid(
+            FairnessConstraint({"low": 1, "high": 1}),
+            color_of=lambda x: "low" if x < 3 else "high",
+        )
+        result = matroid_intersection(list(range(6)), ma, mb)
+        assert len(result) == 2
+        assert ma.is_independent(result) and mb.is_independent(result)
+
+    def test_target_size_early_exit(self):
+        elements = list(range(10))
+        result = common_independent_set_of_size(
+            elements, UniformMatroid(5), UniformMatroid(5), size=3
+        )
+        assert result is not None and len(result) == 3
+
+    def test_target_size_infeasible(self):
+        elements = list(range(4))
+        assert (
+            common_independent_set_of_size(
+                elements, UniformMatroid(1), UniformMatroid(4), size=2
+            )
+            is None
+        )
+
+    def test_result_always_common_independent(self):
+        ma = PartitionMatroid(FairnessConstraint({0: 2, 1: 1}), color_of=lambda x: x % 2)
+        mb = UniformMatroid(2)
+        result = matroid_intersection(list(range(8)), ma, mb)
+        assert ma.is_independent(result)
+        assert mb.is_independent(result)
+
+    def test_duplicate_elements_deduplicated(self):
+        result = matroid_intersection([1, 1, 2, 2], UniformMatroid(3), UniformMatroid(3))
+        assert len(result) == len(set(result)) == 2
+
+    @given(
+        num_elements=st.integers(0, 7),
+        cap_a=st.integers(1, 3),
+        cap_b=st.integers(1, 3),
+        split=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_maximum(self, num_elements, cap_a, cap_b, split):
+        elements = list(range(num_elements))
+        ma = PartitionMatroid(
+            FairnessConstraint({0: cap_a, 1: cap_a}), color_of=lambda x: x % 2
+        )
+        mb = PartitionMatroid(
+            FairnessConstraint({"lo": cap_b, "hi": cap_b}),
+            color_of=lambda x, s=split: "lo" if x < s else "hi",
+        )
+        result = matroid_intersection(elements, ma, mb)
+        assert ma.is_independent(result) and mb.is_independent(result)
+        assert len(result) == self._brute_force_max(elements, ma, mb)

@@ -1,0 +1,200 @@
+"""Unit and property-based tests for repro.core.metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.geometry import Point
+from repro.core.metrics import (
+    CountingMetric,
+    Minkowski,
+    PrecomputedMetric,
+    angular,
+    aspect_ratio,
+    chebyshev,
+    distance_to_set,
+    distances_to_set,
+    euclidean,
+    get_metric,
+    manhattan,
+    min_max_pairwise_distance,
+    pairwise_distances,
+)
+from conftest import points_strategy
+
+ALL_METRICS = [euclidean, manhattan, chebyshev, Minkowski(3.0), angular]
+
+
+class TestBasicDistances:
+    def test_euclidean_known_value(self):
+        assert euclidean(Point((0, 0)), Point((3, 4))) == pytest.approx(5.0)
+
+    def test_manhattan_known_value(self):
+        assert manhattan(Point((0, 0)), Point((3, 4))) == pytest.approx(7.0)
+
+    def test_chebyshev_known_value(self):
+        assert chebyshev(Point((0, 0)), Point((3, 4))) == pytest.approx(4.0)
+
+    def test_minkowski_interpolates(self):
+        p, q = Point((0, 0)), Point((3, 4))
+        assert Minkowski(1.0)(p, q) == pytest.approx(manhattan(p, q))
+        assert Minkowski(2.0)(p, q) == pytest.approx(euclidean(p, q))
+
+    def test_minkowski_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            Minkowski(0.5)
+
+    def test_angular_orthogonal_vectors(self):
+        assert angular(Point((1, 0)), Point((0, 1))) == pytest.approx(math.pi / 2)
+
+    def test_angular_parallel_vectors(self):
+        assert angular(Point((2, 2)), Point((4, 4))) == pytest.approx(0.0, abs=1e-6)
+
+    def test_angular_zero_vectors(self):
+        assert angular(Point((0, 0)), Point((0, 0))) == 0.0
+        assert angular(Point((0, 0)), Point((1, 0))) == pytest.approx(math.pi / 2)
+
+
+class TestMetricAxioms:
+    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: getattr(m, "__name__", repr(m)))
+    @given(points=points_strategy(max_points=3, min_points=3, dim=3))
+    @settings(max_examples=40, deadline=None)
+    def test_axioms_on_random_triples(self, metric, points):
+        a, b, c = points
+        dab, dba = metric(a, b), metric(b, a)
+        assert dab >= 0
+        assert dab == pytest.approx(dba, rel=1e-9, abs=1e-9)
+        assert metric(a, a) == pytest.approx(0.0, abs=1e-6)
+        # Triangle inequality with a small numerical tolerance.
+        assert metric(a, c) <= metric(a, b) + metric(b, c) + 1e-6
+
+
+class TestGetMetric:
+    def test_resolves_names(self):
+        assert get_metric("euclidean") is euclidean
+        assert get_metric("L1") is manhattan
+        assert get_metric("linf") is chebyshev
+
+    def test_passes_callables_through(self):
+        assert get_metric(manhattan) is manhattan
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("nonexistent")
+
+
+class TestPrecomputedMetric:
+    def _triangle(self) -> PrecomputedMetric:
+        return PrecomputedMetric(np.array([[0, 1, 2], [1, 0, 1.5], [2, 1.5, 0]]))
+
+    def test_lookup(self):
+        metric = self._triangle()
+        assert metric(metric.point(0), metric.point(2)) == 2.0
+
+    def test_point_carries_color(self):
+        metric = self._triangle()
+        assert metric.point(1, "red").color == "red"
+
+    def test_point_out_of_range(self):
+        with pytest.raises(IndexError):
+            self._triangle().point(5)
+
+    def test_rejects_asymmetric_matrix(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            PrecomputedMetric(np.array([[0, 1], [2, 0]]))
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="zero"):
+            PrecomputedMetric(np.array([[1.0, 1], [1, 0]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PrecomputedMetric(np.array([[0, -1], [-1, 0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            PrecomputedMetric(np.zeros((2, 3)))
+
+
+class TestCountingMetric:
+    def test_counts_calls(self):
+        counting = CountingMetric(euclidean)
+        counting(Point((0,)), Point((1,)))
+        counting(Point((0,)), Point((2,)))
+        assert counting.calls == 2
+        counting.reset()
+        assert counting.calls == 0
+
+    def test_preserves_values(self):
+        counting = CountingMetric(euclidean)
+        assert counting(Point((0, 0)), Point((3, 4))) == pytest.approx(5.0)
+
+
+class TestPairwiseHelpers:
+    def test_pairwise_matrix_euclidean_fast_path(self, random_points):
+        matrix = pairwise_distances(random_points[:10])
+        slow = np.array(
+            [[euclidean(a, b) for b in random_points[:10]] for a in random_points[:10]]
+        )
+        assert np.allclose(matrix, slow, atol=1e-8)
+
+    def test_pairwise_matrix_generic_metric(self, random_points):
+        matrix = pairwise_distances(random_points[:6], manhattan)
+        assert matrix[2, 3] == pytest.approx(manhattan(random_points[2], random_points[3]))
+        assert np.allclose(matrix, matrix.T)
+
+    def test_pairwise_empty(self):
+        assert pairwise_distances([]).shape == (0, 0)
+
+    def test_distances_to_set(self):
+        targets = [Point((0, 0)), Point((10, 0))]
+        dists = distances_to_set(Point((1, 0)), targets)
+        assert dists.tolist() == pytest.approx([1.0, 9.0])
+
+    def test_distances_to_set_generic(self):
+        targets = [Point((0, 0)), Point((10, 0))]
+        dists = distances_to_set(Point((1, 1)), targets, manhattan)
+        assert dists.tolist() == pytest.approx([2.0, 10.0])
+
+    def test_distance_to_empty_set_is_infinite(self):
+        assert distance_to_set(Point((0,)), []) == math.inf
+
+    def test_distance_to_set_minimum(self):
+        targets = [Point((0, 0)), Point((5, 0)), Point((2, 0))]
+        assert distance_to_set(Point((4, 0)), targets) == pytest.approx(1.0)
+
+    def test_min_max_pairwise_distance(self):
+        points = [Point((0, 0)), Point((1, 0)), Point((10, 0))]
+        dmin, dmax = min_max_pairwise_distance(points)
+        assert dmin == pytest.approx(1.0)
+        assert dmax == pytest.approx(10.0)
+
+    def test_min_max_requires_two_points(self):
+        with pytest.raises(ValueError):
+            min_max_pairwise_distance([Point((0,))])
+
+    def test_aspect_ratio(self):
+        points = [Point((0, 0)), Point((1, 0)), Point((10, 0))]
+        assert aspect_ratio(points) == pytest.approx(10.0)
+
+    def test_aspect_ratio_with_duplicates_ignores_zero_pairs(self):
+        points = [Point((0, 0)), Point((0, 0)), Point((4, 0))]
+        assert aspect_ratio(points) == pytest.approx(1.0)
+
+    def test_aspect_ratio_degenerate(self):
+        assert aspect_ratio([Point((0, 0))]) == 1.0
+        assert aspect_ratio([Point((0, 0)), Point((0, 0))]) == 1.0
+
+    @given(points=points_strategy(max_points=8, min_points=2))
+    @settings(max_examples=30, deadline=None)
+    def test_pairwise_matrix_consistent_with_oracle(self, points):
+        matrix = pairwise_distances(points)
+        for i in range(len(points)):
+            for j in range(len(points)):
+                assert matrix[i, j] == pytest.approx(
+                    euclidean(points[i], points[j]), abs=1e-7
+                )

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.solution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FairnessConstraint
+from repro.core.geometry import Point, StreamItem
+from repro.core.metrics import manhattan
+from repro.core.solution import ClusteringSolution, check_solution, evaluate_radius
+
+
+@pytest.fixture
+def line_points() -> list[Point]:
+    return [Point((float(i),), "a" if i % 2 == 0 else "b") for i in range(10)]
+
+
+class TestEvaluateRadius:
+    def test_single_center(self, line_points):
+        radius = evaluate_radius([Point((0.0,),)], line_points)
+        assert radius == pytest.approx(9.0)
+
+    def test_two_centers(self, line_points):
+        radius = evaluate_radius([Point((0.0,)), Point((9.0,))], line_points)
+        assert radius == pytest.approx(4.0)
+
+    def test_empty_points(self):
+        assert evaluate_radius([Point((0.0,))], []) == 0.0
+
+    def test_empty_centers(self, line_points):
+        assert evaluate_radius([], line_points) == float("inf")
+
+    def test_respects_metric(self):
+        points = [Point((0.0, 0.0)), Point((1.0, 1.0))]
+        assert evaluate_radius([points[0]], points, manhattan) == pytest.approx(2.0)
+
+
+class TestClusteringSolution:
+    def test_stream_items_are_unwrapped(self):
+        item = StreamItem(Point((1.0,), "a"), 3)
+        solution = ClusteringSolution(centers=[item])
+        assert isinstance(solution.centers[0], Point)
+        assert solution.centers[0].color == "a"
+
+    def test_color_counts_and_k(self):
+        solution = ClusteringSolution(
+            centers=[Point((0.0,), "a"), Point((1.0,), "a"), Point((2.0,), "b")]
+        )
+        assert solution.k == 3
+        assert solution.color_counts() == {"a": 2, "b": 1}
+
+    def test_is_fair(self):
+        constraint = FairnessConstraint({"a": 1, "b": 1})
+        fair = ClusteringSolution(centers=[Point((0.0,), "a"), Point((1.0,), "b")])
+        unfair = ClusteringSolution(centers=[Point((0.0,), "a"), Point((1.0,), "a")])
+        assert fair.is_fair(constraint)
+        assert not unfair.is_fair(constraint)
+
+    def test_radius_on(self, line_points):
+        solution = ClusteringSolution(centers=[Point((4.0,), "a")])
+        assert solution.radius_on(line_points) == pytest.approx(5.0)
+
+    def test_assign_and_clusters(self, line_points):
+        solution = ClusteringSolution(centers=[Point((0.0,), "a"), Point((9.0,), "b")])
+        assignment = solution.assign(line_points)
+        assert assignment[0] == 0
+        assert assignment[-1] == 1
+        clusters = solution.clusters(line_points)
+        assert len(clusters) == 2
+        assert sum(len(c) for c in clusters) == len(line_points)
+
+    def test_assign_requires_centers(self, line_points):
+        with pytest.raises(ValueError):
+            ClusteringSolution(centers=[]).assign(line_points)
+
+    def test_metadata_defaults_to_empty_dict(self):
+        a = ClusteringSolution(centers=[])
+        b = ClusteringSolution(centers=[])
+        a.metadata["x"] = 1
+        assert b.metadata == {}
+
+
+class TestCheckSolution:
+    def test_report_fields(self, line_points):
+        constraint = FairnessConstraint({"a": 1, "b": 1})
+        solution = ClusteringSolution(centers=[Point((0.0,), "a"), Point((9.0,), "b")])
+        report = check_solution(solution, line_points, constraint)
+        assert report["is_fair"] is True
+        assert report["within_budget"] is True
+        assert report["radius"] == pytest.approx(4.0)
+        assert report["violations"] == {}
+
+    def test_reports_violations(self, line_points):
+        constraint = FairnessConstraint({"a": 1, "b": 1})
+        solution = ClusteringSolution(
+            centers=[Point((0.0,), "a"), Point((2.0,), "a"), Point((9.0,), "b")]
+        )
+        report = check_solution(solution, line_points, constraint)
+        assert report["is_fair"] is False
+        assert report["within_budget"] is False
+        assert report["violations"] == {"a": 1}

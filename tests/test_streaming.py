@@ -1,0 +1,253 @@
+"""Tests for the streaming substrate: streams, windows, baselines, estimator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FairnessConstraint
+from repro.core.geometry import Point, StreamItem
+from repro.core.metrics import min_max_pairwise_distance
+from repro.sequential.jones import JonesFairCenter
+from repro.streaming import (
+    AspectRatioEstimator,
+    ExactSlidingWindow,
+    InsertionOnlyFairCenter,
+    QuerySchedule,
+    SlidingWindowBaseline,
+    Stream,
+    replay,
+    timestamp,
+)
+
+
+class TestStream:
+    def test_assigns_consecutive_times_from_one(self):
+        stream = replay([Point((0.0,)), Point((1.0,)), Point((2.0,))])
+        items = list(stream)
+        assert [i.t for i in items] == [1, 2, 3]
+
+    def test_take(self):
+        stream = replay([Point((float(i),)) for i in range(5)])
+        first = stream.take(2)
+        rest = stream.take(10)
+        assert [i.t for i in first] == [1, 2]
+        assert [i.t for i in rest] == [3, 4, 5]
+
+    def test_stream_is_single_use(self):
+        stream = replay([Point((0.0,))])
+        assert len(list(stream)) == 1
+        assert len(list(stream)) == 0
+
+    def test_timestamp_helper(self):
+        items = timestamp([Point((0.0,)), Point((1.0,))], start=5)
+        assert [i.t for i in items] == [5, 6]
+
+    def test_generator_source(self):
+        stream = Stream(Point((float(i),)) for i in range(3))
+        assert [i.t for i in stream] == [1, 2, 3]
+
+
+class TestQuerySchedule:
+    def test_evenly_spaced_starts_at_full_window(self):
+        schedule = QuerySchedule.evenly_spaced(100, 40, 4)
+        assert schedule.times[0] == 40
+        assert all(t <= 100 for t in schedule.times)
+        assert len(schedule) <= 4
+
+    def test_evenly_spaced_short_stream(self):
+        schedule = QuerySchedule.evenly_spaced(10, 40, 5)
+        assert schedule.times == (10,)
+
+    def test_zero_queries(self):
+        assert len(QuerySchedule.evenly_spaced(100, 10, 0)) == 0
+
+    def test_consecutive(self):
+        schedule = QuerySchedule.consecutive(7, 3)
+        assert schedule.times == (7, 8, 9)
+        assert 8 in schedule
+        assert 10 not in schedule
+
+    def test_iteration(self):
+        assert list(QuerySchedule.consecutive(1, 2)) == [1, 2]
+
+
+class TestExactSlidingWindow:
+    def test_keeps_only_last_n_points(self):
+        window = ExactSlidingWindow(3)
+        for i in range(10):
+            window.insert(Point((float(i),)))
+        assert len(window) == 3
+        assert [p.coords[0] for p in window.points()] == [7.0, 8.0, 9.0]
+
+    def test_is_full_flag(self):
+        window = ExactSlidingWindow(2)
+        window.insert(Point((0.0,)))
+        assert not window.is_full
+        window.insert(Point((1.0,)))
+        assert window.is_full
+
+    def test_accepts_stream_items_with_gaps(self):
+        window = ExactSlidingWindow(5)
+        window.insert(StreamItem(Point((0.0,)), 1))
+        window.insert(StreamItem(Point((1.0,)), 10))
+        # The first item expired long ago given the jump in time.
+        assert len(window) == 1
+        assert window.now == 10
+
+    def test_rejects_non_increasing_times(self):
+        window = ExactSlidingWindow(5)
+        window.insert(StreamItem(Point((0.0,)), 5))
+        with pytest.raises(ValueError):
+            window.insert(StreamItem(Point((1.0,)), 5))
+
+    def test_rejects_bad_window_size(self):
+        with pytest.raises(ValueError):
+            ExactSlidingWindow(0)
+
+    def test_expired_at(self):
+        window = ExactSlidingWindow(10)
+        assert window.expired_at(5) is None
+        assert window.expired_at(11) == 1
+
+    def test_memory_points_equals_length(self):
+        window = ExactSlidingWindow(4)
+        for i in range(6):
+            window.insert(Point((float(i),)))
+        assert window.memory_points() == len(window) == 4
+
+    def test_contains(self):
+        window = ExactSlidingWindow(2)
+        item = window.insert(Point((0.0,)))
+        assert item in window
+
+    @given(n=st.integers(1, 20), length=st.integers(0, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_window_content_matches_suffix(self, n, length):
+        window = ExactSlidingWindow(n)
+        points = [Point((float(i),)) for i in range(length)]
+        for p in points:
+            window.insert(p)
+        expected = points[-n:] if length else []
+        assert window.points() == expected
+
+
+class TestSlidingWindowBaseline:
+    def test_query_runs_solver_on_window(self):
+        constraint = FairnessConstraint({"a": 1, "b": 1})
+        baseline = SlidingWindowBaseline(3, constraint, JonesFairCenter())
+        for i in range(6):
+            baseline.insert(Point((float(i),), "a" if i % 2 == 0 else "b"))
+        solution = baseline.query()
+        assert solution.coreset_size == 3
+        assert solution.is_fair(constraint)
+        assert baseline.memory_points() == 3
+        assert solution.metadata["baseline"] == "JonesFairCenter"
+
+    def test_custom_name(self):
+        constraint = FairnessConstraint({"a": 1})
+        baseline = SlidingWindowBaseline(2, constraint, JonesFairCenter(), name="X")
+        baseline.insert(Point((0.0,), "a"))
+        assert baseline.query().metadata["baseline"] == "X"
+
+
+class TestAspectRatioEstimator:
+    def _drive(self, points, window_size):
+        estimator = AspectRatioEstimator(window_size)
+        for index, p in enumerate(points):
+            estimator.insert(StreamItem(p, index + 1))
+        return estimator
+
+    def test_no_estimates_before_two_points(self):
+        estimator = AspectRatioEstimator(10)
+        assert estimator.dmax_estimate() is None
+        assert estimator.dmin_estimate() is None
+        estimator.insert(StreamItem(Point((0.0,)), 1))
+        assert not estimator.has_estimates
+
+    def test_witnessed_diameter_is_lower_bound(self, random_points):
+        window_size = 30
+        estimator = self._drive(random_points, window_size)
+        window = random_points[-window_size:]
+        _, true_diameter = min_max_pairwise_distance(window)
+        assert estimator.witnessed_diameter() <= true_diameter + 1e-9
+        # and it is within a reasonable factor of the true diameter
+        assert estimator.witnessed_diameter() >= true_diameter / 8.0
+
+    def test_dmax_estimate_covers_diameter(self, random_points):
+        window_size = 30
+        estimator = self._drive(random_points, window_size)
+        window = random_points[-window_size:]
+        _, true_diameter = min_max_pairwise_distance(window)
+        assert estimator.dmax_estimate() >= true_diameter / 2.0
+
+    def test_dmin_estimate_not_above_dmax(self, random_points):
+        estimator = self._drive(random_points, 25)
+        assert estimator.dmin_estimate() <= estimator.dmax_estimate()
+
+    def test_expiration_shrinks_estimates(self):
+        # Two far points early, then a tight cluster: once the far pair
+        # expires the diameter estimate must drop.
+        points = [Point((0.0,)), Point((1000.0,))]
+        points += [Point((500.0 + i * 0.01,)) for i in range(30)]
+        estimator = AspectRatioEstimator(window_size=10)
+        for index, p in enumerate(points):
+            estimator.insert(StreamItem(p, index + 1))
+        assert estimator.witnessed_diameter() <= 10.0
+
+    def test_memory_is_small(self, random_points):
+        estimator = self._drive(random_points * 3, 50)
+        assert estimator.memory_points() <= 200
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AspectRatioEstimator(0)
+        with pytest.raises(ValueError):
+            AspectRatioEstimator(5, safety_factor=0.5)
+
+
+class TestInsertionOnlyFairCenter:
+    def test_summary_respects_fairness_and_budget(self, random_points,
+                                                   three_color_constraint):
+        dmin, dmax = min_max_pairwise_distance(random_points)
+        summary = InsertionOnlyFairCenter(
+            three_color_constraint, max(dmin, 1e-6), dmax
+        )
+        for p in random_points:
+            summary.insert(p)
+        solution = summary.query()
+        assert solution.is_fair(three_color_constraint)
+        assert solution.k <= three_color_constraint.k
+        assert summary.processed == len(random_points)
+
+    def test_memory_much_smaller_than_stream(self):
+        import random as _random
+
+        rng = _random.Random(0)
+        points = [
+            Point((rng.uniform(0, 10), rng.uniform(0, 10)), rng.randrange(2))
+            for _ in range(500)
+        ]
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        summary = InsertionOnlyFairCenter(constraint, 0.001, 20.0)
+        for p in points:
+            summary.insert(p)
+        assert summary.memory_points() < len(points)
+
+    def test_radius_close_to_offline_solution(self, random_points,
+                                               three_color_constraint):
+        dmin, dmax = min_max_pairwise_distance(random_points)
+        summary = InsertionOnlyFairCenter(
+            three_color_constraint, max(dmin, 1e-6), dmax
+        )
+        for p in random_points:
+            summary.insert(p)
+        streaming_radius = summary.query().radius_on(random_points)
+        offline = JonesFairCenter().solve(random_points, three_color_constraint)
+        assert streaming_radius <= 8.0 * offline.radius + 1e-9
+
+    def test_query_before_any_point(self, three_color_constraint):
+        summary = InsertionOnlyFairCenter(three_color_constraint, 0.1, 10.0)
+        solution = summary.query()
+        assert solution.centers == []
