@@ -1,0 +1,6 @@
+"""Benchmark package marker.
+
+Making ``benchmarks`` a package gives its ``conftest.py`` the unambiguous
+module name ``benchmarks.conftest`` (instead of top-level ``conftest``),
+which would otherwise collide with ``tests/conftest.py`` during collection.
+"""

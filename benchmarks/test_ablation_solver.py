@@ -11,7 +11,7 @@ import pytest
 
 from repro.experiments import ablation_solver
 
-from conftest import register_table
+from benchmarks.conftest import register_table
 
 
 @pytest.mark.benchmark(group="ablation-solver")

@@ -14,7 +14,7 @@ import pytest
 from repro.datasets.registry import PAPER_DATASETS
 from repro.experiments.delta_sweep import figure1_rows, run_delta_sweep
 
-from conftest import register_table
+from benchmarks.conftest import register_table
 
 
 @pytest.mark.benchmark(group="figure1")

@@ -63,7 +63,7 @@ def test_query_time_microbenchmark(benchmark, scale, delta):
 @pytest.mark.benchmark(group="figure2")
 def test_figure2_series(benchmark, scale):
     """Regenerate the full Figure 2 series (one dataset timed, all reported)."""
-    from conftest import register_table
+    from benchmarks.conftest import register_table
 
     rows = benchmark.pedantic(
         lambda: run_delta_sweep(["higgs"], scale=scale), rounds=1, iterations=1

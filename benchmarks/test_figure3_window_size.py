@@ -12,7 +12,7 @@ import pytest
 
 from repro.experiments import figure3
 
-from conftest import register_table
+from benchmarks.conftest import register_table
 
 
 @pytest.mark.benchmark(group="figure3")

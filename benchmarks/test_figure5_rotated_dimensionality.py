@@ -11,7 +11,7 @@ import pytest
 
 from repro.experiments import figure5
 
-from conftest import register_table
+from benchmarks.conftest import register_table
 
 
 @pytest.mark.benchmark(group="figure5")

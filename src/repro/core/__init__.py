@@ -1,5 +1,15 @@
 """Core layer: geometry, metrics, configuration and the streaming algorithms."""
 
+from .backend import (
+    BatchDistanceEngine,
+    DistanceKernel,
+    PointBuffer,
+    ScalarOnlyMetric,
+    get_backend_mode,
+    resolve_kernel,
+    set_backend_mode,
+    use_backend,
+)
 from .config import (
     DEFAULT_ALPHA,
     FairnessConstraint,
@@ -27,18 +37,22 @@ from .solution import ClusteringSolution, check_solution, evaluate_radius
 
 __all__ = [
     "AdaptiveGuessGrid",
+    "BatchDistanceEngine",
     "ClusteringSolution",
     "Color",
     "CountingMetric",
     "DEFAULT_ALPHA",
     "DimensionFreeFairSlidingWindow",
+    "DistanceKernel",
     "FairSlidingWindow",
     "FairnessConstraint",
     "Minkowski",
     "ObliviousFairSlidingWindow",
     "Point",
+    "PointBuffer",
     "PointFactory",
     "PrecomputedMetric",
+    "ScalarOnlyMetric",
     "SlidingWindowConfig",
     "StreamItem",
     "angular",
@@ -48,10 +62,14 @@ __all__ = [
     "epsilon_from_delta",
     "euclidean",
     "evaluate_radius",
+    "get_backend_mode",
     "get_metric",
     "guess_grid",
     "make_point",
     "make_points",
     "manhattan",
     "pairwise_distances",
+    "resolve_kernel",
+    "set_backend_mode",
+    "use_backend",
 ]

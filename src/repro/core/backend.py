@@ -1,0 +1,558 @@
+"""Vectorized distance backend for the streaming algorithms.
+
+The algorithms of this package are written against a scalar distance oracle
+``d(p, q)`` so that they work in *any* metric space.  For the standard vector
+metrics (the Lp family) that generality is paid for dearly: the sliding-window
+``Update`` routine evaluates the oracle a few hundred times per arrival, each
+call crossing the Python/float boundary for a handful of coordinates.
+
+This module provides the batched alternative:
+
+* :class:`DistanceKernel` — a vectorised ``one point -> many points`` distance
+  computation for a specific metric, operating on a contiguous ``(n, d)``
+  coordinate matrix.  Kernels exist for the Euclidean, Manhattan, Chebyshev
+  and general Minkowski metrics; :func:`resolve_kernel` maps a scalar metric
+  to its kernel (returning ``None`` for custom / non-Lp metrics, which keeps
+  the scalar :class:`~repro.core.metrics.Metric` protocol as the fallback).
+* :class:`PointBuffer` — a contiguous per-family coordinate buffer maintained
+  incrementally (append on insert, mask on expire, periodic compaction), for
+  structures that own a single family of points (e.g. the insertion-only
+  sketch's pivots).
+* :class:`BatchDistanceEngine` — a membership table *shared by all the guess
+  states of one algorithm instance*.  Every attractor of every guess state
+  occupies one row holding its coordinates, arrival time and the attraction
+  threshold of its family (``2γ`` for v-attractors, ``δγ/2`` for
+  c-attractors).  When a new point arrives, one batched kernel call plus one
+  vectorised comparison finds every attractor of every guess that the point
+  attaches to; the per-guess update loops then only touch those (sparse)
+  hits instead of scanning their families.
+
+Backend selection
+-----------------
+The vectorised path is used automatically whenever the configured metric has
+a kernel.  It can be disabled globally by setting the environment variable
+``REPRO_BACKEND=scalar`` (or programmatically via :func:`set_backend_mode` /
+the :func:`use_backend` context manager), and per algorithm instance through
+their ``backend="scalar"`` constructor argument.  The scalar and vectorised
+paths agree to within floating-point rounding (see ``tests/test_backend.py``
+for the property-based equivalence suite).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BatchDistanceEngine",
+    "DistanceKernel",
+    "PointBuffer",
+    "ScalarOnlyMetric",
+    "get_backend_mode",
+    "make_batch_engine",
+    "resolve_instance_kernel",
+    "resolve_kernel",
+    "set_backend_mode",
+    "use_backend",
+    "validate_backend",
+]
+
+BACKEND_MODES = ("auto", "scalar")
+
+_mode = os.environ.get("REPRO_BACKEND", "auto").strip().lower() or "auto"
+if _mode not in BACKEND_MODES:  # pragma: no cover - environment misuse
+    raise ValueError(
+        f"REPRO_BACKEND={_mode!r} is not a valid backend mode; "
+        f"choose one of {', '.join(BACKEND_MODES)}"
+    )
+
+
+def get_backend_mode() -> str:
+    """The current global backend mode (``auto`` or ``scalar``)."""
+    return _mode
+
+
+def set_backend_mode(mode: str) -> None:
+    """Set the global backend mode.
+
+    ``auto`` (the default) vectorises every metric with a known kernel;
+    ``scalar`` disables kernel resolution entirely, forcing the scalar
+    distance oracle everywhere.
+    """
+    global _mode
+    mode = mode.strip().lower()
+    if mode not in BACKEND_MODES:
+        raise ValueError(
+            f"unknown backend mode {mode!r}; choose one of {', '.join(BACKEND_MODES)}"
+        )
+    _mode = mode
+
+
+@contextmanager
+def use_backend(mode: str) -> Iterator[None]:
+    """Temporarily switch the global backend mode (for tests and benchmarks)."""
+    previous = get_backend_mode()
+    set_backend_mode(mode)
+    try:
+        yield
+    finally:
+        set_backend_mode(previous)
+
+
+# ----------------------------------------------------------------- kernels
+
+
+class DistanceKernel:
+    """Vectorised one-to-many distance computation for a fixed metric."""
+
+    name = "abstract"
+
+    def one_to_many(self, query: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        """Distances from ``query`` (shape ``(d,)``) to every row of ``coords``."""
+        raise NotImplementedError
+
+
+class EuclideanKernel(DistanceKernel):
+    name = "euclidean"
+
+    def one_to_many(self, query: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        if coords.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        diff = coords - query
+        # einsum avoids np.linalg.norm's dispatch overhead on the hot path.
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+class ManhattanKernel(DistanceKernel):
+    name = "manhattan"
+
+    def one_to_many(self, query: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        if coords.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        return np.abs(coords - query).sum(axis=1)
+
+
+class ChebyshevKernel(DistanceKernel):
+    name = "chebyshev"
+
+    def one_to_many(self, query: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        if coords.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        if coords.shape[1] == 0:
+            # Zero-dimensional points are all at distance 0 (the scalar
+            # chebyshev defines max over an empty set as 0).
+            return np.zeros(coords.shape[0], dtype=float)
+        return np.abs(coords - query).max(axis=1)
+
+
+class MinkowskiKernel(DistanceKernel):
+    def __init__(self, p: float) -> None:
+        if p < 1:
+            raise ValueError(f"Minkowski exponent must be >= 1, got {p}")
+        self.p = float(p)
+        self.name = f"minkowski(p={p:g})"
+
+    def one_to_many(self, query: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        if coords.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        diff = np.abs(coords - query)
+        return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
+
+
+EUCLIDEAN_KERNEL = EuclideanKernel()
+MANHATTAN_KERNEL = ManhattanKernel()
+CHEBYSHEV_KERNEL = ChebyshevKernel()
+
+#: Minkowski kernels interned by exponent so the per-call resolution in the
+#: pairwise-distance helpers stays allocation-free.
+_MINKOWSKI_KERNELS: dict[float, MinkowskiKernel] = {}
+
+
+class ScalarOnlyMetric:
+    """Wrap a metric so that :func:`resolve_kernel` never vectorises it.
+
+    Used to force the scalar code path of components that resolve kernels
+    internally (the sequential solvers, the pairwise-distance helpers) when a
+    caller asks for ``backend="scalar"`` on one instance without touching the
+    global mode.
+    """
+
+    def __init__(self, base: Callable) -> None:
+        self.base = base
+
+    def __call__(self, a, b) -> float:
+        return self.base(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScalarOnlyMetric({self.base!r})"
+
+
+def resolve_kernel(metric: Callable) -> DistanceKernel | None:
+    """The :class:`DistanceKernel` of ``metric``, or ``None`` if it has none.
+
+    Only the plain Lp metrics of :mod:`repro.core.metrics` are recognised;
+    wrappers with observable call semantics (``CountingMetric``), finite
+    matrix metrics and arbitrary user callables all fall back to the scalar
+    path.  Returns ``None`` unconditionally when the global backend mode is
+    ``scalar``.
+    """
+    if _mode == "scalar":
+        return None
+    # Imported lazily: metrics.py imports this module at load time.
+    from . import metrics as _metrics
+
+    if metric is _metrics.euclidean:
+        return EUCLIDEAN_KERNEL
+    if metric is _metrics.manhattan:
+        return MANHATTAN_KERNEL
+    if metric is _metrics.chebyshev:
+        return CHEBYSHEV_KERNEL
+    if isinstance(metric, _metrics.Minkowski):
+        kernel = _MINKOWSKI_KERNELS.get(metric.p)
+        if kernel is None:
+            kernel = _MINKOWSKI_KERNELS.setdefault(metric.p, MinkowskiKernel(metric.p))
+        return kernel
+    return None
+
+
+def validate_backend(backend: str) -> str:
+    """Validate a per-instance ``backend=`` argument (``auto`` / ``scalar``)."""
+    if backend not in BACKEND_MODES:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose one of {', '.join(BACKEND_MODES)}"
+        )
+    return backend
+
+
+def resolve_instance_kernel(metric: Callable, backend: str) -> DistanceKernel | None:
+    """Kernel for one algorithm instance, honoring its ``backend=`` choice."""
+    if validate_backend(backend) == "scalar":
+        return None
+    return resolve_kernel(metric)
+
+
+# ------------------------------------------------------------ point buffer
+
+
+class PointBuffer:
+    """Contiguous coordinate buffer for one family of identified points.
+
+    Rows are appended in arrival order and only ever masked out (never moved)
+    until a compaction rebuilds the dense prefix, so the live rows always
+    appear in insertion order — the property the update rules rely on when
+    they pick "the first attractor within range".
+    """
+
+    __slots__ = ("kernel", "_coords", "_times", "_alive", "_size", "_live", "_row_of")
+
+    def __init__(self, kernel: DistanceKernel) -> None:
+        self.kernel = kernel
+        self._coords: np.ndarray | None = None
+        self._times: np.ndarray | None = None
+        self._alive: np.ndarray | None = None
+        self._size = 0
+        self._live = 0
+        self._row_of: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._row_of
+
+    def append(self, key: int, coords: Sequence[float]) -> None:
+        """Add a point under ``key`` (an arrival time or any unique id)."""
+        if key in self._row_of:
+            raise KeyError(f"key {key} already stored")
+        if self._coords is None:
+            dim = len(coords)
+            capacity = 8
+            self._coords = np.empty((capacity, dim), dtype=float)
+            self._times = np.empty(capacity, dtype=np.int64)
+            self._alive = np.zeros(capacity, dtype=bool)
+        elif self._size == self._coords.shape[0]:
+            self._grow()
+        assert self._coords is not None and self._times is not None
+        assert self._alive is not None
+        row = self._size
+        self._coords[row] = coords
+        self._times[row] = key
+        self._alive[row] = True
+        self._row_of[key] = row
+        self._size += 1
+        self._live += 1
+
+    def _grow(self) -> None:
+        assert self._coords is not None and self._times is not None
+        assert self._alive is not None
+        capacity = max(8, 2 * self._coords.shape[0])
+        coords = np.empty((capacity, self._coords.shape[1]), dtype=float)
+        coords[: self._size] = self._coords[: self._size]
+        times = np.empty(capacity, dtype=np.int64)
+        times[: self._size] = self._times[: self._size]
+        alive = np.zeros(capacity, dtype=bool)
+        alive[: self._size] = self._alive[: self._size]
+        self._coords, self._times, self._alive = coords, times, alive
+
+    def discard(self, key: int) -> None:
+        """Mask out the point stored under ``key`` (no-op when absent)."""
+        row = self._row_of.pop(key, None)
+        if row is None:
+            return
+        assert self._alive is not None
+        self._alive[row] = False
+        self._live -= 1
+        if self._size - self._live > max(32, self._live):
+            self._compact()
+
+    def clear(self) -> None:
+        """Drop every stored point (the allocation is kept for reuse)."""
+        self._row_of.clear()
+        if self._alive is not None:
+            self._alive[: self._size] = False
+        self._size = 0
+        self._live = 0
+
+    def _compact(self) -> None:
+        assert self._coords is not None and self._times is not None
+        assert self._alive is not None
+        mask = self._alive[: self._size]
+        packed_coords = self._coords[: self._size][mask]
+        packed_times = self._times[: self._size][mask]
+        live = packed_coords.shape[0]
+        self._coords[:live] = packed_coords
+        self._times[:live] = packed_times
+        self._alive[: self._size] = False
+        self._alive[:live] = True
+        self._size = live
+        self._live = live
+        self._row_of = {int(t): i for i, t in enumerate(packed_times)}
+
+    def distances_from(self, coords: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+        """``(keys, distances)`` of the live points, in insertion order."""
+        if self._live == 0 or self._coords is None:
+            empty = np.empty(0, dtype=float)
+            return np.empty(0, dtype=np.int64), empty
+        assert self._times is not None and self._alive is not None
+        query = np.asarray(coords, dtype=float)
+        dists = self.kernel.one_to_many(query, self._coords[: self._size])
+        mask = self._alive[: self._size]
+        if self._live == self._size:
+            return self._times[: self._size], dists
+        return self._times[: self._size][mask], dists[mask]
+
+
+# ----------------------------------------------------------- batch engine
+
+
+class AttractorFamily:
+    """One guess state's attractor family registered with the shared engine.
+
+    Created through :meth:`BatchDistanceEngine.new_family` with the family's
+    fixed attraction threshold.  The owning state mirrors every attractor
+    add / remove into :meth:`add` / :meth:`discard`; after each
+    :meth:`BatchDistanceEngine.begin_batch`, :attr:`hits` holds the arrival
+    times of this family's members within the threshold of the arriving
+    point (arbitrary order — members are keyed by strictly increasing times,
+    so ``min(hits)`` recovers "first in arrival order").
+    """
+
+    __slots__ = ("engine", "threshold", "hits", "_slot_of")
+
+    def __init__(self, engine: "BatchDistanceEngine", threshold: float) -> None:
+        self.engine = engine
+        self.threshold = threshold
+        self.hits: list[int] = []
+        self._slot_of: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def add(self, t: int, coords: Sequence[float]) -> None:
+        """Register the attractor that arrived at time ``t``."""
+        self._slot_of[t] = self.engine._new_slot(self, t, coords)
+
+    def discard(self, t: int) -> None:
+        """Unregister the attractor of time ``t`` (no-op when absent)."""
+        slot = self._slot_of.pop(t, None)
+        if slot is not None:
+            self.engine._kill_slot(slot)
+
+    def drop_all(self) -> None:
+        """Unregister every member (used when a guess state is retired)."""
+        for slot in self._slot_of.values():
+            self.engine._kill_slot(slot)
+        self._slot_of.clear()
+
+
+class BatchDistanceEngine:
+    """Shared attractor-membership table with per-arrival batched scans.
+
+    One engine serves every guess state of one algorithm instance.  Each
+    registered attractor occupies one *slot* carrying its coordinates,
+    arrival time and its family's attraction threshold, kept in contiguous
+    numpy arrays (append on insert, mask on removal, periodic compaction
+    between batches).  :meth:`begin_batch` answers the question every guess
+    asks about a new arrival — "which of my attractors is it within range
+    of?" — for *all* guesses at once: one kernel call for the distances plus
+    one vectorised comparison against the per-slot thresholds; the sparse
+    hits are then distributed to the families' ``hits`` lists.
+
+    Slots freed during a batch are recycled only for new members, which are
+    never part of that batch's precomputed hits, so mid-batch mutation is
+    safe; states additionally guard each hit with a membership test because
+    an earlier step of the same update may have dropped the member.
+    """
+
+    __slots__ = (
+        "kernel",
+        "_coords",
+        "_times",
+        "_thresholds",
+        "_family_of",
+        "_free",
+        "_size",
+        "in_batch",
+        "_hit_families",
+    )
+
+    def __init__(self, kernel: DistanceKernel) -> None:
+        self.kernel = kernel
+        self._coords: np.ndarray | None = None
+        #: per-slot arrival times; a plain Python list so that the sparse hit
+        #: loop never pays for numpy scalar extraction.
+        self._times: list[int] = []
+        self._thresholds: np.ndarray | None = None
+        self._family_of: list[AttractorFamily | None] = []
+        self._free: list[int] = []
+        self._size = 0
+        #: whether a batch is currently open (public, checked on hot paths).
+        self.in_batch = False
+        self._hit_families: list[AttractorFamily] = []
+
+    def new_family(self, threshold: float) -> AttractorFamily:
+        """Create a family handle with a fixed attraction threshold."""
+        return AttractorFamily(self, threshold)
+
+    def __len__(self) -> int:
+        """Number of live membership slots."""
+        return self._size - len(self._free)
+
+    # ------------------------------------------------------------------ slots
+
+    def _new_slot(self, family: AttractorFamily, t: int, coords: Sequence[float]) -> int:
+        if self._free:
+            slot = self._free.pop()
+            self._times[slot] = t
+        else:
+            slot = self._size
+            if self._coords is None:
+                dim = len(coords)
+                self._coords = np.empty((16, dim), dtype=float)
+                self._thresholds = np.empty(16, dtype=float)
+                self._family_of = [None] * 16
+            elif slot == self._coords.shape[0]:
+                self._grow()
+            self._times.append(t)
+            self._size += 1
+        assert self._coords is not None and self._thresholds is not None
+        self._coords[slot] = coords
+        self._thresholds[slot] = family.threshold
+        self._family_of[slot] = family
+        return slot
+
+    def _grow(self) -> None:
+        assert self._coords is not None and self._thresholds is not None
+        capacity = 2 * self._coords.shape[0]
+        coords = np.empty((capacity, self._coords.shape[1]), dtype=float)
+        coords[: self._size] = self._coords[: self._size]
+        thresholds = np.empty(capacity, dtype=float)
+        thresholds[: self._size] = self._thresholds[: self._size]
+        self._coords, self._thresholds = coords, thresholds
+        self._family_of.extend([None] * (capacity - len(self._family_of)))
+
+    def _kill_slot(self, slot: int) -> None:
+        # A -inf threshold can never be met by a (non-negative) distance, so
+        # dead slots are excluded from every future batch without moving rows.
+        assert self._thresholds is not None
+        self._thresholds[slot] = -np.inf
+        self._family_of[slot] = None
+        self._free.append(slot)
+
+    def _compact(self) -> None:
+        assert self._coords is not None and self._thresholds is not None
+        live = [s for s in range(self._size) if self._family_of[s] is not None]
+        packed_coords = self._coords[live]
+        packed_thresholds = self._thresholds[live]
+        packed_times = [self._times[s] for s in live]
+        families = [self._family_of[s] for s in live]
+        n = len(live)
+        self._coords[:n] = packed_coords
+        self._thresholds[:n] = packed_thresholds
+        self._times[:n] = packed_times
+        del self._times[n:]
+        for new_slot, (family, t) in enumerate(zip(families, packed_times)):
+            self._family_of[new_slot] = family
+            assert family is not None
+            family._slot_of[t] = new_slot
+        for slot in range(n, self._size):
+            self._family_of[slot] = None
+        self._size = n
+        self._free.clear()
+
+    # ----------------------------------------------------------------- batch
+
+    def begin_batch(self, coords: Sequence[float], horizon: int) -> None:
+        """Batch-scan every family for the point arriving with ``coords``.
+
+        ``horizon`` is the expiration cutoff of the arrival (``t - n``):
+        members with time ``<= horizon`` are expired for this arrival and
+        must not attract it (the scalar path removes them before scanning).
+        One kernel call plus one vectorised comparison fills each family's
+        ``hits`` with the times of its members within threshold.
+        """
+        for family in self._hit_families:
+            family.hits.clear()
+        self._hit_families.clear()
+        if self._free and len(self._free) > max(64, 3 * len(self)):
+            self._compact()
+        self.in_batch = True
+        if self._size == 0:
+            return
+        assert self._coords is not None and self._thresholds is not None
+        query = np.asarray(coords, dtype=float)
+        dists = self.kernel.one_to_many(query, self._coords[: self._size])
+        hit_slots = np.nonzero(dists <= self._thresholds[: self._size])[0]
+        if hit_slots.size == 0:
+            return
+        times = self._times
+        family_of = self._family_of
+        hit_families = self._hit_families
+        # The expiration filter runs here, on the sparse hits, rather than as
+        # another vectorised pass over every slot.
+        for slot in hit_slots.tolist():
+            t = times[slot]
+            if t <= horizon:
+                continue
+            family = family_of[slot]
+            assert family is not None  # dead slots have a -inf threshold
+            if not family.hits:
+                hit_families.append(family)
+            family.hits.append(t)
+
+    def end_batch(self) -> None:
+        """Close the current batch (hit lists become stale)."""
+        self.in_batch = False
+
+
+def make_batch_engine(metric: Callable, backend: str) -> BatchDistanceEngine | None:
+    """The shared batched-distance engine for one algorithm instance.
+
+    ``backend="auto"`` vectorises whenever the metric has a kernel;
+    ``backend="scalar"`` forces the scalar oracle for this instance only.
+    """
+    kernel = resolve_instance_kernel(metric, backend)
+    return BatchDistanceEngine(kernel) if kernel is not None else None

@@ -17,18 +17,36 @@ of active points (Section 3.1 of the paper):
 
 :class:`GuessState` encapsulates those sets together with the ``Update`` and
 ``Cleanup`` logic of Algorithms 1 and 2.  All bookkeeping is keyed by arrival
-time, which uniquely identifies a stream item.
+time, which uniquely identifies a stream item; every family dict is therefore
+ordered by arrival time (times are strictly increasing and never re-inserted),
+which the expiration logic exploits for O(1) early exits.
+
+Batched updates
+---------------
+The only distance computations of ``Update`` are "new point vs. every
+v-attractor" and "new point vs. every c-attractor".  When the state is given
+a :class:`~repro.core.backend.BatchDistanceEngine` (shared by all guesses of
+one algorithm instance), the attractor coordinates are retained in the
+engine's contiguous arena and those scans become plain lookups into the batch
+of distances computed once per arrival; without an engine the state falls
+back to the scalar distance oracle, preserving support for arbitrary metric
+spaces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import takewhile
 from typing import Callable, Iterable
 
+from .backend import AttractorFamily, BatchDistanceEngine
 from .config import FairnessConstraint
 from .geometry import Color, StreamItem
 
 MetricFn = Callable[[StreamItem, StreamItem], float]
+
+#: Sentinel bound meaning "no stored point" (any horizon is below it).
+_NO_POINTS = float("inf")
 
 
 @dataclass
@@ -49,6 +67,8 @@ class GuessState:
     delta: float
     constraint: FairnessConstraint
     metric: MetricFn
+    #: shared batched-distance engine (``None`` = scalar path).
+    engine: BatchDistanceEngine | None = None
 
     #: AVγ — v-attractors keyed by arrival time.
     v_attractors: dict[int, StreamItem] = field(default_factory=dict)
@@ -62,6 +82,27 @@ class GuessState:
     c_representatives: dict[int, StreamItem] = field(default_factory=dict)
     #: per active c-attractor: color -> arrival times of its representatives.
     c_reps_of: dict[int, dict[Color, list[int]]] = field(default_factory=dict)
+    #: per stored c-representative: arrival time of the c-attractor that owns
+    #: it (entries of already removed owners are cleaned up lazily).
+    c_owner_of: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        engine = self.engine
+        self._v_family: AttractorFamily | None = (
+            engine.new_family(2.0 * self.guess) if engine is not None else None
+        )
+        self._c_family: AttractorFamily | None = (
+            engine.new_family(self.delta * self.guess / 2.0)
+            if engine is not None
+            else None
+        )
+        # Lower bound on the arrival time of every stored point; lets
+        # ``remove_expired`` return in O(1) when nothing can have expired.
+        self._oldest = _NO_POINTS
+        # Highest ``tmin`` already passed to ``_drop_older_than``: points
+        # older than it are gone and new points always arrive later, so a
+        # repeat call with the same (or a smaller) bound is a no-op.
+        self._dropped_below = 0
 
     # ------------------------------------------------------------------ sizes
 
@@ -93,6 +134,43 @@ class GuessState:
         times.update(self.c_representatives)
         return times
 
+    # ------------------------------------------------ engine family mirroring
+
+    def _add_v_attractor(self, item: StreamItem) -> None:
+        self.v_attractors[item.t] = item
+        if self._v_family is not None:
+            self._v_family.add(item.t, item.coords)
+
+    def _pop_v_attractor(self, t: int) -> None:
+        del self.v_attractors[t]
+        self.v_rep_of.pop(t, None)
+        if self._v_family is not None:
+            self._v_family.discard(t)
+
+    def _add_c_attractor(self, item: StreamItem) -> None:
+        self.c_attractors[item.t] = item
+        self.c_reps_of[item.t] = {}
+        if self._c_family is not None:
+            self._c_family.add(item.t, item.coords)
+
+    def _pop_c_attractor(self, t: int) -> None:
+        del self.c_attractors[t]
+        self.c_reps_of.pop(t, None)
+        if self._c_family is not None:
+            self._c_family.discard(t)
+
+    def release_all(self) -> None:
+        """Drop every engine membership held by this state.
+
+        Called by the oblivious variant when the guess is retired (its state
+        is dropped wholesale); the dicts themselves are left untouched since
+        the state is about to be garbage collected.
+        """
+        if self._v_family is not None:
+            self._v_family.drop_all()
+        if self._c_family is not None:
+            self._c_family.drop_all()
+
     # ------------------------------------------------------------- expiration
 
     def remove_expired(self, now: int, window_size: int) -> None:
@@ -100,13 +178,28 @@ class GuessState:
 
         With consecutive arrival times exactly one point expires per step (the
         ``x`` of Algorithm 1), but the method is robust to gaps in the time
-        stamps: everything with ``t <= now - window_size`` is dropped.
+        stamps: everything with ``t <= now - window_size`` is dropped.  Each
+        family dict is ordered by arrival time, so peeking at its first key
+        decides in O(1) whether anything expired at all.
         """
         horizon = now - window_size
-        if horizon < 1:
+        if horizon < 1 or horizon < self._oldest:
             return
-        for t in [t for t in self.stored_times() if t <= horizon]:
-            self.remove_time(t)
+        families = (
+            self.v_attractors,
+            self.v_representatives,
+            self.c_attractors,
+            self.c_representatives,
+        )
+        for family in families:
+            while family:
+                t = next(iter(family))
+                if t > horizon:
+                    break
+                self.remove_time(t)
+        self._oldest = min(
+            (next(iter(f)) for f in families if f), default=_NO_POINTS
+        )
 
     def remove_time(self, t: int) -> None:
         """Remove the point that arrived at time ``t`` from every structure.
@@ -115,47 +208,92 @@ class GuessState:
         for the oblivious variant — when its guess is being rebuilt.
         """
         if t in self.v_attractors:
-            del self.v_attractors[t]
-            self.v_rep_of.pop(t, None)
+            self._pop_v_attractor(t)
         self.v_representatives.pop(t, None)
         if t in self.c_attractors:
-            del self.c_attractors[t]
-            self.c_reps_of.pop(t, None)
+            self._pop_c_attractor(t)
         if t in self.c_representatives:
             del self.c_representatives[t]
             self._forget_representative(t)
 
     def _forget_representative(self, t: int) -> None:
-        """Drop a representative's back-references from its (active) owner."""
-        for buckets in self.c_reps_of.values():
-            for color, times in buckets.items():
-                if t in times:
-                    times.remove(t)
-                    return
+        """Drop a representative's back-reference from its (active) owner."""
+        owner = self.c_owner_of.pop(t, None)
+        if owner is None:
+            return
+        buckets = self.c_reps_of.get(owner)
+        if buckets is None:
+            return  # the owner is gone; ``t`` was an orphan
+        for times in buckets.values():
+            if t in times:
+                times.remove(t)
+                return
 
     # ----------------------------------------------------------------- update
 
     def update(self, item: StreamItem) -> None:
-        """Algorithm 1 (one guess): process the arrival of ``item``."""
-        self._update_validation(item)
-        self._update_coreset(item)
+        """Algorithm 1 (one guess): process the arrival of ``item``.
 
-    def _update_validation(self, item: StreamItem) -> None:
+        When the shared engine has an open batch for this arrival, the
+        attractor scans read the precomputed distances; otherwise the scalar
+        metric is called pair by pair (identical semantics either way).
+        """
+        if item.t < self._oldest:
+            # Every update stores the item (at least as a v-representative),
+            # so the arriving time is a valid lower bound refresh.
+            self._oldest = item.t
+        engine = self.engine
+        if engine is not None and engine.in_batch:
+            # Batched path: the engine already knows which attractors the
+            # item attaches to.  Every v-hit is alive here (expired members
+            # were filtered by the batch's horizon and nothing else removed
+            # v-attractors since), and ``min`` recovers "first in arrival
+            # order" since family dicts are time-ordered.
+            chosen: StreamItem | None = None
+            v_hits = self._v_family.hits  # type: ignore[union-attr]
+            if v_hits:
+                chosen = self.v_attractors[min(v_hits)]
+            dropped_before = self._dropped_below
+            self._apply_validation(item, chosen)
+            nearby = self._c_family.hits  # type: ignore[union-attr]
+            if nearby and dropped_before != self._dropped_below:
+                # The validation step ran a cleanup that may have removed
+                # c-attractors this arrival also hit; re-check membership.
+                c_attractors = self.c_attractors
+                nearby = [t for t in nearby if t in c_attractors]
+            self._apply_coreset(item, nearby)
+        else:
+            self._apply_validation(item, self._scan_validation(item))
+            self._apply_coreset(item, self._scan_coreset(item))
+
+    def _scan_validation(self, item: StreamItem) -> StreamItem | None:
+        """Scalar scan: the first v-attractor within ``2γ`` of ``item``."""
         threshold = 2.0 * self.guess
-        attracting = [
-            v for v in self.v_attractors.values()
-            if self.metric(item, v) <= threshold
+        metric = self.metric
+        for v in self.v_attractors.values():
+            if metric(item, v) <= threshold:
+                return v
+        return None
+
+    def _scan_coreset(self, item: StreamItem) -> list[int]:
+        """Scalar scan: every c-attractor within ``δγ/2`` of ``item``."""
+        threshold = self.delta * self.guess / 2.0
+        metric = self.metric
+        return [
+            a.t for a in self.c_attractors.values()
+            if metric(item, a) <= threshold
         ]
-        if not attracting:
+
+    def _apply_validation(self, item: StreamItem, chosen: StreamItem | None) -> None:
+        if chosen is None:
             # ``item`` becomes a new v-attractor, representing itself.
-            self.v_attractors[item.t] = item
+            self._add_v_attractor(item)
             self.v_rep_of[item.t] = item.t
             self.v_representatives[item.t] = item
             self._cleanup()
         else:
-            # ``item`` becomes the new representative of an arbitrary
-            # attractor within distance 2γ (the first found).
-            chosen = attracting[0]
+            # ``item`` becomes the new representative of the first attractor
+            # within distance 2γ (arrival order, as in the scalar path).
             previous = self.v_rep_of.get(chosen.t)
             if previous is not None:
                 self.v_representatives.pop(previous, None)
@@ -165,65 +303,64 @@ class GuessState:
     def _cleanup(self) -> None:
         """Algorithm 2: bound ``AVγ`` and drop certifiably useless points."""
         if len(self.v_attractors) == self.k + 2:
-            oldest = min(self.v_attractors)
-            del self.v_attractors[oldest]
-            self.v_rep_of.pop(oldest, None)
+            oldest = next(iter(self.v_attractors))  # dicts are time-ordered
+            self._pop_v_attractor(oldest)
         if len(self.v_attractors) == self.k + 1:
-            tmin = min(self.v_attractors)
+            tmin = next(iter(self.v_attractors))
             self._drop_older_than(tmin)
 
     def _drop_older_than(self, tmin: int) -> None:
-        """Remove every stored point strictly older than ``tmin`` (except AV)."""
-        for t in [t for t in self.c_attractors if t < tmin]:
-            del self.c_attractors[t]
-            self.c_reps_of.pop(t, None)
-        for t in [t for t in self.v_representatives if t < tmin]:
+        """Remove every stored point strictly older than ``tmin`` (except AV).
+
+        Every family dict is ordered by arrival time, so the stale entries
+        form a prefix: each scan stops at the first surviving key instead of
+        walking the whole family.
+        """
+        if tmin <= self._dropped_below:
+            return
+        self._dropped_below = tmin
+        for t in list(takewhile(lambda t: t < tmin, self.c_attractors)):
+            self._pop_c_attractor(t)
+        for t in list(takewhile(lambda t: t < tmin, self.v_representatives)):
             del self.v_representatives[t]
-        stale_reps = [t for t in self.c_representatives if t < tmin]
-        for t in stale_reps:
+        for t in list(takewhile(lambda t: t < tmin, self.c_representatives)):
             del self.c_representatives[t]
-        if stale_reps:
-            stale = set(stale_reps)
-            for buckets in self.c_reps_of.values():
-                for color in buckets:
-                    buckets[color] = [t for t in buckets[color] if t not in stale]
+            self._forget_representative(t)
         # Representatives of surviving v-attractors are never older than tmin
         # (a representative arrives no earlier than its attractor), so
         # ``v_rep_of`` needs no repair here.
 
-    def _update_coreset(self, item: StreamItem) -> None:
-        threshold = self.delta * self.guess / 2.0
+    def _apply_coreset(self, item: StreamItem, nearby: list[int]) -> None:
         color = item.color
         capacity = self.constraint.capacity(color)
 
-        nearby = [
-            a for a in self.c_attractors.values()
-            if self.metric(item, a) <= threshold
-        ]
         if not nearby:
             # ``item`` becomes a new c-attractor attracting itself.
-            self.c_attractors[item.t] = item
-            self.c_reps_of[item.t] = {}
+            self._add_c_attractor(item)
             owner_time = item.t
+        elif len(nearby) == 1:
+            owner_time = nearby[0]
         else:
             # Attach to the c-attractor with the fewest representatives of
             # ``item``'s color (ties broken by arrival order).
+            reps_of = self.c_reps_of
             owner_time = min(
-                (a.t for a in nearby),
-                key=lambda t: (len(self.c_reps_of[t].get(color, [])), t),
+                nearby, key=lambda t: (len(reps_of[t].get(color, ())), t)
             )
 
         buckets = self.c_reps_of[owner_time]
         times = buckets.setdefault(color, [])
         times.append(item.t)
         self.c_representatives[item.t] = item
+        self.c_owner_of[item.t] = owner_time
         if len(times) > capacity:
             # Evict the oldest representative of this color for this owner
             # (when the capacity is zero the new point itself is evicted,
-            # keeping the representative set an independent set).
-            oldest = min(times)
-            times.remove(oldest)
+            # keeping the representative set an independent set).  Bucket
+            # lists are kept in arrival order, so the oldest is the first.
+            oldest = times.pop(0)
             self.c_representatives.pop(oldest, None)
+            self.c_owner_of.pop(oldest, None)
 
     # ----------------------------------------------------------------- access
 

@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 
 from ..sequential.base import FairCenterSolver
 from ..sequential.jones import JonesFairCenter
+from .backend import AttractorFamily, BatchDistanceEngine, make_batch_engine
 from .config import FairnessConstraint, SlidingWindowConfig
 from .geometry import Color, Point, StreamItem
 from .guesses import guess_grid
@@ -39,12 +40,21 @@ class _IndependentSetState:
     guess: float
     constraint: FairnessConstraint
     metric: object
+    #: shared batched-distance engine (``None`` = scalar path).
+    engine: BatchDistanceEngine | None = None
 
     attractors: dict[int, StreamItem] = field(default_factory=dict)
     #: per attractor: color -> arrival times of its stored representatives.
     reps_of: dict[int, dict[Color, list[int]]] = field(default_factory=dict)
     #: every stored representative (orphans of removed attractors included).
     representatives: dict[int, StreamItem] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._family: AttractorFamily | None = (
+            self.engine.new_family(2.0 * self.guess)
+            if self.engine is not None
+            else None
+        )
 
     @property
     def k(self) -> int:
@@ -72,6 +82,8 @@ class _IndependentSetState:
         if t in self.attractors:
             del self.attractors[t]
             self.reps_of.pop(t, None)
+            if self._family is not None:
+                self._family.discard(t)
         if t in self.representatives:
             del self.representatives[t]
             for buckets in self.reps_of.values():
@@ -83,14 +95,22 @@ class _IndependentSetState:
     # -------------------------------------------------------------- update
 
     def update(self, item: StreamItem) -> None:
-        threshold = 2.0 * self.guess
-        attracting = [
-            v for v in self.attractors.values()
-            if self.metric(item, v) <= threshold
-        ]
+        engine = self.engine
+        if engine is not None and engine.in_batch:
+            assert self._family is not None
+            attractors = self.attractors
+            attracting = [t for t in self._family.hits if t in attractors]
+        else:
+            threshold = 2.0 * self.guess
+            attracting = [
+                v.t for v in self.attractors.values()
+                if self.metric(item, v) <= threshold
+            ]
         if not attracting:
             self.attractors[item.t] = item
             self.reps_of[item.t] = {}
+            if self._family is not None:
+                self._family.add(item.t, item.coords)
             owner = item.t
             self._cleanup()
             if owner not in self.attractors:
@@ -100,11 +120,10 @@ class _IndependentSetState:
                 # is the newest); keep the code defensive anyway.
                 return
         else:
-            owner_time = min(
-                (v.t for v in attracting),
+            owner = min(
+                attracting,
                 key=lambda t: (len(self.reps_of[t].get(item.color, [])), t),
             )
-            owner = owner_time
         buckets = self.reps_of[owner]
         times = buckets.setdefault(item.color, [])
         times.append(item.t)
@@ -120,6 +139,8 @@ class _IndependentSetState:
             oldest = min(self.attractors)
             del self.attractors[oldest]
             self.reps_of.pop(oldest, None)
+            if self._family is not None:
+                self._family.discard(oldest)
         if len(self.attractors) == self.k + 1:
             tmin = min(self.attractors)
             for t in [t for t in self.representatives if t < tmin]:
@@ -145,6 +166,8 @@ class DimensionFreeFairSlidingWindow:
         self,
         config: SlidingWindowConfig,
         solver: FairCenterSolver | None = None,
+        *,
+        backend: str = "auto",
     ) -> None:
         if not config.has_distance_bounds:
             raise ValueError(
@@ -155,9 +178,13 @@ class DimensionFreeFairSlidingWindow:
         self.solver = solver if solver is not None else JonesFairCenter()
         self._now = 0
         assert config.dmin is not None and config.dmax is not None
+        self._engine = make_batch_engine(config.metric, backend)
         self._states = [
             _IndependentSetState(
-                guess=guess, constraint=config.constraint, metric=config.metric
+                guess=guess,
+                constraint=config.constraint,
+                metric=config.metric,
+                engine=self._engine,
             )
             for guess in guess_grid(config.dmin, config.dmax, config.beta)
         ]
@@ -196,9 +223,19 @@ class DimensionFreeFairSlidingWindow:
                 f"after {self._now}"
             )
         self._now = item.t
-        for state in self._states:
-            state.remove_expired(item.t, self.window_size)
-            state.update(item)
+        engine = self._engine
+        if engine is None:
+            for state in self._states:
+                state.remove_expired(item.t, self.window_size)
+                state.update(item)
+            return item
+        engine.begin_batch(item.coords, item.t - self.window_size)
+        try:
+            for state in self._states:
+                state.remove_expired(item.t, self.window_size)
+                state.update(item)
+        finally:
+            engine.end_batch()
         return item
 
     def extend(self, items: Iterable[StreamItem | Point]) -> None:

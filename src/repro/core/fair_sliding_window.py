@@ -33,6 +33,7 @@ from typing import Iterable, Sequence
 
 from ..sequential.base import FairCenterSolver
 from ..sequential.jones import JonesFairCenter
+from .backend import make_batch_engine
 from .config import SlidingWindowConfig
 from .coreset import GuessState, distinct_memory, total_memory
 from .geometry import Point, StreamItem
@@ -54,12 +55,18 @@ class FairSlidingWindow:
     solver:
         The sequential fair-center algorithm ``A`` run on the coreset at query
         time.  Defaults to :class:`~repro.sequential.jones.JonesFairCenter`.
+    backend:
+        ``"auto"`` (default) batches the per-arrival distance computations
+        through :class:`~repro.core.backend.BatchDistanceEngine` whenever the
+        metric has a vector kernel; ``"scalar"`` forces the scalar oracle.
     """
 
     def __init__(
         self,
         config: SlidingWindowConfig,
         solver: FairCenterSolver | None = None,
+        *,
+        backend: str = "auto",
     ) -> None:
         if not config.has_distance_bounds:
             raise ValueError(
@@ -72,12 +79,14 @@ class FairSlidingWindow:
         from .guesses import guess_grid
 
         assert config.dmin is not None and config.dmax is not None
+        self._engine = make_batch_engine(config.metric, backend)
         self._states: list[GuessState] = [
             GuessState(
                 guess=guess,
                 delta=config.delta,
                 constraint=config.constraint,
                 metric=config.metric,
+                engine=self._engine,
             )
             for guess in guess_grid(config.dmin, config.dmax, config.beta)
         ]
@@ -114,9 +123,22 @@ class FairSlidingWindow:
         Returns the stored stream item.
         """
         item = self._stamp(item)
-        for state in self._states:
-            state.remove_expired(item.t, self.window_size)
-            state.update(item)
+        engine = self._engine
+        if engine is None:
+            for state in self._states:
+                state.remove_expired(item.t, self.window_size)
+                state.update(item)
+            return item
+        # One batched kernel call answers "which attractors of which guesses
+        # does the new point attach to?"; the per-guess updates then only
+        # touch those sparse hits.
+        engine.begin_batch(item.coords, item.t - self.window_size)
+        try:
+            for state in self._states:
+                state.remove_expired(item.t, self.window_size)
+                state.update(item)
+        finally:
+            engine.end_batch()
         return item
 
     def extend(self, items: Iterable[StreamItem | Point]) -> None:

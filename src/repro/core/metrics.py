@@ -14,7 +14,9 @@ provides:
   the evaluation harness to report oracle complexity;
 * pairwise-distance helpers (:func:`pairwise_distances`,
   :func:`distances_to_set`, :func:`min_max_pairwise_distance`) with a
-  vectorised fast path for the Euclidean metric.
+  vectorised fast path for every metric of the Lp family (resolved through
+  :func:`repro.core.backend.resolve_kernel`; custom metrics fall back to the
+  scalar oracle).
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from .backend import resolve_kernel
 from .geometry import Point, StreamItem, stack_coordinates
 
 PointLike = Point | StreamItem
@@ -186,13 +189,14 @@ def pairwise_distances(
 ) -> np.ndarray:
     """Full ``(n, n)`` distance matrix of ``points`` under ``metric``.
 
-    When the metric is the plain Euclidean distance a vectorised numpy path is
-    used; otherwise the oracle is called for every pair.
+    When the metric has a vector kernel (the Lp family) a vectorised numpy
+    path is used; otherwise the oracle is called for every pair.
     """
     n = len(points)
     if n == 0:
         return np.empty((0, 0), dtype=float)
-    if metric is euclidean:
+    kernel = resolve_kernel(metric)
+    if kernel is not None:
         # Row-by-row differences rather than the Gram-matrix identity: the
         # latter suffers catastrophic cancellation for nearly coincident
         # points, and exact small distances matter to the radius-guessing
@@ -200,7 +204,7 @@ def pairwise_distances(
         coords = stack_coordinates(points)
         matrix = np.empty((n, n), dtype=float)
         for i in range(n):
-            matrix[i] = np.linalg.norm(coords - coords[i], axis=1)
+            matrix[i] = kernel.one_to_many(coords[i], coords)
         np.fill_diagonal(matrix, 0.0)
         return matrix
     matrix = np.zeros((n, n), dtype=float)
@@ -220,10 +224,11 @@ def distances_to_set(
     """Distances from ``point`` to every point of ``targets``."""
     if not targets:
         return np.empty(0, dtype=float)
-    if metric is euclidean:
+    kernel = resolve_kernel(metric)
+    if kernel is not None:
         coords = stack_coordinates(targets)
         p = np.asarray(point.coords, dtype=float)
-        return np.linalg.norm(coords - p[None, :], axis=1)
+        return kernel.one_to_many(p, coords)
     return np.asarray([metric(point, q) for q in targets], dtype=float)
 
 

@@ -34,6 +34,7 @@ from ..sequential.base import FairCenterSolver
 from ..sequential.jones import JonesFairCenter
 from ..streaming.diameter import AspectRatioEstimator
 from .config import SlidingWindowConfig
+from .backend import make_batch_engine
 from .coreset import GuessState, distinct_memory, total_memory
 from .geometry import Point, StreamItem
 from .guesses import AdaptiveGuessGrid, guess_value
@@ -50,14 +51,16 @@ class ObliviousFairSlidingWindow:
         solver: FairCenterSolver | None = None,
         *,
         estimator: AspectRatioEstimator | None = None,
+        backend: str = "auto",
     ) -> None:
         self.config = config
         self.solver = solver if solver is not None else JonesFairCenter()
         self.estimator = estimator if estimator is not None else AspectRatioEstimator(
-            config.window_size, config.metric
+            config.window_size, config.metric, backend=backend
         )
         self._grid = AdaptiveGuessGrid(beta=config.beta)
         self._states: dict[int, GuessState] = {}
+        self._engine = make_batch_engine(config.metric, backend)
         self._now = 0
 
     # ------------------------------------------------------------- properties
@@ -89,9 +92,19 @@ class ObliviousFairSlidingWindow:
         item = self._stamp(item)
         self.estimator.insert(item)
         self._refresh_active_guesses()
-        for state in self._states.values():
-            state.remove_expired(item.t, self.window_size)
-            state.update(item)
+        engine = self._engine
+        if engine is None:
+            for state in self._states.values():
+                state.remove_expired(item.t, self.window_size)
+                state.update(item)
+            return item
+        engine.begin_batch(item.coords, item.t - self.window_size)
+        try:
+            for state in self._states.values():
+                state.remove_expired(item.t, self.window_size)
+                state.update(item)
+        finally:
+            engine.end_batch()
         return item
 
     def extend(self, items: Iterable[StreamItem | Point]) -> None:
@@ -119,7 +132,7 @@ class ObliviousFairSlidingWindow:
         active = set(self._grid.exponents())
         # Retire the guesses that left the estimated range...
         for exponent in [e for e in self._states if e not in active]:
-            del self._states[exponent]
+            self._states.pop(exponent).release_all()
         # ... and create the ones that entered it.
         for exponent in active:
             if exponent not in self._states:
@@ -128,6 +141,7 @@ class ObliviousFairSlidingWindow:
                     delta=self.config.delta,
                     constraint=self.config.constraint,
                     metric=self.config.metric,
+                    engine=self._engine,
                 )
 
     # ----------------------------------------------------------------- query

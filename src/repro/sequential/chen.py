@@ -210,16 +210,24 @@ class ChenMatroidCenter:
         # points farther than ``radius`` from every head do not belong to any
         # ball (they are still covered within 2r by maximality of the heads).
         # Membership uses a tiny relative tolerance: candidate radii are
-        # computed with the vectorised distance kernel while this check uses
-        # the metric oracle, and a 1-ulp disagreement at the exact optimal
-        # radius would otherwise wrongly mark the guess infeasible.
+        # computed with the vectorised distance kernel while this check may
+        # disagree by 1 ulp at the exact optimal radius, which would
+        # otherwise wrongly mark the guess infeasible.
         tolerance = radius * (1.0 + 1e-9) + 1e-12
+        # One sweep per head instead of one small scan per point: the
+        # column-wise argmin matches the per-point "first minimum" rule.
+        head_distances = np.stack(
+            [
+                np.asarray(distances_to_set(h, points, metric), dtype=float)
+                for h in heads
+            ]
+        )
+        balls = np.argmin(head_distances, axis=0)
+        best = head_distances[balls, np.arange(len(points))]
         ball_of: dict[int, int] = {}
-        for index, p in enumerate(points):
-            dists = distances_to_set(p, heads, metric)
-            ball = int(np.argmin(dists))
-            if float(dists[ball]) <= tolerance:
-                ball_of[index] = ball
+        for index in range(len(points)):
+            if best[index] <= tolerance:
+                ball_of[index] = int(balls[index])
 
         # Prune the ground set: inside each ball, at most ``k_c`` points of
         # each color ``c`` (the closest ones to the head) can ever be needed
@@ -232,7 +240,7 @@ class ChenMatroidCenter:
             if constraint.capacity(color) == 0:
                 continue
             key = (ball, color)
-            dist = metric(points[index], heads[ball])
+            dist = float(head_distances[ball, index])
             per_ball_color.setdefault(key, []).append((dist, index))
         for (ball, color), entries in per_ball_color.items():
             entries.sort(key=lambda pair: pair[0])

@@ -20,7 +20,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.geometry import Point, StreamItem
+from ..core.backend import resolve_kernel
+from ..core.geometry import Point, StreamItem, stack_coordinates
 from ..core.metrics import distances_to_set, euclidean
 from ..core.solution import ClusteringSolution
 from .base import MetricFn, PointLike
@@ -81,11 +82,27 @@ def gonzalez(
     if not 0 <= first_index < n:
         raise ValueError(f"first_index {first_index} out of range for {n} points")
 
+    kernel = resolve_kernel(metric)
+    if kernel is not None:
+        # Stack the coordinates once; every traversal round is then a single
+        # kernel call instead of n scalar oracle calls (or a re-stack).
+        matrix = stack_coordinates(points)
+
+        def distances_from(index: int) -> np.ndarray:
+            return kernel.one_to_many(matrix[index], matrix)
+
+    else:
+        point_list = list(points)
+
+        def distances_from(index: int) -> np.ndarray:
+            return np.asarray(
+                distances_to_set(points[index], point_list, metric), dtype=float
+            )
+
     head_indices = [first_index]
-    closest = distances_to_set(points[first_index], list(points), metric)
     # ``closest[i]`` is the distance of point i from its nearest chosen head;
     # ``assignment[i]`` is the index (into head_indices) of that head.
-    closest = np.asarray(closest, dtype=float)
+    closest = distances_from(first_index)
     assignment = np.zeros(n, dtype=int)
 
     while len(head_indices) < k:
@@ -95,9 +112,7 @@ def gonzalez(
             # heads cannot reduce the radius further.
             break
         head_indices.append(next_index)
-        new_distances = np.asarray(
-            distances_to_set(points[next_index], list(points), metric), dtype=float
-        )
+        new_distances = distances_from(next_index)
         improved = new_distances < closest
         assignment[improved] = len(head_indices) - 1
         closest = np.minimum(closest, new_distances)

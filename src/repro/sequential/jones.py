@@ -160,10 +160,11 @@ class JonesFairCenter:
             return centers
 
         centers = list(centers)
-        # Distance of every point from the current center set.
+        # Distance of every point from the current center set, computed one
+        # center at a time (k vectorised sweeps instead of n small scans).
         if centers:
-            closest = np.asarray(
-                [float(distances_to_set(p, centers, metric).min()) for p in points]
+            closest = np.min(
+                [distances_to_set(c, points, metric) for c in centers], axis=0
             )
         else:
             closest = np.full(len(points), np.inf)

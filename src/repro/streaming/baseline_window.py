@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..core.backend import ScalarOnlyMetric, validate_backend
 from ..core.config import FairnessConstraint
 from ..core.geometry import Point, StreamItem
 from ..core.metrics import euclidean
@@ -24,7 +25,13 @@ MetricFn = Callable[[Point | StreamItem, Point | StreamItem], float]
 
 
 class SlidingWindowBaseline:
-    """Run a sequential fair-center solver on the exact window at query time."""
+    """Run a sequential fair-center solver on the exact window at query time.
+
+    ``backend="scalar"`` wraps the metric in
+    :class:`~repro.core.backend.ScalarOnlyMetric` so that the solver's
+    internal pairwise-distance helpers never take their vectorised fast path
+    (used by the equivalence tests and ablations).
+    """
 
     def __init__(
         self,
@@ -33,10 +40,14 @@ class SlidingWindowBaseline:
         solver: FairCenterSolver,
         metric: MetricFn = euclidean,
         name: str | None = None,
+        *,
+        backend: str = "auto",
     ) -> None:
         self.window = ExactSlidingWindow(window_size)
         self.constraint = constraint
         self.solver = solver
+        if validate_backend(backend) == "scalar":
+            metric = ScalarOnlyMetric(metric)
         self.metric = metric
         self.name = name or type(solver).__name__
 

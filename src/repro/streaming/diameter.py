@@ -34,10 +34,17 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
-from ..core.geometry import StreamItem
+import numpy as np
+
+from ..core.backend import resolve_instance_kernel
+from ..core.geometry import StreamItem, stack_coordinates
 from ..core.metrics import euclidean
 
 MetricFn = Callable[[StreamItem, StreamItem], float]
+
+#: Below this many witnesses the scalar loop beats the kernel call (array
+#: round-trip overhead dominates on the sketch's O(log Δ)-sized witness set).
+_KERNEL_MIN_WITNESSES = 24
 
 
 @dataclass
@@ -61,6 +68,7 @@ class AspectRatioEstimator:
         metric: MetricFn = euclidean,
         *,
         safety_factor: float = 4.0,
+        backend: str = "auto",
     ) -> None:
         if window_size <= 0:
             raise ValueError(f"window_size must be positive, got {window_size}")
@@ -68,6 +76,7 @@ class AspectRatioEstimator:
             raise ValueError("safety_factor must be at least 1")
         self.window_size = window_size
         self.metric = metric
+        self._kernel = resolve_instance_kernel(metric, backend)
         #: the d_max estimate handed to callers is multiplied by this factor,
         #: compensating for the sketch under-estimating the true diameter.
         self.safety_factor = safety_factor
@@ -85,7 +94,14 @@ class AspectRatioEstimator:
 
         witnesses = self._witnesses()
         if witnesses:
-            distances = [(self.metric(item, w), w) for w in witnesses]
+            if self._kernel is not None and len(witnesses) >= _KERNEL_MIN_WITNESSES:
+                values = self._kernel.one_to_many(
+                    np.asarray(item.coords, dtype=float),
+                    stack_coordinates(witnesses),
+                )
+                distances = [(float(d), w) for d, w in zip(values, witnesses)]
+            else:
+                distances = [(self.metric(item, w), w) for w in witnesses]
             best_distance = max(d for d, _ in distances)
             positive = [d for d, _ in distances if d > 0]
             if positive:
@@ -96,32 +112,63 @@ class AspectRatioEstimator:
 
     def _witnesses(self) -> list[StreamItem]:
         """Currently stored active points the new arrival is compared against."""
+        horizon = self._now - self.window_size
         seen: dict[int, StreamItem] = {}
-        if self._last is not None and self._last.is_active(self._now, self.window_size):
-            seen[self._last.t] = self._last
+        last = self._last
+        if last is not None and last.t > horizon:
+            seen[last.t] = last
         for pair in self._pairs.values():
-            for endpoint in (pair.older, pair.newer):
-                if endpoint.is_active(self._now, self.window_size):
-                    seen[endpoint.t] = endpoint
+            older = pair.older
+            if older.t > horizon:
+                seen[older.t] = older
+            newer = pair.newer
+            if newer.t > horizon:
+                seen[newer.t] = newer
         return list(seen.values())
 
     def _record_pairs(
         self, item: StreamItem, distances: list[tuple[float, StreamItem]]
     ) -> None:
+        """Refresh the per-scale witness pairs with the new arrival.
+
+        For every tracked scale the stored pair should certify the *most
+        recent* witness at distance >= scale from the new point.  Sorting the
+        witnesses by distance makes "eligible at scale" a suffix of the
+        sorted order, so a single suffix pass of running most-recent-witness
+        answers every scale; a descending two-pointer sweep then walks the 60
+        tracked scales in O(scales + witnesses) instead of
+        O(scales * witnesses).
+        """
         best_distance = max(d for d, _ in distances)
         max_exponent = math.floor(math.log2(best_distance)) if best_distance > 0 else 0
-        for exponent in range(self._min_tracked_exponent(best_distance), max_exponent + 1):
+        entries = sorted(distances, key=lambda pair: pair[0])
+        # most_recent[i] = the entry with the largest witness time among the
+        # suffix entries[i:] (arrival times are unique, so no tie-breaking).
+        most_recent: list[tuple[float, StreamItem]] = [entries[-1]] * len(entries)
+        best = entries[-1]
+        for position in range(len(entries) - 2, -1, -1):
+            candidate = entries[position]
+            if candidate[1].t > best[1].t:
+                best = candidate
+            most_recent[position] = best
+        pairs = self._pairs
+        position = len(entries) - 1
+        for exponent in range(max_exponent, self._min_tracked_exponent(best_distance) - 1, -1):
             scale = 2.0**exponent
-            # Among the witnesses at distance >= scale from the new point,
-            # keep the most recent one: its pair survives the longest.
-            eligible = [(d, w) for d, w in distances if d >= scale]
-            if not eligible:
+            while position > 0 and entries[position - 1][0] >= scale:
+                position -= 1
+            if entries[position][0] < scale:
                 continue
-            _, witness = max(eligible, key=lambda pair: pair[1].t)
-            distance = next(d for d, w in eligible if w is witness)
-            current = self._pairs.get(exponent)
-            if current is None or witness.t >= current.older.t:
-                self._pairs[exponent] = _WitnessPair(witness, item, distance)
+            distance, witness = most_recent[position]
+            current = pairs.get(exponent)
+            if current is None:
+                pairs[exponent] = _WitnessPair(witness, item, distance)
+            elif witness.t >= current.older.t:
+                # Refresh in place: same semantics as storing a fresh pair,
+                # without allocating one per scale per arrival.
+                current.older = witness
+                current.newer = item
+                current.distance = distance
 
     @staticmethod
     def _min_tracked_exponent(best_distance: float) -> int:
@@ -135,18 +182,16 @@ class AspectRatioEstimator:
         self._gap_buckets[exponent] = self._now
 
     def _expire(self) -> None:
-        self._pairs = {
-            e: pair
-            for e, pair in self._pairs.items()
-            if pair.is_active(self._now, self.window_size)
-        }
         horizon = self._now - self.window_size
-        self._gap_buckets = {
-            e: t for e, t in self._gap_buckets.items() if t > horizon
-        }
-        if self._last is not None and not self._last.is_active(
-            self._now, self.window_size
-        ):
+        if any(pair.older.t <= horizon for pair in self._pairs.values()):
+            self._pairs = {
+                e: pair for e, pair in self._pairs.items() if pair.older.t > horizon
+            }
+        if any(t <= horizon for t in self._gap_buckets.values()):
+            self._gap_buckets = {
+                e: t for e, t in self._gap_buckets.items() if t > horizon
+            }
+        if self._last is not None and self._last.t <= horizon:
             self._last = None
 
     # ----------------------------------------------------------------- queries

@@ -25,6 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
+from ..core.backend import PointBuffer, resolve_instance_kernel
 from ..core.config import FairnessConstraint
 from ..core.geometry import Color, Point, StreamItem
 from ..core.guesses import guess_grid
@@ -60,6 +63,9 @@ class _GuessSketch:
     guess: float
     pivots: list[_PivotState] = field(default_factory=list)
     invalid: bool = False
+    #: contiguous pivot coordinates (``None`` on the scalar path); pivot
+    #: buffer keys are the pivots' indices in ``pivots``.
+    buffer: PointBuffer | None = None
 
     def memory_points(self) -> int:
         if self.invalid:
@@ -79,13 +85,19 @@ class InsertionOnlyFairCenter:
         beta: float = 2.0,
         metric: MetricFn = euclidean,
         solver: FairCenterSolver | None = None,
+        backend: str = "auto",
     ) -> None:
         self.constraint = constraint
         self.metric = metric
         self.solver = solver if solver is not None else JonesFairCenter()
         self.k = constraint.k
+        kernel = resolve_instance_kernel(metric, backend)
         self._sketches = [
-            _GuessSketch(guess) for guess in guess_grid(dmin, dmax, beta)
+            _GuessSketch(
+                guess,
+                buffer=PointBuffer(kernel) if kernel is not None else None,
+            )
+            for guess in guess_grid(dmin, dmax, beta)
         ]
         self._count = 0
 
@@ -104,11 +116,19 @@ class InsertionOnlyFairCenter:
         threshold = 2.0 * sketch.guess
         closest: _PivotState | None = None
         closest_distance = float("inf")
-        for pivot_state in sketch.pivots:
-            d = self.metric(point, pivot_state.pivot)
-            if d < closest_distance:
-                closest_distance = d
-                closest = pivot_state
+        if sketch.buffer is not None and len(sketch.buffer):
+            # Vectorised scan of the contiguous pivot coordinates; argmin
+            # keeps the first minimum, matching the scalar tie-breaking.
+            _, dists = sketch.buffer.distances_from(point.coords)
+            index = int(np.argmin(dists))
+            closest_distance = float(dists[index])
+            closest = sketch.pivots[index]
+        else:
+            for pivot_state in sketch.pivots:
+                d = self.metric(point, pivot_state.pivot)
+                if d < closest_distance:
+                    closest_distance = d
+                    closest = pivot_state
         if closest is not None and closest_distance <= threshold:
             closest.add_representative(
                 point, self.constraint.capacity(point.color)
@@ -119,9 +139,13 @@ class InsertionOnlyFairCenter:
             # small for the stream seen so far and is dropped for good.
             sketch.invalid = True
             sketch.pivots.clear()
+            if sketch.buffer is not None:
+                sketch.buffer.clear()
             return
         state = _PivotState(point)
         state.add_representative(point, self.constraint.capacity(point.color))
+        if sketch.buffer is not None:
+            sketch.buffer.append(len(sketch.pivots), point.coords)
         sketch.pivots.append(state)
 
     # ----------------------------------------------------------------- queries

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Making ``tests`` a package gives its ``conftest.py`` the unambiguous module
+name ``tests.conftest`` (instead of top-level ``conftest``), which would
+otherwise collide with ``benchmarks/conftest.py`` during collection.
+"""

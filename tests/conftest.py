@@ -1,27 +1,17 @@
-"""Shared fixtures and hypothesis strategies for the test-suite."""
+"""Pytest fixtures for the test-suite.
+
+Shared strategies and builders live in :mod:`tests._fixtures` (an importable
+module); this file only declares the pytest fixtures on top of them.
+"""
 
 from __future__ import annotations
 
-import random
-
 import pytest
-from hypothesis import strategies as st
 
-from repro.core.config import FairnessConstraint, SlidingWindowConfig
+from repro.core.config import FairnessConstraint
 from repro.core.geometry import Point
 
-
-# --------------------------------------------------------------------- points
-
-
-def grid_points_two_colors() -> list[Point]:
-    """A small deterministic 2-d point set with two colors."""
-    points = []
-    for i in range(4):
-        for j in range(3):
-            color = "red" if (i + j) % 2 == 0 else "blue"
-            points.append(Point((float(i), float(j)), color))
-    return points
+from tests._fixtures import grid_points_two_colors, random_colored_points
 
 
 @pytest.fixture
@@ -39,55 +29,10 @@ def two_color_constraint() -> FairnessConstraint:
 @pytest.fixture
 def random_points() -> list[Point]:
     """Sixty pseudo-random 2-d points over three colors (seeded)."""
-    rng = random.Random(42)
-    return [
-        Point((rng.uniform(0, 100), rng.uniform(0, 100)), rng.randrange(3))
-        for _ in range(60)
-    ]
+    return random_colored_points()
 
 
 @pytest.fixture
 def three_color_constraint() -> FairnessConstraint:
     """Three integer colors, two centers each."""
     return FairnessConstraint({0: 2, 1: 2, 2: 2})
-
-
-def sliding_config(
-    constraint: FairnessConstraint,
-    window_size: int = 50,
-    delta: float = 1.0,
-    dmin: float = 0.01,
-    dmax: float = 300.0,
-    beta: float = 2.0,
-) -> SlidingWindowConfig:
-    """Convenience builder for sliding-window configurations in tests."""
-    return SlidingWindowConfig(
-        window_size=window_size,
-        constraint=constraint,
-        delta=delta,
-        beta=beta,
-        dmin=dmin,
-        dmax=dmax,
-    )
-
-
-# --------------------------------------------------------- hypothesis helpers
-
-finite_coordinate = st.floats(
-    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
-)
-
-
-def points_strategy(
-    max_points: int = 12,
-    dim: int = 2,
-    num_colors: int = 2,
-    min_points: int = 1,
-) -> st.SearchStrategy[list[Point]]:
-    """Strategy generating small lists of colored points."""
-    point = st.builds(
-        lambda coords, color: Point(tuple(coords), color),
-        st.lists(finite_coordinate, min_size=dim, max_size=dim),
-        st.integers(min_value=0, max_value=num_colors - 1),
-    )
-    return st.lists(point, min_size=min_points, max_size=max_points)

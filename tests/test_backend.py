@@ -1,0 +1,350 @@
+"""Equivalence tests for the vectorized distance backend.
+
+Two layers of guarantees are checked:
+
+* **kernel level** — the vectorised Lp kernels agree with the scalar metric
+  oracles to within 1e-9 on arbitrary inputs (hypothesis);
+* **algorithm level** — the sliding-window algorithms build bit-identical
+  data structures and return identical solutions whether driven through the
+  batched engine (``backend="auto"``) or the scalar oracle
+  (``backend="scalar"``) on random streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import backend as backend_mod
+from repro.core.backend import (
+    BatchDistanceEngine,
+    PointBuffer,
+    ScalarOnlyMetric,
+    make_batch_engine,
+    resolve_kernel,
+    use_backend,
+)
+from repro.core.config import FairnessConstraint, SlidingWindowConfig
+from repro.core.dimension_free import DimensionFreeFairSlidingWindow
+from repro.core.fair_sliding_window import FairSlidingWindow
+from repro.core.geometry import Point, stack_coordinates
+from repro.core.metrics import (
+    CountingMetric,
+    Minkowski,
+    angular,
+    chebyshev,
+    distances_to_set,
+    euclidean,
+    manhattan,
+)
+from repro.core.oblivious import ObliviousFairSlidingWindow
+from repro.streaming.diameter import AspectRatioEstimator
+from repro.streaming.insertion_only import InsertionOnlyFairCenter
+
+from tests._fixtures import points_strategy
+
+KERNEL_METRICS = [euclidean, manhattan, chebyshev, Minkowski(1.5), Minkowski(3.0)]
+
+
+@pytest.fixture(autouse=True)
+def _auto_backend():
+    """Pin the global mode to ``auto`` so the suite is deterministic even
+    when the environment sets ``REPRO_BACKEND=scalar``."""
+    with use_backend("auto"):
+        yield
+
+
+# ------------------------------------------------------------ kernel level
+
+
+class TestKernelResolution:
+    def test_lp_metrics_have_kernels(self):
+        for metric in KERNEL_METRICS:
+            assert resolve_kernel(metric) is not None
+
+    def test_custom_metrics_have_no_kernel(self):
+        assert resolve_kernel(angular) is None
+        assert resolve_kernel(lambda a, b: 0.0) is None
+        assert resolve_kernel(CountingMetric(euclidean)) is None
+        assert resolve_kernel(ScalarOnlyMetric(euclidean)) is None
+
+    def test_scalar_mode_disables_kernels(self):
+        with use_backend("scalar"):
+            assert backend_mod.get_backend_mode() == "scalar"
+            for metric in KERNEL_METRICS:
+                assert resolve_kernel(metric) is None
+        assert backend_mod.get_backend_mode() == "auto"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            backend_mod.set_backend_mode("gpu")
+
+    def test_counting_metric_counts_preserved_through_helpers(self):
+        counting = CountingMetric(euclidean)
+        points = [Point((float(i), 0.0)) for i in range(5)]
+        distances_to_set(points[0], points[1:], counting)
+        assert counting.calls == 4
+
+
+class TestKernelAgreement:
+    @pytest.mark.parametrize("metric", KERNEL_METRICS, ids=lambda m: str(m))
+    @settings(max_examples=60, deadline=None)
+    @given(points=points_strategy(max_points=10, dim=3, min_points=2))
+    def test_one_to_many_matches_scalar(self, metric, points):
+        kernel = resolve_kernel(metric)
+        assert kernel is not None
+        query, targets = points[0], points[1:]
+        vectorised = kernel.one_to_many(
+            np.asarray(query.coords, dtype=float), stack_coordinates(targets)
+        )
+        scalar = [metric(query, t) for t in targets]
+        assert vectorised == pytest.approx(scalar, rel=1e-9, abs=1e-9)
+
+    @pytest.mark.parametrize("metric", KERNEL_METRICS, ids=lambda m: str(m))
+    def test_empty_targets(self, metric):
+        kernel = resolve_kernel(metric)
+        assert kernel is not None
+        out = kernel.one_to_many(np.zeros(2), np.empty((0, 2)))
+        assert out.shape == (0,)
+
+
+# ------------------------------------------------------------- point buffer
+
+
+class TestPointBuffer:
+    def _brute(self, kernel, stored, query):
+        return [float(np.linalg.norm(np.subtract(c, query))) for c in stored]
+
+    def test_append_discard_compaction(self):
+        kernel = resolve_kernel(euclidean)
+        buffer = PointBuffer(kernel)
+        reference: dict[int, tuple[float, float]] = {}
+        rng = random.Random(0)
+        for t in range(1, 400):
+            buffer.append(t, (rng.uniform(0, 10), rng.uniform(0, 10)))
+            reference[t] = None
+            if rng.random() < 0.6:
+                victim = rng.choice(list(reference))
+                buffer.discard(victim)
+                del reference[victim]
+            assert len(buffer) == len(reference)
+        keys, dists = buffer.distances_from((0.0, 0.0))
+        # Live keys in insertion (== time) order, regardless of compactions.
+        assert keys.tolist() == sorted(reference)
+        assert dists.shape == (len(reference),)
+
+    def test_distances_match_scalar(self):
+        kernel = resolve_kernel(manhattan)
+        buffer = PointBuffer(kernel)
+        pts = {1: (0.0, 0.0), 2: (3.0, 4.0), 3: (-1.0, 2.5)}
+        for t, c in pts.items():
+            buffer.append(t, c)
+        buffer.discard(2)
+        keys, dists = buffer.distances_from((1.0, 1.0))
+        assert keys.tolist() == [1, 3]
+        expected = [manhattan(Point((1.0, 1.0)), Point(pts[t])) for t in (1, 3)]
+        assert dists == pytest.approx(expected, rel=1e-12)
+
+    def test_duplicate_key_rejected(self):
+        buffer = PointBuffer(resolve_kernel(euclidean))
+        buffer.append(1, (0.0,))
+        with pytest.raises(KeyError):
+            buffer.append(1, (1.0,))
+
+
+# ------------------------------------------------------------- batch engine
+
+
+class TestBatchDistanceEngine:
+    def test_hits_match_brute_force_scan(self):
+        engine = BatchDistanceEngine(resolve_kernel(euclidean))
+        rng = random.Random(1)
+        families = [engine.new_family(threshold) for threshold in (1.0, 3.0, 8.0)]
+        stored: dict[int, tuple[float, float]] = {}
+        t = 0
+        for _ in range(300):
+            t += 1
+            coords = (rng.uniform(0, 10), rng.uniform(0, 10))
+            for family in families:
+                if rng.random() < 0.5:
+                    family.add(t, coords)
+                    stored[t] = coords
+            if rng.random() < 0.3:
+                family = rng.choice(families)
+                if len(family):
+                    family.discard(rng.choice(list(family._slot_of)))
+            query = (rng.uniform(0, 10), rng.uniform(0, 10))
+            horizon = t - 150
+            engine.begin_batch(query, horizon)
+            for family in families:
+                expected = sorted(
+                    s
+                    for s, c in stored.items()
+                    if s in family._slot_of
+                    and s > horizon
+                    and euclidean(Point(query), Point(c)) <= family.threshold
+                )
+                assert sorted(family.hits) == expected
+            engine.end_batch()
+
+    def test_make_batch_engine_backend_selection(self):
+        assert make_batch_engine(euclidean, "auto") is not None
+        assert make_batch_engine(euclidean, "scalar") is None
+        assert make_batch_engine(angular, "auto") is None
+        with pytest.raises(ValueError):
+            make_batch_engine(euclidean, "cuda")
+
+    def test_every_surface_rejects_unknown_backend(self):
+        constraint = FairnessConstraint({0: 1, 1: 1})
+        config = SlidingWindowConfig(
+            window_size=10, constraint=constraint, dmin=0.1, dmax=10.0
+        )
+        with pytest.raises(ValueError):
+            FairSlidingWindow(config, backend="vectorized")
+        with pytest.raises(ValueError):
+            DimensionFreeFairSlidingWindow(config, backend="vectorized")
+        with pytest.raises(ValueError):
+            ObliviousFairSlidingWindow(config, backend="vectorized")
+        with pytest.raises(ValueError):
+            InsertionOnlyFairCenter(constraint, 0.1, 10.0, backend="vectorized")
+        with pytest.raises(ValueError):
+            AspectRatioEstimator(10, backend="vectorized")
+
+
+# ------------------------------------------------------- algorithm level
+
+
+def _random_stream(n, colors=3, seed=0, spread=100.0):
+    rng = random.Random(seed)
+    return [
+        Point((rng.uniform(0, spread), rng.uniform(0, spread)), rng.randrange(colors))
+        for _ in range(n)
+    ]
+
+
+def _assert_same_guess_states(auto_states, scalar_states):
+    assert len(auto_states) == len(scalar_states)
+    for sa, sb in zip(auto_states, scalar_states):
+        assert sa.guess == sb.guess
+        assert list(sa.v_attractors) == list(sb.v_attractors)
+        assert list(sa.v_representatives) == list(sb.v_representatives)
+        assert sa.v_rep_of == sb.v_rep_of
+        assert list(sa.c_attractors) == list(sb.c_attractors)
+        assert list(sa.c_representatives) == list(sb.c_representatives)
+        assert sa.c_reps_of == sb.c_reps_of
+
+
+class TestSlidingWindowEquivalence:
+    @pytest.mark.parametrize(
+        "metric", [euclidean, manhattan, chebyshev, Minkowski(3.0)],
+        ids=lambda m: str(m),
+    )
+    def test_fair_sliding_window_identical_state_and_solution(self, metric):
+        constraint = FairnessConstraint({0: 2, 1: 2, 2: 2})
+        config = SlidingWindowConfig(
+            window_size=120, constraint=constraint, delta=1.0,
+            dmin=0.01, dmax=300.0, metric=metric,
+        )
+        auto = FairSlidingWindow(config, backend="auto")
+        scalar = FairSlidingWindow(config, backend="scalar")
+        assert auto._engine is not None and scalar._engine is None
+        for point in _random_stream(500, seed=5):
+            auto.insert(point)
+            scalar.insert(point)
+        _assert_same_guess_states(auto.states, scalar.states)
+        assert auto.memory_points() == scalar.memory_points()
+        assert auto.total_entries() == scalar.total_entries()
+        assert auto.valid_guesses() == scalar.valid_guesses()
+        qa, qb = auto.query(), scalar.query()
+        assert qa.centers == qb.centers
+        assert qa.radius == qb.radius
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        delta=st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+        window=st.integers(min_value=20, max_value=120),
+    )
+    def test_fair_sliding_window_property(self, seed, delta, window):
+        constraint = FairnessConstraint({0: 2, 1: 1})
+        config = SlidingWindowConfig(
+            window_size=window, constraint=constraint, delta=delta,
+            dmin=0.05, dmax=200.0,
+        )
+        auto = FairSlidingWindow(config, backend="auto")
+        scalar = FairSlidingWindow(config, backend="scalar")
+        for point in _random_stream(3 * window, colors=2, seed=seed):
+            auto.insert(point)
+            scalar.insert(point)
+        _assert_same_guess_states(auto.states, scalar.states)
+        assert auto.memory_points() == scalar.memory_points()
+
+    def test_oblivious_identical_state_and_solution(self):
+        constraint = FairnessConstraint({0: 2, 1: 2, 2: 2})
+        config = SlidingWindowConfig(
+            window_size=150, constraint=constraint, delta=1.0,
+        )
+        auto = ObliviousFairSlidingWindow(
+            config, backend="auto",
+            estimator=AspectRatioEstimator(150, backend="auto"),
+        )
+        scalar = ObliviousFairSlidingWindow(
+            config, backend="scalar",
+            estimator=AspectRatioEstimator(150, backend="scalar"),
+        )
+        for point in _random_stream(600, seed=9):
+            auto.insert(point)
+            scalar.insert(point)
+        assert auto.guesses == scalar.guesses
+        _assert_same_guess_states(auto.states, scalar.states)
+        assert auto.memory_points() == scalar.memory_points()
+        assert auto.query().centers == scalar.query().centers
+
+    def test_dimension_free_identical_state_and_solution(self):
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        config = SlidingWindowConfig(
+            window_size=100, constraint=constraint, delta=1.0,
+            dmin=0.01, dmax=300.0,
+        )
+        auto = DimensionFreeFairSlidingWindow(config, backend="auto")
+        scalar = DimensionFreeFairSlidingWindow(config, backend="scalar")
+        for point in _random_stream(400, colors=2, seed=13):
+            auto.insert(point)
+            scalar.insert(point)
+        for sa, sb in zip(auto.states, scalar.states):
+            assert list(sa.attractors) == list(sb.attractors)
+            assert list(sa.representatives) == list(sb.representatives)
+            assert sa.reps_of == sb.reps_of
+        assert auto.query().centers == scalar.query().centers
+
+    def test_insertion_only_identical_state_and_solution(self):
+        constraint = FairnessConstraint({0: 2, 1: 2, 2: 2})
+        auto = InsertionOnlyFairCenter(constraint, 0.01, 300.0, backend="auto")
+        scalar = InsertionOnlyFairCenter(constraint, 0.01, 300.0, backend="scalar")
+        for point in _random_stream(500, seed=17):
+            auto.insert(point)
+            scalar.insert(point)
+        assert auto.memory_points() == scalar.memory_points()
+        for sa, sb in zip(auto._sketches, scalar._sketches):
+            assert sa.invalid == sb.invalid
+            assert [p.pivot for p in sa.pivots] == [p.pivot for p in sb.pivots]
+            assert [p.representatives for p in sa.pivots] == [
+                p.representatives for p in sb.pivots
+            ]
+        assert auto.query().centers == scalar.query().centers
+
+    def test_custom_metric_falls_back_to_scalar_path(self):
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        config = SlidingWindowConfig(
+            window_size=60, constraint=constraint, delta=1.0,
+            dmin=0.01, dmax=300.0, metric=angular,
+        )
+        algorithm = FairSlidingWindow(config)
+        assert algorithm._engine is None
+        for point in _random_stream(120, colors=2, seed=21, spread=1.0):
+            algorithm.insert(point)
+        assert algorithm.memory_points() > 0

@@ -17,7 +17,7 @@ from repro.core.oblivious import ObliviousFairSlidingWindow
 from repro.core.solution import evaluate_radius
 from repro.sequential.brute_force import exact_fair_center
 from repro.sequential.jones import JonesFairCenter
-from conftest import sliding_config
+from tests._fixtures import sliding_config
 
 
 def random_stream(n, spread=100.0, colors=3, seed=0):

@@ -19,7 +19,7 @@ from repro.sequential.brute_force import ExactFairCenter, exact_fair_center, exa
 from repro.sequential.chen import ChenMatroidCenter
 from repro.sequential.jones import JonesFairCenter, jones_fair_center
 from repro.sequential.kleindessner import CapacityAwareGreedy, capacity_aware_greedy
-from conftest import points_strategy
+from tests._fixtures import points_strategy
 
 import numpy as np
 

@@ -10,7 +10,7 @@ from repro.core.geometry import Point
 from repro.core.metrics import euclidean
 from repro.sequential.brute_force import exact_k_center
 from repro.sequential.gonzalez import GonzalezKCenter, gonzalez, greedy_independent_heads
-from conftest import points_strategy
+from tests._fixtures import points_strategy
 
 
 class TestGonzalez:

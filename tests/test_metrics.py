@@ -24,7 +24,7 @@ from repro.core.metrics import (
     min_max_pairwise_distance,
     pairwise_distances,
 )
-from conftest import points_strategy
+from tests._fixtures import points_strategy
 
 ALL_METRICS = [euclidean, manhattan, chebyshev, Minkowski(3.0), angular]
 
