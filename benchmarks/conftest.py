@@ -5,15 +5,23 @@ scale selected by ``REPRO_SCALE``, default ``small``) and registers the
 resulting table here.  The tables are
 
 * written to ``benchmarks/results/<name>.{txt,csv}`` so they can be diffed
-  against EXPERIMENTS.md, and
+  against EXPERIMENTS.md,
+* written to ``benchmarks/results/BENCH_<name>.json`` — a machine-readable
+  record (rows plus run metadata, with millisecond timings mirrored in µs)
+  that future PRs diff to track the performance trajectory, and
 * printed in the pytest terminal summary, so that
   ``pytest benchmarks/ --benchmark-only`` shows the regenerated figures
   alongside pytest-benchmark's timing statistics.
+
+``pytest benchmarks/ --quick`` forces the ``tiny`` scale regardless of the
+environment — the smoke mode used by CI.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -24,6 +32,37 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 _TABLES: list[tuple[str, str]] = []
 
+#: name of the scale actually in force (set by the ``scale`` fixture, so the
+#: JSON records ``tiny`` under ``--quick`` even when the environment says
+#: otherwise).
+_ACTIVE_SCALE: str | None = None
+
+#: per-row millisecond keys mirrored as microseconds in the JSON output, so
+#: the perf trajectory of the update/query hot paths is tracked at the
+#: resolution the paper reports them at.
+_MS_TO_US_KEYS = ("update_ms", "query_ms")
+
+
+def pytest_addoption(parser):  # noqa: D103
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="benchmark smoke mode: force the 'tiny' experiment scale",
+    )
+
+
+def _json_rows(rows: list[dict]) -> list[dict]:
+    out = []
+    for row in rows:
+        row = dict(row)
+        for key in _MS_TO_US_KEYS:
+            value = row.get(key)
+            if isinstance(value, (int, float)):
+                row[key.replace("_ms", "_us")] = value * 1000.0
+        out.append(row)
+    return out
+
 
 def register_table(name: str, rows: list[dict], columns: list[str]) -> None:
     """Persist and queue a result table for the terminal summary."""
@@ -31,15 +70,32 @@ def register_table(name: str, rows: list[dict], columns: list[str]) -> None:
     text = format_table(rows, columns, title=name)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     rows_to_csv(rows, RESULTS_DIR / f"{name}.csv")
+    payload = {
+        "name": name,
+        "scale": _ACTIVE_SCALE or os.environ.get("REPRO_SCALE", "small"),
+        "backend": os.environ.get("REPRO_BACKEND", "auto"),
+        "dtype": os.environ.get("REPRO_DTYPE", "float64"),
+        "python": platform.python_version(),
+        "columns": columns,
+        "rows": _json_rows(rows),
+    }
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n"
+    )
     _TABLES.append((name, text))
 
 
 @pytest.fixture(scope="session")
-def scale():
+def scale(request):
     """The experiment scale used by every benchmark in this session."""
     from repro.experiments.common import get_scale
 
-    return get_scale(os.environ.get("REPRO_SCALE", "small"))
+    global _ACTIVE_SCALE
+    if request.config.getoption("--quick"):
+        _ACTIVE_SCALE = "tiny"
+        return get_scale("tiny")
+    _ACTIVE_SCALE = os.environ.get("REPRO_SCALE", "small")
+    return get_scale(_ACTIVE_SCALE)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103

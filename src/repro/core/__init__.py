@@ -4,11 +4,17 @@ from .backend import (
     BatchDistanceEngine,
     DistanceKernel,
     PointBuffer,
+    PointSet,
     ScalarOnlyMetric,
+    as_point_set,
     get_backend_mode,
+    get_dtype_mode,
+    greedy_cover_indices,
     resolve_kernel,
     set_backend_mode,
+    set_dtype_mode,
     use_backend,
+    use_dtype,
 )
 from .config import (
     DEFAULT_ALPHA,
@@ -51,6 +57,7 @@ __all__ = [
     "Point",
     "PointBuffer",
     "PointFactory",
+    "PointSet",
     "PrecomputedMetric",
     "ScalarOnlyMetric",
     "SlidingWindowConfig",
@@ -60,10 +67,13 @@ __all__ = [
     "check_solution",
     "delta_from_epsilon",
     "epsilon_from_delta",
+    "as_point_set",
     "euclidean",
     "evaluate_radius",
     "get_backend_mode",
+    "get_dtype_mode",
     "get_metric",
+    "greedy_cover_indices",
     "guess_grid",
     "make_point",
     "make_points",
@@ -71,5 +81,7 @@ __all__ = [
     "pairwise_distances",
     "resolve_kernel",
     "set_backend_mode",
+    "set_dtype_mode",
     "use_backend",
+    "use_dtype",
 ]

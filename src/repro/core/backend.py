@@ -26,6 +26,17 @@ This module provides the batched alternative:
   vectorised comparison finds every attractor of every guess that the point
   attaches to; the per-guess update loops then only touch those (sparse)
   hits instead of scanning their families.
+* :class:`PointSet` — a zero-copy bundle of a point sequence with its
+  contiguous ``(n, d)`` coordinate matrix and kernel, the currency of the
+  *query-side* engine: the per-guess states expose their validation /
+  coreset families as point sets (backed by incrementally maintained
+  :class:`PointBuffer` arenas), and the sequential solvers consume them
+  without ever re-stacking coordinates.
+* :func:`greedy_cover_indices` — the vectorised prefix-greedy independent
+  set / cover routine shared by the query-time validation check of every
+  sliding-window variant and by the head selection of the Chen et al.
+  reduction.  It maintains a running min-distance-to-cover vector (one
+  kernel call per added cover point) and exits early at ``limit + 1``.
 
 Backend selection
 -----------------
@@ -35,7 +46,19 @@ a kernel.  It can be disabled globally by setting the environment variable
 the :func:`use_backend` context manager), and per algorithm instance through
 their ``backend="scalar"`` constructor argument.  The scalar and vectorised
 paths agree to within floating-point rounding (see ``tests/test_backend.py``
-for the property-based equivalence suite).
+and ``tests/test_query_path.py`` for the property-based equivalence suites).
+
+Dtype selection
+---------------
+Kernels, engine arenas and point-set views operate in a configurable
+floating-point precision.  ``float64`` (the default) matches the scalar
+oracle bit for bit on the Lp metrics; ``float32`` halves the memory traffic
+of every batched scan — a measurable win on the high-dimensional workloads
+of Figures 4/5 — at the price of ~1e-6 relative rounding.  Select it
+globally with ``REPRO_DTYPE=float32`` (or :func:`set_dtype_mode` /
+:func:`use_dtype`) or per algorithm instance through their ``dtype=``
+constructor argument / :class:`SlidingWindowConfig.dtype`.  ``"auto"``
+defers to the global mode, which defaults to ``float64``.
 """
 
 from __future__ import annotations
@@ -50,14 +73,24 @@ __all__ = [
     "BatchDistanceEngine",
     "DistanceKernel",
     "PointBuffer",
+    "PointSet",
     "ScalarOnlyMetric",
+    "FamilyArena",
+    "as_point_set",
+    "cover_fits",
     "get_backend_mode",
+    "get_dtype_mode",
+    "greedy_cover_indices",
     "make_batch_engine",
+    "resolve_dtype",
     "resolve_instance_kernel",
     "resolve_kernel",
     "set_backend_mode",
+    "set_dtype_mode",
     "use_backend",
+    "use_dtype",
     "validate_backend",
+    "validate_dtype",
 ]
 
 BACKEND_MODES = ("auto", "scalar")
@@ -68,6 +101,61 @@ if _mode not in BACKEND_MODES:  # pragma: no cover - environment misuse
         f"REPRO_BACKEND={_mode!r} is not a valid backend mode; "
         f"choose one of {', '.join(BACKEND_MODES)}"
     )
+
+#: Selectable floating-point precisions; ``auto`` defers to the global mode.
+DTYPE_MODES = ("auto", "float32", "float64")
+
+_NAMED_DTYPES = {"float32": np.float32, "float64": np.float64}
+
+_dtype_mode = os.environ.get("REPRO_DTYPE", "float64").strip().lower() or "float64"
+if _dtype_mode not in _NAMED_DTYPES:  # pragma: no cover - environment misuse
+    raise ValueError(
+        f"REPRO_DTYPE={_dtype_mode!r} is not a valid dtype; "
+        f"choose one of {', '.join(_NAMED_DTYPES)}"
+    )
+
+
+def get_dtype_mode() -> str:
+    """The current global dtype mode (``float32`` or ``float64``)."""
+    return _dtype_mode
+
+
+def set_dtype_mode(mode: str) -> None:
+    """Set the global kernel dtype (``float32`` or ``float64``)."""
+    global _dtype_mode
+    mode = mode.strip().lower()
+    if mode not in _NAMED_DTYPES:
+        raise ValueError(
+            f"unknown dtype {mode!r}; choose one of {', '.join(_NAMED_DTYPES)}"
+        )
+    _dtype_mode = mode
+
+
+@contextmanager
+def use_dtype(mode: str) -> Iterator[None]:
+    """Temporarily switch the global dtype mode (for tests and benchmarks)."""
+    previous = get_dtype_mode()
+    set_dtype_mode(mode)
+    try:
+        yield
+    finally:
+        set_dtype_mode(previous)
+
+
+def validate_dtype(dtype: str) -> str:
+    """Validate a per-instance ``dtype=`` argument (``auto`` / named dtype)."""
+    if dtype not in DTYPE_MODES:
+        raise ValueError(
+            f"unknown dtype {dtype!r}; choose one of {', '.join(DTYPE_MODES)}"
+        )
+    return dtype
+
+
+def resolve_dtype(dtype: str = "auto") -> np.dtype:
+    """The numpy dtype selected by ``dtype`` (``auto`` = the global mode)."""
+    if validate_dtype(dtype) == "auto":
+        dtype = _dtype_mode
+    return np.dtype(_NAMED_DTYPES[dtype])
 
 
 def get_backend_mode() -> str:
@@ -105,8 +193,20 @@ def use_backend(mode: str) -> Iterator[None]:
 # ----------------------------------------------------------------- kernels
 
 
+def _align(query: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Cast ``query`` to the dtype of ``coords`` so arithmetic never upcasts
+    a float32 arena back to float64 on the hot path."""
+    if query.dtype == coords.dtype:
+        return query
+    return query.astype(coords.dtype)
+
+
 class DistanceKernel:
-    """Vectorised one-to-many distance computation for a fixed metric."""
+    """Vectorised one-to-many distance computation for a fixed metric.
+
+    Kernels are dtype-preserving: the result dtype follows the coordinate
+    matrix (float32 arenas stay float32 end to end).
+    """
 
     name = "abstract"
 
@@ -120,8 +220,8 @@ class EuclideanKernel(DistanceKernel):
 
     def one_to_many(self, query: np.ndarray, coords: np.ndarray) -> np.ndarray:
         if coords.shape[0] == 0:
-            return np.empty(0, dtype=float)
-        diff = coords - query
+            return np.empty(0, dtype=coords.dtype)
+        diff = coords - _align(query, coords)
         # einsum avoids np.linalg.norm's dispatch overhead on the hot path.
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
@@ -131,8 +231,8 @@ class ManhattanKernel(DistanceKernel):
 
     def one_to_many(self, query: np.ndarray, coords: np.ndarray) -> np.ndarray:
         if coords.shape[0] == 0:
-            return np.empty(0, dtype=float)
-        return np.abs(coords - query).sum(axis=1)
+            return np.empty(0, dtype=coords.dtype)
+        return np.abs(coords - _align(query, coords)).sum(axis=1)
 
 
 class ChebyshevKernel(DistanceKernel):
@@ -140,12 +240,12 @@ class ChebyshevKernel(DistanceKernel):
 
     def one_to_many(self, query: np.ndarray, coords: np.ndarray) -> np.ndarray:
         if coords.shape[0] == 0:
-            return np.empty(0, dtype=float)
+            return np.empty(0, dtype=coords.dtype)
         if coords.shape[1] == 0:
             # Zero-dimensional points are all at distance 0 (the scalar
             # chebyshev defines max over an empty set as 0).
-            return np.zeros(coords.shape[0], dtype=float)
-        return np.abs(coords - query).max(axis=1)
+            return np.zeros(coords.shape[0], dtype=coords.dtype)
+        return np.abs(coords - _align(query, coords)).max(axis=1)
 
 
 class MinkowskiKernel(DistanceKernel):
@@ -157,8 +257,8 @@ class MinkowskiKernel(DistanceKernel):
 
     def one_to_many(self, query: np.ndarray, coords: np.ndarray) -> np.ndarray:
         if coords.shape[0] == 0:
-            return np.empty(0, dtype=float)
-        diff = np.abs(coords - query)
+            return np.empty(0, dtype=coords.dtype)
+        diff = np.abs(coords - _align(query, coords))
         return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
 
 
@@ -246,10 +346,13 @@ class PointBuffer:
     they pick "the first attractor within range".
     """
 
-    __slots__ = ("kernel", "_coords", "_times", "_alive", "_size", "_live", "_row_of")
+    __slots__ = (
+        "kernel", "dtype", "_coords", "_times", "_alive", "_size", "_live", "_row_of"
+    )
 
-    def __init__(self, kernel: DistanceKernel) -> None:
+    def __init__(self, kernel: DistanceKernel, dtype: str | np.dtype = "auto") -> None:
         self.kernel = kernel
+        self.dtype = resolve_dtype(dtype) if isinstance(dtype, str) else np.dtype(dtype)
         self._coords: np.ndarray | None = None
         self._times: np.ndarray | None = None
         self._alive: np.ndarray | None = None
@@ -270,7 +373,7 @@ class PointBuffer:
         if self._coords is None:
             dim = len(coords)
             capacity = 8
-            self._coords = np.empty((capacity, dim), dtype=float)
+            self._coords = np.empty((capacity, dim), dtype=self.dtype)
             self._times = np.empty(capacity, dtype=np.int64)
             self._alive = np.zeros(capacity, dtype=bool)
         elif self._size == self._coords.shape[0]:
@@ -289,7 +392,7 @@ class PointBuffer:
         assert self._coords is not None and self._times is not None
         assert self._alive is not None
         capacity = max(8, 2 * self._coords.shape[0])
-        coords = np.empty((capacity, self._coords.shape[1]), dtype=float)
+        coords = np.empty((capacity, self._coords.shape[1]), dtype=self.dtype)
         coords[: self._size] = self._coords[: self._size]
         times = np.empty(capacity, dtype=np.int64)
         times[: self._size] = self._times[: self._size]
@@ -317,16 +420,24 @@ class PointBuffer:
         self._live = 0
 
     def _compact(self) -> None:
+        # The packed rows go into *fresh* arrays rather than being repacked
+        # in place: views handed out by ``coords_view`` alias the old arena,
+        # and the zero-copy contract promises that later buffer mutations
+        # never change a previously returned snapshot under its holder.
         assert self._coords is not None and self._times is not None
         assert self._alive is not None
         mask = self._alive[: self._size]
         packed_coords = self._coords[: self._size][mask]
         packed_times = self._times[: self._size][mask]
         live = packed_coords.shape[0]
-        self._coords[:live] = packed_coords
-        self._times[:live] = packed_times
-        self._alive[: self._size] = False
-        self._alive[:live] = True
+        capacity = max(8, self._coords.shape[0])
+        coords = np.empty((capacity, self._coords.shape[1]), dtype=self.dtype)
+        coords[:live] = packed_coords
+        times = np.empty(capacity, dtype=np.int64)
+        times[:live] = packed_times
+        alive = np.zeros(capacity, dtype=bool)
+        alive[:live] = True
+        self._coords, self._times, self._alive = coords, times, alive
         self._size = live
         self._live = live
         self._row_of = {int(t): i for i, t in enumerate(packed_times)}
@@ -334,15 +445,198 @@ class PointBuffer:
     def distances_from(self, coords: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
         """``(keys, distances)`` of the live points, in insertion order."""
         if self._live == 0 or self._coords is None:
-            empty = np.empty(0, dtype=float)
+            empty = np.empty(0, dtype=self.dtype)
             return np.empty(0, dtype=np.int64), empty
         assert self._times is not None and self._alive is not None
-        query = np.asarray(coords, dtype=float)
+        query = np.asarray(coords, dtype=self.dtype)
         dists = self.kernel.one_to_many(query, self._coords[: self._size])
         mask = self._alive[: self._size]
         if self._live == self._size:
             return self._times[: self._size], dists
         return self._times[: self._size][mask], dists[mask]
+
+    def coords_view(self) -> np.ndarray:
+        """Zero-copy ``(live, d)`` view of the stored coordinates.
+
+        Live rows appear in insertion order.  When discards have punched
+        holes into the dense prefix the buffer compacts itself first, so the
+        returned array is always a contiguous *view* (no copy) into the
+        arena.  The view is a stable snapshot: later appends write past its
+        rows and later compactions/growths move the buffer to fresh arrays,
+        so no subsequent buffer mutation ever changes it in place.
+        """
+        if self._live == 0 or self._coords is None:
+            dim = self._coords.shape[1] if self._coords is not None else 0
+            return np.empty((0, dim), dtype=self.dtype)
+        if self._live != self._size:
+            self._compact()
+        return self._coords[: self._size]
+
+
+# -------------------------------------------------------------- point sets
+
+
+class PointSet:
+    """A point sequence bundled with its contiguous coordinates and kernel.
+
+    The currency of the query-side engine: anywhere a solver or a query
+    routine accepts a sequence of points it also accepts a :class:`PointSet`,
+    whose ``coords`` (an ``(n, d)`` matrix whose rows align with ``items``)
+    let it run batched kernel calls without re-stacking coordinates.  Both
+    ``coords`` and ``kernel`` may be ``None`` (scalar fallback), in which
+    case the object degrades to a plain sequence.
+
+    Point sets behave as immutable sequences of their items, so existing
+    list-based code (``len``, iteration, indexing, truthiness) keeps working
+    unchanged.
+    """
+
+    __slots__ = ("items", "coords", "kernel")
+
+    def __init__(
+        self,
+        items: Sequence,
+        coords: np.ndarray | None = None,
+        kernel: DistanceKernel | None = None,
+    ) -> None:
+        self.items = items if isinstance(items, list) else list(items)
+        if coords is not None and coords.shape[0] != len(self.items):
+            raise ValueError(
+                f"coordinate matrix has {coords.shape[0]} rows "
+                f"for {len(self.items)} items"
+            )
+        self.coords = coords
+        self.kernel = kernel
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __getitem__(self, index: int):
+        return self.items[index]
+
+    @property
+    def is_vectorized(self) -> bool:
+        """Whether batched kernel calls are available for this set."""
+        return self.kernel is not None and self.coords is not None
+
+    def distances_from(self, index: int) -> np.ndarray:
+        """Distances from the ``index``-th point to every point (one kernel call)."""
+        assert self.kernel is not None and self.coords is not None
+        return self.kernel.one_to_many(self.coords[index], self.coords)
+
+    def distances_from_coords(self, coords: Sequence[float]) -> np.ndarray:
+        """Distances from an arbitrary coordinate vector to every point."""
+        assert self.kernel is not None and self.coords is not None
+        query = np.asarray(coords, dtype=self.coords.dtype)
+        return self.kernel.one_to_many(query, self.coords)
+
+    def replace_items(self, items: Sequence) -> "PointSet":
+        """A point set with the same coordinates over different item handles.
+
+        Used to strip :class:`StreamItem` wrappers without losing the
+        coordinate view (the underlying points are unchanged).
+        """
+        return PointSet(items, self.coords, self.kernel)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = self.kernel.name if self.kernel is not None else "scalar"
+        return f"PointSet(n={len(self.items)}, kernel={kind})"
+
+
+def as_point_set(points: Sequence, metric: Callable | None = None) -> PointSet:
+    """Coerce ``points`` into a :class:`PointSet` for the metric.
+
+    An existing point set is returned unchanged (zero-copy); otherwise the
+    coordinates are stacked once — in the active dtype — when the metric has
+    a kernel, and left out (scalar fallback) when it does not.
+    """
+    if isinstance(points, PointSet):
+        return points
+    items = points if isinstance(points, list) else list(points)
+    kernel = resolve_kernel(metric) if metric is not None else None
+    coords: np.ndarray | None = None
+    if kernel is not None and items:
+        coords = np.asarray([p.coords for p in items], dtype=resolve_dtype())
+    return PointSet(items, coords, kernel)
+
+
+def greedy_cover_indices(
+    points: Sequence,
+    threshold: float,
+    metric: Callable | None = None,
+    *,
+    limit: int | None = None,
+) -> list[int]:
+    """Prefix-greedy independent set: indices of points pairwise > ``threshold`` apart.
+
+    Scanning the points in order, a point is kept when its distance from
+    every previously kept point exceeds ``threshold``.  This single routine
+    backs both the query-time validation-cover check of the sliding-window
+    algorithms ("does RVγ admit a cover by at most ``k`` points of radius
+    ``2γ``?") and the head selection of the Chen et al. radius-guessing
+    reduction.
+
+    When the point set is vectorised the scan keeps a running min-distance
+    vector to the current cover: picking the next head is a single comparison
+    over the suffix and each addition costs one kernel call, instead of one
+    scalar (or small stacked) distance evaluation per point.  When ``limit``
+    is given the scan stops as soon as ``limit + 1`` heads are found (enough
+    to certify that the cover does not fit).
+    """
+    ps = as_point_set(points, metric)
+    n = len(ps)
+    if n == 0:
+        return []
+    if not ps.is_vectorized:
+        if metric is None:
+            raise ValueError("a metric is required for non-vectorized point sets")
+        indices: list[int] = [0]
+        kept = [ps.items[0]]
+        if limit is not None and len(indices) > limit:
+            return indices
+        for index in range(1, n):
+            p = ps.items[index]
+            if min(metric(p, q) for q in kept) > threshold:
+                indices.append(index)
+                kept.append(p)
+                if limit is not None and len(indices) > limit:
+                    break
+        return indices
+
+    indices = [0]
+    if limit is not None and len(indices) > limit:
+        return indices
+    # ``mindist[j]`` is the distance of point j from the current cover.  The
+    # next greedy head is the first index past the scan position whose
+    # min-distance exceeds the threshold: every point before it was within
+    # threshold of the cover as it stood when that point was scanned, and
+    # covers only grow, so the decisions match the scalar scan exactly.
+    mindist = ps.distances_from(0)
+    pos = 1
+    while pos < n:
+        above = np.nonzero(mindist[pos:] > threshold)[0]
+        if above.size == 0:
+            break
+        j = pos + int(above[0])
+        indices.append(j)
+        if limit is not None and len(indices) > limit:
+            break
+        np.minimum(mindist, ps.distances_from(j), out=mindist)
+        pos = j + 1
+    return indices
+
+
+def cover_fits(
+    points: Sequence,
+    threshold: float,
+    limit: int,
+    metric: Callable | None = None,
+) -> bool:
+    """Whether the prefix-greedy cover of ``points`` uses at most ``limit`` heads."""
+    return len(greedy_cover_indices(points, threshold, metric, limit=limit)) <= limit
 
 
 # ----------------------------------------------------------- batch engine
@@ -409,6 +703,7 @@ class BatchDistanceEngine:
 
     __slots__ = (
         "kernel",
+        "dtype",
         "_coords",
         "_times",
         "_thresholds",
@@ -416,11 +711,18 @@ class BatchDistanceEngine:
         "_free",
         "_size",
         "in_batch",
+        "batch_coords",
         "_hit_families",
     )
 
-    def __init__(self, kernel: DistanceKernel) -> None:
+    def __init__(self, kernel: DistanceKernel, dtype: str | np.dtype = "auto") -> None:
         self.kernel = kernel
+        self.dtype = resolve_dtype(dtype) if isinstance(dtype, str) else np.dtype(dtype)
+        #: coordinates of the current batch's arriving point, already
+        #: converted to a dtype-matched ndarray; states reuse it when
+        #: mirroring the arrival into their query-side arenas (an ndarray
+        #: row-assign is a plain memcpy, a tuple one converts per element).
+        self.batch_coords: np.ndarray | None = None
         self._coords: np.ndarray | None = None
         #: per-slot arrival times; a plain Python list so that the sparse hit
         #: loop never pays for numpy scalar extraction.
@@ -451,8 +753,8 @@ class BatchDistanceEngine:
             slot = self._size
             if self._coords is None:
                 dim = len(coords)
-                self._coords = np.empty((16, dim), dtype=float)
-                self._thresholds = np.empty(16, dtype=float)
+                self._coords = np.empty((16, dim), dtype=self.dtype)
+                self._thresholds = np.empty(16, dtype=self.dtype)
                 self._family_of = [None] * 16
             elif slot == self._coords.shape[0]:
                 self._grow()
@@ -467,9 +769,9 @@ class BatchDistanceEngine:
     def _grow(self) -> None:
         assert self._coords is not None and self._thresholds is not None
         capacity = 2 * self._coords.shape[0]
-        coords = np.empty((capacity, self._coords.shape[1]), dtype=float)
+        coords = np.empty((capacity, self._coords.shape[1]), dtype=self.dtype)
         coords[: self._size] = self._coords[: self._size]
-        thresholds = np.empty(capacity, dtype=float)
+        thresholds = np.empty(capacity, dtype=self.dtype)
         thresholds[: self._size] = self._thresholds[: self._size]
         self._coords, self._thresholds = coords, thresholds
         self._family_of.extend([None] * (capacity - len(self._family_of)))
@@ -520,10 +822,11 @@ class BatchDistanceEngine:
         if self._free and len(self._free) > max(64, 3 * len(self)):
             self._compact()
         self.in_batch = True
+        query = np.asarray(coords, dtype=self.dtype)
+        self.batch_coords = query
         if self._size == 0:
             return
         assert self._coords is not None and self._thresholds is not None
-        query = np.asarray(coords, dtype=float)
         dists = self.kernel.one_to_many(query, self._coords[: self._size])
         hit_slots = np.nonzero(dists <= self._thresholds[: self._size])[0]
         if hit_slots.size == 0:
@@ -548,11 +851,76 @@ class BatchDistanceEngine:
         self.in_batch = False
 
 
-def make_batch_engine(metric: Callable, backend: str) -> BatchDistanceEngine | None:
+class FamilyArena:
+    """Lazily-activated :class:`PointBuffer` mirror of a time-keyed family.
+
+    The per-guess states keep their point families as insertion-ordered
+    ``{arrival time -> item}`` dicts; this helper owns the query-side
+    coordinate arena for one such family.  It stays dormant (zero update
+    cost beyond a ``None`` check) until the first :meth:`view` request
+    bulk-fills the buffer from the dict; from then on the owner mirrors
+    every add/discard through :meth:`add` / :meth:`discard`, keeping the
+    buffer rows aligned with the dict's insertion order so views are
+    zero-copy.
+
+    ``add`` prefers the engine's already-converted ``batch_coords`` for the
+    arriving point (an ndarray row-assign is a memcpy; a tuple one converts
+    per element), which keeps the mirroring cost negligible on the update
+    hot path.
+    """
+
+    __slots__ = ("engine", "buffer")
+
+    def __init__(self, engine: BatchDistanceEngine) -> None:
+        self.engine = engine
+        self.buffer: PointBuffer | None = None
+
+    def add(self, t: int, item) -> None:
+        """Mirror the addition of ``item`` (no-op while dormant)."""
+        buffer = self.buffer
+        if buffer is None:
+            return
+        engine = self.engine
+        coords = (
+            engine.batch_coords
+            if engine.in_batch and engine.batch_coords is not None
+            else item.coords
+        )
+        buffer.append(t, coords)
+
+    def discard(self, t: int) -> None:
+        """Mirror the removal of the item keyed ``t`` (no-op while dormant)."""
+        if self.buffer is not None:
+            self.buffer.discard(t)
+
+    def view(self, family: dict) -> PointSet:
+        """The family as a :class:`PointSet` with a zero-copy coordinate view.
+
+        The first call activates the arena by bulk-filling it from the dict
+        (same insertion order); later calls are zero-copy.
+        """
+        items = list(family.values())
+        buffer = self.buffer
+        if buffer is None:
+            buffer = PointBuffer(self.engine.kernel, self.engine.dtype)
+            for t, item in family.items():
+                buffer.append(t, item.coords)
+            self.buffer = buffer
+        return PointSet(items, buffer.coords_view(), buffer.kernel)
+
+
+def make_batch_engine(
+    metric: Callable, backend: str, dtype: str = "auto"
+) -> BatchDistanceEngine | None:
     """The shared batched-distance engine for one algorithm instance.
 
     ``backend="auto"`` vectorises whenever the metric has a kernel;
     ``backend="scalar"`` forces the scalar oracle for this instance only.
+    ``dtype`` selects the precision of the engine's arenas (``auto`` defers
+    to the global :func:`get_dtype_mode`).
     """
     kernel = resolve_instance_kernel(metric, backend)
-    return BatchDistanceEngine(kernel) if kernel is not None else None
+    if kernel is None:
+        validate_dtype(dtype)
+        return None
+    return BatchDistanceEngine(kernel, resolve_dtype(dtype))

@@ -31,6 +31,18 @@ engine's contiguous arena and those scans become plain lookups into the batch
 of distances computed once per arrival; without an engine the state falls
 back to the scalar distance oracle, preserving support for arbitrary metric
 spaces.
+
+Batched queries
+---------------
+The query side reads the two representative families: the validation points
+``RVγ`` feed the greedy cover check, the coreset points ``Rγ`` feed the
+sequential solver.  When an engine is present both families are mirrored
+into per-state :class:`~repro.core.backend.PointBuffer` arenas, maintained
+incrementally alongside the dicts, so that :meth:`GuessState.validation_view`
+and :meth:`GuessState.coreset_view` can hand the query path a zero-copy
+:class:`~repro.core.backend.PointSet` — a contiguous ``(n, d)`` coordinate
+matrix plus the item handles — instead of re-stacking a list of tuples on
+every query.
 """
 
 from __future__ import annotations
@@ -39,7 +51,7 @@ from dataclasses import dataclass, field
 from itertools import takewhile
 from typing import Callable, Iterable
 
-from .backend import AttractorFamily, BatchDistanceEngine
+from .backend import AttractorFamily, BatchDistanceEngine, FamilyArena, PointSet
 from .config import FairnessConstraint
 from .geometry import Color, StreamItem
 
@@ -95,6 +107,17 @@ class GuessState:
             engine.new_family(self.delta * self.guess / 2.0)
             if engine is not None
             else None
+        )
+        # Query-side arenas: representative coordinates mirrored into
+        # contiguous buffers so queries never re-stack python lists.  The
+        # arenas activate lazily on the first view request (bulk-filled from
+        # the dicts, incrementally maintained afterwards), so pure update
+        # workloads that never query pay nothing for them.
+        self._v_rep_arena: FamilyArena | None = (
+            FamilyArena(engine) if engine is not None else None
+        )
+        self._c_rep_arena: FamilyArena | None = (
+            FamilyArena(engine) if engine is not None else None
         )
         # Lower bound on the arrival time of every stored point; lets
         # ``remove_expired`` return in O(1) when nothing can have expired.
@@ -159,6 +182,26 @@ class GuessState:
         if self._c_family is not None:
             self._c_family.discard(t)
 
+    def _add_v_representative(self, item: StreamItem) -> None:
+        self.v_representatives[item.t] = item
+        if self._v_rep_arena is not None:
+            self._v_rep_arena.add(item.t, item)
+
+    def _pop_v_representative(self, t: int) -> None:
+        self.v_representatives.pop(t, None)
+        if self._v_rep_arena is not None:
+            self._v_rep_arena.discard(t)
+
+    def _add_c_representative(self, item: StreamItem) -> None:
+        self.c_representatives[item.t] = item
+        if self._c_rep_arena is not None:
+            self._c_rep_arena.add(item.t, item)
+
+    def _pop_c_representative(self, t: int) -> None:
+        self.c_representatives.pop(t, None)
+        if self._c_rep_arena is not None:
+            self._c_rep_arena.discard(t)
+
     def release_all(self) -> None:
         """Drop every engine membership held by this state.
 
@@ -209,11 +252,11 @@ class GuessState:
         """
         if t in self.v_attractors:
             self._pop_v_attractor(t)
-        self.v_representatives.pop(t, None)
+        self._pop_v_representative(t)
         if t in self.c_attractors:
             self._pop_c_attractor(t)
         if t in self.c_representatives:
-            del self.c_representatives[t]
+            self._pop_c_representative(t)
             self._forget_representative(t)
 
     def _forget_representative(self, t: int) -> None:
@@ -289,16 +332,16 @@ class GuessState:
             # ``item`` becomes a new v-attractor, representing itself.
             self._add_v_attractor(item)
             self.v_rep_of[item.t] = item.t
-            self.v_representatives[item.t] = item
+            self._add_v_representative(item)
             self._cleanup()
         else:
             # ``item`` becomes the new representative of the first attractor
             # within distance 2γ (arrival order, as in the scalar path).
             previous = self.v_rep_of.get(chosen.t)
             if previous is not None:
-                self.v_representatives.pop(previous, None)
+                self._pop_v_representative(previous)
             self.v_rep_of[chosen.t] = item.t
-            self.v_representatives[item.t] = item
+            self._add_v_representative(item)
 
     def _cleanup(self) -> None:
         """Algorithm 2: bound ``AVγ`` and drop certifiably useless points."""
@@ -322,9 +365,9 @@ class GuessState:
         for t in list(takewhile(lambda t: t < tmin, self.c_attractors)):
             self._pop_c_attractor(t)
         for t in list(takewhile(lambda t: t < tmin, self.v_representatives)):
-            del self.v_representatives[t]
+            self._pop_v_representative(t)
         for t in list(takewhile(lambda t: t < tmin, self.c_representatives)):
-            del self.c_representatives[t]
+            self._pop_c_representative(t)
             self._forget_representative(t)
         # Representatives of surviving v-attractors are never older than tmin
         # (a representative arrives no earlier than its attractor), so
@@ -351,7 +394,7 @@ class GuessState:
         buckets = self.c_reps_of[owner_time]
         times = buckets.setdefault(color, [])
         times.append(item.t)
-        self.c_representatives[item.t] = item
+        self._add_c_representative(item)
         self.c_owner_of[item.t] = owner_time
         if len(times) > capacity:
             # Evict the oldest representative of this color for this owner
@@ -359,7 +402,7 @@ class GuessState:
             # keeping the representative set an independent set).  Bucket
             # lists are kept in arrival order, so the oldest is the first.
             oldest = times.pop(0)
-            self.c_representatives.pop(oldest, None)
+            self._pop_c_representative(oldest)
             self.c_owner_of.pop(oldest, None)
 
     # ----------------------------------------------------------------- access
@@ -371,6 +414,25 @@ class GuessState:
     def coreset_points(self) -> list[StreamItem]:
         """The current Rγ (c-representatives, orphans included)."""
         return list(self.c_representatives.values())
+
+    def validation_view(self) -> PointSet:
+        """RVγ as a :class:`PointSet` with a zero-copy coordinate view.
+
+        The arena rows and the dict values follow the same insertion order
+        (every add/remove is mirrored), so the coordinate matrix aligns with
+        the item list without any per-query re-stacking.  Without an engine
+        the set carries no coordinates and callers fall back to the scalar
+        oracle (or stack once themselves via ``as_point_set``).
+        """
+        if self._v_rep_arena is None:
+            return PointSet(list(self.v_representatives.values()))
+        return self._v_rep_arena.view(self.v_representatives)
+
+    def coreset_view(self) -> PointSet:
+        """Rγ as a :class:`PointSet` with a zero-copy coordinate view."""
+        if self._c_rep_arena is None:
+            return PointSet(list(self.c_representatives.values()))
+        return self._c_rep_arena.view(self.c_representatives)
 
     def active_counts(self) -> dict[str, int]:
         """Sizes of the four families (diagnostics and tests)."""

@@ -20,11 +20,17 @@ from typing import Iterable, Sequence
 
 from ..sequential.base import FairCenterSolver
 from ..sequential.jones import JonesFairCenter
-from .backend import AttractorFamily, BatchDistanceEngine, make_batch_engine
+from .backend import (
+    AttractorFamily,
+    BatchDistanceEngine,
+    FamilyArena,
+    PointSet,
+    cover_fits,
+    make_batch_engine,
+)
 from .config import FairnessConstraint, SlidingWindowConfig
 from .geometry import Color, Point, StreamItem
 from .guesses import guess_grid
-from .metrics import distance_to_set
 from .solution import ClusteringSolution
 
 
@@ -55,6 +61,12 @@ class _IndependentSetState:
             if self.engine is not None
             else None
         )
+        # Query-side arena mirroring ``representatives`` (zero-copy views);
+        # activated lazily by the first ``candidate_view`` call so pure
+        # update workloads pay nothing for it.
+        self._rep_arena: FamilyArena | None = (
+            FamilyArena(self.engine) if self.engine is not None else None
+        )
 
     @property
     def k(self) -> int:
@@ -63,6 +75,16 @@ class _IndependentSetState:
     @property
     def is_valid(self) -> bool:
         return len(self.attractors) <= self.k
+
+    def _add_representative(self, item: StreamItem) -> None:
+        self.representatives[item.t] = item
+        if self._rep_arena is not None:
+            self._rep_arena.add(item.t, item)
+
+    def _pop_representative(self, t: int) -> None:
+        self.representatives.pop(t, None)
+        if self._rep_arena is not None:
+            self._rep_arena.discard(t)
 
     # -------------------------------------------------------------- expiry
 
@@ -85,7 +107,7 @@ class _IndependentSetState:
             if self._family is not None:
                 self._family.discard(t)
         if t in self.representatives:
-            del self.representatives[t]
+            self._pop_representative(t)
             for buckets in self.reps_of.values():
                 for color, times in buckets.items():
                     if t in times:
@@ -127,12 +149,12 @@ class _IndependentSetState:
         buckets = self.reps_of[owner]
         times = buckets.setdefault(item.color, [])
         times.append(item.t)
-        self.representatives[item.t] = item
+        self._add_representative(item)
         capacity = self.constraint.capacity(item.color)
         if len(times) > capacity:
             oldest = min(times)
             times.remove(oldest)
-            self.representatives.pop(oldest, None)
+            self._pop_representative(oldest)
 
     def _cleanup(self) -> None:
         if len(self.attractors) == self.k + 2:
@@ -144,7 +166,7 @@ class _IndependentSetState:
         if len(self.attractors) == self.k + 1:
             tmin = min(self.attractors)
             for t in [t for t in self.representatives if t < tmin]:
-                del self.representatives[t]
+                self._pop_representative(t)
             for buckets in self.reps_of.values():
                 for color in buckets:
                     buckets[color] = [t for t in buckets[color] if t >= tmin]
@@ -154,6 +176,12 @@ class _IndependentSetState:
     def candidate_points(self) -> list[StreamItem]:
         """Every stored representative (the query-time candidate set)."""
         return list(self.representatives.values())
+
+    def candidate_view(self) -> PointSet:
+        """The candidate set as a :class:`PointSet` (zero-copy coordinates)."""
+        if self._rep_arena is None:
+            return PointSet(list(self.representatives.values()))
+        return self._rep_arena.view(self.representatives)
 
     def memory_points(self) -> int:
         return len(self.attractors) + len(self.representatives)
@@ -178,7 +206,7 @@ class DimensionFreeFairSlidingWindow:
         self.solver = solver if solver is not None else JonesFairCenter()
         self._now = 0
         assert config.dmin is not None and config.dmax is not None
-        self._engine = make_batch_engine(config.metric, backend)
+        self._engine = make_batch_engine(config.metric, backend, config.dtype)
         self._states = [
             _IndependentSetState(
                 guess=guess,
@@ -258,7 +286,7 @@ class DimensionFreeFairSlidingWindow:
                 continue
             if not self._cover_fits(state, k):
                 continue
-            candidates = state.candidate_points()
+            candidates = state.candidate_view()
             solution = self.solver.solve(
                 candidates, self.config.constraint, self.config.metric
             )
@@ -272,14 +300,9 @@ class DimensionFreeFairSlidingWindow:
         )
 
     def _cover_fits(self, state: _IndependentSetState, k: int) -> bool:
-        threshold = 2.0 * state.guess
-        cover: list[StreamItem] = []
-        for item in state.candidate_points():
-            if not cover or distance_to_set(item, cover, self.config.metric) > threshold:
-                cover.append(item)
-                if len(cover) > k:
-                    return False
-        return True
+        return cover_fits(
+            state.candidate_view(), 2.0 * state.guess, k, self.config.metric
+        )
 
     # ------------------------------------------------------------ diagnostics
 

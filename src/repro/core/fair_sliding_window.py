@@ -33,11 +33,10 @@ from typing import Iterable, Sequence
 
 from ..sequential.base import FairCenterSolver
 from ..sequential.jones import JonesFairCenter
-from .backend import make_batch_engine
+from .backend import cover_fits, make_batch_engine
 from .config import SlidingWindowConfig
 from .coreset import GuessState, distinct_memory, total_memory
 from .geometry import Point, StreamItem
-from .metrics import distance_to_set
 from .solution import ClusteringSolution
 
 
@@ -59,6 +58,8 @@ class FairSlidingWindow:
         ``"auto"`` (default) batches the per-arrival distance computations
         through :class:`~repro.core.backend.BatchDistanceEngine` whenever the
         metric has a vector kernel; ``"scalar"`` forces the scalar oracle.
+        The engine precision follows ``config.dtype`` (``float64`` unless
+        overridden there or via ``REPRO_DTYPE``).
     """
 
     def __init__(
@@ -79,7 +80,7 @@ class FairSlidingWindow:
         from .guesses import guess_grid
 
         assert config.dmin is not None and config.dmax is not None
-        self._engine = make_batch_engine(config.metric, backend)
+        self._engine = make_batch_engine(config.metric, backend, config.dtype)
         self._states: list[GuessState] = [
             GuessState(
                 guess=guess,
@@ -174,18 +175,18 @@ class FairSlidingWindow:
         return self._fallback_solution()
 
     def _validation_cover_fits(self, state: GuessState, k: int) -> bool:
-        """Greedy check that RVγ admits a k-point cover of radius 2γ."""
-        threshold = 2.0 * state.guess
-        cover: list[StreamItem] = []
-        for item in state.validation_points():
-            if not cover or distance_to_set(item, cover, self.config.metric) > threshold:
-                cover.append(item)
-                if len(cover) > k:
-                    return False
-        return True
+        """Greedy check that RVγ admits a k-point cover of radius 2γ.
+
+        Runs on the state's zero-copy validation view: one kernel call per
+        cover point against a maintained min-distance vector, early-exiting
+        as soon as ``k + 1`` cover points are needed.
+        """
+        return cover_fits(
+            state.validation_view(), 2.0 * state.guess, k, self.config.metric
+        )
 
     def _solve_on_coreset(self, state: GuessState) -> ClusteringSolution:
-        coreset = state.coreset_points()
+        coreset = state.coreset_view()
         solution = self.solver.solve(coreset, self.config.constraint, self.config.metric)
         solution.guess = state.guess
         solution.coreset_size = len(coreset)
@@ -203,7 +204,7 @@ class FairSlidingWindow:
         flagged in the metadata so callers / tests can detect it.
         """
         for state in reversed(self._states):
-            coreset = state.coreset_points()
+            coreset = state.coreset_view()
             if coreset:
                 solution = self.solver.solve(
                     coreset, self.config.constraint, self.config.metric

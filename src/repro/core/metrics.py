@@ -27,7 +27,7 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from .backend import resolve_kernel
+from .backend import PointSet, resolve_kernel
 from .geometry import Point, StreamItem, stack_coordinates
 
 PointLike = Point | StreamItem
@@ -201,8 +201,11 @@ def pairwise_distances(
         # latter suffers catastrophic cancellation for nearly coincident
         # points, and exact small distances matter to the radius-guessing
         # solvers built on top of this matrix.
-        coords = stack_coordinates(points)
-        matrix = np.empty((n, n), dtype=float)
+        if isinstance(points, PointSet) and points.coords is not None:
+            coords = points.coords
+        else:
+            coords = stack_coordinates(points)
+        matrix = np.empty((n, n), dtype=coords.dtype)
         for i in range(n):
             matrix[i] = kernel.one_to_many(coords[i], coords)
         np.fill_diagonal(matrix, 0.0)
@@ -226,8 +229,11 @@ def distances_to_set(
         return np.empty(0, dtype=float)
     kernel = resolve_kernel(metric)
     if kernel is not None:
-        coords = stack_coordinates(targets)
-        p = np.asarray(point.coords, dtype=float)
+        if isinstance(targets, PointSet) and targets.coords is not None:
+            coords = targets.coords
+        else:
+            coords = stack_coordinates(targets)
+        p = np.asarray(point.coords, dtype=coords.dtype)
         return kernel.one_to_many(p, coords)
     return np.asarray([metric(point, q) for q in targets], dtype=float)
 

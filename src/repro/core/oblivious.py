@@ -34,11 +34,10 @@ from ..sequential.base import FairCenterSolver
 from ..sequential.jones import JonesFairCenter
 from ..streaming.diameter import AspectRatioEstimator
 from .config import SlidingWindowConfig
-from .backend import make_batch_engine
+from .backend import cover_fits, make_batch_engine
 from .coreset import GuessState, distinct_memory, total_memory
 from .geometry import Point, StreamItem
 from .guesses import AdaptiveGuessGrid, guess_value
-from .metrics import distance_to_set
 from .solution import ClusteringSolution
 
 
@@ -56,11 +55,11 @@ class ObliviousFairSlidingWindow:
         self.config = config
         self.solver = solver if solver is not None else JonesFairCenter()
         self.estimator = estimator if estimator is not None else AspectRatioEstimator(
-            config.window_size, config.metric, backend=backend
+            config.window_size, config.metric, backend=backend, dtype=config.dtype
         )
         self._grid = AdaptiveGuessGrid(beta=config.beta)
         self._states: dict[int, GuessState] = {}
-        self._engine = make_batch_engine(config.metric, backend)
+        self._engine = make_batch_engine(config.metric, backend, config.dtype)
         self._now = 0
 
     # ------------------------------------------------------------- properties
@@ -164,17 +163,12 @@ class ObliviousFairSlidingWindow:
         return self._fallback_solution(ordered)
 
     def _validation_cover_fits(self, state: GuessState, k: int) -> bool:
-        threshold = 2.0 * state.guess
-        cover: list[StreamItem] = []
-        for item in state.validation_points():
-            if not cover or distance_to_set(item, cover, self.config.metric) > threshold:
-                cover.append(item)
-                if len(cover) > k:
-                    return False
-        return True
+        return cover_fits(
+            state.validation_view(), 2.0 * state.guess, k, self.config.metric
+        )
 
     def _solve_on_coreset(self, state: GuessState) -> ClusteringSolution:
-        coreset = state.coreset_points()
+        coreset = state.coreset_view()
         solution = self.solver.solve(coreset, self.config.constraint, self.config.metric)
         solution.guess = state.guess
         solution.coreset_size = len(coreset)
@@ -186,7 +180,7 @@ class ObliviousFairSlidingWindow:
 
     def _fallback_solution(self, ordered: list[GuessState]) -> ClusteringSolution:
         for state in reversed(ordered):
-            coreset = state.coreset_points()
+            coreset = state.coreset_view()
             if coreset:
                 solution = self.solver.solve(
                     coreset, self.config.constraint, self.config.metric

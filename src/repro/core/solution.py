@@ -10,9 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import numpy as np
+
+from .backend import PointSet, resolve_kernel
 from .config import FairnessConstraint
-from .geometry import Color, Point, StreamItem, color_histogram
-from .metrics import distance_to_set, distances_to_set, euclidean
+from .geometry import Color, Point, StreamItem, color_histogram, stack_coordinates
+from .metrics import distances_to_set, euclidean
 
 PointLike = Point | StreamItem
 
@@ -114,12 +117,42 @@ def evaluate_radius(
 
     Returns 0 for an empty point set and ``inf`` when the center set is empty
     but points are present.
+
+    For the Lp metrics this runs ``k`` batched kernel sweeps over a running
+    min-distance vector (reusing the coordinate matrix of a
+    :class:`~repro.core.backend.PointSet` when one is passed) instead of one
+    small scan per point — this is the dominant cost of evaluating every
+    query of the experiment harness on the exact window.
     """
     if not points:
         return 0.0
+    centers = list(centers)
     if not centers:
         return float("inf")
-    return max(distance_to_set(p, list(centers), metric) for p in points)
+    kernel = resolve_kernel(metric)
+    if kernel is not None:
+        if isinstance(points, PointSet) and points.coords is not None:
+            coords = points.coords
+        else:
+            coords = stack_coordinates(points)
+        closest = kernel.one_to_many(
+            np.asarray(centers[0].coords, dtype=coords.dtype), coords
+        )
+        for center in centers[1:]:
+            np.minimum(
+                closest,
+                kernel.one_to_many(
+                    np.asarray(center.coords, dtype=coords.dtype), coords
+                ),
+                out=closest,
+            )
+        return float(closest.max())
+    worst = 0.0
+    for p in points:
+        nearest = min(metric(p, c) for c in centers)
+        if nearest > worst:
+            worst = nearest
+    return worst
 
 
 def check_solution(

@@ -130,7 +130,9 @@ def _run_single(
     metric: MetricFn,
     query_times: Sequence[int],
 ) -> list[QueryRecord]:
-    window = ExactSlidingWindow(window_size)
+    # The reference window maintains an incremental coordinate cache so the
+    # per-query exact-window radius check below never re-stacks the window.
+    window = ExactSlidingWindow(window_size, metric=metric)
     algorithm = contender.algorithm
     pending_queries = list(query_times)
     results: list[QueryRecord] = []
@@ -154,7 +156,7 @@ def _run_single(
             solution = algorithm.query()
             query_elapsed = time.perf_counter() - start
 
-            window_points = window.items()
+            window_points = window.point_set()
             radius = evaluate_radius(solution.centers, window_points, metric)
             record = QueryRecord(
                 algorithm=contender.name,

@@ -11,10 +11,12 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Sequence
 
+import numpy as np
+
 from ..core.config import FairnessConstraint
 from ..core.geometry import Point
-from ..core.metrics import euclidean
-from ..core.solution import ClusteringSolution, evaluate_radius
+from ..core.metrics import euclidean, pairwise_distances
+from ..core.solution import ClusteringSolution
 from .base import MetricFn, PointLike, strip_stream_items
 
 # Enumerating all subsets of size <= k of n points costs C(n, k); refuse to do
@@ -30,6 +32,13 @@ def _check_size(points: Sequence[PointLike]) -> None:
         )
 
 
+def _combo_radius(matrix: np.ndarray, combo: tuple[int, ...]) -> float:
+    """Clustering radius of the centers ``combo`` read off the full distance
+    matrix (one fancy-indexed min/max instead of an ``evaluate_radius`` scan
+    per enumerated subset)."""
+    return float(matrix[:, combo].min(axis=1).max())
+
+
 def exact_fair_center(
     points: Sequence[PointLike],
     constraint: FairnessConstraint,
@@ -38,13 +47,16 @@ def exact_fair_center(
     """Optimal fair-center solution by exhaustive enumeration.
 
     Every subset of at most ``k`` points respecting the per-color capacities
-    is considered; the one of minimum radius is returned.
+    is considered; the one of minimum radius is returned.  The pairwise
+    distance matrix is computed once up front — the enumeration itself never
+    calls the metric.
     """
     _check_size(points)
     plain = strip_stream_items(points)
     if not plain:
         return ClusteringSolution(centers=[], radius=0.0)
 
+    matrix = pairwise_distances(plain, metric)
     best_centers: list[Point] | None = None
     best_radius = float("inf")
     k = min(constraint.k, len(plain))
@@ -53,7 +65,7 @@ def exact_fair_center(
             candidate = [plain[i] for i in combo]
             if not constraint.is_feasible(candidate):
                 continue
-            radius = evaluate_radius(candidate, plain, metric)
+            radius = _combo_radius(matrix, combo)
             if radius < best_radius:
                 best_radius = radius
                 best_centers = candidate
@@ -88,13 +100,14 @@ def exact_k_center(
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
 
+    matrix = pairwise_distances(plain, metric)
     best_centers: list[Point] | None = None
     best_radius = float("inf")
     k = min(k, len(plain))
     for size in range(1, k + 1):
         for combo in combinations(range(len(plain)), size):
             candidate = [plain[i] for i in combo]
-            radius = evaluate_radius(candidate, plain, metric)
+            radius = _combo_radius(matrix, combo)
             if radius < best_radius:
                 best_radius = radius
                 best_centers = candidate

@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.backend import PointSet, as_point_set
 from ..core.config import FairnessConstraint
 from ..core.geometry import Point
 from ..core.metrics import distances_to_set, euclidean, pairwise_distances
@@ -111,14 +112,18 @@ class ChenMatroidCenter:
         constraint: FairnessConstraint,
         metric: MetricFn = euclidean,
     ) -> ClusteringSolution:
-        plain = strip_stream_items(points)
+        ps = as_point_set(points, metric)
+        plain = strip_stream_items(ps.items)
         if not plain:
             return ClusteringSolution(centers=[], radius=0.0, coreset_size=0,
                                       metadata={"algorithm": "chen"})
+        # The coordinate matrix survives stream-item stripping unchanged and
+        # is shared by every feasibility probe of the binary search.
+        plain_ps = ps.replace_items(plain)
         colors = [p.color for p in plain]
         k = constraint.k
 
-        candidates = self._candidate_radii(plain, k, metric)
+        candidates = self._candidate_radii(plain_ps, k, metric)
         feasible_centers: list[Point] | None = None
         feasible_radius: float | None = None
 
@@ -129,7 +134,7 @@ class ChenMatroidCenter:
         while lo <= hi:
             mid = (lo + hi) // 2
             selection = self._feasible_selection(
-                plain, colors, constraint, candidates[mid], metric
+                plain_ps, colors, constraint, candidates[mid], metric
             )
             if selection is not None:
                 feasible_centers = selection
@@ -142,12 +147,12 @@ class ChenMatroidCenter:
             # Should only happen in degenerate cases (e.g. every capacity used
             # by colors absent from the data); fall back to the largest guess.
             selection = self._feasible_selection(
-                plain, colors, constraint, candidates[-1], metric
+                plain_ps, colors, constraint, candidates[-1], metric
             )
             feasible_centers = selection if selection is not None else []
             feasible_radius = candidates[-1]
 
-        radius = evaluate_radius(feasible_centers, plain, metric)
+        radius = evaluate_radius(feasible_centers, plain_ps, metric)
         return ClusteringSolution(
             centers=feasible_centers,
             radius=radius,
@@ -160,7 +165,7 @@ class ChenMatroidCenter:
         )
 
     def _candidate_radii(
-        self, points: list[Point], k: int, metric: MetricFn
+        self, points: PointSet, k: int, metric: MetricFn
     ) -> list[float]:
         """Sorted candidate values for the optimal radius."""
         n = len(points)
@@ -172,11 +177,17 @@ class ChenMatroidCenter:
             # Distances from the Gonzalez heads to every point bracket the
             # optimum; a geometric refinement keeps the grid small while
             # guaranteeing a candidate within ``grid_ratio`` of the optimum.
+            # The sweep's precomputed head-distance matrix holds exactly the
+            # values needed, so no per-head distance pass is re-run.
             heads = gonzalez(points, k + 1, metric)
-            dists: list[float] = []
-            for head in heads.centers:
-                dists.extend(distances_to_set(head, points, metric).tolist())
-            dists = [d for d in dists if d > 0]
+            if heads.head_distances is not None:
+                positive = heads.head_distances[heads.head_distances > 0]
+                dists = positive.ravel().tolist()
+            else:  # pragma: no cover - the sweep always records distances
+                dists = []
+                for head in heads.centers:
+                    dists.extend(distances_to_set(head, points, metric).tolist())
+                dists = [d for d in dists if d > 0]
             if not dists:
                 return [0.0]
             low, high = min(dists), max(dists)
@@ -191,7 +202,7 @@ class ChenMatroidCenter:
 
     def _feasible_selection(
         self,
-        points: list[Point],
+        points: PointSet,
         colors: list,
         constraint: FairnessConstraint,
         radius: float,
@@ -214,14 +225,20 @@ class ChenMatroidCenter:
         # disagree by 1 ulp at the exact optimal radius, which would
         # otherwise wrongly mark the guess infeasible.
         tolerance = radius * (1.0 + 1e-9) + 1e-12
-        # One sweep per head instead of one small scan per point: the
-        # column-wise argmin matches the per-point "first minimum" rule.
-        head_distances = np.stack(
-            [
-                np.asarray(distances_to_set(h, points, metric), dtype=float)
-                for h in heads
-            ]
-        )
+        # One batched sweep per head (on the shared coordinate matrix)
+        # instead of one small scan per point: the column-wise argmin matches
+        # the per-point "first minimum" rule.
+        if points.is_vectorized:
+            head_distances = np.stack(
+                [points.distances_from(i) for i in head_indices]
+            )
+        else:
+            head_distances = np.stack(
+                [
+                    np.asarray(distances_to_set(h, points.items, metric), dtype=float)
+                    for h in heads
+                ]
+            )
         balls = np.argmin(head_distances, axis=0)
         best = head_distances[balls, np.arange(len(points))]
         ball_of: dict[int, int] = {}

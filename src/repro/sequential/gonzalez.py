@@ -16,12 +16,12 @@ the Euclidean metric).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from ..core.backend import resolve_kernel
-from ..core.geometry import Point, StreamItem, stack_coordinates
+from ..core.backend import as_point_set, greedy_cover_indices
+from ..core.geometry import StreamItem
 from ..core.metrics import distances_to_set, euclidean
 from ..core.solution import ClusteringSolution
 from .base import MetricFn, PointLike
@@ -43,12 +43,18 @@ class GonzalezResult:
     radius:
         Maximum distance of any point from its closest head (the greedy
         radius; at most twice the optimal unconstrained radius).
+    head_distances:
+        ``(num_heads, n)`` matrix of the distances from every selected head
+        to every input point.  The traversal computes these rows anyway, so
+        they are kept for downstream consumers (the Jones matching step, the
+        Chen candidate grid) to reuse instead of re-deriving them.
     """
 
     centers: list[PointLike]
     head_indices: list[int]
     assignment: list[int]
     radius: float
+    head_distances: np.ndarray | None = None
 
 
 def gonzalez(
@@ -63,7 +69,9 @@ def gonzalez(
     Parameters
     ----------
     points:
-        Input point set (must be non-empty).
+        Input point set (must be non-empty).  A
+        :class:`~repro.core.backend.PointSet` is consumed zero-copy; plain
+        sequences are stacked once when the metric has a kernel.
     k:
         Number of heads to select; if ``k >= len(points)`` every point becomes
         a head and the radius is zero.
@@ -77,32 +85,30 @@ def gonzalez(
         raise ValueError("gonzalez requires a non-empty point set")
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    n = len(points)
+    ps = as_point_set(points, metric)
+    n = len(ps)
     k = min(k, n)
     if not 0 <= first_index < n:
         raise ValueError(f"first_index {first_index} out of range for {n} points")
 
-    kernel = resolve_kernel(metric)
-    if kernel is not None:
-        # Stack the coordinates once; every traversal round is then a single
-        # kernel call instead of n scalar oracle calls (or a re-stack).
-        matrix = stack_coordinates(points)
-
-        def distances_from(index: int) -> np.ndarray:
-            return kernel.one_to_many(matrix[index], matrix)
-
+    if ps.is_vectorized:
+        # The coordinates are stacked (at most) once; every traversal round
+        # is then a single kernel call instead of n scalar oracle calls.
+        distances_from = ps.distances_from
     else:
-        point_list = list(points)
+        point_list = ps.items
 
         def distances_from(index: int) -> np.ndarray:
             return np.asarray(
-                distances_to_set(points[index], point_list, metric), dtype=float
+                distances_to_set(point_list[index], point_list, metric), dtype=float
             )
 
     head_indices = [first_index]
+    #: one row per selected head, kept for the result's ``head_distances``.
+    head_rows = [distances_from(first_index)]
     # ``closest[i]`` is the distance of point i from its nearest chosen head;
     # ``assignment[i]`` is the index (into head_indices) of that head.
-    closest = distances_from(first_index)
+    closest = head_rows[0].copy()
     assignment = np.zeros(n, dtype=int)
 
     while len(head_indices) < k:
@@ -113,17 +119,19 @@ def gonzalez(
             break
         head_indices.append(next_index)
         new_distances = distances_from(next_index)
+        head_rows.append(new_distances)
         improved = new_distances < closest
         assignment[improved] = len(head_indices) - 1
-        closest = np.minimum(closest, new_distances)
+        np.minimum(closest, new_distances, out=closest)
 
-    centers = [points[i] for i in head_indices]
+    centers = [ps.items[i] for i in head_indices]
     radius = float(closest.max()) if n else 0.0
     return GonzalezResult(
         centers=centers,
         head_indices=head_indices,
         assignment=assignment.tolist(),
         radius=radius,
+        head_distances=np.stack(head_rows),
     )
 
 
@@ -172,18 +180,10 @@ def greedy_independent_heads(
 
     When ``limit`` is given the scan stops early as soon as ``limit + 1``
     heads are found (enough to certify infeasibility of the guess).
+
+    This is a thin wrapper over the shared vectorised routine
+    :func:`repro.core.backend.greedy_cover_indices` (min-distance vector,
+    one kernel call per head); with a custom metric it degrades to the
+    scalar pairwise scan.
     """
-    heads: list[int] = []
-    kept_points: list[PointLike] = []
-    for index, p in enumerate(points):
-        if not kept_points:
-            heads.append(index)
-            kept_points.append(p)
-            continue
-        dists = distances_to_set(p, kept_points, metric)
-        if float(dists.min()) > threshold:
-            heads.append(index)
-            kept_points.append(p)
-            if limit is not None and len(heads) > limit:
-                break
-    return heads
+    return greedy_cover_indices(points, threshold, metric, limit=limit)

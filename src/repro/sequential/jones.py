@@ -31,8 +31,9 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.backend import PointSet, as_point_set
 from ..core.config import FairnessConstraint
-from ..core.geometry import Color, Point, StreamItem
+from ..core.geometry import Color, Point
 from ..core.metrics import distances_to_set, euclidean
 from ..core.solution import ClusteringSolution, evaluate_radius
 from .base import MetricFn, PointLike, strip_stream_items
@@ -73,27 +74,32 @@ class JonesFairCenter:
         constraint: FairnessConstraint,
         metric: MetricFn = euclidean,
     ) -> ClusteringSolution:
-        plain = strip_stream_items(points)
+        ps = as_point_set(points, metric)
+        plain = strip_stream_items(ps.items)
         if not plain:
             return ClusteringSolution(centers=[], radius=0.0, coreset_size=0,
                                       metadata={"algorithm": "jones"})
+        # Stripping stream items does not change coordinates, so the point
+        # set's (n, d) matrix is reused as-is for every later kernel call.
+        plain_ps = ps.replace_items(plain)
 
         k = constraint.k
-        greedy = gonzalez(plain, k, metric)
+        greedy = gonzalez(plain_ps, k, metric)
         clusters = _cluster_members(greedy.assignment, len(greedy.centers))
 
-        centers, used_capacity, used_points = self._match_clusters_to_colors(
-            plain, greedy.centers, clusters, constraint, metric
+        center_indices, used_capacity = self._match_clusters_to_colors(
+            plain, greedy, clusters, constraint, metric
         )
 
         if self.use_repair_phase:
-            centers = self._repair(
-                plain, centers, used_capacity, used_points, constraint, metric
+            center_indices = self._repair(
+                plain_ps, center_indices, used_capacity, constraint, metric
             )
 
-        radius = evaluate_radius(centers, plain, metric)
+        centers = [plain[i] for i in center_indices]
+        radius = evaluate_radius(centers, plain_ps, metric)
         return ClusteringSolution(
-            centers=list(centers),
+            centers=centers,
             radius=radius,
             coreset_size=len(plain),
             metadata={
@@ -106,12 +112,17 @@ class JonesFairCenter:
     def _match_clusters_to_colors(
         self,
         points: list[Point],
-        heads: Sequence[PointLike],
+        greedy,
         clusters: list[list[int]],
         constraint: FairnessConstraint,
         metric: MetricFn,
-    ) -> tuple[list[Point], dict[Color, int], set[int]]:
-        """Steps 2-3: capacitated matching and head replacement."""
+    ) -> tuple[list[int], dict[Color, int]]:
+        """Steps 2-3: capacitated matching and head replacement.
+
+        Head-to-member distances are read from the precomputed
+        ``head_distances`` matrix of the Gonzalez sweep instead of stacking
+        every cluster's members into a fresh array per head.
+        """
         edges: dict[int, list[Color]] = {}
         for head_index, member_indices in enumerate(clusters):
             colors_present = sorted(
@@ -124,48 +135,63 @@ class JonesFairCenter:
 
         matching = capacitated_matching(edges, dict(constraint.capacities))
 
-        centers: list[Point] = []
+        head_distances = greedy.head_distances
+        center_indices: list[int] = []
         used_capacity: dict[Color, int] = {}
-        used_points: set[int] = set()
         for head_index, color in matching.items():
             member_indices = [
                 i for i in clusters[head_index] if points[i].color == color
             ]
             if not member_indices:  # pragma: no cover - matching guarantees edges
                 continue
-            head = heads[head_index]
-            dists = distances_to_set(head, [points[i] for i in member_indices], metric)
+            if head_distances is not None:
+                dists = head_distances[head_index, member_indices]
+            else:
+                head = greedy.centers[head_index]
+                dists = distances_to_set(
+                    head, [points[i] for i in member_indices], metric
+                )
             best = member_indices[int(np.argmin(dists))]
-            centers.append(points[best])
-            used_points.add(best)
+            center_indices.append(best)
             used_capacity[color] = used_capacity.get(color, 0) + 1
-        return centers, used_capacity, used_points
+        return center_indices, used_capacity
 
     def _repair(
         self,
-        points: list[Point],
-        centers: list[Point],
+        points: PointSet,
+        center_indices: list[int],
         used_capacity: dict[Color, int],
-        used_points: set[int],
         constraint: FairnessConstraint,
         metric: MetricFn,
-    ) -> list[Point]:
+    ) -> list[int]:
         """Step 4: spend leftover capacity on the farthest uncovered points."""
         remaining = {
             color: constraint.capacity(color) - used_capacity.get(color, 0)
             for color in constraint.colors
         }
-        budget = constraint.k - len(centers)
+        budget = constraint.k - len(center_indices)
         if budget <= 0 or all(v <= 0 for v in remaining.values()):
-            return centers
+            return center_indices
 
-        centers = list(centers)
+        center_indices = list(center_indices)
+        used_points = set(center_indices)
+
+        if points.is_vectorized:
+            def distances_from(index: int) -> np.ndarray:
+                return points.distances_from(index)
+        else:
+            def distances_from(index: int) -> np.ndarray:
+                return np.asarray(
+                    distances_to_set(points.items[index], points.items, metric),
+                    dtype=float,
+                )
+
         # Distance of every point from the current center set, computed one
-        # center at a time (k vectorised sweeps instead of n small scans).
-        if centers:
-            closest = np.min(
-                [distances_to_set(c, points, metric) for c in centers], axis=0
-            )
+        # center at a time (k batched sweeps instead of n small scans).
+        if center_indices:
+            closest = distances_from(center_indices[0]).copy()
+            for index in center_indices[1:]:
+                np.minimum(closest, distances_from(index), out=closest)
         else:
             closest = np.full(len(points), np.inf)
 
@@ -176,23 +202,20 @@ class JonesFairCenter:
                 candidate = int(candidate)
                 if candidate in used_points:
                     continue
-                color = points[candidate].color
+                color = points.items[candidate].color
                 if remaining.get(color, 0) <= 0:
                     continue
                 chosen_index = candidate
                 break
             if chosen_index is None or closest[chosen_index] == 0.0:
                 break
-            color = points[chosen_index].color
-            centers.append(points[chosen_index])
+            color = points.items[chosen_index].color
+            center_indices.append(chosen_index)
             used_points.add(chosen_index)
             remaining[color] -= 1
             budget -= 1
-            new_dists = np.asarray(
-                distances_to_set(points[chosen_index], points, metric), dtype=float
-            )
-            closest = np.minimum(closest, new_dists)
-        return centers
+            np.minimum(closest, distances_from(chosen_index), out=closest)
+        return center_indices
 
 
 def jones_fair_center(

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.backend import PointSet, as_point_set
 from ..core.config import FairnessConstraint
 from ..core.geometry import Color, Point
 from ..core.metrics import distances_to_set, euclidean
@@ -40,10 +41,12 @@ class CapacityAwareGreedy:
         constraint: FairnessConstraint,
         metric: MetricFn = euclidean,
     ) -> ClusteringSolution:
-        plain = strip_stream_items(points)
+        ps = as_point_set(points, metric)
+        plain = strip_stream_items(ps.items)
         if not plain:
             return ClusteringSolution(centers=[], radius=0.0, coreset_size=0,
                                       metadata={"algorithm": "capacity_greedy"})
+        plain_ps = ps.replace_items(plain)
 
         remaining: dict[Color, int] = dict(constraint.capacities)
         centers: list[Point] = []
@@ -58,7 +61,7 @@ class CapacityAwareGreedy:
             return ClusteringSolution(centers=[], radius=float("inf"),
                                       coreset_size=len(plain),
                                       metadata={"algorithm": "capacity_greedy"})
-        self._add_center(plain, seed, centers, chosen, remaining, closest, metric)
+        self._add_center(plain_ps, seed, centers, chosen, remaining, closest, metric)
 
         while len(centers) < constraint.k:
             order = np.argsort(-closest)
@@ -74,10 +77,10 @@ class CapacityAwareGreedy:
             if candidate is None or closest[candidate] == 0.0:
                 break
             self._add_center(
-                plain, candidate, centers, chosen, remaining, closest, metric
+                plain_ps, candidate, centers, chosen, remaining, closest, metric
             )
 
-        radius = evaluate_radius(centers, plain, metric)
+        radius = evaluate_radius(centers, plain_ps, metric)
         return ClusteringSolution(
             centers=centers,
             radius=radius,
@@ -87,7 +90,7 @@ class CapacityAwareGreedy:
 
     @staticmethod
     def _add_center(
-        points: list[Point],
+        points: PointSet,
         index: int,
         centers: list[Point],
         chosen: set[int],
@@ -99,7 +102,12 @@ class CapacityAwareGreedy:
         centers.append(point)
         chosen.add(index)
         remaining[point.color] = remaining.get(point.color, 0) - 1
-        new_dists = np.asarray(distances_to_set(point, points, metric), dtype=float)
+        if points.is_vectorized:
+            new_dists = points.distances_from(index)
+        else:
+            new_dists = np.asarray(
+                distances_to_set(point, points.items, metric), dtype=float
+            )
         np.minimum(closest, new_dists, out=closest)
 
 

@@ -42,13 +42,17 @@ class SlidingWindowBaseline:
         name: str | None = None,
         *,
         backend: str = "auto",
+        dtype: str = "auto",
     ) -> None:
-        self.window = ExactSlidingWindow(window_size)
         self.constraint = constraint
         self.solver = solver
         if validate_backend(backend) == "scalar":
             metric = ScalarOnlyMetric(metric)
         self.metric = metric
+        # The window caches the stream's coordinates incrementally (when the
+        # metric has a kernel), so each query hands the solver a zero-copy
+        # point set instead of re-stacking the whole window.
+        self.window = ExactSlidingWindow(window_size, metric=metric, dtype=dtype)
         self.name = name or type(solver).__name__
 
     def insert(self, item: StreamItem | Point) -> StreamItem:
@@ -57,7 +61,7 @@ class SlidingWindowBaseline:
 
     def query(self) -> ClusteringSolution:
         """Solve fair center on every point of the current window."""
-        points = self.window.items()
+        points = self.window.point_set()
         solution = self.solver.solve(points, self.constraint, self.metric)
         solution.metadata.setdefault("baseline", self.name)
         solution.coreset_size = len(points)

@@ -36,8 +36,8 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.backend import resolve_instance_kernel
-from ..core.geometry import StreamItem, stack_coordinates
+from ..core.backend import resolve_dtype, resolve_instance_kernel
+from ..core.geometry import StreamItem
 from ..core.metrics import euclidean
 
 MetricFn = Callable[[StreamItem, StreamItem], float]
@@ -69,6 +69,7 @@ class AspectRatioEstimator:
         *,
         safety_factor: float = 4.0,
         backend: str = "auto",
+        dtype: str = "auto",
     ) -> None:
         if window_size <= 0:
             raise ValueError(f"window_size must be positive, got {window_size}")
@@ -77,6 +78,7 @@ class AspectRatioEstimator:
         self.window_size = window_size
         self.metric = metric
         self._kernel = resolve_instance_kernel(metric, backend)
+        self._dtype = resolve_dtype(dtype)
         #: the d_max estimate handed to callers is multiplied by this factor,
         #: compensating for the sketch under-estimating the true diameter.
         self.safety_factor = safety_factor
@@ -96,8 +98,8 @@ class AspectRatioEstimator:
         if witnesses:
             if self._kernel is not None and len(witnesses) >= _KERNEL_MIN_WITNESSES:
                 values = self._kernel.one_to_many(
-                    np.asarray(item.coords, dtype=float),
-                    stack_coordinates(witnesses),
+                    np.asarray(item.coords, dtype=self._dtype),
+                    np.asarray([w.coords for w in witnesses], dtype=self._dtype),
                 )
                 distances = [(float(d), w) for d, w in zip(values, witnesses)]
             else:

@@ -27,7 +27,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.backend import PointBuffer, resolve_instance_kernel
+from ..core.backend import PointBuffer, resolve_instance_kernel, validate_dtype
 from ..core.config import FairnessConstraint
 from ..core.geometry import Color, Point, StreamItem
 from ..core.guesses import guess_grid
@@ -86,16 +86,18 @@ class InsertionOnlyFairCenter:
         metric: MetricFn = euclidean,
         solver: FairCenterSolver | None = None,
         backend: str = "auto",
+        dtype: str = "auto",
     ) -> None:
         self.constraint = constraint
         self.metric = metric
         self.solver = solver if solver is not None else JonesFairCenter()
         self.k = constraint.k
+        validate_dtype(dtype)
         kernel = resolve_instance_kernel(metric, backend)
         self._sketches = [
             _GuessSketch(
                 guess,
-                buffer=PointBuffer(kernel) if kernel is not None else None,
+                buffer=PointBuffer(kernel, dtype) if kernel is not None else None,
             )
             for guess in guess_grid(dmin, dmax, beta)
         ]

@@ -8,24 +8,48 @@ verbatim.  It plays two roles:
   window), wrapped by :mod:`repro.streaming.baseline_window`;
 * it is the reference against which the coreset algorithms are compared in
   tests (ground truth of what the current window contains).
+
+When constructed with a ``metric`` whose Lp kernel exists, the window also
+maintains an incremental coordinate cache (append on insert, discard on
+expiry) so that :meth:`ExactSlidingWindow.point_set` can hand consumers —
+the evaluation runner's exact-window radius checks, the sequential
+baselines' per-query solves — a zero-copy
+:class:`~repro.core.backend.PointSet` instead of re-stacking the whole
+window's coordinates at every query.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator
+from typing import Callable, Deque, Iterator
 
+from ..core.backend import PointBuffer, PointSet, resolve_instance_kernel
 from ..core.geometry import Point, StreamItem
+
+MetricFn = Callable[[Point | StreamItem, Point | StreamItem], float]
 
 
 class ExactSlidingWindow:
     """A FIFO buffer keeping exactly the last ``window_size`` stream items."""
 
-    def __init__(self, window_size: int) -> None:
+    def __init__(
+        self,
+        window_size: int,
+        *,
+        metric: MetricFn | None = None,
+        backend: str = "auto",
+        dtype: str = "auto",
+    ) -> None:
         if window_size <= 0:
             raise ValueError(f"window_size must be positive, got {window_size}")
         self.window_size = window_size
         self._buffer: Deque[StreamItem] = deque()
+        kernel = (
+            resolve_instance_kernel(metric, backend) if metric is not None else None
+        )
+        self._coords: PointBuffer | None = (
+            PointBuffer(kernel, dtype) if kernel is not None else None
+        )
         self._now = 0
 
     @property
@@ -49,6 +73,8 @@ class ExactSlidingWindow:
             )
         self._now = item.t
         self._buffer.append(item)
+        if self._coords is not None:
+            self._coords.append(item.t, item.coords)
         self._evict()
         return item
 
@@ -56,11 +82,26 @@ class ExactSlidingWindow:
         while self._buffer and not self._buffer[0].is_active(
             self._now, self.window_size
         ):
-            self._buffer.popleft()
+            expired = self._buffer.popleft()
+            if self._coords is not None:
+                self._coords.discard(expired.t)
 
     def items(self) -> list[StreamItem]:
         """The stream items currently in the window (oldest first)."""
         return list(self._buffer)
+
+    def point_set(self) -> PointSet:
+        """The window as a :class:`PointSet` (zero-copy when cached).
+
+        With a coordinate cache (a ``metric`` with a kernel was given at
+        construction) the returned set carries the incrementally maintained
+        ``(n, d)`` matrix; otherwise it is a plain item sequence and callers
+        fall back to stacking / the scalar oracle.
+        """
+        items = list(self._buffer)
+        if self._coords is None:
+            return PointSet(items)
+        return PointSet(items, self._coords.coords_view(), self._coords.kernel)
 
     def points(self) -> list[Point]:
         """The bare points currently in the window (oldest first)."""

@@ -27,6 +27,7 @@ from repro.core.backend import (
     make_batch_engine,
     resolve_kernel,
     use_backend,
+    use_dtype,
 )
 from repro.core.config import FairnessConstraint, SlidingWindowConfig
 from repro.core.dimension_free import DimensionFreeFairSlidingWindow
@@ -52,9 +53,11 @@ KERNEL_METRICS = [euclidean, manhattan, chebyshev, Minkowski(1.5), Minkowski(3.0
 
 @pytest.fixture(autouse=True)
 def _auto_backend():
-    """Pin the global mode to ``auto`` so the suite is deterministic even
-    when the environment sets ``REPRO_BACKEND=scalar``."""
-    with use_backend("auto"):
+    """Pin the global mode to ``auto``/``float64`` so the suite is
+    deterministic even when the environment sets ``REPRO_BACKEND=scalar``
+    or ``REPRO_DTYPE=float32`` (bitwise equivalence holds only at full
+    precision; the float32 tolerance checks live in test_query_path)."""
+    with use_backend("auto"), use_dtype("float64"):
         yield
 
 

@@ -1,0 +1,348 @@
+"""Equivalence tests for the vectorized *query-side* engine.
+
+PR 1 established that the batched update path builds bit-identical data
+structures; this suite covers the query path introduced alongside it:
+
+* the shared prefix-greedy cover routine makes the same decisions (same
+  indices, same early exits) whether it runs on a vectorised point set or
+  on the scalar oracle;
+* the per-guess zero-copy views (validation / coreset / candidate buffers)
+  stay aligned with their dict-of-record sources through arbitrary churn;
+* all three sliding-window variants select the same guess and return
+  bitwise-equal (float64) solutions under ``backend="auto"`` and
+  ``backend="scalar"``, and tolerance-equal solutions under float32;
+* ``evaluate_radius`` and the sequential solvers agree between the batched
+  and scalar paths, and between list and :class:`PointSet` inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backend import (
+    PointSet,
+    ScalarOnlyMetric,
+    as_point_set,
+    cover_fits,
+    greedy_cover_indices,
+    use_backend,
+    use_dtype,
+)
+from repro.core.config import FairnessConstraint, SlidingWindowConfig
+from repro.core.dimension_free import DimensionFreeFairSlidingWindow
+from repro.core.fair_sliding_window import FairSlidingWindow
+from repro.core.geometry import Point, stack_coordinates
+from repro.core.metrics import Minkowski, chebyshev, euclidean, manhattan
+from repro.core.oblivious import ObliviousFairSlidingWindow
+from repro.core.solution import evaluate_radius
+from repro.sequential.chen import ChenMatroidCenter
+from repro.sequential.gonzalez import gonzalez
+from repro.sequential.jones import JonesFairCenter
+from repro.sequential.kleindessner import CapacityAwareGreedy
+from repro.streaming.diameter import AspectRatioEstimator
+from repro.streaming.window import ExactSlidingWindow
+
+from tests._fixtures import points_strategy
+
+KERNEL_METRICS = [euclidean, manhattan, chebyshev, Minkowski(3.0)]
+
+
+@pytest.fixture(autouse=True)
+def _auto_backend():
+    """Pin mode and precision so bitwise assertions are deterministic under
+    any ``REPRO_BACKEND`` / ``REPRO_DTYPE`` environment."""
+    with use_backend("auto"), use_dtype("float64"):
+        yield
+
+
+def _random_stream(n, colors=3, seed=0, spread=100.0, dim=2):
+    rng = random.Random(seed)
+    return [
+        Point(
+            tuple(rng.uniform(0, spread) for _ in range(dim)),
+            rng.randrange(colors),
+        )
+        for _ in range(n)
+    ]
+
+
+# --------------------------------------------------------- greedy cover
+
+
+class TestGreedyCover:
+    @pytest.mark.parametrize("metric", KERNEL_METRICS, ids=lambda m: str(m))
+    @settings(max_examples=50, deadline=None)
+    @given(
+        points=points_strategy(max_points=25, dim=3, min_points=1),
+        threshold=st.floats(min_value=0.0, max_value=120.0),
+    )
+    def test_vector_matches_scalar(self, metric, points, threshold):
+        vector = greedy_cover_indices(points, threshold, metric)
+        scalar = greedy_cover_indices(points, threshold, ScalarOnlyMetric(metric))
+        assert vector == scalar
+
+    @pytest.mark.parametrize("limit", [0, 1, 2, 5])
+    def test_limit_early_exit(self, limit):
+        points = [Point((float(10 * i),)) for i in range(10)]
+        indices = greedy_cover_indices(points, 1.0, euclidean, limit=limit)
+        # Every point is a head; the scan must stop at limit + 1.
+        assert indices == list(range(min(limit + 1, 10)))
+        assert cover_fits(points, 1.0, limit, euclidean) is (10 <= limit)
+
+    def test_cover_fits_small_sets(self):
+        points = [Point((0.0,)), Point((0.5,)), Point((10.0,))]
+        assert cover_fits(points, 1.0, 2, euclidean)
+        assert not cover_fits(points, 1.0, 1, euclidean)
+        assert cover_fits([], 1.0, 0, euclidean)
+
+    def test_point_set_input_is_zero_copy(self):
+        points = _random_stream(30, seed=3)
+        ps = as_point_set(points, euclidean)
+        assert ps.is_vectorized
+        assert as_point_set(ps, euclidean) is ps
+        assert greedy_cover_indices(ps, 20.0, euclidean) == greedy_cover_indices(
+            points, 20.0, euclidean
+        )
+
+
+# ------------------------------------------------------------ view alignment
+
+
+def _assert_view_aligned(view: PointSet, family: dict):
+    assert view.items == list(family.values())
+    if view.coords is not None:
+        assert view.coords.shape[0] == len(view.items)
+        expected = stack_coordinates(view.items)
+        np.testing.assert_array_equal(np.asarray(view.coords, dtype=float), expected)
+
+
+class TestZeroCopyViews:
+    def test_guess_state_views_track_dicts_through_churn(self):
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        config = SlidingWindowConfig(
+            window_size=80, constraint=constraint, delta=1.0, dmin=0.05, dmax=300.0
+        )
+        algo = FairSlidingWindow(config)
+        stream = _random_stream(300, colors=2, seed=11)
+        for index, point in enumerate(stream):
+            algo.insert(point)
+            if index in (50, 51, 120, 299):
+                # Interleave view requests with updates: the first call
+                # activates the arenas, later ones must stay in sync.
+                for state in algo.states:
+                    _assert_view_aligned(
+                        state.validation_view(), state.v_representatives
+                    )
+                    _assert_view_aligned(state.coreset_view(), state.c_representatives)
+
+    def test_dimension_free_views_track_dicts(self):
+        constraint = FairnessConstraint({0: 2, 1: 1})
+        config = SlidingWindowConfig(
+            window_size=60, constraint=constraint, delta=1.0, dmin=0.05, dmax=300.0
+        )
+        algo = DimensionFreeFairSlidingWindow(config)
+        for index, point in enumerate(_random_stream(200, colors=2, seed=4)):
+            algo.insert(point)
+            if index in (30, 31, 150):
+                for state in algo.states:
+                    _assert_view_aligned(state.candidate_view(), state.representatives)
+
+    def test_views_are_stable_snapshots_under_later_churn(self):
+        # A held PointSet must keep its contents even while the underlying
+        # buffer keeps churning (appends, discards and — crucially — the
+        # discard-triggered compactions, which move to fresh arrays).
+        window = ExactSlidingWindow(40, metric=euclidean)
+        stream = _random_stream(400, seed=19)
+        for point in stream[:60]:
+            window.insert(point)
+        held = window.point_set()
+        frozen_items = list(held.items)
+        frozen_coords = held.coords.copy()
+        for point in stream[60:]:
+            window.insert(point)
+        assert held.items == frozen_items
+        np.testing.assert_array_equal(held.coords, frozen_coords)
+
+    def test_exact_window_point_set_cache(self):
+        window = ExactSlidingWindow(25, metric=euclidean)
+        plain = ExactSlidingWindow(25)
+        for point in _random_stream(90, seed=8):
+            window.insert(point)
+            plain.insert(point)
+        cached = window.point_set()
+        uncached = plain.point_set()
+        assert cached.items == plain.items()
+        assert cached.coords is not None and uncached.coords is None
+        np.testing.assert_array_equal(
+            cached.coords, stack_coordinates(cached.items)
+        )
+
+
+# ------------------------------------------------- sliding-window equivalence
+
+
+def _drive(algorithm, stream):
+    for point in stream:
+        algorithm.insert(point)
+    return algorithm.query()
+
+
+class TestQueryEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        delta=st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+        window=st.integers(min_value=20, max_value=100),
+    )
+    def test_fair_sliding_window_same_guess_and_solution(self, seed, delta, window):
+        constraint = FairnessConstraint({0: 2, 1: 1})
+        config = SlidingWindowConfig(
+            window_size=window, constraint=constraint, delta=delta,
+            dmin=0.05, dmax=200.0,
+        )
+        stream = _random_stream(3 * window, colors=2, seed=seed)
+        qa = _drive(FairSlidingWindow(config, backend="auto"), stream)
+        qs = _drive(FairSlidingWindow(config, backend="scalar"), stream)
+        assert qa.guess == qs.guess
+        assert qa.centers == qs.centers
+        assert qa.radius == qs.radius
+
+    @pytest.mark.parametrize("variant", ["oblivious", "dimension_free"])
+    def test_other_variants_same_guess_and_solution(self, variant):
+        constraint = FairnessConstraint({0: 2, 1: 2, 2: 2})
+        if variant == "oblivious":
+            config = SlidingWindowConfig(
+                window_size=120, constraint=constraint, delta=1.0
+            )
+            auto = ObliviousFairSlidingWindow(
+                config, backend="auto",
+                estimator=AspectRatioEstimator(120, backend="auto"),
+            )
+            scalar = ObliviousFairSlidingWindow(
+                config, backend="scalar",
+                estimator=AspectRatioEstimator(120, backend="scalar"),
+            )
+        else:
+            config = SlidingWindowConfig(
+                window_size=120, constraint=constraint, delta=1.0,
+                dmin=0.01, dmax=300.0,
+            )
+            auto = DimensionFreeFairSlidingWindow(config, backend="auto")
+            scalar = DimensionFreeFairSlidingWindow(config, backend="scalar")
+        stream = _random_stream(420, seed=23)
+        qa, qs = _drive(auto, stream), _drive(scalar, stream)
+        assert qa.guess == qs.guess
+        assert qa.centers == qs.centers
+        assert qa.radius == qs.radius
+
+    def test_float32_solutions_within_tolerance(self):
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        config = SlidingWindowConfig(
+            window_size=100, constraint=constraint, delta=1.0,
+            dmin=0.05, dmax=300.0,
+        )
+        stream = _random_stream(350, colors=2, seed=31)
+        reference = _drive(FairSlidingWindow(config, backend="scalar"), stream)
+        with use_dtype("float32"):
+            config32 = SlidingWindowConfig(
+                window_size=100, constraint=constraint, delta=1.0,
+                dmin=0.05, dmax=300.0,
+            )
+            algo = FairSlidingWindow(config32, backend="auto")
+            assert algo._engine is not None
+            assert algo._engine.dtype == np.float32
+            low_precision = _drive(algo, stream)
+        assert low_precision.guess == reference.guess
+        assert low_precision.radius == pytest.approx(reference.radius, rel=1e-4)
+
+    def test_config_dtype_validation(self):
+        constraint = FairnessConstraint({0: 1})
+        with pytest.raises(ValueError):
+            SlidingWindowConfig(window_size=10, constraint=constraint, dtype="float16")
+
+
+# -------------------------------------------------------------- radius + solvers
+
+
+class TestEvaluateRadius:
+    @pytest.mark.parametrize("metric", KERNEL_METRICS, ids=lambda m: str(m))
+    @settings(max_examples=40, deadline=None)
+    @given(points=points_strategy(max_points=15, dim=3, min_points=1))
+    def test_vector_matches_scalar(self, metric, points):
+        centers = points[:: max(1, len(points) // 3)]
+        vector = evaluate_radius(centers, points, metric)
+        scalar = evaluate_radius(centers, points, ScalarOnlyMetric(metric))
+        assert vector == pytest.approx(scalar, rel=1e-9, abs=1e-9)
+
+    def test_empty_cases(self):
+        points = [Point((0.0, 0.0))]
+        assert evaluate_radius([], [], euclidean) == 0.0
+        assert evaluate_radius([], points, euclidean) == float("inf")
+        assert evaluate_radius(points, [], euclidean) == 0.0
+
+    def test_scalar_fallback_hoists_center_list(self):
+        calls = {"n": 0}
+
+        def metric(a, b):
+            calls["n"] += 1
+            return euclidean(a, b)
+
+        points = _random_stream(20, seed=2)
+        centers = points[:4]
+        assert evaluate_radius(centers, points, metric) > 0
+        # Exactly one oracle call per (point, center) pair — no per-point
+        # list copies or repeated empty-set checks.
+        assert calls["n"] == len(points) * len(centers)
+
+    def test_accepts_point_set(self):
+        points = _random_stream(25, seed=5)
+        ps = as_point_set(points, euclidean)
+        centers = points[:3]
+        assert evaluate_radius(centers, ps, euclidean) == evaluate_radius(
+            centers, points, euclidean
+        )
+
+
+class TestSolversOnPointSets:
+    @pytest.mark.parametrize(
+        "solver",
+        [JonesFairCenter(), ChenMatroidCenter(), CapacityAwareGreedy()],
+        ids=lambda s: type(s).__name__,
+    )
+    def test_point_set_and_list_inputs_agree(self, solver):
+        points = _random_stream(60, colors=2, seed=7)
+        constraint = FairnessConstraint({0: 2, 1: 2})
+        from_list = solver.solve(points, constraint, euclidean)
+        from_ps = solver.solve(as_point_set(points, euclidean), constraint, euclidean)
+        assert from_list.centers == from_ps.centers
+        assert from_list.radius == from_ps.radius
+
+    @pytest.mark.parametrize(
+        "solver",
+        [JonesFairCenter(), CapacityAwareGreedy()],
+        ids=lambda s: type(s).__name__,
+    )
+    def test_vector_scalar_solutions_identical(self, solver):
+        points = _random_stream(80, colors=2, seed=13)
+        constraint = FairnessConstraint({0: 3, 1: 3})
+        vector = solver.solve(points, constraint, euclidean)
+        scalar = solver.solve(points, constraint, ScalarOnlyMetric(euclidean))
+        assert vector.centers == scalar.centers
+        assert vector.radius == pytest.approx(scalar.radius, rel=1e-12)
+
+    def test_gonzalez_head_distances_recorded(self):
+        points = _random_stream(40, seed=17)
+        result = gonzalez(points, 5, euclidean)
+        assert result.head_distances is not None
+        assert result.head_distances.shape == (len(result.head_indices), len(points))
+        for row, index in zip(result.head_distances, result.head_indices):
+            np.testing.assert_allclose(
+                row,
+                [euclidean(points[index], p) for p in points],
+                rtol=1e-9, atol=1e-9,
+            )
