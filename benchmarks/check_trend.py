@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Benchmark-trend gate: diff fresh results against committed baselines.
+
+Usage (as CI runs it, right after the ``--quick`` benchmark smoke)::
+
+    python benchmarks/check_trend.py \
+        --results benchmarks/results --baselines benchmarks/baselines
+
+For every committed ``benchmarks/baselines/BENCH_*.json`` the script locates
+the freshly generated file of the same name under ``--results`` and compares
+the performance metrics row by row (rows are keyed by their non-metric
+columns: dataset, delta, algorithm, mode, ...).  It fails (exit code 1) when
+
+* a baseline benchmark produced no fresh result file, or a baseline row has
+  no matching fresh row (a series silently disappeared), or
+* any *update/query timing* regressed by more than ``--threshold`` (default
+  2x), or any *throughput* metric dropped below ``1/threshold`` of the
+  baseline.
+
+Tiny absolute changes are ignored (``--min-ms``): sub-noise timings on a
+shared CI runner must not flip the gate.  Files whose recorded ``scale``
+differs from the baseline's are skipped with a warning, so locally
+regenerated full-scale results never false-fail against the committed
+``--quick`` baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: metric -> direction; "lower" metrics fail when the fresh value exceeds
+#: baseline * threshold, "higher" metrics when it drops below baseline / threshold.
+METRICS = {
+    "update_ms": "lower",
+    "query_ms": "lower",
+    "update_us": "lower",
+    "query_us": "lower",
+    "elapsed_s": "lower",
+    "points_per_sec": "higher",
+}
+
+#: per-metric absolute floor below which differences are treated as noise
+#: (values in the metric's own unit).  Deliberately generous: the gate runs
+#: on shared CI runners against baselines that may come from different
+#: hardware, and sub-noise micro-timings must never flip it.
+NOISE_FLOOR = {
+    "update_ms": 0.05,
+    "query_ms": 0.1,
+    "update_us": 50.0,
+    "query_us": 100.0,
+    "elapsed_s": 0.1,
+    "points_per_sec": 1000.0,
+}
+
+#: columns that identify a row across runs.  Measured columns (timings,
+#: ratios, memory, host facts like cpu_count) are deliberately excluded:
+#: they vary between machines and must neither key rows nor fail matching.
+KEY_COLUMNS = (
+    "dataset",
+    "delta",
+    "beta",
+    "algorithm",
+    "solver",
+    "window_size",
+    "dimension",
+    "ambient_dimension",
+    "mode",
+    "shards",
+    "streams",
+    "points",
+)
+
+
+def row_key(row: dict, columns: list[str]) -> tuple:
+    """Identity of a row: its identity columns, in column order."""
+    return tuple(
+        (column, row.get(column)) for column in columns if column in KEY_COLUMNS
+    )
+
+
+def compare_file(
+    baseline_path: Path, results_dir: Path, threshold: float
+) -> tuple[list[str], list[str]]:
+    """Compare one baseline file; returns (failures, warnings)."""
+    failures: list[str] = []
+    warnings: list[str] = []
+    name = baseline_path.name
+    fresh_path = results_dir / name
+    if not fresh_path.exists():
+        return [f"{name}: no fresh result file under {results_dir}"], warnings
+
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    if baseline.get("scale") != fresh.get("scale"):
+        warnings.append(
+            f"{name}: scale mismatch (baseline {baseline.get('scale')!r} vs "
+            f"fresh {fresh.get('scale')!r}); skipped"
+        )
+        return failures, warnings
+
+    columns = baseline.get("columns", [])
+    fresh_rows = {row_key(row, columns): row for row in fresh.get("rows", [])}
+    for row in baseline.get("rows", []):
+        key = row_key(row, columns)
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            label = ", ".join(f"{k}={v}" for k, v in key)
+            failures.append(f"{name}: baseline row [{label}] has no fresh match")
+            continue
+        for metric, direction in METRICS.items():
+            old = row.get(metric)
+            new = fresh_row.get(metric)
+            if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+                continue
+            if old <= 0:
+                continue
+            floor = NOISE_FLOOR.get(metric, 0.0)
+            if abs(new - old) <= floor:
+                continue
+            label = ", ".join(f"{k}={v}" for k, v in key)
+            if direction == "lower" and new > old * threshold:
+                failures.append(
+                    f"{name}: [{label}] {metric} regressed "
+                    f"{old:.4g} -> {new:.4g} (>{threshold:g}x)"
+                )
+            elif direction == "higher" and new < old / threshold:
+                failures.append(
+                    f"{name}: [{label}] {metric} dropped "
+                    f"{old:.4g} -> {new:.4g} (<1/{threshold:g})"
+                )
+    return failures, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=Path(__file__).parent / "results",
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=Path(__file__).parent / "baselines",
+        help="directory holding the committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="relative slowdown that fails the gate (default: 2x)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"no baselines under {args.baselines}; nothing to check")
+        return 0
+
+    all_failures: list[str] = []
+    checked = 0
+    for baseline_path in baseline_files:
+        failures, warnings = compare_file(baseline_path, args.results, args.threshold)
+        for warning in warnings:
+            print(f"WARNING  {warning}")
+        if not warnings:
+            checked += 1
+        for failure in failures:
+            print(f"FAIL     {failure}")
+        all_failures.extend(failures)
+        if not failures and not warnings:
+            print(f"OK       {baseline_path.name}")
+
+    print(
+        f"\nchecked {checked}/{len(baseline_files)} baseline files, "
+        f"{len(all_failures)} failure(s)"
+    )
+    return 1 if all_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,6 @@ Run with::
 from __future__ import annotations
 
 from repro import (
-    FairnessConstraint,
     FairSlidingWindow,
     JonesFairCenter,
     ObliviousFairSlidingWindow,

@@ -42,6 +42,10 @@ Package map
     datasets, and CSV loaders for the real files.
 ``repro.evaluation`` / ``repro.experiments``
     The measurement harness and one driver per figure of the paper.
+``repro.serving``
+    Sharded multi-stream serving: a stream router, per-shard bounded ingest
+    queues drained in batches (thread- or process-backed workers), and a
+    service façade with query fan-out and per-shard latency stats.
 """
 
 from .core import (
@@ -64,6 +68,7 @@ from .sequential import (
     exact_fair_center,
     gonzalez,
 )
+from .serving import MultiStreamService, ServingConfig, StreamRouter, WindowFactory
 from .streaming import ExactSlidingWindow, SlidingWindowBaseline, Stream
 
 __version__ = "1.0.0"
@@ -77,12 +82,16 @@ __all__ = [
     "FairSlidingWindow",
     "FairnessConstraint",
     "JonesFairCenter",
+    "MultiStreamService",
     "ObliviousFairSlidingWindow",
     "Point",
+    "ServingConfig",
     "SlidingWindowBaseline",
     "SlidingWindowConfig",
     "Stream",
     "StreamItem",
+    "StreamRouter",
+    "WindowFactory",
     "evaluate_radius",
     "exact_fair_center",
     "gonzalez",

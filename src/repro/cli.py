@@ -6,16 +6,22 @@ Installed as ``fair-center-bench`` (see ``pyproject.toml``).  Examples::
     fair-center-bench figure1 --scale tiny
     fair-center-bench figure3 --dataset phones --csv results/figure3.csv
     fair-center-bench ablation-solver --dataset higgs
+    fair-center-bench serve --streams 16 --shards 4
+    fair-center-bench ingest --streams 16 --shards 4 --workers process
 
-Each sub-command regenerates the series of one figure of the paper (or one
-ablation) and prints them as a plain-text table; ``--csv`` additionally
-writes the raw rows to a file.
+Each figure sub-command regenerates the series of one figure of the paper
+(or one ablation) and prints them as a plain-text table; ``--csv``
+additionally writes the raw rows to a file.  ``serve`` and ``ingest`` drive
+the sharded multi-stream serving layer over a dataset replayed as many
+concurrent streams (``serve`` also fans out queries; ``ingest`` measures
+pure ingest throughput).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Sequence
 
 from .datasets.registry import PAPER_DATASETS, available_datasets, get_spec
@@ -83,7 +89,142 @@ def build_parser() -> argparse.ArgumentParser:
             )
         elif name in ("figure3", "ablation-beta", "ablation-solver"):
             sub.add_argument("--dataset", default="phones", help="dataset name")
+
+    for name, help_text in [
+        ("serve", "sharded multi-stream serving demo: ingest + query fan-out"),
+        ("ingest", "sharded multi-stream ingest throughput measurement"),
+    ]:
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--dataset", default="phones", help="dataset name")
+        sub.add_argument("--streams", type=int, default=8, help="number of streams")
+        sub.add_argument("--shards", type=int, default=4, help="number of shards")
+        sub.add_argument(
+            "--points", type=int, default=4000, help="total points across all streams"
+        )
+        sub.add_argument("--window", type=int, default=200, help="window size per stream")
+        sub.add_argument("--delta", type=float, default=1.0, help="coreset precision δ")
+        sub.add_argument(
+            "--variant",
+            choices=["ours", "oblivious", "dimension_free"],
+            default="oblivious",
+            help="algorithm served per stream (ours needs distance bounds)",
+        )
+        sub.add_argument(
+            "--workers",
+            choices=["thread", "process"],
+            default="thread",
+            help="shard worker flavour (process = one OS process per shard)",
+        )
+        sub.add_argument(
+            "--batch-size", type=int, default=32, help="shard drain batch size"
+        )
+        sub.add_argument(
+            "--queue-capacity", type=int, default=2048, help="shard ingest queue bound"
+        )
+        sub.add_argument("--seed", type=int, default=0, help="random seed")
     return parser
+
+
+def _run_serving(args: argparse.Namespace, with_queries: bool) -> int:
+    """Drive the serving layer over a dataset replayed as many streams."""
+    from .datasets.registry import load_dataset
+    from .experiments.common import estimate_distance_bounds, build_constraint
+    from .core.config import SlidingWindowConfig
+    from .serving import MultiStreamService, ServingConfig, WindowFactory
+
+    points = load_dataset(args.dataset, args.points, seed=args.seed)
+    constraint = build_constraint(points)
+    dmin = dmax = None
+    if args.variant in ("ours", "dimension_free"):
+        dmin, dmax = estimate_distance_bounds(points)
+    window_config = SlidingWindowConfig(
+        window_size=args.window,
+        constraint=constraint,
+        delta=args.delta,
+        dmin=dmin,
+        dmax=dmax,
+    )
+    factory = WindowFactory(window_config, variant=args.variant)
+    serving_config = ServingConfig(
+        num_shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        batch_size=args.batch_size,
+        workers=args.workers,
+    )
+    stream_ids = [f"{args.dataset}-{i}" for i in range(args.streams)]
+    arrivals = [
+        (stream_ids[index % args.streams], point)
+        for index, point in enumerate(points)
+    ]
+
+    start = time.perf_counter()
+    with MultiStreamService(factory, serving_config) as service:
+        service.ingest_many(arrivals)
+        service.flush()
+        ingest_elapsed = time.perf_counter() - start
+        stats = service.stats()
+        fanout = service.query_all() if with_queries else None
+    throughput = len(arrivals) / ingest_elapsed if ingest_elapsed > 0 else 0.0
+
+    shard_rows = [
+        {
+            "shard": s.shard,
+            "streams": s.streams,
+            "ingested": s.ingested,
+            "batches": s.batches,
+            "mean_batch": round(s.mean_batch, 2),
+            "max_batch": s.max_batch,
+        }
+        for s in stats
+    ]
+    print(
+        f"ingested {len(arrivals)} points over {args.streams} streams "
+        f"on {args.shards} {args.workers} shards in {ingest_elapsed:.3f}s "
+        f"({throughput:,.0f} points/s aggregate)"
+    )
+    print()
+    print(
+        format_table(
+            shard_rows,
+            ["shard", "streams", "ingested", "batches", "mean_batch", "max_batch"],
+            title="per-shard ingest stats",
+        )
+    )
+    if fanout is not None:
+        latency_rows = [
+            {
+                "shard": s.shard,
+                "streams": s.streams,
+                "query_ms": round(s.elapsed_ms, 3),
+            }
+            for s in fanout.per_shard
+        ]
+        print()
+        print(
+            format_table(
+                latency_rows,
+                ["shard", "streams", "query_ms"],
+                title="query fan-out latency",
+            )
+        )
+        solution_rows = [
+            {
+                "stream": stream_id,
+                "centers": solution.k,
+                "radius": round(solution.radius, 4),
+                "coreset": solution.coreset_size,
+            }
+            for stream_id, solution in sorted(fanout.solutions.items())
+        ]
+        print()
+        print(
+            format_table(
+                solution_rows,
+                ["stream", "centers", "radius", "coreset"],
+                title="per-stream solutions",
+            )
+        )
+    return 0
 
 
 def _run_command(args: argparse.Namespace) -> list[dict]:
@@ -124,6 +265,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         ]
         print(format_table(rows, ["name", "dimension", "colors", "description"]))
         return 0
+
+    if args.command in ("serve", "ingest"):
+        return _run_serving(args, with_queries=args.command == "serve")
 
     rows = _run_command(args)
     columns = _FIGURE_COLUMNS.get(args.command)

@@ -37,6 +37,16 @@ This module provides the batched alternative:
   sliding-window variant and by the head selection of the Chen et al.
   reduction.  It maintains a running min-distance-to-cover vector (one
   kernel call per added cover point) and exits early at ``limit + 1``.
+* :class:`BufferPool` — a freelist of :class:`PointBuffer` arenas shared by
+  the guess states of one engine, so the oblivious variant's range moves
+  recycle the query-side arenas of retired states instead of reallocating.
+* :class:`CoordinateArena` — one stream-wide coordinate matrix shared by
+  several window consumers (the evaluation harness converts each stream's
+  coordinates exactly once per run, not once per contender).
+
+Kernels additionally expose a packed ``many_to_many`` ``(q, n)`` form used
+by :func:`~repro.core.solution.evaluate_radius`; its rows are bitwise
+identical to the corresponding ``one_to_many`` calls.
 
 Backend selection
 -----------------
@@ -71,6 +81,8 @@ import numpy as np
 
 __all__ = [
     "BatchDistanceEngine",
+    "BufferPool",
+    "CoordinateArena",
     "DistanceKernel",
     "PointBuffer",
     "PointSet",
@@ -214,6 +226,17 @@ class DistanceKernel:
         """Distances from ``query`` (shape ``(d,)``) to every row of ``coords``."""
         raise NotImplementedError
 
+    def many_to_many(self, queries: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        """Pairwise ``(q, n)`` distance matrix between two row stacks.
+
+        Implemented by broadcasting the per-row computation rather than via
+        the ``|a|^2 + |b|^2 - 2ab`` expansion, so every row of the result is
+        bitwise identical to the corresponding :meth:`one_to_many` call —
+        consumers such as :func:`~repro.core.solution.evaluate_radius` must
+        take exactly the same threshold decisions either way.
+        """
+        return np.stack([self.one_to_many(q, coords) for q in queries])
+
 
 class EuclideanKernel(DistanceKernel):
     name = "euclidean"
@@ -225,6 +248,12 @@ class EuclideanKernel(DistanceKernel):
         # einsum avoids np.linalg.norm's dispatch overhead on the hot path.
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
+    def many_to_many(self, queries: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        if coords.shape[0] == 0:
+            return np.empty((queries.shape[0], 0), dtype=coords.dtype)
+        diff = coords[None, :, :] - _align(queries, coords)[:, None, :]
+        return np.sqrt(np.einsum("qnd,qnd->qn", diff, diff))
+
 
 class ManhattanKernel(DistanceKernel):
     name = "manhattan"
@@ -233,6 +262,13 @@ class ManhattanKernel(DistanceKernel):
         if coords.shape[0] == 0:
             return np.empty(0, dtype=coords.dtype)
         return np.abs(coords - _align(query, coords)).sum(axis=1)
+
+    def many_to_many(self, queries: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        if coords.shape[0] == 0:
+            return np.empty((queries.shape[0], 0), dtype=coords.dtype)
+        return np.abs(coords[None, :, :] - _align(queries, coords)[:, None, :]).sum(
+            axis=2
+        )
 
 
 class ChebyshevKernel(DistanceKernel):
@@ -247,6 +283,15 @@ class ChebyshevKernel(DistanceKernel):
             return np.zeros(coords.shape[0], dtype=coords.dtype)
         return np.abs(coords - _align(query, coords)).max(axis=1)
 
+    def many_to_many(self, queries: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        if coords.shape[0] == 0:
+            return np.empty((queries.shape[0], 0), dtype=coords.dtype)
+        if coords.shape[1] == 0:
+            return np.zeros((queries.shape[0], coords.shape[0]), dtype=coords.dtype)
+        return np.abs(coords[None, :, :] - _align(queries, coords)[:, None, :]).max(
+            axis=2
+        )
+
 
 class MinkowskiKernel(DistanceKernel):
     def __init__(self, p: float) -> None:
@@ -260,6 +305,12 @@ class MinkowskiKernel(DistanceKernel):
             return np.empty(0, dtype=coords.dtype)
         diff = np.abs(coords - _align(query, coords))
         return (diff**self.p).sum(axis=1) ** (1.0 / self.p)
+
+    def many_to_many(self, queries: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        if coords.shape[0] == 0:
+            return np.empty((queries.shape[0], 0), dtype=coords.dtype)
+        diff = np.abs(coords[None, :, :] - _align(queries, coords)[:, None, :])
+        return (diff**self.p).sum(axis=2) ** (1.0 / self.p)
 
 
 EUCLIDEAN_KERNEL = EuclideanKernel()
@@ -347,7 +398,15 @@ class PointBuffer:
     """
 
     __slots__ = (
-        "kernel", "dtype", "_coords", "_times", "_alive", "_size", "_live", "_row_of"
+        "kernel",
+        "dtype",
+        "_coords",
+        "_times",
+        "_alive",
+        "_size",
+        "_live",
+        "_row_of",
+        "_viewed",
     )
 
     def __init__(self, kernel: DistanceKernel, dtype: str | np.dtype = "auto") -> None:
@@ -359,6 +418,11 @@ class PointBuffer:
         self._size = 0
         self._live = 0
         self._row_of: dict[int, int] = {}
+        #: whether a snapshot view into the *current* arrays has been handed
+        #: out (cleared whenever growth/compaction moves to fresh arrays);
+        #: ``clear`` must then drop the storage instead of reusing it, or a
+        #: recycled buffer would mutate the snapshot under its holder.
+        self._viewed = False
 
     def __len__(self) -> int:
         return self._live
@@ -399,6 +463,7 @@ class PointBuffer:
         alive = np.zeros(capacity, dtype=bool)
         alive[: self._size] = self._alive[: self._size]
         self._coords, self._times, self._alive = coords, times, alive
+        self._viewed = False
 
     def discard(self, key: int) -> None:
         """Mask out the point stored under ``key`` (no-op when absent)."""
@@ -412,9 +477,20 @@ class PointBuffer:
             self._compact()
 
     def clear(self) -> None:
-        """Drop every stored point (the allocation is kept for reuse)."""
+        """Drop every stored point.
+
+        The allocation is kept for reuse *unless* a snapshot view into the
+        current arrays was handed out (``coords_view``): reusing it would
+        overwrite the snapshot under its holder, so the storage is dropped
+        instead and the next append allocates fresh arrays.
+        """
         self._row_of.clear()
-        if self._alive is not None:
+        if self._viewed:
+            self._coords = None
+            self._times = None
+            self._alive = None
+            self._viewed = False
+        elif self._alive is not None:
             self._alive[: self._size] = False
         self._size = 0
         self._live = 0
@@ -441,6 +517,7 @@ class PointBuffer:
         self._size = live
         self._live = live
         self._row_of = {int(t): i for i, t in enumerate(packed_times)}
+        self._viewed = False
 
     def distances_from(self, coords: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
         """``(keys, distances)`` of the live points, in insertion order."""
@@ -470,7 +547,112 @@ class PointBuffer:
             return np.empty((0, dim), dtype=self.dtype)
         if self._live != self._size:
             self._compact()
+        self._viewed = True
         return self._coords[: self._size]
+
+
+class BufferPool:
+    """Freelist of :class:`PointBuffer` arenas recycled across guess states.
+
+    The oblivious variant retires whole guess states whenever its estimated
+    distance range moves; their query-side arenas used to be garbage
+    collected and reallocated from scratch by the replacement states.  The
+    pool keeps retired buffers and hands them back to newly activated
+    arenas, so a long stream with many range moves settles into a fixed set
+    of arenas instead of growing its arena population on every move.
+    (A recycled buffer keeps its coordinate storage only when no snapshot
+    view of it was handed out — see :meth:`PointBuffer.clear` — so the
+    zero-copy contract survives recycling.)
+
+    ``allocated`` counts the buffers ever created through the pool — the
+    regression tests assert it stays flat once the stream is warm.
+    """
+
+    __slots__ = ("kernel", "dtype", "allocated", "_free")
+
+    def __init__(self, kernel: DistanceKernel, dtype: np.dtype) -> None:
+        self.kernel = kernel
+        self.dtype = np.dtype(dtype)
+        #: total number of buffers ever constructed by this pool.
+        self.allocated = 0
+        self._free: list[PointBuffer] = []
+
+    def acquire(self) -> PointBuffer:
+        """A cleared buffer: recycled when available, freshly built otherwise."""
+        if self._free:
+            return self._free.pop()
+        self.allocated += 1
+        return PointBuffer(self.kernel, self.dtype)
+
+    def release(self, buffer: PointBuffer) -> None:
+        """Return a buffer to the freelist (its contents are dropped)."""
+        buffer.clear()
+        self._free.append(buffer)
+
+    @property
+    def available(self) -> int:
+        """Number of buffers currently sitting in the freelist."""
+        return len(self._free)
+
+
+class CoordinateArena:
+    """One stream-wide coordinate matrix shared by several window consumers.
+
+    The evaluation harness drives every contender of a run over the *same*
+    stream, and each contender's exact reference window used to convert and
+    cache the stream's coordinates privately.  An arena performs that
+    conversion once: rows are registered by arrival time (consecutive,
+    1-based — the harness convention), repeat registrations are no-ops, and
+    :meth:`rows` hands out zero-copy ``(n, d)`` views of any contiguous time
+    range.  Growth moves the storage to a fresh array, so previously
+    returned views are never mutated under their holders (the same snapshot
+    contract as :class:`PointBuffer`).
+    """
+
+    __slots__ = ("kernel", "dtype", "_coords", "_count")
+
+    def __init__(self, kernel: DistanceKernel, dtype: str | np.dtype = "auto") -> None:
+        self.kernel = kernel
+        self.dtype = resolve_dtype(dtype) if isinstance(dtype, str) else np.dtype(dtype)
+        self._coords: np.ndarray | None = None
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def register(self, t: int, coords: Sequence[float]) -> None:
+        """Record the coordinates of the point that arrived at time ``t``.
+
+        Times must arrive in order without gaps (``t`` is 1-based); a time
+        already registered by an earlier consumer of the arena is skipped.
+        """
+        if t <= self._count:
+            return
+        if t != self._count + 1:
+            raise ValueError(
+                f"arena times must be consecutive: expected {self._count + 1}, "
+                f"got {t}"
+            )
+        if self._coords is None:
+            self._coords = np.empty((64, len(coords)), dtype=self.dtype)
+        elif self._count == self._coords.shape[0]:
+            grown = np.empty(
+                (2 * self._coords.shape[0], self._coords.shape[1]), dtype=self.dtype
+            )
+            grown[: self._count] = self._coords[: self._count]
+            self._coords = grown
+        self._coords[self._count] = coords
+        self._count += 1
+
+    def rows(self, first_t: int, last_t: int) -> np.ndarray:
+        """Zero-copy view of the rows of times ``first_t..last_t`` inclusive."""
+        if first_t < 1 or last_t > self._count:
+            raise ValueError(
+                f"times {first_t}..{last_t} outside the registered range "
+                f"1..{self._count}"
+            )
+        assert self._coords is not None
+        return self._coords[first_t - 1 : last_t]
 
 
 # -------------------------------------------------------------- point sets
@@ -713,6 +895,7 @@ class BatchDistanceEngine:
         "in_batch",
         "batch_coords",
         "_hit_families",
+        "buffer_pool",
     )
 
     def __init__(self, kernel: DistanceKernel, dtype: str | np.dtype = "auto") -> None:
@@ -734,6 +917,8 @@ class BatchDistanceEngine:
         #: whether a batch is currently open (public, checked on hot paths).
         self.in_batch = False
         self._hit_families: list[AttractorFamily] = []
+        #: freelist of retired query-side arenas (created on first use).
+        self.buffer_pool: BufferPool | None = None
 
     def new_family(self, threshold: float) -> AttractorFamily:
         """Create a family handle with a fixed attraction threshold."""
@@ -867,6 +1052,11 @@ class FamilyArena:
     arriving point (an ndarray row-assign is a memcpy; a tuple one converts
     per element), which keeps the mirroring cost negligible on the update
     hot path.
+
+    Arenas draw their buffers from the engine's shared :class:`BufferPool`
+    and give them back through :meth:`release` when their owning state is
+    retired, so the oblivious variant's range moves recycle arenas instead
+    of reallocating them.
     """
 
     __slots__ = ("engine", "buffer")
@@ -874,6 +1064,14 @@ class FamilyArena:
     def __init__(self, engine: BatchDistanceEngine) -> None:
         self.engine = engine
         self.buffer: PointBuffer | None = None
+
+    def release(self) -> None:
+        """Return the buffer (if activated) to the engine's freelist."""
+        if self.buffer is not None:
+            pool = self.engine.buffer_pool
+            if pool is not None:
+                pool.release(self.buffer)
+            self.buffer = None
 
     def add(self, t: int, item) -> None:
         """Mirror the addition of ``item`` (no-op while dormant)."""
@@ -902,7 +1100,12 @@ class FamilyArena:
         items = list(family.values())
         buffer = self.buffer
         if buffer is None:
-            buffer = PointBuffer(self.engine.kernel, self.engine.dtype)
+            engine = self.engine
+            pool = engine.buffer_pool
+            if pool is None:
+                pool = BufferPool(engine.kernel, engine.dtype)
+                engine.buffer_pool = pool
+            buffer = pool.acquire()
             for t, item in family.items():
                 buffer.append(t, item.coords)
             self.buffer = buffer

@@ -207,12 +207,17 @@ class GuessState:
 
         Called by the oblivious variant when the guess is retired (its state
         is dropped wholesale); the dicts themselves are left untouched since
-        the state is about to be garbage collected.
+        the state is about to be garbage collected, while the query-side
+        arenas go back to the engine's freelist for the replacement states.
         """
         if self._v_family is not None:
             self._v_family.drop_all()
         if self._c_family is not None:
             self._c_family.drop_all()
+        if self._v_rep_arena is not None:
+            self._v_rep_arena.release()
+        if self._c_rep_arena is not None:
+            self._c_rep_arena.release()
 
     # ------------------------------------------------------------- expiration
 

@@ -31,6 +31,7 @@ from .backend import (
 from .config import FairnessConstraint, SlidingWindowConfig
 from .geometry import Color, Point, StreamItem
 from .guesses import guess_grid
+from .ingest import BatchIngestMixin
 from .solution import ClusteringSolution
 
 
@@ -187,7 +188,7 @@ class _IndependentSetState:
         return len(self.attractors) + len(self.representatives)
 
 
-class DimensionFreeFairSlidingWindow:
+class DimensionFreeFairSlidingWindow(BatchIngestMixin):
     """Corollary 2: constant-factor fair center with dimension-free space."""
 
     def __init__(

@@ -37,10 +37,11 @@ from .backend import cover_fits, make_batch_engine
 from .config import SlidingWindowConfig
 from .coreset import GuessState, distinct_memory, total_memory
 from .geometry import Point, StreamItem
+from .ingest import BatchIngestMixin
 from .solution import ClusteringSolution
 
 
-class FairSlidingWindow:
+class FairSlidingWindow(BatchIngestMixin):
     """Coreset-based sliding-window algorithm for fair center (``Ours``).
 
     Parameters

@@ -38,10 +38,11 @@ from .backend import cover_fits, make_batch_engine
 from .coreset import GuessState, distinct_memory, total_memory
 from .geometry import Point, StreamItem
 from .guesses import AdaptiveGuessGrid, guess_value
+from .ingest import BatchIngestMixin
 from .solution import ClusteringSolution
 
 
-class ObliviousFairSlidingWindow:
+class ObliviousFairSlidingWindow(BatchIngestMixin):
     """Sliding-window fair center without prior knowledge of ``dmin``/``dmax``."""
 
     def __init__(

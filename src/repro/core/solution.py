@@ -118,11 +118,11 @@ def evaluate_radius(
     Returns 0 for an empty point set and ``inf`` when the center set is empty
     but points are present.
 
-    For the Lp metrics this runs ``k`` batched kernel sweeps over a running
-    min-distance vector (reusing the coordinate matrix of a
-    :class:`~repro.core.backend.PointSet` when one is passed) instead of one
-    small scan per point — this is the dominant cost of evaluating every
-    query of the experiment harness on the exact window.
+    For the Lp metrics this runs one packed ``(k, n)`` kernel call (reusing
+    the coordinate matrix of a :class:`~repro.core.backend.PointSet` when one
+    is passed) instead of one small scan per point — this is the dominant
+    cost of evaluating every query of the experiment harness on the exact
+    window.
     """
     if not points:
         return 0.0
@@ -135,18 +135,11 @@ def evaluate_radius(
             coords = points.coords
         else:
             coords = stack_coordinates(points)
-        closest = kernel.one_to_many(
-            np.asarray(centers[0].coords, dtype=coords.dtype), coords
+        center_coords = np.asarray(
+            [c.coords for c in centers], dtype=coords.dtype
         )
-        for center in centers[1:]:
-            np.minimum(
-                closest,
-                kernel.one_to_many(
-                    np.asarray(center.coords, dtype=coords.dtype), coords
-                ),
-                out=closest,
-            )
-        return float(closest.max())
+        dists = kernel.many_to_many(center_coords, coords)
+        return float(dists.min(axis=0).max())
     worst = 0.0
     for p in points:
         nearest = min(metric(p, c) for c in centers)

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Protocol, Sequence
 
+from ..core.backend import CoordinateArena, resolve_kernel
 from ..core.config import FairnessConstraint
 from ..core.geometry import Point, StreamItem
 from ..core.metrics import euclidean
@@ -78,6 +79,7 @@ def run_experiment(
     metric: MetricFn = euclidean,
     query_schedule: QuerySchedule | Iterable[int] | None = None,
     num_queries: int = 20,
+    share_arena: bool = True,
 ) -> ExperimentResult:
     """Stream ``points`` through every contender and measure the queries.
 
@@ -96,6 +98,11 @@ def run_experiment(
     query_schedule:
         Time steps at which queries are issued; defaults to ``num_queries``
         evenly spaced steps once the window is full.
+    share_arena:
+        When the metric has a vector kernel, convert the stream's
+        coordinates into one shared :class:`CoordinateArena` reused by every
+        contender's reference window, instead of one private cache per
+        contender (same values, one conversion per run).
     """
     points = list(points)
     if query_schedule is None:
@@ -103,6 +110,12 @@ def run_experiment(
             len(points), window_size, num_queries
         )
     query_times = sorted(set(int(t) for t in query_schedule))
+
+    arena: CoordinateArena | None = None
+    if share_arena:
+        kernel = resolve_kernel(metric)
+        if kernel is not None:
+            arena = CoordinateArena(kernel)
 
     records: dict[str, list[QueryRecord]] = {c.name: [] for c in contenders}
     for contender in contenders:
@@ -113,6 +126,7 @@ def run_experiment(
             constraint=constraint,
             metric=metric,
             query_times=query_times,
+            arena=arena,
         )
 
     reference_names = [c.name for c in contenders if c.is_reference]
@@ -129,10 +143,12 @@ def _run_single(
     constraint: FairnessConstraint,
     metric: MetricFn,
     query_times: Sequence[int],
+    arena: CoordinateArena | None = None,
 ) -> list[QueryRecord]:
     # The reference window maintains an incremental coordinate cache so the
-    # per-query exact-window radius check below never re-stacks the window.
-    window = ExactSlidingWindow(window_size, metric=metric)
+    # per-query exact-window radius check below never re-stacks the window;
+    # with a shared arena the cache is the run-wide coordinate matrix.
+    window = ExactSlidingWindow(window_size, metric=metric, arena=arena)
     algorithm = contender.algorithm
     pending_queries = list(query_times)
     results: list[QueryRecord] = []

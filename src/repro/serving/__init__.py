@@ -1,0 +1,48 @@
+"""Sharded multi-stream serving for the sliding-window algorithms.
+
+The reproduction's algorithms process one stream per instance; this package
+serves *many* independent streams from one deployment:
+
+* :class:`~repro.serving.router.StreamRouter` — stable hashing of stream
+  ids onto N shards;
+* :class:`~repro.serving.shard.ShardWorker` /
+  :class:`~repro.serving.shard.ProcessShardWorker` — per-shard bounded
+  ingest queues drained in batches into per-stream windows (threads by
+  default, one OS process per shard for CPU-bound scaling);
+* :class:`~repro.serving.service.MultiStreamService` — the façade: ingest
+  with backpressure, query fan-out with per-shard latency stats;
+* :class:`~repro.serving.factory.WindowFactory` — picklable per-stream
+  window construction for any of the three algorithm variants.
+
+See ``repro.cli serve`` / ``repro.cli ingest`` for a runnable demo and
+``benchmarks/test_serving_throughput.py`` for the throughput figure.
+"""
+
+from .factory import VARIANTS, WindowFactory
+from .router import StreamRouter
+from .service import (
+    FanoutResult,
+    MultiStreamService,
+    ServingConfig,
+    ShardQueryStats,
+)
+from .shard import (
+    IngestQueueFull,
+    ProcessShardWorker,
+    ShardStats,
+    ShardWorker,
+)
+
+__all__ = [
+    "FanoutResult",
+    "IngestQueueFull",
+    "MultiStreamService",
+    "ProcessShardWorker",
+    "ServingConfig",
+    "ShardQueryStats",
+    "ShardStats",
+    "ShardWorker",
+    "StreamRouter",
+    "VARIANTS",
+    "WindowFactory",
+]

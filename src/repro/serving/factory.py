@@ -1,0 +1,65 @@
+"""Per-stream window construction for the serving layer.
+
+Each stream served by a shard owns one sliding-window instance.  The recipe
+for building those instances must be a plain value object — process-backed
+shards ship it to their worker process, and every stream of a shard reuses
+it — so the factory is a frozen dataclass around a
+:class:`~repro.core.config.SlidingWindowConfig` plus a variant name, rather
+than an arbitrary closure.  (A custom callable still works anywhere a
+factory is accepted: shards only require ``factory(stream_id)`` to return an
+object with ``insert`` / ``insert_batch`` / ``query`` / ``memory_points``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import SlidingWindowConfig
+from ..core.dimension_free import DimensionFreeFairSlidingWindow
+from ..core.fair_sliding_window import FairSlidingWindow
+from ..core.oblivious import ObliviousFairSlidingWindow
+
+#: Variant names accepted by :class:`WindowFactory`.
+VARIANTS = ("ours", "oblivious", "dimension_free")
+
+ServedWindow = (
+    FairSlidingWindow | ObliviousFairSlidingWindow | DimensionFreeFairSlidingWindow
+)
+
+
+@dataclass(frozen=True)
+class WindowFactory:
+    """Build one sliding-window instance per served stream.
+
+    Parameters
+    ----------
+    config:
+        The shared :class:`SlidingWindowConfig` (window size, constraint,
+        accuracy knobs).  ``ours`` and ``dimension_free`` require its
+        ``dmin``/``dmax`` bounds; ``oblivious`` (the serving default)
+        estimates them per stream and needs none.
+    variant:
+        Which of the paper's three algorithms to serve.
+    backend:
+        Per-instance backend selection (``auto`` / ``scalar``), forwarded to
+        the algorithm constructor.
+    """
+
+    config: SlidingWindowConfig
+    variant: str = "oblivious"
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; choose one of "
+                f"{', '.join(VARIANTS)}"
+            )
+
+    def __call__(self, stream_id: str) -> ServedWindow:
+        """A fresh window instance for ``stream_id``."""
+        if self.variant == "ours":
+            return FairSlidingWindow(self.config, backend=self.backend)
+        if self.variant == "dimension_free":
+            return DimensionFreeFairSlidingWindow(self.config, backend=self.backend)
+        return ObliviousFairSlidingWindow(self.config, backend=self.backend)

@@ -1,0 +1,38 @@
+"""Deterministic stream-id → shard routing.
+
+The serving layer spreads independent streams over a fixed set of shards.
+Routing must be *stable*: the same stream id must land on the same shard in
+every process and every run, because each shard owns its streams' window
+state exclusively.  Python's builtin ``hash`` is salted per process
+(``PYTHONHASHSEED``), so the router hashes with ``zlib.crc32`` over the
+UTF-8 encoding of the id instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+class StreamRouter:
+    """Stable hash-partitioning of stream ids onto ``num_shards`` shards."""
+
+    __slots__ = ("num_shards",)
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+
+    def shard_of(self, stream_id: str) -> int:
+        """Shard index of ``stream_id`` (same id → same shard, always)."""
+        return zlib.crc32(str(stream_id).encode("utf-8")) % self.num_shards
+
+    def partition(self, stream_ids) -> dict[int, list[str]]:
+        """Group ``stream_ids`` by their shard (diagnostics and tests)."""
+        groups: dict[int, list[str]] = {}
+        for stream_id in stream_ids:
+            groups.setdefault(self.shard_of(stream_id), []).append(stream_id)
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamRouter(num_shards={self.num_shards})"

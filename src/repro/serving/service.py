@@ -1,0 +1,260 @@
+"""The multi-stream serving façade: route, ingest, fan out queries.
+
+:class:`MultiStreamService` ties the pieces together: a
+:class:`~repro.serving.router.StreamRouter` hashes stream ids onto N
+shards, each shard (thread- or process-backed, see
+:mod:`repro.serving.shard`) drains its own bounded ingest queue into the
+per-stream sliding windows built by the configured factory, and queries fan
+out across shards with per-shard latency accounting.
+
+Typical use::
+
+    from repro.serving import MultiStreamService, ServingConfig, WindowFactory
+    from repro.core.config import FairnessConstraint, SlidingWindowConfig
+
+    constraint = FairnessConstraint({"a": 2, "b": 2})
+    window_config = SlidingWindowConfig(window_size=500, constraint=constraint)
+    factory = WindowFactory(window_config)  # oblivious variant by default
+
+    with MultiStreamService(factory, ServingConfig(num_shards=4)) as service:
+        for stream_id, point in arrivals:
+            service.ingest(stream_id, point)
+        service.flush()
+        result = service.query_all()
+        print(result.solutions, result.per_shard)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.geometry import Point, StreamItem
+from ..core.solution import ClusteringSolution
+from .router import StreamRouter
+from .shard import ProcessShardWorker, ShardStats, ShardWorker, WindowFactoryFn
+
+#: Worker flavours accepted by :class:`ServingConfig`.
+WORKER_MODES = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Deployment knobs of one :class:`MultiStreamService`.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards the stream ids are hashed onto.  Thread-backed
+        shards buy isolation and bounded queues but share the GIL; pick
+        roughly the machine's core count with ``workers="process"`` for
+        CPU-bound scaling.
+    queue_capacity:
+        Bound of each shard's ingest queue — points for thread workers,
+        batches for process workers.  Full queues exert backpressure.
+    batch_size:
+        How many queued arrivals a shard drains and applies at once.
+    workers:
+        ``"thread"`` (default, in-process) or ``"process"`` (one OS process
+        per shard; requires a picklable factory).
+    auto_start:
+        Start the workers on construction.  Disable to inspect or fill the
+        queues before any draining happens (used by the backpressure tests).
+    """
+
+    num_shards: int = 4
+    queue_capacity: int = 2048
+    batch_size: int = 32
+    workers: str = "thread"
+    auto_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {self.num_shards}")
+        if self.workers not in WORKER_MODES:
+            raise ValueError(
+                f"unknown workers mode {self.workers!r}; choose one of "
+                f"{', '.join(WORKER_MODES)}"
+            )
+
+
+@dataclass
+class ShardQueryStats:
+    """Latency of one shard's leg of a query fan-out."""
+
+    shard: int
+    streams: int
+    elapsed_ms: float
+
+
+@dataclass
+class FanoutResult:
+    """Solutions of a query fan-out plus per-shard latency stats."""
+
+    solutions: dict[str, ClusteringSolution] = field(default_factory=dict)
+    per_shard: list[ShardQueryStats] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        """Summed per-shard latency (sequential fan-out wall time)."""
+        return sum(stats.elapsed_ms for stats in self.per_shard)
+
+
+class MultiStreamService:
+    """Sharded ingestion and query serving for many independent streams."""
+
+    def __init__(
+        self,
+        factory: WindowFactoryFn,
+        config: ServingConfig | None = None,
+        *,
+        router: StreamRouter | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServingConfig()
+        self.router = (
+            router if router is not None else StreamRouter(self.config.num_shards)
+        )
+        if self.router.num_shards != self.config.num_shards:
+            raise ValueError(
+                f"router covers {self.router.num_shards} shards but the "
+                f"config asks for {self.config.num_shards}"
+            )
+        worker_cls = (
+            ProcessShardWorker if self.config.workers == "process" else ShardWorker
+        )
+        self.shards = [
+            worker_cls(
+                shard_id,
+                factory,
+                queue_capacity=self.config.queue_capacity,
+                batch_size=self.config.batch_size,
+            )
+            for shard_id in range(self.config.num_shards)
+        ]
+        self._closed = False
+        if self.config.auto_start:
+            self.start()
+
+    # ---------------------------------------------------------------- control
+
+    def start(self) -> None:
+        """Start every shard worker (idempotent)."""
+        for shard in self.shards:
+            shard.start()
+
+    def flush(self) -> None:
+        """Block until every ingested point has been applied to its window."""
+        for shard in self.shards:
+            shard.flush()
+
+    def close(self) -> None:
+        """Stop every shard worker; surfaces recorded drain failures.
+
+        Idempotent.  Workers are stopped unconditionally (stop never
+        raises); the first failure recorded by any shard is re-raised
+        afterwards so an ingest error cannot be silently swallowed by a
+        clean shutdown.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.stop()
+        for shard in self.shards:
+            failure = shard.failure
+            if failure is not None:
+                raise RuntimeError(
+                    f"shard {shard.shard_id} drain loop failed"
+                ) from failure
+
+    def __enter__(self) -> "MultiStreamService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # An exception is already propagating (often the very failure a
+            # flush/query surfaced); don't let shutdown mask it.
+            try:
+                self.close()
+            except Exception:
+                pass
+
+    # ----------------------------------------------------------------- ingest
+
+    def ingest(
+        self,
+        stream_id: str,
+        point: Point | StreamItem,
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> int:
+        """Route one arrival to its shard's queue; returns the shard index.
+
+        With ``block=False`` (or a ``timeout``) a full shard queue raises
+        :class:`~repro.serving.shard.IngestQueueFull` instead of waiting.
+        """
+        shard_index = self.router.shard_of(stream_id)
+        self.shards[shard_index].submit(stream_id, point, block=block, timeout=timeout)
+        return shard_index
+
+    def ingest_many(
+        self,
+        arrivals,
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> int:
+        """Ingest an iterable of ``(stream_id, point)`` pairs; returns the count."""
+        count = 0
+        for stream_id, point in arrivals:
+            self.ingest(stream_id, point, block=block, timeout=timeout)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ query
+
+    def query(self, stream_id: str) -> ClusteringSolution:
+        """Solution for one stream's current window."""
+        return self.shards[self.router.shard_of(stream_id)].query(stream_id)
+
+    def query_all(self) -> FanoutResult:
+        """Fan a query out to every window of every shard.
+
+        Returns the per-stream :class:`ClusteringSolution`s along with how
+        long each shard's leg took (the per-shard latency profile is the
+        serving-side signal for rebalancing shard counts).
+        """
+        result = FanoutResult()
+        for shard in self.shards:
+            start = time.perf_counter()
+            solutions = shard.query_all()
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            result.solutions.update(solutions)
+            result.per_shard.append(
+                ShardQueryStats(
+                    shard=shard.shard_id,
+                    streams=len(solutions),
+                    elapsed_ms=elapsed_ms,
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------ diagnostics
+
+    def stats(self) -> list[ShardStats]:
+        """Ingest counters of every shard."""
+        return [shard.stats() for shard in self.shards]
+
+    def stream_ids(self) -> list[str]:
+        """Every stream id currently served (across all shards)."""
+        ids: list[str] = []
+        for shard in self.shards:
+            ids.extend(shard.stream_ids())
+        return ids
+
+    def memory_points(self) -> int:
+        """Total stored points across every shard's windows."""
+        return sum(shard.memory_points() for shard in self.shards)

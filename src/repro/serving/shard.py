@@ -1,0 +1,556 @@
+"""Shard workers: bounded ingest queues draining into per-stream windows.
+
+A shard owns the window state of every stream routed to it.  Two worker
+flavours share the same interface:
+
+* :class:`ShardWorker` — a daemon *thread* drains the shard's bounded ingest
+  queue in batches; queries run on the caller's thread under the shard lock.
+  This is the default: lowest latency, no serialization, and the windows are
+  reachable for white-box tests.
+* :class:`ProcessShardWorker` — the shard lives in a separate OS *process*
+  fed over a bounded multiprocessing queue, so shards scale across cores
+  (the per-arrival update work of the algorithms is pure Python and gains
+  nothing from threads under the GIL).  Points and solutions cross the
+  process boundary by pickling; the factory must therefore be a picklable
+  value object such as :class:`~repro.serving.factory.WindowFactory`.
+
+Both drain batches and regroup them *by stream* before applying, so a mixed
+interleaving of many streams still reaches each window as contiguous runs
+through ``insert_batch`` — every arrival keeps the engine's vectorized
+per-arrival scan, and per-batch bookkeeping is paid once per run instead of
+once per point.
+
+Backpressure: ingest queues are bounded.  A blocking submit waits for the
+drain to catch up; a non-blocking one raises :class:`IngestQueueFull`, so
+callers can shed load instead of buffering unboundedly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.geometry import Point, StreamItem
+from ..core.solution import ClusteringSolution
+
+#: ``factory(stream_id) -> window`` with insert/insert_batch/query/memory_points.
+WindowFactoryFn = Callable[[str], object]
+
+#: Sentinel asking a drain loop to exit (identity-compared).
+_STOP = ("__stop__",)
+
+
+class IngestQueueFull(RuntimeError):
+    """A non-blocking ingest hit a full shard queue (backpressure signal)."""
+
+
+@dataclass
+class ShardStats:
+    """Ingest-side counters of one shard."""
+
+    shard: int
+    streams: int
+    ingested: int
+    batches: int
+    max_batch: int
+    queue_depth: int
+
+    @property
+    def mean_batch(self) -> float:
+        """Average drained batch size (0 when nothing was ingested)."""
+        return self.ingested / self.batches if self.batches else 0.0
+
+
+def _group_by_stream(batch: list[tuple[str, Point | StreamItem]]) -> dict[str, list]:
+    """Regroup a mixed drained batch into per-stream runs (order preserved)."""
+    groups: dict[str, list] = {}
+    for stream_id, point in batch:
+        run = groups.get(stream_id)
+        if run is None:
+            groups[stream_id] = [point]
+        else:
+            run.append(point)
+    return groups
+
+
+class ShardWorker:
+    """Thread-backed shard: one drain thread, one lock, many windows."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        factory: WindowFactoryFn,
+        *,
+        queue_capacity: int = 2048,
+        batch_size: int = 32,
+    ) -> None:
+        if queue_capacity <= 0:
+            raise ValueError(f"queue_capacity must be positive, got {queue_capacity}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.shard_id = shard_id
+        self._factory = factory
+        self._batch_size = batch_size
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
+        self._lock = threading.Lock()
+        self._windows: dict[str, object] = {}
+        self._ingested = 0
+        self._batches = 0
+        self._max_batch = 0
+        self._thread: threading.Thread | None = None
+        #: first exception raised while applying a batch; once set, the
+        #: drain loop discards further work and the next caller interaction
+        #: (submit/flush/query) re-raises instead of hanging.
+        self._failure: Exception | None = None
+
+    # ---------------------------------------------------------------- control
+
+    def start(self) -> None:
+        """Launch the drain thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name=f"shard-{self.shard_id}", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        """Drain everything already queued, then stop the thread.
+
+        Never raises: a recorded drain failure stays readable through
+        :attr:`failure` (the service's ``close`` surfaces it on clean exits).
+        """
+        if self._thread is None:
+            return
+        self._queue.put(_STOP)
+        self._thread.join()
+        self._thread = None
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the drain thread is currently running."""
+        return self._thread is not None
+
+    @property
+    def failure(self) -> Exception | None:
+        """The first exception raised while draining, if any."""
+        return self._failure
+
+    def flush(self) -> None:
+        """Block until every queued point has been applied.
+
+        Raises instead of hanging when the worker was never started while
+        points are queued, and re-raises a recorded drain failure.
+        """
+        if self._thread is None and not self._queue.empty():
+            raise RuntimeError(
+                f"shard {self.shard_id} is not started; queued points cannot drain"
+            )
+        self._queue.join()
+        self._raise_on_failure()
+
+    def _raise_on_failure(self) -> None:
+        if self._failure is not None:
+            raise RuntimeError(
+                f"shard {self.shard_id} drain loop failed"
+            ) from self._failure
+
+    # ----------------------------------------------------------------- ingest
+
+    def submit(
+        self,
+        stream_id: str,
+        point: Point | StreamItem,
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> None:
+        """Enqueue one arrival; full queues block or raise :class:`IngestQueueFull`."""
+        self._raise_on_failure()
+        try:
+            self._queue.put((stream_id, point), block=block, timeout=timeout)
+        except queue.Full:
+            raise IngestQueueFull(
+                f"shard {self.shard_id} ingest queue is full "
+                f"({self._queue.maxsize} points waiting)"
+            ) from None
+
+    def _run(self) -> None:
+        ingest_queue = self._queue
+        batch_size = self._batch_size
+        while True:
+            entry = ingest_queue.get()
+            stopping = entry is _STOP
+            batch = [] if stopping else [entry]
+            while not stopping and len(batch) < batch_size:
+                try:
+                    entry = ingest_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if entry is _STOP:
+                    stopping = True
+                    break
+                batch.append(entry)
+            # After a failure the loop keeps draining (so queue.join-based
+            # flushes never hang) but discards the work; callers see the
+            # failure on their next interaction with the shard.
+            if batch and self._failure is None:
+                try:
+                    self._apply(batch)
+                except Exception as exc:  # noqa: BLE001 - surfaced to callers
+                    self._failure = exc
+            for _ in range(len(batch) + (1 if stopping else 0)):
+                ingest_queue.task_done()
+            if stopping:
+                return
+
+    def _apply(self, batch: list[tuple[str, Point | StreamItem]]) -> None:
+        groups = _group_by_stream(batch)
+        with self._lock:
+            windows = self._windows
+            for stream_id, run in groups.items():
+                window = windows.get(stream_id)
+                if window is None:
+                    window = self._factory(stream_id)
+                    windows[stream_id] = window
+                window.insert_batch(run)  # type: ignore[attr-defined]
+            self._ingested += len(batch)
+            self._batches += 1
+            if len(batch) > self._max_batch:
+                self._max_batch = len(batch)
+
+    # ------------------------------------------------------------------ query
+
+    def stream_ids(self) -> list[str]:
+        """Ids of the streams whose windows this shard currently owns."""
+        with self._lock:
+            return list(self._windows)
+
+    def query(self, stream_id: str) -> ClusteringSolution:
+        """Solution for one stream's current window (raises on unknown ids)."""
+        self._raise_on_failure()
+        with self._lock:
+            window = self._windows.get(stream_id)
+            if window is None:
+                raise KeyError(f"shard {self.shard_id} serves no stream {stream_id!r}")
+            return window.query()  # type: ignore[attr-defined]
+
+    def query_all(self) -> dict[str, ClusteringSolution]:
+        """Solutions for every stream of this shard."""
+        self._raise_on_failure()
+        with self._lock:
+            return {
+                stream_id: window.query()  # type: ignore[attr-defined]
+                for stream_id, window in self._windows.items()
+            }
+
+    def stats(self) -> ShardStats:
+        """Current ingest counters (safe to call while draining)."""
+        with self._lock:
+            return ShardStats(
+                shard=self.shard_id,
+                streams=len(self._windows),
+                ingested=self._ingested,
+                batches=self._batches,
+                max_batch=self._max_batch,
+                queue_depth=self._queue.qsize(),
+            )
+
+    def memory_points(self) -> int:
+        """Total stored points across this shard's windows."""
+        with self._lock:
+            return sum(
+                window.memory_points()  # type: ignore[attr-defined]
+                for window in self._windows.values()
+            )
+
+
+# --------------------------------------------------------------- processes
+
+
+def _process_shard_main(
+    shard_id: int,
+    factory: WindowFactoryFn,
+    tasks: multiprocessing.Queue,
+    results: multiprocessing.Queue,
+) -> None:
+    """Drain loop of a process-backed shard (runs in the child process)."""
+    windows: dict[str, object] = {}
+    ingested = 0
+    batches = 0
+    max_batch = 0
+    while True:
+        kind, payload = tasks.get()
+        if kind == "ingest":
+            try:
+                for stream_id, run in _group_by_stream(payload).items():
+                    window = windows.get(stream_id)
+                    if window is None:
+                        window = factory(stream_id)
+                        windows[stream_id] = window
+                    window.insert_batch(run)  # type: ignore[attr-defined]
+                ingested += len(payload)
+                batches += 1
+                if len(payload) > max_batch:
+                    max_batch = len(payload)
+            except Exception as exc:  # surface on the next round trip
+                results.put(("error", f"shard {shard_id} ingest failed: {exc!r}"))
+                return
+        elif kind == "query":
+            window = windows.get(payload)
+            if window is None:
+                results.put(
+                    ("missing", f"shard {shard_id} serves no stream {payload!r}")
+                )
+            else:
+                results.put(("solution", window.query()))  # type: ignore[attr-defined]
+        elif kind == "query_all":
+            results.put(
+                (
+                    "solutions",
+                    {
+                        stream_id: window.query()  # type: ignore[attr-defined]
+                        for stream_id, window in windows.items()
+                    },
+                )
+            )
+        elif kind == "stats":
+            results.put(
+                (
+                    "stats",
+                    ShardStats(
+                        shard=shard_id,
+                        streams=len(windows),
+                        ingested=ingested,
+                        batches=batches,
+                        max_batch=max_batch,
+                        queue_depth=0,
+                    ),
+                )
+            )
+        elif kind == "memory":
+            results.put(
+                (
+                    "memory",
+                    sum(
+                        window.memory_points()  # type: ignore[attr-defined]
+                        for window in windows.values()
+                    ),
+                )
+            )
+        elif kind == "barrier":
+            results.put(("barrier", None))
+        elif kind == "stop":
+            results.put(("stopped", None))
+            return
+
+
+class ProcessShardWorker:
+    """Process-backed shard with the same interface as :class:`ShardWorker`.
+
+    The caller-side object buffers submissions into ingest batches (one
+    pickle per batch rather than per point) and speaks a small command
+    protocol with the worker process for queries, stats and lifecycle.  The
+    bounded task queue counts *batches*; a full queue raises
+    :class:`IngestQueueFull` on non-blocking submits just like the
+    thread-backed shard.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        factory: WindowFactoryFn,
+        *,
+        queue_capacity: int = 64,
+        batch_size: int = 32,
+    ) -> None:
+        if queue_capacity <= 0:
+            raise ValueError(f"queue_capacity must be positive, got {queue_capacity}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.shard_id = shard_id
+        self._factory = factory
+        self._batch_size = batch_size
+        context = multiprocessing.get_context()
+        self._tasks: multiprocessing.Queue = context.Queue(maxsize=queue_capacity)
+        self._results: multiprocessing.Queue = context.Queue()
+        self._pending: list[tuple[str, Point | StreamItem]] = []
+        self._process: multiprocessing.process.BaseProcess | None = None
+        self._context = context
+
+    # ---------------------------------------------------------------- control
+
+    def start(self) -> None:
+        """Launch the worker process (idempotent)."""
+        if self._process is None:
+            self._process = self._context.Process(
+                target=_process_shard_main,
+                args=(self.shard_id, self._factory, self._tasks, self._results),
+                daemon=True,
+            )
+            self._process.start()
+
+    def stop(self) -> None:
+        """Flush pending points, stop the worker process and join it.
+
+        Never hangs on (and never raises for) a worker that already died —
+        the death was or will be surfaced by the flush/query that hit it.
+        """
+        process = self._process
+        if process is None:
+            return
+        try:
+            if process.is_alive():
+                try:
+                    self._send_pending(block=True, timeout=5.0)
+                    self._tasks.put(("stop", None))
+                    self._expect("stopped")
+                except (IngestQueueFull, RuntimeError, KeyError):
+                    pass  # the child died or stalled; fall through to join
+        finally:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.terminate()
+                process.join(timeout=5.0)
+            self._process = None
+            self._pending.clear()
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the worker process is currently running."""
+        return self._process is not None
+
+    @property
+    def failure(self) -> Exception | None:
+        """Process-backed shards surface failures on round trips instead."""
+        return None
+
+    def flush(self) -> None:
+        """Block until every submitted point has been applied.
+
+        Raises instead of hanging when the worker was never started while
+        points are buffered or queued.
+        """
+        if self._process is None:
+            if self._pending or not self._tasks.empty():
+                raise RuntimeError(
+                    f"shard {self.shard_id} is not started; "
+                    f"queued points cannot drain"
+                )
+            return
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("barrier", None))
+        self._expect("barrier")
+
+    # ----------------------------------------------------------------- ingest
+
+    def submit(
+        self,
+        stream_id: str,
+        point: Point | StreamItem,
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> None:
+        """Buffer one arrival; ships a batch whenever the buffer fills.
+
+        A submit rejected with :class:`IngestQueueFull` has *not* consumed
+        the point (same contract as the thread-backed shard): the caller may
+        drop it or retry it without duplication.
+        """
+        self._pending.append((stream_id, point))
+        if len(self._pending) >= self._batch_size:
+            try:
+                self._send_pending(block=block, timeout=timeout)
+            except IngestQueueFull:
+                self._pending.pop()
+                raise
+
+    def _send_pending(self, *, block: bool, timeout: float | None) -> None:
+        if not self._pending:
+            return
+        try:
+            self._tasks.put(("ingest", self._pending), block=block, timeout=timeout)
+        except queue.Full:
+            raise IngestQueueFull(
+                f"shard {self.shard_id} ingest queue is full "
+                f"({self._tasks.qsize()} batches waiting)"
+            ) from None
+        self._pending = []
+
+    # ------------------------------------------------------------------ query
+
+    def _expect(self, kind: str, *, timeout: float = 60.0):
+        """Wait for the worker's reply, detecting a dead child instead of
+        blocking forever on an empty result queue."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"shard {self.shard_id}: timed out waiting for "
+                    f"{kind!r} reply"
+                )
+            try:
+                tag, payload = self._results.get(timeout=min(0.2, remaining))
+            except queue.Empty:
+                process = self._process
+                if process is None or not process.is_alive():
+                    raise RuntimeError(
+                        f"shard {self.shard_id}: worker process died before "
+                        f"replying to {kind!r}"
+                    ) from None
+                continue
+            break
+        if tag == "error":
+            raise RuntimeError(payload)
+        if tag == "missing":
+            raise KeyError(payload)
+        if tag != kind:
+            raise RuntimeError(
+                f"shard {self.shard_id}: expected {kind!r} reply, got {tag!r}"
+            )
+        return payload
+
+    def query(self, stream_id: str) -> ClusteringSolution:
+        """Solution for one stream (round trip to the worker process)."""
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("query", stream_id))
+        return self._expect("solution")
+
+    def query_all(self) -> dict[str, ClusteringSolution]:
+        """Solutions for every stream of this shard (one round trip)."""
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("query_all", None))
+        return self._expect("solutions")
+
+    def stats(self) -> ShardStats:
+        """Ingest counters as seen by the worker process."""
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("stats", None))
+        stats: ShardStats = self._expect("stats")
+        stats.queue_depth = self._tasks.qsize() * self._batch_size
+        return stats
+
+    def stream_ids(self) -> list[str]:
+        """Ids of the streams this shard currently owns."""
+        return list(self.query_all())
+
+    def memory_points(self) -> int:
+        """Total stored points across this shard's windows."""
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("memory", None))
+        return self._expect("memory")
+
+
+def wait_until(predicate: Callable[[], bool], timeout: float = 5.0) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` elapses (test helper)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.001)
+    return predicate()

@@ -16,6 +16,12 @@ the evaluation runner's exact-window radius checks, the sequential
 baselines' per-query solves — a zero-copy
 :class:`~repro.core.backend.PointSet` instead of re-stacking the whole
 window's coordinates at every query.
+
+Several windows replaying the *same* stream (the contenders of one
+evaluation run) can share one :class:`~repro.core.backend.CoordinateArena`
+instead of each caching the coordinates privately: pass ``arena=`` and the
+window registers rows into / slices views out of the shared matrix, so the
+stream's coordinates are converted exactly once per run.
 """
 
 from __future__ import annotations
@@ -23,7 +29,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Iterator
 
-from ..core.backend import PointBuffer, PointSet, resolve_instance_kernel
+from ..core.backend import (
+    CoordinateArena,
+    PointBuffer,
+    PointSet,
+    resolve_instance_kernel,
+)
 from ..core.geometry import Point, StreamItem
 
 MetricFn = Callable[[Point | StreamItem, Point | StreamItem], float]
@@ -39,6 +50,7 @@ class ExactSlidingWindow:
         metric: MetricFn | None = None,
         backend: str = "auto",
         dtype: str = "auto",
+        arena: CoordinateArena | None = None,
     ) -> None:
         if window_size <= 0:
             raise ValueError(f"window_size must be positive, got {window_size}")
@@ -47,8 +59,14 @@ class ExactSlidingWindow:
         kernel = (
             resolve_instance_kernel(metric, backend) if metric is not None else None
         )
+        #: shared stream-wide coordinate matrix; exclusive with the private
+        #: cache (the arena requires consecutive 1-based arrival times, which
+        #: is the convention of the evaluation harness).
+        self._arena: CoordinateArena | None = arena if kernel is not None else None
         self._coords: PointBuffer | None = (
-            PointBuffer(kernel, dtype) if kernel is not None else None
+            PointBuffer(kernel, dtype)
+            if kernel is not None and self._arena is None
+            else None
         )
         self._now = 0
 
@@ -73,7 +91,9 @@ class ExactSlidingWindow:
             )
         self._now = item.t
         self._buffer.append(item)
-        if self._coords is not None:
+        if self._arena is not None:
+            self._arena.register(item.t, item.coords)
+        elif self._coords is not None:
             self._coords.append(item.t, item.coords)
         self._evict()
         return item
@@ -99,7 +119,13 @@ class ExactSlidingWindow:
         fall back to stacking / the scalar oracle.
         """
         items = list(self._buffer)
-        if self._coords is None:
+        if self._arena is not None and items:
+            return PointSet(
+                items,
+                self._arena.rows(items[0].t, items[-1].t),
+                self._arena.kernel,
+            )
+        if self._coords is None or not items:
             return PointSet(items)
         return PointSet(items, self._coords.coords_view(), self._coords.kernel)
 

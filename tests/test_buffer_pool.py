@@ -1,0 +1,139 @@
+"""Regression tests for the query-arena freelist (``BufferPool``).
+
+The oblivious variant retires whole guess states whenever its estimated
+distance range moves; their activated query-side arenas must go back to the
+engine's :class:`~repro.core.backend.BufferPool` and be recycled by the
+replacement states, so a long stream with many range moves does not grow
+the arena population without bound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.backend import BufferPool, resolve_dtype, resolve_kernel, use_backend
+from repro.core.config import FairnessConstraint, SlidingWindowConfig
+from repro.core.metrics import euclidean
+from repro.core.oblivious import ObliviousFairSlidingWindow
+from repro.core.geometry import Point
+
+
+@pytest.fixture(autouse=True)
+def _vector_backend():
+    """The pool only exists on the vectorised path; pin it regardless of
+    the ambient ``REPRO_BACKEND`` (the scalar CI leg must stay green)."""
+    with use_backend("auto"):
+        yield
+
+
+def _drifting_scale_stream(n: int, seed: int = 13) -> list[Point]:
+    """A 2-d stream whose distance scale oscillates over ~3 decades.
+
+    The oscillation moves the oblivious variant's estimated ``[dmin, dmax]``
+    range back and forth, forcing guess states to be retired and recreated
+    continuously — the workload the freelist exists for.
+    """
+    rng = random.Random(seed)
+    points = []
+    for i in range(n):
+        scale = 10.0 ** (1.5 * math.sin(2.0 * math.pi * i / 150.0))
+        points.append(
+            Point(
+                (rng.uniform(-scale, scale), rng.uniform(-scale, scale)),
+                rng.randrange(3),
+            )
+        )
+    return points
+
+
+class TestBufferPool:
+    def test_acquire_recycles_released_buffers(self):
+        kernel = resolve_kernel(euclidean)
+        assert kernel is not None
+        pool = BufferPool(kernel, resolve_dtype())
+        first = pool.acquire()
+        first.append(1, (0.0, 0.0))
+        assert pool.allocated == 1
+        pool.release(first)
+        assert pool.available == 1
+        second = pool.acquire()
+        assert second is first
+        assert len(second) == 0  # released buffers come back cleared
+        assert pool.allocated == 1
+
+    def test_recycling_never_mutates_handed_out_snapshots(self):
+        """A coords_view snapshot survives its buffer being recycled."""
+        kernel = resolve_kernel(euclidean)
+        assert kernel is not None
+        pool = BufferPool(kernel, resolve_dtype())
+        buffer = pool.acquire()
+        buffer.append(1, (1.0, 2.0))
+        buffer.append(2, (3.0, 4.0))
+        snapshot = buffer.coords_view()
+        frozen = snapshot.copy()
+        pool.release(buffer)
+        recycled = pool.acquire()
+        assert recycled is buffer
+        recycled.append(7, (9.0, 9.0))  # would overwrite row 0 if storage reused
+        recycled.append(8, (8.0, 8.0))
+        assert (snapshot == frozen).all(), "recycled buffer mutated a snapshot"
+
+    def test_no_net_arena_growth_across_range_moves(self):
+        """Long drifting stream: retired states recycle arenas, no net growth."""
+        constraint = FairnessConstraint({0: 2, 1: 2, 2: 2})
+        config = SlidingWindowConfig(window_size=120, constraint=constraint, delta=1.0)
+        algorithm = ObliviousFairSlidingWindow(config)
+        points = _drifting_scale_stream(2000)
+
+        retirements_after_warmup = 0
+        seen_guesses: set[float] = set()
+        # Warm up over several full oscillation periods, querying regularly
+        # so the per-state arenas actually activate and the pool reaches its
+        # steady-state population.
+        for index, point in enumerate(points[:800]):
+            algorithm.insert(point)
+            if index % 20 == 19:
+                algorithm.query()
+        engine = algorithm._engine
+        assert engine is not None and engine.buffer_pool is not None
+        pool = engine.buffer_pool
+        warm_allocated = pool.allocated
+        assert warm_allocated > 0  # arenas were activated and pooled
+
+        guesses_before = set(algorithm.guesses)
+        for index, point in enumerate(points[800:]):
+            algorithm.insert(point)
+            if index % 20 == 19:
+                algorithm.query()
+            current = set(algorithm.guesses)
+            retirements_after_warmup += len(guesses_before - current)
+            seen_guesses |= current
+            guesses_before = current
+
+        # The stream keeps moving the active range (states really retire)...
+        assert retirements_after_warmup > 20
+        assert len(seen_guesses) > len(guesses_before)
+        # ... yet the arena population stays at its warm-state size (one
+        # buffer of slack absorbs marginal platform-dependent threshold
+        # flips; a broken freelist grows by roughly two per retirement).
+        assert pool.allocated <= warm_allocated + 1, (
+            f"arena population grew from {warm_allocated} to {pool.allocated} "
+            f"after warm-up: retired states are not recycling their buffers"
+        )
+        # The freelist itself stays bounded by the pooled population.
+        assert pool.available <= pool.allocated
+
+    def test_retired_state_releases_even_dormant_arenas(self):
+        """States that never activated arenas release without pool churn."""
+        constraint = FairnessConstraint({0: 2, 1: 2, 2: 2})
+        config = SlidingWindowConfig(window_size=60, constraint=constraint, delta=1.0)
+        algorithm = ObliviousFairSlidingWindow(config)
+        # No queries: arenas stay dormant; range moves must not touch a pool.
+        for point in _drifting_scale_stream(400, seed=5):
+            algorithm.insert(point)
+        engine = algorithm._engine
+        assert engine is not None
+        assert engine.buffer_pool is None

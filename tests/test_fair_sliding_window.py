@@ -12,7 +12,6 @@ from repro.core.config import FairnessConstraint, SlidingWindowConfig
 from repro.core.dimension_free import DimensionFreeFairSlidingWindow
 from repro.core.fair_sliding_window import FairSlidingWindow
 from repro.core.geometry import Point, StreamItem
-from repro.core.metrics import min_max_pairwise_distance
 from repro.core.oblivious import ObliviousFairSlidingWindow
 from repro.core.solution import evaluate_radius
 from repro.sequential.brute_force import exact_fair_center

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings
 
-from repro.core.config import FairnessConstraint
 from repro.core.geometry import Point
 from repro.core.metrics import euclidean
 from repro.sequential.brute_force import exact_k_center

@@ -1,0 +1,416 @@
+"""Tests for the sharded multi-stream serving layer (``repro.serving``).
+
+Covers the satellite checklist of the serving PR:
+
+* router determinism (stable ids → shards, across router instances);
+* per-shard isolation (one stream's churn never perturbs another's
+  solution — served solutions match a standalone window fed only that
+  stream's points);
+* backpressure on a full ingest queue (bounded queues raise
+  :class:`IngestQueueFull` on non-blocking submits, drain after start);
+* scalar/vector parity of served query results across all three variants;
+* ``insert_batch`` equivalence with one-by-one insertion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FairnessConstraint, SlidingWindowConfig
+from repro.core.dimension_free import DimensionFreeFairSlidingWindow
+from repro.core.fair_sliding_window import FairSlidingWindow
+from repro.core.oblivious import ObliviousFairSlidingWindow
+from repro.serving import (
+    IngestQueueFull,
+    MultiStreamService,
+    ProcessShardWorker,
+    ServingConfig,
+    ShardWorker,
+    StreamRouter,
+    WindowFactory,
+)
+
+from tests._fixtures import random_colored_points, sliding_config
+
+VARIANT_CLASSES = {
+    "ours": FairSlidingWindow,
+    "oblivious": ObliviousFairSlidingWindow,
+    "dimension_free": DimensionFreeFairSlidingWindow,
+}
+
+
+class ExplodingWindow:
+    """A window whose ingestion always fails (module-level: picklable)."""
+
+    def insert_batch(self, items):
+        raise ValueError("boom")
+
+
+def exploding_factory(stream_id: str) -> ExplodingWindow:
+    return ExplodingWindow()
+
+
+@pytest.fixture
+def constraint() -> FairnessConstraint:
+    return FairnessConstraint({0: 2, 1: 2, 2: 2})
+
+
+@pytest.fixture
+def window_config(constraint) -> SlidingWindowConfig:
+    return sliding_config(constraint, window_size=40)
+
+
+def _arrivals(streams: int, n: int = 120, seed: int = 7):
+    """A deterministic multi-stream workload: ``(stream_id, point)`` pairs."""
+    points = random_colored_points(n=n, seed=seed)
+    ids = [f"s{i}" for i in range(streams)]
+    return [(ids[i % streams], p) for i, p in enumerate(points)], ids
+
+
+# ------------------------------------------------------------------- router
+
+
+class TestStreamRouter:
+    def test_deterministic_across_instances(self):
+        a, b = StreamRouter(5), StreamRouter(5)
+        ids = [f"stream-{i}" for i in range(200)]
+        assert [a.shard_of(s) for s in ids] == [b.shard_of(s) for s in ids]
+
+    def test_respects_shard_range(self):
+        router = StreamRouter(3)
+        assert all(0 <= router.shard_of(f"x{i}") < 3 for i in range(100))
+
+    def test_partition_covers_every_id(self):
+        router = StreamRouter(4)
+        ids = [f"stream-{i}" for i in range(50)]
+        groups = router.partition(ids)
+        assert sorted(sum(groups.values(), [])) == sorted(ids)
+
+    def test_spreads_ids_over_shards(self):
+        router = StreamRouter(4)
+        groups = router.partition(f"stream-{i}" for i in range(400))
+        # Every shard gets a reasonable share of 400 hashed ids.
+        assert set(groups) == {0, 1, 2, 3}
+        assert all(len(v) > 40 for v in groups.values())
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            StreamRouter(0)
+
+
+# ------------------------------------------------------------- insert_batch
+
+
+class TestInsertBatchEquivalence:
+    @pytest.mark.parametrize("variant", sorted(VARIANT_CLASSES))
+    @pytest.mark.parametrize("backend", ["auto", "scalar"])
+    def test_matches_one_by_one_insertion(self, window_config, variant, backend):
+        cls = VARIANT_CLASSES[variant]
+        one_by_one = cls(window_config, backend=backend)
+        batched = cls(window_config, backend=backend)
+        points = random_colored_points(n=150, seed=11)
+        for p in points:
+            one_by_one.insert(p)
+        for start in range(0, len(points), 17):
+            batched.insert_batch(points[start : start + 17])
+        assert one_by_one.memory_points() == batched.memory_points()
+        a, b = one_by_one.query(), batched.query()
+        assert [c.coords for c in a.centers] == [c.coords for c in b.centers]
+        assert a.radius == b.radius
+
+
+# ---------------------------------------------------------------- isolation
+
+
+class TestPerShardIsolation:
+    def test_served_solution_matches_standalone_window(self, window_config):
+        """Churn on other streams never perturbs a stream's solution."""
+        factory = WindowFactory(window_config)
+        arrivals, ids = _arrivals(streams=6, n=240)
+        with MultiStreamService(
+            factory, ServingConfig(num_shards=3, batch_size=8)
+        ) as service:
+            service.ingest_many(arrivals)
+            service.flush()
+            served = {sid: service.query(sid) for sid in ids}
+
+        for sid in ids:
+            standalone = factory(sid)
+            for other, point in arrivals:
+                if other == sid:
+                    standalone.insert(point)
+            expected = standalone.query()
+            assert [c.coords for c in served[sid].centers] == [
+                c.coords for c in expected.centers
+            ], f"stream {sid} perturbed by its neighbours"
+            assert served[sid].radius == expected.radius
+
+    def test_streams_land_on_router_assigned_shards(self, window_config):
+        factory = WindowFactory(window_config)
+        arrivals, ids = _arrivals(streams=5, n=100)
+        service = MultiStreamService(factory, ServingConfig(num_shards=4))
+        with service:
+            service.ingest_many(arrivals)
+            service.flush()
+            for sid in ids:
+                shard = service.router.shard_of(sid)
+                assert sid in service.shards[shard].stream_ids()
+
+    def test_unknown_stream_raises(self, window_config):
+        with MultiStreamService(
+            WindowFactory(window_config), ServingConfig(num_shards=2)
+        ) as service:
+            with pytest.raises(KeyError):
+                service.query("never-ingested")
+
+
+# ------------------------------------------------------------- backpressure
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_nonblocking_ingest(self, window_config):
+        factory = WindowFactory(window_config)
+        config = ServingConfig(
+            num_shards=1, queue_capacity=10, batch_size=4, auto_start=False
+        )
+        service = MultiStreamService(factory, config)
+        points = random_colored_points(n=12, seed=3)
+        # Workers are not started: the bounded queue fills to capacity...
+        for p in points[:10]:
+            service.ingest("s0", p, block=False)
+        # ... and the next non-blocking ingest is pushed back.
+        with pytest.raises(IngestQueueFull):
+            service.ingest("s0", points[10], block=False)
+        with pytest.raises(IngestQueueFull):
+            service.ingest("s0", points[11], block=True, timeout=0.01)
+        # Starting the workers drains the backlog and ingestion resumes.
+        service.start()
+        service.flush()
+        service.ingest("s0", points[10], block=False)
+        service.flush()
+        stats = service.stats()[0]
+        assert stats.ingested == 11
+        assert stats.queue_depth == 0
+        assert service.query("s0").centers
+        service.close()
+
+    def test_drain_failure_surfaces_instead_of_hanging(self, window_config):
+        """A window blowing up in the drain thread fails fast on flush."""
+        worker = ShardWorker(0, exploding_factory, batch_size=4)
+        worker.start()
+        worker.submit("s0", random_colored_points(n=1, seed=1)[0])
+        with pytest.raises(RuntimeError, match="drain loop failed"):
+            worker.flush()
+        with pytest.raises(RuntimeError, match="drain loop failed"):
+            worker.query("s0")
+        assert worker.failure is not None
+        worker.stop()  # never raises; close() surfaces it instead
+
+    def test_close_surfaces_drain_failure_on_clean_exit(self):
+        service = MultiStreamService(
+            exploding_factory, ServingConfig(num_shards=1, batch_size=2)
+        )
+        service.ingest("s0", random_colored_points(n=1, seed=2)[0])
+        with pytest.raises(RuntimeError, match="drain loop failed"):
+            service.close()
+
+    def test_exit_does_not_mask_propagating_exception(self):
+        with pytest.raises(RuntimeError, match="drain loop failed"):
+            with MultiStreamService(
+                exploding_factory, ServingConfig(num_shards=1, batch_size=2)
+            ) as service:
+                service.ingest("s0", random_colored_points(n=1, seed=2)[0])
+                service.flush()  # surfaces the drain failure...
+        # ... and __exit__'s close() ran without replacing it.
+
+    def test_flush_before_start_raises_instead_of_hanging(self, window_config):
+        service = MultiStreamService(
+            WindowFactory(window_config),
+            ServingConfig(num_shards=1, queue_capacity=4, auto_start=False),
+        )
+        service.ingest("s0", random_colored_points(n=1, seed=4)[0])
+        with pytest.raises(RuntimeError, match="not started"):
+            service.flush()
+        service.start()
+        service.flush()
+        service.close()
+
+    def test_shard_worker_reports_queue_stats(self, window_config):
+        worker = ShardWorker(
+            0, WindowFactory(window_config), queue_capacity=4, batch_size=2
+        )
+        points = random_colored_points(n=4, seed=5)
+        for p in points:
+            worker.submit("a", p, block=False)
+        assert worker.stats().queue_depth == 4
+        with pytest.raises(IngestQueueFull):
+            worker.submit("a", points[0], block=False)
+        worker.start()
+        worker.flush()
+        stats = worker.stats()
+        assert stats.ingested == 4
+        assert stats.batches >= 1
+        assert 0 < stats.max_batch <= 2
+        assert stats.mean_batch <= 2
+        worker.stop()
+
+
+# -------------------------------------------------------------- parity
+
+
+class TestScalarVectorParity:
+    @pytest.mark.parametrize("variant", sorted(VARIANT_CLASSES))
+    def test_served_solutions_agree_across_backends(self, window_config, variant):
+        """The served results are backend-independent for every variant."""
+        arrivals, ids = _arrivals(streams=4, n=160)
+        results = {}
+        for backend in ("auto", "scalar"):
+            factory = WindowFactory(window_config, variant=variant, backend=backend)
+            with MultiStreamService(
+                factory, ServingConfig(num_shards=2, batch_size=8)
+            ) as service:
+                service.ingest_many(arrivals)
+                service.flush()
+                results[backend] = service.query_all().solutions
+        assert set(results["auto"]) == set(results["scalar"]) == set(ids)
+        for sid in ids:
+            vectorized, scalar = results["auto"][sid], results["scalar"][sid]
+            assert [c.coords for c in vectorized.centers] == [
+                c.coords for c in scalar.centers
+            ], f"{variant}/{sid}: backends disagree"
+            assert vectorized.radius == pytest.approx(scalar.radius, rel=1e-9)
+
+
+# ------------------------------------------------------------ fan-out stats
+
+
+class TestQueryFanout:
+    def test_fanout_returns_per_shard_latency(self, window_config):
+        arrivals, ids = _arrivals(streams=6, n=180)
+        with MultiStreamService(
+            WindowFactory(window_config), ServingConfig(num_shards=3)
+        ) as service:
+            service.ingest_many(arrivals)
+            service.flush()
+            result = service.query_all()
+        assert set(result.solutions) == set(ids)
+        assert len(result.per_shard) == 3
+        assert sum(s.streams for s in result.per_shard) == len(ids)
+        assert all(s.elapsed_ms >= 0 for s in result.per_shard)
+        assert result.total_ms == pytest.approx(
+            sum(s.elapsed_ms for s in result.per_shard)
+        )
+
+    def test_memory_points_aggregates_across_shards(self, window_config):
+        arrivals, _ = _arrivals(streams=4, n=120)
+        with MultiStreamService(
+            WindowFactory(window_config), ServingConfig(num_shards=2)
+        ) as service:
+            service.ingest_many(arrivals)
+            service.flush()
+            assert service.memory_points() > 0
+
+
+# ---------------------------------------------------------- process workers
+
+
+class TestProcessWorkers:
+    def test_process_service_end_to_end(self, window_config):
+        arrivals, ids = _arrivals(streams=4, n=120)
+        factory = WindowFactory(window_config)
+        with MultiStreamService(
+            factory,
+            ServingConfig(
+                num_shards=2, workers="process", batch_size=16, queue_capacity=8
+            ),
+        ) as service:
+            service.ingest_many(arrivals)
+            service.flush()
+            result = service.query_all()
+            stats = service.stats()
+        assert set(result.solutions) == set(ids)
+        assert sum(s.ingested for s in stats) == len(arrivals)
+        # Served results match the in-process reference exactly.
+        reference = {}
+        for sid in ids:
+            window = factory(sid)
+            for other, point in arrivals:
+                if other == sid:
+                    window.insert(point)
+            reference[sid] = window.query()
+        for sid in ids:
+            assert [c.coords for c in result.solutions[sid].centers] == [
+                c.coords for c in reference[sid].centers
+            ]
+
+    def test_process_worker_unknown_stream_raises(self, window_config):
+        worker = ProcessShardWorker(0, WindowFactory(window_config))
+        worker.start()
+        try:
+            with pytest.raises(KeyError):
+                worker.query("missing")
+        finally:
+            worker.stop()
+
+    def test_process_worker_death_does_not_hang_close(self):
+        """An ingest failure kills the child; flush raises, close returns."""
+        point = random_colored_points(n=1, seed=6)[0]
+        with pytest.raises(RuntimeError):
+            with MultiStreamService(
+                exploding_factory,
+                ServingConfig(num_shards=1, workers="process", batch_size=1),
+            ) as service:
+                service.ingest("s0", point)
+                service.flush()
+        # reaching here at all proves close()/__exit__ did not deadlock
+
+    def test_process_rejected_submit_does_not_consume_point(self):
+        points = random_colored_points(n=6, seed=8)
+        worker = ProcessShardWorker(
+            0, exploding_factory, queue_capacity=1, batch_size=2
+        )
+        # Not started: the first full batch occupies the queue's only slot...
+        worker.submit("s0", points[0], block=False)
+        worker.submit("s0", points[1], block=False)
+        worker.submit("s0", points[2], block=False)
+        # ... and the submit completing the next batch is pushed back
+        # without consuming its point.
+        with pytest.raises(IngestQueueFull):
+            worker.submit("s0", points[3], block=False)
+        assert worker._pending == [("s0", points[2])]
+
+    def test_process_flush_before_start_raises(self, window_config):
+        worker = ProcessShardWorker(0, WindowFactory(window_config), batch_size=4)
+        worker.submit("s0", random_colored_points(n=1, seed=9)[0])
+        with pytest.raises(RuntimeError, match="not started"):
+            worker.flush()
+
+
+# ------------------------------------------------------------ configuration
+
+
+class TestConfiguration:
+    def test_bad_variant_rejected(self, window_config):
+        with pytest.raises(ValueError):
+            WindowFactory(window_config, variant="nope")
+
+    def test_bad_worker_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ServingConfig(workers="fiber")
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ServingConfig(num_shards=0)
+
+    def test_router_shard_mismatch_rejected(self, window_config):
+        with pytest.raises(ValueError):
+            MultiStreamService(
+                WindowFactory(window_config),
+                ServingConfig(num_shards=4),
+                router=StreamRouter(2),
+            )
+
+    def test_factory_builds_each_variant(self, window_config):
+        for variant, cls in VARIANT_CLASSES.items():
+            factory = WindowFactory(window_config, variant=variant)
+            assert isinstance(factory("s"), cls)
