@@ -44,8 +44,10 @@ Package map
     The measurement harness and one driver per figure of the paper.
 ``repro.serving``
     Sharded multi-stream serving: a stream router, per-shard bounded ingest
-    queues drained in batches (thread- or process-backed workers), and a
-    service façade with query fan-out and per-shard latency stats.
+    queues drained in batches (thread- or process-backed workers), a
+    service façade with query fan-out and per-shard latency stats, plus the
+    stateful lifecycle — snapshot/restore checkpointing, idle-stream TTL
+    eviction and an asyncio ingestion front-end.
 """
 
 from .core import (
@@ -68,12 +70,19 @@ from .sequential import (
     exact_fair_center,
     gonzalez,
 )
-from .serving import MultiStreamService, ServingConfig, StreamRouter, WindowFactory
+from .serving import (
+    AsyncMultiStreamService,
+    MultiStreamService,
+    ServingConfig,
+    StreamRouter,
+    WindowFactory,
+)
 from .streaming import ExactSlidingWindow, SlidingWindowBaseline, Stream
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncMultiStreamService",
     "CapacityAwareGreedy",
     "ChenMatroidCenter",
     "ClusteringSolution",

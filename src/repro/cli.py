@@ -121,6 +121,19 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--queue-capacity", type=int, default=2048, help="shard ingest queue bound"
         )
+        sub.add_argument(
+            "--checkpoint-dir",
+            default=None,
+            help="serving checkpoint directory: restored from when it holds a "
+            "checkpoint, written to after the run (snapshot/restore demo)",
+        )
+        sub.add_argument(
+            "--idle-ttl",
+            type=float,
+            default=None,
+            help="evict streams idle for this many seconds (swept per drained "
+            "batch; evicted streams revive transparently from their snapshot)",
+        )
         sub.add_argument("--seed", type=int, default=0, help="random seed")
     return parser
 
@@ -150,6 +163,7 @@ def _run_serving(args: argparse.Namespace, with_queries: bool) -> int:
         queue_capacity=args.queue_capacity,
         batch_size=args.batch_size,
         workers=args.workers,
+        idle_ttl=args.idle_ttl,
     )
     stream_ids = [f"{args.dataset}-{i}" for i in range(args.streams)]
     arrivals = [
@@ -157,13 +171,25 @@ def _run_serving(args: argparse.Namespace, with_queries: bool) -> int:
         for index, point in enumerate(points)
     ]
 
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir and MultiStreamService.has_checkpoint(checkpoint_dir):
+        print(f"restoring serving state from checkpoint {checkpoint_dir}")
+        service = MultiStreamService.restore(
+            checkpoint_dir, factory=factory, config=serving_config
+        )
+    else:
+        service = MultiStreamService(factory, serving_config)
+
     start = time.perf_counter()
-    with MultiStreamService(factory, serving_config) as service:
+    with service:
         service.ingest_many(arrivals)
         service.flush()
         ingest_elapsed = time.perf_counter() - start
         stats = service.stats()
         fanout = service.query_all() if with_queries else None
+        if checkpoint_dir:
+            service.snapshot_to(checkpoint_dir)
+            print(f"wrote serving checkpoint to {checkpoint_dir}")
     throughput = len(arrivals) / ingest_elapsed if ingest_elapsed > 0 else 0.0
 
     shard_rows = [

@@ -39,6 +39,13 @@ from .metrics import (
     pairwise_distances,
 )
 from .oblivious import ObliviousFairSlidingWindow
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotMismatchError,
+    SnapshotVersionError,
+    WindowSnapshot,
+    validate_snapshot,
+)
 from .solution import ClusteringSolution, check_solution, evaluate_radius
 
 __all__ = [
@@ -59,9 +66,13 @@ __all__ = [
     "PointFactory",
     "PointSet",
     "PrecomputedMetric",
+    "SNAPSHOT_VERSION",
     "ScalarOnlyMetric",
     "SlidingWindowConfig",
+    "SnapshotMismatchError",
+    "SnapshotVersionError",
     "StreamItem",
+    "WindowSnapshot",
     "angular",
     "chebyshev",
     "check_solution",
@@ -84,4 +95,5 @@ __all__ = [
     "set_dtype_mode",
     "use_backend",
     "use_dtype",
+    "validate_snapshot",
 ]

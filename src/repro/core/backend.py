@@ -568,7 +568,9 @@ class BufferPool:
     regression tests assert it stays flat once the stream is warm.
     """
 
-    __slots__ = ("kernel", "dtype", "allocated", "_free")
+    # ``__weakref__`` so lifecycle tests can census pools without keeping
+    # retired ones alive.
+    __slots__ = ("kernel", "dtype", "allocated", "_free", "__weakref__")
 
     def __init__(self, kernel: DistanceKernel, dtype: np.dtype) -> None:
         self.kernel = kernel
@@ -896,6 +898,7 @@ class BatchDistanceEngine:
         "batch_coords",
         "_hit_families",
         "buffer_pool",
+        "__weakref__",
     )
 
     def __init__(self, kernel: DistanceKernel, dtype: str | np.dtype = "auto") -> None:
@@ -930,7 +933,9 @@ class BatchDistanceEngine:
 
     # ------------------------------------------------------------------ slots
 
-    def _new_slot(self, family: AttractorFamily, t: int, coords: Sequence[float]) -> int:
+    def _new_slot(
+        self, family: AttractorFamily, t: int, coords: Sequence[float]
+    ) -> int:
         if self._free:
             slot = self._free.pop()
             self._times[slot] = t

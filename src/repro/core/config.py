@@ -130,14 +130,18 @@ class FairnessConstraint:
 DEFAULT_ALPHA = 3.0
 
 
-def delta_from_epsilon(epsilon: float, alpha: float = DEFAULT_ALPHA, beta: float = 2.0) -> float:
+def delta_from_epsilon(
+    epsilon: float, alpha: float = DEFAULT_ALPHA, beta: float = 2.0
+) -> float:
     """Theorem 1 setting ``delta = epsilon / ((1 + beta) (1 + 2 alpha))``."""
     if not 0 < epsilon < 1:
         raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
     return epsilon / ((1.0 + beta) * (1.0 + 2.0 * alpha))
 
 
-def epsilon_from_delta(delta: float, alpha: float = DEFAULT_ALPHA, beta: float = 2.0) -> float:
+def epsilon_from_delta(
+    delta: float, alpha: float = DEFAULT_ALPHA, beta: float = 2.0
+) -> float:
     """Inverse of :func:`delta_from_epsilon` (accuracy implied by ``delta``)."""
     if delta <= 0:
         raise ValueError(f"delta must be positive, got {delta}")

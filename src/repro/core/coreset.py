@@ -54,6 +54,7 @@ from typing import Callable, Iterable
 from .backend import AttractorFamily, BatchDistanceEngine, FamilyArena, PointSet
 from .config import FairnessConstraint
 from .geometry import Color, StreamItem
+from .snapshot import GuessStateSnapshot
 
 MetricFn = Callable[[StreamItem, StreamItem], float]
 
@@ -409,6 +410,59 @@ class GuessState:
             oldest = times.pop(0)
             self._pop_c_representative(oldest)
             self.c_owner_of.pop(oldest, None)
+
+    # --------------------------------------------------------------- snapshot
+
+    def snapshot_state(self) -> GuessStateSnapshot:
+        """The logical state of this guess as a picklable value object.
+
+        The snapshot copies every container (stream items themselves are
+        immutable), so it stays stable while the live state keeps mutating.
+        Engine memberships and query-side arenas are runtime artefacts and
+        are *not* captured; :meth:`load_state` rebuilds them.
+        """
+        return GuessStateSnapshot(
+            guess=self.guess,
+            v_attractors=list(self.v_attractors.values()),
+            v_representatives=list(self.v_representatives.values()),
+            v_rep_of=dict(self.v_rep_of),
+            c_attractors=list(self.c_attractors.values()),
+            c_representatives=list(self.c_representatives.values()),
+            c_reps_of={
+                t: {color: list(times) for color, times in buckets.items()}
+                for t, buckets in self.c_reps_of.items()
+            },
+            c_owner_of=dict(self.c_owner_of),
+            oldest=self._oldest,
+            dropped_below=self._dropped_below,
+        )
+
+    def load_state(self, snapshot: GuessStateSnapshot) -> None:
+        """Load a snapshot into this (freshly constructed, empty) state.
+
+        Every addition goes through the ``_add_*`` mirrors, so the engine's
+        attractor families are registered exactly as if the points had been
+        inserted live; the query-side arenas stay dormant and bulk-fill from
+        the restored dicts on the first view request.  Containers are
+        deep-copied from the snapshot so the same snapshot can be restored
+        any number of times.
+        """
+        for item in snapshot.v_attractors:
+            self._add_v_attractor(item)
+        self.v_rep_of.update(snapshot.v_rep_of)
+        for item in snapshot.v_representatives:
+            self._add_v_representative(item)
+        for item in snapshot.c_attractors:
+            self._add_c_attractor(item)
+        for t, buckets in snapshot.c_reps_of.items():
+            self.c_reps_of[t] = {
+                color: list(times) for color, times in buckets.items()
+            }
+        for item in snapshot.c_representatives:
+            self._add_c_representative(item)
+        self.c_owner_of.update(snapshot.c_owner_of)
+        self._oldest = snapshot.oldest
+        self._dropped_below = snapshot.dropped_below
 
     # ----------------------------------------------------------------- access
 

@@ -32,6 +32,13 @@ from .config import FairnessConstraint, SlidingWindowConfig
 from .geometry import Color, Point, StreamItem
 from .guesses import guess_grid
 from .ingest import BatchIngestMixin
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    IndependentSetSnapshot,
+    WindowSnapshot,
+    check_grid_alignment,
+    validate_snapshot,
+)
 from .solution import ClusteringSolution
 
 
@@ -86,6 +93,40 @@ class _IndependentSetState:
         self.representatives.pop(t, None)
         if self._rep_arena is not None:
             self._rep_arena.discard(t)
+
+    def release_all(self) -> None:
+        """Drop every engine membership held by this state (retirement)."""
+        if self._family is not None:
+            self._family.drop_all()
+        if self._rep_arena is not None:
+            self._rep_arena.release()
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot_state(self) -> IndependentSetSnapshot:
+        """The logical state of this guess as a picklable value object."""
+        return IndependentSetSnapshot(
+            guess=self.guess,
+            attractors=list(self.attractors.values()),
+            representatives=list(self.representatives.values()),
+            reps_of={
+                t: {color: list(times) for color, times in buckets.items()}
+                for t, buckets in self.reps_of.items()
+            },
+        )
+
+    def load_state(self, snapshot: IndependentSetSnapshot) -> None:
+        """Load a snapshot into this (freshly constructed, empty) state."""
+        for item in snapshot.attractors:
+            self.attractors[item.t] = item
+            if self._family is not None:
+                self._family.add(item.t, item.coords)
+        for t, buckets in snapshot.reps_of.items():
+            self.reps_of[t] = {
+                color: list(times) for color, times in buckets.items()
+            }
+        for item in snapshot.representatives:
+            self._add_representative(item)
 
     # -------------------------------------------------------------- expiry
 
@@ -304,6 +345,40 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
         return cover_fits(
             state.candidate_view(), 2.0 * state.guess, k, self.config.metric
         )
+
+    # --------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> WindowSnapshot:
+        """A versioned, picklable checkpoint of the window's logical state."""
+        return WindowSnapshot(
+            version=SNAPSHOT_VERSION,
+            variant="dimension_free",
+            now=self._now,
+            window_size=self.window_size,
+            states=[state.snapshot_state() for state in self._states],
+            beta=self.config.beta,
+        )
+
+    def restore(self, snapshot: WindowSnapshot) -> None:
+        """Replace this window's state with a snapshot's (grids must match)."""
+        validate_snapshot(
+            snapshot, "dimension_free", self.window_size, beta=self.config.beta
+        )
+        check_grid_alignment(snapshot.states, self.guesses)
+        for state in self._states:
+            state.release_all()
+        fresh: list[_IndependentSetState] = []
+        for old, state_snapshot in zip(self._states, snapshot.states):
+            state = _IndependentSetState(
+                guess=old.guess,
+                constraint=self.config.constraint,
+                metric=self.config.metric,
+                engine=self._engine,
+            )
+            state.load_state(state_snapshot)
+            fresh.append(state)
+        self._states = fresh
+        self._now = snapshot.now
 
     # ------------------------------------------------------------ diagnostics
 

@@ -38,6 +38,12 @@ from .config import SlidingWindowConfig
 from .coreset import GuessState, distinct_memory, total_memory
 from .geometry import Point, StreamItem
 from .ingest import BatchIngestMixin
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    WindowSnapshot,
+    check_grid_alignment,
+    validate_snapshot,
+)
 from .solution import ClusteringSolution
 
 
@@ -188,7 +194,9 @@ class FairSlidingWindow(BatchIngestMixin):
 
     def _solve_on_coreset(self, state: GuessState) -> ClusteringSolution:
         coreset = state.coreset_view()
-        solution = self.solver.solve(coreset, self.config.constraint, self.config.metric)
+        solution = self.solver.solve(
+            coreset, self.config.constraint, self.config.metric
+        )
         solution.guess = state.guess
         solution.coreset_size = len(coreset)
         solution.metadata.setdefault("algorithm", "ours")
@@ -217,6 +225,59 @@ class FairSlidingWindow(BatchIngestMixin):
                 return solution
         return ClusteringSolution(centers=[], radius=float("inf"),
                                   metadata={"algorithm": "ours", "fallback": True})
+
+    # --------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> WindowSnapshot:
+        """A versioned, picklable checkpoint of the window's logical state.
+
+        The snapshot serializes guess states (families of stream items and
+        their bookkeeping) — never the vectorised runtime — so it is
+        backend- and dtype-portable and stays valid while this window keeps
+        ingesting.  Restore it with :meth:`restore` on a window built from
+        an equivalent configuration.
+        """
+        return WindowSnapshot(
+            version=SNAPSHOT_VERSION,
+            variant="ours",
+            now=self._now,
+            window_size=self.window_size,
+            states=[state.snapshot_state() for state in self._states],
+            beta=self.config.beta,
+            delta=self.config.delta,
+        )
+
+    def restore(self, snapshot: WindowSnapshot) -> None:
+        """Replace this window's state with a snapshot's.
+
+        The window must have been built from a configuration whose guess
+        grid matches the snapshot's (same ``dmin``/``dmax``/``beta``);
+        anything currently stored is dropped.  After the call the window
+        behaves exactly as the snapshotted one did at snapshot time.
+        """
+        validate_snapshot(
+            snapshot,
+            "ours",
+            self.window_size,
+            beta=self.config.beta,
+            delta=self.config.delta,
+        )
+        check_grid_alignment(snapshot.states, self.guesses)
+        for state in self._states:
+            state.release_all()
+        fresh: list[GuessState] = []
+        for old, state_snapshot in zip(self._states, snapshot.states):
+            state = GuessState(
+                guess=old.guess,
+                delta=self.config.delta,
+                constraint=self.config.constraint,
+                metric=self.config.metric,
+                engine=self._engine,
+            )
+            state.load_state(state_snapshot)
+            fresh.append(state)
+        self._states = fresh
+        self._now = snapshot.now
 
     # ------------------------------------------------------------ diagnostics
 

@@ -92,6 +92,18 @@ class AdaptiveGuessGrid:
         lo, hi = guess_exponent_range(dmin_estimate, dmax_estimate, self.beta)
         self.lo, self.hi = lo, hi
 
+    def bounds(self) -> tuple[int | None, int | None]:
+        """The active exponent bounds ``(lo, hi)`` (for snapshots)."""
+        return self.lo, self.hi
+
+    def set_bounds(self, lo: int | None, hi: int | None) -> None:
+        """Install exponent bounds directly (snapshot restore path)."""
+        if (lo is None) != (hi is None):
+            raise ValueError(f"bounds must be both set or both unset, got ({lo}, {hi})")
+        if lo is not None and hi is not None and lo > hi:
+            raise ValueError(f"lo={lo} must not exceed hi={hi}")
+        self.lo, self.hi = lo, hi
+
     def exponents(self) -> Iterator[int]:
         """Iterate over the currently active exponents in increasing order."""
         if self.is_empty:

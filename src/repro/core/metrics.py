@@ -170,7 +170,9 @@ _NAMED_METRICS: dict[str, Callable[[PointLike, PointLike], float]] = {
 }
 
 
-def get_metric(name_or_metric: str | Callable[[PointLike, PointLike], float]) -> Callable:
+def get_metric(
+    name_or_metric: str | Callable[[PointLike, PointLike], float],
+) -> Callable:
     """Resolve a metric by name, or pass a callable through unchanged."""
     if callable(name_or_metric):
         return name_or_metric

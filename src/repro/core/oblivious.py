@@ -39,6 +39,12 @@ from .coreset import GuessState, distinct_memory, total_memory
 from .geometry import Point, StreamItem
 from .guesses import AdaptiveGuessGrid, guess_value
 from .ingest import BatchIngestMixin
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    EstimatorSnapshot,
+    WindowSnapshot,
+    validate_snapshot,
+)
 from .solution import ClusteringSolution
 
 
@@ -170,7 +176,9 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
 
     def _solve_on_coreset(self, state: GuessState) -> ClusteringSolution:
         coreset = state.coreset_view()
-        solution = self.solver.solve(coreset, self.config.constraint, self.config.metric)
+        solution = self.solver.solve(
+            coreset, self.config.constraint, self.config.metric
+        )
         solution.guess = state.guess
         solution.coreset_size = len(coreset)
         solution.metadata.setdefault("algorithm", "ours_oblivious")
@@ -195,6 +203,70 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
             centers=[], radius=float("inf"),
             metadata={"algorithm": "ours_oblivious", "fallback": True},
         )
+
+    # --------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> WindowSnapshot:
+        """A versioned, picklable checkpoint of the window's logical state.
+
+        Captures the active guess states (keyed by grid exponent), the
+        adaptive grid's bounds and the aspect-ratio estimator's witnesses,
+        so a restored window re-derives exactly the same active range on
+        its next arrival.
+        """
+        exponents = sorted(self._states)
+        return WindowSnapshot(
+            version=SNAPSHOT_VERSION,
+            variant="oblivious",
+            now=self._now,
+            window_size=self.window_size,
+            states=[self._states[e].snapshot_state() for e in exponents],
+            exponents=exponents,
+            grid_lo=self._grid.lo,
+            grid_hi=self._grid.hi,
+            estimator=self.estimator.snapshot_state(),
+            beta=self.config.beta,
+            delta=self.config.delta,
+        )
+
+    def restore(self, snapshot: WindowSnapshot) -> None:
+        """Replace this window's state with a snapshot's.
+
+        Anything currently stored is dropped; the active guess states, the
+        adaptive grid bounds and the estimator sketch are rebuilt from the
+        snapshot, after which the window behaves exactly as the snapshotted
+        one did at snapshot time.
+        """
+        validate_snapshot(
+            snapshot,
+            "oblivious",
+            self.window_size,
+            beta=self.config.beta,
+            delta=self.config.delta,
+        )
+        for state in self._states.values():
+            state.release_all()
+        self._states = {}
+        self._grid.set_bounds(snapshot.grid_lo, snapshot.grid_hi)
+        estimator_snapshot = (
+            snapshot.estimator
+            if snapshot.estimator is not None
+            else EstimatorSnapshot()
+        )
+        self.estimator.load_state(estimator_snapshot)
+        for exponent, state_snapshot in zip(
+            snapshot.exponents or (), snapshot.states
+        ):
+            state = GuessState(
+                guess=guess_value(exponent, self.config.beta),
+                delta=self.config.delta,
+                constraint=self.config.constraint,
+                metric=self.config.metric,
+                engine=self._engine,
+            )
+            state.load_state(state_snapshot)
+            self._states[exponent] = state
+        self._now = snapshot.now
 
     # ------------------------------------------------------------ diagnostics
 

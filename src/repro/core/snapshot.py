@@ -1,0 +1,194 @@
+"""Versioned, picklable snapshots of the sliding-window algorithms.
+
+The paper's summaries are small by construction — a window stores a number
+of points independent of the window size ``n`` — which is exactly what makes
+serving-side lifecycle operations cheap: checkpointing a shard means pickling
+a few coreset-sized structures per stream, and an idle stream can be evicted
+to a snapshot a few kilobytes large and revived transparently later.
+
+This module defines the snapshot *format*.  A snapshot captures the
+**logical** state of a window — the per-guess families of stream items, the
+representative bookkeeping, the aspect-ratio estimator's witnesses — never
+the vectorised runtime (engine slots, query-side arenas, kernel handles).
+On :meth:`~repro.core.fair_sliding_window.FairSlidingWindow.restore` those
+runtime structures are rebuilt from the logical state, so a snapshot taken
+on the vectorised backend restores cleanly onto the scalar backend and vice
+versa, and a ``float64`` snapshot restores onto a ``float32`` engine.
+
+Format stability
+----------------
+Snapshots carry :data:`SNAPSHOT_VERSION`.  The version is bumped whenever a
+field is added, removed or reinterpreted; :func:`validate_snapshot` rejects
+snapshots from a different version with :class:`SnapshotVersionError` rather
+than silently misreading them.  Pickle is the wire format (the structures
+are plain dataclasses over :class:`~repro.core.geometry.StreamItem`, ints
+and floats); forward compatibility across package versions is promised only
+for equal ``SNAPSHOT_VERSION``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .geometry import Color, StreamItem
+
+#: Bump whenever the snapshot layout changes; restore refuses other versions.
+SNAPSHOT_VERSION = 1
+
+#: Variant tags stored in :attr:`WindowSnapshot.variant` (the same names the
+#: serving :class:`~repro.serving.factory.WindowFactory` uses).
+SNAPSHOT_VARIANTS = ("ours", "oblivious", "dimension_free")
+
+
+class SnapshotVersionError(ValueError):
+    """The snapshot was written by an incompatible format version."""
+
+
+class SnapshotMismatchError(ValueError):
+    """The snapshot does not fit the window it is being restored into."""
+
+
+@dataclass
+class GuessStateSnapshot:
+    """Logical state of one :class:`~repro.core.coreset.GuessState`.
+
+    Every family is stored as a list of stream items in arrival order (the
+    dicts of the live state are insertion-ordered by arrival time, an
+    invariant the expiration logic relies on, so order is part of the
+    format).  The bookkeeping maps are stored as plain dicts.
+    """
+
+    guess: float
+    v_attractors: list[StreamItem] = field(default_factory=list)
+    v_representatives: list[StreamItem] = field(default_factory=list)
+    v_rep_of: dict[int, int] = field(default_factory=dict)
+    c_attractors: list[StreamItem] = field(default_factory=list)
+    c_representatives: list[StreamItem] = field(default_factory=list)
+    c_reps_of: dict[int, dict[Color, list[int]]] = field(default_factory=dict)
+    c_owner_of: dict[int, int] = field(default_factory=dict)
+    #: lower bound on the arrival time of every stored point (``inf`` = none).
+    oldest: float = float("inf")
+    #: highest expunge bound already applied by ``_drop_older_than``.
+    dropped_below: int = 0
+
+
+@dataclass
+class IndependentSetSnapshot:
+    """Logical state of one dimension-free per-guess state."""
+
+    guess: float
+    attractors: list[StreamItem] = field(default_factory=list)
+    representatives: list[StreamItem] = field(default_factory=list)
+    reps_of: dict[int, dict[Color, list[int]]] = field(default_factory=dict)
+
+
+@dataclass
+class EstimatorSnapshot:
+    """Logical state of the oblivious variant's aspect-ratio estimator."""
+
+    #: per binary scale: ``(exponent, older, newer, certified distance)``.
+    pairs: list[tuple[int, StreamItem, StreamItem, float]] = field(
+        default_factory=list
+    )
+    #: per binary scale: last time a gap of that scale was witnessed.
+    gap_buckets: dict[int, int] = field(default_factory=dict)
+    last: StreamItem | None = None
+    now: int = 0
+
+
+@dataclass
+class WindowSnapshot:
+    """A complete, self-contained checkpoint of one sliding-window instance.
+
+    ``states`` holds one :class:`GuessStateSnapshot` (``ours`` /
+    ``oblivious``) or :class:`IndependentSetSnapshot` (``dimension_free``)
+    per maintained guess, in increasing guess order.  For the oblivious
+    variant ``exponents`` aligns with ``states`` and ``grid_lo``/``grid_hi``
+    and ``estimator`` carry the adaptive-range machinery.
+    """
+
+    version: int
+    variant: str
+    now: int
+    window_size: int
+    states: list
+    #: oblivious only: grid exponent of each entry of ``states``.
+    exponents: list[int] | None = None
+    grid_lo: int | None = None
+    grid_hi: int | None = None
+    estimator: EstimatorSnapshot | None = None
+    #: accuracy knobs the states were built under; restore cross-checks
+    #: them against the target window's config (``None`` = not recorded /
+    #: not applicable, e.g. ``delta`` for the dimension-free variant).
+    beta: float | None = None
+    delta: float | None = None
+
+
+def _mismatch(name: str, recorded: float, expected: float) -> bool:
+    return abs(recorded - expected) > 1e-12 * max(1.0, abs(expected))
+
+
+def validate_snapshot(
+    snapshot: WindowSnapshot,
+    variant: str,
+    window_size: int,
+    *,
+    beta: float | None = None,
+    delta: float | None = None,
+) -> None:
+    """Reject snapshots the target window cannot load faithfully.
+
+    ``beta`` / ``delta`` are the target configuration's accuracy knobs;
+    when both a knob and its recorded snapshot value are present they must
+    agree — restoring states built under different thresholds would
+    silently misinterpret them.
+    """
+    if not isinstance(snapshot, WindowSnapshot):
+        raise SnapshotMismatchError(
+            f"expected a WindowSnapshot, got {type(snapshot).__name__}"
+        )
+    if snapshot.version != SNAPSHOT_VERSION:
+        raise SnapshotVersionError(
+            f"snapshot format version {snapshot.version} is not supported "
+            f"by this build (expected {SNAPSHOT_VERSION})"
+        )
+    if snapshot.variant != variant:
+        raise SnapshotMismatchError(
+            f"snapshot of variant {snapshot.variant!r} cannot restore a "
+            f"{variant!r} window"
+        )
+    if snapshot.window_size != window_size:
+        raise SnapshotMismatchError(
+            f"snapshot was taken with window_size={snapshot.window_size}, "
+            f"the target window uses {window_size}"
+        )
+    for name, recorded, expected in (
+        ("beta", snapshot.beta, beta),
+        ("delta", snapshot.delta, delta),
+    ):
+        if recorded is not None and expected is not None:
+            if _mismatch(name, recorded, expected):
+                raise SnapshotMismatchError(
+                    f"snapshot was taken with {name}={recorded}, the target "
+                    f"window uses {name}={expected}"
+                )
+
+
+def check_grid_alignment(snapshot_states: list, guesses: list[float]) -> None:
+    """Verify a snapshot's per-guess states line up with a static grid.
+
+    Shared by the ``ours`` and ``dimension_free`` restores: the snapshot
+    must hold exactly one state per grid guess, in the same order, with
+    matching guess values.
+    """
+    if len(snapshot_states) != len(guesses):
+        raise SnapshotMismatchError(
+            f"snapshot holds {len(snapshot_states)} guesses, this window's "
+            f"grid has {len(guesses)}"
+        )
+    for guess, state_snapshot in zip(guesses, snapshot_states):
+        if _mismatch("guess", state_snapshot.guess, guess):
+            raise SnapshotMismatchError(
+                f"snapshot guess {state_snapshot.guess} does not match "
+                f"grid guess {guess}"
+            )

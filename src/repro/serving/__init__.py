@@ -10,17 +10,26 @@ serves *many* independent streams from one deployment:
   ingest queues drained in batches into per-stream windows (threads by
   default, one OS process per shard for CPU-bound scaling);
 * :class:`~repro.serving.service.MultiStreamService` — the façade: ingest
-  with backpressure, query fan-out with per-shard latency stats;
+  with backpressure, query fan-out with per-shard latency stats, plus the
+  stateful lifecycle: ``snapshot_to`` / ``restore`` checkpointing and
+  idle-stream TTL eviction (``idle_ttl`` / ``evict_idle``);
+* :class:`~repro.serving.async_service.AsyncMultiStreamService` — asyncio
+  front-end with awaitable backpressure (full queues suspend the awaiting
+  coroutine instead of raising);
 * :class:`~repro.serving.factory.WindowFactory` — picklable per-stream
   window construction for any of the three algorithm variants.
 
-See ``repro.cli serve`` / ``repro.cli ingest`` for a runnable demo and
+See ``repro.cli serve`` / ``repro.cli ingest`` for a runnable demo
+(``--checkpoint-dir`` / ``--idle-ttl`` exercise the lifecycle) and
 ``benchmarks/test_serving_throughput.py`` for the throughput figure.
 """
 
+from .async_service import AsyncMultiStreamService
 from .factory import VARIANTS, WindowFactory
 from .router import StreamRouter
 from .service import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
     FanoutResult,
     MultiStreamService,
     ServingConfig,
@@ -34,6 +43,9 @@ from .shard import (
 )
 
 __all__ = [
+    "AsyncMultiStreamService",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
     "FanoutResult",
     "IngestQueueFull",
     "MultiStreamService",

@@ -1,0 +1,151 @@
+"""Asyncio ingestion front-end over the threaded serving layer.
+
+:class:`MultiStreamService` exerts backpressure by blocking the caller (or
+raising :class:`~repro.serving.shard.IngestQueueFull` on non-blocking
+submits).  Inside an event loop neither is acceptable: blocking stalls the
+loop, and exception-driven retry loops busy-spin.  :class:`AsyncMultiStreamService`
+wraps the service so that backpressure becomes *awaitable*: an ingest into a
+shard with queue headroom completes synchronously on the fast path (no
+thread hop, no context switch), and one that would block is transparently
+moved to a worker thread, suspending only the awaiting coroutine while the
+shard drains.
+
+Typical use::
+
+    from repro.serving import AsyncMultiStreamService, ServingConfig, WindowFactory
+
+    async def main(factory, arrivals):
+        async with AsyncMultiStreamService(factory, ServingConfig()) as service:
+            async for stream_id, point in arrivals:
+                await service.ingest(stream_id, point)   # awaits when queues fill
+            await service.flush()
+            result = await service.query_all()
+
+All query/lifecycle operations (``flush``, ``query``, ``query_all``,
+``evict_idle``, ``snapshot_to``) are exposed as coroutines delegating to a
+worker thread, so none of them can stall the event loop behind a shard lock
+or a process round trip.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+from ..core.geometry import Point, StreamItem
+from ..core.solution import ClusteringSolution
+from .router import StreamRouter
+from .service import FanoutResult, MultiStreamService, ServingConfig
+from .shard import IngestQueueFull, ShardStats, WindowFactoryFn
+
+
+class AsyncMultiStreamService:
+    """Awaitable façade over :class:`MultiStreamService`.
+
+    Construct it like the synchronous service — ``(factory, config)`` — or
+    wrap an existing instance with ``AsyncMultiStreamService(service=...)``
+    (e.g. one rebuilt by :meth:`MultiStreamService.restore`).  The wrapped
+    service remains fully usable directly via :attr:`service`.
+    """
+
+    def __init__(
+        self,
+        factory: WindowFactoryFn | None = None,
+        config: ServingConfig | None = None,
+        *,
+        router: StreamRouter | None = None,
+        service: MultiStreamService | None = None,
+    ) -> None:
+        if service is not None:
+            if factory is not None or config is not None or router is not None:
+                raise ValueError(
+                    "pass either an existing service or a factory/config, not both"
+                )
+            self._service = service
+        else:
+            if factory is None:
+                raise ValueError("a window factory (or a service) is required")
+            self._service = MultiStreamService(factory, config, router=router)
+
+    @property
+    def service(self) -> MultiStreamService:
+        """The wrapped synchronous service."""
+        return self._service
+
+    # ----------------------------------------------------------------- ingest
+
+    async def ingest(self, stream_id: str, point: Point | StreamItem) -> int:
+        """Route one arrival to its shard; returns the shard index.
+
+        Fast path: a non-blocking submit that succeeds costs no thread hop.
+        When the shard's queue is full the submit is retried *blocking* on a
+        worker thread — the coroutine suspends until the shard drains, which
+        is the awaitable form of the thread API's backpressure (no
+        :class:`IngestQueueFull` ever escapes this method).
+
+        Ordering: a stream's arrivals must reach its window in order (the
+        windows stamp strictly increasing arrival times), so keep one
+        producer per stream — ingests of *different* streams can be awaited
+        concurrently, but racing several coroutines on the same stream can
+        reorder its points exactly as racing threads on the sync API can.
+        """
+        try:
+            return self._service.ingest(stream_id, point, block=False)
+        except IngestQueueFull:
+            return await asyncio.to_thread(
+                self._service.ingest, stream_id, point, block=True
+            )
+
+    async def ingest_many(self, arrivals) -> int:
+        """Ingest an iterable of ``(stream_id, point)`` pairs; returns the count.
+
+        Awaits per arrival, so concurrent producers interleave fairly while
+        full shards push back.
+        """
+        count = 0
+        for stream_id, point in arrivals:
+            await self.ingest(stream_id, point)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------ delegation
+
+    async def flush(self) -> None:
+        """Await until every ingested point has been applied to its window."""
+        await asyncio.to_thread(self._service.flush)
+
+    async def query(self, stream_id: str) -> ClusteringSolution:
+        """Solution for one stream's current window."""
+        return await asyncio.to_thread(self._service.query, stream_id)
+
+    async def query_all(self) -> FanoutResult:
+        """Fan a query out to every live window of every shard."""
+        return await asyncio.to_thread(self._service.query_all)
+
+    async def evict_idle(self, ttl: float | None = None) -> list[str]:
+        """Sweep every shard for idle streams (see the sync service)."""
+        return await asyncio.to_thread(self._service.evict_idle, ttl)
+
+    async def snapshot_to(self, directory: str | Path) -> Path:
+        """Checkpoint the whole service into ``directory``."""
+        return await asyncio.to_thread(self._service.snapshot_to, directory)
+
+    async def stats(self) -> list[ShardStats]:
+        """Ingest counters of every shard (a round trip for process shards)."""
+        return await asyncio.to_thread(self._service.stats)
+
+    async def close(self) -> None:
+        """Stop every shard worker; surfaces recorded drain failures."""
+        await asyncio.to_thread(self._service.close)
+
+    async def __aenter__(self) -> "AsyncMultiStreamService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            await self.close()
+        else:
+            try:
+                await self.close()
+            except Exception:
+                pass

@@ -63,3 +63,13 @@ class WindowFactory:
         if self.variant == "dimension_free":
             return DimensionFreeFairSlidingWindow(self.config, backend=self.backend)
         return ObliviousFairSlidingWindow(self.config, backend=self.backend)
+
+    def describe(self) -> dict:
+        """Human-readable summary written into checkpoint manifests."""
+        return {
+            "variant": self.variant,
+            "backend": self.backend,
+            "window_size": self.config.window_size,
+            "delta": self.config.delta,
+            "beta": self.config.beta,
+        }

@@ -26,8 +26,11 @@ Typical use::
 
 from __future__ import annotations
 
+import json
+import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from ..core.geometry import Point, StreamItem
 from ..core.solution import ClusteringSolution
@@ -36,6 +39,19 @@ from .shard import ProcessShardWorker, ShardStats, ShardWorker, WindowFactoryFn
 
 #: Worker flavours accepted by :class:`ServingConfig`.
 WORKER_MODES = ("thread", "process")
+
+#: On-disk checkpoint layout version; bumped when the directory layout or
+#: the manifest fields change (window-level state is versioned separately
+#: by :data:`repro.core.snapshot.SNAPSHOT_VERSION` inside the shard files).
+CHECKPOINT_FORMAT = "repro-serving-checkpoint"
+CHECKPOINT_VERSION = 1
+
+_MANIFEST_FILE = "manifest.json"
+_SERVICE_FILE = "service.pkl"
+
+
+def _shard_file(shard_id: int) -> str:
+    return f"shard-{shard_id}.pkl"
 
 
 @dataclass(frozen=True)
@@ -60,6 +76,16 @@ class ServingConfig:
     auto_start:
         Start the workers on construction.  Disable to inspect or fill the
         queues before any draining happens (used by the backpressure tests).
+    idle_ttl:
+        When set, every shard sweeps its streams on the drain-batch cadence
+        and evicts those whose last ingest is at least this many seconds
+        old.  ``None`` (the default) disables automatic eviction; manual
+        sweeps via :meth:`MultiStreamService.evict_idle` still work.
+    snapshot_evicted:
+        Whether evicted streams leave a :class:`~repro.core.snapshot.WindowSnapshot`
+        behind (the default): the stream's window state survives eviction
+        and is revived transparently on its next ingest or query.  With
+        ``False`` evicted streams restart empty.
     """
 
     num_shards: int = 4
@@ -67,6 +93,8 @@ class ServingConfig:
     batch_size: int = 32
     workers: str = "thread"
     auto_start: bool = True
+    idle_ttl: float | None = None
+    snapshot_evicted: bool = True
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -75,6 +103,10 @@ class ServingConfig:
             raise ValueError(
                 f"unknown workers mode {self.workers!r}; choose one of "
                 f"{', '.join(WORKER_MODES)}"
+            )
+        if self.idle_ttl is not None and self.idle_ttl < 0:
+            raise ValueError(
+                f"idle_ttl must be >= 0 when given, got {self.idle_ttl}"
             )
 
 
@@ -128,9 +160,12 @@ class MultiStreamService:
                 factory,
                 queue_capacity=self.config.queue_capacity,
                 batch_size=self.config.batch_size,
+                idle_ttl=self.config.idle_ttl,
+                snapshot_evicted=self.config.snapshot_evicted,
             )
             for shard_id in range(self.config.num_shards)
         ]
+        self._factory = factory
         self._closed = False
         if self.config.auto_start:
             self.start()
@@ -221,11 +256,17 @@ class MultiStreamService:
         return self.shards[self.router.shard_of(stream_id)].query(stream_id)
 
     def query_all(self) -> FanoutResult:
-        """Fan a query out to every window of every shard.
+        """Fan a query out to every *live* window of every shard.
 
         Returns the per-stream :class:`ClusteringSolution`s along with how
         long each shard's leg took (the per-shard latency profile is the
         serving-side signal for rebalancing shard counts).
+
+        Cold streams — parked by TTL eviction or loaded by :meth:`restore`
+        and not yet touched — are deliberately *not* revived here: a
+        monitoring fan-out must not undo an eviction sweep or materialise
+        a whole checkpoint.  Revival is per stream, through ingest or
+        :meth:`query`.
         """
         result = FanoutResult()
         for shard in self.shards:
@@ -241,6 +282,114 @@ class MultiStreamService:
                 )
             )
         return result
+
+    # -------------------------------------------------------------- lifecycle
+
+    def evict_idle(self, ttl: float | None = None) -> list[str]:
+        """Sweep every shard, evicting streams idle for at least ``ttl``.
+
+        ``None`` falls back to the config's ``idle_ttl``; ``ttl=0`` evicts
+        every live stream.  Returns the evicted stream ids across shards.
+        With ``snapshot_evicted`` (the default) evicted streams revive
+        transparently — window state intact — on their next ingest or
+        query; otherwise they restart empty.
+        """
+        evicted: list[str] = []
+        for shard in self.shards:
+            evicted.extend(shard.evict_idle(ttl))
+        return evicted
+
+    def snapshot_to(self, directory: str | Path) -> Path:
+        """Checkpoint the whole service into ``directory``.
+
+        Flushes first (queued arrivals are part of the checkpoint), then
+        writes one pickle of :class:`~repro.core.snapshot.WindowSnapshot`
+        maps per shard plus a ``manifest.json`` and the pickled factory /
+        config, so :meth:`restore` can rebuild the service without any
+        other context.  The directory is created when missing.  The
+        manifest marks a complete checkpoint: when overwriting an existing
+        checkpoint the old manifest is removed *first* and the new one is
+        written *last*, so a crash mid-rewrite leaves a directory that
+        :meth:`has_checkpoint` reports as incomplete rather than a silent
+        mix of two generations.
+        """
+        self.flush()
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / _MANIFEST_FILE).unlink(missing_ok=True)
+        manifest = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "num_shards": self.config.num_shards,
+            "workers": self.config.workers,
+        }
+        describe = getattr(self._factory, "describe", None)
+        if callable(describe):
+            manifest["factory"] = describe()
+        with open(path / _SERVICE_FILE, "wb") as handle:
+            pickle.dump({"factory": self._factory, "config": self.config}, handle)
+        for shard in self.shards:
+            with open(path / _shard_file(shard.shard_id), "wb") as handle:
+                pickle.dump(shard.checkpoint(), handle)
+        # The manifest goes last: its presence marks a complete checkpoint.
+        with open(path / _MANIFEST_FILE, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+        return path
+
+    @staticmethod
+    def has_checkpoint(directory: str | Path) -> bool:
+        """Whether ``directory`` holds a complete checkpoint."""
+        return (Path(directory) / _MANIFEST_FILE).is_file()
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str | Path,
+        *,
+        factory: WindowFactoryFn | None = None,
+        config: ServingConfig | None = None,
+        workers: str | None = None,
+    ) -> "MultiStreamService":
+        """Rebuild a service from a :meth:`snapshot_to` checkpoint.
+
+        By default the factory and config pickled into the checkpoint are
+        reused; ``factory`` / ``config`` override them (the shard count
+        must match — stream routing is a function of it) and ``workers``
+        is a shorthand to switch worker flavour only (a process-shard
+        checkpoint restores fine into thread shards and vice versa: the
+        snapshot format is identical).  Restored streams are materialised
+        lazily on their first ingest or per-stream :meth:`query`, so this
+        returns quickly regardless of checkpoint size; :meth:`query_all`
+        covers live streams only and therefore starts out empty.  The
+        config's ``auto_start`` is honoured (process shards still start on
+        demand to receive their state).
+        """
+        path = Path(directory)
+        with open(path / _MANIFEST_FILE, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(f"{path} is not a serving checkpoint directory")
+        if manifest.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {manifest.get('version')} is not "
+                f"supported by this build (expected {CHECKPOINT_VERSION})"
+            )
+        with open(path / _SERVICE_FILE, "rb") as handle:
+            saved = pickle.load(handle)
+        factory = factory if factory is not None else saved["factory"]
+        config = config if config is not None else saved["config"]
+        if workers is not None:
+            config = replace(config, workers=workers)
+        if config.num_shards != manifest["num_shards"]:
+            raise ValueError(
+                f"checkpoint was taken with {manifest['num_shards']} shards; "
+                f"restoring with {config.num_shards} would re-route streams"
+            )
+        service = cls(factory, config)
+        for shard in service.shards:
+            with open(path / _shard_file(shard.shard_id), "rb") as handle:
+                shard.restore(pickle.load(handle))
+        return service
 
     # ------------------------------------------------------------ diagnostics
 

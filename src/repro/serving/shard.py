@@ -23,6 +23,19 @@ once per point.
 Backpressure: ingest queues are bounded.  A blocking submit waits for the
 drain to catch up; a non-blocking one raises :class:`IngestQueueFull`, so
 callers can shed load instead of buffering unboundedly.
+
+Lifecycle: both flavours support the shard commands of the serving
+lifecycle subsystem —
+
+* :meth:`ShardWorker.checkpoint` / :meth:`ShardWorker.restore` serialize
+  and reload every stream's window as a
+  :class:`~repro.core.snapshot.WindowSnapshot` (restored streams are kept
+  *cold* and materialised on their first ingest or query);
+* :meth:`ShardWorker.evict_idle` drops streams whose last ingest is older
+  than a TTL, either to a snapshot (transparent revival on the next touch)
+  or entirely (the stream restarts empty).  When the worker is configured
+  with an ``idle_ttl`` the sweep runs automatically on the drain loop's
+  batch cadence.
 """
 
 from __future__ import annotations
@@ -35,9 +48,11 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..core.geometry import Point, StreamItem
+from ..core.snapshot import WindowSnapshot
 from ..core.solution import ClusteringSolution
 
-#: ``factory(stream_id) -> window`` with insert/insert_batch/query/memory_points.
+#: ``factory(stream_id) -> window`` with insert/insert_batch/query/memory_points
+#: (plus snapshot/restore when checkpointing or snapshot-eviction is used).
 WindowFactoryFn = Callable[[str], object]
 
 #: Sentinel asking a drain loop to exit (identity-compared).
@@ -58,6 +73,8 @@ class ShardStats:
     batches: int
     max_batch: int
     queue_depth: int
+    #: number of idle-stream evictions performed so far.
+    evicted: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -77,6 +94,112 @@ def _group_by_stream(batch: list[tuple[str, Point | StreamItem]]) -> dict[str, l
     return groups
 
 
+class _StreamTable:
+    """Per-shard stream registry: live windows plus cold evicted snapshots.
+
+    Shared by the thread-backed worker (which guards every call with its
+    shard lock) and the process-backed worker's child loop (single-threaded
+    by construction).  A stream is *live* when its window is materialised
+    and *cold* when only its last :class:`WindowSnapshot` is held; cold
+    streams are revived transparently — factory-built, then restored — on
+    their next ingest or query.
+    """
+
+    __slots__ = (
+        "factory",
+        "snapshot_evicted",
+        "windows",
+        "last_ingest",
+        "cold",
+        "evictions",
+    )
+
+    def __init__(self, factory: WindowFactoryFn, snapshot_evicted: bool) -> None:
+        self.factory = factory
+        self.snapshot_evicted = snapshot_evicted
+        self.windows: dict[str, object] = {}
+        #: per live stream: monotonic time of its last applied ingest (the
+        #: idle clock; revival also stamps it so a revived stream gets a
+        #: full TTL before the next sweep can evict it again).
+        self.last_ingest: dict[str, float] = {}
+        #: snapshots of evicted (and not-yet-materialised restored) streams.
+        self.cold: dict[str, WindowSnapshot] = {}
+        self.evictions = 0
+
+    def materialise(self, stream_id: str):
+        """The live window of ``stream_id``, reviving or creating it."""
+        window = self.windows.get(stream_id)
+        if window is None:
+            window = self.factory(stream_id)
+            snapshot = self.cold.pop(stream_id, None)
+            if snapshot is not None:
+                window.restore(snapshot)  # type: ignore[attr-defined]
+            self.windows[stream_id] = window
+            self.last_ingest[stream_id] = time.monotonic()
+        return window
+
+    def apply(self, batch: list[tuple[str, Point | StreamItem]]) -> None:
+        """Apply a drained mixed batch, regrouped into per-stream runs."""
+        now = time.monotonic()
+        for stream_id, run in _group_by_stream(batch).items():
+            window = self.materialise(stream_id)
+            window.insert_batch(run)  # type: ignore[attr-defined]
+            self.last_ingest[stream_id] = now
+
+    def known(self, stream_id: str) -> bool:
+        """Whether the stream is live or cold on this shard."""
+        return stream_id in self.windows or stream_id in self.cold
+
+    def evict_idle(self, ttl: float) -> list[str]:
+        """Evict every live stream idle for at least ``ttl`` seconds.
+
+        With ``snapshot_evicted`` the window is snapshotted into the cold
+        table first (the stream revives transparently on its next touch);
+        otherwise its state is dropped and the stream restarts empty.
+        Returns the evicted stream ids.
+        """
+        now = time.monotonic()
+        evicted = [
+            stream_id
+            for stream_id, last in self.last_ingest.items()
+            if now - last >= ttl
+        ]
+        for stream_id in evicted:
+            window = self.windows.pop(stream_id)
+            del self.last_ingest[stream_id]
+            if self.snapshot_evicted:
+                self.cold[stream_id] = window.snapshot()  # type: ignore[attr-defined]
+        self.evictions += len(evicted)
+        return evicted
+
+    def checkpoint(self) -> dict[str, WindowSnapshot]:
+        """Snapshots of every known stream (live ones snapshotted now)."""
+        snapshots = {
+            stream_id: window.snapshot()  # type: ignore[attr-defined]
+            for stream_id, window in self.windows.items()
+        }
+        snapshots.update(self.cold)
+        return snapshots
+
+    def restore(self, snapshots: dict[str, WindowSnapshot]) -> None:
+        """Replace the table's contents with a checkpoint's streams.
+
+        Streams are loaded *cold* — no window is built until a stream's
+        first ingest or query — so restoring a large checkpoint is cheap
+        and restored-but-never-touched streams cost one snapshot each.
+        """
+        self.windows.clear()
+        self.last_ingest.clear()
+        self.cold = dict(snapshots)
+
+    def memory_points(self) -> int:
+        """Stored points across the live windows (cold streams hold none)."""
+        return sum(
+            window.memory_points()  # type: ignore[attr-defined]
+            for window in self.windows.values()
+        )
+
+
 class ShardWorker:
     """Thread-backed shard: one drain thread, one lock, many windows."""
 
@@ -87,17 +210,22 @@ class ShardWorker:
         *,
         queue_capacity: int = 2048,
         batch_size: int = 32,
+        idle_ttl: float | None = None,
+        snapshot_evicted: bool = True,
     ) -> None:
         if queue_capacity <= 0:
             raise ValueError(f"queue_capacity must be positive, got {queue_capacity}")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if idle_ttl is not None and idle_ttl < 0:
+            raise ValueError(f"idle_ttl must be >= 0 when given, got {idle_ttl}")
         self.shard_id = shard_id
         self._factory = factory
         self._batch_size = batch_size
+        self._idle_ttl = idle_ttl
         self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
         self._lock = threading.Lock()
-        self._windows: dict[str, object] = {}
+        self._table = _StreamTable(factory, snapshot_evicted)
         self._ingested = 0
         self._batches = 0
         self._max_batch = 0
@@ -208,43 +336,82 @@ class ShardWorker:
                 return
 
     def _apply(self, batch: list[tuple[str, Point | StreamItem]]) -> None:
-        groups = _group_by_stream(batch)
         with self._lock:
-            windows = self._windows
-            for stream_id, run in groups.items():
-                window = windows.get(stream_id)
-                if window is None:
-                    window = self._factory(stream_id)
-                    windows[stream_id] = window
-                window.insert_batch(run)  # type: ignore[attr-defined]
+            self._table.apply(batch)
             self._ingested += len(batch)
             self._batches += 1
             if len(batch) > self._max_batch:
                 self._max_batch = len(batch)
+            # The idle sweep rides the drain cadence: one dict scan per
+            # applied batch, no timers and no extra thread.
+            if self._idle_ttl is not None:
+                self._table.evict_idle(self._idle_ttl)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def checkpoint(self) -> dict[str, WindowSnapshot]:
+        """Snapshot every known stream (live and cold) of this shard.
+
+        Call :meth:`flush` first when queued arrivals must be part of the
+        checkpoint (the service's ``snapshot_to`` does).
+        """
+        self._raise_on_failure()
+        with self._lock:
+            return self._table.checkpoint()
+
+    def restore(self, snapshots: dict[str, WindowSnapshot]) -> None:
+        """Replace this shard's streams with a checkpoint's.
+
+        Arrivals submitted before the call are flushed into the *old*
+        state first (they belong to the superseded generation, not the
+        checkpoint); raises like :meth:`flush` when points are queued but
+        the worker was never started.  Restored streams stay cold until
+        their first ingest or query, so this is cheap regardless of
+        checkpoint size.
+        """
+        self.flush()
+        with self._lock:
+            self._table.restore(snapshots)
+
+    def evict_idle(self, ttl: float | None = None) -> list[str]:
+        """Evict streams idle for at least ``ttl`` seconds (manual sweep).
+
+        ``None`` falls back to the configured ``idle_ttl``; when neither is
+        set nothing is evicted.  ``ttl=0`` evicts every live stream.
+        """
+        ttl = self._idle_ttl if ttl is None else ttl
+        if ttl is None:
+            return []
+        with self._lock:
+            return self._table.evict_idle(ttl)
 
     # ------------------------------------------------------------------ query
 
     def stream_ids(self) -> list[str]:
-        """Ids of the streams whose windows this shard currently owns."""
+        """Ids of the streams whose windows this shard currently owns (live)."""
         with self._lock:
-            return list(self._windows)
+            return list(self._table.windows)
 
     def query(self, stream_id: str) -> ClusteringSolution:
-        """Solution for one stream's current window (raises on unknown ids)."""
+        """Solution for one stream's current window (raises on unknown ids).
+
+        A cold stream (evicted to, or restored from, a snapshot) is revived
+        transparently before answering.
+        """
         self._raise_on_failure()
         with self._lock:
-            window = self._windows.get(stream_id)
-            if window is None:
+            if not self._table.known(stream_id):
                 raise KeyError(f"shard {self.shard_id} serves no stream {stream_id!r}")
+            window = self._table.materialise(stream_id)
             return window.query()  # type: ignore[attr-defined]
 
     def query_all(self) -> dict[str, ClusteringSolution]:
-        """Solutions for every stream of this shard."""
+        """Solutions for every live stream of this shard (cold ones stay cold)."""
         self._raise_on_failure()
         with self._lock:
             return {
                 stream_id: window.query()  # type: ignore[attr-defined]
-                for stream_id, window in self._windows.items()
+                for stream_id, window in self._table.windows.items()
             }
 
     def stats(self) -> ShardStats:
@@ -252,20 +419,18 @@ class ShardWorker:
         with self._lock:
             return ShardStats(
                 shard=self.shard_id,
-                streams=len(self._windows),
+                streams=len(self._table.windows),
                 ingested=self._ingested,
                 batches=self._batches,
                 max_batch=self._max_batch,
                 queue_depth=self._queue.qsize(),
+                evicted=self._table.evictions,
             )
 
     def memory_points(self) -> int:
-        """Total stored points across this shard's windows."""
+        """Total stored points across this shard's live windows."""
         with self._lock:
-            return sum(
-                window.memory_points()  # type: ignore[attr-defined]
-                for window in self._windows.values()
-            )
+            return self._table.memory_points()
 
 
 # --------------------------------------------------------------- processes
@@ -276,9 +441,11 @@ def _process_shard_main(
     factory: WindowFactoryFn,
     tasks: multiprocessing.Queue,
     results: multiprocessing.Queue,
+    idle_ttl: float | None = None,
+    snapshot_evicted: bool = True,
 ) -> None:
     """Drain loop of a process-backed shard (runs in the child process)."""
-    windows: dict[str, object] = {}
+    table = _StreamTable(factory, snapshot_evicted)
     ingested = 0
     batches = 0
     max_batch = 0
@@ -286,26 +453,23 @@ def _process_shard_main(
         kind, payload = tasks.get()
         if kind == "ingest":
             try:
-                for stream_id, run in _group_by_stream(payload).items():
-                    window = windows.get(stream_id)
-                    if window is None:
-                        window = factory(stream_id)
-                        windows[stream_id] = window
-                    window.insert_batch(run)  # type: ignore[attr-defined]
+                table.apply(payload)
                 ingested += len(payload)
                 batches += 1
                 if len(payload) > max_batch:
                     max_batch = len(payload)
+                if idle_ttl is not None:
+                    table.evict_idle(idle_ttl)
             except Exception as exc:  # surface on the next round trip
                 results.put(("error", f"shard {shard_id} ingest failed: {exc!r}"))
                 return
         elif kind == "query":
-            window = windows.get(payload)
-            if window is None:
+            if not table.known(payload):
                 results.put(
                     ("missing", f"shard {shard_id} serves no stream {payload!r}")
                 )
             else:
+                window = table.materialise(payload)
                 results.put(("solution", window.query()))  # type: ignore[attr-defined]
         elif kind == "query_all":
             results.put(
@@ -313,34 +477,38 @@ def _process_shard_main(
                     "solutions",
                     {
                         stream_id: window.query()  # type: ignore[attr-defined]
-                        for stream_id, window in windows.items()
+                        for stream_id, window in table.windows.items()
                     },
                 )
             )
+        elif kind == "checkpoint":
+            results.put(("checkpoint", table.checkpoint()))
+        elif kind == "restore":
+            table.restore(payload)
+            results.put(("restored", None))
+        elif kind == "evict":
+            ttl = idle_ttl if payload is None else payload
+            evicted = [] if ttl is None else table.evict_idle(ttl)
+            results.put(("evicted", evicted))
+        elif kind == "streams":
+            results.put(("streams", list(table.windows)))
         elif kind == "stats":
             results.put(
                 (
                     "stats",
                     ShardStats(
                         shard=shard_id,
-                        streams=len(windows),
+                        streams=len(table.windows),
                         ingested=ingested,
                         batches=batches,
                         max_batch=max_batch,
                         queue_depth=0,
+                        evicted=table.evictions,
                     ),
                 )
             )
         elif kind == "memory":
-            results.put(
-                (
-                    "memory",
-                    sum(
-                        window.memory_points()  # type: ignore[attr-defined]
-                        for window in windows.values()
-                    ),
-                )
-            )
+            results.put(("memory", table.memory_points()))
         elif kind == "barrier":
             results.put(("barrier", None))
         elif kind == "stop":
@@ -366,14 +534,20 @@ class ProcessShardWorker:
         *,
         queue_capacity: int = 64,
         batch_size: int = 32,
+        idle_ttl: float | None = None,
+        snapshot_evicted: bool = True,
     ) -> None:
         if queue_capacity <= 0:
             raise ValueError(f"queue_capacity must be positive, got {queue_capacity}")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if idle_ttl is not None and idle_ttl < 0:
+            raise ValueError(f"idle_ttl must be >= 0 when given, got {idle_ttl}")
         self.shard_id = shard_id
         self._factory = factory
         self._batch_size = batch_size
+        self._idle_ttl = idle_ttl
+        self._snapshot_evicted = snapshot_evicted
         context = multiprocessing.get_context()
         self._tasks: multiprocessing.Queue = context.Queue(maxsize=queue_capacity)
         self._results: multiprocessing.Queue = context.Queue()
@@ -388,7 +562,14 @@ class ProcessShardWorker:
         if self._process is None:
             self._process = self._context.Process(
                 target=_process_shard_main,
-                args=(self.shard_id, self._factory, self._tasks, self._results),
+                args=(
+                    self.shard_id,
+                    self._factory,
+                    self._tasks,
+                    self._results,
+                    self._idle_ttl,
+                    self._snapshot_evicted,
+                ),
                 daemon=True,
             )
             self._process.start()
@@ -522,7 +703,7 @@ class ProcessShardWorker:
         return self._expect("solution")
 
     def query_all(self) -> dict[str, ClusteringSolution]:
-        """Solutions for every stream of this shard (one round trip)."""
+        """Solutions for every live stream of this shard (one round trip)."""
         self._send_pending(block=True, timeout=None)
         self._tasks.put(("query_all", None))
         return self._expect("solutions")
@@ -536,14 +717,48 @@ class ProcessShardWorker:
         return stats
 
     def stream_ids(self) -> list[str]:
-        """Ids of the streams this shard currently owns."""
-        return list(self.query_all())
+        """Ids of the live streams this shard currently owns."""
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("streams", None))
+        return self._expect("streams")
 
     def memory_points(self) -> int:
-        """Total stored points across this shard's windows."""
+        """Total stored points across this shard's live windows."""
         self._send_pending(block=True, timeout=None)
         self._tasks.put(("memory", None))
         return self._expect("memory")
+
+    # -------------------------------------------------------------- lifecycle
+
+    def checkpoint(self) -> dict[str, WindowSnapshot]:
+        """Snapshot every known stream of the worker process (one round trip).
+
+        Call :meth:`flush` first when queued arrivals must be part of the
+        checkpoint (the service's ``snapshot_to`` does).
+        """
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("checkpoint", None))
+        return self._expect("checkpoint")
+
+    def restore(self, snapshots: dict[str, WindowSnapshot]) -> None:
+        """Replace the worker process' streams with a checkpoint's.
+
+        Starts the worker when necessary.  Arrivals buffered before the
+        call are shipped *ahead* of the restore command, so — as with the
+        thread-backed shard — they land on the superseded state, not on
+        the checkpoint; the restored streams stay cold in the child until
+        their first ingest or query.
+        """
+        self.start()
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("restore", snapshots))
+        self._expect("restored")
+
+    def evict_idle(self, ttl: float | None = None) -> list[str]:
+        """Evict streams idle for at least ``ttl`` seconds (manual sweep)."""
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("evict", ttl))
+        return self._expect("evicted")
 
 
 def wait_until(predicate: Callable[[], bool], timeout: float = 5.0) -> bool:

@@ -39,6 +39,7 @@ import numpy as np
 from ..core.backend import resolve_dtype, resolve_instance_kernel
 from ..core.geometry import StreamItem
 from ..core.metrics import euclidean
+from ..core.snapshot import EstimatorSnapshot
 
 MetricFn = Callable[[StreamItem, StreamItem], float]
 
@@ -195,6 +196,30 @@ class AspectRatioEstimator:
             }
         if self._last is not None and self._last.t <= horizon:
             self._last = None
+
+    # ---------------------------------------------------------------- snapshot
+
+    def snapshot_state(self) -> EstimatorSnapshot:
+        """The sketch's logical state as a picklable value object."""
+        return EstimatorSnapshot(
+            pairs=[
+                (exponent, pair.older, pair.newer, pair.distance)
+                for exponent, pair in self._pairs.items()
+            ],
+            gap_buckets=dict(self._gap_buckets),
+            last=self._last,
+            now=self._now,
+        )
+
+    def load_state(self, snapshot: EstimatorSnapshot) -> None:
+        """Replace the sketch's state with a snapshot's (kernel unchanged)."""
+        self._pairs = {
+            exponent: _WitnessPair(older, newer, distance)
+            for exponent, older, newer, distance in snapshot.pairs
+        }
+        self._gap_buckets = dict(snapshot.gap_buckets)
+        self._last = snapshot.last
+        self._now = snapshot.now
 
     # ----------------------------------------------------------------- queries
 

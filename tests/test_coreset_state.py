@@ -43,7 +43,8 @@ class TestValidationInvariants:
                 assert euclidean(attractors[i], attractors[j]) > 2 * state.guess
 
     def test_v_attractor_count_bounded(self):
-        state = make_state(guess=0.5)  # tiny guess: every point wants to be an attractor
+        # tiny guess: every point wants to be an attractor
+        state = make_state(guess=0.5)
         drive(state, random_stream(200, seed=2))
         assert len(state.v_attractors) <= state.k + 1
 

@@ -193,4 +193,6 @@ class TestLoaders:
 
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
-            load_csv_points(tmp_path / "missing.csv", coordinate_columns=(0,), color_column=1)
+            load_csv_points(
+                tmp_path / "missing.csv", coordinate_columns=(0,), color_column=1
+            )

@@ -28,7 +28,9 @@ def _record(algorithm="a", time_step=1, radius=2.0, **kwargs) -> QueryRecord:
         is_fair=True,
     )
     defaults.update(kwargs)
-    return QueryRecord(algorithm=algorithm, time_step=time_step, radius=radius, **defaults)
+    return QueryRecord(
+        algorithm=algorithm, time_step=time_step, radius=radius, **defaults
+    )
 
 
 class TestQueryRecord:
@@ -38,7 +40,9 @@ class TestQueryRecord:
 
     def test_with_reference_zero_radius(self):
         assert _record(radius=0.0).with_reference(0.0).approximation_ratio == 1.0
-        assert _record(radius=1.0).with_reference(0.0).approximation_ratio == float("inf")
+        assert _record(radius=1.0).with_reference(0.0).approximation_ratio == float(
+            "inf"
+        )
 
 
 class TestSummarize:
@@ -133,7 +137,10 @@ class TestRunner:
 
 class TestReporting:
     def test_format_table_alignment_and_values(self):
-        rows = [{"a": 1, "b": 2.34567, "c": None}, {"a": 10, "b": float("inf"), "c": True}]
+        rows = [
+            {"a": 1, "b": 2.34567, "c": None},
+            {"a": 10, "b": float("inf"), "c": True},
+        ]
         text = format_table(rows, ["a", "b", "c"], title="demo")
         assert "demo" in text
         assert "2.346" in text

@@ -27,7 +27,11 @@ def random_stream(n, spread=100.0, colors=3, seed=0):
     ]
 
 
-ALGORITHMS = [FairSlidingWindow, ObliviousFairSlidingWindow, DimensionFreeFairSlidingWindow]
+ALGORITHMS = [
+    FairSlidingWindow,
+    ObliviousFairSlidingWindow,
+    DimensionFreeFairSlidingWindow,
+]
 ALGORITHM_IDS = ["ours", "oblivious", "dimension-free"]
 
 
@@ -206,7 +210,9 @@ class TestMemoryBehaviour:
         stream = random_stream(200, seed=11)
         memory = {}
         for delta in (0.5, 4.0):
-            config = sliding_config(three_color_constraint, window_size=100, delta=delta)
+            config = sliding_config(
+                three_color_constraint, window_size=100, delta=delta
+            )
             algo = FairSlidingWindow(config)
             algo.extend(stream)
             memory[delta] = algo.memory_points()
@@ -226,7 +232,9 @@ class TestObliviousVariant:
     def test_quality_comparable_to_distance_aware_variant(self, three_color_constraint):
         stream = random_stream(200, seed=13)
         window_size = 80
-        config = sliding_config(three_color_constraint, window_size=window_size, delta=1.0)
+        config = sliding_config(
+            three_color_constraint, window_size=window_size, delta=1.0
+        )
         aware = FairSlidingWindow(config)
         oblivious = ObliviousFairSlidingWindow(config)
         for point in stream:
@@ -252,7 +260,10 @@ class TestObliviousVariant:
         algo = ObliviousFairSlidingWindow(config)
         algo.extend(random_stream(60, seed=14))
         assert algo.memory_points() > 0
-        assert algo.total_entries() >= algo.memory_points() - algo.estimator.memory_points()
+        assert (
+            algo.total_entries()
+            >= algo.memory_points() - algo.estimator.memory_points()
+        )
 
 
 class TestDimensionFreeVariant:

@@ -15,7 +15,11 @@ from repro.core.config import FairnessConstraint
 from repro.core.geometry import Point, color_histogram
 from repro.core.metrics import PrecomputedMetric
 from repro.core.solution import evaluate_radius
-from repro.sequential.brute_force import ExactFairCenter, exact_fair_center, exact_k_center
+from repro.sequential.brute_force import (
+    ExactFairCenter,
+    exact_fair_center,
+    exact_k_center,
+)
 from repro.sequential.chen import ChenMatroidCenter
 from repro.sequential.jones import JonesFairCenter, jones_fair_center
 from repro.sequential.kleindessner import CapacityAwareGreedy, capacity_aware_greedy
@@ -42,7 +46,9 @@ class TestCommonSolverBehaviour:
         assert solution.radius >= 0
 
     @pytest.mark.parametrize("solver", FAIR_SOLVERS, ids=SOLVER_IDS)
-    def test_centers_are_input_points(self, solver, random_points, three_color_constraint):
+    def test_centers_are_input_points(
+        self, solver, random_points, three_color_constraint
+    ):
         solution = solver.solve(random_points, three_color_constraint)
         input_set = set(random_points)
         assert all(center in input_set for center in solution.centers)

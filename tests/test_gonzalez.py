@@ -8,7 +8,11 @@ from hypothesis import given, settings
 from repro.core.geometry import Point
 from repro.core.metrics import euclidean
 from repro.sequential.brute_force import exact_k_center
-from repro.sequential.gonzalez import GonzalezKCenter, gonzalez, greedy_independent_heads
+from repro.sequential.gonzalez import (
+    GonzalezKCenter,
+    gonzalez,
+    greedy_independent_heads,
+)
 from tests._fixtures import points_strategy
 
 
@@ -65,7 +69,9 @@ class TestGonzalez:
 
 
 class TestGonzalezSolver:
-    def test_solver_wrapper_ignores_fairness(self, random_points, three_color_constraint):
+    def test_solver_wrapper_ignores_fairness(
+        self, random_points, three_color_constraint
+    ):
         solution = GonzalezKCenter().solve(random_points, three_color_constraint)
         assert solution.k <= three_color_constraint.k
         assert solution.metadata["fair"] is False

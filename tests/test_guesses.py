@@ -69,7 +69,9 @@ class TestStaticGrid:
 
     def test_grid_size_matches_log_formula(self):
         grid = guess_grid(1.0, 10_000.0, beta=2.0)
-        expected = math.ceil(math.log(10_000.0, 3.0)) - math.floor(math.log(1.0, 3.0)) + 1
+        expected = (
+            math.ceil(math.log(10_000.0, 3.0)) - math.floor(math.log(1.0, 3.0)) + 1
+        )
         assert len(grid) == expected
 
 

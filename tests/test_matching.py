@@ -95,7 +95,9 @@ class TestHopcroftKarp:
         matching = hopcroft_karp(graph)
         _validate_matching(graph, matching)
         if left_nodes:
-            expected = len(nx.bipartite.maximum_matching(nx_graph, top_nodes=left_nodes)) // 2
+            expected = (
+                len(nx.bipartite.maximum_matching(nx_graph, top_nodes=left_nodes)) // 2
+            )
         else:
             expected = 0
         assert matching_size(matching) == expected

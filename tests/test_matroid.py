@@ -164,7 +164,9 @@ class TestMatroidIntersection:
 
     def test_partition_vs_partition_known_instance(self):
         # Colors by parity vs. "balls" by value range.
-        ma = PartitionMatroid(FairnessConstraint({0: 1, 1: 1}), color_of=lambda x: x % 2)
+        ma = PartitionMatroid(
+            FairnessConstraint({0: 1, 1: 1}), color_of=lambda x: x % 2
+        )
         mb = PartitionMatroid(
             FairnessConstraint({"low": 1, "high": 1}),
             color_of=lambda x: "low" if x < 3 else "high",
@@ -190,14 +192,18 @@ class TestMatroidIntersection:
         )
 
     def test_result_always_common_independent(self):
-        ma = PartitionMatroid(FairnessConstraint({0: 2, 1: 1}), color_of=lambda x: x % 2)
+        ma = PartitionMatroid(
+            FairnessConstraint({0: 2, 1: 1}), color_of=lambda x: x % 2
+        )
         mb = UniformMatroid(2)
         result = matroid_intersection(list(range(8)), ma, mb)
         assert ma.is_independent(result)
         assert mb.is_independent(result)
 
     def test_duplicate_elements_deduplicated(self):
-        result = matroid_intersection([1, 1, 2, 2], UniformMatroid(3), UniformMatroid(3))
+        result = matroid_intersection(
+            [1, 1, 2, 2], UniformMatroid(3), UniformMatroid(3)
+        )
         assert len(result) == len(set(result)) == 2
 
     @given(

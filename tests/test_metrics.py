@@ -60,7 +60,9 @@ class TestBasicDistances:
 
 
 class TestMetricAxioms:
-    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: getattr(m, "__name__", repr(m)))
+    @pytest.mark.parametrize(
+        "metric", ALL_METRICS, ids=lambda m: getattr(m, "__name__", repr(m))
+    )
     @given(points=points_strategy(max_points=3, min_points=3, dim=3))
     @settings(max_examples=40, deadline=None)
     def test_axioms_on_random_triples(self, metric, points):
@@ -144,7 +146,9 @@ class TestPairwiseHelpers:
 
     def test_pairwise_matrix_generic_metric(self, random_points):
         matrix = pairwise_distances(random_points[:6], manhattan)
-        assert matrix[2, 3] == pytest.approx(manhattan(random_points[2], random_points[3]))
+        assert matrix[2, 3] == pytest.approx(
+            manhattan(random_points[2], random_points[3])
+        )
         assert np.allclose(matrix, matrix.T)
 
     def test_pairwise_empty(self):

@@ -1,0 +1,588 @@
+"""Lifecycle tests for the stateful serving layer.
+
+The headline deliverable is the **differential replay harness**: a
+hypothesis-driven test that runs a random command schedule — ingest / flush
+/ snapshot / evict / restore — against a served :class:`MultiStreamService`
+while replaying the same points into standalone windows, and asserts that
+the served query solutions are identical to the uninterrupted standalone
+ones at every probe point, for all three algorithm variants under both the
+vectorised and the scalar backend.  Lifecycle churn (TTL eviction with
+transparent revival, checkpoint/restore across full service teardown) must
+be semantically invisible.
+
+Satellites covered here:
+
+* property-based snapshot round-trips per variant (identical solutions and
+  identical internal family sizes, before and after continued ingest);
+* eviction actually releases memory (stream census, ``memory_points`` and
+  the per-window engine/arena objects are reclaimed);
+* process-worker restarts: children killed hard mid-stream, the service
+  rebuilt from its checkpoint directory, query parity preserved;
+* the asyncio front-end: awaitable backpressure instead of
+  :class:`IngestQueueFull`, with served results matching the sync path.
+
+Checkpoint directories are created under ``REPRO_CHECKPOINT_ARTIFACT_DIR``
+when that variable is set (the CI lifecycle leg points it at a workspace
+path and uploads it on failure, so failing schedules ship their on-disk
+checkpoints for reproduction); they are removed only when the test body
+succeeds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import os
+import shutil
+import tempfile
+import time
+import weakref
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FairnessConstraint, SlidingWindowConfig
+from repro.core.dimension_free import DimensionFreeFairSlidingWindow
+from repro.core.fair_sliding_window import FairSlidingWindow
+from repro.core.oblivious import ObliviousFairSlidingWindow
+from repro.core.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotMismatchError,
+    SnapshotVersionError,
+)
+from repro.serving import (
+    AsyncMultiStreamService,
+    MultiStreamService,
+    ProcessShardWorker,
+    ServingConfig,
+    ShardWorker,
+    WindowFactory,
+)
+
+from tests._fixtures import random_colored_points
+
+VARIANT_CLASSES = {
+    "ours": FairSlidingWindow,
+    "oblivious": ObliviousFairSlidingWindow,
+    "dimension_free": DimensionFreeFairSlidingWindow,
+}
+
+#: env var the CI leg sets so failing schedules leave their checkpoint
+#: directories behind as uploadable artifacts.
+ARTIFACT_ENV = "REPRO_CHECKPOINT_ARTIFACT_DIR"
+
+NUM_STREAMS = 3
+STREAM_IDS = [f"s{i}" for i in range(NUM_STREAMS)]
+
+#: One deterministic pool of points shared by the service and the replay
+#: reference; harness schedules consume it sequentially.
+POINT_POOL = random_colored_points(n=600, seed=2026)
+
+CONSTRAINT = FairnessConstraint({0: 1, 1: 1, 2: 1})
+
+
+def make_config(window_size: int = 20) -> SlidingWindowConfig:
+    return SlidingWindowConfig(
+        window_size=window_size,
+        constraint=CONSTRAINT,
+        delta=1.0,
+        dmin=0.01,
+        dmax=300.0,
+    )
+
+
+def solution_key(solution):
+    """Comparable identity of a query solution."""
+    return ([c.coords for c in solution.centers], solution.radius)
+
+
+@contextmanager
+def checkpoint_dir(label: str):
+    """A checkpoint directory that survives only on failure.
+
+    Created under ``REPRO_CHECKPOINT_ARTIFACT_DIR`` when set (CI uploads
+    that tree when the job fails) and removed when the protected block
+    completes without raising — deliberately *not* a ``finally``, so a
+    failing example keeps its checkpoint on disk for reproduction.
+    """
+    root = os.environ.get(ARTIFACT_ENV)
+    if root:
+        Path(root).mkdir(parents=True, exist_ok=True)
+    path = Path(tempfile.mkdtemp(prefix=f"{label}-", dir=root or None))
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+# ----------------------------------------------------- differential harness
+
+
+def lifecycle_commands():
+    """Random lifecycle schedules: the commands of the replay harness."""
+    ingest = st.tuples(
+        st.just("ingest"),
+        st.integers(min_value=0, max_value=NUM_STREAMS - 1),
+        st.integers(min_value=1, max_value=8),
+    )
+    other = st.sampled_from(["flush", "snapshot", "restore", "evict", "probe"])
+    return st.lists(
+        st.one_of(ingest, other.map(lambda name: (name, 0, 0))),
+        min_size=4,
+        max_size=14,
+    )
+
+
+class DifferentialReplay:
+    """Drive one schedule against the service and the standalone reference.
+
+    The reference model is exact bookkeeping: the list of points each
+    stream has received.  A service restore rolls the model back to the
+    per-stream counts recorded at snapshot time; a probe rebuilds fresh
+    standalone windows from the model and compares every stream's query
+    solution with the served one.
+    """
+
+    def __init__(self, factory: WindowFactory, directory: Path) -> None:
+        self.factory = factory
+        self.directory = directory
+        self.service = MultiStreamService(
+            factory,
+            ServingConfig(num_shards=2, batch_size=4, queue_capacity=256),
+        )
+        self.model: dict[str, list] = {sid: [] for sid in STREAM_IDS}
+        self.snapshot_counts: dict[str, int] | None = None
+        self.cursor = 0
+
+    def run(self, commands) -> None:
+        try:
+            for command, stream_index, count in commands:
+                getattr(self, f"do_{command}")(stream_index, count)
+            self.do_probe(0, 0)
+        finally:
+            self.service.close()
+
+    def do_ingest(self, stream_index: int, count: int) -> None:
+        stream_id = STREAM_IDS[stream_index]
+        run = POINT_POOL[self.cursor : self.cursor + count]
+        self.cursor += count
+        for point in run:
+            self.service.ingest(stream_id, point)
+            self.model[stream_id].append(point)
+
+    def do_flush(self, *_: int) -> None:
+        self.service.flush()
+
+    def do_snapshot(self, *_: int) -> None:
+        self.service.snapshot_to(self.directory)
+        self.snapshot_counts = {
+            sid: len(points) for sid, points in self.model.items()
+        }
+
+    def do_restore(self, *_: int) -> None:
+        if self.snapshot_counts is None:
+            return  # nothing checkpointed yet in this schedule
+        self.service.close()
+        self.service = MultiStreamService.restore(self.directory)
+        for sid, kept in self.snapshot_counts.items():
+            del self.model[sid][kept:]
+
+    def do_evict(self, *_: int) -> None:
+        # ttl=0 evicts every live stream; snapshot_evicted (the default)
+        # makes the eviction semantically invisible, which is exactly what
+        # the differential comparison asserts.
+        self.service.flush()
+        self.service.evict_idle(0.0)
+
+    def do_probe(self, *_: int) -> None:
+        self.service.flush()
+        for stream_id, points in self.model.items():
+            if not points:
+                continue
+            standalone = self.factory(stream_id)
+            for point in points:
+                standalone.insert(point)
+            served = self.service.query(stream_id)
+            assert solution_key(served) == solution_key(standalone.query()), (
+                f"stream {stream_id} diverged from the uninterrupted replay"
+            )
+
+
+class TestDifferentialLifecycle:
+    @pytest.mark.parametrize("backend", ["auto", "scalar"])
+    @pytest.mark.parametrize("variant", sorted(VARIANT_CLASSES))
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    @given(commands=lifecycle_commands())
+    def test_lifecycle_churn_is_invisible(self, variant, backend, commands):
+        factory = WindowFactory(make_config(), variant=variant, backend=backend)
+        with checkpoint_dir(f"lifecycle-{variant}-{backend}") as directory:
+            DifferentialReplay(factory, directory).run(commands)
+
+
+# ------------------------------------------------- snapshot round-trip
+
+lifecycle_points = st.lists(
+    st.integers(min_value=0, max_value=len(POINT_POOL) - 1),
+    min_size=5,
+    max_size=60,
+)
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("backend", ["auto", "scalar"])
+    @pytest.mark.parametrize("variant", sorted(VARIANT_CLASSES))
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(indices=lifecycle_points)
+    def test_restore_is_exact(self, variant, backend, indices):
+        """``restore(snapshot(w))`` matches ``w`` — queries *and* internals."""
+        points = [POINT_POOL[i] for i in indices]
+        factory = WindowFactory(make_config(), variant=variant, backend=backend)
+        original = factory("w")
+        for point in points[: len(points) // 2 or 1]:
+            original.insert(point)
+        restored = factory("w")
+        restored.restore(original.snapshot())
+
+        assert self._internal_sizes(original) == self._internal_sizes(restored)
+        assert original.memory_points() == restored.memory_points()
+        assert solution_key(original.query()) == solution_key(restored.query())
+
+        # The two windows must stay in lockstep under continued ingest.
+        for point in points[len(points) // 2 or 1 :]:
+            original.insert(point)
+            restored.insert(point)
+        assert self._internal_sizes(original) == self._internal_sizes(restored)
+        assert solution_key(original.query()) == solution_key(restored.query())
+
+    @staticmethod
+    def _internal_sizes(window):
+        """Per-guess family sizes (guess/coreset census) of a window."""
+        sizes = []
+        for state in window.states:
+            if hasattr(state, "active_counts"):
+                sizes.append((state.guess, tuple(state.active_counts().items())))
+            else:  # dimension-free independent-set states
+                sizes.append(
+                    (
+                        state.guess,
+                        len(state.attractors),
+                        len(state.representatives),
+                    )
+                )
+        return sizes
+
+    def test_snapshot_is_stable_while_window_keeps_ingesting(self):
+        factory = WindowFactory(make_config())
+        window = factory("w")
+        for point in POINT_POOL[:60]:
+            window.insert(point)
+        snapshot = window.snapshot()
+        frozen = [s.v_representatives[:] for s in snapshot.states]
+        for point in POINT_POOL[60:120]:
+            window.insert(point)
+        assert [s.v_representatives[:] for s in snapshot.states] == frozen
+
+    def test_version_and_variant_guards(self):
+        factory = WindowFactory(make_config())
+        window = factory("w")
+        for point in POINT_POOL[:30]:
+            window.insert(point)
+        snapshot = window.snapshot()
+        assert snapshot.version == SNAPSHOT_VERSION
+
+        wrong_variant = FairSlidingWindow(make_config())
+        with pytest.raises(SnapshotMismatchError):
+            wrong_variant.restore(snapshot)
+
+        wrong_size = WindowFactory(make_config(window_size=21))("w")
+        with pytest.raises(SnapshotMismatchError):
+            wrong_size.restore(snapshot)
+
+        # Accuracy-knob mismatches must be rejected, not silently
+        # reinterpreted (the states were built under these thresholds).
+        wrong_delta_config = make_config()
+        wrong_delta_config.delta = 2.0
+        with pytest.raises(SnapshotMismatchError, match="delta"):
+            WindowFactory(wrong_delta_config)("w").restore(snapshot)
+        wrong_beta_config = make_config()
+        wrong_beta_config.beta = 1.0
+        with pytest.raises(SnapshotMismatchError, match="beta"):
+            WindowFactory(wrong_beta_config)("w").restore(snapshot)
+
+        snapshot.version = SNAPSHOT_VERSION + 1
+        fresh = factory("w")
+        with pytest.raises(SnapshotVersionError):
+            fresh.restore(snapshot)
+
+
+# --------------------------------------------------- eviction releases memory
+
+
+class TestEvictionReleasesMemory:
+    def _loaded_worker(self, snapshot_evicted: bool) -> ShardWorker:
+        worker = ShardWorker(
+            0,
+            WindowFactory(make_config()),
+            batch_size=8,
+            snapshot_evicted=snapshot_evicted,
+        )
+        worker.start()
+        for index, point in enumerate(POINT_POOL[:180]):
+            worker.submit(STREAM_IDS[index % NUM_STREAMS], point)
+        worker.flush()
+        # Activate the query-side arenas so there is engine/arena memory to
+        # release (the BufferPool census of tests/test_buffer_pool.py).
+        worker.query_all()
+        return worker
+
+    def test_evicted_streams_release_windows_and_arenas(self):
+        worker = self._loaded_worker(snapshot_evicted=True)
+        try:
+            stats = worker.stats()
+            assert stats.streams == NUM_STREAMS
+            before = worker.memory_points()
+            assert before > 0
+
+            # Keep one stream fresh; the two others go idle past the TTL.
+            time.sleep(0.05)
+            worker.submit(STREAM_IDS[0], POINT_POOL[180])
+            worker.flush()
+            # Census of everything an evicted stream must release: its
+            # window, and — on the vectorised path — its distance engine
+            # and activated BufferPool arenas (None of these exist under
+            # the scalar backend, where only the window is tracked).
+            refs = []
+            for sid in STREAM_IDS[1:]:
+                window = worker._table.windows[sid]
+                refs.append(weakref.ref(window))
+                engine = window._engine
+                if engine is not None:
+                    refs.append(weakref.ref(engine))
+                    if engine.buffer_pool is not None:
+                        refs.append(weakref.ref(engine.buffer_pool))
+            del window, engine
+            assert all(ref() is not None for ref in refs)
+
+            evicted = worker.evict_idle(0.04)
+            assert sorted(evicted) == sorted(STREAM_IDS[1:])
+
+            stats = worker.stats()
+            assert stats.streams == 1
+            assert stats.evicted == 2
+            assert worker.stream_ids() == [STREAM_IDS[0]]
+            # The shard now stores only the survivor's points...
+            assert worker.memory_points() < before
+            standalone = WindowFactory(make_config())(STREAM_IDS[0])
+            for index, point in enumerate(POINT_POOL[:180]):
+                if index % NUM_STREAMS == 0:
+                    standalone.insert(point)
+            standalone.insert(POINT_POOL[180])
+            assert worker.memory_points() == standalone.memory_points()
+            # ... and the evicted windows, their engines and their
+            # BufferPool arenas are all reclaimed (snapshots retain stream
+            # items only, never arenas).
+            gc.collect()
+            assert all(ref() is None for ref in refs), (
+                "evicted streams kept windows/engines/arenas alive"
+            )
+        finally:
+            worker.stop()
+
+    def test_eviction_without_snapshot_restarts_streams_empty(self):
+        worker = self._loaded_worker(snapshot_evicted=False)
+        try:
+            worker.evict_idle(0.0)
+            assert worker.stats().streams == 0
+            assert worker.memory_points() == 0
+            with pytest.raises(KeyError):
+                worker.query(STREAM_IDS[0])  # no snapshot left behind
+            # The next arrivals restart the stream from scratch: the served
+            # state matches a brand-new window fed only those points.
+            for point in POINT_POOL[200:204]:
+                worker.submit(STREAM_IDS[0], point)
+            worker.flush()
+            fresh = WindowFactory(make_config())(STREAM_IDS[0])
+            for point in POINT_POOL[200:204]:
+                fresh.insert(point)
+            assert solution_key(worker.query(STREAM_IDS[0])) == solution_key(
+                fresh.query()
+            )
+            assert worker.memory_points() == fresh.memory_points()
+        finally:
+            worker.stop()
+
+    def test_automatic_sweep_on_batch_cadence(self):
+        worker = ShardWorker(
+            0,
+            WindowFactory(make_config()),
+            batch_size=4,
+            idle_ttl=0.02,
+        )
+        worker.start()
+        try:
+            for index, point in enumerate(POINT_POOL[:30]):
+                worker.submit(STREAM_IDS[index % 2], point)
+            worker.flush()
+            time.sleep(0.05)
+            # The sweep rides the drain cadence: this batch both ingests a
+            # fresh stream and evicts the two stale ones.
+            worker.submit(STREAM_IDS[2], POINT_POOL[30])
+            worker.flush()
+            stats = worker.stats()
+            assert stats.evicted >= 2
+            assert worker.stream_ids() == [STREAM_IDS[2]]
+            # Evicted streams revive transparently on query.
+            assert worker.query(STREAM_IDS[0]).centers
+        finally:
+            worker.stop()
+
+
+# ----------------------------------------------------- process-worker restarts
+
+
+class TestProcessWorkerRestart:
+    def test_killed_service_restores_from_checkpoint_with_query_parity(self):
+        """Hard-kill process shards mid-stream, restore, finish, compare."""
+        factory = WindowFactory(make_config())
+        arrivals = [
+            (STREAM_IDS[i % NUM_STREAMS], p) for i, p in enumerate(POINT_POOL[:240])
+        ]
+        split = 150
+        with checkpoint_dir("process-restart") as directory:
+            service = MultiStreamService(
+                factory,
+                ServingConfig(num_shards=2, workers="process", batch_size=16),
+            )
+            service.ingest_many(arrivals[:split])
+            service.snapshot_to(directory)
+            # A few more arrivals land after the checkpoint, then the
+            # children die hard (simulated crash): that work is lost, the
+            # checkpoint is not.
+            service.ingest_many(arrivals[split : split + 20])
+            service.flush()
+            for shard in service.shards:
+                shard._process.terminate()
+            service.close()  # must not hang on dead children
+
+            restored = MultiStreamService.restore(directory)
+            assert restored.config.workers == "process"
+            with restored:
+                restored.ingest_many(arrivals[split:])
+                restored.flush()
+                served = {sid: restored.query(sid) for sid in STREAM_IDS}
+
+            for stream_id in STREAM_IDS:
+                uninterrupted = factory(stream_id)
+                for other, point in arrivals:
+                    if other == stream_id:
+                        uninterrupted.insert(point)
+                assert solution_key(served[stream_id]) == solution_key(
+                    uninterrupted.query()
+                ), f"stream {stream_id} diverged after the restart"
+
+    def test_worker_level_checkpoint_restore(self):
+        factory = WindowFactory(make_config())
+        first = ProcessShardWorker(0, factory, batch_size=8)
+        first.start()
+        for index, point in enumerate(POINT_POOL[:90]):
+            first.submit(STREAM_IDS[index % NUM_STREAMS], point)
+        first.flush()
+        snapshots = first.checkpoint()
+        expected = {sid: solution_key(first.query(sid)) for sid in STREAM_IDS}
+        first.stop()
+
+        second = ProcessShardWorker(1, factory, batch_size=8)
+        second.restore(snapshots)  # starts the worker implicitly
+        try:
+            assert second.stream_ids() == []  # restored streams start cold
+            for stream_id in STREAM_IDS:
+                assert solution_key(second.query(stream_id)) == expected[stream_id]
+            assert sorted(second.stream_ids()) == sorted(STREAM_IDS)
+        finally:
+            second.stop()
+
+    def test_restore_refuses_mismatched_shard_count(self):
+        factory = WindowFactory(make_config())
+        with checkpoint_dir("shard-mismatch") as directory:
+            with MultiStreamService(factory, ServingConfig(num_shards=2)) as service:
+                service.ingest(STREAM_IDS[0], POINT_POOL[0])
+                service.snapshot_to(directory)
+            with pytest.raises(ValueError, match="re-route"):
+                MultiStreamService.restore(
+                    directory, config=ServingConfig(num_shards=3)
+                )
+
+
+# ------------------------------------------------------------ asyncio ingest
+
+
+class TestAsyncFrontEnd:
+    def test_awaitable_backpressure_and_parity(self):
+        """Tiny queues: ingest awaits instead of raising IngestQueueFull."""
+        factory = WindowFactory(make_config())
+        arrivals = [
+            (STREAM_IDS[i % NUM_STREAMS], p) for i, p in enumerate(POINT_POOL[:150])
+        ]
+
+        async def producer(service, stream_id):
+            # One producer per stream keeps per-stream arrival order; the
+            # producers themselves interleave freely under backpressure.
+            for other, point in arrivals:
+                if other == stream_id:
+                    await service.ingest(stream_id, point)
+
+        async def main():
+            config = ServingConfig(num_shards=2, queue_capacity=4, batch_size=2)
+            async with AsyncMultiStreamService(factory, config) as service:
+                await asyncio.gather(
+                    *(producer(service, sid) for sid in STREAM_IDS)
+                )
+                await service.flush()
+                stats = await service.stats()
+                assert sum(s.ingested for s in stats) == len(arrivals)
+                fanout = await service.query_all()
+                return {sid: fanout.solutions[sid] for sid in STREAM_IDS}
+
+        served = asyncio.run(main())
+        for stream_id in STREAM_IDS:
+            standalone = factory(stream_id)
+            for other, point in arrivals:
+                if other == stream_id:
+                    standalone.insert(point)
+            assert solution_key(served[stream_id]) == solution_key(
+                standalone.query()
+            )
+
+    def test_async_lifecycle_wrappers(self):
+        factory = WindowFactory(make_config())
+
+        async def main(directory):
+            async with AsyncMultiStreamService(
+                factory, ServingConfig(num_shards=2, batch_size=4)
+            ) as service:
+                for index, point in enumerate(POINT_POOL[:60]):
+                    await service.ingest(STREAM_IDS[index % NUM_STREAMS], point)
+                await service.flush()
+                before = solution_key(await service.query(STREAM_IDS[0]))
+                await service.snapshot_to(directory)
+                evicted = await service.evict_idle(0.0)
+                assert sorted(evicted) == sorted(STREAM_IDS)
+                assert solution_key(await service.query(STREAM_IDS[0])) == before
+            # Wrap a service restored after full teardown.
+            restored = AsyncMultiStreamService(
+                service=MultiStreamService.restore(directory)
+            )
+            async with restored:
+                assert solution_key(await restored.query(STREAM_IDS[0])) == before
+
+        with checkpoint_dir("async-lifecycle") as directory:
+            asyncio.run(main(directory))
+
+    def test_wrapping_rejects_ambiguous_construction(self):
+        factory = WindowFactory(make_config())
+        with MultiStreamService(factory, ServingConfig(num_shards=1)) as service:
+            with pytest.raises(ValueError):
+                AsyncMultiStreamService(factory, service=service)
+        with pytest.raises(ValueError):
+            AsyncMultiStreamService()
