@@ -59,6 +59,7 @@ NOISE_FLOOR = {
 #: ratios, memory, host facts like cpu_count) are deliberately excluded:
 #: they vary between machines and must neither key rows nor fail matching.
 KEY_COLUMNS = (
+    "figure",
     "dataset",
     "delta",
     "beta",
@@ -67,6 +68,8 @@ KEY_COLUMNS = (
     "window_size",
     "dimension",
     "ambient_dimension",
+    "backend",
+    "dtype",
     "mode",
     "shards",
     "streams",

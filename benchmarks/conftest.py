@@ -64,24 +64,33 @@ def _json_rows(rows: list[dict]) -> list[dict]:
     return out
 
 
-def register_table(name: str, rows: list[dict], columns: list[str]) -> None:
-    """Persist and queue a result table for the terminal summary."""
+def register_table(
+    name: str, rows: list[dict], columns: list[str], *, write_json: bool = True
+) -> None:
+    """Persist and queue a result table for the terminal summary.
+
+    ``write_json=False`` skips the ``BENCH_<name>.json`` record — used by
+    benchmarks whose JSON payload is produced by a dedicated writer (the
+    sweep results come from :meth:`repro.bench.SweepResult.write`, so the
+    canonical schema lives in one place).
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     text = format_table(rows, columns, title=name)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     rows_to_csv(rows, RESULTS_DIR / f"{name}.csv")
-    payload = {
-        "name": name,
-        "scale": _ACTIVE_SCALE or os.environ.get("REPRO_SCALE", "small"),
-        "backend": os.environ.get("REPRO_BACKEND", "auto"),
-        "dtype": os.environ.get("REPRO_DTYPE", "float64"),
-        "python": platform.python_version(),
-        "columns": columns,
-        "rows": _json_rows(rows),
-    }
-    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
-        json.dumps(payload, indent=2, default=str) + "\n"
-    )
+    if write_json:
+        payload = {
+            "name": name,
+            "scale": _ACTIVE_SCALE or os.environ.get("REPRO_SCALE", "small"),
+            "backend": os.environ.get("REPRO_BACKEND", "auto"),
+            "dtype": os.environ.get("REPRO_DTYPE", "float64"),
+            "python": platform.python_version(),
+            "columns": columns,
+            "rows": _json_rows(rows),
+        }
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, default=str) + "\n"
+        )
     _TABLES.append((name, text))
 
 

@@ -78,5 +78,7 @@ def test_figure2_series(benchmark, scale):
     baselines = [r for r in figure_rows if not r["algorithm"].startswith("Ours")]
     # Expected shape: the baselines' update step is essentially free, while
     # their query is the expensive part.
-    assert min(b["update_ms"] for b in baselines) <= min(s["update_ms"] for s in streaming)
+    assert min(b["update_ms"] for b in baselines) <= min(
+        s["update_ms"] for s in streaming
+    )
     assert all(b["query_ms"] > 0 for b in baselines)

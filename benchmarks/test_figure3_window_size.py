@@ -24,8 +24,14 @@ def test_figure3_window_size_sweep(benchmark, scale):
     register_table(
         "figure3_window_size",
         rows,
-        ["dataset", "window_size", "algorithm", "memory_points", "query_ms",
-         "approx_ratio"],
+        [
+            "dataset",
+            "window_size",
+            "algorithm",
+            "memory_points",
+            "query_ms",
+            "approx_ratio",
+        ],
     )
 
     window_sizes = sorted({r["window_size"] for r in rows})

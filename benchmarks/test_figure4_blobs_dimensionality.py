@@ -30,7 +30,9 @@ def test_figure4_blobs_dimensionality(benchmark, scale):
     low, high = dimensions[0], dimensions[-1]
 
     def value(dim: int, name: str, field: str) -> float:
-        matches = [r[field] for r in rows if r["dimension"] == dim and r["algorithm"] == name]
+        matches = [
+            r[field] for r in rows if r["dimension"] == dim and r["algorithm"] == name
+        ]
         assert matches, f"missing series {name} at dimension {dim}"
         return matches[0]
 

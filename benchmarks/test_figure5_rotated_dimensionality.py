@@ -23,8 +23,13 @@ def test_figure5_rotated_dimensionality(benchmark, scale):
     register_table(
         "figure5_rotated_dimensionality",
         rows,
-        ["ambient_dimension", "algorithm", "query_ms", "memory_points",
-         "approx_ratio"],
+        [
+            "ambient_dimension",
+            "algorithm",
+            "query_ms",
+            "memory_points",
+            "approx_ratio",
+        ],
     )
 
     dimensions = sorted({r["ambient_dimension"] for r in rows})

@@ -1,0 +1,81 @@
+"""Experiment E7+E8 via ``repro.bench`` — the figure 4/5 dimensionality sweeps.
+
+The declarative sweep runner regenerates both high-dimensional figures
+across the scale's dimension grids under **both** kernel dtypes, emits the
+trend-gated ``BENCH_figure4_sweep.json`` / ``BENCH_figure5_sweep.json``
+records through its canonical writer, and registers the text tables with
+the suite's terminal summary.
+
+Expected shapes (checked by assertions):
+
+* figure 4 (blobs): the Jones baseline's memory is the window size at
+  every dimension, the streaming algorithm's grows with the dimension;
+* figure 5 (rotated): the streaming algorithm's memory is *flat* across
+  ambient dimensions (the cost tracks the doubling dimension, which the
+  rotation keeps fixed);
+* float32 and float64 cells agree on the solution quality (radii within
+  float32 tolerance).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SweepRunner, SweepSpec, sweep_payload_name
+
+from benchmarks.conftest import RESULTS_DIR, register_table
+
+
+def _series(rows: list[dict], figure: str, dtype: str, algorithm: str) -> dict:
+    dimension_column = "dimension" if figure == "4" else "ambient_dimension"
+    return {
+        row[dimension_column]: row
+        for row in rows
+        if row["dtype"] == dtype and row["algorithm"] == algorithm
+    }
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_dimensionality_sweep(benchmark, scale):
+    """Run the full two-figure, two-dtype sweep at the session's scale."""
+    spec = SweepSpec(scale=scale.name, dtypes=("float64", "float32"))
+    result = benchmark.pedantic(
+        lambda: SweepRunner().run(spec), rounds=1, iterations=1
+    )
+    result.write(RESULTS_DIR)
+    for figure in result.figures():
+        columns = [
+            c
+            for c in result.columns_for(figure)
+            if c not in ("update_us", "query_us")
+        ]
+        register_table(
+            sweep_payload_name(figure),
+            result.rows(figure),
+            columns,
+            write_json=False,  # SweepResult.write is the canonical writer
+        )
+
+    for figure in ("4", "5"):
+        rows = result.rows(figure)
+        assert rows, f"figure {figure} produced no rows"
+        jones = _series(rows, figure, "float64", "Jones")
+        ours = _series(rows, figure, "float64", "Ours(delta=0.5)")
+        dims = sorted(jones)
+        low, high = dims[0], dims[-1]
+        # Baseline memory is the window, independent of the dimension.
+        assert jones[low]["memory_points"] == jones[high]["memory_points"]
+        if figure == "4":
+            # Streaming memory grows with the intrinsic dimension ...
+            assert ours[high]["memory_points"] >= ours[low]["memory_points"]
+        else:
+            # ... but stays flat when only the ambient dimension grows.
+            assert ours[high]["memory_points"] == pytest.approx(
+                ours[low]["memory_points"], rel=0.25
+            )
+        # float32 cells must agree with float64 on solution quality.
+        ours32 = _series(rows, figure, "float32", "Ours(delta=0.5)")
+        for dim in dims:
+            assert ours32[dim]["radius"] == pytest.approx(
+                ours[dim]["radius"], rel=1e-3
+            )

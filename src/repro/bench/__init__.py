@@ -1,0 +1,34 @@
+"""``repro.bench`` — declarative dimensionality-sweep orchestration.
+
+This package replaces the ad-hoc per-figure benchmark scripts for the
+paper's high-dimensional experiments (Figures 4 and 5) with a single
+declarative layer:
+
+* :class:`~repro.bench.spec.SweepSpec` describes a
+  figure × dimension × backend × dtype grid;
+* :class:`~repro.bench.runner.SweepRunner` executes it cell by cell, each
+  cell pinning its backend/dtype pair and sharing one coordinate arena;
+* :class:`~repro.bench.runner.SweepResult` emits
+  ``BENCH_figure<N>_sweep.json`` payloads that the benchmark trend gate
+  (``benchmarks/check_trend.py``) diffs against the committed baselines,
+  plus the float32-vs-float64 throughput comparison.
+
+The ``repro-experiments sweep`` CLI sub-command is the command-line
+front-end; :func:`~repro.bench.runner.run_sweep` is the one-call library
+entry point.
+"""
+
+from .runner import CellResult, SweepResult, SweepRunner, run_sweep, sweep_payload_name
+from .spec import SWEEP_DTYPES, SWEEP_FIGURES, SweepCell, SweepSpec
+
+__all__ = [
+    "CellResult",
+    "SWEEP_DTYPES",
+    "SWEEP_FIGURES",
+    "SweepCell",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "run_sweep",
+    "sweep_payload_name",
+]

@@ -1,0 +1,271 @@
+"""Execution engine for the declarative dimensionality sweeps.
+
+The :class:`SweepRunner` walks the cell grid of a
+:class:`~repro.bench.spec.SweepSpec` and, for every cell, pins the global
+distance backend and kernel dtype (:func:`~repro.core.backend.use_backend` /
+:func:`~repro.core.backend.use_dtype`) before delegating to the figure's
+``run_cell`` driver.  Each cell therefore converts its stream's coordinates
+exactly once, into one :class:`~repro.core.backend.CoordinateArena` created
+under the cell's dtype and shared by every contender of the cell (the
+evaluation harness's ``share_arena`` machinery).
+
+Results come back as a :class:`SweepResult`, which knows how to
+
+* flatten the per-cell rows (each stamped with its ``backend`` and
+  ``dtype`` identity columns),
+* emit one ``BENCH_figure<N>_sweep.json`` payload per figure in exactly the
+  shape ``benchmarks/check_trend.py`` gates on (``scale`` header, identity
+  ``columns``, µs mirrors of the millisecond timings), and
+* summarise the float32-vs-float64 throughput comparison
+  (:meth:`SweepResult.dtype_comparison`) reported on the docs benchmarks
+  page.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..core.backend import use_backend, use_dtype
+from ..experiments import figure4, figure5
+from .spec import SweepCell, SweepSpec
+
+#: millisecond row keys mirrored as microseconds in the JSON payloads, so
+#: the hot-path timings are tracked at the resolution the paper reports.
+_MS_TO_US_KEYS = ("update_ms", "query_ms")
+
+#: identity columns of a sweep row, in payload order.  ``dimension`` /
+#: ``ambient_dimension`` is inserted per figure between ``dataset`` and
+#: ``algorithm``.
+_IDENTITY_PREFIX = ("figure", "dataset")
+_IDENTITY_SUFFIX = ("algorithm", "backend", "dtype")
+
+#: measured columns appended after the identity columns.
+_METRIC_COLUMNS = (
+    "queries",
+    "radius",
+    "approx_ratio",
+    "memory_points",
+    "update_ms",
+    "query_ms",
+    "update_us",
+    "query_us",
+    "coreset_size",
+    "always_fair",
+)
+
+_CELL_DRIVERS = {"4": figure4.run_cell, "5": figure5.run_cell}
+
+
+def sweep_payload_name(figure: str) -> str:
+    """The payload/table name of one figure's sweep (``figure4_sweep``...)."""
+    return f"figure{figure}_sweep"
+
+
+def _with_us_mirrors(row: dict) -> dict:
+    out = dict(row)
+    for key in _MS_TO_US_KEYS:
+        value = out.get(key)
+        if isinstance(value, (int, float)):
+            out[key.replace("_ms", "_us")] = value * 1000.0
+    return out
+
+
+@dataclass
+class CellResult:
+    """The rows of one executed sweep cell plus its wall-clock cost."""
+
+    cell: SweepCell
+    rows: list[dict]
+    elapsed_s: float
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced."""
+
+    spec: SweepSpec
+    scale_name: str
+    cells: list[CellResult] = field(default_factory=list)
+
+    def rows(self, figure: str | None = None) -> list[dict]:
+        """The flattened result rows (optionally of a single figure)."""
+        rows: list[dict] = []
+        for result in self.cells:
+            if figure is None or result.cell.figure == figure:
+                rows.extend(result.rows)
+        return rows
+
+    def figures(self) -> list[str]:
+        """The figures that actually produced rows, in spec order."""
+        return [f for f in self.spec.figures if self.rows(f)]
+
+    def columns_for(self, figure: str) -> list[str]:
+        """Identity-then-metrics column order of one figure's payload."""
+        dimension_column = "dimension" if figure == "4" else "ambient_dimension"
+        return [
+            *_IDENTITY_PREFIX,
+            dimension_column,
+            *_IDENTITY_SUFFIX,
+            *_METRIC_COLUMNS,
+        ]
+
+    def payload(self, figure: str) -> dict:
+        """One figure's sweep as a ``BENCH_*.json``-shaped payload."""
+        backends = sorted({c.cell.backend for c in self.cells})
+        dtypes = sorted({c.cell.dtype for c in self.cells})
+        return {
+            "name": sweep_payload_name(figure),
+            "scale": self.scale_name,
+            "backend": backends[0] if len(backends) == 1 else "mixed",
+            "dtype": dtypes[0] if len(dtypes) == 1 else "mixed",
+            "python": platform.python_version(),
+            "columns": self.columns_for(figure),
+            "rows": [_with_us_mirrors(row) for row in self.rows(figure)],
+        }
+
+    def write(self, directory: str | Path) -> list[Path]:
+        """Write one ``BENCH_figure<N>_sweep.json`` per swept figure.
+
+        The files land in ``directory`` (created when missing) and are
+        byte-compatible with the committed ``benchmarks/baselines/``
+        entries, so ``benchmarks/check_trend.py`` can gate them directly.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        for figure in self.figures():
+            path = directory / f"BENCH_{sweep_payload_name(figure)}.json"
+            path.write_text(
+                json.dumps(self.payload(figure), indent=2, default=str) + "\n"
+            )
+            written.append(path)
+        return written
+
+    def dtype_comparison(self) -> list[dict]:
+        """float64-vs-float32 speedups per (figure, dimension, algorithm).
+
+        For every pair of rows identical up to ``dtype``, reports the
+        float64/float32 timing ratios (> 1 means float32 is faster).  Rows
+        without a counterpart (single-dtype sweeps) are omitted.
+        """
+        by_key: dict[tuple, dict[str, dict]] = {}
+        for result in self.cells:
+            dimension_column = result.cell.dimension_column
+            for row in result.rows:
+                key = (
+                    row.get("figure"),
+                    row.get("dataset"),
+                    row.get(dimension_column),
+                    row.get("algorithm"),
+                    row.get("backend"),
+                )
+                by_key.setdefault(key, {})[row["dtype"]] = row
+        comparison: list[dict] = []
+        for key in sorted(by_key, key=repr):
+            pair = by_key[key]
+            if "float64" not in pair or "float32" not in pair:
+                continue
+            f64, f32 = pair["float64"], pair["float32"]
+            figure, dataset, dimension, algorithm, backend = key
+            entry = {
+                "figure": figure,
+                "dataset": dataset,
+                "dimension": dimension,
+                "algorithm": algorithm,
+                "backend": backend,
+            }
+            for metric in ("update_ms", "query_ms"):
+                old, new = f64.get(metric), f32.get(metric)
+                if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+                    entry[metric.replace("_ms", "_speedup")] = (
+                        round(old / new, 3) if new > 0 else None
+                    )
+            comparison.append(entry)
+        return comparison
+
+
+class SweepRunner:
+    """Execute a :class:`SweepSpec`, cell by cell, in grid order.
+
+    Parameters
+    ----------
+    progress:
+        Optional callback invoked with a one-line message before and after
+        every cell (the CLI wires it to ``print``; tests and library
+        callers usually leave it off).
+    """
+
+    def __init__(self, *, progress: Callable[[str], None] | None = None) -> None:
+        self._progress = progress
+
+    def _report(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Run every cell of ``spec`` and collect the results.
+
+        Each cell runs under its own pinned backend/dtype pair; the
+        per-cell drivers (``figure4.run_cell`` / ``figure5.run_cell``)
+        build their streams and share one coordinate arena per cell.  The
+        cell's identity columns are stamped onto every row it produced.
+        """
+        scale = spec.resolve_scale()
+        result = SweepResult(spec=spec, scale_name=scale.name)
+        cells = spec.expand()
+        for index, cell in enumerate(cells, start=1):
+            self._report(f"[{index}/{len(cells)}] {cell.label} ...")
+            driver = _CELL_DRIVERS[cell.figure]
+            start = time.perf_counter()
+            with use_backend(cell.backend), use_dtype(cell.dtype):
+                rows = driver(
+                    cell.dimension, scale=scale, deltas=spec.deltas, seed=spec.seed
+                )
+            elapsed = time.perf_counter() - start
+            for row in rows:
+                row["backend"] = cell.backend
+                row["dtype"] = cell.dtype
+            result.cells.append(CellResult(cell=cell, rows=rows, elapsed_s=elapsed))
+            self._report(
+                f"[{index}/{len(cells)}] {cell.label} done in {elapsed:.2f}s "
+                f"({len(rows)} rows)"
+            )
+        return result
+
+
+def run_sweep(
+    *,
+    figures: Sequence[str] = ("4", "5"),
+    backends: Sequence[str] = ("auto",),
+    dtypes: Sequence[str] = ("float64", "float32"),
+    scale: str | None = None,
+    deltas: Sequence[float] = (0.5, 2.0),
+    dimensions: Sequence[int] | None = None,
+    seed: int = 0,
+    output_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """One-call convenience wrapper: build the spec, run it, write results.
+
+    ``output_dir=None`` skips writing; otherwise one
+    ``BENCH_figure<N>_sweep.json`` per figure lands there.  The
+    environment's ``REPRO_SCALE`` applies when ``scale`` is ``None``.
+    """
+    spec = SweepSpec(
+        figures=tuple(figures),
+        backends=tuple(backends),
+        dtypes=tuple(dtypes),
+        scale=scale,
+        deltas=tuple(deltas),
+        dimensions=tuple(dimensions) if dimensions is not None else None,
+        seed=seed,
+    )
+    result = SweepRunner(progress=progress).run(spec)
+    if output_dir is not None:
+        result.write(output_dir)
+    return result

@@ -1,0 +1,188 @@
+"""Declarative sweep specifications for the dimensionality benchmarks.
+
+A :class:`SweepSpec` names *what* to measure — which paper figures, which
+dimensionalities, which distance backends and floating-point precisions —
+and :meth:`SweepSpec.expand` turns it into the flat list of
+:class:`SweepCell` jobs the :class:`~repro.bench.runner.SweepRunner`
+executes.  The grid is figure-major and deterministic: cells are ordered by
+(figure, dimension, backend, dtype), so two runs of the same spec produce
+row-for-row comparable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.backend import validate_backend
+from ..experiments.common import ExperimentScale, get_scale
+
+#: Figures covered by the dimensionality sweeps: Figure 4 (blobs, the cost
+#: grows with the dimension) and Figure 5 (rotated, the cost stays flat as
+#: the *ambient* dimension grows).
+SWEEP_FIGURES = ("4", "5")
+
+#: Concrete dtypes a sweep cell may pin (``auto`` is deliberately excluded:
+#: every row must carry an unambiguous identity).
+SWEEP_DTYPES = ("float64", "float32")
+
+#: The rotated datasets embed a 3-d base stream, so their ambient dimension
+#: can never be smaller than this.
+ROTATED_BASE_DIMENSION = 3
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One executable job of an expanded sweep grid.
+
+    A cell pins every knob that affects the measurement: the paper figure
+    (which selects the dataset family), the dimensionality, the distance
+    backend (``auto`` = vectorized kernels, ``scalar`` = pure-Python
+    oracle) and the kernel dtype.  Cells are value objects; the runner
+    never mutates them.
+    """
+
+    figure: str
+    dataset: str
+    dimension: int
+    backend: str
+    dtype: str
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell identity (used for progress reporting)."""
+        return (
+            f"figure{self.figure} {self.dataset} "
+            f"backend={self.backend} dtype={self.dtype}"
+        )
+
+    @property
+    def dimension_column(self) -> str:
+        """Name of the identity column carrying this cell's dimensionality.
+
+        Figure 4 varies the intrinsic ``dimension`` of the blobs mixture;
+        Figure 5 varies the ``ambient_dimension`` of the rotated embedding.
+        """
+        return "dimension" if self.figure == "4" else "ambient_dimension"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A figure × dimension × backend × dtype benchmark grid.
+
+    Parameters
+    ----------
+    figures:
+        Which of the dimensionality figures to sweep (subset of
+        :data:`SWEEP_FIGURES`).
+    backends:
+        ``REPRO_BACKEND`` modes to pin per cell (``auto`` and/or
+        ``scalar``).
+    dtypes:
+        ``REPRO_DTYPE`` precisions to pin per cell (``float64`` and/or
+        ``float32``).  Running both is how the float32-vs-float64
+        throughput comparison of the docs benchmarks page is produced.
+    scale:
+        Experiment scale name (``tiny`` / ``small`` / ``full``); ``None``
+        defers to the ``REPRO_SCALE`` environment variable.
+    deltas:
+        Coreset precisions δ at which ``Ours`` runs in every cell.
+    dimensions:
+        Optional dimensionality override.  Either a flat sequence applied
+        to every selected figure, or a ``{figure: dimensions}`` mapping;
+        ``None`` uses the scale's per-figure defaults
+        (``blob_dimensions`` / ``rotated_dimensions``).
+    seed:
+        Random seed forwarded to the dataset generators.
+    """
+
+    figures: tuple[str, ...] = SWEEP_FIGURES
+    backends: tuple[str, ...] = ("auto",)
+    dtypes: tuple[str, ...] = ("float64", "float32")
+    scale: str | None = None
+    deltas: tuple[float, ...] = (0.5, 2.0)
+    dimensions: tuple[int, ...] | Mapping[str, Sequence[int]] | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.figures:
+            raise ValueError("a sweep needs at least one figure")
+        for figure in self.figures:
+            if figure not in SWEEP_FIGURES:
+                raise ValueError(
+                    f"unknown sweep figure {figure!r}; choose from "
+                    f"{', '.join(SWEEP_FIGURES)}"
+                )
+        if len(set(self.figures)) != len(self.figures):
+            raise ValueError(f"duplicate figures in {self.figures}")
+        if not self.backends:
+            raise ValueError("a sweep needs at least one backend")
+        for backend in self.backends:
+            validate_backend(backend)
+        if not self.dtypes:
+            raise ValueError("a sweep needs at least one dtype")
+        for dtype in self.dtypes:
+            if dtype not in SWEEP_DTYPES:
+                raise ValueError(
+                    f"unknown sweep dtype {dtype!r}; choose from "
+                    f"{', '.join(SWEEP_DTYPES)}"
+                )
+        if not self.deltas or any(d <= 0 for d in self.deltas):
+            raise ValueError(f"deltas must be positive, got {self.deltas}")
+
+    def resolve_scale(self) -> ExperimentScale:
+        """The :class:`ExperimentScale` this spec runs at."""
+        return get_scale(self.scale)
+
+    def dimensions_for(self, figure: str, scale: ExperimentScale) -> tuple[int, ...]:
+        """The dimensionalities swept for ``figure`` at ``scale``.
+
+        Raises ``ValueError`` for dimensions the figure's dataset family
+        cannot produce (positive everywhere; the rotated embeddings of
+        Figure 5 additionally need at least their 3-d base dimension).
+        """
+        override = self.dimensions
+        dimensions: tuple[int, ...]
+        if override is None:
+            dimensions = (
+                scale.blob_dimensions if figure == "4" else scale.rotated_dimensions
+            )
+        elif isinstance(override, Mapping):
+            if figure in override:
+                dimensions = tuple(int(d) for d in override[figure])
+            else:
+                dimensions = (
+                    scale.blob_dimensions
+                    if figure == "4"
+                    else scale.rotated_dimensions
+                )
+        else:
+            dimensions = tuple(int(d) for d in override)
+        floor = 1 if figure == "4" else ROTATED_BASE_DIMENSION
+        for dimension in dimensions:
+            if dimension < floor:
+                raise ValueError(
+                    f"figure {figure} cannot sweep dimension {dimension}: "
+                    f"its dataset family needs at least {floor} dimensions"
+                )
+        return dimensions
+
+    def expand(self) -> list[SweepCell]:
+        """The flat, deterministically ordered cell list of this grid."""
+        scale = self.resolve_scale()
+        cells: list[SweepCell] = []
+        for figure in self.figures:
+            family = "blobs" if figure == "4" else "rotated"
+            for dimension in self.dimensions_for(figure, scale):
+                for backend in self.backends:
+                    for dtype in self.dtypes:
+                        cells.append(
+                            SweepCell(
+                                figure=figure,
+                                dataset=f"{family}-{dimension}d",
+                                dimension=dimension,
+                                backend=backend,
+                                dtype=dtype,
+                            )
+                        )
+        return cells

@@ -1,18 +1,22 @@
 """Command-line front-end for the reproduction experiments.
 
-Installed as ``fair-center-bench`` (see ``pyproject.toml``).  Examples::
+Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
 
-    fair-center-bench list-datasets
-    fair-center-bench figure1 --scale tiny
-    fair-center-bench figure3 --dataset phones --csv results/figure3.csv
-    fair-center-bench ablation-solver --dataset higgs
-    fair-center-bench serve --streams 16 --shards 4
-    fair-center-bench ingest --streams 16 --shards 4 --workers process
+    repro-experiments list-datasets
+    repro-experiments figure1 --scale tiny
+    repro-experiments figure3 --dataset phones --csv results/figure3.csv
+    repro-experiments ablation-solver --dataset higgs
+    repro-experiments sweep --figure 4 --figure 5 --quick
+    repro-experiments serve --streams 16 --shards 4
+    repro-experiments ingest --streams 16 --shards 4 --workers process
 
 Each figure sub-command regenerates the series of one figure of the paper
 (or one ablation) and prints them as a plain-text table; ``--csv``
-additionally writes the raw rows to a file.  ``serve`` and ``ingest`` drive
-the sharded multi-stream serving layer over a dataset replayed as many
+additionally writes the raw rows to a file.  ``sweep`` runs the declarative
+dimensionality sweeps of :mod:`repro.bench` (Figures 4/5 across a
+figure × dimension × backend × dtype grid) and emits trend-gated
+``BENCH_figure<N>_sweep.json`` files.  ``serve`` and ``ingest`` drive the
+sharded multi-stream serving layer over a dataset replayed as many
 concurrent streams (``serve`` also fans out queries; ``ingest`` measures
 pure ingest throughput).
 """
@@ -56,14 +60,19 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         help="experiment scale (default: REPRO_SCALE env var or 'small')",
     )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
-    parser.add_argument("--csv", default=None, help="also write the rows to this CSV file")
+    parser.add_argument(
+        "--csv", default=None, help="also write the rows to this CSV file"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser of the CLI."""
     parser = argparse.ArgumentParser(
-        prog="fair-center-bench",
-        description="Reproduce the experiments of 'Fair Center Clustering in Sliding Windows'",
+        prog="repro-experiments",
+        description=(
+            "Reproduce the experiments of 'Fair Center Clustering in "
+            "Sliding Windows'"
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -90,6 +99,69 @@ def build_parser() -> argparse.ArgumentParser:
         elif name in ("figure3", "ablation-beta", "ablation-solver"):
             sub.add_argument("--dataset", default="phones", help="dataset name")
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="declarative figure 4/5 dimensionality sweeps (repro.bench)",
+    )
+    sweep.add_argument(
+        "--figure",
+        action="append",
+        choices=["4", "5"],
+        default=None,
+        help="figure to sweep (repeatable; default: both 4 and 5)",
+    )
+    sweep.add_argument(
+        "--backend",
+        action="append",
+        choices=["auto", "scalar"],
+        default=None,
+        help="REPRO_BACKEND mode per cell (repeatable; default: auto)",
+    )
+    sweep.add_argument(
+        "--dtype",
+        action="append",
+        choices=["float64", "float32"],
+        default=None,
+        help="kernel dtype per cell (repeatable; default: float64 and float32)",
+    )
+    sweep.add_argument(
+        "--dimension",
+        action="append",
+        type=int,
+        default=None,
+        help="dimensionality override (repeatable; default: the scale's grid)",
+    )
+    sweep.add_argument(
+        "--delta",
+        action="append",
+        type=float,
+        default=None,
+        help="coreset precision δ for Ours (repeatable; default: 0.5 and 2.0)",
+    )
+    sweep.add_argument(
+        "--scale",
+        choices=["tiny", "small", "full"],
+        default=None,
+        help="experiment scale (default: REPRO_SCALE env var or 'small')",
+    )
+    sweep.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: force the 'tiny' scale (overrides --scale)",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="random seed")
+    sweep.add_argument(
+        "--output-dir",
+        default="benchmarks/results",
+        help="directory receiving BENCH_figure<N>_sweep.json "
+        "(default: benchmarks/results; 'none' skips writing)",
+    )
+    sweep.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the per-cell progress lines",
+    )
+
     for name, help_text in [
         ("serve", "sharded multi-stream serving demo: ingest + query fan-out"),
         ("ingest", "sharded multi-stream ingest throughput measurement"),
@@ -101,7 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--points", type=int, default=4000, help="total points across all streams"
         )
-        sub.add_argument("--window", type=int, default=200, help="window size per stream")
+        sub.add_argument(
+            "--window", type=int, default=200, help="window size per stream"
+        )
         sub.add_argument("--delta", type=float, default=1.0, help="coreset precision δ")
         sub.add_argument(
             "--variant",
@@ -134,6 +208,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="evict streams idle for this many seconds (swept per drained "
             "batch; evicted streams revive transparently from their snapshot)",
         )
+        sub.add_argument(
+            "--revive-cache",
+            type=int,
+            default=0,
+            help="per-shard LRU of recently evicted live windows (re-touched "
+            "streams re-adopt their window without a snapshot replay; 0 "
+            "disables the cache)",
+        )
         sub.add_argument("--seed", type=int, default=0, help="random seed")
     return parser
 
@@ -164,6 +246,7 @@ def _run_serving(args: argparse.Namespace, with_queries: bool) -> int:
         batch_size=args.batch_size,
         workers=args.workers,
         idle_ttl=args.idle_ttl,
+        revive_cache=args.revive_cache,
     )
     stream_ids = [f"{args.dataset}-{i}" for i in range(args.streams)]
     arrivals = [
@@ -253,6 +336,61 @@ def _run_serving(args: argparse.Namespace, with_queries: bool) -> int:
     return 0
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    """Drive the declarative dimensionality sweeps of :mod:`repro.bench`."""
+    from .bench import run_sweep
+
+    output_dir = None if args.output_dir in (None, "none") else args.output_dir
+    result = run_sweep(
+        figures=tuple(args.figure) if args.figure else ("4", "5"),
+        backends=tuple(args.backend) if args.backend else ("auto",),
+        dtypes=tuple(args.dtype) if args.dtype else ("float64", "float32"),
+        scale="tiny" if args.quick else args.scale,
+        deltas=tuple(args.delta) if args.delta else (0.5, 2.0),
+        dimensions=tuple(args.dimension) if args.dimension else None,
+        seed=args.seed,
+        output_dir=None,  # written below so the paths can be reported
+        progress=None if args.no_progress else print,
+    )
+    for figure in result.figures():
+        columns = [
+            c
+            for c in result.columns_for(figure)
+            if c not in ("update_us", "query_us", "queries", "always_fair")
+        ]
+        print()
+        print(
+            format_table(
+                result.rows(figure),
+                columns,
+                title=f"figure {figure} dimensionality sweep "
+                f"(scale={result.scale_name})",
+            )
+        )
+    comparison = result.dtype_comparison()
+    if comparison:
+        print()
+        print(
+            format_table(
+                comparison,
+                [
+                    "figure",
+                    "dataset",
+                    "dimension",
+                    "algorithm",
+                    "update_speedup",
+                    "query_speedup",
+                ],
+                title="float32 vs float64 (ratio of float64 to float32 timings; "
+                ">1 means float32 is faster)",
+            )
+        )
+    if output_dir is not None:
+        for path in result.write(output_dir):
+            print(f"wrote {path}")
+    return 0
+
+
 def _run_command(args: argparse.Namespace) -> list[dict]:
     scale = get_scale(args.scale) if args.scale else None
     if args.command in ("figure1", "figure2"):
@@ -291,6 +429,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         ]
         print(format_table(rows, ["name", "dimension", "colors", "description"]))
         return 0
+
+    if args.command == "sweep":
+        return _run_sweep(args)
 
     if args.command in ("serve", "ingest"):
         return _run_serving(args, with_queries=args.command == "serve")

@@ -94,6 +94,7 @@ __all__ = [
     "get_dtype_mode",
     "greedy_cover_indices",
     "make_batch_engine",
+    "packed_pairwise",
     "resolve_dtype",
     "resolve_instance_kernel",
     "resolve_kernel",
@@ -673,9 +674,16 @@ class PointSet:
     Point sets behave as immutable sequences of their items, so existing
     list-based code (``len``, iteration, indexing, truthiness) keeps working
     unchanged.
+
+    A point set can additionally carry a cached full pairwise distance
+    matrix (see :meth:`compute_pairwise`), computed by one packed
+    ``many_to_many`` kernel call.  Once present, :meth:`distances_from` and
+    :meth:`distances_between` serve rows of the cache instead of launching
+    kernels — the radius-guessing solvers exploit this to run their whole
+    binary search without re-deriving a single distance.
     """
 
-    __slots__ = ("items", "coords", "kernel")
+    __slots__ = ("items", "coords", "kernel", "_pairwise")
 
     def __init__(
         self,
@@ -691,6 +699,7 @@ class PointSet:
             )
         self.coords = coords
         self.kernel = kernel
+        self._pairwise: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.items)
@@ -707,7 +716,14 @@ class PointSet:
         return self.kernel is not None and self.coords is not None
 
     def distances_from(self, index: int) -> np.ndarray:
-        """Distances from the ``index``-th point to every point (one kernel call)."""
+        """Distances from the ``index``-th point to every point.
+
+        One kernel call — or a zero-cost row of the cached pairwise matrix
+        when :meth:`compute_pairwise` ran earlier.  The cached row is a
+        read-only view; copy it before mutating in place.
+        """
+        if self._pairwise is not None:
+            return self._pairwise[index]
         assert self.kernel is not None and self.coords is not None
         return self.kernel.one_to_many(self.coords[index], self.coords)
 
@@ -717,17 +733,90 @@ class PointSet:
         query = np.asarray(coords, dtype=self.coords.dtype)
         return self.kernel.one_to_many(query, self.coords)
 
+    def distances_between(self, indices: Sequence[int]) -> np.ndarray:
+        """Packed ``(len(indices), n)`` distance matrix from selected rows.
+
+        One ``many_to_many`` kernel call (rows bitwise identical to the
+        corresponding :meth:`distances_from` calls), or a fancy-indexed copy
+        of the cached pairwise matrix when one is present.  This is the
+        routine the sequential solvers use wherever they previously stacked
+        per-head ``one_to_many`` sweeps.
+        """
+        assert self.kernel is not None and self.coords is not None
+        if self._pairwise is not None:
+            return self._pairwise[np.asarray(indices, dtype=np.intp)]
+        if len(indices) == 0:
+            return np.empty((0, len(self.items)), dtype=self.coords.dtype)
+        queries = self.coords[np.asarray(indices, dtype=np.intp)]
+        return self.kernel.many_to_many(queries, self.coords)
+
+    def pairwise_matrix(self) -> np.ndarray | None:
+        """The cached full pairwise matrix, or ``None`` when none was computed."""
+        return self._pairwise
+
+    def compute_pairwise(self) -> np.ndarray:
+        """Compute, cache and return the full ``(n, n)`` pairwise matrix.
+
+        Packed ``many_to_many`` calls (chunked so the broadcast temporary
+        stays bounded — see :func:`packed_pairwise`) whose rows are bitwise
+        identical to the per-row :meth:`distances_from` sweeps, so caching
+        never changes a threshold decision taken by a consumer.  The cache
+        is frozen (read-only) because :meth:`distances_from` hands out
+        views of its rows; quadratic in memory, so callers opt in
+        deliberately (the radius-guessing solvers do, for inputs they
+        enumerate pairwise anyway).
+        """
+        assert self.kernel is not None and self.coords is not None
+        if self._pairwise is None:
+            matrix = packed_pairwise(self.kernel, self.coords)
+            matrix.flags.writeable = False
+            self._pairwise = matrix
+        return self._pairwise
+
     def replace_items(self, items: Sequence) -> "PointSet":
         """A point set with the same coordinates over different item handles.
 
         Used to strip :class:`StreamItem` wrappers without losing the
-        coordinate view (the underlying points are unchanged).
+        coordinate view (the underlying points are unchanged).  The cached
+        pairwise matrix, when present, is carried over: the coordinates are
+        identical, so the distances are too.
         """
-        return PointSet(items, self.coords, self.kernel)
+        replaced = PointSet(items, self.coords, self.kernel)
+        replaced._pairwise = self._pairwise
+        return replaced
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = self.kernel.name if self.kernel is not None else "scalar"
         return f"PointSet(n={len(self.items)}, kernel={kind})"
+
+
+#: byte budget for the broadcast temporary of one packed pairwise chunk.
+#: ``many_to_many`` materialises a ``(q, n, d)`` difference array; computing
+#: a full ``(n, n)`` matrix in row blocks keeps that temporary bounded
+#: (~16 MB) instead of letting it grow to d times the result's size.
+_PAIRWISE_CHUNK_BYTES = 16 * 2**20
+
+
+def packed_pairwise(kernel: DistanceKernel, coords: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` distance matrix via chunked ``many_to_many`` calls.
+
+    Rows are bitwise identical to the corresponding ``one_to_many`` sweeps
+    (each chunk is a packed broadcast over the same row-by-row
+    differences); chunking only bounds the ``(q, n, d)`` broadcast
+    temporary, it never changes a value.
+    """
+    n, dim = coords.shape
+    if n == 0:
+        return np.empty((0, 0), dtype=coords.dtype)
+    per_row = max(1, n * max(1, dim) * coords.dtype.itemsize)
+    block = min(n, max(1, _PAIRWISE_CHUNK_BYTES // per_row))
+    if block >= n:
+        return kernel.many_to_many(coords, coords)
+    matrix = np.empty((n, n), dtype=coords.dtype)
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        matrix[start:stop] = kernel.many_to_many(coords[start:stop], coords)
+    return matrix
 
 
 def as_point_set(points: Sequence, metric: Callable | None = None) -> PointSet:
@@ -798,7 +887,8 @@ def greedy_cover_indices(
     # min-distance exceeds the threshold: every point before it was within
     # threshold of the cover as it stood when that point was scanned, and
     # covers only grow, so the decisions match the scalar scan exactly.
-    mindist = ps.distances_from(0)
+    # (Copied: with a cached pairwise matrix the row is a read-only view.)
+    mindist = ps.distances_from(0).copy()
     pos = 1
     while pos < n:
         above = np.nonzero(mindist[pos:] > threshold)[0]

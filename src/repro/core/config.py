@@ -212,9 +212,7 @@ class SlidingWindowConfig:
             and self.dmax is not None
             and self.dmin > self.dmax
         ):
-            raise ValueError(
-                f"dmin={self.dmin} must not exceed dmax={self.dmax}"
-            )
+            raise ValueError(f"dmin={self.dmin} must not exceed dmax={self.dmax}")
 
     @property
     def k(self) -> int:

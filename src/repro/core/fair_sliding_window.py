@@ -170,8 +170,9 @@ class FairSlidingWindow(BatchIngestMixin):
     def query(self) -> ClusteringSolution:
         """Algorithm 3: extract a fair-center solution for the current window."""
         if self._now == 0:
-            return ClusteringSolution(centers=[], radius=0.0,
-                                      metadata={"algorithm": "ours", "empty": True})
+            return ClusteringSolution(
+                centers=[], radius=0.0, metadata={"algorithm": "ours", "empty": True}
+            )
         k = self.config.k
         for state in self._states:
             if not state.is_valid:
@@ -223,8 +224,11 @@ class FairSlidingWindow(BatchIngestMixin):
                 solution.metadata["algorithm"] = "ours"
                 solution.metadata["fallback"] = True
                 return solution
-        return ClusteringSolution(centers=[], radius=float("inf"),
-                                  metadata={"algorithm": "ours", "fallback": True})
+        return ClusteringSolution(
+            centers=[],
+            radius=float("inf"),
+            metadata={"algorithm": "ours", "fallback": True},
+        )
 
     # --------------------------------------------------------------- snapshot
 

@@ -132,9 +132,7 @@ def make_points(
         return [make_point(row) for row in rows]
     colors = list(colors)
     if len(colors) != len(rows):
-        raise ValueError(
-            f"got {len(rows)} coordinate rows but {len(colors)} colors"
-        )
+        raise ValueError(f"got {len(rows)} coordinate rows but {len(colors)} colors")
     return [make_point(row, color) for row, color in zip(rows, colors)]
 
 

@@ -27,7 +27,7 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from .backend import PointSet, resolve_kernel
+from .backend import PointSet, packed_pairwise, resolve_kernel
 from .geometry import Point, StreamItem, stack_coordinates
 
 PointLike = Point | StreamItem
@@ -199,17 +199,22 @@ def pairwise_distances(
         return np.empty((0, 0), dtype=float)
     kernel = resolve_kernel(metric)
     if kernel is not None:
-        # Row-by-row differences rather than the Gram-matrix identity: the
-        # latter suffers catastrophic cancellation for nearly coincident
-        # points, and exact small distances matter to the radius-guessing
-        # solvers built on top of this matrix.
+        # Packed many_to_many calls (chunked — the broadcast temporary
+        # stays bounded): the broadcast path takes row-by-row differences
+        # rather than the Gram-matrix identity (the latter suffers
+        # catastrophic cancellation for nearly coincident points, and
+        # exact small distances matter to the radius-guessing solvers
+        # built on top of this matrix), so rows are bitwise identical to
+        # the per-row one_to_many sweeps this loop used to run.
         if isinstance(points, PointSet) and points.coords is not None:
-            coords = points.coords
-        else:
-            coords = stack_coordinates(points)
-        matrix = np.empty((n, n), dtype=coords.dtype)
-        for i in range(n):
-            matrix[i] = kernel.one_to_many(coords[i], coords)
+            # Cache the matrix on the point set: later distances_from /
+            # distances_between calls (the greedy head scans and binary-
+            # search probes of the solvers) become row reads.  The cache is
+            # read-only; Lp self-distances are exactly zero, so no separate
+            # diagonal fill is needed.
+            return points.compute_pairwise()
+        coords = stack_coordinates(points)
+        matrix = packed_pairwise(kernel, coords)
         np.fill_diagonal(matrix, 0.0)
         return matrix
     matrix = np.zeros((n, n), dtype=float)

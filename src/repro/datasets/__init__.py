@@ -8,9 +8,21 @@ from .loaders import (
     load_points_csv,
     save_points_csv,
 )
-from .registry import PAPER_DATASETS, DatasetSpec, available_datasets, get_spec, load_dataset
+from .registry import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    available_datasets,
+    get_spec,
+    load_dataset,
+)
 from .surrogates import covtype_surrogate, higgs_surrogate, phones_surrogate
-from .synthetic import blobs, drifting_mixture, rotated, two_scale_clusters, uniform_hypercube
+from .synthetic import (
+    blobs,
+    drifting_mixture,
+    rotated,
+    two_scale_clusters,
+    uniform_hypercube,
+)
 
 __all__ = [
     "DatasetSpec",

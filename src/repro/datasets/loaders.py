@@ -67,10 +67,12 @@ def load_csv_points(
     points: list[Point] = []
     rows = _open_rows(path, delimiter)
     for index, row in enumerate(rows):
-        if index == 0 and (skip_header or not all(
-            _is_number(row[c]) for c in coordinate_columns if c < len(row)
-        )):
-            continue
+        if index == 0:
+            header_like = not all(
+                _is_number(row[c]) for c in coordinate_columns if c < len(row)
+            )
+            if skip_header or header_like:
+                continue
         needed = max(list(coordinate_columns) + [color_column])
         if len(row) <= needed:
             continue

@@ -8,6 +8,7 @@ generator (default) or from a real file when a path is supplied.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -118,11 +119,42 @@ def available_datasets() -> list[str]:
     return sorted(_REGISTRY)
 
 
+#: pattern of the dimension-parameterised synthetic families: any
+#: ``blobs-<d>d`` / ``rotated-<d>d`` name resolves even when the dimension
+#: is outside the pre-registered grids (the sweep subsystem lets callers
+#: pick arbitrary dimensionality grids).
+_FAMILY_PATTERN = re.compile(r"^(blobs|rotated)-(\d+)d$")
+
+
+#: the rotated family embeds a 3-d base stream, so its ambient dimension
+#: can never be smaller than 3 (mirrored by repro.bench's sweep validation).
+_ROTATED_MIN_DIMENSION = 3
+
+
+def _family_spec(name: str) -> DatasetSpec | None:
+    match = _FAMILY_PATTERN.match(name)
+    if match is None:
+        return None
+    family, dimension = match.group(1), int(match.group(2))
+    if family == "blobs":
+        return _blob_spec(dimension) if dimension >= 1 else None
+    return _rotated_spec(dimension) if dimension >= _ROTATED_MIN_DIMENSION else None
+
+
 def get_spec(name: str) -> DatasetSpec:
-    """Resolve a dataset name to its :class:`DatasetSpec`."""
+    """Resolve a dataset name to its :class:`DatasetSpec`.
+
+    Names of the synthetic dimension families resolve beyond the
+    pre-registered grids: ``blobs-<d>d`` for any positive dimension and
+    ``rotated-<d>d`` for any ``d >= 3`` (the rotated embedding needs at
+    least its 3-d base).  Other names must be registered.
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
+        spec = _family_spec(name)
+        if spec is not None:
+            return spec
         known = ", ".join(available_datasets())
         raise ValueError(f"unknown dataset {name!r}; known datasets: {known}") from None
 

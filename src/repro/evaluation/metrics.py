@@ -98,7 +98,9 @@ def summarize(records: Iterable[QueryRecord]) -> AlgorithmSummary:
     algorithms = {r.algorithm for r in records}
     if len(algorithms) != 1:
         raise ValueError(f"records mix several algorithms: {sorted(algorithms)}")
-    ratios = [r.approximation_ratio for r in records if r.approximation_ratio is not None]
+    ratios = [
+        r.approximation_ratio for r in records if r.approximation_ratio is not None
+    ]
     coresets = [r.coreset_size for r in records if r.coreset_size is not None]
     return AlgorithmSummary(
         algorithm=records[0].algorithm,

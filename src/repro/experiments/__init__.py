@@ -1,6 +1,14 @@
 """Experiment drivers, one module per figure of the paper plus ablations."""
 
-from . import ablation_beta, ablation_solver, figure1, figure2, figure3, figure4, figure5
+from . import (
+    ablation_beta,
+    ablation_solver,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+)
 from .common import ExperimentScale, build_constraint, get_scale, make_contenders
 from .delta_sweep import run_delta_sweep
 

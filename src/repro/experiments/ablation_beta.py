@@ -57,8 +57,14 @@ def main() -> None:  # pragma: no cover - CLI entry point
     print(
         format_table(
             rows,
-            ["dataset", "beta", "algorithm", "approx_ratio", "memory_points",
-             "query_ms"],
+            [
+                "dataset",
+                "beta",
+                "algorithm",
+                "approx_ratio",
+                "memory_points",
+                "query_ms",
+            ],
             title="Ablation: sensitivity to the guess progression beta",
         )
     )

@@ -52,7 +52,9 @@ def run(
         )
 
     contenders = [
-        Contender("Ours[A=Jones]", FairSlidingWindow(config(), solver=JonesFairCenter())),
+        Contender(
+            "Ours[A=Jones]", FairSlidingWindow(config(), solver=JonesFairCenter())
+        ),
         Contender(
             "Ours[A=ChenEtAl]", FairSlidingWindow(config(), solver=ChenMatroidCenter())
         ),

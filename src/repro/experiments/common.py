@@ -97,7 +97,9 @@ def current_scale() -> ExperimentScale:
         return _SCALES[name]
     except KeyError:
         known = ", ".join(sorted(_SCALES))
-        raise ValueError(f"unknown REPRO_SCALE={name!r}; choose one of {known}") from None
+        raise ValueError(
+            f"unknown REPRO_SCALE={name!r}; choose one of {known}"
+        ) from None
 
 
 def get_scale(name: str | None = None) -> ExperimentScale:
@@ -151,7 +153,9 @@ class ContenderSet:
     constraint: FairnessConstraint
     dmin: float
     dmax: float
-    config: SlidingWindowConfig = field(repr=False, default=None)  # type: ignore[assignment]
+    config: SlidingWindowConfig = field(
+        repr=False, default=None
+    )  # type: ignore[assignment]
 
 
 def make_contenders(

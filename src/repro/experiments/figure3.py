@@ -32,7 +32,9 @@ def run(
 ) -> list[dict]:
     """Regenerate the Figure 3 series; one row per (window size, algorithm)."""
     scale = scale if scale is not None else get_scale()
-    window_sizes = tuple(window_sizes) if window_sizes is not None else scale.window_sizes
+    window_sizes = (
+        tuple(window_sizes) if window_sizes is not None else scale.window_sizes
+    )
 
     rows: list[dict] = []
     for window_size in window_sizes:
@@ -75,8 +77,14 @@ def main() -> None:  # pragma: no cover - CLI entry point
     print(
         format_table(
             rows,
-            ["dataset", "window_size", "algorithm", "memory_points", "query_ms",
-             "approx_ratio"],
+            [
+                "dataset",
+                "window_size",
+                "algorithm",
+                "memory_points",
+                "query_ms",
+                "approx_ratio",
+            ],
             title="Figure 3: memory and query time vs window size (delta=0.5)",
         )
     )

@@ -6,15 +6,19 @@ against the Jones baseline.  Expected shape: the baseline is insensitive to
 the dimensionality, while the query time and memory of the streaming
 algorithm grow with d — steeply for δ = 0.5, mildly for δ = 2 (which still
 uses less memory than the baseline).
+
+:func:`run_cell` regenerates the series at a *single* dimensionality — the
+unit the :mod:`repro.bench` sweep runner schedules across its
+figure × dimension × backend × dtype grid; :func:`run` is the plain
+all-dimensions driver used by the ``figure4`` CLI sub-command.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from ..core.config import FairnessConstraint
+from ..core.config import FairnessConstraint, SlidingWindowConfig
 from ..core.fair_sliding_window import FairSlidingWindow
-from ..core.config import SlidingWindowConfig
 from ..datasets.synthetic import blobs
 from ..evaluation.reporting import format_table
 from ..evaluation.runner import Contender, run_experiment
@@ -27,6 +31,60 @@ PER_COLOR_CAPACITY = 3
 NUM_COLORS = 7
 
 
+def run_cell(
+    dimension: int,
+    *,
+    scale: ExperimentScale | None = None,
+    deltas: Sequence[float] = (0.5, 2.0),
+    seed: int = 0,
+) -> list[dict]:
+    """The Figure 4 series at one dimensionality; one row per (algorithm, δ).
+
+    One call is one *sweep cell*: the blobs stream is generated, converted
+    once into the run's shared coordinate arena, and every contender (the
+    Jones baseline plus ``Ours`` at each δ) is driven over it.
+    """
+    scale = scale if scale is not None else get_scale()
+    constraint = FairnessConstraint.uniform(list(range(NUM_COLORS)), PER_COLOR_CAPACITY)
+    points = blobs(scale.stream_length, dimension, num_colors=NUM_COLORS, seed=seed)
+    dmin, dmax = estimate_distance_bounds(points)
+    contenders: list[Contender] = [
+        Contender(
+            "Jones",
+            SlidingWindowBaseline(
+                scale.window_size, constraint, JonesFairCenter(), name="Jones"
+            ),
+            is_reference=True,
+        )
+    ]
+    for delta in deltas:
+        config = SlidingWindowConfig(
+            window_size=scale.window_size,
+            constraint=constraint,
+            delta=delta,
+            beta=2.0,
+            dmin=dmin,
+            dmax=dmax,
+        )
+        contenders.append(Contender(f"Ours(delta={delta})", FairSlidingWindow(config)))
+    result = run_experiment(
+        points,
+        contenders,
+        window_size=scale.window_size,
+        constraint=constraint,
+        num_queries=scale.num_queries,
+    )
+    return [
+        {
+            "figure": "4",
+            "dataset": f"blobs-{dimension}d",
+            "dimension": dimension,
+            **row,
+        }
+        for row in result.summaries().values()
+    ]
+
+
 def run(
     *,
     scale: ExperimentScale | None = None,
@@ -37,44 +95,9 @@ def run(
     """Regenerate the Figure 4 series; one row per (dimension, algorithm, δ)."""
     scale = scale if scale is not None else get_scale()
     dimensions = tuple(dimensions) if dimensions is not None else scale.blob_dimensions
-    constraint = FairnessConstraint.uniform(list(range(NUM_COLORS)), PER_COLOR_CAPACITY)
-
     rows: list[dict] = []
     for dim in dimensions:
-        points = blobs(
-            scale.stream_length, dim, num_colors=NUM_COLORS, seed=seed
-        )
-        dmin, dmax = estimate_distance_bounds(points)
-        contenders: list[Contender] = [
-            Contender(
-                "Jones",
-                SlidingWindowBaseline(
-                    scale.window_size, constraint, JonesFairCenter(), name="Jones"
-                ),
-                is_reference=True,
-            )
-        ]
-        for delta in deltas:
-            config = SlidingWindowConfig(
-                window_size=scale.window_size,
-                constraint=constraint,
-                delta=delta,
-                beta=2.0,
-                dmin=dmin,
-                dmax=dmax,
-            )
-            contenders.append(
-                Contender(f"Ours(delta={delta})", FairSlidingWindow(config))
-            )
-        result = run_experiment(
-            points,
-            contenders,
-            window_size=scale.window_size,
-            constraint=constraint,
-            num_queries=scale.num_queries,
-        )
-        for name, row in result.summaries().items():
-            rows.append({"figure": "4", "dimension": dim, **row})
+        rows.extend(run_cell(dim, scale=scale, deltas=deltas, seed=seed))
     return rows
 
 

@@ -7,6 +7,11 @@ Expected shape: unlike Figure 4, the query time and memory of the streaming
 algorithm stay flat as the ambient dimension grows, confirming that the cost
 depends on the doubling dimension of the data rather than on the raw number
 of coordinates.
+
+:func:`run_cell` regenerates the series at a *single* ambient dimension —
+the unit the :mod:`repro.bench` sweep runner schedules across its
+figure × dimension × backend × dtype grid; :func:`run` is the plain
+all-dimensions driver used by the ``figure5`` CLI sub-command.
 """
 
 from __future__ import annotations
@@ -28,6 +33,61 @@ from .common import (
 )
 
 
+def run_cell(
+    ambient_dimension: int,
+    *,
+    scale: ExperimentScale | None = None,
+    deltas: Sequence[float] = (0.5, 2.0),
+    seed: int = 0,
+) -> list[dict]:
+    """The Figure 5 series at one ambient dimension; one row per (algorithm, δ).
+
+    One call is one *sweep cell*: the rotated stream is generated, converted
+    once into the run's shared coordinate arena, and every contender (the
+    Jones baseline plus ``Ours`` at each δ) is driven over it.
+    """
+    scale = scale if scale is not None else get_scale()
+    dataset = f"rotated-{ambient_dimension}d"
+    points = load_dataset(dataset, scale.stream_length, seed=seed)
+    constraint = build_constraint(points)
+    dmin, dmax = estimate_distance_bounds(points)
+    contenders: list[Contender] = [
+        Contender(
+            "Jones",
+            SlidingWindowBaseline(
+                scale.window_size, constraint, JonesFairCenter(), name="Jones"
+            ),
+            is_reference=True,
+        )
+    ]
+    for delta in deltas:
+        config = SlidingWindowConfig(
+            window_size=scale.window_size,
+            constraint=constraint,
+            delta=delta,
+            beta=2.0,
+            dmin=dmin,
+            dmax=dmax,
+        )
+        contenders.append(Contender(f"Ours(delta={delta})", FairSlidingWindow(config)))
+    result = run_experiment(
+        points,
+        contenders,
+        window_size=scale.window_size,
+        constraint=constraint,
+        num_queries=scale.num_queries,
+    )
+    return [
+        {
+            "figure": "5",
+            "dataset": dataset,
+            "ambient_dimension": ambient_dimension,
+            **row,
+        }
+        for row in result.summaries().values()
+    ]
+
+
 def run(
     *,
     scale: ExperimentScale | None = None,
@@ -42,42 +102,9 @@ def run(
         if ambient_dimensions is not None
         else scale.rotated_dimensions
     )
-
     rows: list[dict] = []
     for ambient in ambient_dimensions:
-        points = load_dataset(f"rotated-{ambient}d", scale.stream_length, seed=seed)
-        constraint = build_constraint(points)
-        dmin, dmax = estimate_distance_bounds(points)
-        contenders: list[Contender] = [
-            Contender(
-                "Jones",
-                SlidingWindowBaseline(
-                    scale.window_size, constraint, JonesFairCenter(), name="Jones"
-                ),
-                is_reference=True,
-            )
-        ]
-        for delta in deltas:
-            config = SlidingWindowConfig(
-                window_size=scale.window_size,
-                constraint=constraint,
-                delta=delta,
-                beta=2.0,
-                dmin=dmin,
-                dmax=dmax,
-            )
-            contenders.append(
-                Contender(f"Ours(delta={delta})", FairSlidingWindow(config))
-            )
-        result = run_experiment(
-            points,
-            contenders,
-            window_size=scale.window_size,
-            constraint=constraint,
-            num_queries=scale.num_queries,
-        )
-        for name, row in result.summaries().items():
-            rows.append({"figure": "5", "ambient_dimension": ambient, **row})
+        rows.extend(run_cell(ambient, scale=scale, deltas=deltas, seed=seed))
     return rows
 
 
@@ -86,8 +113,13 @@ def main() -> None:  # pragma: no cover - CLI entry point
     print(
         format_table(
             rows,
-            ["ambient_dimension", "algorithm", "query_ms", "memory_points",
-             "approx_ratio"],
+            [
+                "ambient_dimension",
+                "algorithm",
+                "query_ms",
+                "memory_points",
+                "approx_ratio",
+            ],
             title="Figure 5: query time and memory vs ambient dimensionality (rotated)",
         )
     )

@@ -136,9 +136,7 @@ def common_independent_set_of_size(
     size: int,
 ) -> list[Element] | None:
     """A common independent set of exactly ``size`` elements, if one exists."""
-    result = matroid_intersection(
-        elements, matroid_a, matroid_b, target_size=size
-    )
+    result = matroid_intersection(elements, matroid_a, matroid_b, target_size=size)
     if len(result) >= size:
         return result[:size]
     return None

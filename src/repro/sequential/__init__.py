@@ -3,7 +3,12 @@
 from .base import FairCenterSolver
 from .brute_force import ExactFairCenter, exact_fair_center, exact_k_center
 from .chen import ChenMatroidCenter, chen_matroid_center
-from .gonzalez import GonzalezKCenter, GonzalezResult, gonzalez, greedy_independent_heads
+from .gonzalez import (
+    GonzalezKCenter,
+    GonzalezResult,
+    gonzalez,
+    greedy_independent_heads,
+)
 from .jones import JonesFairCenter, jones_fair_center
 from .kleindessner import CapacityAwareGreedy, capacity_aware_greedy
 from .matching import BipartiteGraph, capacitated_matching, hopcroft_karp

@@ -77,8 +77,9 @@ def exact_fair_center(
     if best_centers is None:
         # No feasible non-empty center set (e.g. all capacities are for
         # colors absent from the data); report an empty, infinite solution.
-        return ClusteringSolution(centers=[], radius=float("inf"),
-                                  metadata={"algorithm": "exact_fair"})
+        return ClusteringSolution(
+            centers=[], radius=float("inf"), metadata={"algorithm": "exact_fair"}
+        )
     return ClusteringSolution(
         centers=best_centers,
         radius=best_radius,

@@ -115,8 +115,9 @@ class ChenMatroidCenter:
         ps = as_point_set(points, metric)
         plain = strip_stream_items(ps.items)
         if not plain:
-            return ClusteringSolution(centers=[], radius=0.0, coreset_size=0,
-                                      metadata={"algorithm": "chen"})
+            return ClusteringSolution(
+                centers=[], radius=0.0, coreset_size=0, metadata={"algorithm": "chen"}
+            )
         # The coordinate matrix survives stream-item stripping unchanged and
         # is shared by every feasibility probe of the binary search.
         plain_ps = ps.replace_items(plain)
@@ -225,13 +226,12 @@ class ChenMatroidCenter:
         # disagree by 1 ulp at the exact optimal radius, which would
         # otherwise wrongly mark the guess infeasible.
         tolerance = radius * (1.0 + 1e-9) + 1e-12
-        # One batched sweep per head (on the shared coordinate matrix)
-        # instead of one small scan per point: the column-wise argmin matches
-        # the per-point "first minimum" rule.
+        # One packed many_to_many call for every head at once (a cached
+        # pairwise matrix — computed by the exact candidate enumeration —
+        # turns this into a row read): the column-wise argmin matches the
+        # per-point "first minimum" rule.
         if points.is_vectorized:
-            head_distances = np.stack(
-                [points.distances_from(i) for i in head_indices]
-            )
+            head_distances = points.distances_between(head_indices)
         else:
             head_distances = np.stack(
                 [

@@ -41,9 +41,7 @@ from .gonzalez import gonzalez
 from .matching import capacitated_matching
 
 
-def _cluster_members(
-    assignment: Sequence[int], num_heads: int
-) -> list[list[int]]:
+def _cluster_members(assignment: Sequence[int], num_heads: int) -> list[list[int]]:
     members: list[list[int]] = [[] for _ in range(num_heads)]
     for point_index, head_index in enumerate(assignment):
         members[head_index].append(point_index)
@@ -77,8 +75,9 @@ class JonesFairCenter:
         ps = as_point_set(points, metric)
         plain = strip_stream_items(ps.items)
         if not plain:
-            return ClusteringSolution(centers=[], radius=0.0, coreset_size=0,
-                                      metadata={"algorithm": "jones"})
+            return ClusteringSolution(
+                centers=[], radius=0.0, coreset_size=0, metadata={"algorithm": "jones"}
+            )
         # Stripping stream items does not change coordinates, so the point
         # set's (n, d) matrix is reused as-is for every later kernel call.
         plain_ps = ps.replace_items(plain)
@@ -128,9 +127,7 @@ class JonesFairCenter:
             colors_present = sorted(
                 {points[i].color for i in member_indices}, key=repr
             )
-            eligible = [
-                c for c in colors_present if constraint.capacity(c) > 0
-            ]
+            eligible = [c for c in colors_present if constraint.capacity(c) > 0]
             edges[head_index] = eligible
 
         matching = capacitated_matching(edges, dict(constraint.capacities))
@@ -186,9 +183,13 @@ class JonesFairCenter:
                     dtype=float,
                 )
 
-        # Distance of every point from the current center set, computed one
-        # center at a time (k batched sweeps instead of n small scans).
-        if center_indices:
+        # Distance of every point from the current center set: one packed
+        # many_to_many sweep over all selected centers (bitwise identical to
+        # the former one-kernel-call-per-center minimum), with the scalar
+        # per-center fallback for custom metrics.
+        if center_indices and points.is_vectorized:
+            closest = points.distances_between(center_indices).min(axis=0)
+        elif center_indices:
             closest = distances_from(center_indices[0]).copy()
             for index in center_indices[1:]:
                 np.minimum(closest, distances_from(index), out=closest)

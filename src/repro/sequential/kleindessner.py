@@ -44,8 +44,12 @@ class CapacityAwareGreedy:
         ps = as_point_set(points, metric)
         plain = strip_stream_items(ps.items)
         if not plain:
-            return ClusteringSolution(centers=[], radius=0.0, coreset_size=0,
-                                      metadata={"algorithm": "capacity_greedy"})
+            return ClusteringSolution(
+                centers=[],
+                radius=0.0,
+                coreset_size=0,
+                metadata={"algorithm": "capacity_greedy"},
+            )
         plain_ps = ps.replace_items(plain)
 
         remaining: dict[Color, int] = dict(constraint.capacities)
@@ -58,9 +62,12 @@ class CapacityAwareGreedy:
             (i for i, p in enumerate(plain) if remaining.get(p.color, 0) > 0), None
         )
         if seed is None:
-            return ClusteringSolution(centers=[], radius=float("inf"),
-                                      coreset_size=len(plain),
-                                      metadata={"algorithm": "capacity_greedy"})
+            return ClusteringSolution(
+                centers=[],
+                radius=float("inf"),
+                coreset_size=len(plain),
+                metadata={"algorithm": "capacity_greedy"},
+            )
         self._add_center(plain_ps, seed, centers, chosen, remaining, closest, metric)
 
         while len(centers) < constraint.k:

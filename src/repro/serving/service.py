@@ -86,6 +86,14 @@ class ServingConfig:
         behind (the default): the stream's window state survives eviction
         and is revived transparently on its next ingest or query.  With
         ``False`` evicted streams restart empty.
+    revive_cache:
+        Per-shard LRU capacity of *recently evicted live windows*.  A
+        stream touched shortly after its eviction re-adopts its parked
+        window wholesale — no factory call, no snapshot replay — which
+        absorbs cold-revival storms at the price of keeping that many
+        windows' memory per shard.  Windows pushed out of the cache fall
+        back to the ``snapshot_evicted`` behaviour.  ``0`` (the default)
+        disables the cache.
     """
 
     num_shards: int = 4
@@ -95,6 +103,7 @@ class ServingConfig:
     auto_start: bool = True
     idle_ttl: float | None = None
     snapshot_evicted: bool = True
+    revive_cache: int = 0
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -105,9 +114,9 @@ class ServingConfig:
                 f"{', '.join(WORKER_MODES)}"
             )
         if self.idle_ttl is not None and self.idle_ttl < 0:
-            raise ValueError(
-                f"idle_ttl must be >= 0 when given, got {self.idle_ttl}"
-            )
+            raise ValueError(f"idle_ttl must be >= 0 when given, got {self.idle_ttl}")
+        if self.revive_cache < 0:
+            raise ValueError(f"revive_cache must be >= 0, got {self.revive_cache}")
 
 
 @dataclass
@@ -133,7 +142,38 @@ class FanoutResult:
 
 
 class MultiStreamService:
-    """Sharded ingestion and query serving for many independent streams."""
+    """Sharded ingestion and query serving for many independent streams.
+
+    The service is the synchronous front door of the serving layer: it
+    hashes stream ids onto ``config.num_shards`` shards through its
+    :class:`~repro.serving.router.StreamRouter`, forwards arrivals into the
+    shards' bounded ingest queues (backpressure: blocking submits wait,
+    non-blocking ones raise
+    :class:`~repro.serving.shard.IngestQueueFull`), and fans queries out
+    across shards.  Lifecycle operations — directory checkpoints
+    (:meth:`snapshot_to` / :meth:`restore`), idle-stream eviction
+    (:meth:`evict_idle`) and the evicted-window revive cache — are
+    delegated to the shard workers.  Use it as a context manager so the
+    workers are always stopped (and recorded drain failures surfaced) on
+    the way out.
+
+    Parameters
+    ----------
+    factory:
+        Builds one window per served stream: any callable
+        ``factory(stream_id) -> window`` whose result exposes
+        ``insert`` / ``insert_batch`` / ``query`` / ``memory_points``
+        (plus ``snapshot`` / ``restore`` when checkpointing or
+        snapshot-eviction is used).  Use the picklable
+        :class:`~repro.serving.factory.WindowFactory` with
+        ``workers="process"``.
+    config:
+        The :class:`ServingConfig` deployment knobs; ``None`` uses the
+        defaults (4 thread-backed shards).
+    router:
+        Optional pre-built :class:`~repro.serving.router.StreamRouter`;
+        its shard count must match the config's.
+    """
 
     def __init__(
         self,
@@ -162,6 +202,7 @@ class MultiStreamService:
                 batch_size=self.config.batch_size,
                 idle_ttl=self.config.idle_ttl,
                 snapshot_evicted=self.config.snapshot_evicted,
+                revive_cache=self.config.revive_cache,
             )
             for shard_id in range(self.config.num_shards)
         ]

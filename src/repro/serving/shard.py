@@ -75,6 +75,11 @@ class ShardStats:
     queue_depth: int
     #: number of idle-stream evictions performed so far.
     evicted: int = 0
+    #: evicted windows currently parked in the revive cache (their memory
+    #: is still held — ``memory_points`` counts them too).
+    cached_streams: int = 0
+    #: revivals served from the cache instead of a snapshot replay.
+    cache_revivals: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -103,20 +108,38 @@ class _StreamTable:
     and *cold* when only its last :class:`WindowSnapshot` is held; cold
     streams are revived transparently — factory-built, then restored — on
     their next ingest or query.
+
+    Between live and cold sits an optional *revive cache*: an LRU of the
+    ``revive_cache`` most recently evicted windows, kept intact instead of
+    being torn down.  A touched stream found there is re-adopted as-is
+    (no factory call, no snapshot replay), which absorbs cold-revival
+    storms — bursts of traffic returning to just-evicted streams.  Windows
+    pushed out of the cache are snapshotted lazily at that point (when
+    ``snapshot_evicted`` is set) and fall back to the ordinary cold path.
     """
 
     __slots__ = (
         "factory",
         "snapshot_evicted",
+        "revive_cache",
         "windows",
         "last_ingest",
         "cold",
+        "lru",
         "evictions",
+        "cache_revivals",
     )
 
-    def __init__(self, factory: WindowFactoryFn, snapshot_evicted: bool) -> None:
+    def __init__(
+        self,
+        factory: WindowFactoryFn,
+        snapshot_evicted: bool,
+        revive_cache: int = 0,
+    ) -> None:
         self.factory = factory
         self.snapshot_evicted = snapshot_evicted
+        #: capacity of the evicted-window LRU (0 disables it).
+        self.revive_cache = revive_cache
         self.windows: dict[str, object] = {}
         #: per live stream: monotonic time of its last applied ingest (the
         #: idle clock; revival also stamps it so a revived stream gets a
@@ -124,16 +147,31 @@ class _StreamTable:
         self.last_ingest: dict[str, float] = {}
         #: snapshots of evicted (and not-yet-materialised restored) streams.
         self.cold: dict[str, WindowSnapshot] = {}
+        #: recently evicted live windows, oldest first (plain dict: Python
+        #: dicts preserve insertion order, which is all an LRU needs here —
+        #: entries are only ever appended and popped).
+        self.lru: dict[str, object] = {}
         self.evictions = 0
+        #: number of revivals served from the LRU instead of a snapshot.
+        self.cache_revivals = 0
 
     def materialise(self, stream_id: str):
-        """The live window of ``stream_id``, reviving or creating it."""
+        """The live window of ``stream_id``, reviving or creating it.
+
+        Revival prefers the evicted-window LRU (the window is re-adopted
+        untouched); otherwise a fresh factory window is built and, when a
+        cold snapshot exists, restored from it.
+        """
         window = self.windows.get(stream_id)
         if window is None:
-            window = self.factory(stream_id)
-            snapshot = self.cold.pop(stream_id, None)
-            if snapshot is not None:
-                window.restore(snapshot)  # type: ignore[attr-defined]
+            window = self.lru.pop(stream_id, None)
+            if window is not None:
+                self.cache_revivals += 1
+            else:
+                window = self.factory(stream_id)
+                snapshot = self.cold.pop(stream_id, None)
+                if snapshot is not None:
+                    window.restore(snapshot)  # type: ignore[attr-defined]
             self.windows[stream_id] = window
             self.last_ingest[stream_id] = time.monotonic()
         return window
@@ -147,15 +185,21 @@ class _StreamTable:
             self.last_ingest[stream_id] = now
 
     def known(self, stream_id: str) -> bool:
-        """Whether the stream is live or cold on this shard."""
-        return stream_id in self.windows or stream_id in self.cold
+        """Whether the stream is live, cached or cold on this shard."""
+        return (
+            stream_id in self.windows
+            or stream_id in self.cold
+            or stream_id in self.lru
+        )
 
     def evict_idle(self, ttl: float) -> list[str]:
         """Evict every live stream idle for at least ``ttl`` seconds.
 
-        With ``snapshot_evicted`` the window is snapshotted into the cold
-        table first (the stream revives transparently on its next touch);
-        otherwise its state is dropped and the stream restarts empty.
+        With a revive cache the window is parked in the LRU intact (a
+        prompt re-touch re-adopts it wholesale); without one — or once the
+        LRU overflows — ``snapshot_evicted`` decides whether the window
+        leaves a cold snapshot behind (transparent revival on the next
+        touch) or is dropped entirely (the stream restarts empty).
         Returns the evicted stream ids.
         """
         now = time.monotonic()
@@ -167,17 +211,30 @@ class _StreamTable:
         for stream_id in evicted:
             window = self.windows.pop(stream_id)
             del self.last_ingest[stream_id]
-            if self.snapshot_evicted:
+            if self.revive_cache > 0:
+                # A stale cold snapshot (from an earlier overflow) must not
+                # shadow the fresher window parked in the LRU.
+                self.cold.pop(stream_id, None)
+                self.lru[stream_id] = window
+                while len(self.lru) > self.revive_cache:
+                    old_id = next(iter(self.lru))
+                    old_window = self.lru.pop(old_id)
+                    if self.snapshot_evicted:
+                        snapshot = old_window.snapshot()  # type: ignore[attr-defined]
+                        self.cold[old_id] = snapshot
+            elif self.snapshot_evicted:
                 self.cold[stream_id] = window.snapshot()  # type: ignore[attr-defined]
         self.evictions += len(evicted)
         return evicted
 
     def checkpoint(self) -> dict[str, WindowSnapshot]:
-        """Snapshots of every known stream (live ones snapshotted now)."""
+        """Snapshots of every known stream (live and cached snapshotted now)."""
         snapshots = {
             stream_id: window.snapshot()  # type: ignore[attr-defined]
             for stream_id, window in self.windows.items()
         }
+        for stream_id, window in self.lru.items():
+            snapshots[stream_id] = window.snapshot()  # type: ignore[attr-defined]
         snapshots.update(self.cold)
         return snapshots
 
@@ -190,14 +247,24 @@ class _StreamTable:
         """
         self.windows.clear()
         self.last_ingest.clear()
+        self.lru.clear()
         self.cold = dict(snapshots)
 
     def memory_points(self) -> int:
-        """Stored points across the live windows (cold streams hold none)."""
-        return sum(
+        """Stored points across the live and LRU-cached windows.
+
+        Cold streams hold none; cached windows are counted because the
+        revive cache deliberately trades their memory for revival speed.
+        """
+        live = sum(
             window.memory_points()  # type: ignore[attr-defined]
             for window in self.windows.values()
         )
+        cached = sum(
+            window.memory_points()  # type: ignore[attr-defined]
+            for window in self.lru.values()
+        )
+        return live + cached
 
 
 class ShardWorker:
@@ -212,6 +279,7 @@ class ShardWorker:
         batch_size: int = 32,
         idle_ttl: float | None = None,
         snapshot_evicted: bool = True,
+        revive_cache: int = 0,
     ) -> None:
         if queue_capacity <= 0:
             raise ValueError(f"queue_capacity must be positive, got {queue_capacity}")
@@ -219,13 +287,15 @@ class ShardWorker:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if idle_ttl is not None and idle_ttl < 0:
             raise ValueError(f"idle_ttl must be >= 0 when given, got {idle_ttl}")
+        if revive_cache < 0:
+            raise ValueError(f"revive_cache must be >= 0, got {revive_cache}")
         self.shard_id = shard_id
         self._factory = factory
         self._batch_size = batch_size
         self._idle_ttl = idle_ttl
         self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
         self._lock = threading.Lock()
-        self._table = _StreamTable(factory, snapshot_evicted)
+        self._table = _StreamTable(factory, snapshot_evicted, revive_cache)
         self._ingested = 0
         self._batches = 0
         self._max_batch = 0
@@ -425,6 +495,8 @@ class ShardWorker:
                 max_batch=self._max_batch,
                 queue_depth=self._queue.qsize(),
                 evicted=self._table.evictions,
+                cached_streams=len(self._table.lru),
+                cache_revivals=self._table.cache_revivals,
             )
 
     def memory_points(self) -> int:
@@ -443,9 +515,10 @@ def _process_shard_main(
     results: multiprocessing.Queue,
     idle_ttl: float | None = None,
     snapshot_evicted: bool = True,
+    revive_cache: int = 0,
 ) -> None:
     """Drain loop of a process-backed shard (runs in the child process)."""
-    table = _StreamTable(factory, snapshot_evicted)
+    table = _StreamTable(factory, snapshot_evicted, revive_cache)
     ingested = 0
     batches = 0
     max_batch = 0
@@ -504,6 +577,8 @@ def _process_shard_main(
                         max_batch=max_batch,
                         queue_depth=0,
                         evicted=table.evictions,
+                        cached_streams=len(table.lru),
+                        cache_revivals=table.cache_revivals,
                     ),
                 )
             )
@@ -536,6 +611,7 @@ class ProcessShardWorker:
         batch_size: int = 32,
         idle_ttl: float | None = None,
         snapshot_evicted: bool = True,
+        revive_cache: int = 0,
     ) -> None:
         if queue_capacity <= 0:
             raise ValueError(f"queue_capacity must be positive, got {queue_capacity}")
@@ -543,11 +619,14 @@ class ProcessShardWorker:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if idle_ttl is not None and idle_ttl < 0:
             raise ValueError(f"idle_ttl must be >= 0 when given, got {idle_ttl}")
+        if revive_cache < 0:
+            raise ValueError(f"revive_cache must be >= 0, got {revive_cache}")
         self.shard_id = shard_id
         self._factory = factory
         self._batch_size = batch_size
         self._idle_ttl = idle_ttl
         self._snapshot_evicted = snapshot_evicted
+        self._revive_cache = revive_cache
         context = multiprocessing.get_context()
         self._tasks: multiprocessing.Queue = context.Queue(maxsize=queue_capacity)
         self._results: multiprocessing.Queue = context.Queue()
@@ -569,6 +648,7 @@ class ProcessShardWorker:
                     self._results,
                     self._idle_ttl,
                     self._snapshot_evicted,
+                    self._revive_cache,
                 ),
                 daemon=True,
             )

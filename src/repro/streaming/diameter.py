@@ -156,7 +156,8 @@ class AspectRatioEstimator:
             most_recent[position] = best
         pairs = self._pairs
         position = len(entries) - 1
-        for exponent in range(max_exponent, self._min_tracked_exponent(best_distance) - 1, -1):
+        min_exponent = self._min_tracked_exponent(best_distance)
+        for exponent in range(max_exponent, min_exponent - 1, -1):
             scale = 2.0**exponent
             while position > 0 and entries[position - 1][0] >= scale:
                 position -= 1

@@ -90,9 +90,7 @@ class QuerySchedule:
         return QuerySchedule(tuple(times))
 
     @staticmethod
-    def consecutive(
-        start: int, count: int
-    ) -> "QuerySchedule":
+    def consecutive(start: int, count: int) -> "QuerySchedule":
         """``count`` consecutive query times starting at ``start``."""
         return QuerySchedule(tuple(range(start, start + count)))
 

@@ -1,0 +1,277 @@
+"""Tests for the declarative dimensionality-sweep subsystem (``repro.bench``).
+
+Covers the satellite checklist of the sweep PR:
+
+* grid expansion — figure × dimension × backend × dtype, deterministic
+  order, per-figure and flat dimension overrides, spec validation;
+* JSON row schema — identity columns the trend gate keys rows by, metric
+  columns, microsecond mirrors, payload header fields;
+* ``--quick`` CLI smoke — the ``repro-experiments sweep`` entry point runs
+  end to end at tiny scale and its output round-trips through
+  ``benchmarks/check_trend.py`` (and a doctored regression fails it);
+* float32/float64 cell parity — same streams, same solutions within
+  float32 tolerance, only the ``dtype`` identity column differs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import check_trend
+from repro.bench import (
+    SWEEP_FIGURES,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+    sweep_payload_name,
+)
+from repro.cli import main as cli_main
+from repro.experiments.common import get_scale
+
+#: identity of every sweep row, as the trend gate must see it.
+IDENTITY_COLUMNS = ("figure", "dataset", "algorithm", "backend", "dtype")
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    """One shared two-dtype figure-4 sweep at tiny scale (kept small)."""
+    return run_sweep(
+        figures=("4",),
+        backends=("auto",),
+        dtypes=("float64", "float32"),
+        scale="tiny",
+        deltas=(1.0,),
+        dimensions=(2,),
+        seed=0,
+    )
+
+
+class TestGridExpansion:
+    def test_default_grid_shape(self):
+        spec = SweepSpec(scale="tiny")
+        scale = get_scale("tiny")
+        cells = spec.expand()
+        expected = (
+            len(scale.blob_dimensions) + len(scale.rotated_dimensions)
+        ) * len(spec.backends) * len(spec.dtypes)
+        assert len(cells) == expected
+        assert [c.figure for c in cells[: 2 * len(scale.blob_dimensions)]] == [
+            "4"
+        ] * 2 * len(scale.blob_dimensions)
+
+    def test_cells_are_deterministically_ordered(self):
+        spec = SweepSpec(scale="tiny", dimensions=(9, 3), figures=("5",))
+        cells = spec.expand()
+        # Order follows the spec, not a sort: dimension 9 first, then 3,
+        # and within a dimension float64 before float32.
+        assert [(c.dimension, c.dtype) for c in cells] == [
+            (9, "float64"),
+            (9, "float32"),
+            (3, "float64"),
+            (3, "float32"),
+        ]
+        assert all(c.dataset == f"rotated-{c.dimension}d" for c in cells)
+
+    def test_flat_and_mapping_dimension_overrides(self):
+        scale = get_scale("tiny")
+        flat = SweepSpec(scale="tiny", dimensions=(7,))
+        assert flat.dimensions_for("4", scale) == (7,)
+        assert flat.dimensions_for("5", scale) == (7,)
+        mapped = SweepSpec(scale="tiny", dimensions={"4": (6,)})
+        assert mapped.dimensions_for("4", scale) == (6,)
+        # Figures absent from the mapping fall back to the scale's grid.
+        assert mapped.dimensions_for("5", scale) == scale.rotated_dimensions
+
+    def test_dimension_column_follows_the_figure(self):
+        spec = SweepSpec(scale="tiny", dimensions=(3,))
+        columns = {c.figure: c.dimension_column for c in spec.expand()}
+        assert columns == {"4": "dimension", "5": "ambient_dimension"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"figures": ("6",)},
+            {"figures": ()},
+            {"figures": ("4", "4")},
+            {"backends": ("vector",)},
+            {"backends": ()},
+            {"dtypes": ("float16",)},
+            {"dtypes": ("auto",)},
+            {"dtypes": ()},
+            {"deltas": ()},
+            {"deltas": (0.0,)},
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepSpec(scale="tiny", **kwargs)
+
+    def test_sweep_figures_constant_matches_drivers(self):
+        assert SWEEP_FIGURES == ("4", "5")
+
+    def test_rotated_dimensions_below_the_base_are_rejected(self):
+        spec = SweepSpec(scale="tiny", dimensions=(2,), figures=("5",))
+        with pytest.raises(ValueError, match="at least 3"):
+            spec.expand()
+        # The same flat override is fine for figure 4 (blobs exist in 2-d).
+        assert SweepSpec(scale="tiny", dimensions=(2,), figures=("4",)).expand()
+
+
+class TestRowSchema:
+    def test_rows_carry_identity_and_metric_columns(self, tiny_sweep):
+        rows = tiny_sweep.rows()
+        assert rows
+        for row in rows:
+            for column in IDENTITY_COLUMNS + ("dimension",):
+                assert column in row, column
+            for metric in ("update_ms", "query_ms", "memory_points", "radius"):
+                assert isinstance(row[metric], (int, float)), metric
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {"Jones", "Ours(delta=1.0)"}
+        assert {row["dtype"] for row in rows} == {"float64", "float32"}
+
+    def test_payload_shape_and_us_mirrors(self, tiny_sweep):
+        payload = tiny_sweep.payload("4")
+        assert payload["name"] == sweep_payload_name("4") == "figure4_sweep"
+        assert payload["scale"] == "tiny"
+        assert payload["dtype"] == "mixed" and payload["backend"] == "auto"
+        assert set(payload["columns"]) >= set(IDENTITY_COLUMNS)
+        for row in payload["rows"]:
+            assert row["update_us"] == pytest.approx(row["update_ms"] * 1000.0)
+            assert row["query_us"] == pytest.approx(row["query_ms"] * 1000.0)
+
+    def test_identity_columns_key_rows_uniquely_for_the_gate(self, tiny_sweep):
+        payload = tiny_sweep.payload("4")
+        keys = [
+            check_trend.row_key(row, payload["columns"]) for row in payload["rows"]
+        ]
+        assert len(set(keys)) == len(keys), "rows must be uniquely keyed"
+        # dtype must be part of the identity: the same algorithm appears
+        # once per dtype and the keys must not collapse.
+        jones = [
+            k
+            for k, row in zip(keys, payload["rows"])
+            if row["algorithm"] == "Jones"
+        ]
+        assert len(set(jones)) == 2
+
+    def test_write_emits_one_file_per_figure(self, tiny_sweep, tmp_path):
+        written = tiny_sweep.write(tmp_path)
+        assert [p.name for p in written] == ["BENCH_figure4_sweep.json"]
+        payload = json.loads(written[0].read_text())
+        assert payload["rows"] and payload["columns"]
+
+
+class TestDtypeParity:
+    def test_float32_and_float64_cells_agree(self, tiny_sweep):
+        by_dtype: dict[str, dict[str, dict]] = {"float64": {}, "float32": {}}
+        for row in tiny_sweep.rows("4"):
+            by_dtype[row["dtype"]][row["algorithm"]] = row
+        assert by_dtype["float64"].keys() == by_dtype["float32"].keys()
+        for algorithm, f64 in by_dtype["float64"].items():
+            f32 = by_dtype["float32"][algorithm]
+            assert f32["radius"] == pytest.approx(f64["radius"], rel=1e-3)
+            assert f32["memory_points"] == pytest.approx(
+                f64["memory_points"], rel=0.05
+            )
+
+    def test_dtype_comparison_pairs_rows(self, tiny_sweep):
+        comparison = tiny_sweep.dtype_comparison()
+        assert {c["algorithm"] for c in comparison} == {
+            "Jones",
+            "Ours(delta=1.0)",
+        }
+        for entry in comparison:
+            assert entry["update_speedup"] > 0
+            assert entry["query_speedup"] > 0
+
+    def test_single_dtype_sweep_has_no_comparison(self):
+        result = SweepRunner().run(
+            SweepSpec(
+                figures=("4",),
+                dtypes=("float64",),
+                scale="tiny",
+                deltas=(2.0,),
+                dimensions=(2,),
+            )
+        )
+        assert result.dtype_comparison() == []
+
+
+class TestQuickCli:
+    def test_quick_sweep_cli_end_to_end(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "sweep",
+                "--figure",
+                "4",
+                "--figure",
+                "5",
+                "--quick",
+                "--dimension",
+                "3",
+                "--delta",
+                "1.0",
+                "--dtype",
+                "float64",
+                "--output-dir",
+                str(tmp_path),
+                "--no-progress",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure 4 dimensionality sweep" in out
+        assert "figure 5 dimensionality sweep" in out
+        for name in ("BENCH_figure4_sweep.json", "BENCH_figure5_sweep.json"):
+            payload = json.loads((tmp_path / name).read_text())
+            assert payload["scale"] == "tiny"
+            assert payload["rows"]
+
+        # The emitted files pass the trend gate against themselves...
+        assert (
+            check_trend.main(
+                ["--results", str(tmp_path), "--baselines", str(tmp_path)]
+            )
+            == 0
+        )
+
+        # ... and a doctored 10x query-time regression fails it.
+        doctored = tmp_path / "doctored"
+        doctored.mkdir()
+        for name in ("BENCH_figure4_sweep.json", "BENCH_figure5_sweep.json"):
+            payload = json.loads((tmp_path / name).read_text())
+            for row in payload["rows"]:
+                row["query_ms"] = row["query_ms"] * 10 + 10.0
+                row["query_us"] = row["query_ms"] * 1000.0
+            (doctored / name).write_text(json.dumps(payload))
+        assert (
+            check_trend.main(
+                ["--results", str(doctored), "--baselines", str(tmp_path)]
+            )
+            == 1
+        )
+
+    def test_output_dir_none_skips_writing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = cli_main(
+            [
+                "sweep",
+                "--figure",
+                "4",
+                "--quick",
+                "--dimension",
+                "2",
+                "--delta",
+                "2.0",
+                "--dtype",
+                "float64",
+                "--output-dir",
+                "none",
+                "--no-progress",
+            ]
+        )
+        assert code == 0
+        assert not list(tmp_path.rglob("BENCH_*.json"))

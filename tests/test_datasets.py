@@ -140,6 +140,18 @@ class TestRegistry:
         points = load_dataset("rotated-9d", 20, seed=0)
         assert points[0].dimension == 9
 
+    def test_family_names_resolve_beyond_the_registered_grids(self):
+        # Any positive blobs dimension and any rotated ambient >= 3 work,
+        # even when absent from the pre-registered grids.
+        assert load_dataset("blobs-13d", 15, seed=0)[0].dimension == 13
+        assert load_dataset("rotated-21d", 15, seed=0)[0].dimension == 21
+        # The rotated embedding needs its 3-d base: smaller ambients are
+        # rejected by name resolution, not deep inside the generator.
+        with pytest.raises(ValueError, match="unknown dataset"):
+            get_spec("rotated-2d")
+        with pytest.raises(ValueError, match="unknown dataset"):
+            get_spec("blobs-0d")
+
     def test_path_without_loader_raises(self, tmp_path):
         with pytest.raises(ValueError, match="no file loader"):
             load_dataset("blobs-3d", 10, path=tmp_path / "x.csv")
@@ -165,9 +177,7 @@ class TestLoaders:
     def test_generic_csv_loader_with_header(self, tmp_path):
         path = tmp_path / "generic.csv"
         path.write_text("x,y,label\n1.0,2.0,cat\n3.0,4.0,dog\nbad,row,skip\n")
-        points = load_csv_points(
-            path, coordinate_columns=(0, 1), color_column=2
-        )
+        points = load_csv_points(path, coordinate_columns=(0, 1), color_column=2)
         assert len(points) == 2
         assert points[0].coords == (1.0, 2.0)
         assert points[1].color == "dog"

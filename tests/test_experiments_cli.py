@@ -66,8 +66,13 @@ class TestExperimentDrivers:
         assert deltas == {1.0, 4.0}
         f1 = figure1_rows(rows)
         f2 = figure2_rows(rows)
-        assert set(f1[0]) == {"dataset", "delta", "algorithm", "approx_ratio",
-                              "memory_points"}
+        assert set(f1[0]) == {
+            "dataset",
+            "delta",
+            "algorithm",
+            "approx_ratio",
+            "memory_points",
+        }
         assert set(f2[0]) == {"dataset", "delta", "algorithm", "update_ms", "query_ms"}
 
     def test_figure3_rows(self):
@@ -112,8 +117,15 @@ class TestCli:
         monkeypatch.setenv("REPRO_SCALE", "tiny")
         csv_path = tmp_path / "figure1.csv"
         code = main(
-            ["figure1", "--scale", "tiny", "--dataset", "two-scale",
-             "--csv", str(csv_path)]
+            [
+                "figure1",
+                "--scale",
+                "tiny",
+                "--dataset",
+                "two-scale",
+                "--csv",
+                str(csv_path),
+            ]
         )
         assert code == 0
         assert csv_path.exists()

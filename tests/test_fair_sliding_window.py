@@ -153,8 +153,10 @@ class TestSolutionQuality:
             for i in range(60)
         ]
         phase2 = [
-            Point((1000 + rng.uniform(0, 10), 1000 + rng.uniform(0, 10)),
-                  "red" if i % 2 else "blue")
+            Point(
+                (1000 + rng.uniform(0, 10), 1000 + rng.uniform(0, 10)),
+                "red" if i % 2 else "blue",
+            )
             for i in range(60)
         ]
         config = sliding_config(

@@ -38,8 +38,9 @@ def _constraint_for(points, per_color=2) -> FairnessConstraint:
 
 class TestCommonSolverBehaviour:
     @pytest.mark.parametrize("solver", FAIR_SOLVERS, ids=SOLVER_IDS)
-    def test_solutions_are_fair_and_within_budget(self, solver, random_points,
-                                                  three_color_constraint):
+    def test_solutions_are_fair_and_within_budget(
+        self, solver, random_points, three_color_constraint
+    ):
         solution = solver.solve(random_points, three_color_constraint)
         assert solution.is_fair(three_color_constraint)
         assert solution.k <= three_color_constraint.k
@@ -66,18 +67,23 @@ class TestCommonSolverBehaviour:
         assert solution.radius == pytest.approx(0.0)
 
     @pytest.mark.parametrize("solver", FAIR_SOLVERS, ids=SOLVER_IDS)
-    def test_reported_radius_matches_recomputation(self, solver, random_points,
-                                                   three_color_constraint):
+    def test_reported_radius_matches_recomputation(
+        self, solver, random_points, three_color_constraint
+    ):
         solution = solver.solve(random_points, three_color_constraint)
         assert solution.radius == pytest.approx(
             evaluate_radius(solution.centers, random_points), rel=1e-9
         )
 
-    @pytest.mark.parametrize("solver", [JonesFairCenter(), ChenMatroidCenter()],
-                             ids=["jones", "chen"])
+    @pytest.mark.parametrize(
+        "solver", [JonesFairCenter(), ChenMatroidCenter()], ids=["jones", "chen"]
+    )
     @given(points=points_strategy(max_points=9, min_points=2, num_colors=2))
-    @settings(max_examples=25, deadline=None,
-              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
     def test_constant_factor_vs_optimum(self, solver, points):
         constraint = _constraint_for(points, per_color=1)
         optimum = exact_fair_center(points, constraint)
@@ -214,8 +220,9 @@ class TestBruteForce:
         optimum = exact_fair_center(points, constraint)
         assert optimum.is_fair(constraint)
 
-    def test_exact_fair_beats_or_matches_every_solver(self, small_points,
-                                                      two_color_constraint):
+    def test_exact_fair_beats_or_matches_every_solver(
+        self, small_points, two_color_constraint
+    ):
         optimum = exact_fair_center(small_points, two_color_constraint)
         for solver in FAIR_SOLVERS:
             solution = solver.solve(small_points, two_color_constraint)

@@ -1,0 +1,208 @@
+"""Tests for the evicted-window revive cache (``ServingConfig.revive_cache``).
+
+The ROADMAP follow-up this closes: TTL eviction used to tear a stream's
+window down to a snapshot on every sweep, so a burst of traffic returning to
+just-evicted streams (a *cold-revival storm*) paid one factory build plus
+one snapshot replay per touch.  The shard ``_StreamTable`` now parks the
+``revive_cache`` most recently evicted windows in an LRU and re-adopts them
+wholesale on the next touch.
+
+Covered here:
+
+* cache hit — no factory call, no snapshot replay, identical solutions;
+* LRU overflow — the oldest cached window falls back to a cold snapshot
+  (and still revives correctly through the ordinary path);
+* default off — ``revive_cache=0`` keeps the old teardown behaviour;
+* bookkeeping — ``known``/``checkpoint``/``memory_points`` cover cached
+  streams, restore clears the cache, config validation rejects negatives;
+* end-to-end — a served ``MultiStreamService`` with a revive cache answers
+  queries for evicted streams with full state, process workers included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FairnessConstraint
+from repro.core.geometry import StreamItem
+from repro.core.oblivious import ObliviousFairSlidingWindow
+from repro.serving import MultiStreamService, ServingConfig, ShardWorker, WindowFactory
+from repro.serving.shard import _StreamTable
+
+from tests._fixtures import random_colored_points, sliding_config
+
+
+@pytest.fixture
+def constraint() -> FairnessConstraint:
+    return FairnessConstraint({0: 2, 1: 2, 2: 2})
+
+
+class CountingFactory:
+    """A window factory that counts how many windows it built per stream."""
+
+    def __init__(self, config):
+        self.config = config
+        self.builds: dict[str, int] = {}
+
+    def __call__(self, stream_id: str):
+        self.builds[stream_id] = self.builds.get(stream_id, 0) + 1
+        return ObliviousFairSlidingWindow(self.config)
+
+
+def _feed(table: _StreamTable, stream_id: str, points, start_t: int = 1) -> None:
+    table.apply(
+        [(stream_id, StreamItem(p, start_t + i)) for i, p in enumerate(points)]
+    )
+
+
+class TestStreamTableLru:
+    def _table(self, constraint, revive_cache: int, snapshot_evicted: bool = True):
+        factory = CountingFactory(sliding_config(constraint, window_size=30))
+        return _StreamTable(factory, snapshot_evicted, revive_cache), factory
+
+    def test_cache_hit_skips_factory_and_restore(self, constraint):
+        table, factory = self._table(constraint, revive_cache=2)
+        points = random_colored_points(n=40, seed=1)
+        _feed(table, "a", points)
+        baseline = table.materialise("a").query()
+
+        assert table.evict_idle(0.0) == ["a"]
+        assert "a" not in table.windows and "a" in table.lru
+        # No snapshot was taken: the window is parked intact.
+        assert "a" not in table.cold
+
+        revived = table.materialise("a")
+        assert factory.builds == {"a": 1}, "cache hit must not rebuild"
+        assert table.cache_revivals == 1
+        assert revived.query().centers == baseline.centers
+        assert revived.query().radius == baseline.radius
+
+    def test_lru_overflow_falls_back_to_snapshot(self, constraint):
+        table, factory = self._table(constraint, revive_cache=1)
+        points = random_colored_points(n=60, seed=2)
+        _feed(table, "a", points[:30])
+        _feed(table, "b", points[30:], start_t=1)
+        reference = {s: table.materialise(s).query() for s in ("a", "b")}
+
+        table.evict_idle(0.0)
+        # Only the most recently evicted window stays cached; the other
+        # was snapshotted on overflow.
+        assert len(table.lru) == 1
+        assert len(table.cold) == 1
+        overflowed = next(iter(table.cold))
+        cached = next(iter(table.lru))
+
+        for stream_id in (overflowed, cached):
+            solution = table.materialise(stream_id).query()
+            assert solution.radius == reference[stream_id].radius
+            assert solution.centers == reference[stream_id].centers
+        # The overflowed stream needed a rebuild, the cached one did not.
+        assert factory.builds[overflowed] == 2
+        assert factory.builds[cached] == 1
+
+    def test_zero_cache_keeps_the_old_behaviour(self, constraint):
+        table, factory = self._table(constraint, revive_cache=0)
+        _feed(table, "a", random_colored_points(n=20, seed=3))
+        table.evict_idle(0.0)
+        assert not table.lru and "a" in table.cold
+        table.materialise("a")
+        assert factory.builds == {"a": 2}
+        assert table.cache_revivals == 0
+
+    def test_overflow_without_snapshots_drops_the_state(self, constraint):
+        table, _ = self._table(constraint, revive_cache=1, snapshot_evicted=False)
+        _feed(table, "a", random_colored_points(n=20, seed=4))
+        _feed(table, "b", random_colored_points(n=20, seed=5))
+        table.evict_idle(0.0)
+        assert len(table.lru) == 1 and not table.cold
+        # The overflowed stream restarts empty (snapshotless eviction).
+        dropped = "a" if "b" in table.lru else "b"
+        assert table.materialise(dropped).memory_points() == 0
+
+    def test_cached_streams_stay_known_and_counted(self, constraint):
+        table, _ = self._table(constraint, revive_cache=4)
+        _feed(table, "a", random_colored_points(n=25, seed=6))
+        held = table.materialise("a").memory_points()
+        assert held > 0
+        table.evict_idle(0.0)
+        assert table.known("a")
+        # The cache deliberately keeps the memory: it must stay visible.
+        assert table.memory_points() == held
+        snapshots = table.checkpoint()
+        assert "a" in snapshots
+
+    def test_restore_clears_the_cache(self, constraint):
+        table, _ = self._table(constraint, revive_cache=4)
+        _feed(table, "a", random_colored_points(n=25, seed=7))
+        snapshots = table.checkpoint()
+        table.evict_idle(0.0)
+        assert table.lru
+        table.restore(snapshots)
+        assert not table.lru and set(table.cold) == {"a"}
+
+    def test_eviction_refreshes_a_stale_cold_snapshot(self, constraint):
+        """A re-eviction must not leave an older snapshot shadowing the LRU."""
+        table, _ = self._table(constraint, revive_cache=1)
+        points = random_colored_points(n=40, seed=8)
+        _feed(table, "a", points[:20])
+        _feed(table, "b", points[20:30], start_t=1)
+        table.evict_idle(0.0)  # "a" overflows to cold, "b" cached
+        assert "a" in table.cold
+        # Revive "a", grow it, evict again: the stale snapshot must go.
+        _feed(table, "a", points[30:], start_t=21)
+        grown = table.materialise("a").query()
+        table.evict_idle(0.0)
+        assert "a" in table.lru and "a" not in table.cold
+        assert table.materialise("a").query().radius == grown.radius
+
+
+class TestServingConfigKnob:
+    def test_negative_cache_is_rejected(self):
+        with pytest.raises(ValueError, match="revive_cache"):
+            ServingConfig(revive_cache=-1)
+        with pytest.raises(ValueError, match="revive_cache"):
+            ShardWorker(0, lambda s: None, revive_cache=-1)
+
+    def test_served_eviction_with_cache_preserves_answers(self, constraint):
+        factory = WindowFactory(sliding_config(constraint, window_size=40))
+        config = ServingConfig(num_shards=2, revive_cache=8)
+        points = random_colored_points(n=80, seed=9)
+        arrivals = [(f"s{i % 4}", p) for i, p in enumerate(points)]
+        with MultiStreamService(factory, config) as service:
+            service.ingest_many(arrivals)
+            service.flush()
+            before = {s: service.query(s) for s in sorted(service.stream_ids())}
+            evicted = service.evict_idle(0.0)
+            assert sorted(evicted) == sorted(before)
+            after = {s: service.query(s) for s in before}
+        for stream_id, solution in before.items():
+            assert after[stream_id].radius == solution.radius
+            assert after[stream_id].centers == solution.centers
+
+    def test_cache_counters_surface_in_shard_stats(self, constraint):
+        factory = WindowFactory(sliding_config(constraint, window_size=40))
+        config = ServingConfig(num_shards=1, revive_cache=4)
+        points = random_colored_points(n=30, seed=11)
+        with MultiStreamService(factory, config) as service:
+            service.ingest_many([("s0", p) for p in points])
+            service.flush()
+            service.evict_idle(0.0)
+            parked = service.stats()[0]
+            assert parked.cached_streams == 1 and parked.cache_revivals == 0
+            service.query("s0")  # revives from the cache
+            revived = service.stats()[0]
+            assert revived.cached_streams == 0 and revived.cache_revivals == 1
+
+    def test_process_worker_accepts_the_knob(self, constraint):
+        factory = WindowFactory(sliding_config(constraint, window_size=40))
+        config = ServingConfig(num_shards=1, workers="process", revive_cache=2)
+        points = random_colored_points(n=30, seed=10)
+        with MultiStreamService(factory, config) as service:
+            service.ingest_many([("s0", p) for p in points])
+            service.flush()
+            before = service.query("s0")
+            assert service.evict_idle(0.0) == ["s0"]
+            assert service.query("s0").radius == before.radius
+            # The cache counters round-trip from the worker process too.
+            stats = service.stats()[0]
+            assert stats.cache_revivals == 1 and stats.cached_streams == 0

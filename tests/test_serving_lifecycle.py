@@ -535,9 +535,7 @@ class TestAsyncFrontEnd:
         async def main():
             config = ServingConfig(num_shards=2, queue_capacity=4, batch_size=2)
             async with AsyncMultiStreamService(factory, config) as service:
-                await asyncio.gather(
-                    *(producer(service, sid) for sid in STREAM_IDS)
-                )
+                await asyncio.gather(*(producer(service, sid) for sid in STREAM_IDS))
                 await service.flush()
                 stats = await service.stats()
                 assert sum(s.ingested for s in stats) == len(arrivals)
@@ -550,9 +548,7 @@ class TestAsyncFrontEnd:
             for other, point in arrivals:
                 if other == stream_id:
                     standalone.insert(point)
-            assert solution_key(served[stream_id]) == solution_key(
-                standalone.query()
-            )
+            assert solution_key(served[stream_id]) == solution_key(standalone.query())
 
     def test_async_lifecycle_wrappers(self):
         factory = WindowFactory(make_config())

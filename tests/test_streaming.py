@@ -208,8 +208,9 @@ class TestAspectRatioEstimator:
 
 
 class TestInsertionOnlyFairCenter:
-    def test_summary_respects_fairness_and_budget(self, random_points,
-                                                   three_color_constraint):
+    def test_summary_respects_fairness_and_budget(
+        self, random_points, three_color_constraint
+    ):
         dmin, dmax = min_max_pairwise_distance(random_points)
         summary = InsertionOnlyFairCenter(
             three_color_constraint, max(dmin, 1e-6), dmax
@@ -235,8 +236,9 @@ class TestInsertionOnlyFairCenter:
             summary.insert(p)
         assert summary.memory_points() < len(points)
 
-    def test_radius_close_to_offline_solution(self, random_points,
-                                               three_color_constraint):
+    def test_radius_close_to_offline_solution(
+        self, random_points, three_color_constraint
+    ):
         dmin, dmax = min_max_pairwise_distance(random_points)
         summary = InsertionOnlyFairCenter(
             three_color_constraint, max(dmin, 1e-6), dmax
