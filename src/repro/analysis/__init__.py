@@ -1,0 +1,51 @@
+"""Repo-specific static analysis: AST rules for the tree's load-bearing invariants.
+
+The reproduction accumulated a set of invariants that used to live only in
+prose (ROADMAP/CHANGES review notes): pairwise distance matrices must stay
+row-chunked, kernel paths must thread an explicit dtype, serving locks must
+not be held across blocking calls, async paths must not block the event
+loop, snapshot carriers must round-trip their whole field set, and
+benchmark tables must stay joinable by ``check_trend.py``.  This package
+turns each of those review findings into a machine-checked rule.
+
+Entry points:
+
+* ``repro-experiments analyze [paths...]`` — CLI (see :mod:`repro.analysis.cli`).
+* :func:`analyze_paths` — importable engine used by ``tests/test_analysis.py``.
+* :data:`ALL_RULES` — the rule battery, each a :class:`Rule` implementation.
+
+Findings are suppressible inline with a justified comment::
+
+    kernel.many_to_many(coords, coords)  # repro: allow[RPR001] parity oracle
+
+The comment may sit on the offending line or on the line directly above it.
+"""
+
+from __future__ import annotations
+
+from .framework import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    FileContext,
+    Finding,
+    Report,
+    Rule,
+    analyze_paths,
+    iter_python_files,
+)
+from .rules import ALL_RULES, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "FileContext",
+    "Finding",
+    "Report",
+    "Rule",
+    "analyze_paths",
+    "iter_python_files",
+    "rules_by_id",
+]

@@ -1,0 +1,107 @@
+"""Command-line front-end for the analysis engine.
+
+Wired into the main ``repro-experiments`` parser as the ``analyze``
+subcommand; also runnable standalone via ``python -m repro.analysis.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence, TextIO
+
+from .framework import EXIT_USAGE, Report, analyze_paths
+from .rules import ALL_RULES_FACTORY, rules_by_id
+
+
+def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``analyze`` options to ``parser`` (shared with the main CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to analyze (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _parse_select(raw: list[str] | None) -> list[str] | None:
+    if raw is None:
+        return None
+    selected: list[str] = []
+    for chunk in raw:
+        selected.extend(token.strip() for token in chunk.split(",") if token.strip())
+    return selected
+
+
+def _render_human(report: Report, stream: TextIO) -> None:
+    for finding in report.findings:
+        print(finding.render(), file=stream)
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    print(
+        f"{len(report.findings)} {noun} "
+        f"({report.suppressed} suppressed) in {report.files_scanned} files",
+        file=stream,
+    )
+
+
+def run_analyze(args: argparse.Namespace, *, stream: TextIO | None = None) -> int:
+    """Execute the ``analyze`` subcommand; returns the process exit code."""
+    out = stream if stream is not None else sys.stdout
+    rules = ALL_RULES_FACTORY()
+    catalogue = {rule.rule_id: rule for rule in rules}
+    if args.list_rules:
+        for rule_id in sorted(catalogue):
+            print(f"{rule_id}  {catalogue[rule_id].title}", file=out)
+        return 0
+    select = _parse_select(args.select)
+    if select is not None:
+        unknown = sorted(set(select) - set(catalogue))
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(rules_by_id()))})",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    if not args.paths:
+        print("error: no paths to analyze", file=sys.stderr)
+        return EXIT_USAGE
+    report = analyze_paths(args.paths, rules, select=select)
+    if args.format == "json":
+        json.dump(report.to_json(), out, indent=2, sort_keys=True)
+        print(file=out)
+    else:
+        _render_human(report, out)
+    return report.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Run the repo-specific AST invariant checks.",
+    )
+    add_analyze_arguments(parser)
+    return run_analyze(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,277 @@
+"""Engine for the repo-specific AST rules.
+
+The framework is deliberately small: a :class:`Rule` is anything with a
+``rule_id``, a one-line ``title`` and a ``check(ctx)`` generator; the engine
+parses each file once into a :class:`FileContext` (source, AST, parent map,
+suppression table) and hands it to every selected rule.  Files that do not
+parse produce a finding themselves (rule id ``RPR000``) instead of aborting
+the run, so the CLI exit-code contract holds even on broken trees:
+
+* ``EXIT_CLEAN`` (0) — no findings;
+* ``EXIT_FINDINGS`` (1) — at least one unsuppressed finding (including
+  syntax errors);
+* ``EXIT_USAGE`` (2) — bad invocation (unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, Sequence
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+#: Rule id reserved for files the engine itself cannot parse.
+PARSE_ERROR_RULE_ID = "RPR000"
+
+#: ``# repro: allow[RPR001]`` or ``# repro: allow[RPR001,RPR004] why``.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+#: Directory names never descended into when expanding directory arguments.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "build", "dist", "site", ".mypy_cache"}
+)
+
+#: Path segments that anchor a dotted module name for scoped rules.
+_MODULE_ANCHORS = ("repro", "benchmarks", "tests")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+class Rule(Protocol):
+    """A single invariant check over one parsed file."""
+
+    rule_id: str
+    title: str
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield findings for ``ctx``; must not mutate the context."""
+        ...
+
+
+class FileContext:
+    """Everything a rule needs about one file, parsed exactly once."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.display_path = _display_path(path)
+        self.module = derive_module(path)
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.suppressions = _collect_suppressions(self.lines)
+        self._parents: dict[int, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    # ------------------------------------------------------------- navigation
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing(
+        self, node: ast.AST, kinds: tuple[type[ast.AST], ...]
+    ) -> ast.AST | None:
+        """Nearest ancestor of one of ``kinds`` (``None`` at module level)."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, kinds):
+                return ancestor
+        return None
+
+    # ------------------------------------------------------------ suppression
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is allowed at ``line``.
+
+        The suppression table is keyed by the line a comment *applies to*: an
+        inline comment covers its own line, a standalone comment covers the
+        line below it (see :func:`_collect_suppressions`).
+        """
+        allowed = self.suppressions.get(line)
+        return allowed is not None and ("*" in allowed or rule_id in allowed)
+
+    # ---------------------------------------------------------------- helpers
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule_id,
+            message=message,
+        )
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether the file's dotted module falls under any of ``prefixes``."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+@dataclass
+class Report:
+    """Outcome of one engine run over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": self.suppressed,
+            "files_scanned": self.files_scanned,
+        }
+
+
+def derive_module(path: Path) -> str | None:
+    """Dotted module name anchored at ``repro``/``benchmarks``/``tests``.
+
+    Works for both the real tree (``src/repro/core/backend.py``) and test
+    fixture trees (``tmp/src/repro/core/backend.py``): the *last* anchor
+    segment wins, so scoped rules apply to fixtures exactly as they do to
+    the repository.
+    """
+    parts = path.parts
+    anchor_index: int | None = None
+    for index, part in enumerate(parts[:-1] if len(parts) > 1 else parts):
+        if part in _MODULE_ANCHORS:
+            anchor_index = index
+    if anchor_index is None:
+        if path.name.removesuffix(".py") in _MODULE_ANCHORS:
+            return path.name.removesuffix(".py")
+        return None
+    dotted = list(parts[anchor_index:])
+    dotted[-1] = dotted[-1].removesuffix(".py")
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _collect_suppressions(lines: Sequence[str]) -> dict[int, frozenset[str]]:
+    table: dict[int, frozenset[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = frozenset(
+            token.strip() for token in match.group(1).split(",") if token.strip()
+        )
+        if ids:
+            target = number + 1 if text.lstrip().startswith("#") else number
+            table[target] = table.get(target, frozenset()) | ids
+    return table
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand files and directories into a sorted, deduplicated ``.py`` list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    seen.add(candidate)
+        elif path.suffix == ".py":
+            seen.add(path)
+    return sorted(seen)
+
+
+def load_context(path: Path) -> FileContext | Finding:
+    """Parse ``path``; a syntax/decoding failure becomes a finding."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding(
+            path=_display_path(path),
+            line=1,
+            col=0,
+            rule_id=PARSE_ERROR_RULE_ID,
+            message=f"cannot read file: {exc}",
+        )
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            path=_display_path(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id=PARSE_ERROR_RULE_ID,
+            message=f"syntax error: {exc.msg}",
+        )
+    return FileContext(path, source, tree)
+
+
+def analyze_paths(
+    paths: Iterable[Path | str],
+    rules: Sequence[Rule],
+    *,
+    select: Iterable[str] | None = None,
+) -> Report:
+    """Run ``rules`` (optionally narrowed by ``select``) over ``paths``."""
+    selected = list(rules)
+    if select is not None:
+        wanted = set(select)
+        selected = [rule for rule in rules if rule.rule_id in wanted]
+    report = Report()
+    for path in iter_python_files(paths):
+        loaded = load_context(path)
+        if isinstance(loaded, Finding):
+            report.findings.append(loaded)
+            report.files_scanned += 1
+            continue
+        report.files_scanned += 1
+        for rule in selected:
+            for finding in rule.check(loaded):
+                if loaded.is_suppressed(finding.rule_id, finding.line):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+    report.findings.sort()
+    return report

@@ -1,0 +1,650 @@
+"""The repo-specific rule battery (RPR001–RPR008).
+
+Each rule mechanizes an invariant that a past review cycle caught by hand;
+the docstrings say *why* the invariant exists so a triggered finding reads
+as a design note, not just a lint.  Rules are pure functions of a
+:class:`~repro.analysis.framework.FileContext` — no filesystem access
+except RPR008's one cached read of ``benchmarks/check_trend.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from .framework import FileContext, Finding
+
+#: Mirror of ``benchmarks/check_trend.py`` — used by RPR008 when the
+#: analyzed tree does not ship its own copy (e.g. fixture trees in tests).
+FALLBACK_KEY_COLUMNS = (
+    "figure",
+    "dataset",
+    "delta",
+    "beta",
+    "algorithm",
+    "solver",
+    "window_size",
+    "dimension",
+    "ambient_dimension",
+    "backend",
+    "dtype",
+    "mode",
+    "shards",
+    "streams",
+    "points",
+)
+FALLBACK_METRICS = (
+    "update_ms",
+    "query_ms",
+    "update_us",
+    "query_us",
+    "elapsed_s",
+    "points_per_sec",
+)
+
+#: ``np`` constructors that accept a dtype, with the positional index the
+#: dtype would occupy (so ``np.zeros(n, float)`` counts as explicit).
+_DTYPE_POSITION = {
+    "array": 1,
+    "asarray": 1,
+    "empty": 1,
+    "zeros": 1,
+    "ones": 1,
+    "full": 2,
+}
+
+_LOCKISH = ("lock", "mutex", "sem", "cond")
+_QUEUEISH = ("queue", "_tasks", "_results")
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _receiver_name(node: ast.AST) -> str | None:
+    """Last identifier of a call receiver: ``self._ingest_queue.put`` → ``_ingest_queue``."""
+    if isinstance(node, ast.Attribute):
+        value = node.value
+        if isinstance(value, ast.Attribute):
+            return value.attr
+        if isinstance(value, ast.Name):
+            return value.id
+    return None
+
+
+def _name_contains(name: str | None, needles: tuple[str, ...]) -> bool:
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(needle in lowered for needle in needles)
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    """Why ``call`` would block a thread, or ``None`` if it would not."""
+    func = call.func
+    qualified = dotted_name(func)
+    if qualified is not None:
+        if qualified == "time.sleep" or qualified.endswith(".time.sleep"):
+            return "time.sleep blocks the calling thread"
+        if qualified in ("open", "subprocess.run", "subprocess.check_output"):
+            return f"{qualified}() performs blocking I/O"
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        receiver = _receiver_name(func)
+        if attr == "acquire" and _name_contains(receiver, _LOCKISH):
+            return f"{receiver}.acquire() can block"
+        if attr in ("get", "put", "join") and _name_contains(receiver, _QUEUEISH):
+            for keyword in call.keywords:
+                if (
+                    keyword.arg == "block"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                ):
+                    return None
+            return f"{receiver}.{attr}() can block on queue backpressure"
+    return None
+
+
+def _is_in_executor_wrapper(ctx: FileContext, node: ast.AST) -> bool:
+    """Whether ``node`` sits inside an ``asyncio.to_thread``/executor submission."""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.Call):
+            qualified = dotted_name(ancestor.func)
+            if qualified is not None and (
+                qualified.endswith("to_thread") or qualified.endswith("run_in_executor")
+            ):
+                return True
+    return False
+
+
+class OneShotPairwiseRule:
+    """RPR001 — full pairwise matrices must be built by ``packed_pairwise``.
+
+    ``kernel.many_to_many(x, x)`` materializes an O(n·d) broadcast temp per
+    row block *and* an O(n²) output in one shot; ``packed_pairwise`` chunks
+    rows to a ~16 MB temp budget.  Any self-pairwise call outside that
+    function is a regression waiting for a large window.
+    """
+
+    rule_id = "RPR001"
+    title = "one-shot many_to_many(x, x) outside packed_pairwise"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else dotted_name(func)
+            if name != "many_to_many" or len(node.args) < 2:
+                continue
+            if ast.dump(node.args[0]) != ast.dump(node.args[1]):
+                continue
+            enclosing = ctx.enclosing(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            if (
+                isinstance(enclosing, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and enclosing.name == "packed_pairwise"
+            ):
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "one-shot self-pairwise many_to_many(x, x); "
+                "use packed_pairwise() to keep the broadcast temp row-chunked",
+            )
+
+
+class DtypeRequiredRule:
+    """RPR002 — kernel modules must thread an explicit dtype.
+
+    ``repro.core``/``repro.sequential`` honour the ``use_dtype`` context;
+    a dtype-less ``np.asarray``/``np.zeros`` silently promotes float32
+    pipelines back to float64 and desynchronizes kernel output dtypes.
+    """
+
+    rule_id = "RPR002"
+    title = "dtype-less array constructor in a kernel module"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.core", "repro.sequential"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if not isinstance(func.value, ast.Name):
+                continue
+            if func.value.id not in ("np", "numpy"):
+                continue
+            position = _DTYPE_POSITION.get(func.attr)
+            if position is None:
+                continue
+            if any(keyword.arg == "dtype" for keyword in node.keywords):
+                continue
+            if len(node.args) > position:
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"np.{func.attr}() without an explicit dtype in a kernel module; "
+                "thread the resolved dtype so float32 mode stays float32",
+            )
+
+
+class AsyncBlockingRule:
+    """RPR003 — ``async def`` bodies must not call blocking primitives.
+
+    A blocking call inside a coroutine stalls the whole event loop; wrap it
+    in ``asyncio.to_thread``/``run_in_executor`` or use the native awaitable
+    (e.g. an ``asyncio.Condition``) instead.
+    """
+
+    rule_id = "RPR003"
+    title = "blocking call inside an async def body"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = _blocking_reason(node)
+            if reason is None:
+                continue
+            owner = ctx.enclosing(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if not isinstance(owner, ast.AsyncFunctionDef):
+                continue
+            if _is_in_executor_wrapper(ctx, node):
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"{reason} inside async def {owner.name}(); "
+                "wrap in asyncio.to_thread()/an executor or use an awaitable",
+            )
+
+
+class LockBlockingRule:
+    """RPR004 — serving locks must not be held across blocking calls.
+
+    A shard lock held over a queue op or a sleep serializes every other
+    stream routed to that shard behind one slow caller — exactly the stall
+    the serving layer's drain/flush protocol is designed to avoid.
+    """
+
+    rule_id = "RPR004"
+    title = "blocking call under a held lock in repro.serving"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.serving"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(
+                self._is_lock_context(item.context_expr) for item in node.items
+            ):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                reason = _blocking_reason(inner)
+                if reason is None:
+                    continue
+                yield ctx.finding(
+                    self.rule_id,
+                    inner,
+                    f"{reason} while a lock acquired at line {node.lineno} is held; "
+                    "move the blocking call outside the critical section",
+                )
+
+    @staticmethod
+    def _is_lock_context(expr: ast.AST) -> bool:
+        name = dotted_name(expr)
+        if name is None and isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+        if name is None:
+            return False
+        return _name_contains(name.rsplit(".", 1)[-1], _LOCKISH)
+
+
+class SlotsPickleRule:
+    """RPR005 — ``__slots__`` classes shipping through process shards must pickle.
+
+    ``ProcessShardWorker`` round-trips window state over multiprocessing
+    queues; a slot holding a lock/thread/queue/condition makes the default
+    reduce explode at runtime unless the class defines ``__getstate__`` and
+    ``__setstate__`` to drop or rebuild it.
+    """
+
+    rule_id = "RPR005"
+    title = "__slots__ class with unpicklable slots lacks getstate/setstate"
+
+    _UNPICKLABLE = ("lock", "thread", "process", "queue", "cond", "event", "socket")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.core", "repro.serving"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            slots = self._literal_slots(node)
+            if slots is None:
+                continue
+            risky = [
+                name for name in slots if _name_contains(name, self._UNPICKLABLE)
+            ]
+            if not risky:
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "__getstate__" in methods and "__setstate__" in methods:
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"class {node.name} slots {risky} look unpicklable but the class "
+                "defines no __getstate__/__setstate__ pair; process shards "
+                "pickle these payloads",
+            )
+
+    @staticmethod
+    def _literal_slots(node: ast.ClassDef) -> list[str] | None:
+        for item in node.body:
+            if not isinstance(item, ast.Assign):
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == "__slots__"
+                for target in item.targets
+            ):
+                continue
+            if isinstance(item.value, (ast.Tuple, ast.List)):
+                names = [
+                    element.value
+                    for element in item.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ]
+                return names
+        return None
+
+
+class SnapshotRoundTripRule:
+    """RPR006 — snapshot carriers must round-trip their whole field set.
+
+    Two structural checks: (a) every ``WindowSnapshot(...)`` construction
+    must stamp ``version=SNAPSHOT_VERSION`` (the shared constant, not a
+    literal — literals silently fork the format); (b) in any class defining
+    both ``snapshot_state`` and ``load_state``, the field set written into
+    the snapshot must equal the field set read back, so a field added to
+    one side cannot silently drop state across a save/restore cycle.
+    ``guess`` is exempt from the read side: restore validates it externally
+    via ``check_grid_alignment`` instead of assigning it.
+    """
+
+    rule_id = "RPR006"
+    title = "snapshot carrier does not round-trip its field set"
+
+    _WRITE_ONLY_OK = frozenset({"guess"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_version_stamps(ctx)
+        yield from self._check_round_trips(ctx)
+
+    def _check_version_stamps(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.rsplit(".", 1)[-1] != "WindowSnapshot":
+                continue
+            version = next(
+                (kw.value for kw in node.keywords if kw.arg == "version"), None
+            )
+            if version is None:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "WindowSnapshot(...) without version=SNAPSHOT_VERSION",
+                )
+            elif not (
+                isinstance(version, ast.Name) and version.id == "SNAPSHOT_VERSION"
+            ) and not (
+                isinstance(version, ast.Attribute)
+                and version.attr == "SNAPSHOT_VERSION"
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "WindowSnapshot version must reference SNAPSHOT_VERSION, "
+                    "not a literal (literals fork the snapshot format silently)",
+                )
+
+    def _check_round_trips(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            snapshot = methods.get("snapshot_state")
+            load = methods.get("load_state")
+            if snapshot is None or load is None:
+                continue
+            written = self._written_fields(snapshot)
+            if written is None:
+                continue
+            read = self._read_fields(load)
+            if read is None:
+                continue
+            missing = written - read - self._WRITE_ONLY_OK
+            phantom = read - written
+            if missing:
+                yield ctx.finding(
+                    self.rule_id,
+                    load,
+                    f"{node.name}.load_state never reads snapshot field(s) "
+                    f"{sorted(missing)} written by snapshot_state",
+                )
+            if phantom:
+                yield ctx.finding(
+                    self.rule_id,
+                    load,
+                    f"{node.name}.load_state reads field(s) {sorted(phantom)} "
+                    "that snapshot_state never writes",
+                )
+
+    @staticmethod
+    def _written_fields(snapshot: ast.FunctionDef) -> set[str] | None:
+        for inner in ast.walk(snapshot):
+            if isinstance(inner, ast.Return) and isinstance(inner.value, ast.Call):
+                keywords = {
+                    kw.arg for kw in inner.value.keywords if kw.arg is not None
+                }
+                if keywords:
+                    return keywords
+        return None
+
+    @staticmethod
+    def _read_fields(load: ast.FunctionDef) -> set[str] | None:
+        args = load.args.args
+        if len(args) < 2:
+            return None
+        snapshot_param = args[1].arg
+        read: set[str] = set()
+        for inner in ast.walk(load):
+            if (
+                isinstance(inner, ast.Attribute)
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id == snapshot_param
+            ):
+                read.add(inner.attr)
+        return read or None
+
+
+class SwallowedExceptionRule:
+    """RPR007 — ``except Exception`` in serving must re-raise, log, or use the error.
+
+    The serving layer's failure contract is "record and surface on the next
+    call"; a handler that silently drops an ``Exception`` hides shard
+    deaths until a query mysteriously hangs.  A handler passes if it
+    re-raises, references the bound exception name, or calls something
+    logging-shaped.
+    """
+
+    rule_id = "RPR007"
+    title = "swallowed except Exception in repro.serving"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.serving"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._handler_uses_error(node):
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "except Exception handler neither re-raises, logs, nor uses "
+                "the bound error; serving failures must stay observable",
+            )
+
+    @staticmethod
+    def _is_broad(annotation: ast.AST | None) -> bool:
+        if annotation is None:
+            return True
+        name = dotted_name(annotation)
+        return name in ("Exception", "BaseException")
+
+    @staticmethod
+    def _handler_uses_error(node: ast.ExceptHandler) -> bool:
+        bound = node.name
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Raise):
+                return True
+            if bound and isinstance(inner, ast.Name) and inner.id == bound:
+                return True
+            if isinstance(inner, ast.Call):
+                name = dotted_name(inner.func)
+                if name is not None:
+                    lowered = name.lower()
+                    if (
+                        "log" in lowered
+                        or lowered.startswith(("warnings.", "traceback."))
+                        or lowered == "print"
+                    ):
+                        return True
+        return False
+
+
+class BenchIdentityColumnsRule:
+    """RPR008 — benchmark tables must stay joinable by ``check_trend.py``.
+
+    The trend gate matches rows across runs on its identity-column key set;
+    a ``register_table`` call whose column list carries no identity column
+    produces rows the gate can never match, so regressions in that table
+    are invisible.  The key set is read from the analyzed tree's own
+    ``benchmarks/check_trend.py`` when present (so the rule tracks the gate,
+    not a stale mirror).
+    """
+
+    rule_id = "RPR008"
+    title = "register_table columns carry no check_trend identity column"
+
+    def __init__(self) -> None:
+        self._key_cache: dict[Path, tuple[tuple[str, ...], tuple[str, ...]]] = {}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if "benchmarks" not in ctx.path.parts:
+            return
+        key_columns, metrics = self._trend_columns(ctx.path)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.rsplit(".", 1)[-1] != "register_table":
+                continue
+            columns = self._literal_columns(node)
+            if columns is None:
+                continue
+            identity = [column for column in columns if column in key_columns]
+            if identity:
+                continue
+            has_metric = any(column in metrics for column in columns)
+            detail = (
+                "rows with timing metrics but no identity column can never "
+                "be matched across runs"
+                if has_metric
+                else "rows without an identity column can never be matched "
+                "across runs"
+            )
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"register_table columns {columns!r} carry no identity column "
+                f"known to check_trend.py; {detail}",
+            )
+
+    def _trend_columns(
+        self, path: Path
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        for ancestor in path.resolve().parents:
+            candidate = ancestor / "check_trend.py"
+            if ancestor.name == "benchmarks" and candidate.is_file():
+                cached = self._key_cache.get(candidate)
+                if cached is None:
+                    cached = self._parse_trend_file(candidate)
+                    self._key_cache[candidate] = cached
+                return cached
+        return FALLBACK_KEY_COLUMNS, FALLBACK_METRICS
+
+    @staticmethod
+    def _parse_trend_file(
+        candidate: Path,
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        key_columns: tuple[str, ...] = FALLBACK_KEY_COLUMNS
+        metrics: tuple[str, ...] = FALLBACK_METRICS
+        try:
+            tree = ast.parse(candidate.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            return key_columns, metrics
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = {
+                target.id for target in node.targets if isinstance(target, ast.Name)
+            }
+            if "KEY_COLUMNS" in targets and isinstance(
+                node.value, (ast.Tuple, ast.List)
+            ):
+                key_columns = tuple(
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                )
+            if "METRICS" in targets and isinstance(node.value, ast.Dict):
+                metrics = tuple(
+                    key.value
+                    for key in node.value.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                )
+        return key_columns, metrics
+
+    @staticmethod
+    def _literal_columns(node: ast.Call) -> list[str] | None:
+        candidate: ast.AST | None = None
+        if len(node.args) >= 3:
+            candidate = node.args[2]
+        for keyword in node.keywords:
+            if keyword.arg == "columns":
+                candidate = keyword.value
+        if not isinstance(candidate, (ast.List, ast.Tuple)):
+            return None
+        columns = [
+            element.value
+            for element in candidate.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ]
+        return columns if len(columns) == len(candidate.elts) else None
+
+
+def ALL_RULES_FACTORY() -> list:
+    """Fresh rule instances (RPR008 carries a per-run parse cache)."""
+    return [
+        OneShotPairwiseRule(),
+        DtypeRequiredRule(),
+        AsyncBlockingRule(),
+        LockBlockingRule(),
+        SlotsPickleRule(),
+        SnapshotRoundTripRule(),
+        SwallowedExceptionRule(),
+        BenchIdentityColumnsRule(),
+    ]
+
+
+ALL_RULES = ALL_RULES_FACTORY()
+
+
+def rules_by_id() -> dict[str, object]:
+    """Mapping of rule id → rule instance for ``--select`` validation."""
+    return {rule.rule_id: rule for rule in ALL_RULES}

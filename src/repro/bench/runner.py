@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import platform
+import statistics
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -75,6 +76,33 @@ def _with_us_mirrors(row: dict) -> dict:
     return out
 
 
+def _median_timing_rows(rows_per_repeat: list[list[dict]]) -> list[dict]:
+    """Collapse repeated cell measurements into one row set.
+
+    Identity and deterministic metric columns come from the first repeat;
+    the timing columns are replaced by their median across repeats, which
+    is robust to the one-off scheduler hiccups that plague shared runners.
+    Falls back to the first repeat when a driver produced repeat runs of
+    different shapes (deterministic drivers never do).
+    """
+    first = rows_per_repeat[0]
+    if any(len(rows) != len(first) for rows in rows_per_repeat[1:]):
+        return first
+    merged: list[dict] = []
+    for index, base in enumerate(first):
+        row = dict(base)
+        for key in _MS_TO_US_KEYS:
+            samples = [
+                rows[index].get(key)
+                for rows in rows_per_repeat
+                if isinstance(rows[index].get(key), (int, float))
+            ]
+            if len(samples) == len(rows_per_repeat):
+                row[key] = statistics.median(samples)
+        merged.append(row)
+    return merged
+
+
 @dataclass
 class CellResult:
     """The rows of one executed sweep cell plus its wall-clock cost."""
@@ -121,6 +149,7 @@ class SweepResult:
         return {
             "name": sweep_payload_name(figure),
             "scale": self.scale_name,
+            "repeats": self.spec.repeats,
             "backend": backends[0] if len(backends) == 1 else "mixed",
             "dtype": dtypes[0] if len(dtypes) == 1 else "mixed",
             "python": platform.python_version(),
@@ -222,18 +251,31 @@ class SweepRunner:
             self._report(f"[{index}/{len(cells)}] {cell.label} ...")
             driver = _CELL_DRIVERS[cell.figure]
             start = time.perf_counter()
+            rows_per_repeat: list[list[dict]] = []
             with use_backend(cell.backend), use_dtype(cell.dtype):
-                rows = driver(
-                    cell.dimension, scale=scale, deltas=spec.deltas, seed=spec.seed
-                )
+                for _ in range(spec.repeats):
+                    rows_per_repeat.append(
+                        driver(
+                            cell.dimension,
+                            scale=scale,
+                            deltas=spec.deltas,
+                            seed=spec.seed,
+                        )
+                    )
             elapsed = time.perf_counter() - start
+            rows = (
+                rows_per_repeat[0]
+                if spec.repeats == 1
+                else _median_timing_rows(rows_per_repeat)
+            )
             for row in rows:
                 row["backend"] = cell.backend
                 row["dtype"] = cell.dtype
             result.cells.append(CellResult(cell=cell, rows=rows, elapsed_s=elapsed))
+            repeat_note = f" ({spec.repeats} repeats, median)" if spec.repeats > 1 else ""
             self._report(
                 f"[{index}/{len(cells)}] {cell.label} done in {elapsed:.2f}s "
-                f"({len(rows)} rows)"
+                f"({len(rows)} rows{repeat_note})"
             )
         return result
 
@@ -246,6 +288,7 @@ def run_sweep(
     scale: str | None = None,
     deltas: Sequence[float] = (0.5, 2.0),
     dimensions: Sequence[int] | None = None,
+    repeats: int = 1,
     seed: int = 0,
     output_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
@@ -263,6 +306,7 @@ def run_sweep(
         scale=scale,
         deltas=tuple(deltas),
         dimensions=tuple(dimensions) if dimensions is not None else None,
+        repeats=repeats,
         seed=seed,
     )
     result = SweepRunner(progress=progress).run(spec)

@@ -92,6 +92,12 @@ class SweepSpec:
         to every selected figure, or a ``{figure: dimensions}`` mapping;
         ``None`` uses the scale's per-figure defaults
         (``blob_dimensions`` / ``rotated_dimensions``).
+    repeats:
+        How many times each cell is measured.  With ``repeats > 1`` the
+        runner reports the *median* of the timing columns across the
+        repeats, which is what ``check_trend.py`` should gate on noisy
+        runners; all other columns come from the first repeat (the drivers
+        are deterministic given the seed).
     seed:
         Random seed forwarded to the dataset generators.
     """
@@ -102,6 +108,7 @@ class SweepSpec:
     scale: str | None = None
     deltas: tuple[float, ...] = (0.5, 2.0)
     dimensions: tuple[int, ...] | Mapping[str, Sequence[int]] | None = None
+    repeats: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -129,6 +136,8 @@ class SweepSpec:
                 )
         if not self.deltas or any(d <= 0 for d in self.deltas):
             raise ValueError(f"deltas must be positive, got {self.deltas}")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be at least 1, got {self.repeats}")
 
     def resolve_scale(self) -> ExperimentScale:
         """The :class:`ExperimentScale` this spec runs at."""

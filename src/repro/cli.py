@@ -9,6 +9,8 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
     repro-experiments sweep --figure 4 --figure 5 --quick
     repro-experiments serve --streams 16 --shards 4
     repro-experiments ingest --streams 16 --shards 4 --workers process
+    repro-experiments analyze src tests benchmarks
+    repro-experiments analyze --select RPR002,RPR007 --format json src
 
 Each figure sub-command regenerates the series of one figure of the paper
 (or one ablation) and prints them as a plain-text table; ``--csv``
@@ -24,6 +26,7 @@ pure ingest throughput).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Sequence
@@ -157,10 +160,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: benchmarks/results; 'none' skips writing)",
     )
     sweep.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="measure each sweep cell this many times and report the "
+        "median of the timing columns (default: 1)",
+    )
+    sweep.add_argument(
         "--no-progress",
         action="store_true",
         help="suppress the per-cell progress lines",
     )
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="run the repo-specific AST invariant checks (repro.analysis)",
+    )
+    from .analysis.cli import add_analyze_arguments
+
+    add_analyze_arguments(analyze)
 
     for name, help_text in [
         ("serve", "sharded multi-stream serving demo: ingest + query fan-out"),
@@ -340,6 +358,14 @@ def _run_sweep(args: argparse.Namespace) -> int:
     """Drive the declarative dimensionality sweeps of :mod:`repro.bench`."""
     from .bench import run_sweep
 
+    env_backend = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if env_backend and args.backend and env_backend not in args.backend:
+        raise ValueError(
+            f"conflicting backend selection: REPRO_BACKEND={env_backend!r} is "
+            f"set but --backend pins {sorted(set(args.backend))}; the sweep "
+            "pins the backend per cell, so the environment override would be "
+            "silently ignored — drop one of the two"
+        )
     output_dir = None if args.output_dir in (None, "none") else args.output_dir
     result = run_sweep(
         figures=tuple(args.figure) if args.figure else ("4", "5"),
@@ -348,6 +374,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         scale="tiny" if args.quick else args.scale,
         deltas=tuple(args.delta) if args.delta else (0.5, 2.0),
         dimensions=tuple(args.dimension) if args.dimension else None,
+        repeats=args.repeats,
         seed=args.seed,
         output_dir=None,  # written below so the paths can be reported
         progress=None if args.no_progress else print,
@@ -413,9 +440,27 @@ def _run_command(args: argparse.Namespace) -> list[dict]:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes follow the analysis contract tree-wide: 0 on success, 1 for
+    command-specific failures (e.g. unsuppressed analysis findings), 2 for
+    usage errors — including semantic ones argparse cannot see, such as an
+    unknown dataset name or a ``--backend``/``REPRO_BACKEND`` conflict.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "analyze":
+        from .analysis.cli import run_analyze
+
+        return run_analyze(args)
 
     if args.command == "list-datasets":
         rows = [

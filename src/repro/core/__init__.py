@@ -39,6 +39,7 @@ from .metrics import (
     pairwise_distances,
 )
 from .oblivious import ObliviousFairSlidingWindow
+from .protocols import ServedWindow
 from .snapshot import (
     SNAPSHOT_VERSION,
     SnapshotMismatchError,
@@ -68,6 +69,7 @@ __all__ = [
     "PrecomputedMetric",
     "SNAPSHOT_VERSION",
     "ScalarOnlyMetric",
+    "ServedWindow",
     "SlidingWindowConfig",
     "SnapshotMismatchError",
     "SnapshotVersionError",

@@ -75,9 +75,14 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Generic, Iterator, Sequence, TypeVar
 
 import numpy as np
+
+#: Item type of a :class:`PointSet` view — plain :class:`Point`s on the
+#: query path, :class:`StreamItem`s inside the sliding-window engines.
+ItemT = TypeVar("ItemT")
+OtherItemT = TypeVar("OtherItemT")
 
 __all__ = [
     "BatchDistanceEngine",
@@ -661,7 +666,7 @@ class CoordinateArena:
 # -------------------------------------------------------------- point sets
 
 
-class PointSet:
+class PointSet(Generic[ItemT]):
     """A point sequence bundled with its contiguous coordinates and kernel.
 
     The currency of the query-side engine: anywhere a solver or a query
@@ -687,11 +692,13 @@ class PointSet:
 
     def __init__(
         self,
-        items: Sequence,
+        items: Sequence[ItemT],
         coords: np.ndarray | None = None,
         kernel: DistanceKernel | None = None,
     ) -> None:
-        self.items = items if isinstance(items, list) else list(items)
+        self.items: list[ItemT] = (
+            items if isinstance(items, list) else list(items)
+        )
         if coords is not None and coords.shape[0] != len(self.items):
             raise ValueError(
                 f"coordinate matrix has {coords.shape[0]} rows "
@@ -704,10 +711,10 @@ class PointSet:
     def __len__(self) -> int:
         return len(self.items)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ItemT]:
         return iter(self.items)
 
-    def __getitem__(self, index: int):
+    def __getitem__(self, index: int) -> ItemT:
         return self.items[index]
 
     @property
@@ -773,7 +780,7 @@ class PointSet:
             self._pairwise = matrix
         return self._pairwise
 
-    def replace_items(self, items: Sequence) -> "PointSet":
+    def replace_items(self, items: Sequence[OtherItemT]) -> "PointSet[OtherItemT]":
         """A point set with the same coordinates over different item handles.
 
         Used to strip :class:`StreamItem` wrappers without losing the

@@ -27,6 +27,10 @@ from .geometry import Point, StreamItem
 class BatchIngestMixin:
     """``insert_batch`` for algorithms exposing an ``insert`` method."""
 
+    def insert(self, item: StreamItem | Point) -> StreamItem:
+        """Apply one arrival (provided by the algorithm using the mixin)."""
+        raise NotImplementedError  # pragma: no cover - always overridden
+
     def insert_batch(self, items: Sequence[StreamItem | Point]) -> list[StreamItem]:
         """Insert a run of consecutive arrivals in order.
 

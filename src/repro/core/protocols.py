@@ -1,0 +1,61 @@
+"""Structural interfaces shared across the core/serving boundary.
+
+The serving layer is deliberately variant-agnostic: a shard drives *any*
+sliding-window algorithm through the small surface captured here, and the
+window implementations (``FairSlidingWindow``, ``ObliviousSlidingWindow``,
+``DimensionFreeSlidingWindow``) satisfy it structurally — no inheritance,
+no registration.  Typing the factories and stream tables against
+:class:`ServedWindow` replaces the previous ``Callable[[str], object]``
+erasure (and the ``type: ignore[attr-defined]`` scatter it forced at every
+window call site) with checked signatures.
+
+The sequential-solver counterpart, ``FairCenterSolver``, lives in
+:mod:`repro.sequential.base` next to its implementations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:
+    from .geometry import Point, StreamItem
+    from .snapshot import WindowSnapshot
+    from .solution import ClusteringSolution
+
+
+@runtime_checkable
+class ServedWindow(Protocol):
+    """One stream's sliding-window algorithm instance, as serving drives it.
+
+    ``insert``/``insert_batch``/``query``/``memory_points`` are the
+    steady-state surface; ``snapshot``/``restore`` power checkpointing and
+    idle-stream eviction (a window that cannot snapshot may still be served
+    with ``snapshot_evicted=False`` and no checkpointing — the protocol
+    requires them because every shipped variant provides them).
+    """
+
+    def insert(self, item: "StreamItem | Point") -> "StreamItem":
+        """Apply one arrival; returns the stored (time-stamped) item."""
+        ...
+
+    def insert_batch(
+        self, items: "Sequence[StreamItem | Point]"
+    ) -> "list[StreamItem]":
+        """Apply a run of consecutive arrivals in order."""
+        ...
+
+    def query(self) -> "ClusteringSolution":
+        """Solve fair center on the current window."""
+        ...
+
+    def memory_points(self) -> int:
+        """Number of points currently stored by the window's sketches."""
+        ...
+
+    def snapshot(self) -> "WindowSnapshot":
+        """The window's logical state as a picklable value object."""
+        ...
+
+    def restore(self, snapshot: "WindowSnapshot") -> None:
+        """Replace the window's state with a snapshot's."""
+        ...

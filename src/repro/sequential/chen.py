@@ -195,7 +195,7 @@ class ChenMatroidCenter:
             values_list = [low]
             while values_list[-1] < high:
                 values_list.append(values_list[-1] * self.grid_ratio)
-            values = np.unique(np.asarray(values_list))
+            values = np.unique(np.asarray(values_list, dtype=float))
         values = values[values >= 0]
         if values.size == 0 or values[0] > 0:
             values = np.concatenate(([0.0], values))

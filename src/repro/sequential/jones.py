@@ -194,7 +194,7 @@ class JonesFairCenter:
             for index in center_indices[1:]:
                 np.minimum(closest, distances_from(index), out=closest)
         else:
-            closest = np.full(len(points), np.inf)
+            closest = np.full(len(points), np.inf, dtype=float)
 
         while budget > 0:
             order = np.argsort(-closest)

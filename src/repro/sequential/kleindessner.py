@@ -55,7 +55,7 @@ class CapacityAwareGreedy:
         remaining: dict[Color, int] = dict(constraint.capacities)
         centers: list[Point] = []
         chosen: set[int] = set()
-        closest = np.full(len(plain), np.inf)
+        closest = np.full(len(plain), np.inf, dtype=float)
 
         # Seed with the first point whose color has capacity.
         seed = next(

@@ -6,9 +6,10 @@ submits).  Inside an event loop neither is acceptable: blocking stalls the
 loop, and exception-driven retry loops busy-spin.  :class:`AsyncMultiStreamService`
 wraps the service so that backpressure becomes *awaitable*: an ingest into a
 shard with queue headroom completes synchronously on the fast path (no
-thread hop, no context switch), and one that would block is transparently
-moved to a worker thread, suspending only the awaiting coroutine while the
-shard drains.
+thread hop, no context switch), and one that would block suspends the
+awaiting coroutine on a per-shard :class:`asyncio.Condition` until the shard
+drains — no worker thread is parked per waiting producer, so thousands of
+streams can await one congested shard at the cost of one timer each.
 
 Typical use::
 
@@ -30,13 +31,25 @@ or a process round trip.
 from __future__ import annotations
 
 import asyncio
+import logging
 from pathlib import Path
+from types import TracebackType
+from typing import Iterable
 
 from ..core.geometry import Point, StreamItem
 from ..core.solution import ClusteringSolution
 from .router import StreamRouter
 from .service import FanoutResult, MultiStreamService, ServingConfig
 from .shard import IngestQueueFull, ShardStats, WindowFactoryFn
+
+logger = logging.getLogger(__name__)
+
+#: First pause before re-probing a full shard queue, in seconds.  The drain
+#: loop applies points in batches, so headroom usually appears within a
+#: millisecond of the queue rejecting a submit.
+_INITIAL_RETRY_DELAY = 0.001
+#: Upper bound on the exponential backoff between re-probes.
+_MAX_RETRY_DELAY = 0.05
 
 
 class AsyncMultiStreamService:
@@ -66,6 +79,11 @@ class AsyncMultiStreamService:
             if factory is None:
                 raise ValueError("a window factory (or a service) is required")
             self._service = MultiStreamService(factory, config, router=router)
+        # Per-shard drain conditions, created lazily inside a running loop.
+        # asyncio primitives bind to the loop that first awaits them, so the
+        # table is rebuilt whenever the service is reused under a new loop.
+        self._drain_waiters: dict[int, asyncio.Condition] = {}
+        self._waiter_loop: asyncio.AbstractEventLoop | None = None
 
     @property
     def service(self) -> MultiStreamService:
@@ -74,14 +92,28 @@ class AsyncMultiStreamService:
 
     # ----------------------------------------------------------------- ingest
 
+    def _drain_condition(self, shard_index: int) -> asyncio.Condition:
+        loop = asyncio.get_running_loop()
+        if self._waiter_loop is not loop:
+            self._waiter_loop = loop
+            self._drain_waiters = {}
+        condition = self._drain_waiters.get(shard_index)
+        if condition is None:
+            condition = asyncio.Condition()
+            self._drain_waiters[shard_index] = condition
+        return condition
+
     async def ingest(self, stream_id: str, point: Point | StreamItem) -> int:
         """Route one arrival to its shard; returns the shard index.
 
         Fast path: a non-blocking submit that succeeds costs no thread hop.
-        When the shard's queue is full the submit is retried *blocking* on a
-        worker thread — the coroutine suspends until the shard drains, which
-        is the awaitable form of the thread API's backpressure (no
-        :class:`IngestQueueFull` ever escapes this method).
+        When the shard's queue is full the coroutine parks on that shard's
+        :class:`asyncio.Condition` and re-probes with a capped exponential
+        backoff: a sibling ingest that finds headroom notifies all waiters
+        immediately, and the backoff timer bounds the wait when no sibling
+        runs.  No :class:`IngestQueueFull` ever escapes this method, and no
+        worker thread is parked while waiting; shard failures recorded by
+        the drain loop surface on the next re-probe instead of hanging.
 
         Ordering: a stream's arrivals must reach its window in order (the
         windows stamp strictly increasing arrival times), so keep one
@@ -92,11 +124,33 @@ class AsyncMultiStreamService:
         try:
             return self._service.ingest(stream_id, point, block=False)
         except IngestQueueFull:
-            return await asyncio.to_thread(
-                self._service.ingest, stream_id, point, block=True
-            )
+            pass
+        shard_index = self._service.router.shard_of(stream_id)
+        condition = self._drain_condition(shard_index)
+        delay = _INITIAL_RETRY_DELAY
+        while True:
+            try:
+                result = self._service.ingest(stream_id, point, block=False)
+            except IngestQueueFull:
+                async with condition:
+                    try:
+                        await asyncio.wait_for(condition.wait(), timeout=delay)
+                    except TimeoutError:
+                        # No sibling freed the queue in time; re-probe anyway
+                        # so a drain that happened without a notifier (the
+                        # worker thread cannot notify) is still observed.
+                        pass
+                delay = min(delay * 2.0, _MAX_RETRY_DELAY)
+                continue
+            if result != shard_index:  # pragma: no cover - router is stable
+                shard_index = result
+            async with condition:
+                condition.notify_all()
+            return result
 
-    async def ingest_many(self, arrivals) -> int:
+    async def ingest_many(
+        self, arrivals: Iterable[tuple[str, Point | StreamItem]]
+    ) -> int:
         """Ingest an iterable of ``(stream_id, point)`` pairs; returns the count.
 
         Awaits per arrival, so concurrent producers interleave fairly while
@@ -141,11 +195,20 @@ class AsyncMultiStreamService:
     async def __aenter__(self) -> "AsyncMultiStreamService":
         return self
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         if exc_type is None:
             await self.close()
         else:
+            # Don't let a shutdown failure mask the exception already
+            # propagating, but keep it observable for operators.
             try:
                 await self.close()
             except Exception:
-                pass
+                logger.exception(
+                    "suppressed shutdown failure while another error propagates"
+                )

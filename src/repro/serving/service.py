@@ -27,15 +27,20 @@ Typical use::
 from __future__ import annotations
 
 import json
+import logging
 import pickle
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from types import TracebackType
+from typing import Iterable
 
 from ..core.geometry import Point, StreamItem
 from ..core.solution import ClusteringSolution
 from .router import StreamRouter
 from .shard import ProcessShardWorker, ShardStats, ShardWorker, WindowFactoryFn
+
+logger = logging.getLogger(__name__)
 
 #: Worker flavours accepted by :class:`ServingConfig`.
 WORKER_MODES = ("thread", "process")
@@ -246,16 +251,24 @@ class MultiStreamService:
     def __enter__(self) -> "MultiStreamService":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         if exc_type is None:
             self.close()
         else:
             # An exception is already propagating (often the very failure a
-            # flush/query surfaced); don't let shutdown mask it.
+            # flush/query surfaced); don't let shutdown mask it, but do keep
+            # the close failure observable.
             try:
                 self.close()
             except Exception:
-                pass
+                logger.exception(
+                    "suppressed shutdown failure while another error propagates"
+                )
 
     # ----------------------------------------------------------------- ingest
 
@@ -278,7 +291,7 @@ class MultiStreamService:
 
     def ingest_many(
         self,
-        arrivals,
+        arrivals: Iterable[tuple[str, Point | StreamItem]],
         *,
         block: bool = True,
         timeout: float | None = None,

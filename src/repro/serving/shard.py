@@ -48,12 +48,13 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..core.geometry import Point, StreamItem
+from ..core.protocols import ServedWindow
 from ..core.snapshot import WindowSnapshot
 from ..core.solution import ClusteringSolution
 
-#: ``factory(stream_id) -> window`` with insert/insert_batch/query/memory_points
-#: (plus snapshot/restore when checkpointing or snapshot-eviction is used).
-WindowFactoryFn = Callable[[str], object]
+#: ``factory(stream_id) -> window``; the returned window must satisfy the
+#: :class:`~repro.core.protocols.ServedWindow` structural interface.
+WindowFactoryFn = Callable[[str], ServedWindow]
 
 #: Sentinel asking a drain loop to exit (identity-compared).
 _STOP = ("__stop__",)
@@ -140,7 +141,7 @@ class _StreamTable:
         self.snapshot_evicted = snapshot_evicted
         #: capacity of the evicted-window LRU (0 disables it).
         self.revive_cache = revive_cache
-        self.windows: dict[str, object] = {}
+        self.windows: dict[str, ServedWindow] = {}
         #: per live stream: monotonic time of its last applied ingest (the
         #: idle clock; revival also stamps it so a revived stream gets a
         #: full TTL before the next sweep can evict it again).
@@ -150,12 +151,12 @@ class _StreamTable:
         #: recently evicted live windows, oldest first (plain dict: Python
         #: dicts preserve insertion order, which is all an LRU needs here —
         #: entries are only ever appended and popped).
-        self.lru: dict[str, object] = {}
+        self.lru: dict[str, ServedWindow] = {}
         self.evictions = 0
         #: number of revivals served from the LRU instead of a snapshot.
         self.cache_revivals = 0
 
-    def materialise(self, stream_id: str):
+    def materialise(self, stream_id: str) -> ServedWindow:
         """The live window of ``stream_id``, reviving or creating it.
 
         Revival prefers the evicted-window LRU (the window is re-adopted
@@ -171,7 +172,7 @@ class _StreamTable:
                 window = self.factory(stream_id)
                 snapshot = self.cold.pop(stream_id, None)
                 if snapshot is not None:
-                    window.restore(snapshot)  # type: ignore[attr-defined]
+                    window.restore(snapshot)
             self.windows[stream_id] = window
             self.last_ingest[stream_id] = time.monotonic()
         return window
@@ -181,7 +182,7 @@ class _StreamTable:
         now = time.monotonic()
         for stream_id, run in _group_by_stream(batch).items():
             window = self.materialise(stream_id)
-            window.insert_batch(run)  # type: ignore[attr-defined]
+            window.insert_batch(run)
             self.last_ingest[stream_id] = now
 
     def known(self, stream_id: str) -> bool:
@@ -220,21 +221,21 @@ class _StreamTable:
                     old_id = next(iter(self.lru))
                     old_window = self.lru.pop(old_id)
                     if self.snapshot_evicted:
-                        snapshot = old_window.snapshot()  # type: ignore[attr-defined]
+                        snapshot = old_window.snapshot()
                         self.cold[old_id] = snapshot
             elif self.snapshot_evicted:
-                self.cold[stream_id] = window.snapshot()  # type: ignore[attr-defined]
+                self.cold[stream_id] = window.snapshot()
         self.evictions += len(evicted)
         return evicted
 
     def checkpoint(self) -> dict[str, WindowSnapshot]:
         """Snapshots of every known stream (live and cached snapshotted now)."""
         snapshots = {
-            stream_id: window.snapshot()  # type: ignore[attr-defined]
+            stream_id: window.snapshot()
             for stream_id, window in self.windows.items()
         }
         for stream_id, window in self.lru.items():
-            snapshots[stream_id] = window.snapshot()  # type: ignore[attr-defined]
+            snapshots[stream_id] = window.snapshot()
         snapshots.update(self.cold)
         return snapshots
 
@@ -257,11 +258,11 @@ class _StreamTable:
         revive cache deliberately trades their memory for revival speed.
         """
         live = sum(
-            window.memory_points()  # type: ignore[attr-defined]
+            window.memory_points()
             for window in self.windows.values()
         )
         cached = sum(
-            window.memory_points()  # type: ignore[attr-defined]
+            window.memory_points()
             for window in self.lru.values()
         )
         return live + cached
@@ -473,14 +474,14 @@ class ShardWorker:
             if not self._table.known(stream_id):
                 raise KeyError(f"shard {self.shard_id} serves no stream {stream_id!r}")
             window = self._table.materialise(stream_id)
-            return window.query()  # type: ignore[attr-defined]
+            return window.query()
 
     def query_all(self) -> dict[str, ClusteringSolution]:
         """Solutions for every live stream of this shard (cold ones stay cold)."""
         self._raise_on_failure()
         with self._lock:
             return {
-                stream_id: window.query()  # type: ignore[attr-defined]
+                stream_id: window.query()
                 for stream_id, window in self._table.windows.items()
             }
 
@@ -543,13 +544,13 @@ def _process_shard_main(
                 )
             else:
                 window = table.materialise(payload)
-                results.put(("solution", window.query()))  # type: ignore[attr-defined]
+                results.put(("solution", window.query()))
         elif kind == "query_all":
             results.put(
                 (
                     "solutions",
                     {
-                        stream_id: window.query()  # type: ignore[attr-defined]
+                        stream_id: window.query()
                         for stream_id, window in table.windows.items()
                     },
                 )
@@ -744,7 +745,7 @@ class ProcessShardWorker:
 
     # ------------------------------------------------------------------ query
 
-    def _expect(self, kind: str, *, timeout: float = 60.0):
+    def _expect(self, kind: str, *, timeout: float = 60.0) -> object:
         """Wait for the worker's reply, detecting a dead child instead of
         blocking forever on an empty result queue."""
         deadline = time.monotonic() + timeout

@@ -1,0 +1,774 @@
+"""Fixture-pinned tests for the repo-specific analysis rules.
+
+Every rule gets a positive case (the violation fires), a negative case
+(correct code stays clean) and a suppression case (an inline
+``# repro: allow[RULE-ID]`` silences it and is counted).  The engine-level
+contract (exit codes, syntax-error findings, ``--select`` validation, JSON
+output) is covered at the bottom, including the acceptance check that the
+committed tree itself analyzes clean and that doctoring a violation into
+``repro.serving`` fails the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, analyze_paths
+from repro.analysis.framework import derive_module
+from repro.analysis.rules import ALL_RULES_FACTORY
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_on(tmp_path: Path, relpath: str, source: str, *, select=None):
+    """Write one fixture file into ``tmp_path`` and analyze the tree."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return analyze_paths([tmp_path], ALL_RULES_FACTORY(), select=select)
+
+
+def rule_ids(report) -> list[str]:
+    return [finding.rule_id for finding in report.findings]
+
+
+# --------------------------------------------------------------------- RPR001
+
+
+class TestOneShotPairwise:
+    def test_positive(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/bad.py",
+            """
+            def naive(kernel, coords):
+                return kernel.many_to_many(coords, coords)
+            """,
+        )
+        assert rule_ids(report) == ["RPR001"]
+
+    def test_negative_different_args(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/ok.py",
+            """
+            def cross(kernel, a, b):
+                return kernel.many_to_many(a, b)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_inside_packed_pairwise(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/ok2.py",
+            """
+            def packed_pairwise(kernel, coords):
+                return kernel.many_to_many(coords, coords)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/allowed.py",
+            """
+            def oracle(kernel, coords):
+                # tiny parity oracle, never a hot path
+                return kernel.many_to_many(coords, coords)  # repro: allow[RPR001] oracle
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+    def test_fires_outside_kernel_packages_too(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "tests/test_whatever.py",
+            """
+            def check(kernel, coords):
+                return kernel.many_to_many(coords, coords)
+            """,
+        )
+        assert rule_ids(report) == ["RPR001"]
+
+
+# --------------------------------------------------------------------- RPR002
+
+
+class TestDtypeRequired:
+    @pytest.mark.parametrize(
+        "call",
+        ["np.asarray(xs)", "np.zeros(3)", "np.empty((2, 2))", "np.full(4, 0.0)"],
+    )
+    def test_positive(self, tmp_path, call):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/bad.py",
+            f"""
+            import numpy as np
+
+            def f(xs):
+                return {call}
+            """,
+        )
+        assert rule_ids(report) == ["RPR002"]
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "np.asarray(xs, dtype=float)",
+            "np.zeros(3, dtype=np.float32)",
+            "np.zeros(3, float)",
+            "np.full(4, 0.0, dtype=float)",
+        ],
+    )
+    def test_negative_explicit_dtype(self, tmp_path, call):
+        report = run_on(
+            tmp_path,
+            "src/repro/sequential/ok.py",
+            f"""
+            import numpy as np
+
+            def f(xs):
+                return {call}
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_outside_kernel_modules(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/evaluation/ok.py",
+            """
+            import numpy as np
+
+            def f(xs):
+                return np.asarray(xs)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_suppression_standalone_comment(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/allowed.py",
+            """
+            import numpy as np
+
+            def f(xs):
+                # repro: allow[RPR002] indices, dtype is irrelevant here
+                return np.asarray(xs)
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
+# --------------------------------------------------------------------- RPR003
+
+
+class TestAsyncBlocking:
+    def test_positive_sleep(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/bad_async.py",
+            """
+            import time
+
+            async def tick():
+                time.sleep(1.0)
+            """,
+        )
+        assert "RPR003" in rule_ids(report)
+
+    def test_positive_queue_get(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/bad_async2.py",
+            """
+            async def drain(self):
+                return self._ingest_queue.get()
+            """,
+        )
+        assert rule_ids(report) == ["RPR003"]
+
+    def test_negative_sync_function(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_sync.py",
+            """
+            import time
+
+            def tick():
+                time.sleep(1.0)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_wrapped_in_to_thread(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_async.py",
+            """
+            import asyncio
+            import time
+
+            async def tick():
+                await asyncio.to_thread(lambda: time.sleep(1.0))
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_nonblocking_queue_get(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_async2.py",
+            """
+            async def drain(self):
+                return self._ingest_queue.get(block=False)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/allowed_async.py",
+            """
+            import time
+
+            async def tick():
+                time.sleep(0)  # repro: allow[RPR003] yields the GIL only
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
+# --------------------------------------------------------------------- RPR004
+
+
+class TestLockBlocking:
+    def test_positive(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/bad_lock.py",
+            """
+            def push(self, item):
+                with self._lock:
+                    self._ingest_queue.put(item)
+            """,
+        )
+        assert rule_ids(report) == ["RPR004"]
+
+    def test_negative_blocking_outside_lock(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_lock.py",
+            """
+            def push(self, item):
+                with self._lock:
+                    self._pending.append(item)
+                self._ingest_queue.put(item)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_outside_serving(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/ok_lock.py",
+            """
+            def push(self, item):
+                with self._lock:
+                    self._ingest_queue.put(item)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/allowed_lock.py",
+            """
+            def push(self, item):
+                with self._lock:
+                    self._ingest_queue.put(item)  # repro: allow[RPR004] bounded queue
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
+# --------------------------------------------------------------------- RPR005
+
+
+class TestSlotsPickle:
+    def test_positive(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/bad_slots.py",
+            """
+            class Table:
+                __slots__ = ("_rows", "_lock")
+            """,
+        )
+        assert rule_ids(report) == ["RPR005"]
+
+    def test_negative_with_state_protocol(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_slots.py",
+            """
+            import threading
+
+            class Table:
+                __slots__ = ("_rows", "_lock")
+
+                def __getstate__(self):
+                    return {"_rows": self._rows}
+
+                def __setstate__(self, state):
+                    self._rows = state["_rows"]
+                    self._lock = threading.Lock()
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_picklable_slots(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/ok_slots.py",
+            """
+            class Row:
+                __slots__ = ("coords", "color", "weight")
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/allowed_slots.py",
+            """
+            # repro: allow[RPR005] never crosses a process boundary
+            class Table:
+                __slots__ = ("_rows", "_lock")
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
+# --------------------------------------------------------------------- RPR006
+
+
+class TestSnapshotRoundTrip:
+    def test_positive_literal_version(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/bad_snap.py",
+            """
+            def snap(window):
+                return WindowSnapshot(version=1, items=window.items)
+            """,
+        )
+        assert rule_ids(report) == ["RPR006"]
+
+    def test_positive_missing_version(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/bad_snap2.py",
+            """
+            def snap(window):
+                return WindowSnapshot(items=window.items)
+            """,
+        )
+        assert rule_ids(report) == ["RPR006"]
+
+    def test_negative_constant_reference(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/ok_snap.py",
+            """
+            from repro.core.snapshot import SNAPSHOT_VERSION, WindowSnapshot
+
+            def snap(window):
+                return WindowSnapshot(version=SNAPSHOT_VERSION, items=window.items)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_positive_field_never_restored(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/bad_roundtrip.py",
+            """
+            class State:
+                def snapshot_state(self):
+                    return Snap(items=self._items, clock=self._clock)
+
+                def load_state(self, snapshot):
+                    self._items = snapshot.items
+            """,
+        )
+        assert rule_ids(report) == ["RPR006"]
+        assert "clock" in report.findings[0].message
+
+    def test_positive_phantom_read(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/bad_roundtrip2.py",
+            """
+            class State:
+                def snapshot_state(self):
+                    return Snap(items=self._items)
+
+                def load_state(self, snapshot):
+                    self._items = snapshot.items
+                    self._clock = snapshot.clock
+            """,
+        )
+        assert rule_ids(report) == ["RPR006"]
+
+    def test_negative_round_trip_with_guess_exemption(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/ok_roundtrip.py",
+            """
+            class State:
+                def snapshot_state(self):
+                    return Snap(guess=self._guess, items=self._items)
+
+                def load_state(self, snapshot):
+                    self._items = snapshot.items
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/allowed_snap.py",
+            """
+            def snap(window):
+                return WindowSnapshot(version=1)  # repro: allow[RPR006] format test
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
+# --------------------------------------------------------------------- RPR007
+
+
+class TestSwallowedException:
+    def test_positive(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/bad_except.py",
+            """
+            def close(self):
+                try:
+                    self._worker.stop()
+                except Exception:
+                    pass
+            """,
+        )
+        assert rule_ids(report) == ["RPR007"]
+
+    def test_negative_logged(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_except.py",
+            """
+            def close(self):
+                try:
+                    self._worker.stop()
+                except Exception:
+                    logger.exception("worker stop failed")
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_bound_and_recorded(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_except2.py",
+            """
+            def close(self):
+                try:
+                    self._worker.stop()
+                except Exception as exc:
+                    self._failure = exc
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_narrow_exception_tuple(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_except3.py",
+            """
+            def close(self):
+                try:
+                    self._worker.stop()
+                except (RuntimeError, KeyError):
+                    pass
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_outside_serving(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/evaluation/ok_except.py",
+            """
+            def best_effort(fn):
+                try:
+                    fn()
+                except Exception:
+                    pass
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/allowed_except.py",
+            """
+            def close(self):
+                try:
+                    self._worker.stop()
+                except Exception:  # repro: allow[RPR007] double-close is benign
+                    pass
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
+# --------------------------------------------------------------------- RPR008
+
+
+class TestBenchIdentityColumns:
+    def test_positive(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "benchmarks/test_bad.py",
+            """
+            def test_table(register_table, rows):
+                register_table("t", rows, ["speed", "update_ms"])
+            """,
+        )
+        assert rule_ids(report) == ["RPR008"]
+
+    def test_negative_identity_column_present(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "benchmarks/test_ok.py",
+            """
+            def test_table(register_table, rows):
+                register_table("t", rows, ["dataset", "algorithm", "update_ms"])
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_non_literal_columns_skipped(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "benchmarks/test_dynamic.py",
+            """
+            def test_table(register_table, rows, columns):
+                register_table("t", rows, columns)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_outside_benchmarks(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/evaluation/tables.py",
+            """
+            def emit(register_table, rows):
+                register_table("t", rows, ["speed"])
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_key_set_read_from_sibling_check_trend(self, tmp_path):
+        (tmp_path / "benchmarks").mkdir(parents=True)
+        (tmp_path / "benchmarks" / "check_trend.py").write_text(
+            textwrap.dedent(
+                """
+                KEY_COLUMNS = ("widget",)
+                METRICS = {"spin_ms": "lower"}
+                """
+            )
+        )
+        report = run_on(
+            tmp_path,
+            "benchmarks/test_custom.py",
+            """
+            def test_table(register_table, rows):
+                register_table("t", rows, ["widget", "spin_ms"])
+            """,
+        )
+        assert rule_ids(report) == []
+        # ...and a column set valid against the fallback mirror now fails,
+        # because the sibling gate is the source of truth.
+        report = run_on(
+            tmp_path,
+            "benchmarks/test_custom2.py",
+            """
+            def test_table(register_table, rows):
+                register_table("t", rows, ["dataset", "update_ms"])
+            """,
+        )
+        assert rule_ids(report) == ["RPR008"]
+
+    def test_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "benchmarks/test_allowed.py",
+            """
+            def test_table(register_table, rows):
+                register_table("t", rows, ["speed"])  # repro: allow[RPR008] scratch
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
+# ------------------------------------------------------------------ framework
+
+
+class TestFramework:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        report = run_on(tmp_path, "src/repro/core/broken.py", "def f(:\n")
+        assert rule_ids(report) == ["RPR000"]
+        assert report.exit_code == EXIT_FINDINGS
+
+    def test_clean_tree_exit_code(self, tmp_path):
+        report = run_on(tmp_path, "src/repro/core/fine.py", "x = 1\n")
+        assert report.exit_code == EXIT_CLEAN
+        assert report.files_scanned == 1
+
+    def test_select_narrows_rules(self, tmp_path):
+        source = """
+        import numpy as np
+
+        def f(kernel, coords):
+            np.asarray(coords)
+            return kernel.many_to_many(coords, coords)
+        """
+        everything = run_on(tmp_path, "src/repro/core/two.py", source)
+        assert sorted(rule_ids(everything)) == ["RPR001", "RPR002"]
+        only_dtype = run_on(
+            tmp_path, "src/repro/core/two.py", source, select=["RPR002"]
+        )
+        assert rule_ids(only_dtype) == ["RPR002"]
+
+    def test_wildcard_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/wild.py",
+            """
+            import numpy as np
+
+            def f(kernel, coords):
+                return kernel.many_to_many(np.asarray(coords), np.asarray(coords))  # repro: allow[*] fixture
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 3
+
+    @pytest.mark.parametrize(
+        ("relpath", "module"),
+        [
+            ("src/repro/core/backend.py", "repro.core.backend"),
+            ("deep/nested/src/repro/serving/shard.py", "repro.serving.shard"),
+            ("src/repro/analysis/__init__.py", "repro.analysis"),
+            ("benchmarks/test_serving.py", "benchmarks.test_serving"),
+            ("scripts/loose.py", None),
+        ],
+    )
+    def test_derive_module(self, relpath, module):
+        assert derive_module(Path("/tmp/x") / relpath) == module
+
+
+# ------------------------------------------------------------------------ CLI
+
+
+class TestAnalyzeCli:
+    def test_committed_tree_is_clean(self):
+        assert (
+            cli_main(
+                [
+                    "analyze",
+                    str(REPO_ROOT / "src"),
+                    str(REPO_ROOT / "tests"),
+                    str(REPO_ROOT / "benchmarks"),
+                ]
+            )
+            == EXIT_CLEAN
+        )
+
+    def test_doctored_serving_violation_fails(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "serving" / "doctored.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "def close(self):\n"
+            "    try:\n"
+            "        self._worker.stop()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert cli_main(["analyze", str(tmp_path)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "RPR007" in out
+        assert "doctored.py" in out
+
+    def test_syntax_error_file_fails(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert cli_main(["analyze", str(broken)]) == EXIT_FINDINGS
+        assert "RPR000" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\n\nx = np.zeros(3)\n")
+        assert cli_main(["analyze", "--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_scanned"] == 1
+        assert [f["rule"] for f in payload["findings"]] == ["RPR002"]
+
+    def test_unknown_select_is_usage_error(self, tmp_path, capsys):
+        assert (
+            cli_main(["analyze", "--select", "RPR999", str(tmp_path)]) == EXIT_USAGE
+        )
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+            "RPR007",
+            "RPR008",
+        ):
+            assert rule_id in out

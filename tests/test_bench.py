@@ -102,6 +102,8 @@ class TestGridExpansion:
             {"dtypes": ()},
             {"deltas": ()},
             {"deltas": (0.0,)},
+            {"repeats": 0},
+            {"repeats": -1},
         ],
     )
     def test_invalid_specs_are_rejected(self, kwargs):
@@ -198,6 +200,45 @@ class TestDtypeParity:
             )
         )
         assert result.dtype_comparison() == []
+
+
+class TestRepeats:
+    def test_median_replaces_timing_columns_only(self):
+        from repro.bench.runner import _median_timing_rows
+
+        repeats = [
+            [{"algorithm": "Jones", "update_ms": 9.0, "query_ms": 1.0, "radius": 2.0}],
+            [{"algorithm": "Jones", "update_ms": 1.0, "query_ms": 3.0, "radius": 2.0}],
+            [{"algorithm": "Jones", "update_ms": 2.0, "query_ms": 5.0, "radius": 2.0}],
+        ]
+        merged = _median_timing_rows(repeats)
+        assert merged == [
+            {"algorithm": "Jones", "update_ms": 2.0, "query_ms": 3.0, "radius": 2.0}
+        ]
+
+    def test_mismatched_repeat_shapes_fall_back_to_first(self):
+        from repro.bench.runner import _median_timing_rows
+
+        first = [{"algorithm": "Jones", "update_ms": 9.0}]
+        merged = _median_timing_rows([first, []])
+        assert merged == first
+
+    def test_repeated_sweep_stamps_repeats_and_stays_keyed(self):
+        result = run_sweep(
+            figures=("4",),
+            backends=("auto",),
+            dtypes=("float64",),
+            scale="tiny",
+            deltas=(1.0,),
+            dimensions=(2,),
+            repeats=2,
+            output_dir=None,
+        )
+        payload = result.payload("4")
+        assert payload["repeats"] == 2
+        assert payload["rows"]
+        for row in payload["rows"]:
+            assert row["update_us"] == pytest.approx(row["update_ms"] * 1000.0)
 
 
 class TestQuickCli:

@@ -1,0 +1,101 @@
+"""End-to-end exit-code tests for the CLI's error paths.
+
+The contract (documented on :func:`repro.cli.main`): 0 on success, 1 for
+command-specific failures such as unsuppressed analysis findings, 2 for
+usage errors — both the ones argparse catches itself (unknown figure,
+bad choice) and the semantic ones it cannot see (unknown dataset name,
+impossible sweep dimension, a ``--backend`` flag contradicting the
+``REPRO_BACKEND`` environment variable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestArgparseRejections:
+    def test_unknown_command(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure99"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unknown_sweep_figure(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--figure", "7"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestSemanticRejections:
+    def test_unknown_dataset(self, capsys):
+        assert main(["figure3", "--dataset", "nonexistent"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown dataset" in err
+        assert err.startswith("error:")
+
+    def test_unknown_serving_dataset(self, capsys):
+        assert main(["ingest", "--dataset", "nonexistent", "--points", "10"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_impossible_sweep_dimension(self, capsys):
+        # Figure 5's rotated embeddings need at least their 3-d base stream.
+        assert (
+            main(["sweep", "--figure", "5", "--dimension", "1", "--quick"]) == 2
+        )
+        assert "cannot sweep dimension" in capsys.readouterr().err
+
+    def test_nonpositive_repeats(self, capsys):
+        assert (
+            main(["sweep", "--figure", "4", "--quick", "--repeats", "0"]) == 2
+        )
+        assert "repeats" in capsys.readouterr().err
+
+    def test_backend_env_conflict(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BACKEND", "scalar")
+        assert (
+            main(["sweep", "--figure", "4", "--backend", "auto", "--quick"]) == 2
+        )
+        assert "conflicting backend selection" in capsys.readouterr().err
+
+    def test_backend_env_agreement_is_not_a_conflict(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "scalar")
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--figure",
+                    "4",
+                    "--backend",
+                    "scalar",
+                    "--dimension",
+                    "2",
+                    "--quick",
+                    "--dtype",
+                    "float64",
+                    "--output-dir",
+                    "none",
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+
+
+class TestAnalyzeExitCodes:
+    def test_syntax_error_file_exits_one(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert main(["analyze", str(broken)]) == 1
+        assert "syntax error" in capsys.readouterr().out
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["analyze", str(clean)]) == 0
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        assert main(["analyze", "--select", "NOPE", str(tmp_path)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err

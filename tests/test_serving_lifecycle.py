@@ -550,6 +550,27 @@ class TestAsyncFrontEnd:
                     standalone.insert(point)
             assert solution_key(served[stream_id]) == solution_key(standalone.query())
 
+    def test_backpressure_waiter_survives_loop_reuse(self):
+        """Drain conditions bind to the loop that awaits them first; the
+        same wrapper driven from a second ``asyncio.run`` loop must rebuild
+        its waiter table instead of awaiting a dead loop's condition."""
+        factory = WindowFactory(make_config())
+        config = ServingConfig(num_shards=1, queue_capacity=2, batch_size=1)
+        service = AsyncMultiStreamService(factory, config)
+
+        async def burst(offset):
+            for point in POINT_POOL[offset : offset + 40]:
+                await service.ingest(STREAM_IDS[0], point)
+            await service.flush()
+
+        try:
+            asyncio.run(burst(0))
+            asyncio.run(burst(40))
+            stats = service.service.stats()
+            assert sum(s.ingested for s in stats) == 80
+        finally:
+            service.service.close()
+
     def test_async_lifecycle_wrappers(self):
         factory = WindowFactory(make_config())
 
