@@ -65,14 +65,22 @@ def _json_rows(rows: list[dict]) -> list[dict]:
 
 
 def register_table(
-    name: str, rows: list[dict], columns: list[str], *, write_json: bool = True
+    name: str,
+    rows: list[dict],
+    columns: list[str],
+    *,
+    write_json: bool = True,
+    extra: dict | None = None,
 ) -> None:
     """Persist and queue a result table for the terminal summary.
 
     ``write_json=False`` skips the ``BENCH_<name>.json`` record — used by
     benchmarks whose JSON payload is produced by a dedicated writer (the
     sweep results come from :meth:`repro.bench.SweepResult.write`, so the
-    canonical schema lives in one place).
+    canonical schema lives in one place).  ``extra`` merges additional
+    top-level fields into the JSON payload (side measurements such as
+    backend-vs-backend deltas); ``benchmarks/check_trend.py`` ignores
+    unknown top-level fields, so extras never participate in the gate.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     text = format_table(rows, columns, title=name)
@@ -88,6 +96,8 @@ def register_table(
             "columns": columns,
             "rows": _json_rows(rows),
         }
+        if extra:
+            payload.update(extra)
         (RESULTS_DIR / f"BENCH_{name}.json").write_text(
             json.dumps(payload, indent=2, default=str) + "\n"
         )

@@ -10,9 +10,12 @@ tracked with statistical rigour.
 from __future__ import annotations
 
 import itertools
+import time
 
 import pytest
 
+from repro.core.backend import use_backend
+from repro.core.fastpath import native_available
 from repro.datasets.registry import load_dataset
 from repro.experiments.common import make_contenders
 from repro.experiments.delta_sweep import figure2_rows, run_delta_sweep
@@ -60,6 +63,38 @@ def test_query_time_microbenchmark(benchmark, scale, delta):
     assert solution.centers, "query returned no centers"
 
 
+def _native_vs_fused_update_delta(scale) -> dict:
+    """Side measurement: mean per-arrival update cost, fused vs native.
+
+    Pins the global backend mode so the same warmed ``Ours`` instance is
+    re-resolved onto each path; recorded in the JSON payload (not a gated
+    metric).  When the C extension is not built only the fused figure is
+    reported.
+    """
+    paths = ("fused", "native") if native_available() else ("fused",)
+    arrivals = 512
+    per_path_us: dict[str, float] = {}
+    for path in paths:
+        with use_backend(path):
+            algorithm, tail = _prepared_algorithm(scale, 1.0)
+            fresh = itertools.cycle(tail)
+            start = time.perf_counter()
+            for _ in range(arrivals):
+                algorithm.insert(next(fresh))
+            per_path_us[path] = (time.perf_counter() - start) / arrivals * 1e6
+    delta: dict = {
+        "arrivals": arrivals,
+        "fused_update_us": round(per_path_us["fused"], 3),
+    }
+    if "native" in per_path_us:
+        delta["native_update_us"] = round(per_path_us["native"], 3)
+        if per_path_us["native"] > 0:
+            delta["native_speedup_vs_fused"] = round(
+                per_path_us["fused"] / per_path_us["native"], 3
+            )
+    return delta
+
+
 @pytest.mark.benchmark(group="figure2")
 def test_figure2_series(benchmark, scale):
     """Regenerate the full Figure 2 series (one dataset timed, all reported)."""
@@ -72,7 +107,17 @@ def test_figure2_series(benchmark, scale):
     register_table(
         "figure2_update_query_time",
         figure_rows,
-        ["dataset", "delta", "algorithm", "update_ms", "query_ms"],
+        [
+            "dataset",
+            "delta",
+            "algorithm",
+            "update_ms",
+            "query_ms",
+            "update_path",
+            "v_prune_rate",
+            "c_prune_rate",
+        ],
+        extra={"native_vs_fused": _native_vs_fused_update_delta(scale)},
     )
     streaming = [r for r in figure_rows if r["algorithm"].startswith("Ours")]
     baselines = [r for r in figure_rows if not r["algorithm"].startswith("Ours")]

@@ -3,8 +3,60 @@
 All package metadata lives in ``pyproject.toml``; this file only exists so
 that ``pip install -e .`` can use the classic setuptools develop path when the
 ``wheel`` package (required by PEP 660 editable builds) is unavailable.
+
+It additionally declares the optional C fastpath extension
+(``repro.core._native``).  The extension is strictly best-effort: when no C
+toolchain (or no ``Python.h``) is available the build falls back to a pure
+Python install and ``repro.core.fastpath`` silently degrades to the fused
+NumPy path.  Build it in place for a source checkout with::
+
+    python setup.py build_ext --inplace
 """
 
 from setuptools import setup
 
-setup()
+try:  # pragma: no cover - availability depends on the setuptools version
+    from setuptools import Extension
+    from setuptools.command.build_ext import build_ext as _build_ext
+    from setuptools.errors import BaseError as _SetuptoolsError
+except ImportError:  # pragma: no cover - ancient setuptools
+    _build_ext = None  # type: ignore[assignment]
+    Extension = None  # type: ignore[assignment]
+    _SetuptoolsError = Exception  # type: ignore[assignment]
+
+
+if _build_ext is not None:
+
+    class optional_build_ext(_build_ext):  # noqa: N801 - distutils naming
+        """``build_ext`` that degrades to a pure-Python build on failure."""
+
+        def run(self):  # pragma: no cover - exercised via subprocess in tests
+            try:
+                super().run()
+            except (_SetuptoolsError, OSError) as exc:
+                self._skip(exc)
+
+        def build_extension(self, ext):  # pragma: no cover - see above
+            try:
+                super().build_extension(ext)
+            except (_SetuptoolsError, OSError) as exc:
+                self._skip(exc)
+
+        def _skip(self, exc):  # pragma: no cover - see above
+            print(
+                "WARNING: building the optional repro.core._native extension "
+                f"failed ({exc}); falling back to the pure-Python fastpath."
+            )
+
+    setup(
+        ext_modules=[
+            Extension(
+                "repro.core._native",
+                sources=["src/repro/core/_native.c"],
+                optional=True,
+            )
+        ],
+        cmdclass={"build_ext": optional_build_ext},
+    )
+else:  # pragma: no cover
+    setup()

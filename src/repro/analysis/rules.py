@@ -1,4 +1,4 @@
-"""The repo-specific rule battery (RPR001–RPR008).
+"""The repo-specific rule battery (RPR001–RPR009).
 
 Each rule mechanizes an invariant that a past review cycle caught by hand;
 the docstrings say *why* the invariant exists so a triggered finding reads
@@ -628,6 +628,79 @@ class BenchIdentityColumnsRule:
         return columns if len(columns) == len(candidate.elts) else None
 
 
+#: Functions that form the per-arrival hot path of the streaming windows.
+_UPDATE_ENTRYPOINTS = ("insert", "update", "remove_expired", "remove_time")
+
+#: The batched kernel entry points (``BatchDistanceEngine`` / kernels).
+_KERNEL_BATCH_CALLS = ("one_to_many", "many_to_many")
+
+_LOOP_NODES = (
+    ast.For,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+class PerArrivalKernelLoopRule:
+    """RPR009 — per-arrival update code must not loop kernel calls per guess.
+
+    The fused update path (:mod:`repro.core.fastpath`) exists precisely so
+    that one arrival performs *one* batched distance scan shared by the
+    whole guess ladder.  A ``one_to_many``/``many_to_many`` call inside a
+    loop in a per-arrival entry point (``insert``/``update``/expiry or an
+    ``_apply_*`` step) re-introduces per-guess kernel dispatch — measured
+    at roughly ``num_guesses×`` the fused cost — and silently bypasses both
+    the triangle-inequality ladder pruning and the native C path.  Batched
+    per-arrival loops belong in ``repro.core.fastpath``, where the path
+    updaters are benchmarked and differentially tested; anything else needs
+    an explicit allow.
+    """
+
+    rule_id = "RPR009"
+    title = "kernel-call loop in per-arrival update code outside fastpath"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if Path(ctx.path).name == "fastpath.py":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else dotted_name(func)
+            if name not in _KERNEL_BATCH_CALLS:
+                continue
+            enclosing = ctx.enclosing(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if enclosing is None:
+                continue
+            if not (
+                enclosing.name in _UPDATE_ENTRYPOINTS
+                or enclosing.name.startswith("_apply_")
+            ):
+                continue
+            if not self._in_loop_within(ctx, node, enclosing):
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"{name}() inside a loop in per-arrival update code; "
+                "route the per-guess scan through repro.core.fastpath so the "
+                "whole ladder shares one batched kernel call",
+            )
+
+    @staticmethod
+    def _in_loop_within(ctx: FileContext, node: ast.AST, fn: ast.AST) -> bool:
+        """Whether a loop sits between ``node`` and its enclosing ``fn``."""
+        for ancestor in ctx.ancestors(node):
+            if ancestor is fn:
+                return False
+            if isinstance(ancestor, _LOOP_NODES):
+                return True
+        return False
+
+
 def ALL_RULES_FACTORY() -> list:
     """Fresh rule instances (RPR008 carries a per-run parse cache)."""
     return [
@@ -639,6 +712,7 @@ def ALL_RULES_FACTORY() -> list:
         SnapshotRoundTripRule(),
         SwallowedExceptionRule(),
         BenchIdentityColumnsRule(),
+        PerArrivalKernelLoopRule(),
     ]
 
 

@@ -218,6 +218,41 @@ class SweepResult:
         return comparison
 
 
+def _execute_cell(
+    cell: SweepCell,
+    scale_name: str,
+    deltas: Sequence[float],
+    repeats: int,
+    seed: int,
+) -> tuple[list[dict], float]:
+    """Run one sweep cell in the current process.
+
+    This is the unit of work of both the sequential and the process-parallel
+    executors, so it is a module-level (picklable) function that re-derives
+    everything from plain values: the cell pins its own backend/dtype pair
+    (child processes inherit neither the parent's context managers nor its
+    ``REPRO_BACKEND`` resolution), the scale is looked up by name, and the
+    identity columns are stamped onto every produced row.
+    """
+    from ..experiments.common import get_scale
+
+    scale = get_scale(scale_name)
+    driver = _CELL_DRIVERS[cell.figure]
+    start = time.perf_counter()
+    rows_per_repeat: list[list[dict]] = []
+    with use_backend(cell.backend), use_dtype(cell.dtype):
+        for _ in range(repeats):
+            rows_per_repeat.append(
+                driver(cell.dimension, scale=scale, deltas=deltas, seed=seed)
+            )
+    elapsed = time.perf_counter() - start
+    rows = rows_per_repeat[0] if repeats == 1 else _median_timing_rows(rows_per_repeat)
+    for row in rows:
+        row["backend"] = cell.backend
+        row["dtype"] = cell.dtype
+    return rows, elapsed
+
+
 class SweepRunner:
     """Execute a :class:`SweepSpec`, cell by cell, in grid order.
 
@@ -227,10 +262,25 @@ class SweepRunner:
         Optional callback invoked with a one-line message before and after
         every cell (the CLI wires it to ``print``; tests and library
         callers usually leave it off).
+    jobs:
+        Number of worker processes.  ``1`` (the default) runs every cell in
+        this process; higher values fan the cells out over a
+        ``ProcessPoolExecutor`` while preserving the deterministic grid
+        order of the results.  Cells are independent by construction (each
+        pins its own backend/dtype and builds its own streams), so the
+        rows are identical to a sequential run up to the timing columns.
     """
 
-    def __init__(self, *, progress: Callable[[str], None] | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        progress: Callable[[str], None] | None = None,
+        jobs: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self._progress = progress
+        self._jobs = jobs
 
     def _report(self, message: str) -> None:
         if self._progress is not None:
@@ -247,37 +297,55 @@ class SweepRunner:
         scale = spec.resolve_scale()
         result = SweepResult(spec=spec, scale_name=scale.name)
         cells = spec.expand()
+        if self._jobs > 1:
+            self._run_parallel(spec, scale.name, cells, result)
+            return result
         for index, cell in enumerate(cells, start=1):
             self._report(f"[{index}/{len(cells)}] {cell.label} ...")
-            driver = _CELL_DRIVERS[cell.figure]
-            start = time.perf_counter()
-            rows_per_repeat: list[list[dict]] = []
-            with use_backend(cell.backend), use_dtype(cell.dtype):
-                for _ in range(spec.repeats):
-                    rows_per_repeat.append(
-                        driver(
-                            cell.dimension,
-                            scale=scale,
-                            deltas=spec.deltas,
-                            seed=spec.seed,
-                        )
-                    )
-            elapsed = time.perf_counter() - start
-            rows = (
-                rows_per_repeat[0]
-                if spec.repeats == 1
-                else _median_timing_rows(rows_per_repeat)
+            rows, elapsed = _execute_cell(
+                cell, scale.name, spec.deltas, spec.repeats, spec.seed
             )
-            for row in rows:
-                row["backend"] = cell.backend
-                row["dtype"] = cell.dtype
             result.cells.append(CellResult(cell=cell, rows=rows, elapsed_s=elapsed))
-            repeat_note = f" ({spec.repeats} repeats, median)" if spec.repeats > 1 else ""
-            self._report(
-                f"[{index}/{len(cells)}] {cell.label} done in {elapsed:.2f}s "
-                f"({len(rows)} rows{repeat_note})"
-            )
+            self._report_done(index, len(cells), cell, elapsed, len(rows), spec)
         return result
+
+    def _run_parallel(
+        self,
+        spec: SweepSpec,
+        scale_name: str,
+        cells: Sequence[SweepCell],
+        result: SweepResult,
+    ) -> None:
+        """Fan the cells out over worker processes, collect in grid order."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(self._jobs, len(cells)) or 1
+        self._report(f"running {len(cells)} cells across {workers} processes")
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _execute_cell,
+                    cell,
+                    scale_name,
+                    spec.deltas,
+                    spec.repeats,
+                    spec.seed,
+                )
+                for cell in cells
+            ]
+            for index, (cell, future) in enumerate(zip(cells, futures), start=1):
+                rows, elapsed = future.result()
+                result.cells.append(
+                    CellResult(cell=cell, rows=rows, elapsed_s=elapsed)
+                )
+                self._report_done(index, len(cells), cell, elapsed, len(rows), spec)
+
+    def _report_done(self, index, total, cell, elapsed, num_rows, spec) -> None:
+        repeat_note = f" ({spec.repeats} repeats, median)" if spec.repeats > 1 else ""
+        self._report(
+            f"[{index}/{total}] {cell.label} done in {elapsed:.2f}s "
+            f"({num_rows} rows{repeat_note})"
+        )
 
 
 def run_sweep(
@@ -290,6 +358,7 @@ def run_sweep(
     dimensions: Sequence[int] | None = None,
     repeats: int = 1,
     seed: int = 0,
+    jobs: int = 1,
     output_dir: str | Path | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> SweepResult:
@@ -298,6 +367,7 @@ def run_sweep(
     ``output_dir=None`` skips writing; otherwise one
     ``BENCH_figure<N>_sweep.json`` per figure lands there.  The
     environment's ``REPRO_SCALE`` applies when ``scale`` is ``None``.
+    ``jobs`` > 1 runs the sweep cells in that many worker processes.
     """
     spec = SweepSpec(
         figures=tuple(figures),
@@ -309,7 +379,7 @@ def run_sweep(
         repeats=repeats,
         seed=seed,
     )
-    result = SweepRunner(progress=progress).run(spec)
+    result = SweepRunner(progress=progress, jobs=jobs).run(spec)
     if output_dir is not None:
         result.write(output_dir)
     return result

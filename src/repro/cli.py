@@ -167,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
         "median of the timing columns (default: 1)",
     )
     sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run the sweep cells in this many worker processes "
+        "(default: 1 = sequential; rows are identical up to timings)",
+    )
+    sweep.add_argument(
         "--no-progress",
         action="store_true",
         help="suppress the per-cell progress lines",
@@ -376,6 +383,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         dimensions=tuple(args.dimension) if args.dimension else None,
         repeats=args.repeats,
         seed=args.seed,
+        jobs=args.jobs,
         output_dir=None,  # written below so the paths can be reported
         progress=None if args.no_progress else print,
     )

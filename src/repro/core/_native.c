@@ -1,0 +1,1511 @@
+/* Native per-arrival update loop for the sliding-window algorithms.
+ *
+ * The module exposes one type, ``Ladder``: a decision-complete C mirror of
+ * every guess's point families (time FIFOs + slot-stamped membership over a
+ * power-of-two ring) plus a coordinate registry shared across guesses, so
+ * that each arrival computes every needed distance exactly once, in the
+ * engine dtype, with the GIL released.
+ *
+ * An insert runs in two phases:
+ *
+ *   A. (GIL released)  One distance pass over the registered member slots,
+ *      then the per-guess Algorithm 1/2 logic mutating the C mirrors and
+ *      appending to an op plan.  No Python objects are touched.
+ *   B. (GIL held)      The plan is replayed into the per-guess Python dicts
+ *      in exactly the order the pure-Python code would apply the same
+ *      mutations, keeping dict contents *and iteration order* identical.
+ *
+ * Ownership contract: the ``Ladder`` stores BORROWED references to the
+ * registered guess states, their family dicts and the interned color
+ * objects.  The Python-side wrapper (``repro.core.fastpath.NativeUpdater``)
+ * guarantees they outlive their registration: it holds strong references in
+ * ``_registered`` / ``_colors`` and always unregisters (``remove_guess``)
+ * or drops the whole ladder before releasing a state.  Keeping the
+ * references borrowed means the C object creates no reference cycles.
+ * The only owned references are the cached bound arena methods.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+#define T_INF INT64_MAX
+
+/* Metric codes (must match fastpath._NATIVE_METRIC_CODES). */
+enum { METRIC_EUCLIDEAN = 0, METRIC_MANHATTAN = 1, METRIC_CHEBYSHEV = 2 };
+
+/* Plan opcodes.  ``a``/``b`` are times (or attribute values); ``cid`` is an
+ * interned color id where relevant. */
+enum {
+    OP_SET_VATT, OP_DEL_VATT,
+    OP_SET_VREP, OP_DEL_VREP,
+    OP_SET_VREPOF, OP_DEL_VREPOF,
+    OP_SET_CATT, OP_DEL_CATT,
+    OP_SET_CREPSOF_NEW, OP_DEL_CREPSOF,
+    OP_SET_CREP, OP_DEL_CREP,
+    OP_SET_COWNER, OP_DEL_COWNER,
+    OP_BUCKET_APPEND, OP_BUCKET_REMOVE_VAL, OP_BUCKET_POP0, OP_BUCKET_FILTER_GE,
+    OP_SET_OLDEST, OP_SET_DROPPED
+};
+
+typedef struct {
+    int32_t op;
+    int32_t gid;
+    int32_t cid;
+    int64_t a;
+    int64_t b;
+} PlanOp;
+
+/* ------------------------------------------------------------------ fifos */
+
+/* Growable circular FIFO of arrival times.  Entries may be lazily dead
+ * (their slot stamp no longer matches); dead heads are skipped/popped by
+ * ``fifo_live_head``. */
+typedef struct {
+    int64_t *buf;
+    int32_t cap, head, len;
+} Fifo;
+
+static int fifo_init(Fifo *f, int32_t cap) {
+    f->buf = (int64_t *)malloc(sizeof(int64_t) * (size_t)cap);
+    f->cap = cap;
+    f->head = 0;
+    f->len = 0;
+    return f->buf ? 0 : -1;
+}
+
+static void fifo_free(Fifo *f) {
+    free(f->buf);
+    f->buf = NULL;
+}
+
+static int fifo_push(Fifo *f, int64_t v) {
+    if (f->len == f->cap) {
+        int32_t ncap = f->cap ? f->cap * 2 : 8;
+        int64_t *nb = (int64_t *)malloc(sizeof(int64_t) * (size_t)ncap);
+        if (!nb) return -1;
+        for (int32_t i = 0; i < f->len; i++) {
+            int32_t idx = f->head + i;
+            if (idx >= f->cap) idx -= f->cap;
+            nb[i] = f->buf[idx];
+        }
+        free(f->buf);
+        f->buf = nb;
+        f->cap = ncap;
+        f->head = 0;
+    }
+    int32_t tail = f->head + f->len;
+    if (tail >= f->cap) tail -= f->cap;
+    f->buf[tail] = v;
+    f->len++;
+    return 0;
+}
+
+static void fifo_pop(Fifo *f) {
+    f->head++;
+    if (f->head == f->cap) f->head = 0;
+    f->len--;
+}
+
+/* Advance past dead heads; the live head time, or -1 when empty. */
+static int64_t fifo_live_head(Fifo *f, const int64_t *stamp, int64_t mask) {
+    while (f->len) {
+        int64_t v = f->buf[f->head];
+        if (stamp[v & mask] == v) return v;
+        fifo_pop(f);
+    }
+    return -1;
+}
+
+/* ---------------------------------------------------------------- buckets */
+
+/* Per (c-attractor, color) representative times, kept in arrival order. */
+typedef struct {
+    int32_t cap;
+    int32_t len;
+    int64_t times[1];
+} Bucket;
+
+typedef struct {
+    int32_t ncolors;
+    Bucket **buckets;
+} Block;
+
+static Block *block_new(void) {
+    Block *b = (Block *)calloc(1, sizeof(Block));
+    return b;
+}
+
+static void block_free(Block *b) {
+    if (!b) return;
+    for (int32_t i = 0; i < b->ncolors; i++) free(b->buckets[i]);
+    free(b->buckets);
+    free(b);
+}
+
+static Bucket *block_get_bucket(Block *b, int32_t cid) {
+    if (!b || cid >= b->ncolors) return NULL;
+    return b->buckets[cid];
+}
+
+static int32_t bucket_len(Block *b, int32_t cid) {
+    Bucket *bk = block_get_bucket(b, cid);
+    return bk ? bk->len : 0;
+}
+
+/* Append ``t`` to the bucket for ``cid``, creating/growing as needed.
+ * ``hint_cap`` sizes a fresh bucket (color capacity + 1 keeps the common
+ * append-then-evict cycle allocation-free). */
+static Bucket *block_append(Block *b, int32_t cid, int64_t t, int32_t hint_cap) {
+    if (cid >= b->ncolors) {
+        int32_t ncol = cid + 1;
+        Bucket **nb = (Bucket **)realloc(b->buckets, sizeof(Bucket *) * (size_t)ncol);
+        if (!nb) return NULL;
+        for (int32_t i = b->ncolors; i < ncol; i++) nb[i] = NULL;
+        b->buckets = nb;
+        b->ncolors = ncol;
+    }
+    Bucket *bk = b->buckets[cid];
+    if (!bk) {
+        int32_t cap = hint_cap > 0 ? hint_cap : 1;
+        bk = (Bucket *)malloc(sizeof(Bucket) + sizeof(int64_t) * (size_t)(cap - 1));
+        if (!bk) return NULL;
+        bk->cap = cap;
+        bk->len = 0;
+        b->buckets[cid] = bk;
+    } else if (bk->len == bk->cap) {
+        int32_t cap = bk->cap * 2;
+        Bucket *nk = (Bucket *)realloc(bk, sizeof(Bucket) + sizeof(int64_t) * (size_t)(cap - 1));
+        if (!nk) return NULL;
+        nk->cap = cap;
+        bk = nk;
+        b->buckets[cid] = bk;
+    }
+    bk->times[bk->len++] = t;
+    return bk;
+}
+
+static int64_t bucket_pop_head(Bucket *bk) {
+    int64_t v = bk->times[0];
+    bk->len--;
+    memmove(bk->times, bk->times + 1, sizeof(int64_t) * (size_t)bk->len);
+    return v;
+}
+
+static void bucket_remove_val(Bucket *bk, int64_t t) {
+    for (int32_t i = 0; i < bk->len; i++) {
+        if (bk->times[i] == t) {
+            bk->len--;
+            memmove(bk->times + i, bk->times + i + 1,
+                    sizeof(int64_t) * (size_t)(bk->len - i));
+            return;
+        }
+    }
+}
+
+/* ---------------------------------------------------------------- metrics */
+
+static double dist_f64(const double *a, const double *b, int dim, int metric) {
+    double acc = 0.0;
+    switch (metric) {
+    case METRIC_EUCLIDEAN:
+        for (int i = 0; i < dim; i++) {
+            double d = a[i] - b[i];
+            acc += d * d;
+        }
+        return sqrt(acc);
+    case METRIC_MANHATTAN:
+        for (int i = 0; i < dim; i++) acc += fabs(a[i] - b[i]);
+        return acc;
+    default: /* METRIC_CHEBYSHEV */
+        for (int i = 0; i < dim; i++) {
+            double d = fabs(a[i] - b[i]);
+            if (d > acc) acc = d;
+        }
+        return acc;
+    }
+}
+
+/* float32 mode mirrors the engine's float32 arithmetic: accumulate in
+ * ``float`` and only widen the final value, so the comparison against the
+ * float32-cast threshold matches NumPy bit for bit on parity-safe data. */
+static double dist_f32(const float *a, const float *b, int dim, int metric) {
+    float acc = 0.0f;
+    switch (metric) {
+    case METRIC_EUCLIDEAN:
+        for (int i = 0; i < dim; i++) {
+            float d = a[i] - b[i];
+            acc += d * d;
+        }
+        return (double)sqrtf(acc);
+    case METRIC_MANHATTAN:
+        for (int i = 0; i < dim; i++) acc += fabsf(a[i] - b[i]);
+        return (double)acc;
+    default: /* METRIC_CHEBYSHEV */
+        for (int i = 0; i < dim; i++) {
+            float d = fabsf(a[i] - b[i]);
+            if (d > acc) acc = d;
+        }
+        return (double)acc;
+    }
+}
+
+/* ------------------------------------------------------------------ guess */
+
+typedef struct {
+    int64_t k;
+    double thr_v, thr_c;
+
+    /* AVγ: clean circular FIFO (removals are always head pops) with the
+     * current representative time of each entry alongside. */
+    int64_t *vatt_t;
+    int64_t *vatt_rep;
+    int32_t vatt_cap, vatt_head, vatt_len;
+
+    /* Aγ (c-attractors / indep attractors): lazily-dead FIFO + slot stamps
+     * + per-slot bucket blocks.  ``catt_live`` counts live entries. */
+    Fifo catt;
+    int64_t *catt_stamp;
+    Block **catt_block;
+    int32_t catt_live;
+
+    /* RVγ / Rγ: lazily-dead FIFOs with slot stamps; c-representatives also
+     * record their owning attractor and interned color per slot. */
+    Fifo vrep;
+    int64_t *vrep_stamp;
+    Fifo crep;
+    int64_t *crep_stamp;
+    int64_t *crep_owner;
+    int32_t *crep_cid;
+
+    int64_t oldest;        /* T_INF == no stored point */
+    int64_t dropped_below;
+
+    /* Borrowed references (see the ownership contract above). */
+    PyObject *state;
+    PyObject *d_vatt, *d_vrep, *d_vrepof;
+    PyObject *d_catt, *d_crep, *d_crepsof, *d_cowner;
+    /* Owned references: bound arena add/discard methods (NULL when the
+     * variant has no such arena). */
+    PyObject *av_add, *av_dis, *ac_add, *ac_dis;
+} Guess;
+
+typedef struct {
+    PyObject_HEAD
+    int dim;
+    int f32;
+    int metric;
+    int variant;           /* 0 = full (GuessState), 1 = indep */
+    int64_t window_size;
+    int64_t ring, mask;
+
+    /* Coordinate registry + per-arrival distance cache, indexed t & mask. */
+    double *reg_d;         /* f64 mode */
+    float *reg_f;          /* f32 mode */
+    int64_t *reg_t;
+    int32_t *refcnt;       /* mirror memberships per slot */
+    double *dist;
+    int64_t *dist_stamp;
+
+    Guess **guesses;
+    int32_t gcap;
+
+    PyObject **colors;     /* borrowed */
+    int64_t *color_cap;
+    int32_t ncolors, ccap;
+
+    int64_t st_updates, st_visited, st_vpruned, st_cpruned;
+
+    PlanOp *plan;
+    int32_t plan_len, plan_cap;
+} LadderObject;
+
+static PyObject *str_oldest;          /* "_oldest" */
+static PyObject *str_dropped_below;   /* "_dropped_below" */
+static PyObject *float_inf;           /* float("inf") */
+
+static int plan_push(LadderObject *L, int32_t op, int32_t gid, int32_t cid,
+                     int64_t a, int64_t b) {
+    if (L->plan_len == L->plan_cap) {
+        int32_t ncap = L->plan_cap ? L->plan_cap * 2 : 64;
+        PlanOp *np = (PlanOp *)realloc(L->plan, sizeof(PlanOp) * (size_t)ncap);
+        if (!np) return -1;
+        L->plan = np;
+        L->plan_cap = ncap;
+    }
+    PlanOp *p = &L->plan[L->plan_len++];
+    p->op = op;
+    p->gid = gid;
+    p->cid = cid;
+    p->a = a;
+    p->b = b;
+    return 0;
+}
+
+#define REFINC(L, t) ((L)->refcnt[(t) & (L)->mask]++)
+#define REFDEC(L, t) ((L)->refcnt[(t) & (L)->mask]--)
+
+static void guess_free(LadderObject *L, Guess *g) {
+    if (!g) return;
+    /* Release registry refcounts held by live memberships. */
+    for (int32_t i = 0; i < g->vatt_len; i++) {
+        int32_t idx = g->vatt_head + i;
+        if (idx >= g->vatt_cap) idx -= g->vatt_cap;
+        REFDEC(L, g->vatt_t[idx]);
+    }
+    for (int32_t i = 0; i < g->catt.len; i++) {
+        int32_t idx = g->catt.head + i;
+        if (idx >= g->catt.cap) idx -= g->catt.cap;
+        int64_t v = g->catt.buf[idx];
+        if (g->catt_stamp[v & L->mask] == v) {
+            REFDEC(L, v);
+            block_free(g->catt_block[v & L->mask]);
+            g->catt_block[v & L->mask] = NULL;
+            g->catt_stamp[v & L->mask] = -1;
+        }
+    }
+    for (int32_t i = 0; i < g->vrep.len; i++) {
+        int32_t idx = g->vrep.head + i;
+        if (idx >= g->vrep.cap) idx -= g->vrep.cap;
+        int64_t v = g->vrep.buf[idx];
+        if (g->vrep_stamp[v & L->mask] == v) {
+            REFDEC(L, v);
+            g->vrep_stamp[v & L->mask] = -1;
+        }
+    }
+    for (int32_t i = 0; i < g->crep.len; i++) {
+        int32_t idx = g->crep.head + i;
+        if (idx >= g->crep.cap) idx -= g->crep.cap;
+        int64_t v = g->crep.buf[idx];
+        if (g->crep_stamp[v & L->mask] == v) {
+            REFDEC(L, v);
+            g->crep_stamp[v & L->mask] = -1;
+        }
+    }
+    free(g->vatt_t);
+    free(g->vatt_rep);
+    fifo_free(&g->catt);
+    fifo_free(&g->vrep);
+    fifo_free(&g->crep);
+    free(g->catt_stamp);
+    free(g->catt_block);
+    free(g->vrep_stamp);
+    free(g->crep_stamp);
+    free(g->crep_owner);
+    free(g->crep_cid);
+    Py_XDECREF(g->av_add);
+    Py_XDECREF(g->av_dis);
+    Py_XDECREF(g->ac_add);
+    Py_XDECREF(g->ac_dis);
+    free(g);
+}
+
+/* -------------------------------------------------------------- lifecycle */
+
+static PyObject *Ladder_new(PyTypeObject *type, PyObject *args, PyObject *kwds) {
+    int dim, f32, metric;
+    long long window_size;
+    int variant;
+    if (!PyArg_ParseTuple(args, "iiiLi", &dim, &f32, &metric, &window_size, &variant))
+        return NULL;
+    if (dim < 0 || window_size < 1 || metric < 0 || metric > 2 ||
+        (variant != 0 && variant != 1)) {
+        PyErr_SetString(PyExc_ValueError, "invalid Ladder parameters");
+        return NULL;
+    }
+    LadderObject *L = (LadderObject *)type->tp_alloc(type, 0);
+    if (!L) return NULL;
+    L->dim = dim;
+    L->f32 = f32 ? 1 : 0;
+    L->metric = metric;
+    L->variant = variant;
+    L->window_size = window_size;
+    int64_t ring = 8;
+    while (ring < window_size + 2) ring <<= 1;
+    L->ring = ring;
+    L->mask = ring - 1;
+    size_t rs = (size_t)ring;
+    if (L->f32)
+        L->reg_f = (float *)malloc(sizeof(float) * rs * (size_t)(dim ? dim : 1));
+    else
+        L->reg_d = (double *)malloc(sizeof(double) * rs * (size_t)(dim ? dim : 1));
+    L->reg_t = (int64_t *)malloc(sizeof(int64_t) * rs);
+    L->refcnt = (int32_t *)calloc(rs, sizeof(int32_t));
+    L->dist = (double *)malloc(sizeof(double) * rs);
+    L->dist_stamp = (int64_t *)malloc(sizeof(int64_t) * rs);
+    if ((!L->reg_f && !L->reg_d && dim) || !L->reg_t || !L->refcnt ||
+        !L->dist || !L->dist_stamp) {
+        Py_DECREF(L);
+        return PyErr_NoMemory();
+    }
+    for (int64_t i = 0; i < ring; i++) {
+        L->reg_t[i] = INT64_MIN;
+        L->dist_stamp[i] = INT64_MIN;
+    }
+    return (PyObject *)L;
+}
+
+static void Ladder_dealloc(LadderObject *L) {
+    for (int32_t i = 0; i < L->gcap; i++) guess_free(L, L->guesses[i]);
+    free(L->guesses);
+    free(L->reg_d);
+    free(L->reg_f);
+    free(L->reg_t);
+    free(L->refcnt);
+    free(L->dist);
+    free(L->dist_stamp);
+    free(L->colors);
+    free(L->color_cap);
+    free(L->plan);
+    Py_TYPE(L)->tp_free((PyObject *)L);
+}
+
+/* ----------------------------------------------------------- registration */
+
+static PyObject *Ladder_intern_color(LadderObject *L, PyObject *args) {
+    PyObject *color;
+    long long capacity;
+    if (!PyArg_ParseTuple(args, "OL", &color, &capacity)) return NULL;
+    if (L->ncolors == L->ccap) {
+        int32_t ncap = L->ccap ? L->ccap * 2 : 8;
+        PyObject **nc = (PyObject **)realloc(L->colors, sizeof(PyObject *) * (size_t)ncap);
+        if (!nc) return PyErr_NoMemory();
+        L->colors = nc;
+        int64_t *nk = (int64_t *)realloc(L->color_cap, sizeof(int64_t) * (size_t)ncap);
+        if (!nk) return PyErr_NoMemory();
+        L->color_cap = nk;
+        L->ccap = ncap;
+    }
+    L->colors[L->ncolors] = color; /* borrowed: wrapper._colors keeps it alive */
+    L->color_cap[L->ncolors] = capacity;
+    return PyLong_FromLong(L->ncolors++);
+}
+
+static PyObject *borrow_attr(PyObject *obj, const char *name) {
+    /* GetAttr then immediately drop the new reference: the attribute is an
+     * instance dict slot the state never rebinds, so the state's own
+     * reference keeps it alive (ownership contract). */
+    PyObject *o = PyObject_GetAttrString(obj, name);
+    if (!o) return NULL;
+    Py_DECREF(o);
+    return o;
+}
+
+static PyObject *bound_method(PyObject *obj, const char *attr, const char *meth) {
+    PyObject *arena = PyObject_GetAttrString(obj, attr);
+    if (!arena) return NULL;
+    PyObject *m = PyObject_GetAttrString(arena, meth);
+    Py_DECREF(arena);
+    return m;
+}
+
+static PyObject *Ladder_add_guess(LadderObject *L, PyObject *args) {
+    PyObject *state;
+    double thr_v, thr_c;
+    long long k;
+    if (!PyArg_ParseTuple(args, "OddL", &state, &thr_v, &thr_c, &k)) return NULL;
+    Guess *g = (Guess *)calloc(1, sizeof(Guess));
+    if (!g) return PyErr_NoMemory();
+    g->k = k;
+    g->thr_v = thr_v;
+    g->thr_c = thr_c;
+    g->oldest = T_INF;
+    g->dropped_below = 0;
+    g->vatt_cap = (int32_t)k + 3;
+    size_t rs = (size_t)L->ring;
+    g->vatt_t = (int64_t *)malloc(sizeof(int64_t) * (size_t)g->vatt_cap);
+    g->vatt_rep = (int64_t *)malloc(sizeof(int64_t) * (size_t)g->vatt_cap);
+    g->catt_stamp = (int64_t *)malloc(sizeof(int64_t) * rs);
+    g->catt_block = (Block **)calloc(rs, sizeof(Block *));
+    g->vrep_stamp = (int64_t *)malloc(sizeof(int64_t) * rs);
+    g->crep_stamp = (int64_t *)malloc(sizeof(int64_t) * rs);
+    g->crep_owner = (int64_t *)malloc(sizeof(int64_t) * rs);
+    g->crep_cid = (int32_t *)malloc(sizeof(int32_t) * rs);
+    if (!g->vatt_t || !g->vatt_rep || !g->catt_stamp || !g->catt_block ||
+        !g->vrep_stamp || !g->crep_stamp || !g->crep_owner || !g->crep_cid ||
+        fifo_init(&g->catt, 8) || fifo_init(&g->vrep, 8) || fifo_init(&g->crep, 8)) {
+        guess_free(L, g);
+        return PyErr_NoMemory();
+    }
+    for (int64_t i = 0; i < L->ring; i++) {
+        g->catt_stamp[i] = -1;
+        g->vrep_stamp[i] = -1;
+        g->crep_stamp[i] = -1;
+        g->crep_owner[i] = -1;
+    }
+    g->state = state;
+    if (L->variant == 0) {
+        g->d_vatt = borrow_attr(state, "v_attractors");
+        g->d_vrep = borrow_attr(state, "v_representatives");
+        g->d_vrepof = borrow_attr(state, "v_rep_of");
+        g->d_catt = borrow_attr(state, "c_attractors");
+        g->d_crep = borrow_attr(state, "c_representatives");
+        g->d_crepsof = borrow_attr(state, "c_reps_of");
+        g->d_cowner = borrow_attr(state, "c_owner_of");
+        g->av_add = bound_method(state, "_v_rep_arena", "add");
+        g->av_dis = bound_method(state, "_v_rep_arena", "discard");
+        g->ac_add = bound_method(state, "_c_rep_arena", "add");
+        g->ac_dis = bound_method(state, "_c_rep_arena", "discard");
+        if (!g->d_vatt || !g->d_vrep || !g->d_vrepof || !g->d_catt ||
+            !g->d_crep || !g->d_crepsof || !g->d_cowner ||
+            !g->av_add || !g->av_dis || !g->ac_add || !g->ac_dis) {
+            guess_free(L, g);
+            return NULL;
+        }
+    } else {
+        g->d_catt = borrow_attr(state, "attractors");
+        g->d_crep = borrow_attr(state, "representatives");
+        g->d_crepsof = borrow_attr(state, "reps_of");
+        g->ac_add = bound_method(state, "_rep_arena", "add");
+        g->ac_dis = bound_method(state, "_rep_arena", "discard");
+        if (!g->d_catt || !g->d_crep || !g->d_crepsof ||
+            !g->ac_add || !g->ac_dis) {
+            guess_free(L, g);
+            return NULL;
+        }
+    }
+    int32_t gid = -1;
+    for (int32_t i = 0; i < L->gcap; i++) {
+        if (!L->guesses[i]) { gid = i; break; }
+    }
+    if (gid < 0) {
+        int32_t ncap = L->gcap ? L->gcap * 2 : 8;
+        Guess **ng = (Guess **)realloc(L->guesses, sizeof(Guess *) * (size_t)ncap);
+        if (!ng) {
+            guess_free(L, g);
+            return PyErr_NoMemory();
+        }
+        for (int32_t i = L->gcap; i < ncap; i++) ng[i] = NULL;
+        L->guesses = ng;
+        gid = L->gcap;
+        L->gcap = ncap;
+    }
+    L->guesses[gid] = g;
+    return PyLong_FromLong(gid);
+}
+
+static Guess *get_guess(LadderObject *L, Py_ssize_t gid) {
+    if (gid < 0 || gid >= L->gcap || !L->guesses[gid]) {
+        PyErr_SetString(PyExc_ValueError, "unknown guess id");
+        return NULL;
+    }
+    return L->guesses[gid];
+}
+
+static PyObject *Ladder_remove_guess(LadderObject *L, PyObject *args) {
+    Py_ssize_t gid;
+    if (!PyArg_ParseTuple(args, "n", &gid)) return NULL;
+    Guess *g = get_guess(L, gid);
+    if (!g) return NULL;
+    L->guesses[gid] = NULL;
+    guess_free(L, g);
+    Py_RETURN_NONE;
+}
+
+/* ---------------------------------------------------------------- loading */
+
+static int read_coords(LadderObject *L, PyObject *coords, int64_t t) {
+    PyObject *fast = PySequence_Fast(coords, "coords must be a sequence");
+    if (!fast) return -1;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(fast);
+    if (n != L->dim) {
+        Py_DECREF(fast);
+        PyErr_Format(PyExc_ValueError, "expected %d coordinates, got %zd",
+                     L->dim, n);
+        return -1;
+    }
+    int64_t s = t & L->mask;
+    PyObject **items = PySequence_Fast_ITEMS(fast);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        double v = PyFloat_AsDouble(items[i]);
+        if (v == -1.0 && PyErr_Occurred()) {
+            Py_DECREF(fast);
+            return -1;
+        }
+        if (L->f32)
+            L->reg_f[s * L->dim + i] = (float)v;
+        else
+            L->reg_d[s * L->dim + i] = v;
+    }
+    Py_DECREF(fast);
+    L->reg_t[s] = t;
+    return 0;
+}
+
+static PyObject *Ladder_load_item(LadderObject *L, PyObject *args) {
+    long long t;
+    PyObject *coords;
+    if (!PyArg_ParseTuple(args, "LO", &t, &coords)) return NULL;
+    if (read_coords(L, coords, t) < 0) return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *Ladder_load_v_attractor(LadderObject *L, PyObject *args) {
+    Py_ssize_t gid;
+    long long t, rep;
+    if (!PyArg_ParseTuple(args, "nLL", &gid, &t, &rep)) return NULL;
+    Guess *g = get_guess(L, gid);
+    if (!g) return NULL;
+    if (L->variant == 0) {
+        if (g->vatt_len == g->vatt_cap) {
+            PyErr_SetString(PyExc_ValueError, "too many v-attractors");
+            return NULL;
+        }
+        int32_t tail = g->vatt_head + g->vatt_len;
+        if (tail >= g->vatt_cap) tail -= g->vatt_cap;
+        g->vatt_t[tail] = t;
+        g->vatt_rep[tail] = rep;
+        g->vatt_len++;
+    } else {
+        Block *b = block_new();
+        if (!b) return PyErr_NoMemory();
+        if (fifo_push(&g->catt, t)) {
+            block_free(b);
+            return PyErr_NoMemory();
+        }
+        g->catt_stamp[t & L->mask] = t;
+        g->catt_block[t & L->mask] = b;
+        g->catt_live++;
+    }
+    REFINC(L, t);
+    Py_RETURN_NONE;
+}
+
+static PyObject *Ladder_load_v_rep(LadderObject *L, PyObject *args) {
+    Py_ssize_t gid;
+    long long t, att;
+    if (!PyArg_ParseTuple(args, "nLL", &gid, &t, &att)) return NULL;
+    (void)att; /* the attractor side already recorded its rep pointer */
+    Guess *g = get_guess(L, gid);
+    if (!g) return NULL;
+    if (fifo_push(&g->vrep, t)) return PyErr_NoMemory();
+    g->vrep_stamp[t & L->mask] = t;
+    REFINC(L, t);
+    Py_RETURN_NONE;
+}
+
+static PyObject *Ladder_load_c_attractor(LadderObject *L, PyObject *args) {
+    Py_ssize_t gid;
+    long long t;
+    if (!PyArg_ParseTuple(args, "nL", &gid, &t)) return NULL;
+    Guess *g = get_guess(L, gid);
+    if (!g) return NULL;
+    Block *b = block_new();
+    if (!b) return PyErr_NoMemory();
+    if (fifo_push(&g->catt, t)) {
+        block_free(b);
+        return PyErr_NoMemory();
+    }
+    g->catt_stamp[t & L->mask] = t;
+    g->catt_block[t & L->mask] = b;
+    g->catt_live++;
+    REFINC(L, t);
+    Py_RETURN_NONE;
+}
+
+static PyObject *Ladder_load_c_rep(LadderObject *L, PyObject *args) {
+    Py_ssize_t gid;
+    long long t, owner;
+    int cid;
+    if (!PyArg_ParseTuple(args, "nLLi", &gid, &t, &owner, &cid)) return NULL;
+    Guess *g = get_guess(L, gid);
+    if (!g) return NULL;
+    if (cid < 0 || cid >= L->ncolors) {
+        PyErr_SetString(PyExc_ValueError, "unknown color id");
+        return NULL;
+    }
+    if (fifo_push(&g->crep, t)) return PyErr_NoMemory();
+    int64_t s = t & L->mask;
+    g->crep_stamp[s] = t;
+    g->crep_owner[s] = owner;
+    g->crep_cid[s] = cid;
+    if (owner >= 0 && g->catt_stamp[owner & L->mask] == owner) {
+        Block *b = g->catt_block[owner & L->mask];
+        if (!block_append(b, cid, t, (int32_t)L->color_cap[cid] + 1))
+            return PyErr_NoMemory();
+    }
+    REFINC(L, t);
+    Py_RETURN_NONE;
+}
+
+static PyObject *Ladder_load_guess_meta(LadderObject *L, PyObject *args) {
+    Py_ssize_t gid;
+    long long dropped, oldest;
+    if (!PyArg_ParseTuple(args, "nLL", &gid, &dropped, &oldest)) return NULL;
+    Guess *g = get_guess(L, gid);
+    if (!g) return NULL;
+    g->dropped_below = dropped;
+    g->oldest = oldest < 0 ? T_INF : oldest;
+    Py_RETURN_NONE;
+}
+
+/* ----------------------------------------------- phase A: full variant */
+
+/* Mirror of ``GuessState.remove_time`` — emits the same dict mutations in
+ * the same order. */
+static int full_remove_time(LadderObject *L, Guess *g, int32_t gid, int64_t m) {
+    int64_t mask = L->mask;
+    int64_t s = m & mask;
+    if (g->vatt_len && g->vatt_t[g->vatt_head] == m) {
+        g->vatt_head++;
+        if (g->vatt_head == g->vatt_cap) g->vatt_head = 0;
+        g->vatt_len--;
+        REFDEC(L, m);
+        if (plan_push(L, OP_DEL_VATT, gid, 0, m, 0)) return -1;
+        if (plan_push(L, OP_DEL_VREPOF, gid, 0, m, 0)) return -1;
+    }
+    if (g->vrep_stamp[s] == m) {
+        g->vrep_stamp[s] = -1;
+        REFDEC(L, m);
+        if (plan_push(L, OP_DEL_VREP, gid, 0, m, 0)) return -1;
+    }
+    if (g->catt_stamp[s] == m) {
+        g->catt_stamp[s] = -1;
+        block_free(g->catt_block[s]);
+        g->catt_block[s] = NULL;
+        g->catt_live--;
+        REFDEC(L, m);
+        if (plan_push(L, OP_DEL_CATT, gid, 0, m, 0)) return -1;
+        if (plan_push(L, OP_DEL_CREPSOF, gid, 0, m, 0)) return -1;
+    }
+    if (g->crep_stamp[s] == m) {
+        g->crep_stamp[s] = -1;
+        REFDEC(L, m);
+        if (plan_push(L, OP_DEL_CREP, gid, 0, m, 0)) return -1;
+        if (plan_push(L, OP_DEL_COWNER, gid, 0, m, 0)) return -1;
+        int64_t ow = g->crep_owner[s];
+        if (ow >= 0 && g->catt_stamp[ow & mask] == ow) {
+            Bucket *bk = block_get_bucket(g->catt_block[ow & mask], g->crep_cid[s]);
+            if (bk) {
+                bucket_remove_val(bk, m);
+                if (plan_push(L, OP_BUCKET_REMOVE_VAL, gid, g->crep_cid[s], ow, m))
+                    return -1;
+            }
+        }
+    }
+    return 0;
+}
+
+static int full_guess_update(LadderObject *L, Guess *g, int32_t gid, int64_t t,
+                             int32_t cid, int64_t horizon, double dmin) {
+    int64_t mask = L->mask;
+
+    /* -------- expiry (GuessState.remove_expired, family by family) */
+    if (horizon >= 1 && horizon >= g->oldest) {
+        while (g->vatt_len && g->vatt_t[g->vatt_head] <= horizon) {
+            if (full_remove_time(L, g, gid, g->vatt_t[g->vatt_head])) return -1;
+        }
+        for (;;) {
+            int64_t u = fifo_live_head(&g->vrep, g->vrep_stamp, mask);
+            if (u < 0 || u > horizon) break;
+            if (full_remove_time(L, g, gid, u)) return -1;
+        }
+        for (;;) {
+            int64_t u = fifo_live_head(&g->catt, g->catt_stamp, mask);
+            if (u < 0 || u > horizon) break;
+            if (full_remove_time(L, g, gid, u)) return -1;
+        }
+        for (;;) {
+            int64_t u = fifo_live_head(&g->crep, g->crep_stamp, mask);
+            if (u < 0 || u > horizon) break;
+            if (full_remove_time(L, g, gid, u)) return -1;
+        }
+        int64_t no = T_INF;
+        int64_t h;
+        if (g->vatt_len && g->vatt_t[g->vatt_head] < no)
+            no = g->vatt_t[g->vatt_head];
+        h = fifo_live_head(&g->vrep, g->vrep_stamp, mask);
+        if (h >= 0 && h < no) no = h;
+        h = fifo_live_head(&g->catt, g->catt_stamp, mask);
+        if (h >= 0 && h < no) no = h;
+        h = fifo_live_head(&g->crep, g->crep_stamp, mask);
+        if (h >= 0 && h < no) no = h;
+        if (no != g->oldest) {
+            g->oldest = no;
+            if (plan_push(L, OP_SET_OLDEST, gid, 0, no == T_INF ? -1 : no, 0))
+                return -1;
+        }
+    }
+    if (t < g->oldest) {
+        g->oldest = t;
+        if (plan_push(L, OP_SET_OLDEST, gid, 0, t, 0)) return -1;
+    }
+
+    /* -------- validation step (Algorithm 1): first v-attractor in range */
+    int64_t chosen_t = -1;
+    int32_t chosen_idx = -1;
+    if (g->thr_v < dmin) {
+        L->st_vpruned++;
+    } else {
+        for (int32_t i = 0; i < g->vatt_len; i++) {
+            int32_t idx = g->vatt_head + i;
+            if (idx >= g->vatt_cap) idx -= g->vatt_cap;
+            int64_t u = g->vatt_t[idx];
+            int64_t s = u & mask;
+            if (L->dist_stamp[s] != t) return -2;
+            if (L->dist[s] <= g->thr_v) {
+                chosen_t = u;
+                chosen_idx = idx;
+                break;
+            }
+        }
+    }
+    if (chosen_t >= 0) {
+        int64_t prev = g->vatt_rep[chosen_idx];
+        if (prev >= 0 && g->vrep_stamp[prev & mask] == prev) {
+            g->vrep_stamp[prev & mask] = -1;
+            REFDEC(L, prev);
+            if (plan_push(L, OP_DEL_VREP, gid, 0, prev, 0)) return -1;
+        }
+        g->vatt_rep[chosen_idx] = t;
+        if (plan_push(L, OP_SET_VREPOF, gid, 0, chosen_t, t)) return -1;
+        if (fifo_push(&g->vrep, t)) return -1;
+        g->vrep_stamp[t & mask] = t;
+        REFINC(L, t);
+        if (plan_push(L, OP_SET_VREP, gid, 0, t, 0)) return -1;
+    } else {
+        /* new v-attractor representing itself */
+        int32_t tail = g->vatt_head + g->vatt_len;
+        if (tail >= g->vatt_cap) tail -= g->vatt_cap;
+        g->vatt_t[tail] = t;
+        g->vatt_rep[tail] = t;
+        g->vatt_len++;
+        REFINC(L, t);
+        if (plan_push(L, OP_SET_VATT, gid, 0, t, 0)) return -1;
+        if (plan_push(L, OP_SET_VREPOF, gid, 0, t, t)) return -1;
+        if (fifo_push(&g->vrep, t)) return -1;
+        g->vrep_stamp[t & mask] = t;
+        REFINC(L, t);
+        if (plan_push(L, OP_SET_VREP, gid, 0, t, 0)) return -1;
+
+        /* cleanup (Algorithm 2) */
+        if (g->vatt_len == (int32_t)g->k + 2) {
+            int64_t oldt = g->vatt_t[g->vatt_head];
+            g->vatt_head++;
+            if (g->vatt_head == g->vatt_cap) g->vatt_head = 0;
+            g->vatt_len--;
+            REFDEC(L, oldt);
+            if (plan_push(L, OP_DEL_VATT, gid, 0, oldt, 0)) return -1;
+            if (plan_push(L, OP_DEL_VREPOF, gid, 0, oldt, 0)) return -1;
+        }
+        if (g->vatt_len == (int32_t)g->k + 1) {
+            int64_t tmin = g->vatt_t[g->vatt_head];
+            if (tmin > g->dropped_below) {
+                /* GuessState._drop_older_than: prefix drops in order */
+                g->dropped_below = tmin;
+                if (plan_push(L, OP_SET_DROPPED, gid, 0, tmin, 0)) return -1;
+                for (;;) {
+                    int64_t u = fifo_live_head(&g->catt, g->catt_stamp, mask);
+                    if (u < 0 || u >= tmin) break;
+                    int64_t s = u & mask;
+                    g->catt_stamp[s] = -1;
+                    block_free(g->catt_block[s]);
+                    g->catt_block[s] = NULL;
+                    g->catt_live--;
+                    fifo_pop(&g->catt);
+                    REFDEC(L, u);
+                    if (plan_push(L, OP_DEL_CATT, gid, 0, u, 0)) return -1;
+                    if (plan_push(L, OP_DEL_CREPSOF, gid, 0, u, 0)) return -1;
+                }
+                for (;;) {
+                    int64_t u = fifo_live_head(&g->vrep, g->vrep_stamp, mask);
+                    if (u < 0 || u >= tmin) break;
+                    g->vrep_stamp[u & mask] = -1;
+                    fifo_pop(&g->vrep);
+                    REFDEC(L, u);
+                    if (plan_push(L, OP_DEL_VREP, gid, 0, u, 0)) return -1;
+                }
+                for (;;) {
+                    int64_t u = fifo_live_head(&g->crep, g->crep_stamp, mask);
+                    if (u < 0 || u >= tmin) break;
+                    int64_t s = u & mask;
+                    g->crep_stamp[s] = -1;
+                    fifo_pop(&g->crep);
+                    REFDEC(L, u);
+                    if (plan_push(L, OP_DEL_CREP, gid, 0, u, 0)) return -1;
+                    if (plan_push(L, OP_DEL_COWNER, gid, 0, u, 0)) return -1;
+                    int64_t ow = g->crep_owner[s];
+                    if (ow >= 0 && g->catt_stamp[ow & mask] == ow) {
+                        /* owner < rep < tmin was dropped just above, so this
+                         * is unreachable; kept to stay a faithful mirror of
+                         * _forget_representative. */
+                        Bucket *bk = block_get_bucket(g->catt_block[ow & mask],
+                                                      g->crep_cid[s]);
+                        if (bk) {
+                            bucket_remove_val(bk, u);
+                            if (plan_push(L, OP_BUCKET_REMOVE_VAL, gid,
+                                          g->crep_cid[s], ow, u))
+                                return -1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /* -------- coreset step: attach to the c-attractor with the fewest
+     * representatives of this color (ties by arrival order) */
+    int64_t owner = -1;
+    if (g->thr_c < dmin) {
+        L->st_cpruned++;
+    } else {
+        int64_t best_t = -1;
+        int32_t best_len = 0;
+        for (int32_t i = 0; i < g->catt.len; i++) {
+            int32_t idx = g->catt.head + i;
+            if (idx >= g->catt.cap) idx -= g->catt.cap;
+            int64_t u = g->catt.buf[idx];
+            int64_t s = u & mask;
+            if (g->catt_stamp[s] != u) continue; /* lazily dead */
+            if (L->dist_stamp[s] != t) return -2;
+            if (L->dist[s] <= g->thr_c) {
+                int32_t blen = bucket_len(g->catt_block[s], cid);
+                if (best_t < 0 || blen < best_len) {
+                    best_t = u;
+                    best_len = blen;
+                }
+            }
+        }
+        owner = best_t;
+    }
+    if (owner < 0) {
+        Block *b = block_new();
+        if (!b) return -1;
+        if (fifo_push(&g->catt, t)) {
+            block_free(b);
+            return -1;
+        }
+        g->catt_stamp[t & mask] = t;
+        g->catt_block[t & mask] = b;
+        g->catt_live++;
+        REFINC(L, t);
+        if (plan_push(L, OP_SET_CATT, gid, 0, t, 0)) return -1;
+        if (plan_push(L, OP_SET_CREPSOF_NEW, gid, 0, t, 0)) return -1;
+        owner = t;
+    }
+    Bucket *bk = block_append(g->catt_block[owner & mask], cid, t,
+                              (int32_t)L->color_cap[cid] + 1);
+    if (!bk) return -1;
+    if (plan_push(L, OP_BUCKET_APPEND, gid, cid, owner, t)) return -1;
+    if (fifo_push(&g->crep, t)) return -1;
+    {
+        int64_t s = t & mask;
+        g->crep_stamp[s] = t;
+        g->crep_owner[s] = owner;
+        g->crep_cid[s] = cid;
+    }
+    REFINC(L, t);
+    if (plan_push(L, OP_SET_CREP, gid, 0, t, 0)) return -1;
+    if (plan_push(L, OP_SET_COWNER, gid, 0, t, owner)) return -1;
+    if ((int64_t)bk->len > L->color_cap[cid]) {
+        /* evict the oldest representative of this color for this owner
+         * (capacity zero evicts the arriving point itself) */
+        int64_t old = bucket_pop_head(bk);
+        if (plan_push(L, OP_BUCKET_POP0, gid, cid, owner, 0)) return -1;
+        g->crep_stamp[old & mask] = -1;
+        REFDEC(L, old);
+        if (plan_push(L, OP_DEL_CREP, gid, 0, old, 0)) return -1;
+        if (plan_push(L, OP_DEL_COWNER, gid, 0, old, 0)) return -1;
+    }
+    return 0;
+}
+
+/* ---------------------------------------------- phase A: indep variant */
+
+static int indep_remove_time(LadderObject *L, Guess *g, int32_t gid, int64_t m) {
+    int64_t mask = L->mask;
+    int64_t s = m & mask;
+    if (g->catt_stamp[s] == m) {
+        g->catt_stamp[s] = -1;
+        block_free(g->catt_block[s]);
+        g->catt_block[s] = NULL;
+        g->catt_live--;
+        REFDEC(L, m);
+        if (plan_push(L, OP_DEL_CATT, gid, 0, m, 0)) return -1;
+        if (plan_push(L, OP_DEL_CREPSOF, gid, 0, m, 0)) return -1;
+    }
+    if (g->crep_stamp[s] == m) {
+        g->crep_stamp[s] = -1;
+        REFDEC(L, m);
+        if (plan_push(L, OP_DEL_CREP, gid, 0, m, 0)) return -1;
+        int64_t ow = g->crep_owner[s];
+        if (ow >= 0 && g->catt_stamp[ow & mask] == ow) {
+            Bucket *bk = block_get_bucket(g->catt_block[ow & mask], g->crep_cid[s]);
+            if (bk) {
+                bucket_remove_val(bk, m);
+                if (plan_push(L, OP_BUCKET_REMOVE_VAL, gid, g->crep_cid[s], ow, m))
+                    return -1;
+            }
+        }
+    }
+    return 0;
+}
+
+static int indep_guess_update(LadderObject *L, Guess *g, int32_t gid, int64_t t,
+                              int32_t cid, int64_t horizon, double dmin) {
+    int64_t mask = L->mask;
+
+    /* -------- expiry (merged ascending == the Python set sweep) */
+    if (horizon >= 1) {
+        for (;;) {
+            int64_t ha = fifo_live_head(&g->catt, g->catt_stamp, mask);
+            int64_t hr = fifo_live_head(&g->crep, g->crep_stamp, mask);
+            int64_t m = T_INF;
+            if (ha >= 0 && ha <= horizon) m = ha;
+            if (hr >= 0 && hr <= horizon && hr < m) m = hr;
+            if (m == T_INF) break;
+            if (indep_remove_time(L, g, gid, m)) return -1;
+        }
+    }
+
+    /* -------- attach scan (threshold 2γ, owner by fewest-of-color) */
+    int64_t owner = -1;
+    if (g->thr_v < dmin) {
+        L->st_vpruned++;
+    } else {
+        int64_t best_t = -1;
+        int32_t best_len = 0;
+        for (int32_t i = 0; i < g->catt.len; i++) {
+            int32_t idx = g->catt.head + i;
+            if (idx >= g->catt.cap) idx -= g->catt.cap;
+            int64_t u = g->catt.buf[idx];
+            int64_t s = u & mask;
+            if (g->catt_stamp[s] != u) continue;
+            if (L->dist_stamp[s] != t) return -2;
+            if (L->dist[s] <= g->thr_v) {
+                int32_t blen = bucket_len(g->catt_block[s], cid);
+                if (best_t < 0 || blen < best_len) {
+                    best_t = u;
+                    best_len = blen;
+                }
+            }
+        }
+        owner = best_t;
+    }
+    if (owner < 0) {
+        /* new attractor with a fresh (empty) independent set */
+        Block *b = block_new();
+        if (!b) return -1;
+        if (fifo_push(&g->catt, t)) {
+            block_free(b);
+            return -1;
+        }
+        g->catt_stamp[t & mask] = t;
+        g->catt_block[t & mask] = b;
+        g->catt_live++;
+        REFINC(L, t);
+        if (plan_push(L, OP_SET_CATT, gid, 0, t, 0)) return -1;
+        if (plan_push(L, OP_SET_CREPSOF_NEW, gid, 0, t, 0)) return -1;
+        owner = t;
+
+        /* cleanup (k + 2 eviction, then the k + 1 representative prune) */
+        if (g->catt_live == (int32_t)g->k + 2) {
+            int64_t oldt = fifo_live_head(&g->catt, g->catt_stamp, mask);
+            int64_t s = oldt & mask;
+            g->catt_stamp[s] = -1;
+            block_free(g->catt_block[s]);
+            g->catt_block[s] = NULL;
+            g->catt_live--;
+            fifo_pop(&g->catt);
+            REFDEC(L, oldt);
+            if (plan_push(L, OP_DEL_CATT, gid, 0, oldt, 0)) return -1;
+            if (plan_push(L, OP_DEL_CREPSOF, gid, 0, oldt, 0)) return -1;
+        }
+        if (g->catt_live == (int32_t)g->k + 1) {
+            int64_t tmin = fifo_live_head(&g->catt, g->catt_stamp, mask);
+            for (;;) {
+                int64_t u = fifo_live_head(&g->crep, g->crep_stamp, mask);
+                if (u < 0 || u >= tmin) break;
+                g->crep_stamp[u & mask] = -1;
+                fifo_pop(&g->crep);
+                REFDEC(L, u);
+                if (plan_push(L, OP_DEL_CREP, gid, 0, u, 0)) return -1;
+            }
+            /* filter every live attractor's buckets to times >= tmin (the
+             * Python code rebuilds every list; emitting only the changed
+             * ones is value-identical) */
+            for (int32_t i = 0; i < g->catt.len; i++) {
+                int32_t idx = g->catt.head + i;
+                if (idx >= g->catt.cap) idx -= g->catt.cap;
+                int64_t a2 = g->catt.buf[idx];
+                if (g->catt_stamp[a2 & mask] != a2) continue;
+                Block *blk = g->catt_block[a2 & mask];
+                for (int32_t c2 = 0; c2 < blk->ncolors; c2++) {
+                    Bucket *bk2 = blk->buckets[c2];
+                    if (!bk2) continue;
+                    int removed = 0;
+                    while (bk2->len && bk2->times[0] < tmin) {
+                        bucket_pop_head(bk2);
+                        removed = 1;
+                    }
+                    if (removed &&
+                        plan_push(L, OP_BUCKET_FILTER_GE, gid, c2, a2, tmin))
+                        return -1;
+                }
+            }
+        }
+    }
+    Bucket *bk = block_append(g->catt_block[owner & mask], cid, t,
+                              (int32_t)L->color_cap[cid] + 1);
+    if (!bk) return -1;
+    if (plan_push(L, OP_BUCKET_APPEND, gid, cid, owner, t)) return -1;
+    if (fifo_push(&g->crep, t)) return -1;
+    {
+        int64_t s = t & mask;
+        g->crep_stamp[s] = t;
+        g->crep_owner[s] = owner;
+        g->crep_cid[s] = cid;
+    }
+    REFINC(L, t);
+    if (plan_push(L, OP_SET_CREP, gid, 0, t, 0)) return -1;
+    if ((int64_t)bk->len > L->color_cap[cid]) {
+        int64_t old = bucket_pop_head(bk);
+        if (plan_push(L, OP_BUCKET_POP0, gid, cid, owner, 0)) return -1;
+        g->crep_stamp[old & mask] = -1;
+        REFDEC(L, old);
+        if (plan_push(L, OP_DEL_CREP, gid, 0, old, 0)) return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------- phase B: ordered replay */
+
+static int call_arena(PyObject *meth, PyObject *key, PyObject *item) {
+    PyObject *r = item != NULL
+        ? PyObject_CallFunctionObjArgs(meth, key, item, NULL)
+        : PyObject_CallFunctionObjArgs(meth, key, NULL);
+    if (!r) return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+static int dict_del_if_present(PyObject *d, PyObject *key) {
+    int has = PyDict_Contains(d, key);
+    if (has < 0) return -1;
+    if (has && PyDict_DelItem(d, key) < 0) return -1;
+    return 0;
+}
+
+static int dict_set_long(PyObject *d, PyObject *key, long long value) {
+    PyObject *v = PyLong_FromLongLong(value);
+    if (!v) return -1;
+    int rc = PyDict_SetItem(d, key, v);
+    Py_DECREF(v);
+    return rc;
+}
+
+/* Bucket ops operate on g->d_crepsof[owner][color], a plain list of ints. */
+static int apply_bucket_op(LadderObject *L, Guess *g, PlanOp *p,
+                           PyObject *owner_key) {
+    PyObject *bd = PyDict_GetItemWithError(g->d_crepsof, owner_key);
+    if (!bd) {
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_RuntimeError,
+                            "native fastpath: missing bucket dict");
+        return -1;
+    }
+    PyObject *color = L->colors[p->cid];
+    PyObject *lst = PyDict_GetItemWithError(bd, color);
+    if (!lst && PyErr_Occurred()) return -1;
+    switch (p->op) {
+    case OP_BUCKET_APPEND: {
+        if (!lst) {
+            PyObject *nl = PyList_New(0);
+            if (!nl) return -1;
+            if (PyDict_SetItem(bd, color, nl) < 0) {
+                Py_DECREF(nl);
+                return -1;
+            }
+            Py_DECREF(nl);
+            lst = PyDict_GetItemWithError(bd, color);
+            if (!lst) return -1;
+        }
+        PyObject *v = PyLong_FromLongLong(p->b);
+        if (!v) return -1;
+        int rc = PyList_Append(lst, v);
+        Py_DECREF(v);
+        return rc;
+    }
+    case OP_BUCKET_REMOVE_VAL: {
+        if (!lst) return 0;
+        Py_ssize_t n = PyList_GET_SIZE(lst);
+        for (Py_ssize_t i = 0; i < n; i++) {
+            long long v = PyLong_AsLongLong(PyList_GET_ITEM(lst, i));
+            if (v == -1 && PyErr_Occurred()) return -1;
+            if (v == p->b) return PySequence_DelItem(lst, i);
+        }
+        return 0;
+    }
+    case OP_BUCKET_POP0:
+        if (!lst || PyList_GET_SIZE(lst) == 0) {
+            PyErr_SetString(PyExc_RuntimeError,
+                            "native fastpath: pop from empty bucket");
+            return -1;
+        }
+        return PySequence_DelItem(lst, 0);
+    default: { /* OP_BUCKET_FILTER_GE: rebuild the list keeping t >= p->b */
+        if (!lst) return 0;
+        Py_ssize_t n = PyList_GET_SIZE(lst);
+        PyObject *nl = PyList_New(0);
+        if (!nl) return -1;
+        for (Py_ssize_t i = 0; i < n; i++) {
+            PyObject *it = PyList_GET_ITEM(lst, i);
+            long long v = PyLong_AsLongLong(it);
+            if (v == -1 && PyErr_Occurred()) {
+                Py_DECREF(nl);
+                return -1;
+            }
+            if (v >= p->b && PyList_Append(nl, it) < 0) {
+                Py_DECREF(nl);
+                return -1;
+            }
+        }
+        int rc = PyDict_SetItem(bd, color, nl);
+        Py_DECREF(nl);
+        return rc;
+    }
+    }
+}
+
+static int apply_plan(LadderObject *L, PyObject *item) {
+    for (int32_t i = 0; i < L->plan_len; i++) {
+        PlanOp *p = &L->plan[i];
+        Guess *g = L->guesses[p->gid];
+        PyObject *key = PyLong_FromLongLong(p->a);
+        if (!key) return -1;
+        int rc = 0;
+        switch (p->op) {
+        case OP_SET_VATT:
+            rc = PyDict_SetItem(g->d_vatt, key, item);
+            break;
+        case OP_DEL_VATT:
+            rc = dict_del_if_present(g->d_vatt, key);
+            break;
+        case OP_SET_VREP:
+            rc = PyDict_SetItem(g->d_vrep, key, item);
+            if (rc == 0) rc = call_arena(g->av_add, key, item);
+            break;
+        case OP_DEL_VREP:
+            rc = dict_del_if_present(g->d_vrep, key);
+            if (rc == 0) rc = call_arena(g->av_dis, key, NULL);
+            break;
+        case OP_SET_VREPOF:
+            rc = dict_set_long(g->d_vrepof, key, p->b);
+            break;
+        case OP_DEL_VREPOF:
+            rc = dict_del_if_present(g->d_vrepof, key);
+            break;
+        case OP_SET_CATT:
+            rc = PyDict_SetItem(g->d_catt, key, item);
+            break;
+        case OP_DEL_CATT:
+            rc = dict_del_if_present(g->d_catt, key);
+            break;
+        case OP_SET_CREPSOF_NEW: {
+            PyObject *nd = PyDict_New();
+            if (!nd) {
+                rc = -1;
+            } else {
+                rc = PyDict_SetItem(g->d_crepsof, key, nd);
+                Py_DECREF(nd);
+            }
+            break;
+        }
+        case OP_DEL_CREPSOF:
+            rc = dict_del_if_present(g->d_crepsof, key);
+            break;
+        case OP_SET_CREP:
+            rc = PyDict_SetItem(g->d_crep, key, item);
+            if (rc == 0) rc = call_arena(g->ac_add, key, item);
+            break;
+        case OP_DEL_CREP:
+            rc = dict_del_if_present(g->d_crep, key);
+            if (rc == 0) rc = call_arena(g->ac_dis, key, NULL);
+            break;
+        case OP_SET_COWNER:
+            rc = dict_set_long(g->d_cowner, key, p->b);
+            break;
+        case OP_DEL_COWNER:
+            rc = dict_del_if_present(g->d_cowner, key);
+            break;
+        case OP_BUCKET_APPEND:
+        case OP_BUCKET_REMOVE_VAL:
+        case OP_BUCKET_POP0:
+        case OP_BUCKET_FILTER_GE:
+            rc = apply_bucket_op(L, g, p, key);
+            break;
+        case OP_SET_OLDEST: {
+            PyObject *v;
+            if (p->a < 0) {
+                v = float_inf;
+                Py_INCREF(v);
+            } else {
+                v = PyLong_FromLongLong(p->a);
+            }
+            if (!v) {
+                rc = -1;
+            } else {
+                rc = PyObject_SetAttr(g->state, str_oldest, v);
+                Py_DECREF(v);
+            }
+            break;
+        }
+        case OP_SET_DROPPED: {
+            PyObject *v = PyLong_FromLongLong(p->a);
+            if (!v) {
+                rc = -1;
+            } else {
+                rc = PyObject_SetAttr(g->state, str_dropped_below, v);
+                Py_DECREF(v);
+            }
+            break;
+        }
+        default:
+            PyErr_SetString(PyExc_RuntimeError, "native fastpath: unknown op");
+            rc = -1;
+        }
+        Py_DECREF(key);
+        if (rc) return -1;
+    }
+    return 0;
+}
+
+/* --------------------------------------------------------- entry points */
+
+static PyObject *Ladder_insert(LadderObject *L, PyObject *args) {
+    PyObject *item, *coords;
+    long long t, horizon;
+    int cid;
+    if (!PyArg_ParseTuple(args, "OLiOL", &item, &t, &cid, &coords, &horizon))
+        return NULL;
+    if (cid < 0 || cid >= L->ncolors) {
+        PyErr_SetString(PyExc_ValueError, "native fastpath: unknown color id");
+        return NULL;
+    }
+    if (read_coords(L, coords, t) < 0) return NULL;
+    L->plan_len = 0;
+    L->st_updates++;
+    double dmin = HUGE_VAL;
+    int rc = 0;
+    int64_t visited = 0;
+    Py_BEGIN_ALLOW_THREADS
+    {
+        /* one distance pass over every stored (refcnt > 0) live point */
+        const int dim = L->dim;
+        if (L->f32) {
+            const float *q = L->reg_f + (size_t)(t & L->mask) * (size_t)dim;
+            for (int64_t s = 0; s < L->ring; s++) {
+                if (L->refcnt[s] <= 0) continue;
+                int64_t u = L->reg_t[s];
+                if (u <= horizon || u >= t) continue;
+                double d = dist_f32(L->reg_f + (size_t)s * (size_t)dim, q, dim,
+                                    L->metric);
+                L->dist[s] = d;
+                L->dist_stamp[s] = t;
+                if (d < dmin) dmin = d;
+            }
+        } else {
+            const double *q = L->reg_d + (size_t)(t & L->mask) * (size_t)dim;
+            for (int64_t s = 0; s < L->ring; s++) {
+                if (L->refcnt[s] <= 0) continue;
+                int64_t u = L->reg_t[s];
+                if (u <= horizon || u >= t) continue;
+                double d = dist_f64(L->reg_d + (size_t)s * (size_t)dim, q, dim,
+                                    L->metric);
+                L->dist[s] = d;
+                L->dist_stamp[s] = t;
+                if (d < dmin) dmin = d;
+            }
+        }
+        for (int32_t gi = 0; gi < L->gcap && rc == 0; gi++) {
+            Guess *g = L->guesses[gi];
+            if (!g) continue;
+            visited++;
+            rc = L->variant == 0
+                ? full_guess_update(L, g, gi, t, cid, horizon, dmin)
+                : indep_guess_update(L, g, gi, t, cid, horizon, dmin);
+        }
+    }
+    Py_END_ALLOW_THREADS
+    L->st_visited += visited;
+    if (rc == -2) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "native fastpath: stale distance cache (internal error)");
+        return NULL;
+    }
+    if (rc) return PyErr_NoMemory();
+    if (apply_plan(L, item) < 0) return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *Ladder_stats(LadderObject *L, PyObject *Py_UNUSED(ignored)) {
+    return Py_BuildValue("(LLLL)", (long long)L->st_updates,
+                         (long long)L->st_visited, (long long)L->st_vpruned,
+                         (long long)L->st_cpruned);
+}
+
+/* ------------------------------------------------------- module plumbing */
+
+static PyMethodDef Ladder_methods[] = {
+    {"intern_color", (PyCFunction)Ladder_intern_color, METH_VARARGS,
+     "intern_color(color, capacity) -> cid"},
+    {"add_guess", (PyCFunction)Ladder_add_guess, METH_VARARGS,
+     "add_guess(state, thr_v, thr_c, k) -> gid"},
+    {"remove_guess", (PyCFunction)Ladder_remove_guess, METH_VARARGS,
+     "remove_guess(gid)"},
+    {"load_item", (PyCFunction)Ladder_load_item, METH_VARARGS,
+     "load_item(t, coords)"},
+    {"load_v_attractor", (PyCFunction)Ladder_load_v_attractor, METH_VARARGS,
+     "load_v_attractor(gid, t, rep_t)"},
+    {"load_v_rep", (PyCFunction)Ladder_load_v_rep, METH_VARARGS,
+     "load_v_rep(gid, t, att_t)"},
+    {"load_c_attractor", (PyCFunction)Ladder_load_c_attractor, METH_VARARGS,
+     "load_c_attractor(gid, t)"},
+    {"load_c_rep", (PyCFunction)Ladder_load_c_rep, METH_VARARGS,
+     "load_c_rep(gid, t, owner, cid)"},
+    {"load_guess_meta", (PyCFunction)Ladder_load_guess_meta, METH_VARARGS,
+     "load_guess_meta(gid, dropped_below, oldest_or_minus_one)"},
+    {"insert", (PyCFunction)Ladder_insert, METH_VARARGS,
+     "insert(item, t, cid, coords, horizon)"},
+    {"stats", (PyCFunction)Ladder_stats, METH_NOARGS,
+     "stats() -> (updates, visited, v_pruned, c_pruned)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject LadderType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.core._native.Ladder",
+    .tp_basicsize = sizeof(LadderObject),
+    .tp_dealloc = (destructor)Ladder_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "Fused multi-guess sliding-window update ladder (C fastpath).",
+    .tp_methods = Ladder_methods,
+    .tp_new = Ladder_new,
+};
+
+static struct PyModuleDef nativemodule = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.core._native",
+    .m_doc = "GIL-releasing C implementation of the fused update path.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC PyInit__native(void) {
+    str_oldest = PyUnicode_InternFromString("_oldest");
+    if (!str_oldest) return NULL;
+    str_dropped_below = PyUnicode_InternFromString("_dropped_below");
+    if (!str_dropped_below) return NULL;
+    float_inf = PyFloat_FromDouble(Py_HUGE_VAL);
+    if (!float_inf) return NULL;
+    if (PyType_Ready(&LadderType) < 0) return NULL;
+    PyObject *m = PyModule_Create(&nativemodule);
+    if (!m) return NULL;
+    Py_INCREF(&LadderType);
+    if (PyModule_AddObject(m, "Ladder", (PyObject *)&LadderType) < 0) {
+        Py_DECREF(&LadderType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

@@ -95,6 +95,7 @@ __all__ = [
     "FamilyArena",
     "as_point_set",
     "cover_fits",
+    "effective_backend",
     "get_backend_mode",
     "get_dtype_mode",
     "greedy_cover_indices",
@@ -111,7 +112,14 @@ __all__ = [
     "validate_dtype",
 ]
 
-BACKEND_MODES = ("auto", "scalar")
+#: Selectable update paths.  ``scalar`` forces the pair-by-pair distance
+#: oracle; ``vector`` is the engine-batched path (one kernel call per
+#: arrival); ``fused`` adds the fused per-arrival ladder loop with
+#: guess-band pruning (see :mod:`repro.core.fastpath`); ``native`` runs the
+#: fused loop inside the optional C extension (``repro.core._native``),
+#: falling back silently to ``fused`` when the extension is not built;
+#: ``auto`` (the default) picks the fastest available path.
+BACKEND_MODES = ("auto", "scalar", "vector", "fused", "native")
 
 _mode = os.environ.get("REPRO_BACKEND", "auto").strip().lower() or "auto"
 if _mode not in BACKEND_MODES:  # pragma: no cover - environment misuse
@@ -177,15 +185,17 @@ def resolve_dtype(dtype: str = "auto") -> np.dtype:
 
 
 def get_backend_mode() -> str:
-    """The current global backend mode (``auto`` or ``scalar``)."""
+    """The current global backend mode (one of :data:`BACKEND_MODES`)."""
     return _mode
 
 
 def set_backend_mode(mode: str) -> None:
     """Set the global backend mode.
 
-    ``auto`` (the default) vectorises every metric with a known kernel;
-    ``scalar`` disables kernel resolution entirely, forcing the scalar
+    ``auto`` (the default) picks the fastest available update path for every
+    metric with a known kernel (``native`` when the C extension is built,
+    ``fused`` otherwise); ``vector``/``fused``/``native`` pin a specific
+    path; ``scalar`` disables kernel resolution entirely, forcing the scalar
     distance oracle everywhere.
     """
     global _mode
@@ -376,7 +386,7 @@ def resolve_kernel(metric: Callable) -> DistanceKernel | None:
 
 
 def validate_backend(backend: str) -> str:
-    """Validate a per-instance ``backend=`` argument (``auto`` / ``scalar``)."""
+    """Validate a per-instance ``backend=`` argument (:data:`BACKEND_MODES`)."""
     if backend not in BACKEND_MODES:
         raise ValueError(
             f"unknown backend {backend!r}; choose one of {', '.join(BACKEND_MODES)}"
@@ -384,9 +394,26 @@ def validate_backend(backend: str) -> str:
     return backend
 
 
+def effective_backend(backend: str) -> str:
+    """Collapse an instance ``backend=`` choice against the global mode.
+
+    ``auto`` defers to the global mode; the global ``scalar`` mode is a kill
+    switch that wins over any per-instance request (the CI scalar leg must
+    force the oracle everywhere).  The result may still be ``auto`` (meaning
+    "fastest available"), which :func:`repro.core.fastpath.resolve_update_path`
+    resolves to ``native`` or ``fused`` depending on extension availability.
+    """
+    backend = validate_backend(backend)
+    if backend == "auto":
+        return _mode
+    if _mode == "scalar":
+        return "scalar"
+    return backend
+
+
 def resolve_instance_kernel(metric: Callable, backend: str) -> DistanceKernel | None:
     """Kernel for one algorithm instance, honoring its ``backend=`` choice."""
-    if validate_backend(backend) == "scalar":
+    if effective_backend(backend) == "scalar":
         return None
     return resolve_kernel(metric)
 
@@ -993,6 +1020,8 @@ class BatchDistanceEngine:
         "_size",
         "in_batch",
         "batch_coords",
+        "batch_min_dist",
+        "track_min_dist",
         "_hit_families",
         "buffer_pool",
         "__weakref__",
@@ -1019,6 +1048,15 @@ class BatchDistanceEngine:
         self._hit_families: list[AttractorFamily] = []
         #: freelist of retired query-side arenas (created on first use).
         self.buffer_pool: BufferPool | None = None
+        #: when :attr:`track_min_dist` is set (the fused update path), every
+        #: batch records a lower bound on the distance from the arriving
+        #: point to any live member: families whose threshold is below it
+        #: provably have no hits, which is what the guess-ladder pruning
+        #: counts.  The bound may dip below the true live minimum (distances
+        #: of dead / expired slots are included rather than masked out on the
+        #: hot path), which can only under-prune, never mis-prune.
+        self.track_min_dist = False
+        self.batch_min_dist = float("inf")
 
     def new_family(self, threshold: float) -> AttractorFamily:
         """Create a family handle with a fixed attraction threshold."""
@@ -1111,10 +1149,13 @@ class BatchDistanceEngine:
         self.in_batch = True
         query = np.asarray(coords, dtype=self.dtype)
         self.batch_coords = query
+        self.batch_min_dist = float("inf")
         if self._size == 0:
             return
         assert self._coords is not None and self._thresholds is not None
         dists = self.kernel.one_to_many(query, self._coords[: self._size])
+        if self.track_min_dist:
+            self.batch_min_dist = float(dists.min())
         hit_slots = np.nonzero(dists <= self._thresholds[: self._size])[0]
         if hit_slots.size == 0:
             return

@@ -127,6 +127,9 @@ class GuessState:
         # older than it are gone and new points always arrive later, so a
         # repeat call with the same (or a smaller) bound is a no-op.
         self._dropped_below = 0
+        # Attraction thresholds cast to the engine dtype, cached by the
+        # fused update path for its pruning-band comparison.
+        self._prune_band: tuple[float, float] | None = None
 
     # ------------------------------------------------------------------ sizes
 

@@ -29,6 +29,7 @@ from .backend import (
     make_batch_engine,
 )
 from .config import FairnessConstraint, SlidingWindowConfig
+from .fastpath import make_updater
 from .geometry import Color, Point, StreamItem
 from .guesses import guess_grid
 from .ingest import BatchIngestMixin
@@ -75,6 +76,9 @@ class _IndependentSetState:
         self._rep_arena: FamilyArena | None = (
             FamilyArena(self.engine) if self.engine is not None else None
         )
+        # Attraction threshold cast to the engine dtype, cached by the
+        # fused update path for its pruning-band comparison.
+        self._prune_band: tuple[float, float] | None = None
 
     @property
     def k(self) -> int:
@@ -170,6 +174,10 @@ class _IndependentSetState:
                 v.t for v in self.attractors.values()
                 if self.metric(item, v) <= threshold
             ]
+        self._apply_update(item, attracting)
+
+    def _apply_update(self, item: StreamItem, attracting: list[int]) -> None:
+        """Apply the arrival given its (already computed) attractor hits."""
         if not attracting:
             self.attractors[item.t] = item
             self.reps_of[item.t] = {}
@@ -258,6 +266,7 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
             )
             for guess in guess_grid(config.dmin, config.dmax, config.beta)
         ]
+        self._updater = make_updater(self, "indep", backend)
 
     # ------------------------------------------------------------- properties
 
@@ -293,19 +302,8 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
                 f"after {self._now}"
             )
         self._now = item.t
-        engine = self._engine
-        if engine is None:
-            for state in self._states:
-                state.remove_expired(item.t, self.window_size)
-                state.update(item)
-            return item
-        engine.begin_batch(item.coords, item.t - self.window_size)
-        try:
-            for state in self._states:
-                state.remove_expired(item.t, self.window_size)
-                state.update(item)
-        finally:
-            engine.end_batch()
+        # Per-arrival core: see repro.core.fastpath (fused scan + ladder loop).
+        self._updater.insert(item)
         return item
 
     def extend(self, items: Iterable[StreamItem | Point]) -> None:
@@ -379,8 +377,18 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
             fresh.append(state)
         self._states = fresh
         self._now = snapshot.now
+        self._updater.reset()
 
     # ------------------------------------------------------------ diagnostics
+
+    @property
+    def update_path(self) -> str:
+        """The resolved update path (``scalar``/``vector``/``fused``/``native``)."""
+        return self._updater.path
+
+    def update_stats(self) -> dict[str, float]:
+        """Update-path counters (pruning skip rates included)."""
+        return self._updater.stats_snapshot().as_dict()
 
     def memory_points(self) -> int:
         """Number of distinct points maintained in memory across every guess."""

@@ -36,6 +36,7 @@ from ..sequential.jones import JonesFairCenter
 from .backend import cover_fits, make_batch_engine
 from .config import SlidingWindowConfig
 from .coreset import GuessState, distinct_memory, total_memory
+from .fastpath import make_updater
 from .geometry import Point, StreamItem
 from .ingest import BatchIngestMixin
 from .snapshot import (
@@ -98,6 +99,7 @@ class FairSlidingWindow(BatchIngestMixin):
             )
             for guess in guess_grid(config.dmin, config.dmax, config.beta)
         ]
+        self._updater = make_updater(self, "full", backend)
 
     # ------------------------------------------------------------- properties
 
@@ -131,22 +133,12 @@ class FairSlidingWindow(BatchIngestMixin):
         Returns the stored stream item.
         """
         item = self._stamp(item)
-        engine = self._engine
-        if engine is None:
-            for state in self._states:
-                state.remove_expired(item.t, self.window_size)
-                state.update(item)
-            return item
-        # One batched kernel call answers "which attractors of which guesses
-        # does the new point attach to?"; the per-guess updates then only
-        # touch those sparse hits.
-        engine.begin_batch(item.coords, item.t - self.window_size)
-        try:
-            for state in self._states:
-                state.remove_expired(item.t, self.window_size)
-                state.update(item)
-        finally:
-            engine.end_batch()
+        # The per-arrival core lives in repro.core.fastpath: one fused scan
+        # ("which attractors of which guesses does the new point attach
+        # to?") followed by the ladder loop — native C, fused NumPy, the
+        # engine-batched vector loop or the scalar oracle, depending on the
+        # resolved backend.
+        self._updater.insert(item)
         return item
 
     def extend(self, items: Iterable[StreamItem | Point]) -> None:
@@ -282,8 +274,18 @@ class FairSlidingWindow(BatchIngestMixin):
             fresh.append(state)
         self._states = fresh
         self._now = snapshot.now
+        self._updater.reset()
 
     # ------------------------------------------------------------ diagnostics
+
+    @property
+    def update_path(self) -> str:
+        """The resolved update path (``scalar``/``vector``/``fused``/``native``)."""
+        return self._updater.path
+
+    def update_stats(self) -> dict[str, float]:
+        """Update-path counters (pruning skip rates included)."""
+        return self._updater.stats_snapshot().as_dict()
 
     def memory_points(self) -> int:
         """Number of distinct points maintained in memory (paper's metric).

@@ -1,0 +1,562 @@
+"""Fused per-arrival update path for the sliding-window algorithms.
+
+The per-arrival work of every sliding-window variant has the same shape: one
+batched distance scan ("which attractors of which guesses does the arriving
+point attach to?") followed by a Python loop over the guess ladder applying
+Algorithm 1/2 to each guess.  This module owns that loop in its fast forms:
+
+* **Fused loop** (:class:`FusedUpdater`) — the per-guess ``remove_expired`` /
+  ``update`` calls are fused into a single function over the whole ladder,
+  fed by one :meth:`~repro.core.backend.BatchDistanceEngine.begin_batch`
+  kernel call (cross-guess fusion: every guess's families live in the
+  engine's shared slot arena, so the scan is one kernel launch with
+  per-family segments, not one launch per guess).
+* **Guess-ladder pruning** — the fused batch records a lower bound on the
+  distance from the arrival to any stored point
+  (:attr:`~repro.core.backend.BatchDistanceEngine.batch_min_dist`).  By the
+  subset property, a family whose attraction threshold lies strictly below
+  that bound provably has no hits, so the corresponding attach logic can
+  take the no-hit branch without consulting the hit machinery at all.  The
+  skips are counted in :class:`UpdateStats` (``v_pruned`` / ``c_pruned``) so
+  the win is observable.  The bound may under-estimate (dead slots are not
+  masked on the hot path), which can only under-prune, never mis-prune.
+* **Native loop** (:class:`NativeUpdater`) — the optional C extension
+  :mod:`repro.core._native` keeps a decision-complete mirror of every
+  guess's families (contiguous time rings + a coordinate registry shared
+  across guesses) and runs the whole per-arrival scan/decide pass in C with
+  the GIL released, computing each distance once per *distinct* stored point
+  instead of once per family membership.  The resulting mutations are then
+  applied directly into the per-guess Python dicts, in exactly the order the
+  pure-Python code would apply them — dict contents *and iteration order*
+  stay bitwise identical, so views, snapshots and the serving layer observe
+  no difference.  Built best-effort by ``setup.py``; when the extension is
+  missing the path falls back silently to the fused loop.
+
+Path selection
+--------------
+``backend="auto"`` (the default everywhere) resolves to ``native`` when the
+extension is importable and the metric/dtype pair is supported, else to
+``fused``.  ``vector`` pins the pre-fusion engine loop (one batched kernel
+call, per-guess method dispatch), ``fused``/``native`` pin their paths
+(``native`` still degrades to ``fused`` when unavailable), and ``scalar``
+pins the pair-by-pair oracle — which also remains the automatic fallback
+for custom metrics without a kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+import numpy as np
+
+from .backend import BatchDistanceEngine, effective_backend, resolve_kernel
+
+if TYPE_CHECKING:
+    from .geometry import StreamItem
+
+__all__ = [
+    "UpdateStats",
+    "ScalarUpdater",
+    "VectorUpdater",
+    "FusedUpdater",
+    "NativeUpdater",
+    "make_updater",
+    "native_available",
+    "native_metric_code",
+    "resolve_update_path",
+]
+
+#: Paths an updater can report (``resolve_update_path`` return values).
+UPDATE_PATHS = ("scalar", "vector", "fused", "native")
+
+_NATIVE: Any = None
+_NATIVE_FAILED = False
+
+
+def load_native() -> Any:
+    """The compiled :mod:`repro.core._native` module, or ``None``.
+
+    The import is attempted once and the outcome cached; a missing or broken
+    extension silently selects the fused-NumPy fallback (graceful
+    degradation is part of the contract — see ``tests/test_fastpath.py``).
+    """
+    global _NATIVE, _NATIVE_FAILED
+    if _NATIVE is None and not _NATIVE_FAILED:
+        try:
+            from . import _native as mod  # type: ignore[attr-defined]
+        except ImportError:
+            _NATIVE_FAILED = True
+        else:
+            _NATIVE = mod
+    return _NATIVE
+
+
+def native_available() -> bool:
+    """Whether the C fastpath extension is importable."""
+    return load_native() is not None
+
+
+#: Metrics implemented by the C extension.  Minkowski is deliberately
+#: excluded: ``pow`` rounding is not guaranteed to match NumPy's SIMD
+#: implementation bit for bit, and the update path promises solution
+#: identity across backends.
+_NATIVE_METRIC_CODES = {"euclidean": 0, "manhattan": 1, "chebyshev": 2}
+
+
+def native_metric_code(metric: Callable[..., float]) -> int | None:
+    """The C metric code for ``metric``, or ``None`` when unsupported."""
+    kernel = resolve_kernel(metric)
+    if kernel is None:
+        return None
+    return _NATIVE_METRIC_CODES.get(kernel.name)
+
+
+def resolve_update_path(backend: str, metric: Callable[..., float]) -> str:
+    """The concrete update path for one window instance.
+
+    Collapses the per-instance ``backend=`` choice against the global mode
+    (:func:`~repro.core.backend.effective_backend`), then resolves ``auto``
+    to the fastest available path and degrades ``native`` to ``fused`` when
+    the extension is missing or the metric is not natively supported.
+    Metrics without a vector kernel always resolve to ``scalar``.
+    """
+    effective = effective_backend(backend)
+    if effective == "scalar" or resolve_kernel(metric) is None:
+        return "scalar"
+    native_ok = native_available() and native_metric_code(metric) is not None
+    if effective == "auto":
+        return "native" if native_ok else "fused"
+    if effective == "native" and not native_ok:
+        return "fused"
+    return effective
+
+
+@dataclass
+class UpdateStats:
+    """Counters of one window's update path (diagnostics and benchmarks)."""
+
+    path: str
+    updates: int = 0
+    guesses_visited: int = 0
+    v_pruned: int = 0
+    c_pruned: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        visited = self.guesses_visited
+        return {
+            "updates": self.updates,
+            "guesses_visited": visited,
+            "v_pruned": self.v_pruned,
+            "c_pruned": self.c_pruned,
+            "v_prune_rate": self.v_pruned / visited if visited else 0.0,
+            "c_prune_rate": self.c_pruned / visited if visited else 0.0,
+        }
+
+
+class _UpdaterBase:
+    """Common plumbing: the window back-reference and no-op hooks."""
+
+    path = "abstract"
+
+    def __init__(self, window: Any) -> None:
+        self._window = window
+
+    def _states(self) -> Iterable[Any]:
+        states = self._window._states
+        if isinstance(states, dict):
+            return list(states.values())
+        return states
+
+    def insert(self, item: "StreamItem") -> None:
+        raise NotImplementedError  # pragma: no cover - always overridden
+
+    def sync(self) -> None:
+        """Reconcile with the window's current states (oblivious churn)."""
+
+    def reset(self) -> None:
+        """Rebuild internal structures after a window ``restore``."""
+
+    def stats_snapshot(self) -> UpdateStats:
+        raise NotImplementedError  # pragma: no cover - always overridden
+
+
+class ScalarUpdater(_UpdaterBase):
+    """Pair-by-pair oracle path (no engine; works for any metric space)."""
+
+    path = "scalar"
+
+    def __init__(self, window: Any) -> None:
+        super().__init__(window)
+        self.stats = UpdateStats("scalar")
+
+    def insert(self, item: "StreamItem") -> None:
+        window = self._window
+        window_size: int = window.window_size
+        stats = self.stats
+        stats.updates += 1
+        for state in self._states():
+            stats.guesses_visited += 1
+            state.remove_expired(item.t, window_size)
+            state.update(item)
+
+    def stats_snapshot(self) -> UpdateStats:
+        return self.stats
+
+
+class VectorUpdater(_UpdaterBase):
+    """Engine-batched path: one kernel call, per-guess method dispatch."""
+
+    path = "vector"
+
+    def __init__(self, window: Any) -> None:
+        super().__init__(window)
+        self.stats = UpdateStats("vector")
+
+    def insert(self, item: "StreamItem") -> None:
+        window = self._window
+        engine: BatchDistanceEngine = window._engine
+        window_size: int = window.window_size
+        stats = self.stats
+        stats.updates += 1
+        engine.begin_batch(item.coords, item.t - window_size)
+        try:
+            for state in self._states():
+                stats.guesses_visited += 1
+                state.remove_expired(item.t, window_size)
+                state.update(item)
+        finally:
+            engine.end_batch()
+
+    def stats_snapshot(self) -> UpdateStats:
+        return self.stats
+
+
+#: Shared immutable "no hits" list handed to the coreset step of pruned
+#: guesses (read-only there, so sharing one instance is safe).
+_NO_HITS: list[int] = []
+
+
+class FusedUpdater(_UpdaterBase):
+    """Fused ladder loop with guess-band pruning (pure NumPy/Python).
+
+    Semantically identical to :class:`VectorUpdater` — the loop body inlines
+    ``GuessState.update``'s batched branch (and the independent-set variant's
+    equivalent) around the shared hit lists, and routes provably hitless
+    guesses straight to the no-hit branch.
+    """
+
+    path = "fused"
+
+    def __init__(self, window: Any, kind: str) -> None:
+        super().__init__(window)
+        self._kind = kind
+        self.stats = UpdateStats("fused")
+        engine: BatchDistanceEngine = window._engine
+        engine.track_min_dist = True
+        self._dtype = engine.dtype
+
+    def _band(self, state: Any) -> tuple[float, float]:
+        """The state's attraction thresholds, cast to the engine dtype.
+
+        The pruning comparison must use *exactly* the threshold values the
+        engine's hit test uses (a float32 cast can round ``2γ`` upward; a
+        float64-side comparison against the uncast value could then prune a
+        guess whose cast threshold still admits a hit).
+        """
+        band = state._prune_band
+        if band is None:
+            dtype = self._dtype
+            thr_v = float(dtype.type(2.0 * state.guess))
+            if self._kind == "full":
+                thr_c = float(dtype.type(state.delta * state.guess / 2.0))
+            else:
+                thr_c = thr_v
+            band = (thr_v, thr_c)
+            state._prune_band = band
+        return band
+
+    def insert(self, item: "StreamItem") -> None:
+        if self._kind == "full":
+            self._insert_full(item)
+        else:
+            self._insert_indep(item)
+
+    def _insert_full(self, item: "StreamItem") -> None:
+        window = self._window
+        engine: BatchDistanceEngine = window._engine
+        window_size: int = window.window_size
+        stats = self.stats
+        stats.updates += 1
+        t = item.t
+        horizon = t - window_size
+        engine.begin_batch(item.coords, horizon)
+        try:
+            min_dist = engine.batch_min_dist
+            for state in self._states():
+                stats.guesses_visited += 1
+                # --- expiry (GuessState.remove_expired, guard inlined)
+                if horizon >= 1 and horizon >= state._oldest:
+                    state.remove_expired(t, window_size)
+                if t < state._oldest:
+                    state._oldest = t
+                thr_v, thr_c = self._band(state)
+                # --- validation step (Algorithm 1 / 2)
+                if thr_v < min_dist:
+                    stats.v_pruned += 1
+                    chosen = None
+                else:
+                    v_hits = state._v_family.hits
+                    chosen = state.v_attractors[min(v_hits)] if v_hits else None
+                dropped_before = state._dropped_below
+                state._apply_validation(item, chosen)
+                # --- coreset step
+                if thr_c < min_dist:
+                    stats.c_pruned += 1
+                    nearby = _NO_HITS
+                else:
+                    nearby = state._c_family.hits
+                    if nearby and dropped_before != state._dropped_below:
+                        # The cleanup may have removed c-attractors this
+                        # arrival also hit; re-check membership.
+                        c_attractors = state.c_attractors
+                        nearby = [u for u in nearby if u in c_attractors]
+                state._apply_coreset(item, nearby)
+        finally:
+            engine.end_batch()
+
+    def _insert_indep(self, item: "StreamItem") -> None:
+        window = self._window
+        engine: BatchDistanceEngine = window._engine
+        window_size: int = window.window_size
+        stats = self.stats
+        stats.updates += 1
+        t = item.t
+        engine.begin_batch(item.coords, t - window_size)
+        try:
+            min_dist = engine.batch_min_dist
+            for state in self._states():
+                stats.guesses_visited += 1
+                state.remove_expired(t, window_size)
+                thr_v, _ = self._band(state)
+                if thr_v < min_dist:
+                    stats.v_pruned += 1
+                    attracting = _NO_HITS
+                else:
+                    attractors = state.attractors
+                    attracting = [
+                        u for u in state._family.hits if u in attractors
+                    ]
+                state._apply_update(item, attracting)
+        finally:
+            engine.end_batch()
+
+    def stats_snapshot(self) -> UpdateStats:
+        return self.stats
+
+
+class NativeUpdater(_UpdaterBase):
+    """C-extension path: scan, decide and apply in :mod:`._native`.
+
+    The wrapper owns the Python-side bookkeeping the C ladder cannot:
+    color interning (colors are arbitrary hashable objects; the constraint's
+    per-color capacity is attached at intern time), guess registration
+    (strong references to the registered states — address reuse of a retired
+    state must not alias a live registration), and rebuild-from-dicts after
+    a snapshot ``restore``.
+    """
+
+    path = "native"
+
+    def __init__(self, window: Any, kind: str) -> None:
+        super().__init__(window)
+        module = load_native()
+        if module is None:  # pragma: no cover - callers gate on availability
+            raise RuntimeError("repro.core._native is not available")
+        self._module = module
+        self._kind = kind
+        self._variant = 0 if kind == "full" else 1
+        metric_code = native_metric_code(window.config.metric)
+        if metric_code is None:  # pragma: no cover - callers gate on support
+            raise RuntimeError("metric is not supported by the native path")
+        self._metric_code = metric_code
+        engine: BatchDistanceEngine = window._engine
+        self._float32 = engine.dtype == np.dtype(np.float32)
+        self._dtype = engine.dtype
+        self._ladder: Any = None
+        self._colors: dict[Any, int] = {}
+        #: id(state) -> (state, guess id); the strong reference keeps a
+        #: retired state's address from being recycled while registered.
+        self._registered: dict[int, tuple[Any, int]] = {}
+        self.reset()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _dimension_hint(self) -> int | None:
+        """Point dimension from any stored item (None when all empty)."""
+        for state in self._states():
+            families = (
+                (state.v_attractors, state.v_representatives,
+                 state.c_attractors, state.c_representatives)
+                if self._kind == "full"
+                else (state.attractors, state.representatives)
+            )
+            for family in families:
+                for stored in family.values():
+                    return len(stored.coords)
+        return None
+
+    def _ensure_ladder(self, dim: int) -> Any:
+        if self._ladder is None:
+            self._ladder = self._module.Ladder(
+                dim,
+                1 if self._float32 else 0,
+                self._metric_code,
+                self._window.config.window_size,
+                self._variant,
+            )
+            self._colors.clear()
+            self._registered.clear()
+            self.sync()
+        return self._ladder
+
+    def reset(self) -> None:
+        """Drop the ladder and rebuild it from the current state dicts."""
+        self._ladder = None
+        self._colors.clear()
+        self._registered.clear()
+        dim = self._dimension_hint()
+        if dim is not None:
+            self._ensure_ladder(dim)
+
+    def _color_id(self, color: Any) -> int:
+        cid = self._colors.get(color)
+        if cid is None:
+            capacity = self._window.config.constraint.capacity(color)
+            cid = self._ladder.intern_color(color, capacity)
+            self._colors[color] = cid
+        return cid
+
+    def _thresholds(self, state: Any) -> tuple[float, float]:
+        thr_v = 2.0 * state.guess
+        thr_c = (
+            state.delta * state.guess / 2.0 if self._kind == "full" else 0.0
+        )
+        if self._float32:
+            thr_v = float(np.float32(thr_v))
+            thr_c = float(np.float32(thr_c))
+        return thr_v, thr_c
+
+    def _register(self, state: Any) -> None:
+        thr_v, thr_c = self._thresholds(state)
+        gid = self._ladder.add_guess(state, thr_v, thr_c, state.k)
+        self._registered[id(state)] = (state, gid)
+        self._load_state(state, gid)
+
+    def _load_state(self, state: Any, gid: int) -> None:
+        """Feed a (possibly restored) state's contents into the C mirror."""
+        ladder = self._ladder
+        if self._kind == "full":
+            attractors = state.c_attractors
+            if state.v_attractors or attractors or state.v_representatives \
+                    or state.c_representatives:
+                for stored in state.v_attractors.values():
+                    ladder.load_item(stored.t, stored.coords)
+                for stored in state.v_representatives.values():
+                    ladder.load_item(stored.t, stored.coords)
+                for stored in attractors.values():
+                    ladder.load_item(stored.t, stored.coords)
+                for stored in state.c_representatives.values():
+                    ladder.load_item(stored.t, stored.coords)
+            rep_of = state.v_rep_of
+            for t in state.v_attractors:
+                ladder.load_v_attractor(gid, t, rep_of.get(t, -1))
+            attractor_of = {rep: att for att, rep in rep_of.items()}
+            for t in state.v_representatives:
+                ladder.load_v_rep(gid, t, attractor_of.get(t, -1))
+            for t in attractors:
+                ladder.load_c_attractor(gid, t)
+            owner_of = state.c_owner_of
+            for t, stored in state.c_representatives.items():
+                owner = owner_of.get(t, -1)
+                if owner not in attractors:
+                    owner = -1
+                ladder.load_c_rep(gid, t, owner, self._color_id(stored.color))
+            oldest = state._oldest
+            ladder.load_guess_meta(
+                gid,
+                state._dropped_below,
+                -1 if oldest == float("inf") else int(oldest),
+            )
+        else:
+            for stored in state.attractors.values():
+                ladder.load_item(stored.t, stored.coords)
+            for stored in state.representatives.values():
+                ladder.load_item(stored.t, stored.coords)
+            for t in state.attractors:
+                ladder.load_v_attractor(gid, t, -1)
+            rep_owner: dict[int, int] = {}
+            for owner, buckets in state.reps_of.items():
+                for times in buckets.values():
+                    for rep_t in times:
+                        rep_owner[rep_t] = owner
+            for t, stored in state.representatives.items():
+                ladder.load_c_rep(
+                    gid, t, rep_owner.get(t, -1), self._color_id(stored.color)
+                )
+
+    def sync(self) -> None:
+        """Register new states and retire vanished ones (oblivious churn)."""
+        if self._ladder is None:
+            return
+        current = {id(state): state for state in self._states()}
+        for sid in [s for s in self._registered if s not in current]:
+            _, gid = self._registered.pop(sid)
+            self._ladder.remove_guess(gid)
+        for sid, state in current.items():
+            if sid not in self._registered:
+                self._register(state)
+
+    # --------------------------------------------------------------- insert
+
+    def insert(self, item: "StreamItem") -> None:
+        ladder = self._ladder
+        if ladder is None:
+            ladder = self._ensure_ladder(len(item.coords))
+        ladder.insert(
+            item,
+            item.t,
+            self._color_id(item.color),
+            item.coords,
+            item.t - self._window.config.window_size,
+        )
+
+    def stats_snapshot(self) -> UpdateStats:
+        stats = UpdateStats("native")
+        if self._ladder is not None:
+            updates, visited, v_pruned, c_pruned = self._ladder.stats()
+            stats.updates = updates
+            stats.guesses_visited = visited
+            stats.v_pruned = v_pruned
+            stats.c_pruned = c_pruned
+        return stats
+
+
+def make_updater(window: Any, kind: str, backend: str) -> _UpdaterBase:
+    """Build the update-path driver for one window instance.
+
+    ``kind`` is ``"full"`` (four-family :class:`~repro.core.coreset.GuessState`
+    ladders) or ``"indep"`` (the dimension-free independent-set ladders).
+    The returned object is one of the four updaters above; windows delegate
+    the per-arrival core of ``insert`` to it.
+    """
+    if window._engine is None:
+        return ScalarUpdater(window)
+    path = resolve_update_path(backend, window.config.metric)
+    if path == "native":
+        return NativeUpdater(window, kind)
+    if path == "fused":
+        return FusedUpdater(window, kind)
+    if path == "vector":
+        return VectorUpdater(window)
+    return ScalarUpdater(window)

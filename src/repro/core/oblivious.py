@@ -36,6 +36,7 @@ from ..streaming.diameter import AspectRatioEstimator
 from .config import SlidingWindowConfig
 from .backend import cover_fits, make_batch_engine
 from .coreset import GuessState, distinct_memory, total_memory
+from .fastpath import make_updater
 from .geometry import Point, StreamItem
 from .guesses import AdaptiveGuessGrid, guess_value
 from .ingest import BatchIngestMixin
@@ -67,6 +68,7 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
         self._grid = AdaptiveGuessGrid(beta=config.beta)
         self._states: dict[int, GuessState] = {}
         self._engine = make_batch_engine(config.metric, backend, config.dtype)
+        self._updater = make_updater(self, "full", backend)
         self._now = 0
 
     # ------------------------------------------------------------- properties
@@ -97,20 +99,12 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
         """Process a new arrival: refresh the estimates, then run Update."""
         item = self._stamp(item)
         self.estimator.insert(item)
-        self._refresh_active_guesses()
-        engine = self._engine
-        if engine is None:
-            for state in self._states.values():
-                state.remove_expired(item.t, self.window_size)
-                state.update(item)
-            return item
-        engine.begin_batch(item.coords, item.t - self.window_size)
-        try:
-            for state in self._states.values():
-                state.remove_expired(item.t, self.window_size)
-                state.update(item)
-        finally:
-            engine.end_batch()
+        if self._refresh_active_guesses():
+            # Guess churn: the update path may hold per-guess structures
+            # (the native ladder's mirrors) that must follow the range move.
+            self._updater.sync()
+        # Per-arrival core: see repro.core.fastpath (fused scan + ladder loop).
+        self._updater.insert(item)
         return item
 
     def extend(self, items: Iterable[StreamItem | Point]) -> None:
@@ -129,16 +123,19 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
         self._now = item.t
         return item
 
-    def _refresh_active_guesses(self) -> None:
+    def _refresh_active_guesses(self) -> bool:
+        """Slide the active guess range; True when any state changed."""
         dmin = self.estimator.dmin_estimate()
         dmax = self.estimator.dmax_estimate()
         if dmin is None or dmax is None:
-            return
+            return False
         self._grid.update_bounds(dmin, dmax)
         active = set(self._grid.exponents())
+        changed = False
         # Retire the guesses that left the estimated range...
         for exponent in [e for e in self._states if e not in active]:
             self._states.pop(exponent).release_all()
+            changed = True
         # ... and create the ones that entered it.
         for exponent in active:
             if exponent not in self._states:
@@ -149,6 +146,8 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
                     metric=self.config.metric,
                     engine=self._engine,
                 )
+                changed = True
+        return changed
 
     # ----------------------------------------------------------------- query
 
@@ -267,8 +266,18 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
             state.load_state(state_snapshot)
             self._states[exponent] = state
         self._now = snapshot.now
+        self._updater.reset()
 
     # ------------------------------------------------------------ diagnostics
+
+    @property
+    def update_path(self) -> str:
+        """The resolved update path (``scalar``/``vector``/``fused``/``native``)."""
+        return self._updater.path
+
+    def update_stats(self) -> dict[str, float]:
+        """Update-path counters (pruning skip rates included)."""
+        return self._updater.stats_snapshot().as_dict()
 
     def memory_points(self) -> int:
         """Distinct points maintained in memory, estimator sketch included."""

@@ -80,6 +80,19 @@ def run_delta_sweep(
                 if baseline_rows:
                     summaries.update(baseline_rows)
 
+            # Stamp update-path diagnostics (resolved backend path and the
+            # guess-ladder pruning skip rates) onto the streaming rows; the
+            # sequential baselines have no incremental update path.
+            for contender in contenders:
+                row = summaries.get(contender.name)
+                algorithm = contender.algorithm
+                if row is None or not hasattr(algorithm, "update_stats"):
+                    continue
+                stats = algorithm.update_stats()
+                row["update_path"] = algorithm.update_path
+                row["v_prune_rate"] = round(stats.get("v_prune_rate", 0.0), 4)
+                row["c_prune_rate"] = round(stats.get("c_prune_rate", 0.0), 4)
+
             for name, row in summaries.items():
                 rows.append(
                     {
@@ -115,6 +128,11 @@ def figure2_rows(rows: Sequence[dict]) -> list[dict]:
             "algorithm": r["algorithm"],
             "update_ms": r["update_ms"],
             "query_ms": r["query_ms"],
+            # Diagnostics carried by the streaming algorithms only; the
+            # sequential baselines report an empty path and zero skip rates.
+            "update_path": r.get("update_path", ""),
+            "v_prune_rate": r.get("v_prune_rate", 0.0),
+            "c_prune_rate": r.get("c_prune_rate", 0.0),
         }
         for r in rows
     ]

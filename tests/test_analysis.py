@@ -648,6 +648,84 @@ class TestBenchIdentityColumns:
         assert report.suppressed == 1
 
 
+# --------------------------------------------------------------------- RPR009
+
+
+class TestPerArrivalKernelLoop:
+    def test_positive_loop_in_insert(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/bad_update.py",
+            """
+            def insert(self, item):
+                for state in self._states:
+                    d = self._engine.kernel.one_to_many(item.coords, state.coords)
+                    state.apply(d)
+            """,
+        )
+        assert rule_ids(report) == ["RPR009"]
+
+    def test_positive_comprehension_in_apply_step(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/bad_apply.py",
+            """
+            def _apply_validation(self, item, states):
+                rows = [k.one_to_many(item.coords, s.coords) for s in states]
+                return rows
+            """,
+        )
+        assert rule_ids(report) == ["RPR009"]
+
+    def test_negative_single_batched_call(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/ok_update.py",
+            """
+            def insert(self, item):
+                distances = self._kernel.one_to_many(item.coords, self._all_coords)
+                self._dispatch(distances)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_loop_outside_update_code(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/ok_query.py",
+            """
+            def query_covers(kernel, heads, coords):
+                return [kernel.one_to_many(h, coords) for h in heads]
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_fastpath_module_is_exempt(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/fastpath.py",
+            """
+            def insert(self, item):
+                for state in self._states:
+                    state.apply(self._engine.kernel.one_to_many(item.coords, state.coords))
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/allowed_update.py",
+            """
+            def insert(self, item):
+                for state in self._states:
+                    state.apply(item.kernel.one_to_many(item.coords, state.coords))  # repro: allow[RPR009] bench harness
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
 # ------------------------------------------------------------------ framework
 
 

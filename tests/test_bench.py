@@ -95,7 +95,7 @@ class TestGridExpansion:
             {"figures": ("6",)},
             {"figures": ()},
             {"figures": ("4", "4")},
-            {"backends": ("vector",)},
+            {"backends": ("vectorized",)},
             {"backends": ()},
             {"dtypes": ("float16",)},
             {"dtypes": ("auto",)},
@@ -239,6 +239,72 @@ class TestRepeats:
         assert payload["rows"]
         for row in payload["rows"]:
             assert row["update_us"] == pytest.approx(row["update_ms"] * 1000.0)
+
+
+class TestParallelJobs:
+    def test_jobs_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=-2)
+
+    def test_parallel_rows_match_sequential(self):
+        """--jobs N must change nothing but the wall clock.
+
+        Timing columns are measurements and legitimately differ between
+        runs; every deterministic column (identity, radius, memory,
+        coreset sizes, fairness) must be identical, in identical order.
+        """
+        kwargs = dict(
+            figures=("4",),
+            backends=("auto",),
+            dtypes=("float64",),
+            scale="tiny",
+            deltas=(1.0,),
+            dimensions=(2, 3),
+            seed=0,
+            output_dir=None,
+        )
+        sequential = run_sweep(jobs=1, **kwargs)
+        parallel = run_sweep(jobs=2, **kwargs)
+
+        def stable(rows):
+            drop = ("update_ms", "query_ms", "update_us", "query_us")
+            return [
+                {k: v for k, v in row.items() if k not in drop} for row in rows
+            ]
+
+        assert stable(parallel.rows()) == stable(sequential.rows())
+        assert [c.cell for c in parallel.cells] == [
+            c.cell for c in sequential.cells
+        ]
+
+    def test_parallel_cli_smoke(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "sweep",
+                "--figure",
+                "4",
+                "--quick",
+                "--dimension",
+                "2",
+                "--dimension",
+                "3",
+                "--delta",
+                "2.0",
+                "--dtype",
+                "float64",
+                "--jobs",
+                "2",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 processes" in out
+        payload = json.loads((tmp_path / "BENCH_figure4_sweep.json").read_text())
+        assert payload["rows"]
 
 
 class TestQuickCli:

@@ -73,7 +73,25 @@ class TestExperimentDrivers:
             "approx_ratio",
             "memory_points",
         }
-        assert set(f2[0]) == {"dataset", "delta", "algorithm", "update_ms", "query_ms"}
+        assert set(f2[0]) == {
+            "dataset",
+            "delta",
+            "algorithm",
+            "update_ms",
+            "query_ms",
+            "update_path",
+            "v_prune_rate",
+            "c_prune_rate",
+        }
+        # Streaming rows carry the resolved update path and the pruning
+        # skip rates; the sequential baselines report the empty path.
+        for r in f2:
+            if r["algorithm"].startswith("Ours"):
+                assert r["update_path"] in ("scalar", "vector", "fused", "native")
+                assert 0.0 <= r["v_prune_rate"] <= 1.0
+                assert 0.0 <= r["c_prune_rate"] <= 1.0
+            else:
+                assert r["update_path"] == ""
 
     def test_figure3_rows(self):
         rows = figure3.run("two-scale", scale=TINY, window_sizes=(80, 160))

@@ -1,0 +1,326 @@
+"""Tests for the fused/native update path (:mod:`repro.core.fastpath`).
+
+Three layers of guarantees:
+
+* **path resolution** — ``backend="auto"`` resolves to the fastest available
+  path, ``native`` degrades gracefully to ``fused`` when the C extension is
+  missing or the metric is unsupported, and custom metrics always fall back
+  to the scalar oracle;
+* **differential equivalence** — random streams driven through every update
+  path (scalar / vector / fused / native) and both dtypes build identical
+  family structures and return identical solutions at every probe
+  (hypothesis);
+* **diagnostics** — the pruning counters are populated and exposed through
+  ``update_stats()`` on every window variant.
+
+Prune *counts* are deliberately never compared across paths: the native
+ladder computes its lower bound over exactly the stored points while the
+fused path bounds over the candidate batch, so both are sound but skip
+different (overlapping) sets of guesses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fastpath
+from repro.core.backend import use_backend, use_dtype
+from repro.core.config import FairnessConstraint, SlidingWindowConfig
+from repro.core.dimension_free import DimensionFreeFairSlidingWindow
+from repro.core.fair_sliding_window import FairSlidingWindow
+from repro.core.fastpath import (
+    UPDATE_PATHS,
+    make_updater,
+    native_available,
+    native_metric_code,
+    resolve_update_path,
+)
+from repro.core.geometry import Point
+from repro.core.metrics import Minkowski, angular, chebyshev, euclidean, manhattan
+from repro.core.oblivious import ObliviousFairSlidingWindow
+from repro.streaming.diameter import AspectRatioEstimator
+
+#: Backends that must produce bit-identical structures on parity-safe data.
+#: ``native`` is included unconditionally: without the compiled extension it
+#: degrades to ``fused``, which must itself be identical.
+DIFFERENTIAL_BACKENDS = ("scalar", "vector", "fused", "native")
+
+
+@pytest.fixture(autouse=True)
+def _auto_backend():
+    """Pin the global mode so env overrides don't skew path resolution."""
+    with use_backend("auto"), use_dtype("float64"):
+        yield
+
+
+def _int_stream(n, colors=3, seed=0, spread=40, dim=2):
+    """Small-integer coordinates: exactly representable in float32, with
+    distance computations (sums of squares < 2**24) exact in both dtypes,
+    so scalar float64 arithmetic and float32 engine arithmetic agree
+    bitwise and the differential tests can require *equality*."""
+    rng = random.Random(seed)
+    return [
+        Point(
+            tuple(float(rng.randrange(spread)) for _ in range(dim)),
+            rng.randrange(colors),
+        )
+        for _ in range(n)
+    ]
+
+
+def _assert_same_full_states(states_a, states_b):
+    assert len(states_a) == len(states_b)
+    for sa, sb in zip(states_a, states_b):
+        assert sa.guess == sb.guess
+        assert list(sa.v_attractors) == list(sb.v_attractors)
+        assert list(sa.v_representatives) == list(sb.v_representatives)
+        assert sa.v_rep_of == sb.v_rep_of
+        assert list(sa.c_attractors) == list(sb.c_attractors)
+        assert list(sa.c_representatives) == list(sb.c_representatives)
+        assert sa.c_reps_of == sb.c_reps_of
+        assert sa.c_owner_of == sb.c_owner_of
+
+
+# --------------------------------------------------------- path resolution
+
+
+class TestPathResolution:
+    def test_auto_resolves_to_fastest_available(self):
+        expected = "native" if native_available() else "fused"
+        assert resolve_update_path("auto", euclidean) == expected
+
+    def test_explicit_paths_pin_themselves(self):
+        assert resolve_update_path("scalar", euclidean) == "scalar"
+        assert resolve_update_path("vector", euclidean) == "vector"
+        assert resolve_update_path("fused", euclidean) == "fused"
+
+    def test_custom_metric_always_scalar(self):
+        for backend in ("auto", "vector", "fused", "native"):
+            assert resolve_update_path(backend, angular) == "scalar"
+
+    def test_minkowski_is_not_native(self):
+        # pow() rounding is not guaranteed to match NumPy bit for bit, so
+        # the native ladder refuses Minkowski and auto stays on fused.
+        assert native_metric_code(Minkowski(3.0)) is None
+        assert resolve_update_path("auto", Minkowski(3.0)) == "fused"
+        assert resolve_update_path("native", Minkowski(3.0)) == "fused"
+
+    def test_lp_metrics_have_native_codes(self):
+        codes = [native_metric_code(m) for m in (euclidean, manhattan, chebyshev)]
+        assert codes == [0, 1, 2]
+
+    def test_update_paths_constant(self):
+        assert UPDATE_PATHS == ("scalar", "vector", "fused", "native")
+
+    def test_windows_report_their_path(self):
+        config = _config(window=20)
+        for backend in DIFFERENTIAL_BACKENDS:
+            window = FairSlidingWindow(config, backend=backend)
+            assert window.update_path == resolve_update_path(backend, euclidean)
+
+
+class TestGracefulDegradation:
+    def test_missing_extension_degrades_native_to_fused(self, monkeypatch):
+        """The documented contract: no compiled extension, no error."""
+        monkeypatch.setattr(fastpath, "_NATIVE", None)
+        monkeypatch.setattr(fastpath, "_NATIVE_FAILED", True)
+        assert not native_available()
+        assert resolve_update_path("native", euclidean) == "fused"
+        assert resolve_update_path("auto", euclidean) == "fused"
+        window = FairSlidingWindow(_config(window=30), backend="native")
+        for point in _int_stream(90, seed=3):
+            window.insert(point)
+        assert window.update_path == "fused"
+        assert window.query().centers
+
+    def test_degraded_window_matches_fused(self, monkeypatch):
+        reference = FairSlidingWindow(_config(window=30), backend="fused")
+        monkeypatch.setattr(fastpath, "_NATIVE", None)
+        monkeypatch.setattr(fastpath, "_NATIVE_FAILED", True)
+        degraded = FairSlidingWindow(_config(window=30), backend="native")
+        for point in _int_stream(120, seed=4):
+            reference.insert(point)
+            degraded.insert(point)
+        _assert_same_full_states(reference.states, degraded.states)
+
+    def test_make_updater_rejects_unknown_backend(self):
+        window = FairSlidingWindow(_config(window=10), backend="auto")
+        with pytest.raises(ValueError):
+            make_updater(window, "full", "cuda")
+
+
+# --------------------------------------------------- differential streams
+
+
+def _config(window=60, delta=1.0, metric=euclidean, dtype=None):
+    return SlidingWindowConfig(
+        window_size=window,
+        constraint=FairnessConstraint({0: 2, 1: 1, 2: 1}),
+        delta=delta,
+        dmin=0.5,
+        dmax=120.0,
+        metric=metric,
+        **({"dtype": dtype} if dtype else {}),
+    )
+
+
+def _drive(cls, config, points, backend, probes, **kwargs):
+    """Run one window over ``points``, querying at every probe index."""
+    window = cls(config, backend=backend, **kwargs)
+    solutions = []
+    for i, point in enumerate(points):
+        window.insert(point)
+        if i in probes:
+            solution = window.query()
+            solutions.append(
+                (i, solution.radius, tuple(c.coords for c in solution.centers))
+            )
+    return window, solutions
+
+
+class TestDifferentialEquivalence:
+    """Every update path builds the same structures on the same stream."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        delta=st.sampled_from([0.5, 1.0, 4.0]),
+        window=st.integers(min_value=15, max_value=80),
+        dtype=st.sampled_from(["float64", "float32"]),
+    )
+    def test_full_variant_all_paths_identical(self, seed, delta, window, dtype):
+        points = _int_stream(3 * window, seed=seed)
+        probes = {window - 1, 2 * window, 3 * window - 1}
+        config = _config(window=window, delta=delta, dtype=dtype)
+        reference = None
+        with use_dtype(dtype):
+            for backend in DIFFERENTIAL_BACKENDS:
+                if backend == "scalar" and dtype == "float32":
+                    # The scalar oracle is always float64; bitwise equality
+                    # against a float32 engine holds on this integer data,
+                    # but family membership decisions compare against
+                    # float32-cast thresholds, so skip scalar here.
+                    continue
+                win, solutions = _drive(
+                    FairSlidingWindow, config, points, backend, probes
+                )
+                stats = win.update_stats()
+                assert stats["updates"] == len(points)
+                if reference is None:
+                    reference = (win, solutions)
+                else:
+                    _assert_same_full_states(reference[0].states, win.states)
+                    assert reference[1] == solutions
+                    assert reference[0].memory_points() == win.memory_points()
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        window=st.integers(min_value=15, max_value=60),
+    )
+    def test_dimension_free_all_paths_identical(self, seed, window):
+        points = _int_stream(3 * window, seed=seed, dim=3)
+        probes = {window, 3 * window - 1}
+        config = _config(window=window)
+        reference = None
+        for backend in DIFFERENTIAL_BACKENDS:
+            win, solutions = _drive(
+                DimensionFreeFairSlidingWindow, config, points, backend, probes
+            )
+            if reference is None:
+                reference = (win, solutions)
+            else:
+                for sa, sb in zip(reference[0].states, win.states):
+                    assert list(sa.attractors) == list(sb.attractors)
+                    assert list(sa.representatives) == list(sb.representatives)
+                    assert sa.reps_of == sb.reps_of
+                assert reference[1] == solutions
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_oblivious_all_paths_identical(self, seed):
+        window = 50
+        points = _int_stream(3 * window, seed=seed)
+        probes = {window, 3 * window - 1}
+        config = SlidingWindowConfig(
+            window_size=window,
+            constraint=FairnessConstraint({0: 2, 1: 1, 2: 1}),
+            delta=1.0,
+        )
+        reference = None
+        for backend in DIFFERENTIAL_BACKENDS:
+            win, solutions = _drive(
+                ObliviousFairSlidingWindow,
+                config,
+                points,
+                backend,
+                probes,
+                estimator=AspectRatioEstimator(window, backend=backend),
+            )
+            if reference is None:
+                reference = (win, solutions)
+            else:
+                assert reference[0].guesses == win.guesses
+                _assert_same_full_states(reference[0].states, win.states)
+                assert reference[1] == solutions
+
+    @pytest.mark.parametrize("metric", [manhattan, chebyshev], ids=str)
+    def test_native_covers_every_lp_metric(self, metric):
+        config = _config(window=40, metric=metric)
+        fused, fs = _drive(FairSlidingWindow, config, _int_stream(120, seed=6), "fused", {119})
+        native, ns = _drive(FairSlidingWindow, config, _int_stream(120, seed=6), "native", {119})
+        _assert_same_full_states(fused.states, native.states)
+        assert fs == ns
+
+    def test_native_snapshot_restore_matches_uninterrupted(self):
+        if not native_available():
+            pytest.skip("C extension not built")
+        config = _config(window=40)
+        points = _int_stream(200, seed=8)
+        continuous = FairSlidingWindow(config, backend="native")
+        for point in points[:100]:
+            continuous.insert(point)
+        restored = FairSlidingWindow(config, backend="native")
+        restored.restore(continuous.snapshot())
+        for point in points[100:]:
+            continuous.insert(point)
+            restored.insert(point)
+        _assert_same_full_states(continuous.states, restored.states)
+        assert continuous.query().radius == restored.query().radius
+
+
+# -------------------------------------------------------------- diagnostics
+
+
+class TestUpdateStats:
+    def test_counters_populated_on_every_variant(self):
+        config = _config(window=30)
+        points = _int_stream(120, seed=10)
+        for cls in (FairSlidingWindow, DimensionFreeFairSlidingWindow):
+            window = cls(config, backend="auto")
+            for point in points:
+                window.insert(point)
+            stats = window.update_stats()
+            assert stats["updates"] == len(points)
+            assert stats["guesses_visited"] > 0
+            assert 0.0 <= stats["v_prune_rate"] <= 1.0
+            assert 0.0 <= stats["c_prune_rate"] <= 1.0
+
+    def test_pruning_actually_fires_on_clustered_data(self):
+        # Tight clusters far below the largest guesses: the triangle
+        # inequality bound must skip a meaningful share of the ladder.
+        rng = random.Random(2)
+        points = [
+            Point((float(rng.randrange(4)), float(rng.randrange(4))), rng.randrange(2))
+            for _ in range(200)
+        ]
+        window = FairSlidingWindow(_config(window=40), backend="auto")
+        for point in points:
+            window.insert(point)
+        stats = window.update_stats()
+        assert stats["v_pruned"] > 0
+        assert stats["c_pruned"] > 0
