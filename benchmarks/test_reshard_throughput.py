@@ -1,0 +1,215 @@
+"""Elastic-serving figure: ingest throughput while resharding, plus the
+network round trip.
+
+Three modes over the same multi-stream workload:
+
+* ``steady_state`` — the 4-shard service ingesting with no topology
+  changes: the reference throughput;
+* ``during_rebalance`` — the same ingest with a live ``rebalance(4 → 8)``
+  fired mid-stream from another thread.  The consistent-hash ring moves
+  only ~1/2 of the streams' assignments and the migration barrier pauses
+  only those streams, so aggregate throughput over the run must stay at
+  **≥ 50% of steady state** (the PR's acceptance bar; in practice the dip
+  is far smaller because the barrier lasts milliseconds);
+* ``network_round_trip`` — the same points pushed through the asyncio TCP
+  front-end with a blocking client (framing, JSON, backpressure), followed
+  by a query fan-out and a ``/metrics`` scrape that must contain the
+  per-shard query-latency histograms.
+
+The results land in ``BENCH_reshard.json`` and are trend-gated by
+``benchmarks/check_trend.py`` like every other figure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core.config import SlidingWindowConfig
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import build_constraint
+from repro.serving import (
+    MultiStreamService,
+    ServingClient,
+    ServingConfig,
+    ServingServer,
+    WindowFactory,
+)
+
+NUM_SHARDS = 4
+GROWN_SHARDS = 8
+NUM_STREAMS = 16
+BATCH_SIZE = 64
+
+
+def _workload(scale):
+    total_points = 6_000 if scale.name == "tiny" else 12_000
+    points = load_dataset("phones", total_points, seed=1)
+    constraint = build_constraint(points)
+    window_config = SlidingWindowConfig(
+        window_size=scale.window_size,
+        constraint=constraint,
+        delta=1.0,
+    )
+    factory = WindowFactory(window_config, variant="oblivious")
+    stream_ids = [f"phones-{i}" for i in range(NUM_STREAMS)]
+    arrivals = [
+        (stream_ids[index % NUM_STREAMS], point)
+        for index, point in enumerate(points)
+    ]
+    return arrivals, stream_ids, factory
+
+
+def _service(factory, num_shards: int = NUM_SHARDS) -> MultiStreamService:
+    return MultiStreamService(
+        factory,
+        ServingConfig(
+            num_shards=num_shards,
+            batch_size=BATCH_SIZE,
+            queue_capacity=4096,
+        ),
+    )
+
+
+def _time_steady(arrivals, factory) -> float:
+    with _service(factory) as service:
+        start = time.perf_counter()
+        service.ingest_many(arrivals)
+        service.flush()
+        elapsed = time.perf_counter() - start
+        assert sum(s.ingested for s in service.stats()) == len(arrivals)
+    return elapsed
+
+
+def _time_during_rebalance(arrivals, factory) -> tuple[float, int]:
+    """Ingest with a live 4 → 8 rebalance fired once 1/4 of the points are
+    in; returns (elapsed, streams migrated)."""
+    trigger_at = len(arrivals) // 4
+    reached = threading.Event()
+    migrated = 0
+
+    with _service(factory) as service:
+
+        def grow():
+            reached.wait()
+            nonlocal migrated
+            migrated = service.rebalance(GROWN_SHARDS).migrated_streams
+
+        resharder = threading.Thread(target=grow)
+        resharder.start()
+        start = time.perf_counter()
+        for index, (stream_id, point) in enumerate(arrivals):
+            service.ingest(stream_id, point)
+            if index == trigger_at:
+                reached.set()
+        resharder.join()
+        service.flush()
+        elapsed = time.perf_counter() - start
+        stats = service.stats()
+        assert stats.reshard.reshards == 1
+        assert len(service.shards) == GROWN_SHARDS
+    return elapsed, migrated
+
+
+def _time_network(arrivals, stream_ids, factory) -> float:
+    """Full TCP round trip: batched ingest, flush, query fan-out, metrics."""
+
+    def drive(host: str, port: int) -> float:
+        with ServingClient(host, port, batch_size=256) as client:
+            start = time.perf_counter()
+            sent = client.ingest(
+                (sid, point.coords, point.color) for sid, point in arrivals
+            )
+            client.flush()
+            elapsed = time.perf_counter() - start
+            assert sent == len(arrivals)
+            fanout = client.query_all()
+            assert set(fanout["solutions"]) == set(stream_ids)
+            body = client.metrics()
+        # The per-shard query-latency histograms are the acceptance bar for
+        # the metrics surface: one populated histogram per shard.
+        for shard in range(NUM_SHARDS):
+            assert f'repro_shard_query_seconds_count{{shard="{shard}"}} 1' in body
+        assert f"repro_serving_ingested_points_total {len(arrivals)}" in body
+        return elapsed
+
+    async def main() -> float:
+        with _service(factory) as service:
+            async with ServingServer(service) as server:
+                host, port = server.address
+                return await asyncio.to_thread(drive, host, port)
+
+    return asyncio.run(main())
+
+
+@pytest.mark.benchmark(group="serving")
+def test_reshard_throughput(scale):
+    """Ingest throughput during a live reshard vs steady state, plus the
+    network front-end leg."""
+    from benchmarks.conftest import register_table
+
+    arrivals, stream_ids, factory = _workload(scale)
+    total = len(arrivals)
+
+    steady = _time_steady(arrivals, factory)
+    resharding, migrated = _time_during_rebalance(arrivals, factory)
+    network = _time_network(arrivals, stream_ids, factory)
+
+    assert migrated > 0, "the 4 -> 8 rebalance moved no streams"
+
+    steady_throughput = total / steady
+    rows = [
+        {
+            "mode": "steady_state",
+            "shards": NUM_SHARDS,
+            "streams": NUM_STREAMS,
+            "points": total,
+            "elapsed_s": round(steady, 4),
+            "points_per_sec": round(steady_throughput, 1),
+            "vs_steady": 1.0,
+            "migrated_streams": 0,
+        },
+        {
+            "mode": "during_rebalance",
+            "shards": GROWN_SHARDS,
+            "streams": NUM_STREAMS,
+            "points": total,
+            "elapsed_s": round(resharding, 4),
+            "points_per_sec": round(total / resharding, 1),
+            "vs_steady": round((total / resharding) / steady_throughput, 3),
+            "migrated_streams": migrated,
+        },
+        {
+            "mode": "network_round_trip",
+            "shards": NUM_SHARDS,
+            "streams": NUM_STREAMS,
+            "points": total,
+            "elapsed_s": round(network, 4),
+            "points_per_sec": round(total / network, 1),
+            "vs_steady": round((total / network) / steady_throughput, 3),
+            "migrated_streams": 0,
+        },
+    ]
+    register_table(
+        "reshard",
+        rows,
+        [
+            "mode",
+            "shards",
+            "streams",
+            "points",
+            "elapsed_s",
+            "points_per_sec",
+            "vs_steady",
+            "migrated_streams",
+        ],
+    )
+
+    during = next(row for row in rows if row["mode"] == "during_rebalance")
+    assert during["vs_steady"] >= 0.5, (
+        f"ingest throughput during the 4 -> {GROWN_SHARDS} rebalance dropped "
+        f"to {during['vs_steady']:.2f}x of steady state (bar: 0.5x)"
+    )

@@ -56,9 +56,13 @@ def candidate_stream(length: int, seed: int = 11) -> list[Point]:
     return points
 
 
-def main() -> None:
-    window_size = 600
-    points = candidate_stream(1800)
+def main(
+    *,
+    stream_length: int = 1800,
+    window_size: int = 600,
+    report_every: int = 400,
+) -> None:
+    points = candidate_stream(stream_length)
     # Fair panel: at most 2 representatives per group (6 seats in total).
     constraint = FairnessConstraint({"group-a": 2, "group-b": 2, "group-c": 2})
     config = SlidingWindowConfig(
@@ -76,7 +80,7 @@ def main() -> None:
         item = window.insert(point)
         fair_algo.insert(item)
         t = item.t
-        if t >= window_size and t % 400 == 0:
+        if t >= window_size and t % report_every == 0:
             window_points = window.items()
             fair_solution = fair_algo.query()
             unfair_solution = unfair.solve(window_points, constraint)

@@ -40,8 +40,12 @@ def generate_stream(length: int, seed: int = 7):
         yield make_point((x, y), color)
 
 
-def main() -> None:
-    window_size = 500
+def main(
+    *,
+    stream_length: int = 2000,
+    window_size: int = 500,
+    report_every: int = 400,
+) -> None:
     constraint = FairnessConstraint({"A": 2, "B": 2})
     config = SlidingWindowConfig(
         window_size=window_size,
@@ -60,9 +64,9 @@ def main() -> None:
     print(f"{'time':>6} {'ours radius':>12} {'baseline':>10} {'ratio':>6} "
           f"{'coreset':>8} {'memory':>7}")
 
-    for item in map(algo.insert, generate_stream(2000)):
+    for item in map(algo.insert, generate_stream(stream_length)):
         exact_window.insert(item)
-        if item.t % 400 == 0 and item.t >= window_size:
+        if item.t % report_every == 0 and item.t >= window_size:
             solution = algo.query()
             window_points = exact_window.items()
             ours_radius = evaluate_radius(solution.centers, window_points)

@@ -34,9 +34,12 @@ from repro.experiments.common import estimate_distance_bounds
 from repro.streaming import ExactSlidingWindow, InsertionOnlyFairCenter
 
 
-def main() -> None:
-    stream_length = 3000
-    window_size = 800
+def main(
+    *,
+    stream_length: int = 3000,
+    window_size: int = 800,
+    report_every: int = 500,
+) -> None:
     points = phones_surrogate(stream_length, seed=3)
 
     # Capacities proportional to activity frequencies, 14 centers in total
@@ -67,7 +70,7 @@ def main() -> None:
         oblivious.insert(item)
         insertion_only.insert(item)
 
-        if t >= window_size and t % 500 == 0:
+        if t >= window_size and t % report_every == 0:
             window_points = exact_window.items()
             reference = reference_solver.solve(window_points, constraint)
 

@@ -53,8 +53,8 @@ def measure(window_size: int, points, constraint, dmin, dmax) -> dict:
     }
 
 
-def main() -> None:
-    window_sizes = [200, 400, 800, 1600]
+def main(*, window_sizes: tuple[int, ...] = (200, 400, 800, 1600)) -> None:
+    window_sizes = list(window_sizes)
     stream = higgs_surrogate(2 * max(window_sizes), seed=5)
     constraint = build_constraint(stream, total_centers=8)
     dmin, dmax = estimate_distance_bounds(stream)

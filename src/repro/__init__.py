@@ -73,7 +73,9 @@ from .sequential import (
 from .serving import (
     AsyncMultiStreamService,
     MultiStreamService,
+    ServingClient,
     ServingConfig,
+    ServingServer,
     StreamRouter,
     WindowFactory,
 )
@@ -94,7 +96,9 @@ __all__ = [
     "MultiStreamService",
     "ObliviousFairSlidingWindow",
     "Point",
+    "ServingClient",
     "ServingConfig",
+    "ServingServer",
     "SlidingWindowBaseline",
     "SlidingWindowConfig",
     "Stream",

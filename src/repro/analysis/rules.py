@@ -56,6 +56,19 @@ _DTYPE_POSITION = {
 
 _LOCKISH = ("lock", "mutex", "sem", "cond")
 _QUEUEISH = ("queue", "_tasks", "_results")
+#: receiver names that look like raw sockets/connections; asyncio stream
+#: readers/writers are deliberately excluded (their awaitables don't block).
+_SOCKISH = ("sock", "conn")
+#: socket methods that block the calling thread until the peer acts.
+_SOCKET_BLOCKING_METHODS = (
+    "recv",
+    "recv_into",
+    "recvfrom",
+    "send",
+    "sendall",
+    "accept",
+    "connect",
+)
 
 
 def dotted_name(node: ast.AST) -> str | None:
@@ -98,11 +111,17 @@ def _blocking_reason(call: ast.Call) -> str | None:
             return "time.sleep blocks the calling thread"
         if qualified in ("open", "subprocess.run", "subprocess.check_output"):
             return f"{qualified}() performs blocking I/O"
+        if qualified == "socket.create_connection" or qualified.endswith(
+            ".socket.create_connection"
+        ):
+            return "socket.create_connection() blocks until connected"
     if isinstance(func, ast.Attribute):
         attr = func.attr
         receiver = _receiver_name(func)
         if attr == "acquire" and _name_contains(receiver, _LOCKISH):
             return f"{receiver}.acquire() can block"
+        if attr in _SOCKET_BLOCKING_METHODS and _name_contains(receiver, _SOCKISH):
+            return f"{receiver}.{attr}() blocks on socket I/O"
         if attr in ("get", "put", "join") and _name_contains(receiver, _QUEUEISH):
             for keyword in call.keywords:
                 if (

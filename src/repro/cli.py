@@ -8,6 +8,7 @@ Installed as ``repro-experiments`` (see ``pyproject.toml``).  Examples::
     repro-experiments ablation-solver --dataset higgs
     repro-experiments sweep --figure 4 --figure 5 --quick
     repro-experiments serve --streams 16 --shards 4
+    repro-experiments serve --shards 4 --listen 127.0.0.1:7431
     repro-experiments ingest --streams 16 --shards 4 --workers process
     repro-experiments analyze src tests benchmarks
     repro-experiments analyze --select RPR002,RPR007 --format json src
@@ -242,15 +243,28 @@ def build_parser() -> argparse.ArgumentParser:
             "disables the cache)",
         )
         sub.add_argument("--seed", type=int, default=0, help="random seed")
+        if name == "serve":
+            sub.add_argument(
+                "--listen",
+                default=None,
+                metavar="HOST:PORT",
+                help="expose the service on a TCP port instead of running the "
+                "local replay demo (port 0 picks a free one; the bound "
+                "address is printed as 'serving on HOST:PORT'); speaks the "
+                "length-prefixed JSON protocol of "
+                "docs/architecture/serving-network.md and serves Prometheus "
+                "text on GET /metrics",
+            )
     return parser
 
 
-def _run_serving(args: argparse.Namespace, with_queries: bool) -> int:
-    """Drive the serving layer over a dataset replayed as many streams."""
+def _serving_setup(args: argparse.Namespace) -> tuple[list, object, object]:
+    """Dataset points, window factory and serving config shared by the
+    ``serve``/``ingest`` replay demo and the ``serve --listen`` server."""
     from .datasets.registry import load_dataset
     from .experiments.common import estimate_distance_bounds, build_constraint
     from .core.config import SlidingWindowConfig
-    from .serving import MultiStreamService, ServingConfig, WindowFactory
+    from .serving import ServingConfig, WindowFactory
 
     points = load_dataset(args.dataset, args.points, seed=args.seed)
     constraint = build_constraint(points)
@@ -273,6 +287,76 @@ def _run_serving(args: argparse.Namespace, with_queries: bool) -> int:
         idle_ttl=args.idle_ttl,
         revive_cache=args.revive_cache,
     )
+    return points, factory, serving_config
+
+
+def _parse_listen(listen: str) -> tuple[str, int]:
+    host, _, port_text = listen.rpartition(":")
+    if not host or not port_text:
+        raise ValueError(f"--listen expects HOST:PORT, got {listen!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"--listen port must be an integer, got {port_text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--listen port out of range: {port}")
+    return host, port
+
+
+def _run_network_serve(args: argparse.Namespace) -> int:
+    """Expose the serving layer on a TCP port until interrupted."""
+    import asyncio
+    import signal
+
+    from .serving import AsyncMultiStreamService, MultiStreamService, ServingServer
+
+    host, port = _parse_listen(args.listen)
+    _, factory, serving_config = _serving_setup(args)
+
+    async def _serve() -> None:
+        # SIGINT and SIGTERM (systemd/container stop) both request a
+        # graceful drain, delivered at a safe point on the event loop
+        # rather than mid-bytecode like a raw signal handler would be.
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        handled: list[int] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-Unix loops
+                continue
+            handled.append(signum)
+        try:
+            service = MultiStreamService(factory, serving_config)
+            async with AsyncMultiStreamService(service=service) as async_service:
+                async with ServingServer(
+                    async_service, host=host, port=port
+                ) as server:
+                    bound_host, bound_port = server.address
+                    print(f"serving on {bound_host}:{bound_port}", flush=True)
+                    if handled:
+                        await stop.wait()
+                        print("interrupted; shutting down", file=sys.stderr)
+                    else:  # pragma: no cover - non-Unix loops
+                        await server.serve_forever()
+        finally:
+            for signum in handled:
+                loop.remove_signal_handler(signum)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def _run_serving(args: argparse.Namespace, with_queries: bool) -> int:
+    """Drive the serving layer over a dataset replayed as many streams."""
+    from .serving import MultiStreamService
+
+    points, factory, serving_config = _serving_setup(args)
     stream_ids = [f"{args.dataset}-{i}" for i in range(args.streams)]
     arrivals = [
         (stream_ids[index % args.streams], point)
@@ -487,6 +571,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_sweep(args)
 
     if args.command in ("serve", "ingest"):
+        if args.command == "serve" and args.listen is not None:
+            return _run_network_serve(args)
         return _run_serving(args, with_queries=args.command == "serve")
 
     rows = _run_command(args)

@@ -3,35 +3,52 @@
 The reproduction's algorithms process one stream per instance; this package
 serves *many* independent streams from one deployment:
 
-* :class:`~repro.serving.router.StreamRouter` — stable hashing of stream
-  ids onto N shards;
+* :class:`~repro.serving.router.StreamRouter` — stable placement of stream
+  ids onto N shards via the consistent-hash ring of
+  :mod:`repro.serving.ring` (resizing the shard set moves only ~1/n of
+  the streams);
 * :class:`~repro.serving.shard.ShardWorker` /
   :class:`~repro.serving.shard.ProcessShardWorker` — per-shard bounded
   ingest queues drained in batches into per-stream windows (threads by
   default, one OS process per shard for CPU-bound scaling);
 * :class:`~repro.serving.service.MultiStreamService` — the façade: ingest
-  with backpressure, query fan-out with per-shard latency stats, plus the
-  stateful lifecycle: ``snapshot_to`` / ``restore`` checkpointing and
-  idle-stream TTL eviction (``idle_ttl`` / ``evict_idle``);
+  with backpressure, query fan-out with per-shard latency stats, live
+  resharding via ``rebalance(n_shards)`` (drain barrier per migrating
+  stream, never stop-the-world), plus the stateful lifecycle:
+  ``snapshot_to`` / ``restore`` checkpointing and idle-stream TTL
+  eviction (``idle_ttl`` / ``evict_idle``);
 * :class:`~repro.serving.async_service.AsyncMultiStreamService` — asyncio
   front-end with awaitable backpressure (full queues suspend the awaiting
   coroutine instead of raising);
+* :class:`~repro.serving.net.ServingServer` /
+  :class:`~repro.serving.client.ServingClient` — asyncio TCP transport
+  speaking the length-prefixed JSON protocol of
+  ``docs/architecture/serving-network.md``, with a Prometheus-text
+  ``/metrics`` endpoint (:mod:`repro.serving.metrics`);
 * :class:`~repro.serving.factory.WindowFactory` — picklable per-stream
   window construction for any of the three algorithm variants.
 
 See ``repro.cli serve`` / ``repro.cli ingest`` for a runnable demo
-(``--checkpoint-dir`` / ``--idle-ttl`` exercise the lifecycle) and
-``benchmarks/test_serving_throughput.py`` for the throughput figure.
+(``--listen`` exposes the network front-end, ``--checkpoint-dir`` /
+``--idle-ttl`` exercise the lifecycle) and
+``benchmarks/test_serving_throughput.py`` /
+``benchmarks/test_reshard_throughput.py`` for the throughput figures.
 """
 
 from .async_service import AsyncMultiStreamService
+from .client import ServingClient, ServingError
 from .factory import VARIANTS, WindowFactory
+from .metrics import MetricsRegistry
+from .net import ServingServer
+from .ring import DEFAULT_VNODES, HashRing
 from .router import StreamRouter
 from .service import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
     FanoutResult,
     MultiStreamService,
+    ReshardStats,
+    ServiceStats,
     ServingConfig,
     ShardQueryStats,
 )
@@ -46,11 +63,19 @@ __all__ = [
     "AsyncMultiStreamService",
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "DEFAULT_VNODES",
     "FanoutResult",
+    "HashRing",
     "IngestQueueFull",
+    "MetricsRegistry",
     "MultiStreamService",
     "ProcessShardWorker",
+    "ReshardStats",
+    "ServiceStats",
+    "ServingClient",
     "ServingConfig",
+    "ServingError",
+    "ServingServer",
     "ShardQueryStats",
     "ShardStats",
     "ShardWorker",

@@ -39,8 +39,14 @@ from typing import Iterable
 from ..core.geometry import Point, StreamItem
 from ..core.solution import ClusteringSolution
 from .router import StreamRouter
-from .service import FanoutResult, MultiStreamService, ServingConfig
-from .shard import IngestQueueFull, ShardStats, WindowFactoryFn
+from .service import (
+    FanoutResult,
+    MultiStreamService,
+    ReshardStats,
+    ServiceStats,
+    ServingConfig,
+)
+from .shard import IngestQueueFull, WindowFactoryFn
 
 logger = logging.getLogger(__name__)
 
@@ -142,7 +148,8 @@ class AsyncMultiStreamService:
                         pass
                 delay = min(delay * 2.0, _MAX_RETRY_DELAY)
                 continue
-            if result != shard_index:  # pragma: no cover - router is stable
+            if result != shard_index:
+                # A rebalance re-routed the stream while we were waiting.
                 shard_index = result
             async with condition:
                 condition.notify_all()
@@ -184,9 +191,18 @@ class AsyncMultiStreamService:
         """Checkpoint the whole service into ``directory``."""
         return await asyncio.to_thread(self._service.snapshot_to, directory)
 
-    async def stats(self) -> list[ShardStats]:
+    async def stats(self) -> ServiceStats:
         """Ingest counters of every shard (a round trip for process shards)."""
         return await asyncio.to_thread(self._service.stats)
+
+    async def rebalance(self, n_shards: int) -> ReshardStats:
+        """Live-reshard to ``n_shards`` (see the sync service).
+
+        Runs in a worker thread: ingest coroutines keep running throughout —
+        arrivals for a stream inside its migration window simply take the
+        same awaitable-backpressure path as a full shard queue.
+        """
+        return await asyncio.to_thread(self._service.rebalance, n_shards)
 
     async def close(self) -> None:
         """Stop every shard worker; surfaces recorded drain failures."""

@@ -1,0 +1,204 @@
+"""Blocking TCP client for the serving network protocol.
+
+:class:`ServingClient` is the reference implementation of the wire contract
+in ``docs/architecture/serving-network.md``: length-prefixed JSON frames
+over one TCP connection, one response per request.  It is deliberately
+synchronous — operator scripts, tests and load generators drive it from
+plain threads; the *server* side is where concurrency lives.
+
+Typical use::
+
+    from repro.serving.client import ServingClient
+
+    with ServingClient("127.0.0.1", 7431) as client:
+        client.ingest([("sensor-1", [0.2, 0.7], "a"),
+                       ("sensor-2", [0.9, 0.1], "b")])
+        client.flush()
+        solution = client.query("sensor-1")
+        print(solution["radius"], len(solution["centers"]))
+        print(client.metrics())   # Prometheus text, separate connection
+
+Errors come back as :class:`ServingError` carrying the wire error code
+(``2`` protocol/usage, ``1`` operational — the CLI exit contract).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from types import TracebackType
+from typing import Iterable, Sequence
+
+from ..core.geometry import Color
+
+#: How many ingest items travel per frame by default.  Large enough to
+#: amortise framing, small enough that one frame's backpressure wait stays
+#: responsive.
+DEFAULT_BATCH_SIZE = 256
+
+
+class ServingError(RuntimeError):
+    """An error response from the server (``code`` follows the CLI contract)."""
+
+    def __init__(self, message: str, *, code: int) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServingClient:
+    """One blocking connection to a :class:`~repro.serving.net.ServingServer`.
+
+    Not thread-safe: frames interleave on the socket, so give each thread
+    its own client.  The connection is opened eagerly in the constructor
+    and closed by :meth:`close` / the context manager.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.host = host
+        self.port = port
+        self._timeout = timeout
+        self._batch_size = batch_size
+        self._sock: socket.socket | None = socket.create_connection(
+            (host, port), timeout=timeout
+        )
+
+    # ------------------------------------------------------------------ plumbing
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def _socket(self) -> socket.socket:
+        if self._sock is None:
+            raise ServingError("client is closed", code=2)
+        return self._sock
+
+    def _recv_exactly(self, count: int) -> bytes:
+        sock = self._socket()
+        chunks = bytearray()
+        while len(chunks) < count:
+            chunk = sock.recv(count - len(chunks))
+            if not chunk:
+                raise ConnectionError(
+                    "server closed the connection mid-response"
+                )
+            chunks.extend(chunk)
+        return bytes(chunks)
+
+    def _request(self, payload: dict) -> dict:
+        data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self._socket().sendall(len(data).to_bytes(4, "big") + data)
+        length = int.from_bytes(self._recv_exactly(4), "big")
+        response = json.loads(self._recv_exactly(length))
+        if not isinstance(response, dict):
+            raise ServingError("server sent a non-object response", code=1)
+        if not response.get("ok"):
+            raise ServingError(
+                str(response.get("error", "unspecified server error")),
+                code=int(response.get("code", 1)),
+            )
+        return response
+
+    # ---------------------------------------------------------------- operations
+
+    def ping(self) -> None:
+        """Round-trip liveness check."""
+        self._request({"op": "ping"})
+
+    def ingest(
+        self, arrivals: Iterable[tuple[str, Sequence[float], Color]]
+    ) -> int:
+        """Send ``(stream_id, coords, color)`` arrivals; returns the count.
+
+        Arrivals are framed in batches of the client's ``batch_size``; the
+        server acknowledges each batch only once every point has been
+        admitted past shard backpressure, so a completed call means the
+        data is queued (call :meth:`flush` to wait until it is *applied*).
+        """
+        total = 0
+        batch: list[list] = []
+        for stream_id, coords, color in arrivals:
+            batch.append([stream_id, list(coords), color])
+            if len(batch) >= self._batch_size:
+                response = self._request({"op": "ingest", "items": batch})
+                total += int(response["ingested"])
+                batch = []
+        if batch:
+            response = self._request({"op": "ingest", "items": batch})
+            total += int(response["ingested"])
+        return total
+
+    def flush(self) -> None:
+        """Block until every ingested point has been applied to its window."""
+        self._request({"op": "flush"})
+
+    def query(self, stream_id: str) -> dict:
+        """Solution for one stream: ``{"centers", "radius", "guess", ...}``."""
+        return self._request({"op": "query", "stream_id": stream_id})["solution"]
+
+    def query_all(self) -> dict:
+        """All live streams' solutions plus per-shard latency legs."""
+        response = self._request({"op": "query_all"})
+        return {
+            "solutions": response["solutions"],
+            "per_shard": response["per_shard"],
+        }
+
+    def stats(self) -> dict:
+        """Per-shard counters and the reshard summary, as plain dicts."""
+        response = self._request({"op": "stats"})
+        return {"shards": response["shards"], "reshard": response["reshard"]}
+
+    def rebalance(self, n_shards: int) -> dict:
+        """Live-reshard the service to ``n_shards``; returns the summary."""
+        return self._request({"op": "rebalance", "shards": n_shards})["reshard"]
+
+    # ------------------------------------------------------------------- metrics
+
+    def metrics(self) -> str:
+        """Fetch the Prometheus text payload from ``/metrics``.
+
+        Uses a fresh one-shot connection (the serving protocol and HTTP
+        share the port; the server sniffs per connection), so it works
+        even while this client's own connection is mid-stream.
+        """
+        with socket.create_connection(
+            (self.host, self.port), timeout=self._timeout
+        ) as sock:
+            sock.sendall(b"GET /metrics HTTP/1.0\r\nHost: repro\r\n\r\n")
+            chunks = bytearray()
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.extend(chunk)
+        payload = bytes(chunks).decode("utf-8", "replace")
+        head, _, body = payload.partition("\r\n\r\n")
+        status_line = head.splitlines()[0] if head else ""
+        if " 200 " not in f"{status_line} ":
+            raise ServingError(
+                f"metrics endpoint answered {status_line!r}", code=1
+            )
+        return body

@@ -1,0 +1,271 @@
+"""Dependency-free Prometheus-text metrics for the serving front-end.
+
+The network server (:mod:`repro.serving.net`) exposes a ``/metrics``
+endpoint in the `Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_.  The
+container ships no ``prometheus_client``, and the subset the serving layer
+needs — counters, gauges and histograms with a handful of labels — is small
+enough to implement directly: a :class:`MetricsRegistry` owns the metric
+families and renders them; :class:`Counter` / :class:`Gauge` /
+:class:`Histogram` hold the samples.
+
+Every operation is a dict update under one short-lived lock, so metrics can
+be recorded from the event loop, the shard worker threads and a rebalance
+thread alike without ever blocking anything for long (rule RPR004 budget:
+no I/O and no waits happen under the lock).
+
+``docs/operations.md`` documents every series the server exports.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping
+
+#: Default latency buckets (seconds).  Ingest submits are sub-millisecond,
+#: fan-out queries on large windows reach seconds; the grid covers both.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+_LabelKey = tuple[str, ...]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(names: tuple[str, ...], values: _LabelKey) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared bookkeeping of one metric family (name, help, labels)."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: tuple[str, ...], lock: threading.Lock
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = labelnames
+        self._lock = lock
+
+    def _key(self, labels: Mapping[str, object]) -> _LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> list[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing value per label combination."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: tuple[str, ...], lock: threading.Lock
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_total(self, value: float, **labels: object) -> None:
+        """Mirror an external cumulative counter (scrape-time sampling).
+
+        The serving layer's own per-shard counters (points ingested,
+        evictions, …) live in the shard workers; the server samples them
+        at ``/metrics`` scrape time rather than double-counting.  The
+        source must be monotone for the series to stay a valid counter.
+        """
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = max(self._values.get(key, 0.0), float(value))
+
+    def render(self) -> list[str]:
+        with self._lock:
+            samples = sorted(self._values.items())
+        lines = self._header()
+        for key, value in samples:
+            lines.append(
+                f"{self.name}{_render_labels(self.labelnames, key)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depths, stream counts)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help_text: str, labelnames: tuple[str, ...], lock: threading.Lock
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            samples = sorted(self._values.items())
+        lines = self._header()
+        for key, value in samples:
+            lines.append(
+                f"{self.name}{_render_labels(self.labelnames, key)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus ``le`` convention)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        lock: threading.Lock,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"buckets must be sorted and non-empty, got {buckets}")
+        self.buckets = tuple(float(b) for b in buckets)
+        # Per label key: per-bucket counts (non-cumulative), total count, sum.
+        self._counts: dict[_LabelKey, list[int]] = {}
+        self._sums: dict[_LabelKey, float] = {}
+        self._totals: dict[_LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+            slot = len(self.buckets)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    slot = index
+                    break
+            counts[slot] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + float(value)
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def render(self) -> list[str]:
+        with self._lock:
+            samples = sorted(
+                (key, list(counts), self._sums[key], self._totals[key])
+                for key, counts in self._counts.items()
+            )
+        lines = self._header()
+        bucket_names = self.labelnames + ("le",)
+        for key, counts, total_sum, total in samples:
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                labels = _render_labels(bucket_names, key + (_format_value(bound),))
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = _render_labels(bucket_names, key + ("+Inf",))
+            lines.append(f"{self.name}_bucket{labels} {total}")
+            plain = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(total_sum)}")
+            lines.append(f"{self.name}_count{plain} {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """Owns metric families and renders the ``/metrics`` payload."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> None:
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} is already registered")
+        self._metrics[metric.name] = metric
+
+    def counter(
+        self, name: str, help_text: str, labelnames: Iterable[str] = ()
+    ) -> Counter:
+        metric = Counter(name, help_text, tuple(labelnames), self._lock)
+        self._register(metric)
+        return metric
+
+    def gauge(
+        self, name: str, help_text: str, labelnames: Iterable[str] = ()
+    ) -> Gauge:
+        metric = Gauge(name, help_text, tuple(labelnames), self._lock)
+        self._register(metric)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Iterable[str] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = Histogram(name, help_text, tuple(labelnames), self._lock, buckets)
+        self._register(metric)
+        return metric
+
+    def render(self) -> str:
+        """The full Prometheus text payload (families in registration order)."""
+        lines: list[str] = []
+        for metric in self._metrics.values():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

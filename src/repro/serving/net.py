@@ -1,0 +1,490 @@
+"""Asyncio TCP front-end: the serving layer as a network service.
+
+:class:`ServingServer` listens on one TCP port and speaks two protocols,
+sniffed from the first four bytes of each connection:
+
+* the **serving protocol** — length-prefixed JSON frames (a 4-byte
+  big-endian payload length followed by one UTF-8 JSON object) carrying
+  ``ingest`` / ``flush`` / ``query`` / ``query_all`` / ``stats`` /
+  ``rebalance`` / ``ping`` operations.  The full wire contract (framing,
+  op schemas, error codes) is specified in
+  ``docs/architecture/serving-network.md``.
+* **HTTP GET** (first bytes ``b"GET "``) — a minimal one-shot responder
+  for ``/metrics``, returning the Prometheus text payload of
+  :mod:`repro.serving.metrics`; anything else is a 404.  The connection
+  closes after the response.
+
+Backpressure is per connection: an ``ingest`` frame's points are awaited
+one by one against :meth:`AsyncMultiStreamService.ingest` — whose awaitable
+backpressure parks the coroutine while a shard queue (or a migrating
+stream's drain barrier) is full — and the next frame is not read until the
+batch has been admitted, so a fast client cannot outrun the shards: unread
+frames accumulate in the kernel socket buffer and TCP flow control pushes
+back to the sender.
+
+Error codes mirror the CLI exit contract tree-wide: ``2`` for protocol /
+usage errors (malformed frame, unknown op, bad arguments), ``1`` for
+operational failures (unknown stream, rebalance already running, worker
+failures).  Responses always carry ``"ok"``; error responses add
+``"code"`` and ``"error"``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from dataclasses import asdict
+from types import TracebackType
+from typing import Awaitable, Callable
+
+from ..core.geometry import Point
+from ..core.solution import ClusteringSolution
+from .async_service import AsyncMultiStreamService
+from .metrics import MetricsRegistry
+from .service import MultiStreamService
+
+logger = logging.getLogger(__name__)
+
+#: Upper bound on one frame's payload, bytes.  Large enough for generous
+#: ingest batches, small enough that a corrupt length prefix cannot make
+#: the server allocate gigabytes.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Error codes of the wire protocol (the CLI exit contract, reused).
+ERR_OPERATIONAL = 1
+ERR_PROTOCOL = 2
+
+_HTTP_SNIFF = b"GET "
+
+
+class _ProtocolError(ValueError):
+    """A malformed or unsupported request (wire error code 2)."""
+
+
+def _solution_payload(solution: ClusteringSolution) -> dict:
+    """JSON-safe rendering of one clustering solution."""
+    radius = solution.radius
+    return {
+        "centers": [
+            {"coords": list(center.coords), "color": center.color}
+            for center in solution.centers
+        ],
+        "radius": None if radius != radius else radius,  # NaN -> null
+        "guess": solution.guess,
+        "coreset_size": solution.coreset_size,
+    }
+
+
+def _parse_points(items: object) -> list[tuple[str, Point]]:
+    """Decode an ingest frame's ``items`` into ``(stream_id, Point)`` pairs."""
+    if not isinstance(items, list):
+        raise _ProtocolError("ingest needs a list under 'items'")
+    arrivals: list[tuple[str, Point]] = []
+    for entry in items:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise _ProtocolError(
+                "each ingest item must be [stream_id, [coords...], color]"
+            )
+        stream_id, coords, color = entry
+        if not isinstance(stream_id, str) or not stream_id:
+            raise _ProtocolError("ingest item stream_id must be a non-empty string")
+        if not isinstance(coords, (list, tuple)) or not coords:
+            raise _ProtocolError("ingest item coords must be a non-empty list")
+        try:
+            point = Point(tuple(float(c) for c in coords), color)
+        except (TypeError, ValueError) as exc:
+            raise _ProtocolError(f"bad ingest coordinates: {exc}") from exc
+        arrivals.append((stream_id, point))
+    return arrivals
+
+
+class ServingServer:
+    """One TCP listener in front of a (wrapped) :class:`MultiStreamService`.
+
+    Parameters
+    ----------
+    service:
+        The service to expose — either an
+        :class:`~repro.serving.async_service.AsyncMultiStreamService` or a
+        plain :class:`~repro.serving.service.MultiStreamService` (wrapped
+        automatically).  The server does not own the service's lifecycle:
+        close the service yourself (or construct both inside the same
+        ``async with`` stack, as the CLI does).
+    host / port:
+        Listen address.  ``port=0`` picks a free port; read the bound
+        address back from :attr:`address` after :meth:`start`.
+    max_frame_bytes:
+        Reject frames larger than this with a code-2 error.
+    """
+
+    def __init__(
+        self,
+        service: AsyncMultiStreamService | MultiStreamService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        if isinstance(service, MultiStreamService):
+            service = AsyncMultiStreamService(service=service)
+        self._service = service
+        self._host = host
+        self._port = port
+        self._max_frame_bytes = max_frame_bytes
+        self._server: asyncio.AbstractServer | None = None
+        self._open_connections = 0
+
+        self.registry = MetricsRegistry()
+        self._requests_total = self.registry.counter(
+            "repro_serving_requests_total",
+            "Requests handled, by operation (errors included).",
+            ("op",),
+        )
+        self._errors_total = self.registry.counter(
+            "repro_serving_errors_total",
+            "Error responses, by operation and wire error code.",
+            ("op", "code"),
+        )
+        self._request_seconds = self.registry.histogram(
+            "repro_serving_request_seconds",
+            "Request handling latency by operation, seconds "
+            "(ingest includes backpressure waits).",
+            ("op",),
+        )
+        self._ingested_total = self.registry.counter(
+            "repro_serving_ingested_points_total",
+            "Points admitted through the network ingest op.",
+        )
+        self._connections_total = self.registry.counter(
+            "repro_serving_connections_total",
+            "TCP connections accepted (serving protocol and HTTP alike).",
+        )
+        self._open_gauge = self.registry.gauge(
+            "repro_serving_open_connections",
+            "Currently open TCP connections.",
+        )
+        self._shard_query_seconds = self.registry.histogram(
+            "repro_shard_query_seconds",
+            "Per-shard leg latency of query_all fan-outs, seconds.",
+            ("shard",),
+        )
+        self._shard_streams = self.registry.gauge(
+            "repro_shard_streams",
+            "Live streams per shard (sampled at scrape time).",
+            ("shard",),
+        )
+        self._shard_queue_depth = self.registry.gauge(
+            "repro_shard_queue_depth",
+            "Queued arrivals per shard (sampled at scrape time).",
+            ("shard",),
+        )
+        self._shard_ingested = self.registry.counter(
+            "repro_shard_ingested_points_total",
+            "Points applied per shard since service start (sampled).",
+            ("shard",),
+        )
+        self._shard_evictions = self.registry.counter(
+            "repro_shard_evictions_total",
+            "Idle-stream evictions per shard since service start (sampled).",
+            ("shard",),
+        )
+        self._shard_revivals = self.registry.counter(
+            "repro_shard_cache_revivals_total",
+            "Revivals served from the revive cache per shard (sampled).",
+            ("shard",),
+        )
+        self._reshard_total = self.registry.counter(
+            "repro_reshard_total",
+            "Completed rebalances since service start (sampled).",
+        )
+        self._reshard_migrated = self.registry.counter(
+            "repro_reshard_migrated_streams_total",
+            "Streams migrated across all rebalances (sampled).",
+        )
+        self._reshard_in_progress = self.registry.gauge(
+            "repro_reshard_in_progress",
+            "Whether a rebalance is running right now (0 or 1).",
+        )
+        self._reshard_shards = self.registry.gauge(
+            "repro_serving_shards",
+            "Current shard count of the service.",
+        )
+        self._reshard_duration = self.registry.gauge(
+            "repro_reshard_last_duration_seconds",
+            "Wall time of the most recent completed rebalance.",
+        )
+
+        self._handlers: dict[str, Callable[[dict], Awaitable[dict]]] = {
+            "ping": self._op_ping,
+            "ingest": self._op_ingest,
+            "flush": self._op_flush,
+            "query": self._op_query,
+            "query_all": self._op_query_all,
+            "stats": self._op_stats,
+            "rebalance": self._op_rebalance,
+        }
+
+    # ---------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._port = int(sockname[1])
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        return self._host, self._port
+
+    async def serve_forever(self) -> None:
+        """Accept connections until cancelled (call :meth:`start` first)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting and release the listening socket (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def __aenter__(self) -> "ServingServer":
+        await self.start()
+        return self
+
+    async def __aexit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        await self.close()
+
+    # --------------------------------------------------------------- connection
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections_total.inc()
+        self._open_connections += 1
+        self._open_gauge.set(self._open_connections)
+        try:
+            try:
+                sniff = await reader.readexactly(4)
+            except asyncio.IncompleteReadError:
+                return  # connected and hung up without a full header
+            if sniff == _HTTP_SNIFF:
+                await self._serve_http(reader, writer)
+            else:
+                await self._serve_frames(sniff, reader, writer)
+        except (ConnectionResetError, BrokenPipeError, TimeoutError) as exc:
+            logger.debug("connection dropped: %s", exc)
+        except Exception:
+            logger.exception("unhandled error in connection handler")
+        finally:
+            self._open_connections -= 1
+            self._open_gauge.set(self._open_connections)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError) as exc:
+                logger.debug("close raced a connection drop: %s", exc)
+
+    async def _serve_frames(
+        self,
+        header: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            length = int.from_bytes(header, "big")
+            if length == 0 or length > self._max_frame_bytes:
+                await self._write_frame(
+                    writer,
+                    {
+                        "ok": False,
+                        "code": ERR_PROTOCOL,
+                        "error": f"frame length {length} outside "
+                        f"(0, {self._max_frame_bytes}]",
+                    },
+                )
+                return  # framing is broken; resynchronising is impossible
+            try:
+                payload = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                logger.debug("client hung up mid-frame")
+                return
+            response = await self._dispatch(payload)
+            await self._write_frame(writer, response)
+            try:
+                header = await reader.readexactly(4)
+            except asyncio.IncompleteReadError:
+                return  # clean disconnect between frames
+
+    @staticmethod
+    async def _write_frame(writer: asyncio.StreamWriter, response: dict) -> None:
+        data = json.dumps(response, separators=(",", ":")).encode("utf-8")
+        writer.write(len(data).to_bytes(4, "big") + data)
+        await writer.drain()
+
+    async def _dispatch(self, payload: bytes) -> dict:
+        op = "invalid"
+        started = time.perf_counter()
+        try:
+            try:
+                request = json.loads(payload)
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise _ProtocolError(f"frame is not valid JSON: {exc}") from exc
+            if not isinstance(request, dict):
+                raise _ProtocolError("frame must be a JSON object")
+            requested_op = request.get("op")
+            if not isinstance(requested_op, str):
+                raise _ProtocolError("frame needs a string 'op' field")
+            handler = self._handlers.get(requested_op)
+            if handler is None:
+                raise _ProtocolError(
+                    f"unknown op {requested_op!r}; expected one of "
+                    f"{', '.join(sorted(self._handlers))}"
+                )
+            op = requested_op
+            response = await handler(request)
+            response["ok"] = True
+            return response
+        except _ProtocolError as exc:
+            self._errors_total.inc(op=op, code=ERR_PROTOCOL)
+            return {"ok": False, "code": ERR_PROTOCOL, "error": str(exc)}
+        except (KeyError, RuntimeError) as exc:
+            # Unknown stream, rebalance already running, worker failure:
+            # the connection survives, the client decides what to do.
+            message = exc.args[0] if exc.args else str(exc)
+            self._errors_total.inc(op=op, code=ERR_OPERATIONAL)
+            return {"ok": False, "code": ERR_OPERATIONAL, "error": str(message)}
+        except ValueError as exc:
+            self._errors_total.inc(op=op, code=ERR_PROTOCOL)
+            return {"ok": False, "code": ERR_PROTOCOL, "error": str(exc)}
+        except Exception as exc:
+            logger.exception("internal error handling op %r", op)
+            self._errors_total.inc(op=op, code=ERR_OPERATIONAL)
+            return {
+                "ok": False,
+                "code": ERR_OPERATIONAL,
+                "error": f"internal error: {exc}",
+            }
+        finally:
+            self._requests_total.inc(op=op)
+            self._request_seconds.observe(time.perf_counter() - started, op=op)
+
+    # --------------------------------------------------------------- operations
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {"op": "ping"}
+
+    async def _op_ingest(self, request: dict) -> dict:
+        arrivals = _parse_points(request.get("items"))
+        # Awaiting per point maps shard backpressure onto this connection:
+        # the next frame is not read until the whole batch is admitted.
+        for stream_id, point in arrivals:
+            await self._service.ingest(stream_id, point)
+        self._ingested_total.inc(len(arrivals))
+        return {"ingested": len(arrivals)}
+
+    async def _op_flush(self, request: dict) -> dict:
+        await self._service.flush()
+        return {"flushed": True}
+
+    async def _op_query(self, request: dict) -> dict:
+        stream_id = request.get("stream_id")
+        if not isinstance(stream_id, str) or not stream_id:
+            raise _ProtocolError("query needs a non-empty string 'stream_id'")
+        solution = await self._service.query(stream_id)
+        return {"stream_id": stream_id, "solution": _solution_payload(solution)}
+
+    async def _op_query_all(self, request: dict) -> dict:
+        fanout = await self._service.query_all()
+        per_shard = []
+        for leg in fanout.per_shard:
+            self._shard_query_seconds.observe(leg.elapsed_ms / 1000.0, shard=leg.shard)
+            per_shard.append(
+                {
+                    "shard": leg.shard,
+                    "streams": leg.streams,
+                    "query_ms": leg.elapsed_ms,
+                }
+            )
+        return {
+            "solutions": {
+                stream_id: _solution_payload(solution)
+                for stream_id, solution in fanout.solutions.items()
+            },
+            "per_shard": per_shard,
+        }
+
+    async def _op_stats(self, request: dict) -> dict:
+        stats = await self._service.stats()
+        return {
+            "shards": [asdict(shard) for shard in stats],
+            "reshard": asdict(stats.reshard),
+        }
+
+    async def _op_rebalance(self, request: dict) -> dict:
+        shards = request.get("shards")
+        if not isinstance(shards, int) or isinstance(shards, bool):
+            raise _ProtocolError("rebalance needs an integer 'shards' field")
+        summary = await self._service.rebalance(shards)
+        return {"reshard": asdict(summary)}
+
+    # ------------------------------------------------------------------ metrics
+
+    async def _serve_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One-shot HTTP responder (``GET `` already consumed by the sniff)."""
+        try:
+            rest = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            logger.debug("malformed HTTP request: %s", exc)
+            return
+        target = rest.split(b" ", 1)[0].decode("latin-1", "replace")
+        if target == "/metrics":
+            body = (await self._render_metrics()).encode("utf-8")
+            status = b"HTTP/1.0 200 OK"
+            content_type = b"text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = f"no such resource: {target}\n".encode("utf-8")
+            status = b"HTTP/1.0 404 Not Found"
+            content_type = b"text/plain; charset=utf-8"
+        writer.write(
+            status
+            + b"\r\nContent-Type: "
+            + content_type
+            + b"\r\nContent-Length: "
+            + str(len(body)).encode("ascii")
+            + b"\r\nConnection: close\r\n\r\n"
+            + body
+        )
+        await writer.drain()
+
+    async def _render_metrics(self) -> str:
+        """Sample the service counters into the registry, then render."""
+        stats = await self._service.stats()
+        for shard in stats:
+            self._shard_streams.set(shard.streams, shard=shard.shard)
+            self._shard_queue_depth.set(shard.queue_depth, shard=shard.shard)
+            self._shard_ingested.set_total(shard.ingested, shard=shard.shard)
+            self._shard_evictions.set_total(shard.evicted, shard=shard.shard)
+            self._shard_revivals.set_total(shard.cache_revivals, shard=shard.shard)
+        reshard = stats.reshard
+        self._reshard_total.set_total(reshard.reshards)
+        self._reshard_migrated.set_total(reshard.migrated_streams_total)
+        self._reshard_in_progress.set(1.0 if reshard.in_progress else 0.0)
+        self._reshard_shards.set(len(stats))
+        self._reshard_duration.set(reshard.elapsed_s)
+        return self.registry.render()

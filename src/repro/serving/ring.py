@@ -1,0 +1,112 @@
+"""Consistent-hash ring: stable stream placement under topology changes.
+
+The original router hashed ``crc32(stream_id) % num_shards``.  Modulo
+placement is stable for a *fixed* shard count but catastrophically unstable
+under resharding: going from ``n`` to ``n + 1`` shards reassigns roughly
+``n / (n + 1)`` of all streams, which would force the rebalance machinery to
+migrate nearly every window in the deployment.  A consistent-hash ring
+reduces that to the theoretical minimum: each shard owns a set of *virtual
+nodes* (points on a 64-bit hash circle), a stream belongs to the first
+virtual node at or after its own hash, and adding or removing one shard
+only moves the streams that fall inside the added/removed virtual nodes'
+arcs — an expected ``1 / n`` fraction of all streams.
+
+Determinism matters as much as stability: shard files of a checkpoint are
+keyed by placement, and thread/process workers must agree on ownership
+across processes and runs.  All hashing therefore goes through
+:func:`stable_hash` — ``blake2b`` over UTF-8 bytes, no process salt — and
+the vnode count is part of the placement contract (two rings agree on
+placement only when built with the same ``vnodes``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+#: Default number of virtual nodes per shard.  128 keeps the maximum
+#: per-shard load imbalance under ~15% for realistic stream populations
+#: while the ring stays small enough (n_shards × 128 entries) that a
+#: lookup is one 64-bit hash plus one bisect.
+DEFAULT_VNODES = 128
+
+
+def stable_hash(key: str) -> int:
+    """Position of ``key`` on the 64-bit hash circle.
+
+    ``blake2b`` (stdlib, unsalted) rather than Python's builtin ``hash``:
+    placement must be identical in every process and every run, and crc32's
+    32-bit output clusters badly when used to place the structured
+    ``"shard:vnode"`` labels of the ring itself.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _vnode_label(shard_id: int, replica: int) -> str:
+    return f"shard-{shard_id}:vnode-{replica}"
+
+
+class HashRing:
+    """A consistent-hash ring over integer shard ids.
+
+    Parameters
+    ----------
+    shard_ids:
+        The shards currently in the topology.  Placement depends only on
+        this *set* (order is irrelevant) and on ``vnodes``.
+    vnodes:
+        Virtual nodes per shard.  More vnodes smooth the load distribution
+        at the cost of a larger ring; both sides of a rebalance must use
+        the same value.
+    """
+
+    __slots__ = ("shard_ids", "vnodes", "_hashes", "_owners")
+
+    def __init__(
+        self, shard_ids: Iterable[int], *, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        ids = sorted(set(shard_ids))
+        if not ids:
+            raise ValueError("a hash ring needs at least one shard")
+        if vnodes <= 0:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.shard_ids: tuple[int, ...] = tuple(ids)
+        self.vnodes = vnodes
+        entries: list[tuple[int, int]] = []
+        for shard_id in ids:
+            for replica in range(vnodes):
+                entries.append((stable_hash(_vnode_label(shard_id, replica)), shard_id))
+        # Ties (two vnodes hashing identically) are broken by shard id via
+        # the tuple sort, so placement stays deterministic even then.
+        entries.sort()
+        self._hashes: list[int] = [entry[0] for entry in entries]
+        self._owners: list[int] = [entry[1] for entry in entries]
+
+    def owner_of(self, key: str) -> int:
+        """The shard owning ``key``: first vnode at or after its hash."""
+        position = bisect_right(self._hashes, stable_hash(key))
+        if position == len(self._hashes):  # wrap around the circle
+            position = 0
+        return self._owners[position]
+
+    def distribution(self, keys: Sequence[str]) -> dict[int, int]:
+        """Per-shard key counts (diagnostics and the load-balance tests)."""
+        counts: dict[int, int] = {shard_id: 0 for shard_id in self.shard_ids}
+        for key in keys:
+            counts[self.owner_of(key)] += 1
+        return counts
+
+    def moved_keys(self, other: "HashRing", keys: Iterable[str]) -> list[str]:
+        """The subset of ``keys`` whose owner differs between the rings."""
+        return [key for key in keys if self.owner_of(key) != other.owner_of(key)]
+
+    def __len__(self) -> int:
+        return len(self._hashes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HashRing(shards={len(self.shard_ids)}, vnodes={self.vnodes}, "
+            f"entries={len(self._hashes)})"
+        )

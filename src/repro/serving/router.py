@@ -1,38 +1,70 @@
-"""Deterministic stream-id → shard routing.
+"""Deterministic stream-id → shard routing on a consistent-hash ring.
 
-The serving layer spreads independent streams over a fixed set of shards.
+The serving layer spreads independent streams over a set of shards.
 Routing must be *stable*: the same stream id must land on the same shard in
 every process and every run, because each shard owns its streams' window
 state exclusively.  Python's builtin ``hash`` is salted per process
-(``PYTHONHASHSEED``), so the router hashes with ``zlib.crc32`` over the
-UTF-8 encoding of the id instead.
+(``PYTHONHASHSEED``), so the router hashes through the unsalted
+:func:`~repro.serving.ring.stable_hash` of its
+:class:`~repro.serving.ring.HashRing` instead.
+
+Since the elastic-serving work the router is also *reshard-friendly*: it
+places streams on a consistent-hash ring rather than by hash-modulo, so
+changing the shard count moves only an expected ``1/n`` fraction of the
+streams (see :mod:`repro.serving.ring`).  That property is what makes
+:meth:`MultiStreamService.rebalance` cheap — the service migrates exactly
+the streams whose ring assignment changes and leaves everything else
+untouched.
 """
 
 from __future__ import annotations
 
-import zlib
+from typing import Iterable
+
+from .ring import DEFAULT_VNODES, HashRing
 
 
 class StreamRouter:
-    """Stable hash-partitioning of stream ids onto ``num_shards`` shards."""
+    """Stable ring-partitioning of stream ids onto ``num_shards`` shards.
 
-    __slots__ = ("num_shards",)
+    Two routers agree on placement iff they were built with the same
+    ``num_shards`` *and* the same ``vnodes`` — the vnode count is part of
+    the placement contract and is carried through
+    :class:`~repro.serving.service.ServingConfig` and checkpoints.
+    """
 
-    def __init__(self, num_shards: int) -> None:
+    __slots__ = ("num_shards", "ring")
+
+    def __init__(self, num_shards: int, *, vnodes: int = DEFAULT_VNODES) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
         self.num_shards = num_shards
+        self.ring = HashRing(range(num_shards), vnodes=vnodes)
+
+    @property
+    def vnodes(self) -> int:
+        """Virtual nodes per shard (the ring smoothing knob)."""
+        return self.ring.vnodes
 
     def shard_of(self, stream_id: str) -> int:
         """Shard index of ``stream_id`` (same id → same shard, always)."""
-        return zlib.crc32(str(stream_id).encode("utf-8")) % self.num_shards
+        return self.ring.owner_of(str(stream_id))
 
-    def partition(self, stream_ids) -> dict[int, list[str]]:
+    def partition(self, stream_ids: Iterable[str]) -> dict[int, list[str]]:
         """Group ``stream_ids`` by their shard (diagnostics and tests)."""
         groups: dict[int, list[str]] = {}
         for stream_id in stream_ids:
             groups.setdefault(self.shard_of(stream_id), []).append(stream_id)
         return groups
 
+    def resized(self, num_shards: int) -> "StreamRouter":
+        """A router for a different shard count on the *same* vnode contract.
+
+        This is the router a rebalance switches to: placement of streams
+        whose ring arc is untouched by the added/removed shards is
+        identical between ``self`` and the result.
+        """
+        return StreamRouter(num_shards, vnodes=self.vnodes)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"StreamRouter(num_shards={self.num_shards})"
+        return f"StreamRouter(num_shards={self.num_shards}, vnodes={self.vnodes})"

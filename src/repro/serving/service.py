@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import logging
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -36,9 +37,17 @@ from types import TracebackType
 from typing import Iterable
 
 from ..core.geometry import Point, StreamItem
+from ..core.snapshot import WindowSnapshot
 from ..core.solution import ClusteringSolution
+from .ring import DEFAULT_VNODES
 from .router import StreamRouter
-from .shard import ProcessShardWorker, ShardStats, ShardWorker, WindowFactoryFn
+from .shard import (
+    IngestQueueFull,
+    ProcessShardWorker,
+    ShardStats,
+    ShardWorker,
+    WindowFactoryFn,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -48,8 +57,11 @@ WORKER_MODES = ("thread", "process")
 #: On-disk checkpoint layout version; bumped when the directory layout or
 #: the manifest fields change (window-level state is versioned separately
 #: by :data:`repro.core.snapshot.SNAPSHOT_VERSION` inside the shard files).
+#: Version 2: stream placement moved from crc32-modulo to the consistent
+#: hash ring, so version-1 checkpoints' shard files are keyed by a
+#: placement this build no longer computes.
 CHECKPOINT_FORMAT = "repro-serving-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 _MANIFEST_FILE = "manifest.json"
 _SERVICE_FILE = "service.pkl"
@@ -99,6 +111,13 @@ class ServingConfig:
         windows' memory per shard.  Windows pushed out of the cache fall
         back to the ``snapshot_evicted`` behaviour.  ``0`` (the default)
         disables the cache.
+    vnodes:
+        Virtual nodes per shard on the consistent-hash ring (see
+        :mod:`repro.serving.ring`).  Part of the *placement contract*:
+        two services (or a service and a checkpoint) agree on stream
+        placement only when built with the same value, so it is recorded
+        in the checkpoint manifest and verified on restore.  The default
+        is a good fit for almost every deployment.
     """
 
     num_shards: int = 4
@@ -109,10 +128,13 @@ class ServingConfig:
     idle_ttl: float | None = None
     snapshot_evicted: bool = True
     revive_cache: int = 0
+    vnodes: int = DEFAULT_VNODES
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {self.num_shards}")
+        if self.vnodes <= 0:
+            raise ValueError(f"vnodes must be positive, got {self.vnodes}")
         if self.workers not in WORKER_MODES:
             raise ValueError(
                 f"unknown workers mode {self.workers!r}; choose one of "
@@ -144,6 +166,69 @@ class FanoutResult:
     def total_ms(self) -> float:
         """Summed per-shard latency (sequential fan-out wall time)."""
         return sum(stats.elapsed_ms for stats in self.per_shard)
+
+
+@dataclass(frozen=True)
+class ReshardStats:
+    """Resharding summary, surfaced through :meth:`MultiStreamService.stats`.
+
+    ``reshards`` / ``migrated_streams_total`` are cumulative since the
+    service was built (they feed the ``repro_reshard_*`` metrics series);
+    the remaining fields describe the most recent — or, when
+    ``in_progress`` is set, the currently running — rebalance.
+    """
+
+    #: Completed rebalances since the service was constructed.
+    reshards: int
+    #: Streams moved by the most recent (or in-flight) rebalance.
+    migrated_streams: int
+    #: Streams moved across all rebalances.
+    migrated_streams_total: int
+    from_shards: int
+    to_shards: int
+    #: Wall time of the most recent completed rebalance.
+    elapsed_s: float
+    #: Whether a rebalance is running right now.
+    in_progress: bool = False
+    #: Source shards fully handed over by the in-flight rebalance.
+    shards_done: int = 0
+    #: Source shards the in-flight rebalance must hand over in total.
+    shards_total: int = 0
+
+
+class ServiceStats(list[ShardStats]):
+    """The :meth:`MultiStreamService.stats` result.
+
+    Still a plain ``list`` of per-shard :class:`~repro.serving.shard.ShardStats`
+    (every pre-reshard caller iterates or sums it), with the service-level
+    :class:`ReshardStats` summary attached as :attr:`reshard`.
+    """
+
+    __slots__ = ("reshard",)
+
+    def __init__(self, shards: Iterable[ShardStats], reshard: ReshardStats) -> None:
+        super().__init__(shards)
+        self.reshard = reshard
+
+
+# Phases of one source shard during a rebalance.  ``pending`` routes like
+# steady state; ``migrating`` blocks arrivals for the shard's *moving*
+# streams (their state is mid-handover); ``done`` routes them to the new
+# owner.  Streams whose assignment does not change never block.
+_PENDING = "pending"
+_MIGRATING = "migrating"
+_DONE = "done"
+
+
+@dataclass
+class _ReshardState:
+    """Mutable bookkeeping of one in-flight rebalance (under the route lock)."""
+
+    old_router: StreamRouter
+    new_router: StreamRouter
+    phase: dict[int, str]
+    shards_done: int = 0
+    migrated: int = 0
 
 
 class MultiStreamService:
@@ -189,32 +274,52 @@ class MultiStreamService:
     ) -> None:
         self.config = config if config is not None else ServingConfig()
         self.router = (
-            router if router is not None else StreamRouter(self.config.num_shards)
+            router
+            if router is not None
+            else StreamRouter(self.config.num_shards, vnodes=self.config.vnodes)
         )
         if self.router.num_shards != self.config.num_shards:
             raise ValueError(
                 f"router covers {self.router.num_shards} shards but the "
                 f"config asks for {self.config.num_shards}"
             )
+        if self.router.vnodes != self.config.vnodes:
+            raise ValueError(
+                f"router was built with {self.router.vnodes} vnodes but the "
+                f"config asks for {self.config.vnodes} (placement contract)"
+            )
+        self._factory = factory
+        self.shards = [
+            self._make_worker(shard_id)
+            for shard_id in range(self.config.num_shards)
+        ]
+        self._closed = False
+        # Rebalance machinery: one rebalance at a time; the route condition
+        # guards the (router, reshard-state, in-flight counters) triple so
+        # routing decisions and shard handovers cannot interleave unsafely.
+        self._reshard_lock = threading.Lock()
+        self._route_cond = threading.Condition()
+        self._reshard_state: _ReshardState | None = None
+        self._inflight: dict[int, int] = {}
+        self._reshard_count = 0
+        self._migrated_total = 0
+        self._last_reshard: ReshardStats | None = None
+        if self.config.auto_start:
+            self.start()
+
+    def _make_worker(self, shard_id: int) -> ShardWorker | ProcessShardWorker:
         worker_cls = (
             ProcessShardWorker if self.config.workers == "process" else ShardWorker
         )
-        self.shards = [
-            worker_cls(
-                shard_id,
-                factory,
-                queue_capacity=self.config.queue_capacity,
-                batch_size=self.config.batch_size,
-                idle_ttl=self.config.idle_ttl,
-                snapshot_evicted=self.config.snapshot_evicted,
-                revive_cache=self.config.revive_cache,
-            )
-            for shard_id in range(self.config.num_shards)
-        ]
-        self._factory = factory
-        self._closed = False
-        if self.config.auto_start:
-            self.start()
+        return worker_cls(
+            shard_id,
+            self._factory,
+            queue_capacity=self.config.queue_capacity,
+            batch_size=self.config.batch_size,
+            idle_ttl=self.config.idle_ttl,
+            snapshot_evicted=self.config.snapshot_evicted,
+            revive_cache=self.config.revive_cache,
+        )
 
     # ---------------------------------------------------------------- control
 
@@ -225,7 +330,7 @@ class MultiStreamService:
 
     def flush(self) -> None:
         """Block until every ingested point has been applied to its window."""
-        for shard in self.shards:
+        for shard in list(self.shards):
             shard.flush()
 
     def close(self) -> None:
@@ -270,6 +375,67 @@ class MultiStreamService:
                     "suppressed shutdown failure while another error propagates"
                 )
 
+    # ---------------------------------------------------------------- routing
+
+    def _acquire_route(
+        self, stream_id: str, *, block: bool, timeout: float | None
+    ) -> int:
+        """Resolve ``stream_id``'s shard and pin the route as in flight.
+
+        In steady state this is one ring lookup.  During a rebalance the
+        answer depends on the source shard's phase: streams whose
+        assignment is unchanged route normally and never wait; a stream
+        inside its migration window (its state is mid-handover between
+        shards) blocks here — or raises
+        :class:`~repro.serving.shard.IngestQueueFull` when ``block`` is
+        false, so non-blocking callers see ordinary backpressure — until
+        the source shard finishes handing over.  The in-flight pin is what
+        lets :meth:`rebalance` wait for routes decided *before* a phase
+        flip to reach their shard's queue before it drains and extracts.
+        Callers must pair this with :meth:`_release_route`.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._route_cond:
+            while True:
+                state = self._reshard_state
+                if state is None:
+                    shard_index = self.router.shard_of(stream_id)
+                    break
+                old = state.old_router.shard_of(stream_id)
+                new = state.new_router.shard_of(stream_id)
+                if old == new:
+                    shard_index = old
+                    break
+                phase = state.phase[old]
+                if phase == _PENDING:
+                    shard_index = old
+                    break
+                if phase == _DONE:
+                    shard_index = new
+                    break
+                if not block:
+                    raise IngestQueueFull(
+                        f"stream {stream_id!r} is migrating off shard {old} "
+                        "(rebalance in progress)"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise IngestQueueFull(
+                            f"timed out waiting for stream {stream_id!r} to "
+                            f"finish migrating off shard {old}"
+                        )
+                self._route_cond.wait(remaining)
+            self._inflight[shard_index] = self._inflight.get(shard_index, 0) + 1
+            return shard_index
+
+    def _release_route(self, shard_index: int) -> None:
+        with self._route_cond:
+            self._inflight[shard_index] -= 1
+            if self._reshard_state is not None:
+                self._route_cond.notify_all()
+
     # ----------------------------------------------------------------- ingest
 
     def ingest(
@@ -283,10 +449,18 @@ class MultiStreamService:
         """Route one arrival to its shard's queue; returns the shard index.
 
         With ``block=False`` (or a ``timeout``) a full shard queue raises
-        :class:`~repro.serving.shard.IngestQueueFull` instead of waiting.
+        :class:`~repro.serving.shard.IngestQueueFull` instead of waiting —
+        as does an arrival for a stream currently inside its migration
+        window during a :meth:`rebalance` (same backpressure signal, same
+        remedy: retry shortly).
         """
-        shard_index = self.router.shard_of(stream_id)
-        self.shards[shard_index].submit(stream_id, point, block=block, timeout=timeout)
+        shard_index = self._acquire_route(stream_id, block=block, timeout=timeout)
+        try:
+            self.shards[shard_index].submit(
+                stream_id, point, block=block, timeout=timeout
+            )
+        finally:
+            self._release_route(shard_index)
         return shard_index
 
     def ingest_many(
@@ -306,8 +480,17 @@ class MultiStreamService:
     # ------------------------------------------------------------------ query
 
     def query(self, stream_id: str) -> ClusteringSolution:
-        """Solution for one stream's current window."""
-        return self.shards[self.router.shard_of(stream_id)].query(stream_id)
+        """Solution for one stream's current window.
+
+        During a :meth:`rebalance`, a query for a stream inside its
+        migration window waits for the handover (milliseconds) and then
+        runs against the stream's new shard.
+        """
+        shard_index = self._acquire_route(stream_id, block=True, timeout=None)
+        try:
+            return self.shards[shard_index].query(stream_id)
+        finally:
+            self._release_route(shard_index)
 
     def query_all(self) -> FanoutResult:
         """Fan a query out to every *live* window of every shard.
@@ -323,7 +506,7 @@ class MultiStreamService:
         :meth:`query`.
         """
         result = FanoutResult()
-        for shard in self.shards:
+        for shard in list(self.shards):
             start = time.perf_counter()
             solutions = shard.query_all()
             elapsed_ms = (time.perf_counter() - start) * 1000.0
@@ -337,6 +520,125 @@ class MultiStreamService:
             )
         return result
 
+    # -------------------------------------------------------------- reshard
+
+    def rebalance(self, n_shards: int) -> ReshardStats:
+        """Live-reshard the service to ``n_shards`` without stopping ingest.
+
+        Placement lives on a consistent-hash ring, so only the streams
+        whose assignment actually changes — an expected ``1/n`` fraction —
+        are migrated.  The handover runs shard by shard: the source shard
+        flips into a migration window, in-flight submits are allowed to
+        land, the shard is flushed, the moving streams'
+        :class:`~repro.core.snapshot.WindowSnapshot`s are extracted and
+        re-adopted (parked cold, exactly like a restore) on their new
+        owners.  Ingest and queries for streams whose assignment does not
+        change **never pause**; arrivals for a stream inside its own
+        migration window block briefly (non-blocking submits raise
+        :class:`~repro.serving.shard.IngestQueueFull`, which the async
+        front-end's backpressure loop already absorbs) until the handover
+        completes.
+
+        Growing starts the new shard workers *before* any migration;
+        shrinking stops the removed workers at the end, once the new ring
+        — which never maps onto them — has fully drained them.
+
+        Returns the :class:`ReshardStats` summary, also surfaced through
+        :meth:`stats` (including live progress while running).  A second
+        concurrent rebalance is rejected with :class:`RuntimeError`.
+        """
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if not self._reshard_lock.acquire(blocking=False):
+            raise RuntimeError("a rebalance is already in progress")
+        try:
+            return self._rebalance_locked(n_shards)
+        finally:
+            self._reshard_lock.release()
+
+    def _rebalance_locked(self, n_shards: int) -> ReshardStats:
+        start = time.perf_counter()
+        old_n = self.config.num_shards
+        if n_shards == old_n:
+            return self._finish_reshard(old_n, n_shards, 0, start)
+        new_router = self.router.resized(n_shards)
+        for shard_id in range(old_n, n_shards):
+            worker = self._make_worker(shard_id)
+            worker.start()
+            self.shards.append(worker)
+        state = _ReshardState(
+            old_router=self.router,
+            new_router=new_router,
+            phase={shard_id: _PENDING for shard_id in range(old_n)},
+        )
+        with self._route_cond:
+            self._reshard_state = state
+        for shard_id in range(old_n):
+            self._migrate_shard(shard_id, state)
+        removed = list(self.shards[n_shards:]) if n_shards < old_n else []
+        with self._route_cond:
+            self.router = new_router
+            self.config = replace(self.config, num_shards=n_shards)
+            if removed:
+                del self.shards[n_shards:]
+            self._reshard_state = None
+            self._route_cond.notify_all()
+        # Removed shards are fully drained (the new ring never maps onto
+        # them), so stopping them outside the route lock is safe.
+        for worker in removed:
+            worker.stop()
+        summary = self._finish_reshard(old_n, n_shards, state.migrated, start)
+        for worker in removed:
+            failure = worker.failure
+            if failure is not None:
+                raise RuntimeError(
+                    f"shard {worker.shard_id} drain loop failed"
+                ) from failure
+        return summary
+
+    def _migrate_shard(self, shard_id: int, state: _ReshardState) -> None:
+        shard = self.shards[shard_id]
+        with self._route_cond:
+            state.phase[shard_id] = _MIGRATING
+            # Routes decided before this flip may not have reached the
+            # shard's queue yet; wait them out so the flush below covers
+            # every arrival the old placement admitted.
+            while self._inflight.get(shard_id, 0) > 0:
+                self._route_cond.wait()
+        shard.flush()
+        known = shard.known_streams()
+        moving = [
+            sid for sid in known if state.new_router.shard_of(sid) != shard_id
+        ]
+        snapshots = shard.extract(moving) if moving else {}
+        regrouped: dict[int, dict[str, WindowSnapshot]] = {}
+        for stream_id, snapshot in snapshots.items():
+            target = state.new_router.shard_of(stream_id)
+            regrouped.setdefault(target, {})[stream_id] = snapshot
+        for target, payload in regrouped.items():
+            self.shards[target].adopt(payload)
+        with self._route_cond:
+            state.phase[shard_id] = _DONE
+            state.shards_done += 1
+            state.migrated += len(snapshots)
+            self._route_cond.notify_all()
+
+    def _finish_reshard(
+        self, from_shards: int, to_shards: int, migrated: int, start: float
+    ) -> ReshardStats:
+        self._reshard_count += 1
+        self._migrated_total += migrated
+        summary = ReshardStats(
+            reshards=self._reshard_count,
+            migrated_streams=migrated,
+            migrated_streams_total=self._migrated_total,
+            from_shards=from_shards,
+            to_shards=to_shards,
+            elapsed_s=time.perf_counter() - start,
+        )
+        self._last_reshard = summary
+        return summary
+
     # -------------------------------------------------------------- lifecycle
 
     def evict_idle(self, ttl: float | None = None) -> list[str]:
@@ -349,7 +651,7 @@ class MultiStreamService:
         query; otherwise they restart empty.
         """
         evicted: list[str] = []
-        for shard in self.shards:
+        for shard in list(self.shards):
             evicted.extend(shard.evict_idle(ttl))
         return evicted
 
@@ -375,6 +677,7 @@ class MultiStreamService:
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,
             "num_shards": self.config.num_shards,
+            "vnodes": self.config.vnodes,
             "workers": self.config.workers,
         }
         describe = getattr(self._factory, "describe", None)
@@ -437,7 +740,13 @@ class MultiStreamService:
         if config.num_shards != manifest["num_shards"]:
             raise ValueError(
                 f"checkpoint was taken with {manifest['num_shards']} shards; "
-                f"restoring with {config.num_shards} would re-route streams"
+                f"restoring with {config.num_shards} would re-route streams "
+                "(restore with the original count, then rebalance)"
+            )
+        if config.vnodes != manifest["vnodes"]:
+            raise ValueError(
+                f"checkpoint was taken with {manifest['vnodes']} vnodes per "
+                f"shard; restoring with {config.vnodes} would re-route streams"
             )
         service = cls(factory, config)
         for shard in service.shards:
@@ -447,17 +756,53 @@ class MultiStreamService:
 
     # ------------------------------------------------------------ diagnostics
 
-    def stats(self) -> list[ShardStats]:
-        """Ingest counters of every shard."""
-        return [shard.stats() for shard in self.shards]
+    def stats(self) -> ServiceStats:
+        """Per-shard ingest counters plus the service's reshard summary.
+
+        The result is still a list of
+        :class:`~repro.serving.shard.ShardStats` (iterate or sum it as
+        before); the :class:`ReshardStats` summary — cumulative counters
+        and, while a :meth:`rebalance` runs, its live progress — rides
+        along as ``.reshard``.
+        """
+        with self._route_cond:
+            shards = list(self.shards)
+            state = self._reshard_state
+            last = self._last_reshard
+            if state is not None:
+                reshard = ReshardStats(
+                    reshards=self._reshard_count,
+                    migrated_streams=state.migrated,
+                    migrated_streams_total=self._migrated_total + state.migrated,
+                    from_shards=state.old_router.num_shards,
+                    to_shards=state.new_router.num_shards,
+                    elapsed_s=last.elapsed_s if last is not None else 0.0,
+                    in_progress=True,
+                    shards_done=state.shards_done,
+                    shards_total=len(state.phase),
+                )
+            elif last is not None:
+                reshard = last
+            else:
+                reshard = ReshardStats(
+                    reshards=0,
+                    migrated_streams=0,
+                    migrated_streams_total=0,
+                    from_shards=self.config.num_shards,
+                    to_shards=self.config.num_shards,
+                    elapsed_s=0.0,
+                )
+        # Shard stats outside the route lock: process shards answer with a
+        # queue round trip, which must not stall routing decisions.
+        return ServiceStats([shard.stats() for shard in shards], reshard)
 
     def stream_ids(self) -> list[str]:
         """Every stream id currently served (across all shards)."""
         ids: list[str] = []
-        for shard in self.shards:
+        for shard in list(self.shards):
             ids.extend(shard.stream_ids())
         return ids
 
     def memory_points(self) -> int:
         """Total stored points across every shard's windows."""
-        return sum(shard.memory_points() for shard in self.shards)
+        return sum(shard.memory_points() for shard in list(self.shards))

@@ -228,6 +228,67 @@ class _StreamTable:
         self.evictions += len(evicted)
         return evicted
 
+    def known_ids(self) -> list[str]:
+        """Every stream id with state on this shard (live, cached or cold)."""
+        ids = list(self.windows)
+        ids.extend(sid for sid in self.lru if sid not in self.windows)
+        ids.extend(
+            sid
+            for sid in self.cold
+            if sid not in self.windows and sid not in self.lru
+        )
+        return ids
+
+    def extract(self, stream_ids: list[str]) -> dict[str, WindowSnapshot]:
+        """Remove ``stream_ids`` from this shard, returning their snapshots.
+
+        The migration primitive of :meth:`MultiStreamService.rebalance`:
+        live and LRU-cached windows are snapshotted and torn down, cold
+        streams hand over their stored snapshot.  Ids without state on
+        this shard are skipped — they have nothing to migrate and will
+        simply be created on their new shard on first touch.  The caller
+        must have drained the ingest queue first (the service's rebalance
+        barrier does), otherwise queued arrivals would revive the stream
+        here after extraction.
+        """
+        snapshots: dict[str, WindowSnapshot] = {}
+        for stream_id in stream_ids:
+            window = self.windows.pop(stream_id, None)
+            if window is not None:
+                self.last_ingest.pop(stream_id, None)
+                self.lru.pop(stream_id, None)
+                self.cold.pop(stream_id, None)
+                snapshots[stream_id] = window.snapshot()
+                continue
+            window = self.lru.pop(stream_id, None)
+            if window is not None:
+                self.cold.pop(stream_id, None)
+                snapshots[stream_id] = window.snapshot()
+                continue
+            snapshot = self.cold.pop(stream_id, None)
+            if snapshot is not None:
+                snapshots[stream_id] = snapshot
+        return snapshots
+
+    def adopt(self, snapshots: dict[str, WindowSnapshot]) -> None:
+        """Take ownership of migrated streams (the other half of a move).
+
+        Adopted streams are parked *cold* — exactly like restored ones —
+        so adoption costs one dict insert per stream and the window is
+        rebuilt lazily on the stream's first ingest or query on this
+        shard.  The rebalance barrier guarantees no arrival reaches this
+        shard for a migrating stream before its snapshot does, so a live
+        window for an adopted id means the migration protocol was
+        violated.
+        """
+        for stream_id, snapshot in snapshots.items():
+            if stream_id in self.windows or stream_id in self.lru:
+                raise RuntimeError(
+                    f"stream {stream_id!r} is already live on the adopting "
+                    f"shard; migration barrier violated"
+                )
+            self.cold[stream_id] = snapshot
+
     def checkpoint(self) -> dict[str, WindowSnapshot]:
         """Snapshots of every known stream (live and cached snapshotted now)."""
         snapshots = {
@@ -456,6 +517,27 @@ class ShardWorker:
         with self._lock:
             return self._table.evict_idle(ttl)
 
+    def known_streams(self) -> list[str]:
+        """Every stream id with state on this shard (live, cached or cold)."""
+        with self._lock:
+            return self._table.known_ids()
+
+    def extract(self, stream_ids: list[str]) -> dict[str, WindowSnapshot]:
+        """Remove ``stream_ids`` from this shard, returning their snapshots.
+
+        Flush first: queued arrivals for an extracted stream would revive
+        it here after the move (the service's rebalance barrier does).
+        """
+        self._raise_on_failure()
+        with self._lock:
+            return self._table.extract(stream_ids)
+
+    def adopt(self, snapshots: dict[str, WindowSnapshot]) -> None:
+        """Take ownership of migrated streams (parked cold until touched)."""
+        self._raise_on_failure()
+        with self._lock:
+            self._table.adopt(snapshots)
+
     # ------------------------------------------------------------------ query
 
     def stream_ids(self) -> list[str]:
@@ -564,6 +646,17 @@ def _process_shard_main(
             ttl = idle_ttl if payload is None else payload
             evicted = [] if ttl is None else table.evict_idle(ttl)
             results.put(("evicted", evicted))
+        elif kind == "known":
+            results.put(("known", table.known_ids()))
+        elif kind == "extract":
+            results.put(("extracted", table.extract(payload)))
+        elif kind == "adopt":
+            try:
+                table.adopt(payload)
+            except RuntimeError as exc:
+                results.put(("error", f"shard {shard_id} adopt failed: {exc}"))
+            else:
+                results.put(("adopted", None))
         elif kind == "streams":
             results.put(("streams", list(table.windows)))
         elif kind == "stats":
@@ -840,6 +933,25 @@ class ProcessShardWorker:
         self._send_pending(block=True, timeout=None)
         self._tasks.put(("evict", ttl))
         return self._expect("evicted")
+
+    def known_streams(self) -> list[str]:
+        """Every stream id with state in the worker process."""
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("known", None))
+        return self._expect("known")
+
+    def extract(self, stream_ids: list[str]) -> dict[str, WindowSnapshot]:
+        """Remove ``stream_ids`` from the worker process (one round trip)."""
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("extract", stream_ids))
+        return self._expect("extracted")
+
+    def adopt(self, snapshots: dict[str, WindowSnapshot]) -> None:
+        """Ship migrated streams into the worker process (parked cold)."""
+        self.start()
+        self._send_pending(block=True, timeout=None)
+        self._tasks.put(("adopt", snapshots))
+        self._expect("adopted")
 
 
 def wait_until(predicate: Callable[[], bool], timeout: float = 5.0) -> bool:

@@ -199,6 +199,67 @@ class TestAsyncBlocking:
         )
         assert rule_ids(report) == ["RPR003"]
 
+    def test_positive_socket_recv(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/bad_async_sock.py",
+            """
+            async def pump(self):
+                return self._sock.recv(4096)
+            """,
+        )
+        assert rule_ids(report) == ["RPR003"]
+
+    def test_positive_socket_sendall(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/bad_async_sock2.py",
+            """
+            async def push(conn, data):
+                conn.sendall(data)
+            """,
+        )
+        assert rule_ids(report) == ["RPR003"]
+
+    def test_positive_socket_create_connection(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/bad_async_sock3.py",
+            """
+            import socket
+
+            async def dial(host, port):
+                return socket.create_connection((host, port))
+            """,
+        )
+        assert rule_ids(report) == ["RPR003"]
+
+    def test_negative_asyncio_stream_writer(self, tmp_path):
+        # asyncio StreamReader/StreamWriter primitives are awaitable, not
+        # blocking — the net.py server must stay clean under this rule.
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_async_streams.py",
+            """
+            async def frame(reader, writer, data):
+                writer.write(data)
+                await writer.drain()
+                return await reader.readexactly(4)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_sync_socket_client(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_sync_sock.py",
+            """
+            def pump(sock):
+                return sock.recv(4096)
+            """,
+        )
+        assert rule_ids(report) == []
+
     def test_negative_sync_function(self, tmp_path):
         report = run_on(
             tmp_path,

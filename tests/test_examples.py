@@ -1,0 +1,81 @@
+"""Smoke tests for the ``examples/`` scripts.
+
+Each example's ``main()`` takes keyword-only scale parameters so this
+suite can run the full script body — stream generation, algorithm,
+baseline comparisons and report printing — in well under a second per
+example.  The point is bitrot protection: examples import from the public
+``repro`` surface, so an API change that breaks a README-advertised
+script fails tier-1 instead of rotting silently.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import ``examples/<name>.py`` as a module (examples/ is not a package)."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    assert spec is not None and spec.loader is not None, path
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_examples_directory_is_fully_covered():
+    """Every example script has a smoke test below — adding one here is
+    part of adding the example."""
+    scripts = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {
+        "quickstart",
+        "sensor_stream_fairness",
+        "hiring_pipeline_summarization",
+        "window_size_study",
+    }
+    assert scripts == covered
+
+
+def test_quickstart(capsys: pytest.CaptureFixture):
+    load_example("quickstart").main(
+        stream_length=160, window_size=40, report_every=40
+    )
+    out = capsys.readouterr().out
+    assert "Final centers" in out
+    assert "ours radius" in out
+
+
+def test_sensor_stream_fairness(capsys: pytest.CaptureFixture):
+    load_example("sensor_stream_fairness").main(
+        stream_length=180, window_size=60, report_every=60
+    )
+    out = capsys.readouterr().out
+    assert "activities and capacities" in out
+    assert "insertion-only" in out
+    assert "memory: ours=" in out
+
+
+def test_hiring_pipeline_summarization(capsys: pytest.CaptureFixture):
+    load_example("hiring_pipeline_summarization").main(
+        stream_length=200, window_size=60, report_every=70
+    )
+    out = capsys.readouterr().out
+    assert "fair radius" in out
+    assert "never exceeds 2 seats" in out
+
+
+def test_window_size_study(capsys: pytest.CaptureFixture):
+    load_example("window_size_study").main(window_sizes=(30, 60))
+    out = capsys.readouterr().out
+    assert "ours mem" in out
+    assert "level off" in out

@@ -1,0 +1,118 @@
+"""Unit tests for the consistent-hash ring and the ring-backed router.
+
+The properties that make live resharding cheap and correct:
+
+* determinism — placement is a pure function of (shard set, vnodes),
+  identical across instances, processes and runs;
+* balance — virtual nodes keep the per-shard load spread tight;
+* stability — growing ``n → n+1`` moves roughly ``1/(n+1)`` of the keys,
+  all of them onto the new shard; shrinking moves exactly the removed
+  shard's keys.  These bounds are what ``rebalance`` relies on when it
+  migrates only the streams whose assignment changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.ring import DEFAULT_VNODES, HashRing, stable_hash
+from repro.serving.router import StreamRouter
+
+KEYS = [f"stream-{i}" for i in range(4000)]
+
+
+class TestStableHash:
+    def test_deterministic_and_64_bit(self):
+        assert stable_hash("s1") == stable_hash("s1")
+        assert stable_hash("s1") != stable_hash("s2")
+        for key in KEYS[:200]:
+            assert 0 <= stable_hash(key) < 2**64
+
+
+class TestHashRing:
+    def test_placement_is_deterministic_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing([3, 2, 1, 0])  # order of the shard set must not matter
+        assert [a.owner_of(k) for k in KEYS] == [b.owner_of(k) for k in KEYS]
+
+    def test_owner_is_always_a_member(self):
+        ring = HashRing([0, 2, 5])
+        assert set(ring.distribution(KEYS)) == {0, 2, 5}
+        for key in KEYS[:500]:
+            assert ring.owner_of(key) in (0, 2, 5)
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_load_is_balanced(self, shards):
+        ring = HashRing(range(shards))
+        counts = ring.distribution(KEYS)
+        expected = len(KEYS) / shards
+        for shard, count in counts.items():
+            assert count > 0.5 * expected, (shard, counts)
+            assert count < 1.6 * expected, (shard, counts)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_growth_moves_about_one_over_n_plus_one(self, n):
+        """n → n+1 moves ≈ 1/(n+1) of the keys — never the ~n/(n+1) a
+        modulo router would reshuffle — and every move lands on the new
+        shard."""
+        before = HashRing(range(n))
+        after = HashRing(range(n + 1))
+        moved = before.moved_keys(after, KEYS)
+        expected_fraction = 1.0 / (n + 1)
+        # Generous ceiling: well under 2x the theoretical expectation,
+        # and nowhere near the modulo router's n/(n+1) reshuffle.
+        assert len(moved) < 2.0 * expected_fraction * len(KEYS)
+        assert len(moved) > 0
+        assert all(after.owner_of(key) == n for key in moved)
+
+    def test_shrink_moves_exactly_the_removed_shards_keys(self):
+        before = HashRing(range(8))
+        after = HashRing(range(6))
+        for key in KEYS:
+            owner = before.owner_of(key)
+            if owner < 6:
+                assert after.owner_of(key) == owner, key
+            else:
+                assert after.owner_of(key) in range(6)
+
+    def test_vnodes_are_part_of_the_placement_contract(self):
+        coarse = HashRing(range(4), vnodes=8)
+        fine = HashRing(range(4), vnodes=DEFAULT_VNODES)
+        assert coarse.vnodes == 8 and fine.vnodes == DEFAULT_VNODES
+        assert any(coarse.owner_of(k) != fine.owner_of(k) for k in KEYS)
+        assert len(coarse) == 4 * 8
+        assert len(fine) == 4 * DEFAULT_VNODES
+
+    def test_rejects_degenerate_topologies(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(range(3), vnodes=0)
+
+
+class TestRingBackedRouter:
+    def test_router_matches_its_ring(self):
+        router = StreamRouter(4)
+        ring = HashRing(range(4))
+        for key in KEYS[:500]:
+            assert router.shard_of(key) == ring.owner_of(key)
+
+    def test_resized_preserves_the_vnode_contract(self):
+        router = StreamRouter(4, vnodes=32)
+        grown = router.resized(6)
+        assert grown.num_shards == 6
+        assert grown.vnodes == 32
+        moved = [
+            k for k in KEYS if router.shard_of(k) != grown.shard_of(k)
+        ]
+        # Stability carries through the router wrapper: only the keys on
+        # the new shards' arcs move, and they move onto the new shards.
+        assert len(moved) < 0.6 * len(KEYS)
+        assert all(grown.shard_of(k) in (4, 5) for k in moved)
+
+    def test_stream_moved_fraction_on_service_growth(self):
+        """The headline reshard bound: 4 → 5 shards moves ≲ 1/5 of streams."""
+        before = StreamRouter(4)
+        after = before.resized(5)
+        moved = sum(1 for k in KEYS if before.shard_of(k) != after.shard_of(k))
+        assert moved / len(KEYS) < 0.35  # expectation 0.20, generous margin

@@ -144,12 +144,14 @@ class DifferentialReplay:
     solution with the served one.
     """
 
-    def __init__(self, factory: WindowFactory, directory: Path) -> None:
+    def __init__(
+        self, factory: WindowFactory, directory: Path, *, num_shards: int = 2
+    ) -> None:
         self.factory = factory
         self.directory = directory
         self.service = MultiStreamService(
             factory,
-            ServingConfig(num_shards=2, batch_size=4, queue_capacity=256),
+            ServingConfig(num_shards=num_shards, batch_size=4, queue_capacity=256),
         )
         self.model: dict[str, list] = {sid: [] for sid in STREAM_IDS}
         self.snapshot_counts: dict[str, int] | None = None
@@ -188,6 +190,9 @@ class DifferentialReplay:
         for sid, kept in self.snapshot_counts.items():
             del self.model[sid][kept:]
 
+    def do_rebalance(self, n_shards: int, *_: int) -> None:
+        self.service.rebalance(n_shards)
+
     def do_evict(self, *_: int) -> None:
         # ttl=0 evicts every live stream; snapshot_evicted (the default)
         # makes the eviction semantically invisible, which is exactly what
@@ -218,6 +223,166 @@ class TestDifferentialLifecycle:
         factory = WindowFactory(make_config(), variant=variant, backend=backend)
         with checkpoint_dir(f"lifecycle-{variant}-{backend}") as directory:
             DifferentialReplay(factory, directory).run(commands)
+
+
+# ------------------------------------------------- reshard differential
+
+
+def reshard_commands():
+    """Schedules interleaving ingest with live rebalances (and the other
+    lifecycle churn, so resharding composes with eviction/checkpoints)."""
+    ingest = st.tuples(
+        st.just("ingest"),
+        st.integers(min_value=0, max_value=NUM_STREAMS - 1),
+        st.integers(min_value=1, max_value=8),
+    )
+    rebalance = st.tuples(
+        st.just("rebalance"),
+        st.sampled_from([1, 2, 3, 4, 6, 8]),
+        st.just(0),
+    )
+    other = st.sampled_from(["flush", "snapshot", "restore", "evict", "probe"])
+    return st.lists(
+        st.one_of(ingest, rebalance, other.map(lambda name: (name, 0, 0))),
+        min_size=6,
+        max_size=16,
+    )
+
+
+class TestReshardDifferential:
+    """Live resharding must be semantically invisible: query results stay
+    identical to an unsharded, uninterrupted replay of the same points."""
+
+    @pytest.mark.parametrize("variant", sorted(VARIANT_CLASSES))
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    @given(commands=reshard_commands())
+    def test_interleaved_rebalance_is_invisible(self, variant, commands):
+        factory = WindowFactory(make_config(), variant=variant)
+        with checkpoint_dir(f"reshard-{variant}") as directory:
+            DifferentialReplay(factory, directory, num_shards=4).run(commands)
+
+    def test_rebalance_4_to_8_to_3_matches_unsharded_replay(self):
+        """The ISSUE's canonical schedule, with enough streams that both
+        rebalances actually migrate windows, against a 1-shard reference."""
+        factory = WindowFactory(make_config())
+        stream_ids = [f"r{i}" for i in range(12)]
+        arrivals = [
+            (stream_ids[i % len(stream_ids)], p)
+            for i, p in enumerate(POINT_POOL[:360])
+        ]
+
+        reference = MultiStreamService(factory, ServingConfig(num_shards=1))
+        with reference:
+            reference.ingest_many(arrivals)
+            reference.flush()
+            expected = {
+                sid: solution_key(reference.query(sid)) for sid in stream_ids
+            }
+
+        service = MultiStreamService(factory, ServingConfig(num_shards=4))
+        migrated = 0
+        with service:
+            for index, (stream_id, point) in enumerate(arrivals):
+                service.ingest(stream_id, point)
+                if index == 120:
+                    summary = service.rebalance(8)
+                    assert summary.to_shards == 8
+                    migrated += summary.migrated_streams
+                elif index == 240:
+                    summary = service.rebalance(3)
+                    assert summary.to_shards == 3
+                    migrated += summary.migrated_streams
+            service.flush()
+            assert len(service.shards) == 3
+            assert service.config.num_shards == 3
+            stats = service.stats()
+            assert stats.reshard.reshards == 2
+            assert stats.reshard.migrated_streams_total == migrated
+            # NOTE: per-shard `ingested` counters are shard-local; the shrink
+            # drops the removed shards' counters, so no sum-equality here.
+            served = {sid: solution_key(service.query(sid)) for sid in stream_ids}
+        assert migrated > 0, "the schedule should actually move streams"
+        assert served == expected
+
+    def test_ingest_never_stops_while_rebalancing(self):
+        """A producer thread ingests throughout a rebalance; every point
+        survives and non-migrating streams never observe the barrier."""
+        import threading
+
+        factory = WindowFactory(make_config())
+        stream_ids = [f"c{i}" for i in range(8)]
+        arrivals = [
+            (stream_ids[i % len(stream_ids)], p)
+            for i, p in enumerate(POINT_POOL[:400])
+        ]
+        service = MultiStreamService(
+            factory, ServingConfig(num_shards=4, batch_size=8)
+        )
+        started = threading.Event()
+        with service:
+            def produce():
+                for index, (stream_id, point) in enumerate(arrivals):
+                    service.ingest(stream_id, point)
+                    if index == 40:
+                        started.set()
+
+            producer = threading.Thread(target=produce)
+            producer.start()
+            assert started.wait(timeout=10.0)
+            summary = service.rebalance(8)
+            producer.join(timeout=30.0)
+            assert not producer.is_alive()
+            service.flush()
+            stats = service.stats()
+            assert sum(s.ingested for s in stats) == len(arrivals)
+            assert stats.reshard.reshards == 1
+            assert summary.from_shards == 4 and summary.to_shards == 8
+            # Differential check: concurrent resharding lost nothing.
+            for stream_id in stream_ids:
+                standalone = factory(stream_id)
+                for other, point in arrivals:
+                    if other == stream_id:
+                        standalone.insert(point)
+                assert solution_key(service.query(stream_id)) == solution_key(
+                    standalone.query()
+                ), f"stream {stream_id} diverged across the live reshard"
+
+    def test_concurrent_rebalance_is_rejected(self):
+        factory = WindowFactory(make_config())
+        with MultiStreamService(factory, ServingConfig(num_shards=2)) as service:
+            service._reshard_lock.acquire()
+            try:
+                with pytest.raises(RuntimeError, match="already in progress"):
+                    service.rebalance(4)
+            finally:
+                service._reshard_lock.release()
+            with pytest.raises(ValueError):
+                service.rebalance(0)
+
+    def test_rebalance_into_process_workers(self):
+        """Migration round-trips through the process-shard command channel."""
+        factory = WindowFactory(make_config())
+        stream_ids = [f"p{i}" for i in range(6)]
+        arrivals = [
+            (stream_ids[i % len(stream_ids)], p)
+            for i, p in enumerate(POINT_POOL[:120])
+        ]
+        service = MultiStreamService(
+            factory, ServingConfig(num_shards=2, workers="process", batch_size=8)
+        )
+        with service:
+            service.ingest_many(arrivals)
+            summary = service.rebalance(4)
+            assert summary.to_shards == 4
+            service.flush()
+            for stream_id in stream_ids:
+                standalone = factory(stream_id)
+                for other, point in arrivals:
+                    if other == stream_id:
+                        standalone.insert(point)
+                assert solution_key(service.query(stream_id)) == solution_key(
+                    standalone.query()
+                )
 
 
 # ------------------------------------------------- snapshot round-trip

@@ -1,0 +1,405 @@
+"""End-to-end tests for the asyncio network front-end.
+
+The server (:mod:`repro.serving.net`) and blocking client
+(:mod:`repro.serving.client`) are exercised together over real loopback
+sockets: every protocol op round-trips, error responses carry the wire
+error codes of the CLI exit contract (2 = protocol/usage, 1 =
+operational), ``/metrics`` renders the documented Prometheus series, and
+the ``repro-experiments serve --listen`` entry point boots, serves and
+shuts down cleanly on SIGINT.
+
+The harness pattern: the server lives on an ``asyncio`` loop in the test
+process while the synchronous client runs in a worker thread via
+``asyncio.to_thread`` — no subprocess except for the CLI test, no sleeps
+for startup (the ``async with`` returns once the socket is bound).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serving import (
+    MultiStreamService,
+    ServingClient,
+    ServingConfig,
+    ServingError,
+    ServingServer,
+    WindowFactory,
+)
+
+from tests.test_serving_lifecycle import POINT_POOL, make_config
+
+STREAM_IDS = [f"net{i}" for i in range(4)]
+
+ARRIVALS = [
+    (STREAM_IDS[i % len(STREAM_IDS)], point)
+    for i, point in enumerate(POINT_POOL[:120])
+]
+
+
+def run_with_server(client_fn, *, num_shards=2, **server_kwargs):
+    """Run ``client_fn(host, port)`` in a thread against a live server."""
+
+    async def main():
+        factory = WindowFactory(make_config())
+        service = MultiStreamService(
+            factory, ServingConfig(num_shards=num_shards, batch_size=4)
+        )
+        with service:
+            async with ServingServer(service, **server_kwargs) as server:
+                host, port = server.address
+                return await asyncio.to_thread(client_fn, host, port)
+
+    return asyncio.run(main())
+
+
+def payload_key(payload: dict):
+    """Comparable identity of a wire-format solution payload."""
+    centers = sorted(
+        (tuple(center["coords"]), str(center["color"]))
+        for center in payload["centers"]
+    )
+    return (centers, payload["radius"])
+
+
+def reference_key(solution):
+    """The same identity computed from an in-process solution object."""
+    centers = sorted(
+        (tuple(float(x) for x in point.coords), str(point.color))
+        for point in solution.centers
+    )
+    radius = solution.radius
+    return (centers, None if radius != radius else radius)
+
+
+def expected_keys(arrivals):
+    """Replay ``arrivals`` through standalone windows, one per stream."""
+    factory = WindowFactory(make_config())
+    windows: dict[str, object] = {}
+    for stream_id, point in arrivals:
+        windows.setdefault(stream_id, factory(stream_id)).insert(point)
+    return {
+        stream_id: reference_key(window.query())
+        for stream_id, window in windows.items()
+    }
+
+
+# ----------------------------------------------------------------- round trip
+
+
+class TestProtocolRoundTrip:
+    def test_every_op_round_trips(self):
+        def drive(host, port):
+            with ServingClient(host, port, batch_size=16) as client:
+                client.ping()
+                sent = client.ingest(
+                    (sid, point.coords, point.color) for sid, point in ARRIVALS
+                )
+                assert sent == len(ARRIVALS)
+                client.flush()
+
+                served = {
+                    sid: payload_key(client.query(sid)) for sid in STREAM_IDS
+                }
+                assert served == expected_keys(ARRIVALS)
+
+                fanout = client.query_all()
+                assert set(fanout["solutions"]) == set(STREAM_IDS)
+                assert {
+                    sid: payload_key(payload)
+                    for sid, payload in fanout["solutions"].items()
+                } == served
+                assert len(fanout["per_shard"]) == 2
+                for leg in fanout["per_shard"]:
+                    assert leg["query_ms"] >= 0.0
+
+                stats = client.stats()
+                assert len(stats["shards"]) == 2
+                assert sum(s["ingested"] for s in stats["shards"]) == len(ARRIVALS)
+                assert stats["reshard"]["reshards"] == 0
+
+                summary = client.rebalance(4)
+                assert summary["from_shards"] == 2
+                assert summary["to_shards"] == 4
+                assert client.stats()["reshard"]["reshards"] == 1
+
+                # The resharded service still answers queries correctly
+                # once the (cold-adopted) streams are touched again.
+                client.ingest(
+                    (sid, point.coords, point.color) for sid, point in ARRIVALS
+                )
+                client.flush()
+                doubled = expected_keys(ARRIVALS + ARRIVALS)
+                assert {
+                    sid: payload_key(client.query(sid)) for sid in STREAM_IDS
+                } == doubled
+
+        run_with_server(drive)
+
+    def test_solution_payload_shape(self):
+        def drive(host, port):
+            with ServingClient(host, port) as client:
+                client.ingest(
+                    (sid, point.coords, point.color)
+                    for sid, point in ARRIVALS[:40]
+                )
+                client.flush()
+                payload = client.query(STREAM_IDS[0])
+                assert set(payload) >= {"centers", "radius", "guess", "coreset_size"}
+                for center in payload["centers"]:
+                    assert isinstance(center["coords"], list)
+                    assert "color" in center
+                assert payload["radius"] is None or payload["radius"] >= 0.0
+
+        run_with_server(drive)
+
+
+# ---------------------------------------------------------------- error codes
+
+
+class _RawConnection:
+    """Minimal frame-level access for malformed-input tests."""
+
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=10.0)
+
+    def send_frame(self, data: bytes) -> None:
+        self.sock.sendall(len(data).to_bytes(4, "big") + data)
+
+    def send_header(self, claimed_length: int) -> None:
+        self.sock.sendall(claimed_length.to_bytes(4, "big"))
+
+    def recv_frame(self) -> dict:
+        header = self._recv_exactly(4)
+        return json.loads(self._recv_exactly(int.from_bytes(header, "big")))
+
+    def _recv_exactly(self, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            chunk = self.sock.recv(count - len(chunks))
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.extend(chunk)
+        return bytes(chunks)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+class TestErrorCodes:
+    def test_usage_errors_are_code_2(self):
+        def drive(host, port):
+            with ServingClient(host, port) as client:
+                for request in (
+                    lambda: client._request({"op": "warp"}),
+                    lambda: client._request({}),
+                    lambda: client._request({"op": "query"}),
+                    lambda: client._request({"op": "ingest", "items": "nope"}),
+                    lambda: client._request(
+                        {"op": "ingest", "items": [["s", [], 0]]}
+                    ),
+                    lambda: client._request(
+                        {"op": "rebalance", "shards": "three"}
+                    ),
+                    lambda: client.rebalance(0),
+                ):
+                    with pytest.raises(ServingError) as err:
+                        request()
+                    assert err.value.code == 2, err.value
+                # The connection survives usage errors.
+                client.ping()
+
+        run_with_server(drive)
+
+    def test_operational_errors_are_code_1(self):
+        def drive(host, port):
+            with ServingClient(host, port) as client:
+                with pytest.raises(ServingError) as err:
+                    client.query("never-ingested")
+                assert err.value.code == 1
+                client.ping()
+
+        run_with_server(drive)
+
+    def test_malformed_json_is_code_2_and_survivable(self):
+        def drive(host, port):
+            conn = _RawConnection(host, port)
+            try:
+                conn.send_frame(b"{this is not json")
+                response = conn.recv_frame()
+                assert response["ok"] is False and response["code"] == 2
+                conn.send_frame(b'"just a string"')
+                response = conn.recv_frame()
+                assert response["ok"] is False and response["code"] == 2
+                conn.send_frame(json.dumps({"op": "ping"}).encode())
+                assert conn.recv_frame()["ok"] is True
+            finally:
+                conn.close()
+
+        run_with_server(drive)
+
+    def test_oversized_frame_is_code_2_then_close(self):
+        def drive(host, port):
+            conn = _RawConnection(host, port)
+            try:
+                conn.send_header(4096)  # larger than max_frame_bytes below
+                response = conn.recv_frame()
+                assert response["ok"] is False and response["code"] == 2
+                assert "frame" in response["error"]
+                # The stream cannot be resynchronised; the server closes.
+                with pytest.raises(ConnectionError):
+                    conn.send_frame(json.dumps({"op": "ping"}).encode())
+                    conn.recv_frame()
+            finally:
+                conn.close()
+
+        run_with_server(drive, max_frame_bytes=1024)
+
+
+# -------------------------------------------------------------------- metrics
+
+
+class TestMetricsEndpoint:
+    def test_metrics_schema_covers_the_documented_series(self):
+        def drive(host, port):
+            with ServingClient(host, port) as client:
+                client.ping()
+                client.ingest(
+                    (sid, point.coords, point.color) for sid, point in ARRIVALS
+                )
+                client.flush()
+                client.query_all()
+                with pytest.raises(ServingError):
+                    client.query("missing")
+                client.rebalance(3)
+                body = client.metrics()
+
+            assert "# TYPE repro_serving_requests_total counter" in body
+            assert 'repro_serving_requests_total{op="ping"} 1' in body
+            assert 'repro_serving_requests_total{op="query_all"} 1' in body
+            assert 'repro_serving_errors_total{op="query",code="1"} 1' in body
+
+            # Latency histograms: per-op and per-shard, with the
+            # cumulative-bucket contract intact.
+            assert "# TYPE repro_serving_request_seconds histogram" in body
+            assert re.search(
+                r'repro_serving_request_seconds_bucket\{op="ingest",le="\+Inf"\} 1',
+                body,
+            )
+            assert "# TYPE repro_shard_query_seconds histogram" in body
+            for shard in range(2):  # pre-rebalance query_all saw 2 shards
+                assert f'repro_shard_query_seconds_count{{shard="{shard}"}} 1' in body
+
+            assert (
+                f"repro_serving_ingested_points_total {len(ARRIVALS)}" in body
+            )
+            assert "repro_serving_shards 3" in body
+            assert "repro_reshard_total 1" in body
+            assert "repro_reshard_in_progress 0" in body
+            assert re.search(r"repro_reshard_migrated_streams_total \d+", body)
+            assert re.search(r"repro_reshard_last_duration_seconds \d", body)
+            for shard in range(3):
+                assert f'repro_shard_streams{{shard="{shard}"}}' in body
+                assert f'repro_shard_queue_depth{{shard="{shard}"}}' in body
+            assert "repro_serving_connections_total" in body
+            assert "repro_serving_open_connections" in body
+
+            lines = [line for line in body.splitlines() if line]
+            assert all(
+                line.startswith(("#", "repro_")) for line in lines
+            ), "every series is namespaced under repro_"
+
+        run_with_server(drive)
+
+    def test_unknown_path_is_404(self):
+        def drive(host, port):
+            with socket.create_connection((host, port), timeout=10.0) as sock:
+                sock.sendall(b"GET /nope HTTP/1.0\r\nHost: x\r\n\r\n")
+                payload = bytearray()
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    payload.extend(chunk)
+            head = bytes(payload).decode("utf-8", "replace")
+            assert " 404 " in head.splitlines()[0]
+
+        run_with_server(drive)
+
+
+# -------------------------------------------------------------- CLI entrypoint
+
+
+class TestCliServe:
+    @pytest.mark.parametrize(
+        "stop_signal", [signal.SIGINT, signal.SIGTERM], ids=["sigint", "sigterm"]
+    )
+    def test_serve_listen_end_to_end(self, tmp_path: Path, stop_signal):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path("src").resolve())
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--streams",
+                "4",
+                "--shards",
+                "2",
+                "--points",
+                "80",
+                "--window",
+                "16",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd=tmp_path,
+            text=True,
+        )
+        try:
+            line = process.stdout.readline()
+            match = re.match(r"serving on (\S+):(\d+)", line)
+            assert match, f"unexpected startup line: {line!r}"
+            host, port = match.group(1), int(match.group(2))
+
+            deadline = time.monotonic() + 10.0
+            while True:
+                try:
+                    client = ServingClient(host, port, timeout=10.0)
+                    break
+                except OSError:
+                    assert time.monotonic() < deadline, "server never accepted"
+                    time.sleep(0.05)
+            with client:
+                client.ping()
+                client.ingest(
+                    (sid, point.coords, point.color)
+                    for sid, point in ARRIVALS[:40]
+                )
+                client.flush()
+                payload = client.query(STREAM_IDS[0])
+                assert payload["centers"]
+                assert "repro_serving_requests_total" in client.metrics()
+
+            process.send_signal(stop_signal)
+            stdout, stderr = process.communicate(timeout=15.0)
+            assert process.returncode == 0, (stdout, stderr)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
