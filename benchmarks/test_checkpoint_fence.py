@@ -1,0 +1,129 @@
+"""Checkpoint cost: full directory snapshot vs a SQLite WAL fence.
+
+The durable state store changes what a checkpoint *is*.  Against a
+directory, ``snapshot_to`` flushes every shard, collects every stream's
+``WindowSnapshot`` and rewrites the whole checkpoint tree (cost grows
+with the number of streams and their window sizes).  Against the SQLite
+WAL store the stream state is already on disk — every drain batch
+committed as it was applied — so the checkpoint degenerates to a
+*fence*: one manifest/service-blob transaction, independent of stream
+count.
+
+Two modes over the same 64-stream service:
+
+* ``full_checkpoint`` — ``snapshot_to(directory)``, the classic path;
+* ``wal_fence`` — ``snapshot_to()`` with the store attached, averaged
+  over several fences (a single fence is microseconds).
+
+The acceptance bar (asserted in-test and recorded in
+``BENCH_checkpoint.json`` for the trend gate): the fence must be at
+least **5× faster** than the full checkpoint.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import SlidingWindowConfig
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import build_constraint
+from repro.serving import MultiStreamService, ServingConfig, WindowFactory
+
+NUM_STREAMS = 64
+NUM_SHARDS = 4
+BATCH_SIZE = 64
+#: single fences are far below timer noise; average a handful.
+FENCE_REPEATS = 5
+#: the acceptance bar: fence vs full checkpoint.
+MIN_SPEEDUP = 5.0
+
+
+def _workload(scale):
+    total_points = 3_200 if scale.name == "tiny" else 9_600
+    points = load_dataset("phones", total_points, seed=3)
+    constraint = build_constraint(points)
+    window_config = SlidingWindowConfig(
+        window_size=scale.window_size,
+        constraint=constraint,
+        delta=1.0,
+    )
+    factory = WindowFactory(window_config, variant="oblivious")
+    stream_ids = [f"phones-{i}" for i in range(NUM_STREAMS)]
+    arrivals = [
+        (stream_ids[index % NUM_STREAMS], point)
+        for index, point in enumerate(points)
+    ]
+    return arrivals, factory
+
+
+@pytest.mark.benchmark(group="serving")
+def test_checkpoint_fence(scale):
+    """A WAL fence must be ≥5× cheaper than a full directory checkpoint."""
+    from benchmarks.conftest import register_table
+
+    arrivals, factory = _workload(scale)
+    total = len(arrivals)
+    workdir = Path(tempfile.mkdtemp(prefix="bench-checkpoint-"))
+    try:
+        service = MultiStreamService(
+            factory,
+            ServingConfig(
+                num_shards=NUM_SHARDS,
+                batch_size=BATCH_SIZE,
+                queue_capacity=4096,
+                state_store=f"sqlite:{workdir / 'state.db'}",
+                compact_interval=None,
+            ),
+        )
+        with service:
+            service.ingest_many(arrivals)
+            service.flush()
+
+            start = time.perf_counter()
+            service.snapshot_to(workdir / "checkpoint")
+            full_elapsed = time.perf_counter() - start
+
+            start = time.perf_counter()
+            for _ in range(FENCE_REPEATS):
+                service.snapshot_to()
+            fence_elapsed = (time.perf_counter() - start) / FENCE_REPEATS
+
+            store = service.store_stats()
+            assert store is not None and store.last_fence_age_s is not None
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    speedup = full_elapsed / fence_elapsed if fence_elapsed > 0 else float("inf")
+    rows = [
+        {
+            "mode": "full_checkpoint",
+            "shards": NUM_SHARDS,
+            "streams": NUM_STREAMS,
+            "points": total,
+            "elapsed_s": round(full_elapsed, 5),
+            "vs_full": 1.0,
+        },
+        {
+            "mode": "wal_fence",
+            "shards": NUM_SHARDS,
+            "streams": NUM_STREAMS,
+            "points": total,
+            "elapsed_s": round(fence_elapsed, 5),
+            "vs_full": round(speedup, 1),
+        },
+    ]
+    register_table(
+        "checkpoint",
+        rows,
+        ["mode", "shards", "streams", "points", "elapsed_s", "vs_full"],
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"WAL fence is only {speedup:.1f}x faster than a full checkpoint "
+        f"of {NUM_STREAMS} streams (bar: {MIN_SPEEDUP}x)"
+    )

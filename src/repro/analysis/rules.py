@@ -1,4 +1,4 @@
-"""The repo-specific rule battery (RPR001–RPR009).
+"""The repo-specific rule battery (RPR001–RPR010).
 
 Each rule mechanizes an invariant that a past review cycle caught by hand;
 the docstrings say *why* the invariant exists so a triggered finding reads
@@ -720,6 +720,73 @@ class PerArrivalKernelLoopRule:
         return False
 
 
+#: Characters in an ``open()`` mode string that imply a write.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+class CheckpointWriteRule:
+    """RPR010 — serving persistence must go through ``repro.serving.store``.
+
+    The store centralizes the atomic-write discipline: bytes land in a
+    ``*.tmp`` sibling, are flushed and fsynced, and only then ``os.replace``d
+    into place, with the manifest written last so a crash can never leave a
+    half checkpoint that looks complete.  A direct ``open(..., "wb")`` /
+    ``Path.write_bytes`` elsewhere in the serving layer bypasses all of
+    that — the exact bug class this rule pins shut.
+    """
+
+    rule_id = "RPR010"
+    title = "direct file write in repro.serving outside the state store"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.serving"):
+            return
+        if Path(ctx.path).name == "store.py":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            description = self._write_description(node)
+            if description is None:
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"{description} in repro.serving outside repro.serving.store; "
+                "route persistence through a StateStore so every checkpoint "
+                "write stays atomic (tmp + fsync + os.replace)",
+            )
+
+    def _write_description(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = self._mode_argument(call, 1)
+        elif isinstance(func, ast.Attribute) and func.attr == "open":
+            mode = self._mode_argument(call, 0)
+        elif isinstance(func, ast.Attribute) and func.attr in (
+            "write_bytes",
+            "write_text",
+        ):
+            return f"{func.attr}()"
+        else:
+            return None
+        if mode is not None and _WRITE_MODE_CHARS.intersection(mode):
+            return f"open(..., {mode!r})"
+        return None
+
+    @staticmethod
+    def _mode_argument(call: ast.Call, position: int) -> str | None:
+        candidate: ast.AST | None = None
+        if len(call.args) > position:
+            candidate = call.args[position]
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                candidate = keyword.value
+        if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+            return candidate.value
+        return None
+
+
 def ALL_RULES_FACTORY() -> list:
     """Fresh rule instances (RPR008 carries a per-run parse cache)."""
     return [
@@ -732,6 +799,7 @@ def ALL_RULES_FACTORY() -> list:
         SwallowedExceptionRule(),
         BenchIdentityColumnsRule(),
         PerArrivalKernelLoopRule(),
+        CheckpointWriteRule(),
     ]
 
 

@@ -228,6 +228,16 @@ def build_parser() -> argparse.ArgumentParser:
             "checkpoint, written to after the run (snapshot/restore demo)",
         )
         sub.add_argument(
+            "--state-store",
+            default=None,
+            metavar="sqlite:PATH|dir:PATH",
+            help="durable state store: with sqlite: every drain batch is "
+            "persisted to a WAL-mode database as it is applied (crash loses "
+            "at most one batch per shard) and the run restores from the "
+            "store when it holds state; dir: keeps the pickle-directory "
+            "format behind the same interface",
+        )
+        sub.add_argument(
             "--idle-ttl",
             type=float,
             default=None,
@@ -286,8 +296,22 @@ def _serving_setup(args: argparse.Namespace) -> tuple[list, object, object]:
         workers=args.workers,
         idle_ttl=args.idle_ttl,
         revive_cache=args.revive_cache,
+        state_store=args.state_store,
     )
     return points, factory, serving_config
+
+
+def _build_or_restore_service(factory: object, serving_config: object) -> object:
+    """A service continuing the state store's lineage when it holds one."""
+    from .serving import MultiStreamService, make_store
+
+    spec = serving_config.state_store
+    if spec is not None and make_store(spec).has_state():
+        print(f"restoring serving state from state store {spec}")
+        return MultiStreamService.restore(
+            spec, factory=factory, config=serving_config
+        )
+    return MultiStreamService(factory, serving_config)
 
 
 def _parse_listen(listen: str) -> tuple[str, int]:
@@ -310,7 +334,7 @@ def _run_network_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
-    from .serving import AsyncMultiStreamService, MultiStreamService, ServingServer
+    from .serving import AsyncMultiStreamService, ServingServer
 
     host, port = _parse_listen(args.listen)
     _, factory, serving_config = _serving_setup(args)
@@ -329,7 +353,7 @@ def _run_network_serve(args: argparse.Namespace) -> int:
                 continue
             handled.append(signum)
         try:
-            service = MultiStreamService(factory, serving_config)
+            service = _build_or_restore_service(factory, serving_config)
             async with AsyncMultiStreamService(service=service) as async_service:
                 async with ServingServer(
                     async_service, host=host, port=port
@@ -370,7 +394,7 @@ def _run_serving(args: argparse.Namespace, with_queries: bool) -> int:
             checkpoint_dir, factory=factory, config=serving_config
         )
     else:
-        service = MultiStreamService(factory, serving_config)
+        service = _build_or_restore_service(factory, serving_config)
 
     start = time.perf_counter()
     with service:
@@ -382,6 +406,15 @@ def _run_serving(args: argparse.Namespace, with_queries: bool) -> int:
         if checkpoint_dir:
             service.snapshot_to(checkpoint_dir)
             print(f"wrote serving checkpoint to {checkpoint_dir}")
+        if serving_config.state_store is not None:
+            service.snapshot_to()  # WAL fence (or full write on a dir store)
+            store = service.store_stats()
+            if store is not None:
+                print(
+                    f"state store {store.backend}:{store.path}: "
+                    f"{store.wal_entries} WAL deltas pending, "
+                    f"{store.bytes} bytes on disk"
+                )
     throughput = len(arrivals) / ingest_elapsed if ingest_elapsed > 0 else 0.0
 
     shard_rows = [
@@ -539,10 +572,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     usage errors — including semantic ones argparse cannot see, such as an
     unknown dataset name or a ``--backend``/``REPRO_BACKEND`` conflict.
     """
+    from .serving.store import CheckpointError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)
+    except CheckpointError as exc:
+        # Missing/corrupt serving state is an operational failure (1), not
+        # a usage error: the command was well-formed, the artifact is bad.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

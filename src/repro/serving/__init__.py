@@ -26,7 +26,14 @@ serves *many* independent streams from one deployment:
   ``docs/architecture/serving-network.md``, with a Prometheus-text
   ``/metrics`` endpoint (:mod:`repro.serving.metrics`);
 * :class:`~repro.serving.factory.WindowFactory` — picklable per-stream
-  window construction for any of the three algorithm variants.
+  window construction for any of the three algorithm variants;
+* :mod:`repro.serving.store` — durable serving state behind the abstract
+  :class:`~repro.serving.store.StateStore`: atomic pickle-directory
+  checkpoints (:class:`~repro.serving.store.DirectoryStore`) and an
+  incremental WAL-mode SQLite backend
+  (:class:`~repro.serving.store.SQLiteStore`, ``state_store="sqlite:PATH"``)
+  where every drain batch is persisted as it is applied and a crash loses
+  at most one batch per shard.
 
 See ``repro.cli serve`` / ``repro.cli ingest`` for a runnable demo
 (``--listen`` exposes the network front-end, ``--checkpoint-dir`` /
@@ -58,12 +65,22 @@ from .shard import (
     ShardStats,
     ShardWorker,
 )
+from .store import (
+    CheckpointError,
+    DirectoryStore,
+    SQLiteStore,
+    StateStore,
+    StoreStats,
+    make_store,
+)
 
 __all__ = [
     "AsyncMultiStreamService",
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "CheckpointError",
     "DEFAULT_VNODES",
+    "DirectoryStore",
     "FanoutResult",
     "HashRing",
     "IngestQueueFull",
@@ -71,6 +88,7 @@ __all__ = [
     "MultiStreamService",
     "ProcessShardWorker",
     "ReshardStats",
+    "SQLiteStore",
     "ServiceStats",
     "ServingClient",
     "ServingConfig",
@@ -79,7 +97,10 @@ __all__ = [
     "ShardQueryStats",
     "ShardStats",
     "ShardWorker",
+    "StateStore",
+    "StoreStats",
     "StreamRouter",
     "VARIANTS",
     "WindowFactory",
+    "make_store",
 ]

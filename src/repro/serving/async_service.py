@@ -47,6 +47,7 @@ from .service import (
     ServingConfig,
 )
 from .shard import IngestQueueFull, WindowFactoryFn
+from .store import StoreStats
 
 logger = logging.getLogger(__name__)
 
@@ -187,13 +188,21 @@ class AsyncMultiStreamService:
         """Sweep every shard for idle streams (see the sync service)."""
         return await asyncio.to_thread(self._service.evict_idle, ttl)
 
-    async def snapshot_to(self, directory: str | Path) -> Path:
-        """Checkpoint the whole service into ``directory``."""
+    async def snapshot_to(self, directory: str | Path | None = None) -> Path:
+        """Checkpoint into ``directory`` — or fence the configured store."""
         return await asyncio.to_thread(self._service.snapshot_to, directory)
+
+    async def compact(self) -> int:
+        """Fold pending WAL deltas into full snapshots (0 without a store)."""
+        return await asyncio.to_thread(self._service.compact)
 
     async def stats(self) -> ServiceStats:
         """Ingest counters of every shard (a round trip for process shards)."""
         return await asyncio.to_thread(self._service.stats)
+
+    async def store_stats(self) -> StoreStats | None:
+        """Counters of the attached state store, ``None`` without one."""
+        return await asyncio.to_thread(self._service.store_stats)
 
     async def rebalance(self, n_shards: int) -> ReshardStats:
         """Live-reshard to ``n_shards`` (see the sync service).

@@ -167,9 +167,19 @@ class ServingClient:
         }
 
     def stats(self) -> dict:
-        """Per-shard counters and the reshard summary, as plain dicts."""
+        """Per-shard counters, reshard summary, cumulative ingest and store.
+
+        ``ingested_total`` is the service-wide points count (it survives
+        shrink rebalances, unlike the per-shard sum); ``store`` carries the
+        state-store counters or ``None`` when no store is configured.
+        """
         response = self._request({"op": "stats"})
-        return {"shards": response["shards"], "reshard": response["reshard"]}
+        return {
+            "shards": response["shards"],
+            "reshard": response["reshard"],
+            "ingested_total": response.get("ingested_total"),
+            "store": response.get("store"),
+        }
 
     def rebalance(self, n_shards: int) -> dict:
         """Live-reshard the service to ``n_shards``; returns the summary."""

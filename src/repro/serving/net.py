@@ -215,6 +215,27 @@ class ServingServer:
             "repro_reshard_last_duration_seconds",
             "Wall time of the most recent completed rebalance.",
         )
+        self._service_ingested = self.registry.counter(
+            "repro_service_ingested_points_total",
+            "Points ingested service-wide since start, including shards "
+            "retired by shrink rebalances (sampled).",
+        )
+        self._store_wal_entries = self.registry.gauge(
+            "repro_store_wal_entries",
+            "Un-compacted WAL deltas pending in the state store.",
+        )
+        self._store_bytes = self.registry.gauge(
+            "repro_store_bytes",
+            "On-disk footprint of the state store, bytes.",
+        )
+        self._store_compactions = self.registry.counter(
+            "repro_store_compactions_total",
+            "Completed WAL compaction runs (sampled).",
+        )
+        self._store_compaction_age = self.registry.gauge(
+            "repro_store_last_compaction_age_seconds",
+            "Seconds since the last WAL compaction (absent before the first).",
+        )
 
         self._handlers: dict[str, Callable[[dict], Awaitable[dict]]] = {
             "ping": self._op_ping,
@@ -429,9 +450,12 @@ class ServingServer:
 
     async def _op_stats(self, request: dict) -> dict:
         stats = await self._service.stats()
+        store = await self._service.store_stats()
         return {
             "shards": [asdict(shard) for shard in stats],
             "reshard": asdict(stats.reshard),
+            "ingested_total": stats.ingested_total,
+            "store": asdict(store) if store is not None else None,
         }
 
     async def _op_rebalance(self, request: dict) -> dict:
@@ -487,4 +511,12 @@ class ServingServer:
         self._reshard_in_progress.set(1.0 if reshard.in_progress else 0.0)
         self._reshard_shards.set(len(stats))
         self._reshard_duration.set(reshard.elapsed_s)
+        self._service_ingested.set_total(stats.ingested_total)
+        store = await self._service.store_stats()
+        if store is not None:
+            self._store_wal_entries.set(store.wal_entries)
+            self._store_bytes.set(store.bytes)
+            self._store_compactions.set_total(store.compactions)
+            if store.last_compaction_age_s is not None:
+                self._store_compaction_age.set(store.last_compaction_age_s)
         return self.registry.render()

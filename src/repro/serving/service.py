@@ -26,7 +26,6 @@ Typical use::
 
 from __future__ import annotations
 
-import json
 import logging
 import pickle
 import threading
@@ -34,7 +33,7 @@ import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from types import TracebackType
-from typing import Iterable
+from typing import Any, Iterable
 
 from ..core.geometry import Point, StreamItem
 from ..core.snapshot import WindowSnapshot
@@ -48,27 +47,29 @@ from .shard import (
     ShardWorker,
     WindowFactoryFn,
 )
+# The checkpoint format constants moved to repro.serving.store with the
+# rest of the persistence layer; re-exported here for compatibility.
+from .store import CHECKPOINT_FORMAT as CHECKPOINT_FORMAT  # noqa: PLC0414
+from .store import CHECKPOINT_VERSION as CHECKPOINT_VERSION  # noqa: PLC0414
+from .store import (
+    _MANIFEST_FILE,
+    DirectoryStore,
+    StateStore,
+    StoredStream,
+    StoreStats,
+    make_store,
+    parse_store_spec,
+)
 
 logger = logging.getLogger(__name__)
 
 #: Worker flavours accepted by :class:`ServingConfig`.
 WORKER_MODES = ("thread", "process")
 
-#: On-disk checkpoint layout version; bumped when the directory layout or
-#: the manifest fields change (window-level state is versioned separately
-#: by :data:`repro.core.snapshot.SNAPSHOT_VERSION` inside the shard files).
-#: Version 2: stream placement moved from crc32-modulo to the consistent
-#: hash ring, so version-1 checkpoints' shard files are keyed by a
-#: placement this build no longer computes.
-CHECKPOINT_FORMAT = "repro-serving-checkpoint"
-CHECKPOINT_VERSION = 2
-
-_MANIFEST_FILE = "manifest.json"
-_SERVICE_FILE = "service.pkl"
-
-
-def _shard_file(shard_id: int) -> str:
-    return f"shard-{shard_id}.pkl"
+# Set (per thread) while MultiStreamService.restore constructs the new
+# service: the constructor's store reset is about to be overwritten with the
+# restored state, so the "previous state was reset" warning would be noise.
+_RESTORE_CONTEXT = threading.local()
 
 
 @dataclass(frozen=True)
@@ -118,6 +119,25 @@ class ServingConfig:
         placement only when built with the same value, so it is recorded
         in the checkpoint manifest and verified on restore.  The default
         is a good fit for almost every deployment.
+    state_store:
+        Durable state store spec (``sqlite:PATH`` or ``dir:PATH``, see
+        :mod:`repro.serving.store`).  With a WAL-capable store (sqlite)
+        every drain batch is persisted as it is applied, ``snapshot_to()``
+        without a directory becomes a cheap WAL fence, and a crash loses
+        at most one drain batch per shard.  ``None`` (the default) keeps
+        serving purely in memory — explicit directory checkpoints via
+        ``snapshot_to(directory)`` still work either way.  Constructing a
+        service on a store that already holds state starts a *new
+        lineage* (the old state is reset); use
+        :meth:`MultiStreamService.restore` to continue one.
+    compact_interval:
+        Cadence, in seconds, of the background compactor that folds WAL
+        deltas into full per-stream snapshots (WAL stores only).  ``None``
+        disables the background thread; :meth:`MultiStreamService.compact`
+        still folds on demand.
+    compact_threshold:
+        The compactor folds only when at least this many WAL deltas are
+        pending, so an idle service does not churn the database.
     """
 
     num_shards: int = 4
@@ -129,6 +149,9 @@ class ServingConfig:
     snapshot_evicted: bool = True
     revive_cache: int = 0
     vnodes: int = DEFAULT_VNODES
+    state_store: str | None = None
+    compact_interval: float | None = 30.0
+    compact_threshold: int = 512
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -144,6 +167,16 @@ class ServingConfig:
             raise ValueError(f"idle_ttl must be >= 0 when given, got {self.idle_ttl}")
         if self.revive_cache < 0:
             raise ValueError(f"revive_cache must be >= 0, got {self.revive_cache}")
+        if self.state_store is not None:
+            parse_store_spec(self.state_store)  # raises ValueError on a bad spec
+        if self.compact_interval is not None and self.compact_interval <= 0:
+            raise ValueError(
+                f"compact_interval must be > 0 when given, got {self.compact_interval}"
+            )
+        if self.compact_threshold <= 0:
+            raise ValueError(
+                f"compact_threshold must be positive, got {self.compact_threshold}"
+            )
 
 
 @dataclass
@@ -201,14 +234,28 @@ class ServiceStats(list[ShardStats]):
 
     Still a plain ``list`` of per-shard :class:`~repro.serving.shard.ShardStats`
     (every pre-reshard caller iterates or sums it), with the service-level
-    :class:`ReshardStats` summary attached as :attr:`reshard`.
+    :class:`ReshardStats` summary attached as :attr:`reshard` and the
+    cumulative ingest counter as :attr:`ingested_total`.
     """
 
-    __slots__ = ("reshard",)
+    __slots__ = ("reshard", "ingested_total")
 
-    def __init__(self, shards: Iterable[ShardStats], reshard: ReshardStats) -> None:
+    def __init__(
+        self,
+        shards: Iterable[ShardStats],
+        reshard: ReshardStats,
+        ingested_total: int | None = None,
+    ) -> None:
         super().__init__(shards)
         self.reshard = reshard
+        #: Points ingested since the service was built, *including* shards
+        #: retired by a shrink rebalance — unlike ``sum(s.ingested ...)``,
+        #: which forgets a removed shard's count with it.
+        self.ingested_total = (
+            ingested_total
+            if ingested_total is not None
+            else sum(stats.ingested for stats in self)
+        )
 
 
 # Phases of one source shard during a rebalance.  ``pending`` routes like
@@ -289,11 +336,30 @@ class MultiStreamService:
                 f"config asks for {self.config.vnodes} (placement contract)"
             )
         self._factory = factory
+        self._store: StateStore | None = (
+            make_store(self.config.state_store)
+            if self.config.state_store is not None
+            else None
+        )
+        if self._store is not None:
+            # A constructed service is a *new lineage*: the store's stream
+            # state is reset so appends build on a clean slate (restore()
+            # is the path that continues an existing lineage — it reloads
+            # the state before this constructor runs and writes it back
+            # right after).
+            self._store.initialize(
+                self._manifest(),
+                self._service_blob(),
+                quiet=getattr(_RESTORE_CONTEXT, "active", False),
+            )
         self.shards = [
             self._make_worker(shard_id)
             for shard_id in range(self.config.num_shards)
         ]
         self._closed = False
+        #: Ingest counts of shards retired by shrink rebalances, folded
+        #: into the cumulative service-level counter.
+        self._retired_ingested = 0
         # Rebalance machinery: one rebalance at a time; the route condition
         # guards the (router, reshard-state, in-flight counters) triple so
         # routing decisions and shard handovers cannot interleave unsafely.
@@ -304,12 +370,30 @@ class MultiStreamService:
         self._reshard_count = 0
         self._migrated_total = 0
         self._last_reshard: ReshardStats | None = None
+        self._compactor: threading.Thread | None = None
+        self._compactor_stop = threading.Event()
+        if (
+            self._store is not None
+            and self._store.supports_wal
+            and self.config.compact_interval is not None
+        ):
+            self._compactor = threading.Thread(
+                target=self._compact_loop, name="store-compactor", daemon=True
+            )
+            self._compactor.start()
         if self.config.auto_start:
             self.start()
 
     def _make_worker(self, shard_id: int) -> ShardWorker | ProcessShardWorker:
         worker_cls = (
             ProcessShardWorker if self.config.workers == "process" else ShardWorker
+        )
+        # Only WAL-capable stores take the per-drain-batch append path;
+        # full stores (dir) persist through explicit checkpoints instead.
+        store_spec = (
+            self.config.state_store
+            if self._store is not None and self._store.supports_wal
+            else None
         )
         return worker_cls(
             shard_id,
@@ -319,7 +403,60 @@ class MultiStreamService:
             idle_ttl=self.config.idle_ttl,
             snapshot_evicted=self.config.snapshot_evicted,
             revive_cache=self.config.revive_cache,
+            store_spec=store_spec,
         )
+
+    # ------------------------------------------------------------ persistence
+
+    def _manifest(self) -> dict[str, Any]:
+        manifest: dict[str, Any] = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "num_shards": self.config.num_shards,
+            "vnodes": self.config.vnodes,
+            "workers": self.config.workers,
+        }
+        describe = getattr(self._factory, "describe", None)
+        if callable(describe):
+            manifest["factory"] = describe()
+        return manifest
+
+    def _service_blob(self) -> bytes:
+        # Carries the cumulative ingest counter so a restore continues the
+        # lineage's total.  Guarded getattrs: the constructor stamps the
+        # store before shards (and the counter) exist.
+        ingested = getattr(self, "_retired_ingested", 0) + sum(
+            worker.stats().ingested for worker in getattr(self, "shards", [])
+        )
+        return pickle.dumps(
+            {"factory": self._factory, "config": self.config, "ingested": ingested}
+        )
+
+    def _compact_loop(self) -> None:
+        store = self._store
+        assert store is not None
+        interval = self.config.compact_interval
+        while not self._compactor_stop.wait(interval):
+            try:
+                if store.wal_length() >= self.config.compact_threshold:
+                    store.compact()
+            except Exception:  # noqa: BLE001 - the compactor must survive
+                logger.exception("background WAL compaction failed")
+
+    def compact(self) -> int:
+        """Fold pending WAL deltas into full snapshots now.
+
+        Returns the number of deltas folded; a no-op (0) without a
+        WAL-capable state store.  Safe to call while shards are draining —
+        the fold only covers deltas committed before it started.
+        """
+        if self._store is None or not self._store.supports_wal:
+            return 0
+        return self._store.compact()
+
+    def store_stats(self) -> StoreStats | None:
+        """Operational counters of the attached state store (or ``None``)."""
+        return self._store.stats() if self._store is not None else None
 
     # ---------------------------------------------------------------- control
 
@@ -344,8 +481,22 @@ class MultiStreamService:
         if self._closed:
             return
         self._closed = True
+        if self._compactor is not None:
+            self._compactor_stop.set()
+            self._compactor.join(timeout=5.0)
+            self._compactor = None
         for shard in self.shards:
             shard.stop()
+        store = self._store
+        if store is not None:
+            if store.supports_wal:
+                # Fold the WAL on a clean shutdown so the next restore
+                # starts from a compacted snapshot instead of a replay.
+                try:
+                    store.compact()
+                except Exception:  # noqa: BLE001 - shutdown must not mask failures
+                    logger.exception("final WAL compaction failed during close")
+            store.close()
         for shard in self.shards:
             failure = shard.failure
             if failure is not None:
@@ -584,7 +735,11 @@ class MultiStreamService:
             self._reshard_state = None
             self._route_cond.notify_all()
         # Removed shards are fully drained (the new ring never maps onto
-        # them), so stopping them outside the route lock is safe.
+        # them), so stopping them outside the route lock is safe.  Their
+        # ingest counts are banked first: the cumulative service counter
+        # must not drop when a shard retires with its counter.
+        for worker in removed:
+            self._retired_ingested += worker.stats().ingested
         for worker in removed:
             worker.stop()
         summary = self._finish_reshard(old_n, n_shards, state.migrated, start)
@@ -611,10 +766,10 @@ class MultiStreamService:
             sid for sid in known if state.new_router.shard_of(sid) != shard_id
         ]
         snapshots = shard.extract(moving) if moving else {}
-        regrouped: dict[int, dict[str, WindowSnapshot]] = {}
-        for stream_id, snapshot in snapshots.items():
+        regrouped: dict[int, dict[str, tuple[WindowSnapshot, int]]] = {}
+        for stream_id, entry in snapshots.items():
             target = state.new_router.shard_of(stream_id)
-            regrouped.setdefault(target, {})[stream_id] = snapshot
+            regrouped.setdefault(target, {})[stream_id] = entry
         for target, payload in regrouped.items():
             self.shards[target].adopt(payload)
         with self._route_cond:
@@ -655,43 +810,43 @@ class MultiStreamService:
             evicted.extend(shard.evict_idle(ttl))
         return evicted
 
-    def snapshot_to(self, directory: str | Path) -> Path:
-        """Checkpoint the whole service into ``directory``.
+    def snapshot_to(self, directory: str | Path | None = None) -> Path:
+        """Checkpoint the service — into ``directory``, or its state store.
 
-        Flushes first (queued arrivals are part of the checkpoint), then
-        writes one pickle of :class:`~repro.core.snapshot.WindowSnapshot`
-        maps per shard plus a ``manifest.json`` and the pickled factory /
-        config, so :meth:`restore` can rebuild the service without any
-        other context.  The directory is created when missing.  The
-        manifest marks a complete checkpoint: when overwriting an existing
-        checkpoint the old manifest is removed *first* and the new one is
-        written *last*, so a crash mid-rewrite leaves a directory that
-        :meth:`has_checkpoint` reports as incomplete rather than a silent
-        mix of two generations.
+        With a ``directory`` (the original API) a full, self-contained
+        pickle-directory checkpoint is written through
+        :class:`~repro.serving.store.DirectoryStore`: the service flushes
+        first (queued arrivals are part of the checkpoint), every file is
+        written atomically (``*.tmp`` + ``os.replace``, fsync before the
+        manifest lands), and the manifest goes last so a crash mid-write
+        leaves a directory :meth:`has_checkpoint` reports incomplete
+        rather than a truncated file behind a valid-looking one.
+
+        Without a directory the checkpoint goes to the configured
+        ``state_store``.  On a WAL store this is a *fence*: the per-batch
+        appends already hold the stream state, so checkpointing is one
+        manifest stamp — no flush barrier, no world rewrite, cost
+        independent of stream count.  On a directory-backed store it is a
+        full checkpoint into the store's path.
         """
+        if directory is None:
+            store = self._store
+            if store is None:
+                raise ValueError(
+                    "snapshot_to() needs a directory when the service has "
+                    "no state_store configured"
+                )
+            if store.supports_wal:
+                return store.fence(self._manifest(), self._service_blob())
+            target: StateStore = store
+        else:
+            target = DirectoryStore(directory)
         self.flush()
-        path = Path(directory)
-        path.mkdir(parents=True, exist_ok=True)
-        (path / _MANIFEST_FILE).unlink(missing_ok=True)
-        manifest = {
-            "format": CHECKPOINT_FORMAT,
-            "version": CHECKPOINT_VERSION,
-            "num_shards": self.config.num_shards,
-            "vnodes": self.config.vnodes,
-            "workers": self.config.workers,
-        }
-        describe = getattr(self._factory, "describe", None)
-        if callable(describe):
-            manifest["factory"] = describe()
-        with open(path / _SERVICE_FILE, "wb") as handle:
-            pickle.dump({"factory": self._factory, "config": self.config}, handle)
+        streams: dict[str, StoredStream] = {}
         for shard in self.shards:
-            with open(path / _shard_file(shard.shard_id), "wb") as handle:
-                pickle.dump(shard.checkpoint(), handle)
-        # The manifest goes last: its presence marks a complete checkpoint.
-        with open(path / _MANIFEST_FILE, "w", encoding="utf-8") as handle:
-            json.dump(manifest, handle, indent=2)
-        return path
+            for stream_id, snapshot in shard.checkpoint().items():
+                streams[stream_id] = StoredStream(shard.shard_id, 0, snapshot)
+        return target.write_full(self._manifest(), self._service_blob(), streams)
 
     @staticmethod
     def has_checkpoint(directory: str | Path) -> bool:
@@ -701,57 +856,85 @@ class MultiStreamService:
     @classmethod
     def restore(
         cls,
-        directory: str | Path,
+        source: str | Path,
         *,
         factory: WindowFactoryFn | None = None,
         config: ServingConfig | None = None,
         workers: str | None = None,
     ) -> "MultiStreamService":
-        """Rebuild a service from a :meth:`snapshot_to` checkpoint.
+        """Rebuild a service from a checkpoint directory or a state store.
 
-        By default the factory and config pickled into the checkpoint are
-        reused; ``factory`` / ``config`` override them (the shard count
-        must match — stream routing is a function of it) and ``workers``
-        is a shorthand to switch worker flavour only (a process-shard
+        ``source`` is a checkpoint directory path (the original API) or a
+        store spec — ``sqlite:PATH`` / ``dir:PATH``.  By default the
+        factory and config pickled into the checkpoint are reused;
+        ``factory`` / ``config`` override them and ``workers`` is a
+        shorthand to switch worker flavour only (a process-shard
         checkpoint restores fine into thread shards and vice versa: the
-        snapshot format is identical).  Restored streams are materialised
-        lazily on their first ingest or per-stream :meth:`query`, so this
-        returns quickly regardless of checkpoint size; :meth:`query_all`
-        covers live streams only and therefore starts out empty.  The
-        config's ``auto_start`` is honoured (process shards still start on
-        demand to receive their state).
+        snapshot format is identical).  For directory checkpoints the
+        shard count and vnodes must match the manifest — their stream
+        placement *is* the shard files' layout; a SQLite store records
+        per-stream rows, so restoring it re-routes streams through the
+        target config's ring and any topology works.  Restored streams
+        are materialised lazily on their first ingest or per-stream
+        :meth:`query`, so this returns quickly regardless of checkpoint
+        size; :meth:`query_all` covers live streams only and therefore
+        starts out empty.  Missing or corrupt artifacts raise
+        :class:`~repro.serving.store.CheckpointError` naming the path.
         """
-        path = Path(directory)
-        with open(path / _MANIFEST_FILE, encoding="utf-8") as handle:
-            manifest = json.load(handle)
-        if manifest.get("format") != CHECKPOINT_FORMAT:
-            raise ValueError(f"{path} is not a serving checkpoint directory")
-        if manifest.get("version") != CHECKPOINT_VERSION:
-            raise ValueError(
-                f"checkpoint version {manifest.get('version')} is not "
-                f"supported by this build (expected {CHECKPOINT_VERSION})"
-            )
-        with open(path / _SERVICE_FILE, "rb") as handle:
-            saved = pickle.load(handle)
+        store = make_store(source)
+        manifest, saved, streams = store.load()
         factory = factory if factory is not None else saved["factory"]
         config = config if config is not None else saved["config"]
         if workers is not None:
             config = replace(config, workers=workers)
-        if config.num_shards != manifest["num_shards"]:
-            raise ValueError(
-                f"checkpoint was taken with {manifest['num_shards']} shards; "
-                f"restoring with {config.num_shards} would re-route streams "
-                "(restore with the original count, then rebalance)"
+        if not store.supports_wal:
+            if config.num_shards != manifest["num_shards"]:
+                raise ValueError(
+                    f"checkpoint was taken with {manifest['num_shards']} shards; "
+                    f"restoring with {config.num_shards} would re-route streams "
+                    "(restore with the original count, then rebalance)"
+                )
+            if config.vnodes != manifest["vnodes"]:
+                raise ValueError(
+                    f"checkpoint was taken with {manifest['vnodes']} vnodes per "
+                    f"shard; restoring with {config.vnodes} would re-route streams"
+                )
+        _RESTORE_CONTEXT.active = True
+        try:
+            service = cls(factory, config)
+        finally:
+            _RESTORE_CONTEXT.active = False
+        # Continue the lineage's cumulative ingest counter (pre-store
+        # service blobs carry no counter: start from zero).
+        service._retired_ingested = int(saved.get("ingested", 0))
+        # Route every stream through the *new* service's ring (for
+        # directory checkpoints this reproduces the shard files' grouping;
+        # for stores it is what makes cross-topology restores work).
+        per_shard_snapshots: dict[int, dict[str, WindowSnapshot]] = {}
+        per_shard_generations: dict[int, dict[str, int]] = {}
+        placed: dict[str, StoredStream] = {}
+        for stream_id, stored in streams.items():
+            shard_id = service.router.shard_of(stream_id)
+            per_shard_snapshots.setdefault(shard_id, {})[stream_id] = stored.snapshot
+            per_shard_generations.setdefault(shard_id, {})[stream_id] = (
+                stored.generation
             )
-        if config.vnodes != manifest["vnodes"]:
-            raise ValueError(
-                f"checkpoint was taken with {manifest['vnodes']} vnodes per "
-                f"shard; restoring with {config.vnodes} would re-route streams"
+            placed[stream_id] = StoredStream(
+                shard_id, stored.generation, stored.snapshot
             )
-        service = cls(factory, config)
+        attached = service._store
+        if attached is not None and attached.supports_wal:
+            # The constructor reset the attached store to a fresh lineage;
+            # seed it with the restored state (and placements) so the
+            # shards' appends continue the restored generations.
+            attached.write_full(
+                service._manifest(), service._service_blob(), placed
+            )
         for shard in service.shards:
-            with open(path / _shard_file(shard.shard_id), "rb") as handle:
-                shard.restore(pickle.load(handle))
+            shard.restore(
+                per_shard_snapshots.get(shard.shard_id, {}),
+                per_shard_generations.get(shard.shard_id, {}),
+            )
         return service
 
     # ------------------------------------------------------------ diagnostics
@@ -794,7 +977,11 @@ class MultiStreamService:
                 )
         # Shard stats outside the route lock: process shards answer with a
         # queue round trip, which must not stall routing decisions.
-        return ServiceStats([shard.stats() for shard in shards], reshard)
+        per_shard = [shard.stats() for shard in shards]
+        ingested_total = self._retired_ingested + sum(
+            stats.ingested for stats in per_shard
+        )
+        return ServiceStats(per_shard, reshard, ingested_total)
 
     def stream_ids(self) -> list[str]:
         """Every stream id currently served (across all shards)."""

@@ -51,6 +51,7 @@ from ..core.geometry import Point, StreamItem
 from ..core.protocols import ServedWindow
 from ..core.snapshot import WindowSnapshot
 from ..core.solution import ClusteringSolution
+from .store import StateStore, make_store
 
 #: ``factory(stream_id) -> window``; the returned window must satisfy the
 #: :class:`~repro.core.protocols.ServedWindow` structural interface.
@@ -123,6 +124,9 @@ class _StreamTable:
         "factory",
         "snapshot_evicted",
         "revive_cache",
+        "store",
+        "shard_id",
+        "generations",
         "windows",
         "last_ingest",
         "cold",
@@ -136,11 +140,23 @@ class _StreamTable:
         factory: WindowFactoryFn,
         snapshot_evicted: bool,
         revive_cache: int = 0,
+        *,
+        store: StateStore | None = None,
+        shard_id: int = 0,
     ) -> None:
         self.factory = factory
         self.snapshot_evicted = snapshot_evicted
         #: capacity of the evicted-window LRU (0 disables it).
         self.revive_cache = revive_cache
+        #: WAL-capable state store every drain batch is appended to
+        #: (``None`` disables persistence — the pre-store behaviour).
+        self.store = store
+        self.shard_id = shard_id
+        #: per-stream monotonic persistence counter, bumped once per drain
+        #: batch that touched the stream.  Entries outlive eviction (even a
+        #: full drop): a stream that restarts empty keeps climbing the same
+        #: counter, so its fresh appends supersede the stale stored state.
+        self.generations: dict[str, int] = {}
         self.windows: dict[str, ServedWindow] = {}
         #: per live stream: monotonic time of its last applied ingest (the
         #: idle clock; revival also stamps it so a revived stream gets a
@@ -178,12 +194,27 @@ class _StreamTable:
         return window
 
     def apply(self, batch: list[tuple[str, Point | StreamItem]]) -> None:
-        """Apply a drained mixed batch, regrouped into per-stream runs."""
+        """Apply a drained mixed batch, regrouped into per-stream runs.
+
+        With a WAL store attached the batch is made durable before this
+        returns: every touched stream's post-batch snapshot is appended —
+        stamped with its next generation — in one committed transaction.
+        A crash therefore loses at most the one batch being applied.
+        """
         now = time.monotonic()
+        touched: dict[str, ServedWindow] = {}
         for stream_id, run in _group_by_stream(batch).items():
             window = self.materialise(stream_id)
             window.insert_batch(run)
             self.last_ingest[stream_id] = now
+            touched[stream_id] = window
+        if self.store is not None:
+            entries: dict[str, tuple[int, WindowSnapshot]] = {}
+            for stream_id, window in touched.items():
+                generation = self.generations.get(stream_id, 0) + 1
+                self.generations[stream_id] = generation
+                entries[stream_id] = (generation, window.snapshot())
+            self.store.append(self.shard_id, entries)
 
     def known(self, stream_id: str) -> bool:
         """Whether the stream is live, cached or cold on this shard."""
@@ -239,55 +270,72 @@ class _StreamTable:
         )
         return ids
 
-    def extract(self, stream_ids: list[str]) -> dict[str, WindowSnapshot]:
-        """Remove ``stream_ids`` from this shard, returning their snapshots.
+    def extract(self, stream_ids: list[str]) -> dict[str, tuple[WindowSnapshot, int]]:
+        """Remove ``stream_ids`` from this shard, returning state + generation.
 
         The migration primitive of :meth:`MultiStreamService.rebalance`:
         live and LRU-cached windows are snapshotted and torn down, cold
-        streams hand over their stored snapshot.  Ids without state on
-        this shard are skipped — they have nothing to migrate and will
-        simply be created on their new shard on first touch.  The caller
-        must have drained the ingest queue first (the service's rebalance
-        barrier does), otherwise queued arrivals would revive the stream
-        here after extraction.
+        streams hand over their stored snapshot; either way the stream's
+        persistence generation travels with it so the adopting shard keeps
+        the counter monotonic.  Ids without state on this shard are
+        skipped — they have nothing to migrate and will simply be created
+        on their new shard on first touch.  The caller must have drained
+        the ingest queue first (the service's rebalance barrier does),
+        otherwise queued arrivals would revive the stream here after
+        extraction.
         """
-        snapshots: dict[str, WindowSnapshot] = {}
+        snapshots: dict[str, tuple[WindowSnapshot, int]] = {}
         for stream_id in stream_ids:
             window = self.windows.pop(stream_id, None)
             if window is not None:
                 self.last_ingest.pop(stream_id, None)
                 self.lru.pop(stream_id, None)
                 self.cold.pop(stream_id, None)
-                snapshots[stream_id] = window.snapshot()
-                continue
-            window = self.lru.pop(stream_id, None)
-            if window is not None:
-                self.cold.pop(stream_id, None)
-                snapshots[stream_id] = window.snapshot()
-                continue
-            snapshot = self.cold.pop(stream_id, None)
-            if snapshot is not None:
-                snapshots[stream_id] = snapshot
+                snapshot = window.snapshot()
+            else:
+                window = self.lru.pop(stream_id, None)
+                if window is not None:
+                    self.cold.pop(stream_id, None)
+                    snapshot = window.snapshot()
+                else:
+                    cold = self.cold.pop(stream_id, None)
+                    if cold is None:
+                        continue
+                    snapshot = cold
+            snapshots[stream_id] = (snapshot, self.generations.pop(stream_id, 0))
         return snapshots
 
-    def adopt(self, snapshots: dict[str, WindowSnapshot]) -> None:
+    def adopt(self, snapshots: dict[str, tuple[WindowSnapshot, int]]) -> None:
         """Take ownership of migrated streams (the other half of a move).
 
         Adopted streams are parked *cold* — exactly like restored ones —
         so adoption costs one dict insert per stream and the window is
         rebuilt lazily on the stream's first ingest or query on this
-        shard.  The rebalance barrier guarantees no arrival reaches this
-        shard for a migrating stream before its snapshot does, so a live
-        window for an adopted id means the migration protocol was
-        violated.
+        shard.  With a WAL store the handover is also persisted (at the
+        adopting shard's id, one generation up), so a crash right after a
+        rebalance restores the post-move placement.  The rebalance barrier
+        guarantees no arrival reaches this shard for a migrating stream
+        before its snapshot does, so a live window for an adopted id means
+        the migration protocol was violated.
         """
-        for stream_id, snapshot in snapshots.items():
+        for stream_id, (snapshot, generation) in snapshots.items():
             if stream_id in self.windows or stream_id in self.lru:
                 raise RuntimeError(
                     f"stream {stream_id!r} is already live on the adopting "
                     f"shard; migration barrier violated"
                 )
             self.cold[stream_id] = snapshot
+            self.generations[stream_id] = generation
+        if self.store is not None and snapshots:
+            self.store.append(
+                self.shard_id,
+                {
+                    stream_id: (generation + 1, snapshot)
+                    for stream_id, (snapshot, generation) in snapshots.items()
+                },
+            )
+            for stream_id, (_, generation) in snapshots.items():
+                self.generations[stream_id] = generation + 1
 
     def checkpoint(self) -> dict[str, WindowSnapshot]:
         """Snapshots of every known stream (live and cached snapshotted now)."""
@@ -300,17 +348,24 @@ class _StreamTable:
         snapshots.update(self.cold)
         return snapshots
 
-    def restore(self, snapshots: dict[str, WindowSnapshot]) -> None:
+    def restore(
+        self,
+        snapshots: dict[str, WindowSnapshot],
+        generations: dict[str, int] | None = None,
+    ) -> None:
         """Replace the table's contents with a checkpoint's streams.
 
         Streams are loaded *cold* — no window is built until a stream's
         first ingest or query — so restoring a large checkpoint is cheap
         and restored-but-never-touched streams cost one snapshot each.
+        ``generations`` carries the streams' persistence counters forward
+        (absent for directory checkpoints, which do not store them).
         """
         self.windows.clear()
         self.last_ingest.clear()
         self.lru.clear()
         self.cold = dict(snapshots)
+        self.generations = dict(generations or {})
 
     def memory_points(self) -> int:
         """Stored points across the live and LRU-cached windows.
@@ -342,6 +397,7 @@ class ShardWorker:
         idle_ttl: float | None = None,
         snapshot_evicted: bool = True,
         revive_cache: int = 0,
+        store_spec: str | None = None,
     ) -> None:
         if queue_capacity <= 0:
             raise ValueError(f"queue_capacity must be positive, got {queue_capacity}")
@@ -357,7 +413,14 @@ class ShardWorker:
         self._idle_ttl = idle_ttl
         self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
         self._lock = threading.Lock()
-        self._table = _StreamTable(factory, snapshot_evicted, revive_cache)
+        self._store = make_store(store_spec) if store_spec is not None else None
+        self._table = _StreamTable(
+            factory,
+            snapshot_evicted,
+            revive_cache,
+            store=self._store,
+            shard_id=shard_id,
+        )
         self._ingested = 0
         self._batches = 0
         self._max_batch = 0
@@ -388,6 +451,8 @@ class ShardWorker:
         self._queue.put(_STOP)
         self._thread.join()
         self._thread = None
+        if self._store is not None:
+            self._store.close()
 
     @property
     def is_running(self) -> bool:
@@ -491,7 +556,11 @@ class ShardWorker:
         with self._lock:
             return self._table.checkpoint()
 
-    def restore(self, snapshots: dict[str, WindowSnapshot]) -> None:
+    def restore(
+        self,
+        snapshots: dict[str, WindowSnapshot],
+        generations: dict[str, int] | None = None,
+    ) -> None:
         """Replace this shard's streams with a checkpoint's.
 
         Arrivals submitted before the call are flushed into the *old*
@@ -503,7 +572,7 @@ class ShardWorker:
         """
         self.flush()
         with self._lock:
-            self._table.restore(snapshots)
+            self._table.restore(snapshots, generations)
 
     def evict_idle(self, ttl: float | None = None) -> list[str]:
         """Evict streams idle for at least ``ttl`` seconds (manual sweep).
@@ -522,8 +591,8 @@ class ShardWorker:
         with self._lock:
             return self._table.known_ids()
 
-    def extract(self, stream_ids: list[str]) -> dict[str, WindowSnapshot]:
-        """Remove ``stream_ids`` from this shard, returning their snapshots.
+    def extract(self, stream_ids: list[str]) -> dict[str, tuple[WindowSnapshot, int]]:
+        """Remove ``stream_ids`` from this shard (snapshot + generation each).
 
         Flush first: queued arrivals for an extracted stream would revive
         it here after the move (the service's rebalance barrier does).
@@ -532,7 +601,7 @@ class ShardWorker:
         with self._lock:
             return self._table.extract(stream_ids)
 
-    def adopt(self, snapshots: dict[str, WindowSnapshot]) -> None:
+    def adopt(self, snapshots: dict[str, tuple[WindowSnapshot, int]]) -> None:
         """Take ownership of migrated streams (parked cold until touched)."""
         self._raise_on_failure()
         with self._lock:
@@ -599,9 +668,13 @@ def _process_shard_main(
     idle_ttl: float | None = None,
     snapshot_evicted: bool = True,
     revive_cache: int = 0,
+    store_spec: str | None = None,
 ) -> None:
     """Drain loop of a process-backed shard (runs in the child process)."""
-    table = _StreamTable(factory, snapshot_evicted, revive_cache)
+    store = make_store(store_spec) if store_spec is not None else None
+    table = _StreamTable(
+        factory, snapshot_evicted, revive_cache, store=store, shard_id=shard_id
+    )
     ingested = 0
     batches = 0
     max_batch = 0
@@ -640,7 +713,8 @@ def _process_shard_main(
         elif kind == "checkpoint":
             results.put(("checkpoint", table.checkpoint()))
         elif kind == "restore":
-            table.restore(payload)
+            snapshots, generations = payload
+            table.restore(snapshots, generations)
             results.put(("restored", None))
         elif kind == "evict":
             ttl = idle_ttl if payload is None else payload
@@ -706,6 +780,7 @@ class ProcessShardWorker:
         idle_ttl: float | None = None,
         snapshot_evicted: bool = True,
         revive_cache: int = 0,
+        store_spec: str | None = None,
     ) -> None:
         if queue_capacity <= 0:
             raise ValueError(f"queue_capacity must be positive, got {queue_capacity}")
@@ -721,6 +796,7 @@ class ProcessShardWorker:
         self._idle_ttl = idle_ttl
         self._snapshot_evicted = snapshot_evicted
         self._revive_cache = revive_cache
+        self._store_spec = store_spec
         context = multiprocessing.get_context()
         self._tasks: multiprocessing.Queue = context.Queue(maxsize=queue_capacity)
         self._results: multiprocessing.Queue = context.Queue()
@@ -743,6 +819,7 @@ class ProcessShardWorker:
                     self._idle_ttl,
                     self._snapshot_evicted,
                     self._revive_cache,
+                    self._store_spec,
                 ),
                 daemon=True,
             )
@@ -914,7 +991,11 @@ class ProcessShardWorker:
         self._tasks.put(("checkpoint", None))
         return self._expect("checkpoint")
 
-    def restore(self, snapshots: dict[str, WindowSnapshot]) -> None:
+    def restore(
+        self,
+        snapshots: dict[str, WindowSnapshot],
+        generations: dict[str, int] | None = None,
+    ) -> None:
         """Replace the worker process' streams with a checkpoint's.
 
         Starts the worker when necessary.  Arrivals buffered before the
@@ -925,7 +1006,7 @@ class ProcessShardWorker:
         """
         self.start()
         self._send_pending(block=True, timeout=None)
-        self._tasks.put(("restore", snapshots))
+        self._tasks.put(("restore", (snapshots, generations)))
         self._expect("restored")
 
     def evict_idle(self, ttl: float | None = None) -> list[str]:
@@ -940,13 +1021,13 @@ class ProcessShardWorker:
         self._tasks.put(("known", None))
         return self._expect("known")
 
-    def extract(self, stream_ids: list[str]) -> dict[str, WindowSnapshot]:
+    def extract(self, stream_ids: list[str]) -> dict[str, tuple[WindowSnapshot, int]]:
         """Remove ``stream_ids`` from the worker process (one round trip)."""
         self._send_pending(block=True, timeout=None)
         self._tasks.put(("extract", stream_ids))
         return self._expect("extracted")
 
-    def adopt(self, snapshots: dict[str, WindowSnapshot]) -> None:
+    def adopt(self, snapshots: dict[str, tuple[WindowSnapshot, int]]) -> None:
         """Ship migrated streams into the worker process (parked cold)."""
         self.start()
         self._send_pending(block=True, timeout=None)

@@ -1,0 +1,796 @@
+"""Durable serving state: directory checkpoints and a SQLite WAL store.
+
+Every byte of serving state that reaches disk goes through this module.
+Two backends share the :class:`StateStore` interface:
+
+* :class:`DirectoryStore` — the pickle-directory checkpoint format that
+  :meth:`MultiStreamService.snapshot_to` has always written
+  (``manifest.json`` + ``service.pkl`` + one ``shard-N.pkl`` per shard),
+  kept byte-compatible.  It is a *full-checkpoint* store: every write
+  rewrites the world, atomically (``*.tmp`` then :func:`os.replace`,
+  fsync before the manifest lands).
+* :class:`SQLiteStore` — an *incremental* store on stdlib :mod:`sqlite3`
+  in WAL journal mode.  Shards append per-drain-batch deltas (the
+  :class:`~repro.core.snapshot.WindowSnapshot` of every stream touched by
+  the batch, stamped with a per-stream ``generation``) as they drain; a
+  compactor folds the deltas into a full-snapshot table; restore reads
+  the compacted snapshots and replays the WAL tail on top.  A checkpoint
+  (``fence``) is one manifest stamp — no flush barrier, no world rewrite.
+
+Durability contract of the SQLite backend: every ``append`` is one
+committed transaction, so killing a shard process with ``SIGKILL`` loses
+at most the one drain batch that had not yet committed.  ``synchronous=
+NORMAL`` under WAL mode makes commits crash-safe against *process* death
+(the guarantee the kill-9 tests pin); an OS-level power cut may drop the
+WAL tail but never corrupts the store.
+
+Specs: stores are addressed by ``sqlite:PATH`` / ``dir:PATH`` strings
+(see :func:`make_store`), the format the CLI's ``--state-store`` flag and
+``ServingConfig.state_store`` accept.  A bare path is a directory store,
+which keeps every pre-existing ``restore(directory)`` call working.
+
+Error contract: a missing or unreadable artifact — absent manifest,
+truncated shard pickle, corrupt database — raises :class:`CheckpointError`
+naming the offending path (the CLI maps it to exit code 1).  A *readable*
+checkpoint written by an incompatible build or topology still raises
+``ValueError`` (usage error, exit code 2), as it always has.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pickle
+import sqlite3
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..core.snapshot import WindowSnapshot
+
+logger = logging.getLogger(__name__)
+
+#: On-disk checkpoint layout version; bumped when the directory layout or
+#: the manifest fields change (window-level state is versioned separately
+#: by :data:`repro.core.snapshot.SNAPSHOT_VERSION` inside the shard files).
+#: Version 2: stream placement moved from crc32-modulo to the consistent
+#: hash ring, so version-1 checkpoints' shard files are keyed by a
+#: placement this build no longer computes.
+CHECKPOINT_FORMAT = "repro-serving-checkpoint"
+CHECKPOINT_VERSION = 2
+
+#: SQLite store format marker and schema version (independent of the
+#: directory layout: the database carries streams, not shard files).
+STORE_FORMAT = "repro-serving-state-store"
+STORE_VERSION = 1
+
+_MANIFEST_FILE = "manifest.json"
+_SERVICE_FILE = "service.pkl"
+
+#: How long a writer waits on a locked database before giving up.  Shard
+#: processes and the parent's compactor write concurrently; WAL mode keeps
+#: writers short, so contention is rare and brief.
+_BUSY_TIMEOUT_S = 30.0
+
+_STORE_KINDS = ("dir", "sqlite")
+
+
+def _shard_file(shard_id: int) -> str:
+    return f"shard-{shard_id}.pkl"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint artifact is missing or unreadable.
+
+    Raised when serving state cannot be loaded or persisted because an
+    artifact is absent, truncated or corrupt — as opposed to a *readable*
+    checkpoint from an incompatible build, which stays ``ValueError``.
+    The offending filesystem path rides along as :attr:`path`.
+    """
+
+    def __init__(self, message: str, *, path: str | Path | None = None) -> None:
+        super().__init__(message)
+        #: The artifact the failure points at, when known.
+        self.path = str(path) if path is not None else None
+
+
+@dataclass(frozen=True)
+class StoredStream:
+    """One stream's persisted state: owner shard, generation, snapshot."""
+
+    shard_id: int
+    generation: int
+    snapshot: WindowSnapshot
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Operational counters of a state store (surfaced via ``stats``)."""
+
+    backend: str
+    path: str
+    #: Streams with persisted state; ``None`` when counting would require
+    #: loading the store (the directory backend).
+    streams: int | None
+    #: Un-compacted WAL deltas waiting to be folded (0 for full stores).
+    wal_entries: int
+    #: On-disk footprint in bytes (database + its WAL/shm side files, or
+    #: the checkpoint directory's files).
+    bytes: int
+    #: Completed compaction runs that folded at least one delta.
+    compactions: int
+    #: Seconds since the last compaction, ``None`` if never compacted.
+    last_compaction_age_s: float | None
+    #: Seconds since the last checkpoint fence, ``None`` if never fenced.
+    last_fence_age_s: float | None
+
+
+def parse_store_spec(spec: str) -> tuple[str, str]:
+    """Split ``kind:path`` into its parts, validating the kind."""
+    kind, sep, path = spec.partition(":")
+    if not sep or kind not in _STORE_KINDS or not path:
+        raise ValueError(
+            f"state store spec must look like sqlite:PATH or dir:PATH, "
+            f"got {spec!r}"
+        )
+    return kind, path
+
+
+def make_store(source: str | Path) -> "StateStore":
+    """Build a store from a spec string or a bare directory path.
+
+    ``sqlite:PATH`` opens (creating on first write) a :class:`SQLiteStore`;
+    ``dir:PATH`` a :class:`DirectoryStore`.  Anything else — a ``Path`` or
+    a plain string — is treated as a directory path, which is what every
+    pre-existing ``snapshot_to`` / ``restore`` caller passes.
+    """
+    if isinstance(source, str) and source.startswith(("sqlite:", "dir:")):
+        kind, path = parse_store_spec(source)
+        if kind == "sqlite":
+            return SQLiteStore(path)
+        return DirectoryStore(path)
+    return DirectoryStore(source)
+
+
+class StateStore(ABC):
+    """Where a service's stream state lives between (and across) runs.
+
+    A store holds three things: the checkpoint *manifest* (topology and
+    factory description, JSON), the pickled *service payload* (factory +
+    config, enough to rebuild the service object), and the per-stream
+    window *state* as :class:`StoredStream` records.  Full stores rewrite
+    all three per checkpoint; WAL stores (``supports_wal``) additionally
+    accept per-drain-batch :meth:`append` deltas from the shard workers
+    and make the checkpoint itself a metadata-only :meth:`fence`.
+    """
+
+    #: Backend discriminator (``"dir"`` / ``"sqlite"``).
+    kind: str
+    #: Whether the store accepts incremental :meth:`append` deltas.
+    supports_wal: bool
+    #: Filesystem location (directory or database file).
+    path: str
+
+    @property
+    def spec(self) -> str:
+        """The ``kind:path`` string that rebuilds this store."""
+        return f"{self.kind}:{self.path}"
+
+    @abstractmethod
+    def has_state(self) -> bool:
+        """Whether the store already holds a restorable checkpoint."""
+
+    @abstractmethod
+    def initialize(
+        self, manifest: dict[str, Any], service_blob: bytes, *, quiet: bool = False
+    ) -> None:
+        """Start a new lineage: record the manifest, clear stream state.
+
+        ``quiet`` suppresses the reset warning — used by ``restore``, whose
+        reset is immediately followed by re-seeding the restored state.
+        """
+
+    @abstractmethod
+    def write_full(
+        self,
+        manifest: dict[str, Any],
+        service_blob: bytes,
+        streams: dict[str, StoredStream],
+    ) -> Path:
+        """Replace the store's contents with a complete checkpoint."""
+
+    @abstractmethod
+    def load(self) -> tuple[dict[str, Any], Any, dict[str, StoredStream]]:
+        """Read ``(manifest, service payload, streams)`` back.
+
+        The service payload is returned unpickled; stream state is the
+        latest generation per stream (compacted snapshots overlaid by the
+        WAL tail, for stores that have one).
+        """
+
+    def append(
+        self, shard_id: int, entries: dict[str, tuple[int, WindowSnapshot]]
+    ) -> None:
+        """Durably record one drain batch's touched streams (WAL stores)."""
+        raise NotImplementedError(f"{self.kind} stores do not accept WAL appends")
+
+    def fence(self, manifest: dict[str, Any], service_blob: bytes) -> Path:
+        """Stamp a checkpoint without rewriting stream state (WAL stores)."""
+        raise NotImplementedError(f"{self.kind} stores cannot fence; write_full")
+
+    def compact(self) -> int:
+        """Fold WAL deltas into full snapshots; returns deltas folded."""
+        return 0
+
+    def wal_length(self) -> int:
+        """Un-compacted WAL deltas currently pending (0 for full stores)."""
+        return 0
+
+    @abstractmethod
+    def stats(self) -> StoreStats:
+        """Operational counters for dashboards and ``/metrics``."""
+
+    def close(self) -> None:
+        """Release any open handles (idempotent)."""
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` so that ``path`` is never observable half-written.
+
+    The bytes land in a sibling ``*.tmp`` first, are fsynced, and only
+    then renamed over the target — a crash at any instant leaves either
+    the old complete file or the new complete file, never a truncation.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make completed renames in ``directory`` durable."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class DirectoryStore(StateStore):
+    """The pickle-directory checkpoint format, written atomically.
+
+    Byte-compatible with every checkpoint the service has ever written:
+    ``manifest.json`` (presence marks a *complete* checkpoint), the
+    pickled factory/config in ``service.pkl``, and one pickled
+    ``{stream_id: WindowSnapshot}`` map per shard.  What changed is the
+    write discipline — every file goes through tmp + fsync +
+    :func:`os.replace`, shard files are durable *before* the manifest
+    lands, and overwriting removes the old manifest first — so a crash
+    mid-checkpoint can never leave a truncated file behind a
+    valid-looking directory.
+    """
+
+    kind = "dir"
+    supports_wal = False
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+
+    def _dir(self) -> Path:
+        return Path(self.path)
+
+    def has_state(self) -> bool:
+        return (self._dir() / _MANIFEST_FILE).is_file()
+
+    def initialize(
+        self, manifest: dict[str, Any], service_blob: bytes, *, quiet: bool = False
+    ) -> None:
+        """Nothing to prepare: directory checkpoints are written whole."""
+
+    def write_full(
+        self,
+        manifest: dict[str, Any],
+        service_blob: bytes,
+        streams: dict[str, StoredStream],
+    ) -> Path:
+        directory = self._dir()
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            # Overwrite protocol: drop the old manifest first so a crash
+            # mid-rewrite leaves a directory has_state() reports incomplete
+            # rather than a silent mix of two checkpoint generations.
+            (directory / _MANIFEST_FILE).unlink(missing_ok=True)
+            _atomic_write(directory / _SERVICE_FILE, service_blob)
+            num_shards = int(manifest["num_shards"])
+            per_shard: dict[int, dict[str, WindowSnapshot]] = {
+                shard_id: {} for shard_id in range(num_shards)
+            }
+            for stream_id, stored in streams.items():
+                per_shard[stored.shard_id][stream_id] = stored.snapshot
+            for shard_id, snapshots in per_shard.items():
+                _atomic_write(
+                    directory / _shard_file(shard_id), pickle.dumps(snapshots)
+                )
+            # All state files are complete and durable; only now may the
+            # manifest — the completeness marker — land.
+            _fsync_dir(directory)
+            _atomic_write(
+                directory / _MANIFEST_FILE,
+                json.dumps(manifest, indent=2).encode("utf-8"),
+            )
+            _fsync_dir(directory)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint directory {directory}: {exc}",
+                path=directory,
+            ) from exc
+        return directory
+
+    def load(self) -> tuple[dict[str, Any], Any, dict[str, StoredStream]]:
+        directory = self._dir()
+        manifest_path = directory / _MANIFEST_FILE
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"checkpoint manifest {manifest_path} is missing "
+                "(no checkpoint was completed here)",
+                path=manifest_path,
+            ) from None
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint manifest {manifest_path} is unreadable: {exc}",
+                path=manifest_path,
+            ) from exc
+        if manifest.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(f"{directory} is not a serving checkpoint directory")
+        if manifest.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {manifest.get('version')} is not "
+                f"supported by this build (expected {CHECKPOINT_VERSION})"
+            )
+        payload = self._read_pickle(directory / _SERVICE_FILE)
+        streams: dict[str, StoredStream] = {}
+        for shard_id in range(int(manifest["num_shards"])):
+            shard_path = directory / _shard_file(shard_id)
+            snapshots = self._read_pickle(shard_path)
+            if not isinstance(snapshots, dict):
+                raise CheckpointError(
+                    f"checkpoint shard file {shard_path} does not hold a "
+                    "snapshot map",
+                    path=shard_path,
+                )
+            for stream_id, snapshot in snapshots.items():
+                streams[stream_id] = StoredStream(shard_id, 0, snapshot)
+        return manifest, payload, streams
+
+    @staticmethod
+    def _read_pickle(path: Path) -> Any:
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"checkpoint file {path} is missing", path=path
+            ) from None
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError) as exc:
+            raise CheckpointError(
+                f"checkpoint file {path} is corrupt: {exc}", path=path
+            ) from exc
+
+    def stats(self) -> StoreStats:
+        directory = self._dir()
+        total = 0
+        age: float | None = None
+        if directory.is_dir():
+            for entry in directory.iterdir():
+                if entry.is_file():
+                    total += entry.stat().st_size
+            manifest = directory / _MANIFEST_FILE
+            if manifest.is_file():
+                age = max(0.0, time.time() - manifest.stat().st_mtime)
+        return StoreStats(
+            backend=self.kind,
+            path=self.path,
+            streams=None,
+            wal_entries=0,
+            bytes=total,
+            compactions=0,
+            last_compaction_age_s=None,
+            last_fence_age_s=age,
+        )
+
+    def close(self) -> None:
+        """Directory stores hold no handles."""
+
+
+# SQLite schema.  ``snapshots`` holds the compacted latest-known state per
+# stream; ``wal`` the per-drain-batch deltas appended since, replayed in
+# ``seq`` order on load (later rows supersede, including across shards —
+# a migrated stream's adopting shard appends with a higher seq, which is
+# what makes rebalance durable without a global transaction).
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS manifest (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS service (
+    id   INTEGER PRIMARY KEY CHECK (id = 1),
+    blob BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS snapshots (
+    stream_id  TEXT PRIMARY KEY,
+    shard_id   INTEGER NOT NULL,
+    generation INTEGER NOT NULL,
+    blob       BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS wal (
+    seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+    shard_id   INTEGER NOT NULL,
+    stream_id  TEXT NOT NULL,
+    generation INTEGER NOT NULL,
+    blob       BLOB NOT NULL
+);
+"""
+
+
+class SQLiteStore(StateStore):
+    """WAL-mode SQLite state store (stdlib :mod:`sqlite3`, no server).
+
+    One database file holds four tables: ``manifest`` (key/value: the
+    checkpoint manifest JSON plus fence/compaction bookkeeping),
+    ``service`` (the pickled factory+config), ``snapshots`` (compacted
+    ``stream_id → (shard_id, generation, blob)``) and ``wal`` (the
+    append-only delta log, one row per stream touched per drain batch).
+    Restore overlays the WAL onto the snapshots in ``seq`` order;
+    :meth:`compact` folds the prefix of the WAL into ``snapshots`` and
+    deletes it, bounding both file size and restore time.
+
+    The store is picklable (only the path crosses process boundaries —
+    each shard process opens its own connection) and thread-safe (one
+    connection per instance, serialized by a lock; concurrent *instances*
+    coordinate through SQLite's own WAL locking).
+    """
+
+    kind = "sqlite"
+    supports_wal = True
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+        self._conn: sqlite3.Connection | None = None
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {"path": self.path}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.path = state["path"]
+        self._conn = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- connection
+
+    def _connection(self) -> sqlite3.Connection:
+        conn = self._conn
+        if conn is None:
+            parent = Path(self.path).parent
+            try:
+                if str(parent) not in ("", "."):
+                    parent.mkdir(parents=True, exist_ok=True)
+                conn = sqlite3.connect(
+                    self.path,
+                    timeout=_BUSY_TIMEOUT_S,
+                    check_same_thread=False,
+                )
+                conn.execute("PRAGMA journal_mode=WAL")
+                # NORMAL under WAL: commits survive process death (the
+                # kill-9 contract); only an OS crash can drop the tail.
+                conn.execute("PRAGMA synchronous=NORMAL")
+                with conn:
+                    conn.executescript(_SCHEMA)
+            except sqlite3.Error as exc:
+                raise CheckpointError(
+                    f"cannot open state store {self.path}: {exc}", path=self.path
+                ) from exc
+            self._conn = conn
+        return conn
+
+    def _fail(self, action: str, exc: sqlite3.Error) -> CheckpointError:
+        return CheckpointError(
+            f"state store {self.path}: {action} failed: {exc}", path=self.path
+        )
+
+    @staticmethod
+    def _load_blob(blob: bytes, *, path: str, what: str) -> Any:
+        try:
+            return pickle.loads(blob)
+        except Exception as exc:  # noqa: BLE001 - any unpickle failure is corruption
+            raise CheckpointError(
+                f"state store {path}: {what} is corrupt: {exc}", path=path
+            ) from exc
+
+    # ------------------------------------------------------------------ state
+
+    def has_state(self) -> bool:
+        if not Path(self.path).is_file():
+            return False
+        with self._lock:
+            conn = self._connection()
+            try:
+                row = conn.execute(
+                    "SELECT 1 FROM manifest WHERE key = 'manifest'"
+                ).fetchone()
+            except sqlite3.Error as exc:
+                raise self._fail("reading the manifest", exc) from exc
+        return row is not None
+
+    def initialize(
+        self, manifest: dict[str, Any], service_blob: bytes, *, quiet: bool = False
+    ) -> None:
+        with self._lock:
+            conn = self._connection()
+            try:
+                with conn:
+                    had_state = (
+                        conn.execute("SELECT 1 FROM snapshots LIMIT 1").fetchone()
+                        is not None
+                        or conn.execute("SELECT 1 FROM wal LIMIT 1").fetchone()
+                        is not None
+                    )
+                    conn.execute("DELETE FROM snapshots")
+                    conn.execute("DELETE FROM wal")
+                    self._put_manifest(conn, manifest, service_blob)
+                    conn.execute(
+                        "INSERT OR REPLACE INTO manifest (key, value) "
+                        "VALUES ('compactions', '0')"
+                    )
+                    conn.execute("DELETE FROM manifest WHERE key = 'last_compaction'")
+            except sqlite3.Error as exc:
+                raise self._fail("initializing", exc) from exc
+        if had_state and not quiet:
+            logger.warning(
+                "state store %s held previous serving state; starting a new "
+                "lineage reset it (use MultiStreamService.restore to continue "
+                "an existing lineage)",
+                self.path,
+            )
+
+    @staticmethod
+    def _put_manifest(
+        conn: sqlite3.Connection, manifest: dict[str, Any], service_blob: bytes
+    ) -> None:
+        stamped = dict(manifest)
+        stamped["store_format"] = STORE_FORMAT
+        stamped["store_version"] = STORE_VERSION
+        conn.execute(
+            "INSERT OR REPLACE INTO manifest (key, value) VALUES ('manifest', ?)",
+            (json.dumps(stamped),),
+        )
+        conn.execute(
+            "INSERT OR REPLACE INTO manifest (key, value) VALUES ('last_fence', ?)",
+            (repr(time.time()),),
+        )
+        conn.execute(
+            "INSERT OR REPLACE INTO service (id, blob) VALUES (1, ?)",
+            (service_blob,),
+        )
+
+    def write_full(
+        self,
+        manifest: dict[str, Any],
+        service_blob: bytes,
+        streams: dict[str, StoredStream],
+    ) -> Path:
+        rows = [
+            (stream_id, stored.shard_id, stored.generation, pickle.dumps(stored.snapshot))
+            for stream_id, stored in streams.items()
+        ]
+        with self._lock:
+            conn = self._connection()
+            try:
+                with conn:
+                    conn.execute("DELETE FROM snapshots")
+                    conn.execute("DELETE FROM wal")
+                    conn.executemany(
+                        "INSERT INTO snapshots (stream_id, shard_id, generation, blob) "
+                        "VALUES (?, ?, ?, ?)",
+                        rows,
+                    )
+                    self._put_manifest(conn, manifest, service_blob)
+            except sqlite3.Error as exc:
+                raise self._fail("writing a full checkpoint", exc) from exc
+        return Path(self.path)
+
+    def append(
+        self, shard_id: int, entries: dict[str, tuple[int, WindowSnapshot]]
+    ) -> None:
+        if not entries:
+            return
+        rows = [
+            (shard_id, stream_id, generation, pickle.dumps(snapshot))
+            for stream_id, (generation, snapshot) in entries.items()
+        ]
+        with self._lock:
+            conn = self._connection()
+            try:
+                with conn:
+                    conn.executemany(
+                        "INSERT INTO wal (shard_id, stream_id, generation, blob) "
+                        "VALUES (?, ?, ?, ?)",
+                        rows,
+                    )
+            except sqlite3.Error as exc:
+                raise self._fail("appending a drain batch", exc) from exc
+
+    def fence(self, manifest: dict[str, Any], service_blob: bytes) -> Path:
+        with self._lock:
+            conn = self._connection()
+            try:
+                with conn:
+                    self._put_manifest(conn, manifest, service_blob)
+            except sqlite3.Error as exc:
+                raise self._fail("fencing a checkpoint", exc) from exc
+        return Path(self.path)
+
+    def compact(self) -> int:
+        """Fold the WAL prefix into ``snapshots`` and delete it.
+
+        Only rows appended before the fold started are touched, so shards
+        may keep appending concurrently; the fold keeps the latest
+        generation per stream (WAL ``seq`` order — which is commit order —
+        breaks generation ties across shard handovers).
+        """
+        with self._lock:
+            conn = self._connection()
+            try:
+                with conn:
+                    row = conn.execute("SELECT MAX(seq) FROM wal").fetchone()
+                    horizon = row[0]
+                    if horizon is None:
+                        return 0
+                    folded = conn.execute(
+                        "SELECT COUNT(*) FROM wal WHERE seq <= ?", (horizon,)
+                    ).fetchone()[0]
+                    conn.execute(
+                        "INSERT OR REPLACE INTO snapshots "
+                        "(stream_id, shard_id, generation, blob) "
+                        "SELECT stream_id, shard_id, generation, blob FROM wal "
+                        "WHERE seq <= ? ORDER BY seq",
+                        (horizon,),
+                    )
+                    conn.execute("DELETE FROM wal WHERE seq <= ?", (horizon,))
+                    conn.execute(
+                        "INSERT OR REPLACE INTO manifest (key, value) VALUES "
+                        "('compactions', CAST(COALESCE((SELECT value FROM manifest "
+                        "WHERE key = 'compactions'), '0') AS INTEGER) + 1)"
+                    )
+                    conn.execute(
+                        "INSERT OR REPLACE INTO manifest (key, value) "
+                        "VALUES ('last_compaction', ?)",
+                        (repr(time.time()),),
+                    )
+            except sqlite3.Error as exc:
+                raise self._fail("compacting the WAL", exc) from exc
+        return int(folded)
+
+    def load(self) -> tuple[dict[str, Any], Any, dict[str, StoredStream]]:
+        if not Path(self.path).is_file():
+            raise CheckpointError(
+                f"state store {self.path} does not exist", path=self.path
+            )
+        with self._lock:
+            conn = self._connection()
+            try:
+                row = conn.execute(
+                    "SELECT value FROM manifest WHERE key = 'manifest'"
+                ).fetchone()
+                blob_row = conn.execute(
+                    "SELECT blob FROM service WHERE id = 1"
+                ).fetchone()
+                snapshot_rows = conn.execute(
+                    "SELECT stream_id, shard_id, generation, blob FROM snapshots"
+                ).fetchall()
+                wal_rows = conn.execute(
+                    "SELECT stream_id, shard_id, generation, blob FROM wal "
+                    "ORDER BY seq"
+                ).fetchall()
+            except sqlite3.Error as exc:
+                raise self._fail("loading", exc) from exc
+        if row is None or blob_row is None:
+            raise CheckpointError(
+                f"state store {self.path} holds no serving state", path=self.path
+            )
+        try:
+            manifest = json.loads(row[0])
+        except ValueError as exc:
+            raise CheckpointError(
+                f"state store {self.path}: manifest is corrupt: {exc}",
+                path=self.path,
+            ) from exc
+        if manifest.get("store_format") != STORE_FORMAT:
+            raise ValueError(f"{self.path} is not a serving state store")
+        if manifest.get("store_version") != STORE_VERSION:
+            raise ValueError(
+                f"state store version {manifest.get('store_version')} is not "
+                f"supported by this build (expected {STORE_VERSION})"
+            )
+        payload = self._load_blob(
+            blob_row[0], path=self.path, what="the service record"
+        )
+        streams: dict[str, StoredStream] = {}
+        for stream_id, shard_id, generation, blob in snapshot_rows:
+            snapshot = self._load_blob(
+                blob, path=self.path, what=f"the snapshot of stream {stream_id!r}"
+            )
+            streams[stream_id] = StoredStream(shard_id, generation, snapshot)
+        # Replay the delta tail in commit order: the last writer of a
+        # stream — across compactions *and* shard handovers — wins.
+        for stream_id, shard_id, generation, blob in wal_rows:
+            snapshot = self._load_blob(
+                blob, path=self.path, what=f"a WAL delta of stream {stream_id!r}"
+            )
+            streams[stream_id] = StoredStream(shard_id, generation, snapshot)
+        return manifest, payload, streams
+
+    def wal_length(self) -> int:
+        with self._lock:
+            conn = self._connection()
+            try:
+                return int(conn.execute("SELECT COUNT(*) FROM wal").fetchone()[0])
+            except sqlite3.Error as exc:
+                raise self._fail("reading the WAL length", exc) from exc
+
+    def stats(self) -> StoreStats:
+        with self._lock:
+            conn = self._connection()
+            try:
+                wal_entries = int(
+                    conn.execute("SELECT COUNT(*) FROM wal").fetchone()[0]
+                )
+                stream_count = int(
+                    conn.execute(
+                        "SELECT COUNT(*) FROM (SELECT stream_id FROM snapshots "
+                        "UNION SELECT stream_id FROM wal)"
+                    ).fetchone()[0]
+                )
+                meta = dict(
+                    conn.execute(
+                        "SELECT key, value FROM manifest WHERE key IN "
+                        "('compactions', 'last_compaction', 'last_fence')"
+                    ).fetchall()
+                )
+            except sqlite3.Error as exc:
+                raise self._fail("reading stats", exc) from exc
+        now = time.time()
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            side = Path(self.path + suffix)
+            if side.is_file():
+                total += side.stat().st_size
+
+        def _age(key: str) -> float | None:
+            raw = meta.get(key)
+            return max(0.0, now - float(raw)) if raw is not None else None
+
+        return StoreStats(
+            backend=self.kind,
+            path=self.path,
+            streams=stream_count,
+            wal_entries=wal_entries,
+            bytes=total,
+            compactions=int(meta.get("compactions", "0")),
+            last_compaction_age_s=_age("last_compaction"),
+            last_fence_age_s=_age("last_fence"),
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None

@@ -787,6 +787,85 @@ class TestPerArrivalKernelLoop:
         assert report.suppressed == 1
 
 
+# --------------------------------------------------------------------- RPR010
+
+
+class TestCheckpointWrite:
+    def test_positive_binary_open_in_serving(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/bad_checkpoint.py",
+            """
+            def save(path, payload):
+                with open(path, "wb") as handle:
+                    handle.write(payload)
+            """,
+        )
+        assert rule_ids(report) == ["RPR010"]
+
+    def test_positive_path_open_and_write_bytes(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/bad_dump.py",
+            """
+            def save(directory, payload):
+                (directory / "shard-0.pkl").write_bytes(payload)
+                with (directory / "manifest.json").open(mode="w") as handle:
+                    handle.write("{}")
+            """,
+        )
+        assert rule_ids(report) == ["RPR010", "RPR010"]
+
+    def test_negative_read_mode_open(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_load.py",
+            """
+            def load(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_store_module_is_exempt(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/store.py",
+            """
+            def _atomic_write(path, data):
+                with open(path, "wb") as handle:
+                    handle.write(data)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_outside_serving(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/evaluation/export.py",
+            """
+            def save(path, payload):
+                with open(path, "wb") as handle:
+                    handle.write(payload)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/allowed.py",
+            """
+            def save(path, payload):
+                with open(path, "wb") as handle:  # repro: allow[RPR010] debug dump
+                    handle.write(payload)
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
 # ------------------------------------------------------------------ framework
 
 

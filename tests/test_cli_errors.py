@@ -84,6 +84,58 @@ class TestSemanticRejections:
         )
 
 
+class TestStateStoreExitCodes:
+    def test_malformed_spec_is_usage_error(self, capsys):
+        assert (
+            main(["ingest", "--points", "10", "--state-store", "bogus:where"])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "state store spec" in err
+
+    def test_corrupt_store_is_operational_error(self, tmp_path, capsys):
+        garbage = tmp_path / "state.db"
+        garbage.write_bytes(b"definitely not a database" * 64)
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--points",
+                    "10",
+                    "--state-store",
+                    f"sqlite:{garbage}",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "state.db" in err
+
+    def test_second_run_restores_from_store(self, tmp_path, capsys):
+        spec = f"sqlite:{tmp_path / 'state.db'}"
+        args = [
+            "ingest",
+            "--points",
+            "60",
+            "--streams",
+            "2",
+            "--shards",
+            "2",
+            "--window",
+            "30",
+            "--state-store",
+            spec,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "state store sqlite:" in first
+        assert "restoring" not in first
+        assert main(args) == 0
+        assert "restoring serving state from state store" in capsys.readouterr().out
+
+
 class TestAnalyzeExitCodes:
     def test_syntax_error_file_exits_one(self, tmp_path, capsys):
         broken = tmp_path / "broken.py"

@@ -2,7 +2,8 @@
 
 The headline deliverable is the **differential replay harness**: a
 hypothesis-driven test that runs a random command schedule — ingest / flush
-/ snapshot / evict / restore — against a served :class:`MultiStreamService`
+/ snapshot / evict / restore / compact — against a served
+:class:`MultiStreamService`
 while replaying the same points into standalone windows, and asserts that
 the served query solutions are identical to the uninterrupted standalone
 ones at every probe point, for all three algorithm variants under both the
@@ -20,6 +21,13 @@ Satellites covered here:
   rebuilt from its checkpoint directory, query parity preserved;
 * the asyncio front-end: awaitable backpressure instead of
   :class:`IngestQueueFull`, with served results matching the sync path.
+
+Setting ``REPRO_STATE_STORE=sqlite`` (the CI lifecycle job's second leg)
+reruns every differential schedule with a WAL-mode SQLite state store
+attached, so the incremental persistence path — per-drain-batch appends,
+compaction, restore overlay — is exercised by the same schedules; see
+:func:`store_spec_for`.  The dedicated crash-consistency and
+mixed-backend tests live in ``tests/test_state_store.py``.
 
 Checkpoint directories are created under ``REPRO_CHECKPOINT_ARTIFACT_DIR``
 when that variable is set (the CI lifecycle leg points it at a workspace
@@ -119,6 +127,19 @@ def checkpoint_dir(label: str):
 # ----------------------------------------------------- differential harness
 
 
+def store_spec_for(directory: Path) -> str | None:
+    """The state-store spec the CI leg selects via ``REPRO_STATE_STORE``.
+
+    ``REPRO_STATE_STORE=sqlite`` reruns every differential schedule with a
+    WAL-mode SQLite store attached (database inside the per-example
+    checkpoint directory), so the incremental persistence path is driven
+    by the exact same schedules as the in-memory one.
+    """
+    if os.environ.get("REPRO_STATE_STORE") == "sqlite":
+        return f"sqlite:{directory / 'state.db'}"
+    return None
+
+
 def lifecycle_commands():
     """Random lifecycle schedules: the commands of the replay harness."""
     ingest = st.tuples(
@@ -126,7 +147,9 @@ def lifecycle_commands():
         st.integers(min_value=0, max_value=NUM_STREAMS - 1),
         st.integers(min_value=1, max_value=8),
     )
-    other = st.sampled_from(["flush", "snapshot", "restore", "evict", "probe"])
+    other = st.sampled_from(
+        ["flush", "snapshot", "restore", "evict", "probe", "compact"]
+    )
     return st.lists(
         st.one_of(ingest, other.map(lambda name: (name, 0, 0))),
         min_size=4,
@@ -145,13 +168,26 @@ class DifferentialReplay:
     """
 
     def __init__(
-        self, factory: WindowFactory, directory: Path, *, num_shards: int = 2
+        self,
+        factory: WindowFactory,
+        directory: Path,
+        *,
+        num_shards: int = 2,
+        state_store: str | None = None,
     ) -> None:
         self.factory = factory
         self.directory = directory
         self.service = MultiStreamService(
             factory,
-            ServingConfig(num_shards=num_shards, batch_size=4, queue_capacity=256),
+            ServingConfig(
+                num_shards=num_shards,
+                batch_size=4,
+                queue_capacity=256,
+                # compact only on the explicit `compact` command, so the
+                # schedules stay deterministic.
+                state_store=state_store,
+                compact_interval=None,
+            ),
         )
         self.model: dict[str, list] = {sid: [] for sid in STREAM_IDS}
         self.snapshot_counts: dict[str, int] | None = None
@@ -193,6 +229,11 @@ class DifferentialReplay:
     def do_rebalance(self, n_shards: int, *_: int) -> None:
         self.service.rebalance(n_shards)
 
+    def do_compact(self, *_: int) -> None:
+        # Folds pending WAL deltas when a store is attached; a documented
+        # no-op (returns 0) otherwise, so schedules stay portable.
+        self.service.compact()
+
     def do_evict(self, *_: int) -> None:
         # ttl=0 evicts every live stream; snapshot_evicted (the default)
         # makes the eviction semantically invisible, which is exactly what
@@ -222,7 +263,9 @@ class TestDifferentialLifecycle:
     def test_lifecycle_churn_is_invisible(self, variant, backend, commands):
         factory = WindowFactory(make_config(), variant=variant, backend=backend)
         with checkpoint_dir(f"lifecycle-{variant}-{backend}") as directory:
-            DifferentialReplay(factory, directory).run(commands)
+            DifferentialReplay(
+                factory, directory, state_store=store_spec_for(directory)
+            ).run(commands)
 
 
 # ------------------------------------------------- reshard differential
@@ -241,7 +284,9 @@ def reshard_commands():
         st.sampled_from([1, 2, 3, 4, 6, 8]),
         st.just(0),
     )
-    other = st.sampled_from(["flush", "snapshot", "restore", "evict", "probe"])
+    other = st.sampled_from(
+        ["flush", "snapshot", "restore", "evict", "probe", "compact"]
+    )
     return st.lists(
         st.one_of(ingest, rebalance, other.map(lambda name: (name, 0, 0))),
         min_size=6,
@@ -259,7 +304,12 @@ class TestReshardDifferential:
     def test_interleaved_rebalance_is_invisible(self, variant, commands):
         factory = WindowFactory(make_config(), variant=variant)
         with checkpoint_dir(f"reshard-{variant}") as directory:
-            DifferentialReplay(factory, directory, num_shards=4).run(commands)
+            DifferentialReplay(
+                factory,
+                directory,
+                num_shards=4,
+                state_store=store_spec_for(directory),
+            ).run(commands)
 
     def test_rebalance_4_to_8_to_3_matches_unsharded_replay(self):
         """The ISSUE's canonical schedule, with enough streams that both

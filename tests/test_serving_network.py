@@ -48,13 +48,14 @@ ARRIVALS = [
 ]
 
 
-def run_with_server(client_fn, *, num_shards=2, **server_kwargs):
+def run_with_server(client_fn, *, num_shards=2, config=None, **server_kwargs):
     """Run ``client_fn(host, port)`` in a thread against a live server."""
 
     async def main():
         factory = WindowFactory(make_config())
         service = MultiStreamService(
-            factory, ServingConfig(num_shards=num_shards, batch_size=4)
+            factory,
+            config or ServingConfig(num_shards=num_shards, batch_size=4),
         )
         with service:
             async with ServingServer(service, **server_kwargs) as server:
@@ -127,6 +128,8 @@ class TestProtocolRoundTrip:
                 stats = client.stats()
                 assert len(stats["shards"]) == 2
                 assert sum(s["ingested"] for s in stats["shards"]) == len(ARRIVALS)
+                assert stats["ingested_total"] == len(ARRIVALS)
+                assert stats["store"] is None  # no state store configured
                 assert stats["reshard"]["reshards"] == 0
 
                 summary = client.rebalance(4)
@@ -321,6 +324,39 @@ class TestMetricsEndpoint:
             ), "every series is namespaced under repro_"
 
         run_with_server(drive)
+
+    def test_store_series_and_cumulative_ingest(self, tmp_path):
+        """With a state store attached, ``stats`` and ``/metrics`` expose the
+        store counters, and the service-wide ingest counter survives a
+        shrink rebalance (the shard-local sum does not)."""
+        spec = f"sqlite:{tmp_path / 'state.db'}"
+        config = ServingConfig(
+            num_shards=2, batch_size=4, state_store=spec, compact_interval=None
+        )
+
+        def drive(host, port):
+            with ServingClient(host, port) as client:
+                client.ingest(
+                    (sid, point.coords, point.color) for sid, point in ARRIVALS
+                )
+                client.flush()
+                client.rebalance(1)  # retires one shard and its counter
+                stats = client.stats()
+                assert stats["ingested_total"] == len(ARRIVALS)
+                store = stats["store"]
+                assert store["backend"] == "sqlite"
+                assert store["wal_entries"] > 0
+                assert store["bytes"] > 0
+                body = client.metrics()
+
+            assert (
+                f"repro_service_ingested_points_total {len(ARRIVALS)}" in body
+            )
+            assert re.search(r"repro_store_wal_entries \d+", body)
+            assert re.search(r"repro_store_bytes \d+", body)
+            assert "repro_store_compactions_total 0" in body
+
+        run_with_server(drive, config=config)
 
     def test_unknown_path_is_404(self):
         def drive(host, port):

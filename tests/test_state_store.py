@@ -1,0 +1,556 @@
+"""Tests for the durable serving state store (``repro.serving.store``).
+
+Four contracts are pinned here:
+
+* **Store semantics** — spec parsing, the SQLite WAL overlay (later
+  appends supersede compacted snapshots, commit order breaks ties across
+  shard handovers), compaction bookkeeping, and pickling (only the path
+  crosses process boundaries).
+* **Error contract** — missing/truncated/corrupt artifacts raise
+  :class:`CheckpointError` naming the offending path (CLI exit 1);
+  readable-but-incompatible checkpoints stay ``ValueError`` (exit 2).
+* **Crash consistency** — ``kill -9`` of a process shard mid-ingest
+  loses at most the one drain batch that had not committed, proven by
+  query parity between the restored service and an uninterrupted replay
+  of exactly the durable arrival prefix.
+* **Lifecycle integration** — mixed-backend restores (directory → SQLite
+  and back), cross-topology SQLite restores, and the service-level
+  cumulative ``ingested_total`` counter that survives shrink rebalances.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import FairnessConstraint, SlidingWindowConfig
+from repro.serving import (
+    CheckpointError,
+    DirectoryStore,
+    MultiStreamService,
+    ServingConfig,
+    SQLiteStore,
+    ShardWorker,
+    WindowFactory,
+    make_store,
+)
+from repro.serving.store import StoredStream, parse_store_spec
+
+from tests._fixtures import random_colored_points
+
+POINTS = random_colored_points(n=500, seed=77)
+
+CONSTRAINT = FairnessConstraint({0: 1, 1: 1, 2: 1})
+
+
+def make_config(window_size: int = 20) -> SlidingWindowConfig:
+    return SlidingWindowConfig(
+        window_size=window_size,
+        constraint=CONSTRAINT,
+        delta=1.0,
+        dmin=0.01,
+        dmax=300.0,
+    )
+
+
+def solution_key(solution):
+    return ([c.coords for c in solution.centers], solution.radius)
+
+
+def window_snapshot(n_points: int, stream_id: str = "w"):
+    """A real WindowSnapshot carrying the first ``n_points`` arrivals."""
+    window = WindowFactory(make_config())(stream_id)
+    for point in POINTS[:n_points]:
+        window.insert(point)
+    return window.snapshot()
+
+
+def replay_key(factory: WindowFactory, stream_id: str, points) -> tuple:
+    standalone = factory(stream_id)
+    for point in points:
+        standalone.insert(point)
+    return solution_key(standalone.query())
+
+
+# ------------------------------------------------------------------- specs
+
+
+class TestStoreSpec:
+    def test_parse_valid_specs(self):
+        assert parse_store_spec("sqlite:/tmp/x.db") == ("sqlite", "/tmp/x.db")
+        assert parse_store_spec("dir:/tmp/ckpt") == ("dir", "/tmp/ckpt")
+
+    @pytest.mark.parametrize(
+        "spec", ["sqlite", "redis:/x", "sqlite:", "dir:", "/plain/path:oops"]
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError, match="state store spec"):
+            parse_store_spec(spec)
+
+    def test_make_store_dispatch(self, tmp_path):
+        sqlite = make_store(f"sqlite:{tmp_path / 'a.db'}")
+        assert isinstance(sqlite, SQLiteStore) and sqlite.supports_wal
+        directory = make_store(f"dir:{tmp_path / 'ckpt'}")
+        assert isinstance(directory, DirectoryStore)
+        assert not directory.supports_wal
+        # Bare paths (and Path objects) stay directory checkpoints — the
+        # pre-store restore()/snapshot_to() calling convention.
+        assert isinstance(make_store(str(tmp_path)), DirectoryStore)
+        assert isinstance(make_store(tmp_path), DirectoryStore)
+
+    def test_spec_round_trips(self, tmp_path):
+        store = make_store(f"sqlite:{tmp_path / 'a.db'}")
+        again = make_store(store.spec)
+        assert isinstance(again, SQLiteStore) and again.path == store.path
+
+    def test_serving_config_validates_spec(self):
+        with pytest.raises(ValueError, match="state store spec"):
+            ServingConfig(state_store="bogus:where")
+        with pytest.raises(ValueError):
+            ServingConfig(compact_interval=0.0)
+        with pytest.raises(ValueError):
+            ServingConfig(compact_threshold=0)
+
+
+# ------------------------------------------------------------ sqlite store
+
+
+def _manifest(num_shards: int = 1) -> dict:
+    return {
+        "format": "repro-serving-checkpoint",
+        "version": 2,
+        "num_shards": num_shards,
+        "vnodes": 64,
+        "workers": "thread",
+    }
+
+
+class TestSQLiteStore:
+    def test_full_checkpoint_round_trip(self, tmp_path):
+        store = SQLiteStore(tmp_path / "state.db")
+        snapshot = window_snapshot(30)
+        store.write_full(
+            _manifest(),
+            pickle.dumps({"payload": 7}),
+            {"w": StoredStream(0, 3, snapshot)},
+        )
+        manifest, payload, streams = store.load()
+        assert manifest["num_shards"] == 1
+        assert manifest["store_format"] == "repro-serving-state-store"
+        assert payload == {"payload": 7}
+        assert set(streams) == {"w"}
+        assert streams["w"].generation == 3
+        assert streams["w"].snapshot.now == snapshot.now
+
+    def test_wal_appends_overlay_snapshots(self, tmp_path):
+        store = SQLiteStore(tmp_path / "state.db")
+        store.write_full(
+            _manifest(),
+            pickle.dumps(None),
+            {"w": StoredStream(0, 1, window_snapshot(10))},
+        )
+        assert store.wal_length() == 0
+        store.append(0, {"w": (2, window_snapshot(20))})
+        store.append(0, {"w": (3, window_snapshot(30)), "x": (1, window_snapshot(5, "x"))})
+        assert store.wal_length() == 3
+        _, _, streams = store.load()
+        assert streams["w"].generation == 3
+        assert streams["w"].snapshot.now == 30
+        assert streams["x"].snapshot.now == 5
+
+    def test_commit_order_wins_across_shard_handover(self, tmp_path):
+        """A migrated stream's adopting shard appends later in commit
+        order; restore must surface the adopter's state even though both
+        shards wrote the same stream."""
+        store = SQLiteStore(tmp_path / "state.db")
+        store.write_full(_manifest(2), pickle.dumps(None), {})
+        store.append(0, {"w": (4, window_snapshot(12))})
+        store.append(1, {"w": (5, window_snapshot(25))})
+        _, _, streams = store.load()
+        assert streams["w"].shard_id == 1
+        assert streams["w"].generation == 5
+        assert streams["w"].snapshot.now == 25
+
+    def test_compact_folds_and_counts(self, tmp_path):
+        store = SQLiteStore(tmp_path / "state.db")
+        store.write_full(_manifest(), pickle.dumps(None), {})
+        assert store.compact() == 0  # empty WAL: no run recorded
+        assert store.stats().compactions == 0
+        for count in (8, 16, 24):
+            store.append(0, {"w": (count, window_snapshot(count))})
+        folded = store.compact()
+        assert folded == 3
+        assert store.wal_length() == 0
+        stats = store.stats()
+        assert stats.compactions == 1
+        assert stats.last_compaction_age_s is not None
+        # The folded state is what load() returns, and later appends keep
+        # superseding it.
+        _, _, streams = store.load()
+        assert streams["w"].snapshot.now == 24
+        store.append(0, {"w": (25, window_snapshot(28))})
+        _, _, streams = store.load()
+        assert streams["w"].snapshot.now == 28
+
+    def test_fence_stamps_without_touching_streams(self, tmp_path):
+        store = SQLiteStore(tmp_path / "state.db")
+        store.write_full(
+            _manifest(), pickle.dumps("v1"), {"w": StoredStream(0, 1, window_snapshot(10))}
+        )
+        store.append(0, {"w": (2, window_snapshot(20))})
+        store.fence(_manifest(), pickle.dumps("v2"))
+        manifest, payload, streams = store.load()
+        assert payload == "v2"
+        assert store.wal_length() == 1  # the fence did not fold or drop deltas
+        assert streams["w"].snapshot.now == 20
+        assert store.stats().last_fence_age_s is not None
+
+    def test_store_pickles_by_path_only(self, tmp_path):
+        store = SQLiteStore(tmp_path / "state.db")
+        store.write_full(_manifest(), pickle.dumps(None), {})
+        store.append(0, {"w": (1, window_snapshot(6))})
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.path == store.path
+        assert clone.wal_length() == 1
+        clone.close()
+        store.close()
+
+    def test_initialize_resets_and_warns(self, tmp_path, caplog):
+        store = SQLiteStore(tmp_path / "state.db")
+        store.write_full(_manifest(), pickle.dumps(None), {})
+        store.append(0, {"w": (1, window_snapshot(6))})
+        with caplog.at_level("WARNING", logger="repro.serving.store"):
+            store.initialize(_manifest(), pickle.dumps(None))
+        assert any("new" in rec.message and "lineage" in rec.message for rec in caplog.records)
+        assert store.wal_length() == 0
+        _, _, streams = store.load()
+        assert streams == {}
+        # The restore path resets too, but quietly — it immediately
+        # re-seeds the restored state.
+        store.append(0, {"w": (1, window_snapshot(6))})
+        caplog.clear()
+        with caplog.at_level("WARNING", logger="repro.serving.store"):
+            store.initialize(_manifest(), pickle.dumps(None), quiet=True)
+        assert not caplog.records
+
+    def test_stats_counts_streams_and_bytes(self, tmp_path):
+        store = SQLiteStore(tmp_path / "state.db")
+        store.write_full(
+            _manifest(), pickle.dumps(None), {"a": StoredStream(0, 1, window_snapshot(8))}
+        )
+        store.append(0, {"b": (1, window_snapshot(4, "b"))})
+        stats = store.stats()
+        assert stats.backend == "sqlite"
+        assert stats.streams == 2  # distinct across snapshots ∪ wal
+        assert stats.wal_entries == 1
+        assert stats.bytes > 0
+
+
+# ---------------------------------------------------------- error contract
+
+
+class TestCheckpointErrorContract:
+    def test_missing_directory_manifest(self, tmp_path):
+        with pytest.raises(CheckpointError) as excinfo:
+            DirectoryStore(tmp_path).load()
+        assert excinfo.value.path is not None
+        assert excinfo.value.path.endswith("manifest.json")
+
+    def test_corrupt_directory_manifest(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            DirectoryStore(tmp_path).load()
+
+    def _write_service_checkpoint(self, directory: Path) -> WindowFactory:
+        factory = WindowFactory(make_config())
+        with MultiStreamService(factory, ServingConfig(num_shards=2)) as service:
+            for index, point in enumerate(POINTS[:40]):
+                service.ingest(f"s{index % 3}", point)
+            service.snapshot_to(directory)
+        return factory
+
+    def test_missing_shard_file_names_the_path(self, tmp_path):
+        self._write_service_checkpoint(tmp_path)
+        (tmp_path / "shard-1.pkl").unlink()
+        with pytest.raises(CheckpointError, match="shard-1.pkl"):
+            MultiStreamService.restore(tmp_path)
+
+    def test_truncated_shard_file_names_the_path(self, tmp_path):
+        self._write_service_checkpoint(tmp_path)
+        shard = tmp_path / "shard-0.pkl"
+        shard.write_bytes(shard.read_bytes()[:10])
+        with pytest.raises(CheckpointError, match="shard-0.pkl"):
+            MultiStreamService.restore(tmp_path)
+        with pytest.raises(CheckpointError, match="corrupt"):
+            DirectoryStore(tmp_path).load()
+
+    def test_sqlite_path_missing(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            SQLiteStore(tmp_path / "never.db").load()
+
+    def test_sqlite_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"this is not a database" * 64)
+        store = SQLiteStore(path)
+        with pytest.raises(CheckpointError) as excinfo:
+            store.has_state()
+        assert excinfo.value.path == str(path)
+
+    def test_sqlite_empty_database_has_no_state(self, tmp_path):
+        store = SQLiteStore(tmp_path / "fresh.db")
+        assert not store.has_state()
+        assert store.wal_length() == 0  # connects, creating the schema
+        store.append(0, {})  # no-op append must not fabricate state
+        assert not store.has_state()
+        with pytest.raises(CheckpointError, match="no serving state"):
+            store.load()
+
+    def test_incompatible_checkpoint_stays_value_error(self, tmp_path):
+        """Readable-but-wrong stays exit-2 ValueError, not CheckpointError."""
+        import json
+
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"format": "something-else"}), encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="not a serving checkpoint"):
+            DirectoryStore(tmp_path).load()
+
+    def test_atomic_writes_leave_no_tmp_files(self, tmp_path):
+        self._write_service_checkpoint(tmp_path)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+
+# ------------------------------------------------------- crash consistency
+
+
+class TestCrashConsistency:
+    def test_sigkill_loses_at_most_one_drain_batch(self, tmp_path):
+        """The kill-9 guarantee: every drained batch commits before it is
+        applied, so a SIGKILL mid-ingest loses at most the batch in
+        flight — proven by query parity against an uninterrupted replay
+        of exactly the durable arrival prefix."""
+        spec = f"sqlite:{tmp_path / 'state.db'}"
+        factory = WindowFactory(make_config())
+        batch_size = 8
+        flushed = 150
+        service = MultiStreamService(
+            factory,
+            ServingConfig(
+                num_shards=1,
+                workers="process",
+                batch_size=batch_size,
+                state_store=spec,
+                compact_interval=None,
+            ),
+        )
+        for point in POINTS[:flushed]:
+            service.ingest("s0", point)
+        service.flush()  # every drained batch is already committed
+        # One more batch goes in without a flush: the crash may or may
+        # not have persisted it, but can never lose more than it.
+        sent = flushed + batch_size
+        for point in POINTS[flushed:sent]:
+            service.ingest("s0", point)
+        os.kill(service.shards[0]._process.pid, signal.SIGKILL)
+        service.shards[0]._process.join(timeout=30.0)
+        service.close()  # must not hang on the dead child
+
+        store = SQLiteStore(tmp_path / "state.db")
+        _, _, streams = store.load()
+        durable = streams["s0"].snapshot.now
+        store.close()
+        assert flushed <= durable <= sent
+        assert sent - durable <= batch_size, (
+            f"lost {sent - durable} arrivals; more than one drain batch"
+        )
+
+        restored = MultiStreamService.restore(spec, workers="thread")
+        with restored:
+            assert solution_key(restored.query("s0")) == replay_key(
+                factory, "s0", POINTS[:durable]
+            )
+            # The lineage continues: ingesting the lost tail converges the
+            # restored service back onto the uninterrupted replay.
+            for point in POINTS[durable:sent]:
+                restored.ingest("s0", point)
+            restored.flush()
+            assert solution_key(restored.query("s0")) == replay_key(
+                factory, "s0", POINTS[:sent]
+            )
+
+    def test_worker_appends_commit_per_drain_batch(self, tmp_path):
+        """Thread-level variant: each drain batch lands in the WAL as one
+        committed transaction while the worker keeps running."""
+        spec = f"sqlite:{tmp_path / 'state.db'}"
+        store = make_store(spec)
+        store.write_full(_manifest(), pickle.dumps(None), {})
+        store.close()
+        worker = ShardWorker(
+            0, WindowFactory(make_config()), batch_size=4, store_spec=spec
+        )
+        worker.start()
+        try:
+            for point in POINTS[:20]:
+                worker.submit("s0", point)
+            worker.flush()
+            observer = SQLiteStore(tmp_path / "state.db")
+            assert observer.wal_length() >= 20 // 4
+            _, _, streams = observer.load()
+            assert streams["s0"].snapshot.now == 20
+            assert streams["s0"].generation == observer.wal_length()
+            observer.close()
+        finally:
+            worker.stop()
+
+
+# ------------------------------------------------- mixed-backend lifecycle
+
+
+class TestMixedBackendRestore:
+    STREAMS = [f"m{i}" for i in range(5)]
+
+    def _ingest(self, service, points) -> None:
+        for index, point in enumerate(points):
+            service.ingest(self.STREAMS[index % len(self.STREAMS)], point)
+
+    def _expected(self, factory, count) -> dict:
+        return {
+            sid: replay_key(
+                factory,
+                sid,
+                [
+                    p
+                    for i, p in enumerate(POINTS[:count])
+                    if self.STREAMS[i % len(self.STREAMS)] == sid
+                ],
+            )
+            for sid in self.STREAMS
+        }
+
+    def test_directory_checkpoint_restores_into_sqlite(self, tmp_path):
+        factory = WindowFactory(make_config())
+        directory = tmp_path / "ckpt"
+        spec = f"sqlite:{tmp_path / 'state.db'}"
+        with MultiStreamService(factory, ServingConfig(num_shards=2)) as service:
+            self._ingest(service, POINTS[:100])
+            service.snapshot_to(directory)
+
+        # Restore the directory checkpoint into a store-backed service:
+        # the restored state seeds the SQLite lineage, further ingest
+        # appends to its WAL.
+        sqlite_backed = MultiStreamService.restore(
+            directory,
+            config=ServingConfig(num_shards=2, state_store=spec, compact_interval=None),
+        )
+        with sqlite_backed:
+            self._ingest(sqlite_backed, POINTS[100:160])
+            sqlite_backed.flush()
+
+        final = MultiStreamService.restore(spec, workers="thread")
+        with final:
+            served = {sid: solution_key(final.query(sid)) for sid in self.STREAMS}
+        assert served == self._expected(factory, 160)
+
+    def test_sqlite_store_checkpoints_into_directory(self, tmp_path):
+        factory = WindowFactory(make_config())
+        directory = tmp_path / "ckpt"
+        spec = f"sqlite:{tmp_path / 'state.db'}"
+        service = MultiStreamService(
+            factory,
+            ServingConfig(num_shards=2, state_store=spec, compact_interval=None),
+        )
+        with service:
+            self._ingest(service, POINTS[:120])
+            service.flush()
+            service.snapshot_to(directory)  # full write, not a fence
+
+        restored = MultiStreamService.restore(
+            directory, config=ServingConfig(num_shards=2)
+        )
+        with restored:
+            served = {sid: solution_key(restored.query(sid)) for sid in self.STREAMS}
+        assert served == self._expected(factory, 120)
+
+    def test_sqlite_restore_re_routes_across_topologies(self, tmp_path):
+        """Per-stream SQLite rows re-route through any target ring; the
+        directory backend must keep refusing (its files ARE the layout)."""
+        factory = WindowFactory(make_config())
+        spec = f"sqlite:{tmp_path / 'state.db'}"
+        service = MultiStreamService(
+            factory,
+            ServingConfig(num_shards=2, state_store=spec, compact_interval=None),
+        )
+        with service:
+            self._ingest(service, POINTS[:80])
+            service.flush()
+            service.snapshot_to()  # WAL fence
+
+        reshaped = MultiStreamService.restore(
+            spec,
+            config=ServingConfig(
+                num_shards=3, state_store=spec, compact_interval=None
+            ),
+        )
+        with reshaped:
+            served = {sid: solution_key(reshaped.query(sid)) for sid in self.STREAMS}
+        assert served == self._expected(factory, 80)
+
+    def test_fence_requires_a_store(self):
+        factory = WindowFactory(make_config())
+        with MultiStreamService(factory, ServingConfig(num_shards=1)) as service:
+            with pytest.raises(ValueError, match="state_store"):
+                service.snapshot_to()
+
+
+# ------------------------------------------------- cumulative ingest counter
+
+
+class TestCumulativeIngested:
+    def test_ingested_total_survives_shrink_rebalance(self):
+        factory = WindowFactory(make_config())
+        streams = [f"c{i}" for i in range(8)]
+        total = 160
+        with MultiStreamService(factory, ServingConfig(num_shards=4)) as service:
+            for index, point in enumerate(POINTS[:total]):
+                service.ingest(streams[index % len(streams)], point)
+            service.flush()
+            assert service.stats().ingested_total == total
+
+            service.rebalance(2)  # retires two shards and their counters
+            stats = service.stats()
+            assert stats.ingested_total == total
+            # The shard-local sum is allowed to under-count (documented
+            # caveat); the service-level counter is the durable one.
+            assert sum(s.ingested for s in stats) <= total
+
+            for point in POINTS[total : total + 20]:
+                service.ingest(streams[0], point)
+            service.flush()
+            assert service.stats().ingested_total == total + 20
+
+    def test_ingested_total_survives_restore(self, tmp_path):
+        spec = f"sqlite:{tmp_path / 'state.db'}"
+        factory = WindowFactory(make_config())
+        config = ServingConfig(
+            num_shards=2, state_store=spec, compact_interval=None
+        )
+        total = 120
+        with MultiStreamService(factory, config) as service:
+            for index, point in enumerate(POINTS[:total]):
+                service.ingest(f"c{index % 4}", point)
+            service.flush()
+            service.snapshot_to()  # fence stamps the cumulative counter
+
+        restored = MultiStreamService.restore(spec)
+        with restored:
+            assert restored.stats().ingested_total == total
+            for point in POINTS[total : total + 15]:
+                restored.ingest("c0", point)
+            restored.flush()
+            assert restored.stats().ingested_total == total + 15
