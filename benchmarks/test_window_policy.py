@@ -1,0 +1,131 @@
+"""Window-policy overhead: event-time ingestion vs the count fastpath.
+
+The count policy is the paper's arrival model (one tick per point) and
+rides the fused fastpath untouched; the event-time policy adds a
+watermark check, an out-of-order buffer (heap push/pop per arrival) and
+a sealing pass in front of the same coreset update.  This benchmark
+measures what that front-end costs on the serving default
+(``oblivious``) over the same stream, in three modes:
+
+* ``count`` — plain ``insert(point)``, the bitwise-identical default;
+* ``event_time`` — timestamped arrivals delivered in order;
+* ``event_time_disordered`` — the same arrivals jittered within the
+  slack window (deterministic jitter, nothing drops), so the buffer
+  actually reorders.
+
+The acceptance bar (asserted in-test and recorded in
+``BENCH_window_policy.json`` for the trend gate): event-time ingestion
+must stay within **3×** of the count fastpath.  A softer drift signal —
+the gap exceeding 1.3× — is logged in the table (``vs_count``) so the
+trend gate's ``points_per_sec`` row catches creep long before the bar.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import SlidingWindowConfig
+from repro.core.oblivious import ObliviousFairSlidingWindow
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import build_constraint
+
+#: event-time slack (and half of it, the jitter amplitude) in ticks.
+SLACK = 8
+#: the acceptance bar: event-time vs count ingestion time.
+MAX_OVERHEAD = 3.0
+#: soft signal: log when the gap exceeds this ratio.
+SOFT_OVERHEAD = 1.3
+
+
+def _workload(scale):
+    total_points = 3_200 if scale.name == "tiny" else 9_600
+    points = load_dataset("phones", total_points, seed=7)
+    constraint = build_constraint(points)
+    config = SlidingWindowConfig(
+        window_size=scale.window_size,
+        constraint=constraint,
+        delta=1.0,
+    )
+    return points, config
+
+
+def _jitter(index: int) -> float:
+    """Deterministic in-slack displacement (amplitude ``SLACK / 2``)."""
+    return float((index * 7919) % (SLACK + 1) - SLACK // 2) / 2.0
+
+
+def _drive_count(points, config):
+    window = ObliviousFairSlidingWindow(config)
+    start = time.perf_counter()
+    for point in points:
+        window.insert(point)
+    elapsed = time.perf_counter() - start
+    assert window.query() is not None
+    return elapsed
+
+
+def _drive_event_time(points, config, *, disorder: bool):
+    spec = f"event_time:span={config.window_size},slack={SLACK}"
+    window = ObliviousFairSlidingWindow(config, policy=spec)
+    arrivals = [(float(i + 1), point) for i, point in enumerate(points)]
+    if disorder:
+        arrivals.sort(key=lambda pair: pair[0] + _jitter(int(pair[0])))
+    start = time.perf_counter()
+    for ts, point in arrivals:
+        window.insert(point, ts=ts)
+    window.advance_watermark(float(len(points)))
+    elapsed = time.perf_counter() - start
+    counters = window.policy_counters()
+    assert counters.get("late_dropped", 0) == 0, counters
+    assert window.query() is not None
+    return elapsed
+
+
+@pytest.mark.benchmark(group="policies")
+def test_window_policy_overhead(scale):
+    """Event-time ingestion must stay within 3x of the count fastpath."""
+    from benchmarks.conftest import register_table
+
+    points, config = _workload(scale)
+    total = len(points)
+
+    count_elapsed = _drive_count(points, config)
+    ordered_elapsed = _drive_event_time(points, config, disorder=False)
+    disordered_elapsed = _drive_event_time(points, config, disorder=True)
+
+    rows = []
+    for mode, elapsed in (
+        ("count", count_elapsed),
+        ("event_time", ordered_elapsed),
+        ("event_time_disordered", disordered_elapsed),
+    ):
+        rows.append(
+            {
+                "mode": mode,
+                "points": total,
+                "window_size": config.window_size,
+                "elapsed_s": round(elapsed, 5),
+                "points_per_sec": round(total / elapsed) if elapsed > 0 else 0,
+                "vs_count": (
+                    round(elapsed / count_elapsed, 2) if count_elapsed > 0 else 1.0
+                ),
+            }
+        )
+    register_table(
+        "window_policy",
+        rows,
+        ["mode", "points", "window_size", "elapsed_s", "points_per_sec", "vs_count"],
+    )
+
+    for row in rows[1:]:
+        if row["vs_count"] > SOFT_OVERHEAD:
+            print(
+                f"NOTE: {row['mode']} ingestion is {row['vs_count']}x the "
+                f"count fastpath (soft signal at {SOFT_OVERHEAD}x)"
+            )
+        assert row["elapsed_s"] <= MAX_OVERHEAD * max(count_elapsed, 1e-9), (
+            f"{row['mode']} ingestion is {row['vs_count']}x the count "
+            f"fastpath (bar: {MAX_OVERHEAD}x)"
+        )

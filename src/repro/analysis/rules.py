@@ -1,4 +1,4 @@
-"""The repo-specific rule battery (RPR001–RPR010).
+"""The repo-specific rule battery (RPR001–RPR011).
 
 Each rule mechanizes an invariant that a past review cycle caught by hand;
 the docstrings say *why* the invariant exists so a triggered finding reads
@@ -663,6 +663,16 @@ _LOOP_NODES = (
 )
 
 
+def _loop_between(ctx: FileContext, node: ast.AST, fn: ast.AST) -> bool:
+    """Whether a loop sits between ``node`` and its enclosing ``fn``."""
+    for ancestor in ctx.ancestors(node):
+        if ancestor is fn:
+            return False
+        if isinstance(ancestor, _LOOP_NODES):
+            return True
+    return False
+
+
 class PerArrivalKernelLoopRule:
     """RPR009 — per-arrival update code must not loop kernel calls per guess.
 
@@ -699,7 +709,7 @@ class PerArrivalKernelLoopRule:
                 or enclosing.name.startswith("_apply_")
             ):
                 continue
-            if not self._in_loop_within(ctx, node, enclosing):
+            if not _loop_between(ctx, node, enclosing):
                 continue
             yield ctx.finding(
                 self.rule_id,
@@ -708,16 +718,6 @@ class PerArrivalKernelLoopRule:
                 "route the per-guess scan through repro.core.fastpath so the "
                 "whole ladder shares one batched kernel call",
             )
-
-    @staticmethod
-    def _in_loop_within(ctx: FileContext, node: ast.AST, fn: ast.AST) -> bool:
-        """Whether a loop sits between ``node`` and its enclosing ``fn``."""
-        for ancestor in ctx.ancestors(node):
-            if ancestor is fn:
-                return False
-            if isinstance(ancestor, _LOOP_NODES):
-                return True
-        return False
 
 
 #: Characters in an ``open()`` mode string that imply a write.
@@ -787,6 +787,63 @@ class CheckpointWriteRule:
         return None
 
 
+class PolicyCallLoopRule:
+    """RPR011 — per-arrival update code must hoist policy decisions out of loops.
+
+    A :class:`~repro.core.window_policy.WindowPolicy` is consulted exactly
+    once per arrival: the updaters hoist ``window.expiry_horizon(item.t)``
+    above the guess-ladder loop so every guess expires against the *same*
+    horizon.  A policy call inside the loop would (a) multiply the pure-Python
+    policy dispatch by ``num_guesses×`` on the hot path and (b) let a policy
+    whose answer shifts mid-arrival (an event-time ledger advancing, a session
+    closing) hand different horizons to different guesses, silently breaking
+    the prefix-contiguous expiry the coreset invariants rely on.  The policy
+    module itself is the one legitimate home for such loops (it *is* the
+    decision point), so it is exempt, mirroring RPR009's fastpath carve-out.
+    """
+
+    rule_id = "RPR011"
+    title = "window-policy call inside a loop in per-arrival update code"
+
+    #: Method names that constitute a policy decision wherever they appear.
+    _DECISION_CALLS = ("expiry_horizon",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.core"):
+            return
+        if Path(ctx.path).name == "window_policy.py":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in self._DECISION_CALLS:
+                described = f"{func.attr}()"
+            elif _receiver_name(func) == "_policy":
+                described = f"_policy.{func.attr}()"
+            else:
+                continue
+            enclosing = ctx.enclosing(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if enclosing is None:
+                continue
+            if not (
+                enclosing.name in _UPDATE_ENTRYPOINTS
+                or enclosing.name.startswith(("_apply_", "_insert_", "_ingest_"))
+            ):
+                continue
+            if not _loop_between(ctx, node, enclosing):
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"{described} inside a loop in per-arrival update code; "
+                "consult the window policy once per arrival and hoist the "
+                "horizon above the guess-ladder loop",
+            )
+
+
 def ALL_RULES_FACTORY() -> list:
     """Fresh rule instances (RPR008 carries a per-run parse cache)."""
     return [
@@ -800,6 +857,7 @@ def ALL_RULES_FACTORY() -> list:
         BenchIdentityColumnsRule(),
         PerArrivalKernelLoopRule(),
         CheckpointWriteRule(),
+        PolicyCallLoopRule(),
     ]
 
 

@@ -216,6 +216,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="shard worker flavour (process = one OS process per shard)",
         )
         sub.add_argument(
+            "--window-policy",
+            default="count",
+            metavar="SPEC",
+            help="window expiry policy per stream: 'count' (default, the "
+            "paper's last-N-arrivals semantics), "
+            "'event_time:span=S[,slack=L]' (watermarked event-time window; "
+            "arrivals need a per-point timestamp), 'session:gap=G' or "
+            "'decay:half_life=H[,span=S]'",
+        )
+        sub.add_argument(
             "--batch-size", type=int, default=32, help="shard drain batch size"
         )
         sub.add_argument(
@@ -288,7 +298,9 @@ def _serving_setup(args: argparse.Namespace) -> tuple[list, object, object]:
         dmin=dmin,
         dmax=dmax,
     )
-    factory = WindowFactory(window_config, variant=args.variant)
+    factory = WindowFactory(
+        window_config, variant=args.variant, policy_spec=args.window_policy
+    )
     serving_config = ServingConfig(
         num_shards=args.shards,
         queue_capacity=args.queue_capacity,

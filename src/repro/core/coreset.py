@@ -228,13 +228,23 @@ class GuessState:
     def remove_expired(self, now: int, window_size: int) -> None:
         """Remove every stored point that has expired at time ``now``.
 
-        With consecutive arrival times exactly one point expires per step (the
-        ``x`` of Algorithm 1), but the method is robust to gaps in the time
-        stamps: everything with ``t <= now - window_size`` is dropped.  Each
-        family dict is ordered by arrival time, so peeking at its first key
-        decides in O(1) whether anything expired at all.
+        Count-window convenience wrapper over :meth:`remove_older_than`
+        with the paper's horizon ``now - window_size``.
         """
-        horizon = now - window_size
+        self.remove_older_than(now - window_size)
+
+    def remove_older_than(self, horizon: int) -> None:
+        """Remove every stored point with arrival time ``<= horizon``.
+
+        With consecutive arrival times and a count window exactly one point
+        expires per step (the ``x`` of Algorithm 1), but the method handles
+        any prefix of arrival order in one call — event-time and session
+        policies expire several points at once (their horizons jump), and
+        the families stay consistent because expiry is always a contiguous
+        prefix of arrival order.  Each family dict is ordered by arrival
+        time, so peeking at its first key decides in O(1) whether anything
+        expired at all.
+        """
         if horizon < 1 or horizon < self._oldest:
             return
         families = (

@@ -41,6 +41,7 @@ from .snapshot import (
     validate_snapshot,
 )
 from .solution import ClusteringSolution
+from .window_policy import PolicyDrivenWindow, WindowPolicy, make_policy
 
 
 @dataclass
@@ -140,7 +141,9 @@ class _IndependentSetState:
         return times
 
     def remove_expired(self, now: int, window_size: int) -> None:
-        horizon = now - window_size
+        self.remove_older_than(now - window_size)
+
+    def remove_older_than(self, horizon: int) -> None:
         if horizon < 1:
             return
         for t in [t for t in self.stored_times() if t <= horizon]:
@@ -237,7 +240,7 @@ class _IndependentSetState:
         return len(self.attractors) + len(self.representatives)
 
 
-class DimensionFreeFairSlidingWindow(BatchIngestMixin):
+class DimensionFreeFairSlidingWindow(PolicyDrivenWindow, BatchIngestMixin):
     """Corollary 2: constant-factor fair center with dimension-free space."""
 
     def __init__(
@@ -246,6 +249,7 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
         solver: FairCenterSolver | None = None,
         *,
         backend: str = "auto",
+        policy: WindowPolicy | str | None = None,
     ) -> None:
         if not config.has_distance_bounds:
             raise ValueError(
@@ -266,6 +270,9 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
             )
             for guess in guess_grid(config.dmin, config.dmax, config.beta)
         ]
+        # The policy must exist before the updater resolves its path (the
+        # native ladder is count-only and degrades to fused otherwise).
+        self._policy = make_policy(policy)
         self._updater = make_updater(self, "indep", backend)
 
     # ------------------------------------------------------------- properties
@@ -292,8 +299,7 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
 
     # ----------------------------------------------------------------- update
 
-    def insert(self, item: StreamItem | Point) -> StreamItem:
-        """Process the arrival of a new point."""
+    def _stamp(self, item: StreamItem | Point) -> StreamItem:
         if isinstance(item, Point):
             item = StreamItem(item, self._now + 1)
         if item.t <= self._now:
@@ -302,9 +308,11 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
                 f"after {self._now}"
             )
         self._now = item.t
+        return item
+
+    def _ingest_one(self, item: StreamItem) -> None:
         # Per-arrival core: see repro.core.fastpath (fused scan + ladder loop).
         self._updater.insert(item)
-        return item
 
     def extend(self, items: Iterable[StreamItem | Point]) -> None:
         """Insert every element of ``items`` in order."""
@@ -333,6 +341,9 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
             solution.guess = state.guess
             solution.coreset_size = len(candidates)
             solution.metadata.setdefault("algorithm", "ours_dimension_free")
+            self._policy.annotate(
+                solution, state.candidate_points(), self.config.metric
+            )
             return solution
         return ClusteringSolution(
             centers=[], radius=float("inf"),
@@ -355,6 +366,7 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
             window_size=self.window_size,
             states=[state.snapshot_state() for state in self._states],
             beta=self.config.beta,
+            policy=self._policy.snapshot_state(),
         )
 
     def restore(self, snapshot: WindowSnapshot) -> None:
@@ -363,6 +375,9 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
             snapshot, "dimension_free", self.window_size, beta=self.config.beta
         )
         check_grid_alignment(snapshot.states, self.guesses)
+        # Policy state loads before any structural mutation so a
+        # kind/parameter mismatch leaves the window untouched.
+        self._policy.load_state(snapshot.policy)
         for state in self._states:
             state.release_all()
         fresh: list[_IndependentSetState] = []
@@ -387,8 +402,11 @@ class DimensionFreeFairSlidingWindow(BatchIngestMixin):
         return self._updater.path
 
     def update_stats(self) -> dict[str, float]:
-        """Update-path counters (pruning skip rates included)."""
-        return self._updater.stats_snapshot().as_dict()
+        """Update-path counters (policy counters added for non-count policies)."""
+        stats = self._updater.stats_snapshot().as_dict()
+        if self._policy.kind != "count":
+            stats.update(self._policy.counters())
+        return stats
 
     def memory_points(self) -> int:
         """Number of distinct points maintained in memory across every guess."""

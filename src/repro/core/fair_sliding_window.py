@@ -46,9 +46,10 @@ from .snapshot import (
     validate_snapshot,
 )
 from .solution import ClusteringSolution
+from .window_policy import PolicyDrivenWindow, WindowPolicy, make_policy
 
 
-class FairSlidingWindow(BatchIngestMixin):
+class FairSlidingWindow(PolicyDrivenWindow, BatchIngestMixin):
     """Coreset-based sliding-window algorithm for fair center (``Ours``).
 
     Parameters
@@ -68,6 +69,12 @@ class FairSlidingWindow(BatchIngestMixin):
         metric has a vector kernel; ``"scalar"`` forces the scalar oracle.
         The engine precision follows ``config.dtype`` (``float64`` unless
         overridden there or via ``REPRO_DTYPE``).
+    policy:
+        Window expiry semantics (:mod:`repro.core.window_policy`): a
+        :class:`~repro.core.window_policy.WindowPolicy` instance, a spec
+        string (``"count"``, ``"event_time:span=10,slack=2"``,
+        ``"session:gap=5"``, ``"decay:half_life=10"``) or ``None`` for the
+        paper's count window.
     """
 
     def __init__(
@@ -76,6 +83,7 @@ class FairSlidingWindow(BatchIngestMixin):
         solver: FairCenterSolver | None = None,
         *,
         backend: str = "auto",
+        policy: WindowPolicy | str | None = None,
     ) -> None:
         if not config.has_distance_bounds:
             raise ValueError(
@@ -99,6 +107,9 @@ class FairSlidingWindow(BatchIngestMixin):
             )
             for guess in guess_grid(config.dmin, config.dmax, config.beta)
         ]
+        # The policy must exist before the updater resolves its path (the
+        # native ladder is count-only and degrades to fused otherwise).
+        self._policy = make_policy(policy)
         self._updater = make_updater(self, "full", backend)
 
     # ------------------------------------------------------------- properties
@@ -125,21 +136,13 @@ class FairSlidingWindow(BatchIngestMixin):
 
     # ----------------------------------------------------------------- update
 
-    def insert(self, item: StreamItem | Point) -> StreamItem:
-        """Process the arrival of a new point (Algorithm 1 for every guess).
-
-        Plain :class:`Point` objects are stamped with the next arrival time;
-        :class:`StreamItem` objects must carry strictly increasing times.
-        Returns the stored stream item.
-        """
-        item = self._stamp(item)
+    def _ingest_one(self, item: StreamItem) -> None:
         # The per-arrival core lives in repro.core.fastpath: one fused scan
         # ("which attractors of which guesses does the new point attach
         # to?") followed by the ladder loop — native C, fused NumPy, the
         # engine-batched vector loop or the scalar oracle, depending on the
         # resolved backend.
         self._updater.insert(item)
-        return item
 
     def extend(self, items: Iterable[StreamItem | Point]) -> None:
         """Insert every element of ``items`` in order."""
@@ -194,6 +197,9 @@ class FairSlidingWindow(BatchIngestMixin):
         solution.coreset_size = len(coreset)
         solution.metadata.setdefault("algorithm", "ours")
         solution.metadata["valid_guess"] = state.guess
+        self._policy.annotate(
+            solution, list(state.c_representatives.values()), self.config.metric
+        )
         return solution
 
     def _fallback_solution(self) -> ClusteringSolution:
@@ -241,6 +247,7 @@ class FairSlidingWindow(BatchIngestMixin):
             states=[state.snapshot_state() for state in self._states],
             beta=self.config.beta,
             delta=self.config.delta,
+            policy=self._policy.snapshot_state(),
         )
 
     def restore(self, snapshot: WindowSnapshot) -> None:
@@ -259,6 +266,9 @@ class FairSlidingWindow(BatchIngestMixin):
             delta=self.config.delta,
         )
         check_grid_alignment(snapshot.states, self.guesses)
+        # Policy state loads before any structural mutation so a
+        # kind/parameter mismatch leaves the window untouched.
+        self._policy.load_state(snapshot.policy)
         for state in self._states:
             state.release_all()
         fresh: list[GuessState] = []
@@ -284,8 +294,15 @@ class FairSlidingWindow(BatchIngestMixin):
         return self._updater.path
 
     def update_stats(self) -> dict[str, float]:
-        """Update-path counters (pruning skip rates included)."""
-        return self._updater.stats_snapshot().as_dict()
+        """Update-path counters (pruning skip rates included).
+
+        Non-count policies add their counters (``late_dropped``,
+        ``watermark``, …); the count policy's dict is unchanged.
+        """
+        stats = self._updater.stats_snapshot().as_dict()
+        if self._policy.kind != "count":
+            stats.update(self._policy.counters())
+        return stats
 
     def memory_points(self) -> int:
         """Number of distinct points maintained in memory (paper's metric).

@@ -192,12 +192,13 @@ class ScalarUpdater(_UpdaterBase):
 
     def insert(self, item: "StreamItem") -> None:
         window = self._window
-        window_size: int = window.window_size
         stats = self.stats
         stats.updates += 1
+        # One policy consultation per arrival, outside the ladder loop.
+        horizon = window.expiry_horizon(item.t)
         for state in self._states():
             stats.guesses_visited += 1
-            state.remove_expired(item.t, window_size)
+            state.remove_older_than(horizon)
             state.update(item)
 
     def stats_snapshot(self) -> UpdateStats:
@@ -216,14 +217,14 @@ class VectorUpdater(_UpdaterBase):
     def insert(self, item: "StreamItem") -> None:
         window = self._window
         engine: BatchDistanceEngine = window._engine
-        window_size: int = window.window_size
         stats = self.stats
         stats.updates += 1
-        engine.begin_batch(item.coords, item.t - window_size)
+        horizon = window.expiry_horizon(item.t)
+        engine.begin_batch(item.coords, horizon)
         try:
             for state in self._states():
                 stats.guesses_visited += 1
-                state.remove_expired(item.t, window_size)
+                state.remove_older_than(horizon)
                 state.update(item)
         finally:
             engine.end_batch()
@@ -285,19 +286,18 @@ class FusedUpdater(_UpdaterBase):
     def _insert_full(self, item: "StreamItem") -> None:
         window = self._window
         engine: BatchDistanceEngine = window._engine
-        window_size: int = window.window_size
         stats = self.stats
         stats.updates += 1
         t = item.t
-        horizon = t - window_size
+        horizon = window.expiry_horizon(t)
         engine.begin_batch(item.coords, horizon)
         try:
             min_dist = engine.batch_min_dist
             for state in self._states():
                 stats.guesses_visited += 1
-                # --- expiry (GuessState.remove_expired, guard inlined)
+                # --- expiry (GuessState.remove_older_than, guard inlined)
                 if horizon >= 1 and horizon >= state._oldest:
-                    state.remove_expired(t, window_size)
+                    state.remove_older_than(horizon)
                 if t < state._oldest:
                     state._oldest = t
                 thr_v, thr_c = self._band(state)
@@ -328,16 +328,16 @@ class FusedUpdater(_UpdaterBase):
     def _insert_indep(self, item: "StreamItem") -> None:
         window = self._window
         engine: BatchDistanceEngine = window._engine
-        window_size: int = window.window_size
         stats = self.stats
         stats.updates += 1
         t = item.t
-        engine.begin_batch(item.coords, t - window_size)
+        horizon = window.expiry_horizon(t)
+        engine.begin_batch(item.coords, horizon)
         try:
             min_dist = engine.batch_min_dist
             for state in self._states():
                 stats.guesses_visited += 1
-                state.remove_expired(t, window_size)
+                state.remove_older_than(horizon)
                 thr_v, _ = self._band(state)
                 if thr_v < min_dist:
                     stats.v_pruned += 1
@@ -523,12 +523,15 @@ class NativeUpdater(_UpdaterBase):
         ladder = self._ladder
         if ladder is None:
             ladder = self._ensure_ladder(len(item.coords))
+        # The native path only serves count windows (make_updater degrades
+        # other policies to fused: the C time rings are sized by
+        # window_size), so the policy horizon equals ``t - n`` here.
         ladder.insert(
             item,
             item.t,
             self._color_id(item.color),
             item.coords,
-            item.t - self._window.config.window_size,
+            self._window.expiry_horizon(item.t),
         )
 
     def stats_snapshot(self) -> UpdateStats:
@@ -553,6 +556,12 @@ def make_updater(window: Any, kind: str, backend: str) -> _UpdaterBase:
     if window._engine is None:
         return ScalarUpdater(window)
     path = resolve_update_path(backend, window.config.metric)
+    policy = getattr(window, "_policy", None)
+    if path == "native" and policy is not None and policy.kind != "count":
+        # The C ladder's time rings are sized by window_size; event-time /
+        # session windows can hold more than window_size live points, so
+        # non-count policies take the fused loop instead.
+        path = "fused"
     if path == "native":
         return NativeUpdater(window, kind)
     if path == "fused":

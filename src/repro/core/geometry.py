@@ -113,6 +113,39 @@ class StreamItem:
         return f"StreamItem(t={self.t}, {self.point!r})"
 
 
+@dataclass(frozen=True)
+class TimestampedPoint:
+    """A point annotated with an *event* timestamp.
+
+    Event timestamps are wall-clock-like floats supplied by the producer;
+    they are distinct from :class:`StreamItem` arrival times, which are the
+    consecutive sequence numbers the window assigns in ingestion order.
+    Event-timed window policies (:mod:`repro.core.window_policy`) map the
+    former onto the latter.  The serving layer uses this wrapper to carry
+    per-point timestamps through the ingest queues without changing the
+    queue entry shape.
+    """
+
+    point: Point
+    ts: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ts", float(self.ts))
+
+    @property
+    def color(self) -> Color:
+        """Color of the underlying point."""
+        return self.point.color
+
+    @property
+    def coords(self) -> tuple[float, ...]:
+        """Coordinates of the underlying point."""
+        return self.point.coords
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimestampedPoint(ts={self.ts:g}, {self.point!r})"
+
+
 def make_point(coords: Sequence[float] | np.ndarray, color: Color = 0) -> Point:
     """Convenience constructor accepting any sequence of numbers."""
     if isinstance(coords, np.ndarray):

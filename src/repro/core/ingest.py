@@ -21,21 +21,31 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .geometry import Point, StreamItem
+from .geometry import Point, StreamItem, TimestampedPoint
 
 
 class BatchIngestMixin:
     """``insert_batch`` for algorithms exposing an ``insert`` method."""
 
-    def insert(self, item: StreamItem | Point) -> StreamItem:
-        """Apply one arrival (provided by the algorithm using the mixin)."""
+    def insert(
+        self, item: StreamItem | Point | TimestampedPoint
+    ) -> StreamItem | None:
+        """Apply one arrival (provided by the algorithm using the mixin).
+
+        ``None`` means the window's policy buffered or dropped the arrival
+        (count windows always return the stored item).
+        """
         raise NotImplementedError  # pragma: no cover - always overridden
 
-    def insert_batch(self, items: Sequence[StreamItem | Point]) -> list[StreamItem]:
+    def insert_batch(
+        self, items: Sequence[StreamItem | Point | TimestampedPoint]
+    ) -> list[StreamItem]:
         """Insert a run of consecutive arrivals in order.
 
         Equivalent to calling :meth:`insert` on every item; exists so the
         serving layer can hand whole per-stream runs to an algorithm in one
-        call.  Returns the stored stream items.
+        call.  Returns the stored stream items; arrivals an event-time
+        policy buffered or dropped contribute no entry.
         """
-        return [self.insert(item) for item in items]
+        stored = (self.insert(item) for item in items)
+        return [item for item in stored if item is not None]

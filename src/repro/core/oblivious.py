@@ -47,9 +47,10 @@ from .snapshot import (
     validate_snapshot,
 )
 from .solution import ClusteringSolution
+from .window_policy import PolicyDrivenWindow, WindowPolicy, make_policy
 
 
-class ObliviousFairSlidingWindow(BatchIngestMixin):
+class ObliviousFairSlidingWindow(PolicyDrivenWindow, BatchIngestMixin):
     """Sliding-window fair center without prior knowledge of ``dmin``/``dmax``."""
 
     def __init__(
@@ -59,6 +60,7 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
         *,
         estimator: AspectRatioEstimator | None = None,
         backend: str = "auto",
+        policy: WindowPolicy | str | None = None,
     ) -> None:
         self.config = config
         self.solver = solver if solver is not None else JonesFairCenter()
@@ -68,6 +70,9 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
         self._grid = AdaptiveGuessGrid(beta=config.beta)
         self._states: dict[int, GuessState] = {}
         self._engine = make_batch_engine(config.metric, backend, config.dtype)
+        # The policy must exist before the updater resolves its path (the
+        # native ladder is count-only and degrades to fused otherwise).
+        self._policy = make_policy(policy)
         self._updater = make_updater(self, "full", backend)
         self._now = 0
 
@@ -95,17 +100,15 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
 
     # ----------------------------------------------------------------- update
 
-    def insert(self, item: StreamItem | Point) -> StreamItem:
+    def _ingest_one(self, item: StreamItem) -> None:
         """Process a new arrival: refresh the estimates, then run Update."""
-        item = self._stamp(item)
-        self.estimator.insert(item)
+        self.estimator.insert(item, horizon=self.expiry_horizon(item.t))
         if self._refresh_active_guesses():
             # Guess churn: the update path may hold per-guess structures
             # (the native ladder's mirrors) that must follow the range move.
             self._updater.sync()
         # Per-arrival core: see repro.core.fastpath (fused scan + ladder loop).
         self._updater.insert(item)
-        return item
 
     def extend(self, items: Iterable[StreamItem | Point]) -> None:
         """Insert every element of ``items`` in order."""
@@ -184,6 +187,9 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
         solution.metadata["valid_guess"] = state.guess
         solution.metadata["dmin_estimate"] = self.estimator.dmin_estimate()
         solution.metadata["dmax_estimate"] = self.estimator.dmax_estimate()
+        self._policy.annotate(
+            solution, list(state.c_representatives.values()), self.config.metric
+        )
         return solution
 
     def _fallback_solution(self, ordered: list[GuessState]) -> ClusteringSolution:
@@ -226,6 +232,7 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
             estimator=self.estimator.snapshot_state(),
             beta=self.config.beta,
             delta=self.config.delta,
+            policy=self._policy.snapshot_state(),
         )
 
     def restore(self, snapshot: WindowSnapshot) -> None:
@@ -243,6 +250,9 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
             beta=self.config.beta,
             delta=self.config.delta,
         )
+        # Policy state loads before any structural mutation so a
+        # kind/parameter mismatch leaves the window untouched.
+        self._policy.load_state(snapshot.policy)
         for state in self._states.values():
             state.release_all()
         self._states = {}
@@ -276,8 +286,11 @@ class ObliviousFairSlidingWindow(BatchIngestMixin):
         return self._updater.path
 
     def update_stats(self) -> dict[str, float]:
-        """Update-path counters (pruning skip rates included)."""
-        return self._updater.stats_snapshot().as_dict()
+        """Update-path counters (policy counters added for non-count policies)."""
+        stats = self._updater.stats_snapshot().as_dict()
+        if self._policy.kind != "count":
+            stats.update(self._policy.counters())
+        return stats
 
     def memory_points(self) -> int:
         """Distinct points maintained in memory, estimator sketch included."""

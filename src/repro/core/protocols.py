@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 if TYPE_CHECKING:
-    from .geometry import Point, StreamItem
+    from .geometry import Point, StreamItem, TimestampedPoint
     from .snapshot import WindowSnapshot
     from .solution import ClusteringSolution
 
@@ -34,12 +34,18 @@ class ServedWindow(Protocol):
     requires them because every shipped variant provides them).
     """
 
-    def insert(self, item: "StreamItem | Point") -> "StreamItem":
-        """Apply one arrival; returns the stored (time-stamped) item."""
+    def insert(
+        self, item: "StreamItem | Point | TimestampedPoint"
+    ) -> "StreamItem | None":
+        """Apply one arrival; returns the stored (sequence-stamped) item.
+
+        ``None`` means the window's policy buffered or dropped the arrival
+        (event-time windows with a watermark; count windows always store).
+        """
         ...
 
     def insert_batch(
-        self, items: "Sequence[StreamItem | Point]"
+        self, items: "Sequence[StreamItem | Point | TimestampedPoint]"
     ) -> "list[StreamItem]":
         """Apply a run of consecutive arrivals in order."""
         ...

@@ -33,7 +33,9 @@ from dataclasses import dataclass, field
 from .geometry import Color, StreamItem
 
 #: Bump whenever the snapshot layout changes; restore refuses other versions.
-SNAPSHOT_VERSION = 1
+#: Version history: 1 = initial format; 2 = added :attr:`WindowSnapshot.policy`
+#: (window-policy state: watermarks, reorder buffer, late counters).
+SNAPSHOT_VERSION = 2
 
 #: Variant tags stored in :attr:`WindowSnapshot.variant` (the same names the
 #: serving :class:`~repro.serving.factory.WindowFactory` uses).
@@ -122,6 +124,10 @@ class WindowSnapshot:
     #: not applicable, e.g. ``delta`` for the dimension-free variant).
     beta: float | None = None
     delta: float | None = None
+    #: window-policy state (``repro.core.window_policy``): the ``kind``, its
+    #: parameters, and its runtime state (watermark, reorder buffer, seq↔ts
+    #: ledger, late counters).  ``None`` is read as the count policy.
+    policy: dict | None = None
 
 
 def _mismatch(name: str, recorded: float, expected: float) -> bool:

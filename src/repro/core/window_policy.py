@@ -1,0 +1,592 @@
+"""Pluggable window expiry semantics (count, event time, sessions, decay).
+
+The paper's algorithms maintain the last ``N`` *arrivals* — expiry is the
+arithmetic ``index <= t - N`` applied uniformly across the guess ladder.
+Production streams are timestamped, late, and bursty, so this module
+factors that arithmetic into a :class:`WindowPolicy` that every
+sliding-window variant consults instead of hard-coding ``t - N``:
+
+* :class:`CountPolicy` — the paper's semantics, and the default.  The
+  policy is a pure pass-through and the horizon is ``t - N``: windows
+  built with it are bitwise identical to the pre-policy code.
+* :class:`EventTimePolicy` — wall-clock windows with watermarks.  Arrivals
+  carry event timestamps; the watermark trails the maximum seen timestamp
+  by ``slack``.  Out-of-order arrivals at or above the watermark are held
+  in a reorder buffer and *sealed* into the core strictly in timestamp
+  order once the watermark passes them; arrivals below the watermark are
+  counted (``late_dropped``) and dropped.  A point expires once the
+  newest sealed timestamp exceeds its own by more than ``span``.
+* :class:`SessionPolicy` — gap-based close-out: a silence longer than
+  ``gap`` between consecutive timestamps expires the whole previous
+  session in one step.
+* :class:`DecayPolicy` — exponential weighting by age.  Expiry is either
+  count-based (default) or event-span based (``span=``); queries are
+  annotated with a decayed radius computed over the coreset.
+
+Design contract (what keeps the coreset invariants intact): the per-guess
+families are insertion-ordered dicts and expiry must always remove a
+*prefix* of arrival order.  Every policy guarantees this by construction —
+items are sealed into the core in non-decreasing event-time order, so
+"expire by timestamp" is always "expire a contiguous prefix of sequence
+numbers".  The policy is consulted exactly once per arrival, *outside*
+the kernel loops (rule RPR011 enforces this).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Callable, ClassVar, Deque
+
+from .geometry import Point, StreamItem, TimestampedPoint
+from .snapshot import SnapshotMismatchError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .config import SlidingWindowConfig
+    from .solution import ClusteringSolution
+
+#: sealed arrivals handed back to the window: (point, event timestamp).
+Sealed = tuple[Point, float]
+
+
+class WatermarkError(ValueError):
+    """Raised when a watermark would move backwards."""
+
+    def __init__(self, requested: float, current: float) -> None:
+        super().__init__(
+            f"watermark cannot regress: requested {requested!r} is below "
+            f"the current watermark {current!r}"
+        )
+        self.requested = requested
+        self.current = current
+
+
+def _require_ts(ts: float | None, kind: str) -> float:
+    if ts is None:
+        raise ValueError(
+            f"the {kind!r} window policy requires an event timestamp per "
+            "point (pass ts= to insert, or ingest TimestampedPoint payloads)"
+        )
+    value = float(ts)
+    if not math.isfinite(value):
+        raise ValueError(f"event timestamps must be finite, got {value!r}")
+    return value
+
+
+def _tie_break_key(ts: float, point: Point) -> tuple:
+    # Content-based ordering for duplicate timestamps: any delivery order
+    # of the same multiset seals in the same deterministic order.
+    return (ts, point.coords, str(point.color))
+
+
+class WindowPolicy:
+    """Base class: maps event time onto the core's sequence space.
+
+    A policy is *stateful and per-window*.  The window drives it through
+    three calls per arrival:
+
+    1. :meth:`admit` — hand the raw arrival in; receive the (possibly
+       empty, possibly multiple) arrivals that are now *sealed*, in the
+       order the core must ingest them.
+    2. :meth:`on_sealed` — record the sequence number the window assigned
+       to a sealed arrival.  This is the single policy decision point.
+    3. :meth:`horizon` — the expiry horizon in sequence space: every
+       stored item with arrival time ``<= horizon`` is expired.
+    """
+
+    kind: ClassVar[str] = "abstract"
+
+    def admit(self, point: Point, ts: float | None) -> list[Sealed]:
+        raise NotImplementedError
+
+    def on_sealed(self, seq: int, ts: float | None) -> None:
+        raise NotImplementedError
+
+    def horizon(self, seq: int, window_size: int) -> int:
+        raise NotImplementedError
+
+    def advance_watermark(self, ts: float) -> list[Sealed]:
+        """Explicitly advance the watermark (seals eligible buffered points)."""
+        raise ValueError(
+            f"the {self.kind!r} window policy has no watermark to advance"
+        )
+
+    def counters(self) -> dict[str, float]:
+        """Observable policy counters (merged into ``update_stats()``)."""
+        return {}
+
+    def annotate(
+        self,
+        solution: "ClusteringSolution",
+        items: list,
+        metric: Callable,
+    ) -> None:
+        """Hook run once per query with the solution and its coreset items."""
+
+    def snapshot_state(self) -> dict:
+        return {"kind": self.kind}
+
+    def _check_kind(self, state: dict | None) -> dict:
+        state = state if state is not None else {"kind": "count"}
+        kind = state.get("kind")
+        if kind != self.kind:
+            raise SnapshotMismatchError(
+                f"snapshot carries {kind!r} policy state, this window uses "
+                f"the {self.kind!r} policy"
+            )
+        return state
+
+    def load_state(self, state: dict | None) -> None:
+        self._check_kind(state)
+
+    def spec(self) -> str:
+        return self.kind
+
+
+class CountPolicy(WindowPolicy):
+    """Last-``N``-arrivals semantics — the paper's windows, the default."""
+
+    kind: ClassVar[str] = "count"
+
+    def admit(self, point: Point, ts: float | None) -> list[Sealed]:
+        return [(point, 0.0 if ts is None else float(ts))]
+
+    def on_sealed(self, seq: int, ts: float | None) -> None:
+        return None
+
+    def horizon(self, seq: int, window_size: int) -> int:
+        return seq - window_size
+
+
+class _LedgerPolicy(WindowPolicy):
+    """Shared machinery: a seq ↔ event-ts ledger with a monotone horizon."""
+
+    def __init__(self) -> None:
+        self._ledger: Deque[tuple[int, float]] = deque()
+        self._horizon_seq = 0
+        self._last_ts: float | None = None
+        self._late_dropped = 0
+
+    def on_sealed(self, seq: int, ts: float | None) -> None:
+        ts = float(seq) if ts is None else float(ts)
+        self._ledger.append((seq, ts))
+        self._last_ts = ts
+
+    def _advance_horizon(self, cutoff_ts: float) -> int:
+        ledger = self._ledger
+        while ledger and ledger[0][1] <= cutoff_ts:
+            self._horizon_seq = ledger.popleft()[0]
+        return self._horizon_seq
+
+    def _ts_of(self) -> dict[int, float]:
+        return dict(self._ledger)
+
+    def _base_state(self) -> dict:
+        return {
+            "kind": self.kind,
+            "ledger": list(self._ledger),
+            "horizon_seq": self._horizon_seq,
+            "last_ts": self._last_ts,
+            "late_dropped": self._late_dropped,
+        }
+
+    def _load_base(self, state: dict) -> None:
+        self._ledger = deque((int(s), float(t)) for s, t in state["ledger"])
+        self._horizon_seq = int(state["horizon_seq"])
+        last = state["last_ts"]
+        self._last_ts = None if last is None else float(last)
+        self._late_dropped = int(state["late_dropped"])
+
+
+class EventTimePolicy(_LedgerPolicy):
+    """Wall-clock window of width ``span`` with a watermark trailing by ``slack``.
+
+    The watermark is ``max(seen timestamps) - slack`` and never moves
+    backwards.  Arrivals with ``ts < watermark`` are late: counted and
+    dropped.  Arrivals with ``ts >= watermark`` (the slack boundary is
+    inclusive) enter a reorder buffer and are sealed into the core in
+    timestamp order as soon as the watermark reaches them, so the core
+    only ever sees non-decreasing event time and expiry stays a prefix of
+    arrival order.
+    """
+
+    kind: ClassVar[str] = "event_time"
+
+    def __init__(self, span: float, slack: float = 0.0) -> None:
+        super().__init__()
+        if span <= 0:
+            raise ValueError(f"span must be positive, got {span}")
+        if slack < 0:
+            raise ValueError(f"slack must be non-negative, got {slack}")
+        self.span = float(span)
+        self.slack = float(slack)
+        self._buffer: list[tuple[float, Point]] = []
+        self._max_ts = -math.inf
+        self._watermark = -math.inf
+
+    def admit(self, point: Point, ts: float | None) -> list[Sealed]:
+        ts = _require_ts(ts, self.kind)
+        if ts < self._watermark:
+            self._late_dropped += 1
+            return []
+        self._buffer.append((ts, point))
+        if ts > self._max_ts:
+            self._max_ts = ts
+        return self._seal_up_to(self._max_ts - self.slack)
+
+    def advance_watermark(self, ts: float) -> list[Sealed]:
+        ts = _require_ts(ts, self.kind)
+        if ts < self._watermark:
+            raise WatermarkError(ts, self._watermark)
+        return self._seal_up_to(ts)
+
+    def _seal_up_to(self, watermark: float) -> list[Sealed]:
+        if watermark > self._watermark:
+            self._watermark = watermark
+        ready = [entry for entry in self._buffer if entry[0] <= self._watermark]
+        if not ready:
+            return []
+        self._buffer = [e for e in self._buffer if e[0] > self._watermark]
+        ready.sort(key=lambda entry: _tie_break_key(entry[0], entry[1]))
+        return [(point, ts) for ts, point in ready]
+
+    def horizon(self, seq: int, window_size: int) -> int:
+        if self._last_ts is None:
+            return 0
+        return self._advance_horizon(self._last_ts - self.span)
+
+    def counters(self) -> dict[str, float]:
+        watermark = self._watermark if math.isfinite(self._watermark) else 0.0
+        return {
+            "late_dropped": float(self._late_dropped),
+            "buffered": float(len(self._buffer)),
+            "watermark": watermark,
+        }
+
+    def snapshot_state(self) -> dict:
+        state = self._base_state()
+        state.update(
+            span=self.span,
+            slack=self.slack,
+            buffer=list(self._buffer),
+            max_ts=self._max_ts,
+            watermark=self._watermark,
+        )
+        return state
+
+    def load_state(self, state: dict | None) -> None:
+        state = self._check_kind(state)
+        for param in ("span", "slack"):
+            if state.get(param) != getattr(self, param):
+                raise SnapshotMismatchError(
+                    f"snapshot policy {param}={state.get(param)!r} does not "
+                    f"match this window's {param}={getattr(self, param)!r}"
+                )
+        self._load_base(state)
+        self._buffer = [(float(ts), point) for ts, point in state["buffer"]]
+        self._max_ts = float(state["max_ts"])
+        self._watermark = float(state["watermark"])
+
+    def spec(self) -> str:
+        return f"event_time:span={self.span:g},slack={self.slack:g}"
+
+
+class SessionPolicy(_LedgerPolicy):
+    """Gap-based sessions: silence longer than ``gap`` closes the window.
+
+    Timestamps must be non-decreasing; an arrival older than the newest
+    sealed timestamp is counted late and dropped.  When the gap between
+    consecutive timestamps exceeds ``gap``, everything before the new
+    arrival expires in one step (the previous session closes).
+    """
+
+    kind: ClassVar[str] = "session"
+
+    def __init__(self, gap: float) -> None:
+        super().__init__()
+        if gap <= 0:
+            raise ValueError(f"gap must be positive, got {gap}")
+        self.gap = float(gap)
+        self._sessions_closed = 0
+
+    def admit(self, point: Point, ts: float | None) -> list[Sealed]:
+        ts = _require_ts(ts, self.kind)
+        if self._last_ts is not None and ts < self._last_ts:
+            self._late_dropped += 1
+            return []
+        return [(point, ts)]
+
+    def on_sealed(self, seq: int, ts: float | None) -> None:
+        ts = float(seq) if ts is None else float(ts)
+        if self._last_ts is not None and ts - self._last_ts > self.gap:
+            self._horizon_seq = seq - 1
+            self._sessions_closed += 1
+            self._ledger.clear()
+        super().on_sealed(seq, ts)
+
+    def horizon(self, seq: int, window_size: int) -> int:
+        return self._horizon_seq
+
+    def counters(self) -> dict[str, float]:
+        return {
+            "late_dropped": float(self._late_dropped),
+            "sessions_closed": float(self._sessions_closed),
+            "watermark": 0.0 if self._last_ts is None else self._last_ts,
+        }
+
+    def snapshot_state(self) -> dict:
+        state = self._base_state()
+        state.update(gap=self.gap, sessions_closed=self._sessions_closed)
+        return state
+
+    def load_state(self, state: dict | None) -> None:
+        state = self._check_kind(state)
+        if state.get("gap") != self.gap:
+            raise SnapshotMismatchError(
+                f"snapshot policy gap={state.get('gap')!r} does not match "
+                f"this window's gap={self.gap!r}"
+            )
+        self._load_base(state)
+        self._sessions_closed = int(state["sessions_closed"])
+
+    def spec(self) -> str:
+        return f"session:gap={self.gap:g}"
+
+
+class DecayPolicy(_LedgerPolicy):
+    """Exponential age weighting feeding the radius evaluation.
+
+    Stored points keep full weight in the coreset; at query time the
+    solution is annotated with ``decayed_radius`` — the maximum over the
+    coreset of ``0.5 ** (age / half_life)`` times the distance to the
+    nearest center.  Expiry is count-based (last ``window_size``
+    arrivals) unless ``span`` is given, in which case points older than
+    ``span`` in event time expire.  Timestamps are optional (the sequence
+    number stands in) but must be non-decreasing when given.
+    """
+
+    kind: ClassVar[str] = "decay"
+
+    def __init__(self, half_life: float, span: float | None = None) -> None:
+        super().__init__()
+        if half_life <= 0:
+            raise ValueError(f"half_life must be positive, got {half_life}")
+        if span is not None and span <= 0:
+            raise ValueError(f"span must be positive, got {span}")
+        self.half_life = float(half_life)
+        self.span = None if span is None else float(span)
+
+    def admit(self, point: Point, ts: float | None) -> list[Sealed]:
+        if ts is not None:
+            ts = _require_ts(ts, self.kind)
+            if self._last_ts is not None and ts < self._last_ts:
+                self._late_dropped += 1
+                return []
+        return [(point, ts if ts is not None else math.nan)]
+
+    def on_sealed(self, seq: int, ts: float | None) -> None:
+        if ts is None or math.isnan(ts):
+            ts = float(seq)
+        super().on_sealed(seq, ts)
+
+    def horizon(self, seq: int, window_size: int) -> int:
+        if self.span is None:
+            return seq - window_size
+        if self._last_ts is None:
+            return 0
+        return self._advance_horizon(self._last_ts - self.span)
+
+    def weight(self, ts: float) -> float:
+        if self._last_ts is None:
+            return 1.0
+        age = max(0.0, self._last_ts - ts)
+        return 0.5 ** (age / self.half_life)
+
+    def annotate(
+        self,
+        solution: "ClusteringSolution",
+        items: list,
+        metric: Callable,
+    ) -> None:
+        if not solution.centers or not items:
+            return
+        ts_of = self._ts_of()
+        decayed = 0.0
+        for item in items:
+            ts = ts_of.get(item.t)
+            if ts is None:
+                continue
+            nearest = min(metric(item, center) for center in solution.centers)
+            decayed = max(decayed, self.weight(ts) * nearest)
+        solution.metadata["decayed_radius"] = decayed
+        solution.metadata["decay_half_life"] = self.half_life
+
+    def counters(self) -> dict[str, float]:
+        return {
+            "late_dropped": float(self._late_dropped),
+            "watermark": 0.0 if self._last_ts is None else self._last_ts,
+        }
+
+    def snapshot_state(self) -> dict:
+        state = self._base_state()
+        state.update(half_life=self.half_life, span=self.span)
+        return state
+
+    def load_state(self, state: dict | None) -> None:
+        state = self._check_kind(state)
+        for param in ("half_life", "span"):
+            if state.get(param) != getattr(self, param):
+                raise SnapshotMismatchError(
+                    f"snapshot policy {param}={state.get(param)!r} does not "
+                    f"match this window's {param}={getattr(self, param)!r}"
+                )
+        self._load_base(state)
+
+    def spec(self) -> str:
+        if self.span is None:
+            return f"decay:half_life={self.half_life:g}"
+        return f"decay:half_life={self.half_life:g},span={self.span:g}"
+
+
+class PolicyDrivenWindow:
+    """Mixin driving arrivals through the window's :class:`WindowPolicy`.
+
+    The sliding-window variants provide ``_stamp`` (assign the next
+    sequence number) and ``_ingest_one`` (the per-arrival core: expiry +
+    update across the guess ladder) and assign ``_policy`` before building
+    their updater.  The mixin owns the arrival protocol: unwrap
+    :class:`~repro.core.geometry.TimestampedPoint` payloads, let the
+    policy buffer/seal/drop, and feed sealed arrivals to the core in the
+    policy's order.  Under the count policy the mixin is a pure
+    pass-through (stamp + ingest), keeping the paper's hot path bitwise
+    identical.
+    """
+
+    _policy: WindowPolicy
+    config: "SlidingWindowConfig"
+
+    def _stamp(self, item: StreamItem | Point) -> StreamItem:
+        raise NotImplementedError  # pragma: no cover - provided by variants
+
+    def _ingest_one(self, item: StreamItem) -> None:
+        raise NotImplementedError  # pragma: no cover - provided by variants
+
+    @property
+    def policy(self) -> WindowPolicy:
+        """The window policy driving admission and expiry."""
+        return self._policy
+
+    def insert(
+        self,
+        item: StreamItem | Point | TimestampedPoint,
+        *,
+        ts: float | None = None,
+    ) -> StreamItem | None:
+        """Process an arrival; returns the stamped item, or ``None``.
+
+        ``None`` means the policy did not seal the arrival into the core —
+        it is either buffered (waiting for the watermark) or dropped as
+        late.  A single arrival may also release several buffered points;
+        the returned item is the last one sealed.
+        """
+        if isinstance(item, TimestampedPoint):
+            ts = item.ts if ts is None else ts
+            item = item.point
+        policy = self._policy
+        if policy.kind == "count":
+            # The paper's hot path: stamp and ingest directly (bitwise
+            # identical to the pre-policy windows).
+            stamped = self._stamp(item)
+            self._ingest_one(stamped)
+            return stamped
+        if isinstance(item, StreamItem):
+            raise ValueError(
+                "pre-stamped StreamItems are only valid under the count "
+                f"policy; the {policy.kind!r} policy assigns arrival order "
+                "itself (pass the bare point plus ts=)"
+            )
+        last: StreamItem | None = None
+        for point, sealed_ts in policy.admit(item, ts):
+            last = self._ingest_sealed(point, sealed_ts)
+        return last
+
+    def _ingest_sealed(self, point: Point, sealed_ts: float) -> StreamItem:
+        stamped = self._stamp(point)
+        # The single policy decision point per arrival: record seq <-> ts
+        # and let the policy advance its horizon *before* the kernel runs.
+        self._policy.on_sealed(stamped.t, sealed_ts)
+        self._ingest_one(stamped)
+        return stamped
+
+    def advance_watermark(self, ts: float) -> list[StreamItem]:
+        """Advance the policy watermark, ingesting newly sealed points."""
+        return [
+            self._ingest_sealed(point, sealed_ts)
+            for point, sealed_ts in self._policy.advance_watermark(ts)
+        ]
+
+    def expiry_horizon(self, t: int) -> int:
+        """Expiry horizon for the arrival at sequence number ``t``.
+
+        Every stored item with arrival time ``<= expiry_horizon(t)`` is
+        expired.  Consulted once per arrival by the update paths, outside
+        the kernel loops.
+        """
+        return self._policy.horizon(t, self.config.window_size)
+
+    def policy_counters(self) -> dict[str, float]:
+        """Observable policy counters (late drops, watermark, buffer)."""
+        return self._policy.counters()
+
+
+_POLICY_KINDS: dict[str, tuple[type[WindowPolicy], dict[str, bool]]] = {
+    # kind -> (class, {param: required})
+    "count": (CountPolicy, {}),
+    "event_time": (EventTimePolicy, {"span": True, "slack": False}),
+    "session": (SessionPolicy, {"gap": True}),
+    "decay": (DecayPolicy, {"half_life": True, "span": False}),
+}
+
+
+def make_policy(spec: WindowPolicy | str | None) -> WindowPolicy:
+    """Build a policy from a spec string (``kind`` or ``kind:k=v,k=v``).
+
+    Examples: ``"count"``, ``"event_time:span=10,slack=2"``,
+    ``"session:gap=5"``, ``"decay:half_life=10,span=50"``.  Policy
+    instances pass through unchanged; ``None`` means :class:`CountPolicy`.
+    """
+    if spec is None:
+        return CountPolicy()
+    if isinstance(spec, WindowPolicy):
+        return spec
+    kind, _, param_text = spec.partition(":")
+    kind = kind.strip()
+    if kind not in _POLICY_KINDS:
+        raise ValueError(
+            f"unknown window policy {kind!r}; expected one of "
+            f"{sorted(_POLICY_KINDS)}"
+        )
+    cls, params = _POLICY_KINDS[kind]
+    kwargs: dict[str, float] = {}
+    if param_text.strip():
+        for part in param_text.split(","):
+            name, sep, value = part.partition("=")
+            name = name.strip()
+            if not sep or name not in params:
+                raise ValueError(
+                    f"bad parameter {part.strip()!r} for window policy "
+                    f"{kind!r}; expected {sorted(params)}"
+                )
+            try:
+                kwargs[name] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"window policy parameter {name!r} must be a number, "
+                    f"got {value.strip()!r}"
+                ) from None
+    missing = [p for p, required in params.items() if required and p not in kwargs]
+    if missing:
+        raise ValueError(
+            f"window policy {kind!r} requires parameters {missing}"
+        )
+    return cls(**kwargs)

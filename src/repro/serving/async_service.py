@@ -36,7 +36,7 @@ from pathlib import Path
 from types import TracebackType
 from typing import Iterable
 
-from ..core.geometry import Point, StreamItem
+from ..core.geometry import Point, StreamItem, TimestampedPoint
 from ..core.solution import ClusteringSolution
 from .router import StreamRouter
 from .service import (
@@ -110,8 +110,17 @@ class AsyncMultiStreamService:
             self._drain_waiters[shard_index] = condition
         return condition
 
-    async def ingest(self, stream_id: str, point: Point | StreamItem) -> int:
+    async def ingest(
+        self,
+        stream_id: str,
+        point: Point | StreamItem | TimestampedPoint,
+        *,
+        ts: float | None = None,
+    ) -> int:
         """Route one arrival to its shard; returns the shard index.
+
+        ``ts`` attaches an event timestamp to a bare :class:`Point`
+        (required per arrival by the non-count window policies).
 
         Fast path: a non-blocking submit that succeeds costs no thread hop.
         When the shard's queue is full the coroutine parks on that shard's
@@ -128,6 +137,13 @@ class AsyncMultiStreamService:
         concurrently, but racing several coroutines on the same stream can
         reorder its points exactly as racing threads on the sync API can.
         """
+        if ts is not None:
+            if not isinstance(point, Point):
+                raise ValueError(
+                    "ts= is only valid with a bare Point payload; "
+                    f"got {type(point).__name__}"
+                )
+            point = TimestampedPoint(point, ts)
         try:
             return self._service.ingest(stream_id, point, block=False)
         except IngestQueueFull:
@@ -157,7 +173,7 @@ class AsyncMultiStreamService:
             return result
 
     async def ingest_many(
-        self, arrivals: Iterable[tuple[str, Point | StreamItem]]
+        self, arrivals: Iterable[tuple[str, Point | StreamItem | TimestampedPoint]]
     ) -> int:
         """Ingest an iterable of ``(stream_id, point)`` pairs; returns the count.
 

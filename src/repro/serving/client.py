@@ -128,9 +128,17 @@ class ServingClient:
         self._request({"op": "ping"})
 
     def ingest(
-        self, arrivals: Iterable[tuple[str, Sequence[float], Color]]
+        self,
+        arrivals: Iterable[
+            tuple[str, Sequence[float], Color]
+            | tuple[str, Sequence[float], Color, float]
+        ],
     ) -> int:
-        """Send ``(stream_id, coords, color)`` arrivals; returns the count.
+        """Send ``(stream_id, coords, color[, ts])`` arrivals; returns the count.
+
+        A fourth tuple element attaches an event timestamp to the arrival
+        (required per point by the non-count window policies; late points
+        below the watermark are counted server-side and dropped).
 
         Arrivals are framed in batches of the client's ``batch_size``; the
         server acknowledges each batch only once every point has been
@@ -139,8 +147,12 @@ class ServingClient:
         """
         total = 0
         batch: list[list] = []
-        for stream_id, coords, color in arrivals:
-            batch.append([stream_id, list(coords), color])
+        for arrival in arrivals:
+            stream_id, coords, color = arrival[0], arrival[1], arrival[2]
+            item = [stream_id, list(coords), color]
+            if len(arrival) == 4:
+                item.append(float(arrival[3]))
+            batch.append(item)
             if len(batch) >= self._batch_size:
                 response = self._request({"op": "ingest", "items": batch})
                 total += int(response["ingested"])

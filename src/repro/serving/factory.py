@@ -18,6 +18,7 @@ from ..core.config import SlidingWindowConfig
 from ..core.dimension_free import DimensionFreeFairSlidingWindow
 from ..core.fair_sliding_window import FairSlidingWindow
 from ..core.oblivious import ObliviousFairSlidingWindow
+from ..core.window_policy import make_policy
 
 #: Variant names accepted by :class:`WindowFactory`.
 VARIANTS = ("ours", "oblivious", "dimension_free")
@@ -43,11 +44,19 @@ class WindowFactory:
     backend:
         Per-instance backend selection (``auto`` / ``scalar``), forwarded to
         the algorithm constructor.
+    policy_spec:
+        Window-policy spec string (see
+        :func:`~repro.core.window_policy.make_policy`), e.g. ``"count"``
+        (the default), ``"event_time:span=10,slack=2"``,
+        ``"session:gap=5"`` or ``"decay:half_life=10"``.  A spec rather
+        than a policy instance keeps the factory a picklable value object,
+        and each stream gets its own policy state.
     """
 
     config: SlidingWindowConfig
     variant: str = "oblivious"
     backend: str = "auto"
+    policy_spec: str = "count"
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -55,14 +64,21 @@ class WindowFactory:
                 f"unknown variant {self.variant!r}; choose one of "
                 f"{', '.join(VARIANTS)}"
             )
+        make_policy(self.policy_spec)  # raises ValueError on a bad spec
 
     def __call__(self, stream_id: str) -> ServedWindow:
         """A fresh window instance for ``stream_id``."""
         if self.variant == "ours":
-            return FairSlidingWindow(self.config, backend=self.backend)
+            return FairSlidingWindow(
+                self.config, backend=self.backend, policy=self.policy_spec
+            )
         if self.variant == "dimension_free":
-            return DimensionFreeFairSlidingWindow(self.config, backend=self.backend)
-        return ObliviousFairSlidingWindow(self.config, backend=self.backend)
+            return DimensionFreeFairSlidingWindow(
+                self.config, backend=self.backend, policy=self.policy_spec
+            )
+        return ObliviousFairSlidingWindow(
+            self.config, backend=self.backend, policy=self.policy_spec
+        )
 
     def describe(self) -> dict:
         """Human-readable summary written into checkpoint manifests."""
@@ -72,4 +88,5 @@ class WindowFactory:
             "window_size": self.config.window_size,
             "delta": self.config.delta,
             "beta": self.config.beta,
+            "policy": self.policy_spec,
         }

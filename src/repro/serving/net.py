@@ -39,7 +39,7 @@ from dataclasses import asdict
 from types import TracebackType
 from typing import Awaitable, Callable
 
-from ..core.geometry import Point
+from ..core.geometry import Point, TimestampedPoint
 from ..core.solution import ClusteringSolution
 from .async_service import AsyncMultiStreamService
 from .metrics import MetricsRegistry
@@ -77,25 +77,41 @@ def _solution_payload(solution: ClusteringSolution) -> dict:
     }
 
 
-def _parse_points(items: object) -> list[tuple[str, Point]]:
-    """Decode an ingest frame's ``items`` into ``(stream_id, Point)`` pairs."""
+def _parse_points(items: object) -> list[tuple[str, Point | TimestampedPoint]]:
+    """Decode an ingest frame's ``items`` into ``(stream_id, point)`` pairs.
+
+    Each item is ``[stream_id, [coords...], color]``, optionally followed
+    by a numeric event timestamp as a fourth element (required per point
+    by the non-count window policies); timestamped items decode into
+    :class:`TimestampedPoint` payloads.
+    """
     if not isinstance(items, list):
         raise _ProtocolError("ingest needs a list under 'items'")
-    arrivals: list[tuple[str, Point]] = []
+    arrivals: list[tuple[str, Point | TimestampedPoint]] = []
     for entry in items:
-        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+        if not isinstance(entry, (list, tuple)) or len(entry) not in (3, 4):
             raise _ProtocolError(
-                "each ingest item must be [stream_id, [coords...], color]"
+                "each ingest item must be [stream_id, [coords...], color] "
+                "or [stream_id, [coords...], color, ts]"
             )
-        stream_id, coords, color = entry
+        stream_id, coords, color = entry[0], entry[1], entry[2]
         if not isinstance(stream_id, str) or not stream_id:
             raise _ProtocolError("ingest item stream_id must be a non-empty string")
         if not isinstance(coords, (list, tuple)) or not coords:
             raise _ProtocolError("ingest item coords must be a non-empty list")
         try:
-            point = Point(tuple(float(c) for c in coords), color)
+            point: Point | TimestampedPoint = Point(
+                tuple(float(c) for c in coords), color
+            )
         except (TypeError, ValueError) as exc:
             raise _ProtocolError(f"bad ingest coordinates: {exc}") from exc
+        if len(entry) == 4:
+            ts = entry[3]
+            if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+                raise _ProtocolError(
+                    "ingest item event timestamp must be a number"
+                )
+            point = TimestampedPoint(point, float(ts))
         arrivals.append((stream_id, point))
     return arrivals
 
@@ -193,6 +209,18 @@ class ServingServer:
         self._shard_revivals = self.registry.counter(
             "repro_shard_cache_revivals_total",
             "Revivals served from the revive cache per shard (sampled).",
+            ("shard",),
+        )
+        self._shard_late_dropped = self.registry.counter(
+            "repro_shard_late_dropped_points_total",
+            "Arrivals dropped below the event-time watermark per shard "
+            "(sampled; 0 under the count policy).",
+            ("shard",),
+        )
+        self._shard_watermark = self.registry.gauge(
+            "repro_shard_watermark",
+            "Highest event-time watermark across a shard's windows "
+            "(sampled at scrape time).",
             ("shard",),
         )
         self._reshard_total = self.registry.counter(
@@ -505,6 +533,8 @@ class ServingServer:
             self._shard_ingested.set_total(shard.ingested, shard=shard.shard)
             self._shard_evictions.set_total(shard.evicted, shard=shard.shard)
             self._shard_revivals.set_total(shard.cache_revivals, shard=shard.shard)
+            self._shard_late_dropped.set_total(shard.late_dropped, shard=shard.shard)
+            self._shard_watermark.set(shard.watermark, shard=shard.shard)
         reshard = stats.reshard
         self._reshard_total.set_total(reshard.reshards)
         self._reshard_migrated.set_total(reshard.migrated_streams_total)

@@ -35,7 +35,7 @@ from pathlib import Path
 from types import TracebackType
 from typing import Any, Iterable
 
-from ..core.geometry import Point, StreamItem
+from ..core.geometry import Point, StreamItem, TimestampedPoint
 from ..core.snapshot import WindowSnapshot
 from ..core.solution import ClusteringSolution
 from .ring import DEFAULT_VNODES
@@ -592,12 +592,17 @@ class MultiStreamService:
     def ingest(
         self,
         stream_id: str,
-        point: Point | StreamItem,
+        point: Point | StreamItem | TimestampedPoint,
         *,
+        ts: float | None = None,
         block: bool = True,
         timeout: float | None = None,
     ) -> int:
         """Route one arrival to its shard's queue; returns the shard index.
+
+        ``ts`` attaches an event timestamp to a bare :class:`Point` (the
+        arrival travels as a :class:`TimestampedPoint`); event-time,
+        session and decay window policies require one per arrival.
 
         With ``block=False`` (or a ``timeout``) a full shard queue raises
         :class:`~repro.serving.shard.IngestQueueFull` instead of waiting —
@@ -605,6 +610,13 @@ class MultiStreamService:
         window during a :meth:`rebalance` (same backpressure signal, same
         remedy: retry shortly).
         """
+        if ts is not None:
+            if not isinstance(point, Point):
+                raise ValueError(
+                    "ts= is only valid with a bare Point payload; "
+                    f"got {type(point).__name__}"
+                )
+            point = TimestampedPoint(point, ts)
         shard_index = self._acquire_route(stream_id, block=block, timeout=timeout)
         try:
             self.shards[shard_index].submit(
@@ -616,7 +628,7 @@ class MultiStreamService:
 
     def ingest_many(
         self,
-        arrivals: Iterable[tuple[str, Point | StreamItem]],
+        arrivals: Iterable[tuple[str, Point | StreamItem | TimestampedPoint]],
         *,
         block: bool = True,
         timeout: float | None = None,

@@ -40,6 +40,7 @@ lifecycle subsystem —
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import queue
 import threading
@@ -47,7 +48,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from ..core.geometry import Point, StreamItem
+from ..core.geometry import Point, StreamItem, TimestampedPoint
 from ..core.protocols import ServedWindow
 from ..core.snapshot import WindowSnapshot
 from ..core.solution import ClusteringSolution
@@ -82,6 +83,12 @@ class ShardStats:
     cached_streams: int = 0
     #: revivals served from the cache instead of a snapshot replay.
     cache_revivals: int = 0
+    #: arrivals dropped below the watermark across this shard's windows
+    #: (live, cached and cold alike; 0 under the count policy).
+    late_dropped: int = 0
+    #: highest event-time watermark across this shard's windows (0.0 when
+    #: no window has sealed a timestamped arrival yet).
+    watermark: float = 0.0
 
     @property
     def mean_batch(self) -> float:
@@ -89,7 +96,12 @@ class ShardStats:
         return self.ingested / self.batches if self.batches else 0.0
 
 
-def _group_by_stream(batch: list[tuple[str, Point | StreamItem]]) -> dict[str, list]:
+#: One queued arrival's payload: a bare point, a pre-stamped item (count
+#: policy only) or a point carrying its event timestamp.
+IngestPayload = Point | StreamItem | TimestampedPoint
+
+
+def _group_by_stream(batch: list[tuple[str, IngestPayload]]) -> dict[str, list]:
     """Regroup a mixed drained batch into per-stream runs (order preserved)."""
     groups: dict[str, list] = {}
     for stream_id, point in batch:
@@ -101,6 +113,20 @@ def _group_by_stream(batch: list[tuple[str, Point | StreamItem]]) -> dict[str, l
     return groups
 
 
+def _snapshot_policy_totals(policy_state: dict | None) -> tuple[int, float]:
+    """``(late_dropped, watermark)`` carried by a cold snapshot's policy state."""
+    if not policy_state:
+        return 0, 0.0
+    late = int(policy_state.get("late_dropped", 0))
+    watermark = policy_state.get("watermark")
+    if watermark is None:
+        watermark = policy_state.get("last_ts")
+    if watermark is None or not math.isfinite(watermark):
+        return late, 0.0
+    return late, float(watermark)
+
+
+# repro: allow[RPR005] last_event_ts/max_event_ts hold plain floats, not Events
 class _StreamTable:
     """Per-shard stream registry: live windows plus cold evicted snapshots.
 
@@ -129,6 +155,8 @@ class _StreamTable:
         "generations",
         "windows",
         "last_ingest",
+        "last_event_ts",
+        "max_event_ts",
         "cold",
         "lru",
         "evictions",
@@ -162,6 +190,14 @@ class _StreamTable:
         #: idle clock; revival also stamps it so a revived stream gets a
         #: full TTL before the next sweep can evict it again).
         self.last_ingest: dict[str, float] = {}
+        #: per live stream: the largest event timestamp its arrivals have
+        #: carried (:class:`TimestampedPoint` payloads only).  Streams with
+        #: an entry here are *event-timed*: their idle TTL is measured
+        #: against the shard's event clock instead of wall time.
+        self.last_event_ts: dict[str, float] = {}
+        #: the shard's event clock: the largest event timestamp seen by any
+        #: of its streams.
+        self.max_event_ts = float("-inf")
         #: snapshots of evicted (and not-yet-materialised restored) streams.
         self.cold: dict[str, WindowSnapshot] = {}
         #: recently evicted live windows, oldest first (plain dict: Python
@@ -207,6 +243,15 @@ class _StreamTable:
             window = self.materialise(stream_id)
             window.insert_batch(run)
             self.last_ingest[stream_id] = now
+            event_ts = max(
+                (p.ts for p in run if isinstance(p, TimestampedPoint)),
+                default=None,
+            )
+            if event_ts is not None:
+                previous = self.last_event_ts.get(stream_id, float("-inf"))
+                self.last_event_ts[stream_id] = max(previous, event_ts)
+                if event_ts > self.max_event_ts:
+                    self.max_event_ts = event_ts
             touched[stream_id] = window
         if self.store is not None:
             entries: dict[str, tuple[int, WindowSnapshot]] = {}
@@ -233,16 +278,27 @@ class _StreamTable:
         leaves a cold snapshot behind (transparent revival on the next
         touch) or is dropped entirely (the stream restarts empty).
         Returns the evicted stream ids.
+
+        Event-timed streams (those whose arrivals carried
+        :class:`TimestampedPoint` payloads) measure idleness against the
+        shard's *event clock* instead of wall time: a stream is idle once
+        the rest of the shard's event time has advanced ``ttl`` past its
+        last event.  A paused replay therefore never evicts anything, and
+        a fast replay expires exactly the streams that fell behind.
         """
         now = time.monotonic()
-        evicted = [
-            stream_id
-            for stream_id, last in self.last_ingest.items()
-            if now - last >= ttl
-        ]
+        evicted = []
+        for stream_id, last in self.last_ingest.items():
+            event_ts = self.last_event_ts.get(stream_id)
+            if event_ts is not None:
+                if self.max_event_ts - event_ts >= ttl:
+                    evicted.append(stream_id)
+            elif now - last >= ttl:
+                evicted.append(stream_id)
         for stream_id in evicted:
             window = self.windows.pop(stream_id)
             del self.last_ingest[stream_id]
+            self.last_event_ts.pop(stream_id, None)
             if self.revive_cache > 0:
                 # A stale cold snapshot (from an earlier overflow) must not
                 # shadow the fresher window parked in the LRU.
@@ -289,6 +345,7 @@ class _StreamTable:
             window = self.windows.pop(stream_id, None)
             if window is not None:
                 self.last_ingest.pop(stream_id, None)
+                self.last_event_ts.pop(stream_id, None)
                 self.lru.pop(stream_id, None)
                 self.cold.pop(stream_id, None)
                 snapshot = window.snapshot()
@@ -363,9 +420,37 @@ class _StreamTable:
         """
         self.windows.clear()
         self.last_ingest.clear()
+        self.last_event_ts.clear()
         self.lru.clear()
         self.cold = dict(snapshots)
         self.generations = dict(generations or {})
+
+    def policy_totals(self) -> tuple[int, float]:
+        """``(late_dropped, watermark)`` aggregated across the table.
+
+        Sums the live and LRU-cached windows' policy counters plus the
+        totals pickled into cold snapshots' policy state — the sets are
+        disjoint (eviction *moves* a window's state into the cache or a
+        snapshot; nothing is banked separately), so no arrival is counted
+        twice through any evict/revive cycle.  The watermark is the
+        maximum across windows; 0.0 under the count policy.
+        """
+        late = 0
+        watermark = 0.0
+        for window in list(self.windows.values()) + list(self.lru.values()):
+            counters = getattr(window, "policy_counters", None)
+            if counters is None:
+                continue
+            values = counters()
+            late += int(values.get("late_dropped", 0))
+            watermark = max(watermark, float(values.get("watermark", 0.0)))
+        for snapshot in self.cold.values():
+            cold_late, cold_watermark = _snapshot_policy_totals(
+                getattr(snapshot, "policy", None)
+            )
+            late += cold_late
+            watermark = max(watermark, cold_watermark)
+        return late, watermark
 
     def memory_points(self) -> int:
         """Stored points across the live and LRU-cached windows.
@@ -488,7 +573,7 @@ class ShardWorker:
     def submit(
         self,
         stream_id: str,
-        point: Point | StreamItem,
+        point: IngestPayload,
         *,
         block: bool = True,
         timeout: float | None = None,
@@ -532,7 +617,7 @@ class ShardWorker:
             if stopping:
                 return
 
-    def _apply(self, batch: list[tuple[str, Point | StreamItem]]) -> None:
+    def _apply(self, batch: list[tuple[str, IngestPayload]]) -> None:
         with self._lock:
             self._table.apply(batch)
             self._ingested += len(batch)
@@ -639,6 +724,7 @@ class ShardWorker:
     def stats(self) -> ShardStats:
         """Current ingest counters (safe to call while draining)."""
         with self._lock:
+            late_dropped, watermark = self._table.policy_totals()
             return ShardStats(
                 shard=self.shard_id,
                 streams=len(self._table.windows),
@@ -649,6 +735,8 @@ class ShardWorker:
                 evicted=self._table.evictions,
                 cached_streams=len(self._table.lru),
                 cache_revivals=self._table.cache_revivals,
+                late_dropped=late_dropped,
+                watermark=watermark,
             )
 
     def memory_points(self) -> int:
@@ -734,6 +822,7 @@ def _process_shard_main(
         elif kind == "streams":
             results.put(("streams", list(table.windows)))
         elif kind == "stats":
+            late_dropped, watermark = table.policy_totals()
             results.put(
                 (
                     "stats",
@@ -747,6 +836,8 @@ def _process_shard_main(
                         evicted=table.evictions,
                         cached_streams=len(table.lru),
                         cache_revivals=table.cache_revivals,
+                        late_dropped=late_dropped,
+                        watermark=watermark,
                     ),
                 )
             )
@@ -800,7 +891,7 @@ class ProcessShardWorker:
         context = multiprocessing.get_context()
         self._tasks: multiprocessing.Queue = context.Queue(maxsize=queue_capacity)
         self._results: multiprocessing.Queue = context.Queue()
-        self._pending: list[tuple[str, Point | StreamItem]] = []
+        self._pending: list[tuple[str, IngestPayload]] = []
         self._process: multiprocessing.process.BaseProcess | None = None
         self._context = context
 
@@ -882,7 +973,7 @@ class ProcessShardWorker:
     def submit(
         self,
         stream_id: str,
-        point: Point | StreamItem,
+        point: IngestPayload,
         *,
         block: bool = True,
         timeout: float | None = None,

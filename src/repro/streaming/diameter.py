@@ -87,12 +87,22 @@ class AspectRatioEstimator:
         self._gap_buckets: dict[int, int] = {}
         self._last: StreamItem | None = None
         self._now = 0
+        self._horizon = -window_size
 
     # ------------------------------------------------------------------ update
 
-    def insert(self, item: StreamItem) -> None:
-        """Process the arrival of a new stream item."""
+    def insert(self, item: StreamItem, *, horizon: int | None = None) -> None:
+        """Process the arrival of a new stream item.
+
+        ``horizon`` is the expiry horizon of the arrival (stored witnesses
+        with time ``<= horizon`` no longer belong to the window); it
+        defaults to the count-window ``t - window_size`` and is supplied by
+        the oblivious variant when a non-count window policy governs expiry.
+        """
         self._now = item.t
+        self._horizon = (
+            item.t - self.window_size if horizon is None else horizon
+        )
         self._expire()
 
         witnesses = self._witnesses()
@@ -115,7 +125,7 @@ class AspectRatioEstimator:
 
     def _witnesses(self) -> list[StreamItem]:
         """Currently stored active points the new arrival is compared against."""
-        horizon = self._now - self.window_size
+        horizon = self._horizon
         seen: dict[int, StreamItem] = {}
         last = self._last
         if last is not None and last.t > horizon:
@@ -186,7 +196,7 @@ class AspectRatioEstimator:
         self._gap_buckets[exponent] = self._now
 
     def _expire(self) -> None:
-        horizon = self._now - self.window_size
+        horizon = self._horizon
         if any(pair.older.t <= horizon for pair in self._pairs.values()):
             self._pairs = {
                 e: pair for e, pair in self._pairs.items() if pair.older.t > horizon
@@ -221,6 +231,9 @@ class AspectRatioEstimator:
         self._gap_buckets = dict(snapshot.gap_buckets)
         self._last = snapshot.last
         self._now = snapshot.now
+        # The horizon is re-supplied on the next insert; until then fall
+        # back to the count-window arithmetic.
+        self._horizon = snapshot.now - self.window_size
 
     # ----------------------------------------------------------------- queries
 

@@ -60,8 +60,10 @@ class ExactSlidingWindow:
             resolve_instance_kernel(metric, backend) if metric is not None else None
         )
         #: shared stream-wide coordinate matrix; exclusive with the private
-        #: cache (the arena requires consecutive 1-based arrival times, which
-        #: is the convention of the evaluation harness).
+        #: cache.  The arena requires consecutive 1-based arrival times (the
+        #: convention of the evaluation harness) — ``insert`` enforces this
+        #: so a gap fails at its source, not as a row-count mismatch at the
+        #: next query.
         self._arena: CoordinateArena | None = arena if kernel is not None else None
         self._coords: PointBuffer | None = (
             PointBuffer(kernel, dtype)
@@ -88,6 +90,18 @@ class ExactSlidingWindow:
             raise ValueError(
                 f"arrival times must be strictly increasing: got {item.t} "
                 f"after {self._now}"
+            )
+        if self._arena is not None and item.t != self._now + 1:
+            # point_set() aligns arena rows with buffered items positionally
+            # (rows items[0].t..items[-1].t), which is only sound when this
+            # window saw every time in between.  A sibling consumer of the
+            # shared arena may have registered the skipped times, so the
+            # gap would otherwise surface only later, as a confusing row
+            # -count mismatch at query time — or never, if the gap slides
+            # out of the window before the next query.
+            raise ValueError(
+                f"an arena-backed window requires consecutive arrival "
+                f"times: got {item.t} after {self._now}"
             )
         self._now = item.t
         self._buffer.append(item)
@@ -134,7 +148,12 @@ class ExactSlidingWindow:
         return [item.point for item in self._buffer]
 
     def expired_at(self, t: int) -> int | None:
-        """Arrival time of the point expiring exactly when time reaches ``t``."""
+        """Arrival time of the point expiring exactly when time reaches ``t``.
+
+        Pure ``t - window_size`` arithmetic with a 1-based floor: under
+        gapped arrival times the returned time may not correspond to any
+        item this window ever stored — callers own that lookup.
+        """
         candidate = t - self.window_size
         return candidate if candidate >= 1 else None
 

@@ -866,6 +866,95 @@ class TestCheckpointWrite:
         assert report.suppressed == 1
 
 
+# --------------------------------------------------------------------- RPR011
+
+
+class TestPolicyCallLoop:
+    def test_positive_horizon_in_ladder_loop(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/bad_policy_loop.py",
+            """
+            def insert(self, item):
+                for state in self._states:
+                    state.remove_older_than(self.expiry_horizon(item.t))
+                    state.update(item)
+            """,
+        )
+        assert rule_ids(report) == ["RPR011"]
+
+    def test_positive_policy_attr_in_comprehension(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/bad_policy_comp.py",
+            """
+            def _ingest_one(self, item):
+                return [self._policy.horizon(t, n) for t, n in self._pending]
+            """,
+        )
+        assert rule_ids(report) == ["RPR011"]
+
+    def test_negative_hoisted_above_loop(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/ok_policy_hoist.py",
+            """
+            def insert(self, item):
+                horizon = self.expiry_horizon(item.t)
+                for state in self._states:
+                    state.remove_older_than(horizon)
+                    state.update(item)
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_policy_module_is_exempt(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/window_policy.py",
+            """
+            def insert(self, item):
+                return [self._policy.horizon(t, n) for t, n in self._pending]
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_outside_update_entrypoints(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/ok_policy_query.py",
+            """
+            def describe(self):
+                return [self.expiry_horizon(t) for t in self._probes]
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_negative_outside_core(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/serving/ok_policy.py",
+            """
+            def insert(self, item):
+                return [self.expiry_horizon(t) for t in self._probes]
+            """,
+        )
+        assert rule_ids(report) == []
+
+    def test_suppression(self, tmp_path):
+        report = run_on(
+            tmp_path,
+            "src/repro/core/allowed_policy.py",
+            """
+            def insert(self, item):
+                for state in self._states:
+                    state.remove_older_than(self.expiry_horizon(item.t))  # repro: allow[RPR011] parity oracle
+            """,
+        )
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
 # ------------------------------------------------------------------ framework
 
 
@@ -988,5 +1077,8 @@ class TestAnalyzeCli:
             "RPR006",
             "RPR007",
             "RPR008",
+            "RPR009",
+            "RPR010",
+            "RPR011",
         ):
             assert rule_id in out

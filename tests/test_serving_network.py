@@ -48,13 +48,15 @@ ARRIVALS = [
 ]
 
 
-def run_with_server(client_fn, *, num_shards=2, config=None, **server_kwargs):
+def run_with_server(
+    client_fn, *, num_shards=2, config=None, factory=None, **server_kwargs
+):
     """Run ``client_fn(host, port)`` in a thread against a live server."""
 
     async def main():
-        factory = WindowFactory(make_config())
+        factory_ = factory or WindowFactory(make_config())
         service = MultiStreamService(
-            factory,
+            factory_,
             config or ServingConfig(num_shards=num_shards, batch_size=4),
         )
         with service:
@@ -370,6 +372,109 @@ class TestMetricsEndpoint:
                     payload.extend(chunk)
             head = bytes(payload).decode("utf-8", "replace")
             assert " 404 " in head.splitlines()[0]
+
+        run_with_server(drive)
+
+
+# ---------------------------------------------------- event time over the wire
+
+
+class TestEventTimeOverTheWire:
+    """Late/dropped counters are observable end to end.
+
+    The chain under test: the per-window policy counters surface through
+    ``update_stats()`` into :class:`ShardStats` (``late_dropped``,
+    ``watermark``), ride the ``stats`` op over the wire, and are sampled
+    into the ``repro_shard_late_dropped_points_total`` counter and
+    ``repro_shard_watermark`` gauge at ``/metrics`` scrape time.
+    """
+
+    SPEC = "event_time:span=200,slack=10"
+
+    def test_late_drops_surface_in_stats_and_metrics(self):
+        factory = WindowFactory(make_config(), policy_spec=self.SPEC)
+
+        def drive(host, port):
+            with ServingClient(host, port, batch_size=8) as client:
+                # One global integer clock: arrival i carries ts=i+1, so
+                # stream net3 (the round-robin tail) tops out at ts=60 and
+                # the single shard's watermark settles at 60 - 10 = 50.
+                sent = client.ingest(
+                    (sid, point.coords, point.color, float(i + 1))
+                    for i, (sid, point) in enumerate(ARRIVALS[:60])
+                )
+                assert sent == 60
+                client.flush()
+
+                fresh = client.stats()
+                assert all(s["late_dropped"] == 0 for s in fresh["shards"])
+
+                # One straggler per stream, far below every watermark.
+                late = client.ingest(
+                    (sid, point.coords, point.color, 1.0)
+                    for sid, point in ARRIVALS[: len(STREAM_IDS)]
+                )
+                assert late == len(STREAM_IDS)
+                client.flush()
+
+                stats = client.stats()
+                dropped = sum(s["late_dropped"] for s in stats["shards"])
+                assert dropped == len(STREAM_IDS)
+                assert max(s["watermark"] for s in stats["shards"]) == 50.0
+                # Dropped arrivals still count as ingested traffic.
+                assert stats["ingested_total"] == 60 + len(STREAM_IDS)
+
+                # Sealed points still serve queries; the straggler is gone.
+                payload = client.query(STREAM_IDS[0])
+                assert "centers" in payload
+
+                body = client.metrics()
+
+            assert "# TYPE repro_shard_late_dropped_points_total counter" in body
+            assert (
+                f'repro_shard_late_dropped_points_total{{shard="0"}} '
+                f"{len(STREAM_IDS)}" in body
+            )
+            assert "# TYPE repro_shard_watermark gauge" in body
+            assert 'repro_shard_watermark{shard="0"} 50' in body
+
+        run_with_server(drive, num_shards=1, factory=factory)
+
+    def test_count_policy_stats_stay_quiet(self):
+        """Under the default count policy the stats keys exist but stay at
+        their zero values — dashboards can rely on the schema either way."""
+
+        def drive(host, port):
+            with ServingClient(host, port) as client:
+                client.ingest(
+                    (sid, point.coords, point.color)
+                    for sid, point in ARRIVALS[:20]
+                )
+                client.flush()
+                stats = client.stats()
+                for shard in stats["shards"]:
+                    assert shard["late_dropped"] == 0
+                    assert shard["watermark"] == 0.0
+                body = client.metrics()
+            assert 'repro_shard_late_dropped_points_total{shard="0"} 0' in body
+            assert 'repro_shard_watermark{shard="0"} 0' in body
+
+        run_with_server(drive)
+
+    def test_bad_event_timestamp_is_code_2(self):
+        def drive(host, port):
+            with ServingClient(host, port) as client:
+                for bad_ts in (True, "soon", None):
+                    with pytest.raises(ServingError) as err:
+                        client._request(
+                            {
+                                "op": "ingest",
+                                "items": [["net0", [0.0, 0.0], 0, bad_ts]],
+                            }
+                        )
+                    assert err.value.code == 2
+                    assert "event timestamp must be a number" in str(err.value)
+                client.ping()
 
         run_with_server(drive)
 

@@ -111,6 +111,15 @@ class TestExactSlidingWindow:
         assert window.expired_at(5) is None
         assert window.expired_at(11) == 1
 
+    def test_expired_at_is_pure_arithmetic_under_gaps(self):
+        # The contract is ``t - window_size``, not "a time this window
+        # stored": with gapped arrivals the returned time can name a hole.
+        window = ExactSlidingWindow(3)
+        window.insert(StreamItem(Point((0.0,)), 1))
+        window.insert(StreamItem(Point((1.0,)), 5))
+        assert window.expired_at(7) == 4  # no item ever arrived at t=4
+        assert all(item.t != 4 for item in window.items())
+
     def test_memory_points_equals_length(self):
         window = ExactSlidingWindow(4)
         for i in range(6):
@@ -131,6 +140,78 @@ class TestExactSlidingWindow:
             window.insert(p)
         expected = points[-n:] if length else []
         assert window.points() == expected
+
+
+class TestExactWindowCoordinateCaches:
+    """Audit of the time-arithmetic assumptions behind the two cache paths.
+
+    ``point_set()``'s arena branch slices ``rows(items[0].t, items[-1].t)``
+    and relies on positional row↔item alignment, which only holds when the
+    window saw every time in that range.  The private :class:`PointBuffer`
+    cache is keyed per time and has no such density assumption.
+    """
+
+    @staticmethod
+    def _arena():
+        from repro.core.backend import CoordinateArena, resolve_kernel
+        from repro.core.metrics import euclidean
+
+        kernel = resolve_kernel(euclidean)
+        if kernel is None:
+            pytest.skip("no accelerated kernel available")
+        return CoordinateArena(kernel)
+
+    def test_arena_window_rejects_gapped_times_at_insert(self):
+        from repro.core.metrics import euclidean
+
+        arena = self._arena()
+        full = ExactSlidingWindow(4, metric=euclidean, arena=arena)
+        sparse = ExactSlidingWindow(4, metric=euclidean, arena=arena)
+        for t in range(1, 4):
+            full.insert(StreamItem(Point((float(t), 0.0)), t))
+        sparse.insert(StreamItem(Point((1.0, 0.0)), 1))
+        # Times 2..3 are already registered by the sibling window, so the
+        # arena would happily serve `sparse` a 3-row slice for 2 items;
+        # the gap must fail at the offending insert instead.
+        with pytest.raises(ValueError, match="consecutive arrival"):
+            sparse.insert(StreamItem(Point((3.0, 0.0)), 3))
+        # The rejected insert did not corrupt the window.
+        assert [item.t for item in sparse.items()] == [1]
+        assert sparse.now == 1
+
+    def test_arena_rows_align_with_items_across_expiry(self):
+        from repro.core.metrics import euclidean
+
+        arena = self._arena()
+        window = ExactSlidingWindow(3, metric=euclidean, arena=arena)
+        for t in range(1, 8):
+            window.insert(StreamItem(Point((float(t), -float(t))), t))
+        point_set = window.point_set()
+        assert [item.t for item in point_set.items] == [5, 6, 7]
+        assert point_set.coords is not None
+        for row, item in zip(point_set.coords, point_set.items):
+            assert tuple(float(x) for x in row) == item.coords
+
+    def test_private_cache_is_gap_safe(self):
+        from repro.core.metrics import euclidean
+
+        window = ExactSlidingWindow(5, metric=euclidean)
+        for t in (1, 2, 9, 11, 12):
+            window.insert(StreamItem(Point((float(t), 0.0)), t))
+        # t=1,2 expired (the window covers 8..12); the per-time keyed
+        # cache must track the gapped survivors exactly.
+        point_set = window.point_set()
+        assert [item.t for item in point_set.items] == [9, 11, 12]
+        if point_set.coords is not None:
+            for row, item in zip(point_set.coords, point_set.items):
+                assert tuple(float(x) for x in row) == item.coords
+
+    def test_plain_window_still_accepts_gaps(self):
+        # The no-cache path keeps its documented gap tolerance.
+        window = ExactSlidingWindow(5)
+        window.insert(StreamItem(Point((0.0,)), 1))
+        window.insert(StreamItem(Point((1.0,)), 10))
+        assert [item.t for item in window.items()] == [10]
 
 
 class TestSlidingWindowBaseline:

@@ -1,0 +1,534 @@
+"""Window-policy semantics and the differential out-of-order harness.
+
+The tentpole property: under :class:`EventTimePolicy`, *any* delivery order
+in which no arrival is displaced by more than the configured slack produces
+a window bitwise identical to sorted-order delivery at every probe — the
+reorder buffer seals arrivals into the core strictly in timestamp order, so
+the coreset structures cannot observe the disorder.  The harness drives the
+same timestamped stream through two windows (sorted vs. in-slack shuffled),
+synchronises their watermarks at round boundaries, and compares full
+snapshots (not just query outputs) at each probe.
+
+Alongside it: :class:`CountPolicy` replays are pinned bitwise against the
+default (pre-policy) windows, watermark edge cases are pinned at both the
+policy and the window level, and snapshot/restore round-trips are checked
+under every policy including the mismatch errors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FairnessConstraint
+from repro.core.dimension_free import DimensionFreeFairSlidingWindow
+from repro.core.fair_sliding_window import FairSlidingWindow
+from repro.core.geometry import Point, StreamItem, TimestampedPoint
+from repro.core.oblivious import ObliviousFairSlidingWindow
+from repro.core.snapshot import SnapshotMismatchError
+from repro.core.window_policy import (
+    CountPolicy,
+    DecayPolicy,
+    EventTimePolicy,
+    SessionPolicy,
+    WatermarkError,
+    make_policy,
+)
+from tests._fixtures import sliding_config
+
+ALGORITHMS = [
+    FairSlidingWindow,
+    ObliviousFairSlidingWindow,
+    DimensionFreeFairSlidingWindow,
+]
+ALGORITHM_IDS = ["ours", "oblivious", "dimension-free"]
+
+POLICY_SPECS = [
+    "count",
+    "event_time:span=20,slack=4",
+    "session:gap=10",
+    "decay:half_life=8",
+]
+
+
+def build(cls, constraint, *, policy=None, window_size=20, backend="auto"):
+    config = sliding_config(constraint, window_size=window_size)
+    return cls(config, policy=policy, backend=backend)
+
+
+def assert_same_solution(a, b):
+    assert a.centers == b.centers
+    assert a.radius == b.radius
+
+
+# ----------------------------------------------------------------- make_policy
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        ("spec", "cls"),
+        [
+            ("count", CountPolicy),
+            ("event_time:span=10,slack=2", EventTimePolicy),
+            ("session:gap=5", SessionPolicy),
+            ("decay:half_life=10", DecayPolicy),
+            ("decay:half_life=10,span=50", DecayPolicy),
+        ],
+    )
+    def test_spec_round_trips(self, spec, cls):
+        policy = make_policy(spec)
+        assert isinstance(policy, cls)
+        assert make_policy(policy.spec()).spec() == policy.spec()
+
+    def test_none_is_count(self):
+        assert isinstance(make_policy(None), CountPolicy)
+
+    def test_instance_passes_through(self):
+        policy = SessionPolicy(gap=3.0)
+        assert make_policy(policy) is policy
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown window policy"):
+            make_policy("tumbling:size=5")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="bad parameter"):
+            make_policy("event_time:span=10,grace=2")
+
+    def test_non_numeric_parameter(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            make_policy("session:gap=soon")
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(ValueError, match="requires parameters"):
+            make_policy("event_time:slack=2")
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "event_time:span=0",
+            "event_time:span=10,slack=-1",
+            "session:gap=0",
+            "decay:half_life=0",
+            "decay:half_life=5,span=-3",
+        ],
+    )
+    def test_invalid_parameter_values(self, spec):
+        with pytest.raises(ValueError):
+            make_policy(spec)
+
+
+# ----------------------------------------------------- policy-level edge cases
+
+
+class TestEventTimePolicyEdges:
+    def test_slack_boundary_arrival_is_admitted(self):
+        policy = EventTimePolicy(span=10, slack=2)
+        assert policy.admit(Point((0.0,), 0), 10.0) == []  # buffered, wm=8
+        # ts == watermark is *not* late: the boundary is inclusive, and a
+        # point exactly at the watermark seals immediately.
+        boundary = Point((1.0,), 0)
+        assert policy.admit(boundary, 8.0) == [(boundary, 8.0)]
+        assert policy.counters()["late_dropped"] == 0
+        sealed = policy.admit(Point((2.0,), 0), 12.0)  # wm -> 10
+        assert [ts for _, ts in sealed] == [10.0]
+
+    def test_below_watermark_is_counted_and_dropped(self):
+        policy = EventTimePolicy(span=10, slack=2)
+        policy.admit(Point((0.0,), 0), 10.0)
+        assert policy.admit(Point((1.0,), 0), 7.9) == []
+        assert policy.counters()["late_dropped"] == 1
+
+    def test_duplicate_timestamps_seal_deterministically(self):
+        # Same multiset, two delivery orders, one sealing batch each: the
+        # content tie-break makes the sealed sequences identical.
+        points = [Point((float(i),), i % 2) for i in range(4)]
+        orders = [points, list(reversed(points))]
+        sealed = []
+        for order in orders:
+            policy = EventTimePolicy(span=10, slack=100)  # nothing auto-seals
+            for point in order:
+                assert policy.admit(point, 5.0) == []
+            sealed.append(policy.advance_watermark(5.0))
+        assert sealed[0] == sealed[1]
+        assert len(sealed[0]) == 4
+
+    def test_watermark_regression_is_typed_error(self):
+        policy = EventTimePolicy(span=10, slack=0)
+        policy.admit(Point((0.0,), 0), 10.0)
+        with pytest.raises(WatermarkError) as excinfo:
+            policy.advance_watermark(9.0)
+        assert excinfo.value.requested == 9.0
+        assert excinfo.value.current == 10.0
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_timestamp_is_required_and_finite(self):
+        policy = EventTimePolicy(span=10)
+        with pytest.raises(ValueError, match="requires an event timestamp"):
+            policy.admit(Point((0.0,), 0), None)
+        with pytest.raises(ValueError, match="finite"):
+            policy.admit(Point((0.0,), 0), math.inf)
+
+
+# ------------------------------------------------------- count bitwise parity
+
+
+class TestCountParity:
+    """Windows built with the count policy replay today's windows exactly."""
+
+    @pytest.mark.parametrize("cls", ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_count_policy_is_bitwise_identical(self, cls, three_color_constraint):
+        stream = [
+            Point((float(i % 7), float((3 * i) % 5)), i % 3) for i in range(40)
+        ]
+        default = build(cls, three_color_constraint, policy=None, window_size=15)
+        spelled = build(cls, three_color_constraint, policy="count", window_size=15)
+        instance = build(
+            cls, three_color_constraint, policy=CountPolicy(), window_size=15
+        )
+        for point in stream:
+            default.insert(point)
+            spelled.insert(point)
+            instance.insert(point)
+        assert default.snapshot() == spelled.snapshot() == instance.snapshot()
+        assert_same_solution(default.query(), spelled.query())
+        assert_same_solution(default.query(), instance.query())
+
+    @pytest.mark.parametrize("cls", ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_count_policy_still_accepts_stream_items(
+        self, cls, three_color_constraint
+    ):
+        plain = build(cls, three_color_constraint, policy="count", window_size=10)
+        stamped = build(cls, three_color_constraint, policy="count", window_size=10)
+        for i in range(12):
+            point = Point((float(i), 0.5 * i), i % 3)
+            plain.insert(point)
+            stamped.insert(StreamItem(point, i + 1))
+        assert plain.snapshot() == stamped.snapshot()
+
+    def test_count_stats_carry_no_policy_counters(self, three_color_constraint):
+        algo = build(FairSlidingWindow, three_color_constraint, policy="count")
+        algo.insert(Point((0.0, 0.0), 0))
+        assert "late_dropped" not in algo.update_stats()
+
+    def test_event_time_stats_carry_policy_counters(self, three_color_constraint):
+        algo = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="event_time:span=10,slack=2",
+        )
+        algo.insert(Point((0.0, 0.0), 0), ts=5.0)
+        algo.insert(Point((1.0, 1.0), 1), ts=1.0)  # late once wm moves? no: wm=3
+        stats = algo.update_stats()
+        assert stats["late_dropped"] == 1.0
+        assert stats["watermark"] == 3.0
+        assert "buffered" in stats
+
+
+# ---------------------------------------------- differential disorder harness
+
+
+@st.composite
+def disordered_rounds(draw):
+    """Timestamped rounds plus an in-slack disorder of each round.
+
+    Timestamps are strictly increasing integers (exact float arithmetic, so
+    the admissibility bound ``ts >= watermark`` can never be lost to
+    rounding) and the per-arrival jitter is bounded by ``slack / 2`` — any
+    two arrivals swapped by the jitter therefore differ by at most
+    ``slack``, which is exactly the disorder the watermark tolerates.
+    """
+    slack = 2 * draw(st.integers(min_value=1, max_value=4))
+    span = draw(st.integers(min_value=5, max_value=30))
+    n_rounds = draw(st.integers(min_value=1, max_value=3))
+    rounds = []
+    ts = 0
+    for _ in range(n_rounds):
+        entries = []
+        for _ in range(draw(st.integers(min_value=1, max_value=8))):
+            ts += draw(st.integers(min_value=1, max_value=3))
+            point = Point(
+                (
+                    float(draw(st.integers(min_value=-20, max_value=20))),
+                    float(draw(st.integers(min_value=-20, max_value=20))),
+                ),
+                draw(st.integers(min_value=0, max_value=2)),
+            )
+            jitter = draw(
+                st.integers(min_value=-slack // 2, max_value=slack // 2)
+            )
+            entries.append((ts, point, jitter))
+        rounds.append(entries)
+    return slack, span, rounds
+
+
+class TestDifferentialOutOfOrder:
+    """In-slack disorder is invisible: shuffled == sorted at every probe."""
+
+    @pytest.mark.parametrize("backend", ["scalar", "auto"])
+    @pytest.mark.parametrize("cls", ALGORITHMS, ids=ALGORITHM_IDS)
+    @given(data=disordered_rounds())
+    @settings(max_examples=10, deadline=None)
+    def test_in_slack_disorder_matches_sorted_delivery(self, cls, backend, data):
+        # Built inline (not via the pytest fixture): @given runs many inputs
+        # per test call and function-scoped fixtures would not be reset.
+        constraint = FairnessConstraint({0: 2, 1: 2, 2: 2})
+        slack, span, rounds = data
+        policy_spec = f"event_time:span={span},slack={slack}"
+        sorted_window = build(
+            cls, constraint, policy=policy_spec, backend=backend
+        )
+        shuffled_window = build(
+            cls, constraint, policy=policy_spec, backend=backend
+        )
+        for entries in rounds:
+            for ts, point, _ in entries:
+                sorted_window.insert(point, ts=float(ts))
+            # Stable sort on the jittered timestamp: every arrival moves by
+            # at most slack relative to any other, the admissible disorder.
+            for ts, point, _ in sorted(
+                entries, key=lambda entry: entry[0] + entry[2]
+            ):
+                shuffled_window.insert(point, ts=float(ts))
+            # Probe: synchronise the watermarks at the round's maximum
+            # timestamp (both windows saw the same arrivals, so the same
+            # advance is legal in both) and compare the *full* state.
+            round_max = float(entries[-1][0])
+            sorted_window.advance_watermark(round_max)
+            shuffled_window.advance_watermark(round_max)
+            assert sorted_window.now == shuffled_window.now
+            assert sorted_window.snapshot() == shuffled_window.snapshot()
+            assert_same_solution(
+                sorted_window.query(), shuffled_window.query()
+            )
+            counters = sorted_window.policy_counters()
+            assert counters["late_dropped"] == 0
+            assert counters == shuffled_window.policy_counters()
+
+
+# -------------------------------------------------------- window-level edges
+
+
+class TestWindowArrivalProtocol:
+    def test_timestamped_point_payload(self, three_color_constraint):
+        algo = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="event_time:span=10,slack=0",
+        )
+        sealed = algo.insert(TimestampedPoint(Point((1.0, 2.0), 0), 5.0))
+        assert isinstance(sealed, StreamItem)
+        assert algo.now == 1
+
+    def test_buffered_arrival_returns_none(self, three_color_constraint):
+        algo = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="event_time:span=10,slack=5",
+        )
+        assert algo.insert(Point((0.0, 0.0), 0), ts=1.0) is None
+        assert algo.query().centers == []  # nothing sealed yet
+        sealed = algo.advance_watermark(1.0)
+        assert len(sealed) == 1
+        assert algo.now == 1
+
+    def test_prestamped_items_rejected_under_non_count(
+        self, three_color_constraint
+    ):
+        algo = build(
+            FairSlidingWindow, three_color_constraint, policy="session:gap=5"
+        )
+        with pytest.raises(ValueError, match="pre-stamped StreamItems"):
+            algo.insert(StreamItem(Point((0.0, 0.0), 0), 1), ts=1.0)
+
+    def test_missing_timestamp_rejected(self, three_color_constraint):
+        algo = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="event_time:span=10",
+        )
+        with pytest.raises(ValueError, match="requires an event timestamp"):
+            algo.insert(Point((0.0, 0.0), 0))
+
+    def test_count_window_has_no_watermark(self, three_color_constraint):
+        algo = build(FairSlidingWindow, three_color_constraint, policy="count")
+        with pytest.raises(ValueError, match="no watermark"):
+            algo.advance_watermark(1.0)
+
+    def test_window_watermark_regression_raises(self, three_color_constraint):
+        algo = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="event_time:span=10,slack=0",
+        )
+        algo.insert(Point((0.0, 0.0), 0), ts=10.0)
+        with pytest.raises(WatermarkError):
+            algo.advance_watermark(4.0)
+
+    @pytest.mark.parametrize("spec", POLICY_SPECS)
+    @pytest.mark.parametrize("cls", ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_empty_window_query(self, cls, spec, three_color_constraint):
+        algo = build(cls, three_color_constraint, policy=spec)
+        solution = algo.query()
+        assert solution.centers == []
+        assert solution.radius == 0.0
+
+
+# ------------------------------------------------------------------- sessions
+
+
+class TestSessionWindow:
+    def test_gap_closes_previous_session(self, three_color_constraint):
+        algo = build(
+            FairSlidingWindow, three_color_constraint, policy="session:gap=10"
+        )
+        early = [Point((float(i), 0.0), i % 3) for i in range(9)]
+        late = [Point((100.0 + i, 50.0), i % 3) for i in range(9)]
+        for i, point in enumerate(early):
+            algo.insert(point, ts=float(i))
+        for i, point in enumerate(late):
+            algo.insert(point, ts=100.0 + i)  # gap of 92 > 10: session closes
+        solution = algo.query()
+        assert solution.centers
+        assert set(solution.centers) <= set(late)
+        stats = algo.update_stats()
+        assert stats["sessions_closed"] == 1.0
+        assert stats["late_dropped"] == 0.0
+
+    def test_out_of_order_is_late_dropped(self, three_color_constraint):
+        algo = build(
+            FairSlidingWindow, three_color_constraint, policy="session:gap=10"
+        )
+        algo.insert(Point((0.0, 0.0), 0), ts=5.0)
+        assert algo.insert(Point((1.0, 1.0), 1), ts=4.0) is None
+        assert algo.policy_counters()["late_dropped"] == 1.0
+        assert algo.now == 1
+
+
+# ---------------------------------------------------------------------- decay
+
+
+class TestDecayWindow:
+    def test_query_is_annotated_with_decayed_radius(
+        self, three_color_constraint
+    ):
+        algo = build(
+            FairSlidingWindow, three_color_constraint, policy="decay:half_life=8"
+        )
+        for i in range(20):
+            algo.insert(Point((float(i % 5), float(i % 4)), i % 3), ts=float(i))
+        solution = algo.query()
+        decayed = solution.metadata["decayed_radius"]
+        assert solution.metadata["decay_half_life"] == 8.0
+        assert 0.0 <= decayed <= solution.radius + 1e-9
+
+    def test_timestamps_are_optional(self, three_color_constraint):
+        algo = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="decay:half_life=8",
+            window_size=10,
+        )
+        for i in range(15):
+            algo.insert(Point((float(i), 0.0), i % 3))
+        # Count-based expiry still applies without a span.
+        window_points = {
+            Point((float(i), 0.0), i % 3) for i in range(5, 15)
+        }
+        assert set(algo.query().centers) <= window_points
+
+    def test_span_based_expiry(self, three_color_constraint):
+        algo = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="decay:half_life=8,span=5",
+            window_size=50,
+        )
+        old = [Point((float(i), 0.0), i % 3) for i in range(6)]
+        new = [Point((200.0 + i, 0.0), i % 3) for i in range(6)]
+        for i, point in enumerate(old):
+            algo.insert(point, ts=float(i))
+        for i, point in enumerate(new):
+            algo.insert(point, ts=100.0 + i)
+        assert set(algo.query().centers) <= set(new)
+
+
+# --------------------------------------------------------- snapshot round-trip
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("spec", POLICY_SPECS)
+    @pytest.mark.parametrize("cls", ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_restore_resumes_identically(
+        self, cls, spec, three_color_constraint
+    ):
+        def stream(i):
+            return Point((float((7 * i) % 11), float(i % 6)), i % 3)
+
+        reference = build(cls, three_color_constraint, policy=spec)
+        for i in range(16):
+            reference.insert(stream(i), ts=float(i))
+        snapshot = reference.snapshot()
+
+        revived = build(cls, three_color_constraint, policy=spec)
+        revived.restore(snapshot)
+        assert revived.snapshot() == snapshot
+        for i in range(16, 24):
+            reference.insert(stream(i), ts=float(i))
+            revived.insert(stream(i), ts=float(i))
+        assert reference.snapshot() == revived.snapshot()
+        assert_same_solution(reference.query(), revived.query())
+
+    def test_kind_mismatch_raises(self, three_color_constraint):
+        source = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="event_time:span=10,slack=2",
+        )
+        source.insert(Point((0.0, 0.0), 0), ts=5.0)
+        target = build(FairSlidingWindow, three_color_constraint, policy="count")
+        with pytest.raises(SnapshotMismatchError, match="policy"):
+            target.restore(source.snapshot())
+
+    def test_count_snapshot_rejected_by_event_time_window(
+        self, three_color_constraint
+    ):
+        source = build(FairSlidingWindow, three_color_constraint, policy="count")
+        source.insert(Point((0.0, 0.0), 0))
+        target = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="event_time:span=10",
+        )
+        with pytest.raises(SnapshotMismatchError):
+            target.restore(source.snapshot())
+
+    def test_parameter_mismatch_raises(self, three_color_constraint):
+        source = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="event_time:span=10,slack=2",
+        )
+        source.insert(Point((0.0, 0.0), 0), ts=5.0)
+        target = build(
+            FairSlidingWindow,
+            three_color_constraint,
+            policy="event_time:span=10,slack=3",
+        )
+        with pytest.raises(SnapshotMismatchError, match="slack"):
+            target.restore(source.snapshot())
+
+    def test_mismatch_leaves_target_untouched(self, three_color_constraint):
+        source = build(
+            FairSlidingWindow, three_color_constraint, policy="session:gap=5"
+        )
+        source.insert(Point((0.0, 0.0), 0), ts=1.0)
+        target = build(FairSlidingWindow, three_color_constraint, policy="count")
+        target.insert(Point((9.0, 9.0), 2))
+        before = target.snapshot()
+        with pytest.raises(SnapshotMismatchError):
+            target.restore(source.snapshot())
+        assert target.snapshot() == before
